@@ -1,0 +1,70 @@
+// E12 — the chase substrate itself: instance-chase backends (hash vs the
+// paper's sort-based algorithm) on null-filled views, and the tableau
+// chase used for dependency implication.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "chase/implication.h"
+#include "chase/instance_chase.h"
+#include "view/generic_instance.h"
+
+namespace relview {
+namespace {
+
+void RunChaseBench(benchmark::State& state, ChaseBackend backend) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 11);
+  const GenericInstance g =
+      GenericInstance::Build(w.universe.All(), w.x, w.view);
+  int64_t merges = 0;
+  for (auto _ : state) {
+    ChaseOutcome out = ChaseInstance(g.relation(), w.fds, backend);
+    benchmark::DoNotOptimize(out);
+    merges = out.stats.merges;
+  }
+  state.counters["rows"] = g.relation().size();
+  state.counters["merges"] = static_cast<double>(merges);
+}
+
+void BM_InstanceChase_Hash(benchmark::State& state) {
+  RunChaseBench(state, ChaseBackend::kHash);
+}
+BENCHMARK(BM_InstanceChase_Hash)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InstanceChase_Sort(benchmark::State& state) {
+  RunChaseBench(state, ChaseBackend::kSort);
+  state.SetLabel("paper's O(|V|^2 log|V|) sort-merge loop");
+}
+BENCHMARK(BM_InstanceChase_Sort)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TableauMVDInference(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  FDSet fds;
+  for (int i = 0; i + 1 < width; ++i) {
+    fds.Add(AttrSet::Single(static_cast<AttrId>(i)),
+            static_cast<AttrId>(i + 1));
+  }
+  const AttrSet universe = AttrSet::FirstN(width);
+  AttrSet x = universe;
+  x.Remove(static_cast<AttrId>(width - 1));
+  AttrSet y{static_cast<AttrId>(width - 2), static_cast<AttrId>(width - 1)};
+  std::vector<JD> jds = {JD::MVD(x, y)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ImpliesMVD(universe, fds, jds, x, y));
+  }
+  state.SetLabel("U=" + std::to_string(width));
+}
+BENCHMARK(BM_TableauMVDInference)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace relview
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// E7 — Theorem 8: deletion translatability is testable in O(|V| + |Sigma|).
+// The sweep should show linear growth in |V| (the fitted exponent is
+// reported via benchmark's complexity machinery).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "view/deletion.h"
+
+namespace relview {
+namespace {
+
+void BM_DeletionCheck(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckDeletion(w.universe.All(), w.fds, w.x,
+                                           w.y, w.view, w.delete_ok));
+  }
+  state.SetComplexityN(w.view.size());
+}
+BENCHMARK(BM_DeletionCheck)
+    ->RangeMultiplier(2)
+    ->Range(64, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_DeletionApply(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 56);
+  const Tuple victim = w.delete_ok;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ApplyDeletion(w.universe.All(), w.x, w.y, w.database, victim));
+  }
+  state.SetComplexityN(w.database.size());
+}
+BENCHMARK(BM_DeletionApply)
+    ->RangeMultiplier(2)
+    ->Range(64, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace relview
+
+BENCHMARK_MAIN();

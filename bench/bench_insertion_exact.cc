@@ -1,0 +1,82 @@
+// E4 — Theorem 3's Corollary: the exact translatability test. Sweeps |V|
+// with the paper's literal sort-based chase (bounded O(|V|^3 log |V|) from
+// scratch), the same algorithm with the hash-chase backend, and the
+// paper's "shortcut" (one base chase reused across (r, f) pairs). The
+// shapes to observe: from-scratch sort-chase grows superquadratically in
+// |V|; the shortcut turns accepted insertions into near-linear work.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "view/insertion.h"
+
+namespace relview {
+namespace {
+
+constexpr int kWidth = 4;   // |U|: E -> D -> M -> ... chain
+constexpr int kDomainDiv = 8;
+
+void RunInsertBench(benchmark::State& state, ChaseBackend backend,
+                    bool reuse, bool translatable_case) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(kWidth, rows, /*fanin=*/8, 99);
+  InsertionOptions opts;
+  opts.backend = backend;
+  opts.reuse_base_chase = reuse;
+  const Tuple& t = translatable_case ? w.insert_ok : w.insert_bad;
+  int64_t chases = 0;
+  for (auto _ : state) {
+    auto rep = CheckInsertion(w.universe.All(), w.fds, w.x, w.y, w.view, t,
+                              opts);
+    benchmark::DoNotOptimize(rep);
+    if (rep.ok()) chases = rep->chases_run;
+  }
+  state.counters["view_rows"] = w.view.size();
+  state.counters["chases"] = static_cast<double>(chases);
+}
+
+void BM_ExactInsert_SortScratch(benchmark::State& state) {
+  RunInsertBench(state, ChaseBackend::kSort, /*reuse=*/false,
+                 /*translatable_case=*/true);
+  state.SetLabel("paper's sort chase, from scratch per (r,f)");
+}
+BENCHMARK(BM_ExactInsert_SortScratch)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactInsert_HashScratch(benchmark::State& state) {
+  RunInsertBench(state, ChaseBackend::kHash, /*reuse=*/false,
+                 /*translatable_case=*/true);
+  state.SetLabel("hash chase, from scratch per (r,f)");
+}
+BENCHMARK(BM_ExactInsert_HashScratch)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactInsert_Shortcut(benchmark::State& state) {
+  RunInsertBench(state, ChaseBackend::kHash, /*reuse=*/true,
+                 /*translatable_case=*/true);
+  state.SetLabel("shortcut: one base chase + per-pair deltas");
+}
+BENCHMARK(BM_ExactInsert_Shortcut)
+    ->RangeMultiplier(2)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactInsert_Shortcut_Reject(benchmark::State& state) {
+  RunInsertBench(state, ChaseBackend::kHash, /*reuse=*/true,
+                 /*translatable_case=*/false);
+  state.SetLabel("shortcut, rejected insertion (early exit)");
+}
+BENCHMARK(BM_ExactInsert_Shortcut_Reject)
+    ->RangeMultiplier(2)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace relview
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E8 — Theorem 9: replacements. Case 1 (different common parts) costs
+// like an insertion (chase test over (r, f) pairs); case 2 (same common
+// part) additionally quantifies over the mu rows. Both sweeps report the
+// |V| scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "view/replacement.h"
+
+namespace relview {
+namespace {
+
+void BM_ReplacementCase1(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 77);
+  const Schema vs(w.x);
+  // t1 = some row; t2 = same head moved to another existing common part.
+  Tuple t1 = w.view.row(0);
+  Tuple t2 = t1;
+  for (int i = 1; i < w.view.size(); ++i) {
+    const AttrId common_attr = static_cast<AttrId>(w.x.Count() - 1);
+    if (w.view.row(i).At(vs, common_attr) != t1.At(vs, common_attr)) {
+      // Move t1's row to row i's department, keeping the head.
+      t2 = t1;
+      for (AttrId a : vs.cols()) {
+        if (a != 0) t2.Set(vs, a, w.view.row(i).At(vs, a));
+      }
+      break;
+    }
+  }
+  if (t2 == t1 || w.view.ContainsRow(t2)) {
+    state.SkipWithError("workload lacks a case-1 target");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckReplacement(w.universe.All(), w.fds, w.x,
+                                              w.y, w.view, t1, t2));
+  }
+  state.counters["view_rows"] = w.view.size();
+}
+BENCHMARK(BM_ReplacementCase1)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplacementCase2(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 78);
+  const Schema vs(w.x);
+  // t2 = t1 with a fresh head: same common part (case 2).
+  Tuple t1 = w.view.row(0);
+  Tuple t2 = t1;
+  t2.Set(vs, 0, Value::Const(0x0FFFFFF1u));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckReplacement(w.universe.All(), w.fds, w.x,
+                                              w.y, w.view, t1, t2));
+  }
+  state.counters["view_rows"] = w.view.size();
+}
+BENCHMARK(BM_ReplacementCase2)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace relview
+
+BENCHMARK_MAIN();

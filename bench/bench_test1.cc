@@ -1,0 +1,136 @@
+// E5 — Test 1's backends: the naive O(|V|^2 |Sigma|) pairwise form (two-
+// tuple chase / closure) versus the indexed form the paper bounds by
+// O(|V| log|V| 2^|U| |Sigma|). The paper predicts the indexed variant wins
+// once |V|/log|V| > 2^|U| — with |U| small and |V| in the thousands the
+// crossover is visible in the sweep below.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "view/test1.h"
+
+namespace relview {
+namespace {
+
+void RunTest1Bench(benchmark::State& state, Test1Backend backend) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 1001);
+  Test1Options opts{backend};
+  int64_t probes = 0;
+  for (auto _ : state) {
+    auto rep =
+        RunTest1(w.universe.All(), w.fds, w.x, w.y, w.view, w.insert_ok,
+                 opts);
+    benchmark::DoNotOptimize(rep);
+    if (rep.ok()) probes = rep->probes;
+  }
+  state.counters["view_rows"] = w.view.size();
+  state.counters["probes"] = static_cast<double>(probes);
+}
+
+void BM_Test1_TwoTupleChase(benchmark::State& state) {
+  RunTest1Bench(state, Test1Backend::kTwoTupleChase);
+  state.SetLabel("naive: materialized two-tuple chases");
+}
+BENCHMARK(BM_Test1_TwoTupleChase)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Test1_Closure(benchmark::State& state) {
+  RunTest1Bench(state, Test1Backend::kClosure);
+  state.SetLabel("pairwise closures (same mathematics)");
+}
+BENCHMARK(BM_Test1_Closure)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Test1_Indexed(benchmark::State& state) {
+  RunTest1Bench(state, Test1Backend::kIndexed);
+  state.SetLabel("paper's indexed variant (per-subset tables)");
+}
+BENCHMARK(BM_Test1_Indexed)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+// Adversarial workload exhibiting the paper's worst case: Sigma =
+// {A -> C, B -> C}, X = AB, Y = BC, V = half rows (a*, b_i) and half
+// (a_k, b*), insert (a*, b*). Every (a*, b_i) row is a candidate violator
+// of A -> C and every (a_k, b*) row is a mu, and no pair succeeds: the
+// pairwise backends scan all |V|/2 mus of the first failing candidate
+// before rejecting (and would scan |V|^2/4 pairs if rejection did not
+// early-exit), while the indexed backend needs a single exact-pattern
+// probe.
+struct AdversarialWorkload {
+  Universe u;
+  FDSet fds;
+  AttrSet x, y;
+  Relation view{AttrSet()};
+  Tuple t;
+};
+
+AdversarialWorkload MakeAdversarial(int rows) {
+  AdversarialWorkload w;
+  w.u = Universe::Parse("A B C").value();
+  w.fds = FDSet::Parse(w.u, "A -> C; B -> C").value();
+  w.x = w.u.SetOf("A B");
+  w.y = w.u.SetOf("B C");
+  w.view = Relation(w.x);
+  const uint32_t star_a = 0, star_b = 1000000;
+  for (int i = 0; i < rows / 2; ++i) {
+    Tuple r1(2);
+    r1[0] = Value::Const(star_a);
+    r1[1] = Value::Const(1000001u + static_cast<uint32_t>(i));
+    w.view.AddRow(std::move(r1));
+    Tuple r2(2);
+    r2[0] = Value::Const(1u + static_cast<uint32_t>(i));
+    r2[1] = Value::Const(star_b);
+    w.view.AddRow(std::move(r2));
+  }
+  Tuple t(2);
+  t[0] = Value::Const(star_a);
+  t[1] = Value::Const(star_b);
+  w.t = std::move(t);
+  return w;
+}
+
+void RunAdversarial(benchmark::State& state, Test1Backend backend) {
+  const int rows = static_cast<int>(state.range(0));
+  AdversarialWorkload w = MakeAdversarial(rows);
+  Test1Options opts{backend};
+  int64_t probes = 0;
+  for (auto _ : state) {
+    auto rep =
+        RunTest1(w.u.All(), w.fds, w.x, w.y, w.view, w.t, opts);
+    benchmark::DoNotOptimize(rep);
+    if (rep.ok()) probes = rep->probes;
+  }
+  state.counters["view_rows"] = w.view.size();
+  state.counters["probes"] = static_cast<double>(probes);
+}
+
+void BM_Test1Adversarial_Closure(benchmark::State& state) {
+  RunAdversarial(state, Test1Backend::kClosure);
+  state.SetLabel("pairwise: all mus probed before rejecting");
+}
+BENCHMARK(BM_Test1Adversarial_Closure)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Test1Adversarial_Indexed(benchmark::State& state) {
+  RunAdversarial(state, Test1Backend::kIndexed);
+  state.SetLabel("indexed: O(1) exact patterns per candidate");
+}
+BENCHMARK(BM_Test1Adversarial_Indexed)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace relview
+
+BENCHMARK_MAIN();

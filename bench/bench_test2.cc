@@ -1,0 +1,70 @@
+// E6 — Test 2: the O(|Sigma|^2 |U|) schema-level good-complement check
+// (amortized once per complement declaration) and the per-insertion fast
+// path (one chase of the null-filled view plus an O(|V| |Sigma|) scan),
+// compared with the exact test on the same insertions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "view/insertion.h"
+#include "view/test2.h"
+
+namespace relview {
+namespace {
+
+void BM_GoodComplementCheck(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int nfds = static_cast<int>(state.range(1));
+  FDSet fds = bench::MakeRandomFds(width, nfds, 5);
+  const AttrSet universe = AttrSet::FirstN(width);
+  AttrSet x = AttrSet::FirstN(width - 1);
+  AttrSet y = universe - AttrSet::FirstN(width / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckGoodComplement(universe, fds, x, y));
+  }
+  state.SetLabel("U=" + std::to_string(width) +
+                 " |Sigma|=" + std::to_string(nfds));
+}
+BENCHMARK(BM_GoodComplementCheck)
+    ->Args({8, 8})
+    ->Args({16, 16})
+    ->Args({32, 32})
+    ->Args({64, 64})
+    ->Args({64, 256});
+
+void BM_Test2_PerInsert(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 321);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunTest2(w.universe.All(), w.fds, w.x, w.y, w.view, w.insert_ok));
+  }
+  state.counters["view_rows"] = w.view.size();
+  state.SetLabel("one chase + linear scan");
+}
+BENCHMARK(BM_Test2_PerInsert)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactForComparison(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  bench::ChainWorkload w =
+      bench::MakeChainWorkload(4, rows, /*fanin=*/8, 321);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckInsertion(w.universe.All(), w.fds, w.x,
+                                            w.y, w.view, w.insert_ok));
+  }
+  state.counters["view_rows"] = w.view.size();
+  state.SetLabel("exact test on the same insertions");
+}
+BENCHMARK(BM_ExactForComparison)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace relview
+
+BENCHMARK_MAIN();

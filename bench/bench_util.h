@@ -1,0 +1,111 @@
+// Shared workload builders for the relview benchmarks. Each experiment in
+// DESIGN.md §4 uses these to generate schemas and view instances of
+// controlled size.
+
+#ifndef RELVIEW_BENCH_BENCH_UTIL_H_
+#define RELVIEW_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+
+#include "deps/fd_set.h"
+#include "deps/instance_generator.h"
+#include "deps/satisfies.h"
+#include "relational/relation.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace bench {
+
+/// The Employee–Dept–Mgr shape scaled up: a chain schema
+/// A0 -> A1 -> ... -> A{w-1} with view X = A0..A{w-2} and complement
+/// Y = A{w-2} A{w-1}. This is the paper's canonical translatable setting.
+struct ChainWorkload {
+  Universe universe;
+  FDSet fds;
+  AttrSet x, y;
+  Relation database{AttrSet()};
+  Relation view{AttrSet()};
+  Tuple insert_ok;    // translatable insertion
+  Tuple insert_bad;   // condition (c) rejection
+  Tuple delete_ok;    // translatable deletion
+};
+
+inline ChainWorkload MakeChainWorkload(int width, int rows, int fanin,
+                                       uint64_t seed) {
+  ChainWorkload w;
+  w.universe = Universe::Anonymous(width);
+  for (int i = 0; i + 1 < width; ++i) {
+    w.fds.Add(AttrSet::Single(static_cast<AttrId>(i)),
+              static_cast<AttrId>(i + 1));
+  }
+  const AttrSet all = w.universe.All();
+  w.x = all;
+  w.x.Remove(static_cast<AttrId>(width - 1));
+  w.y = AttrSet{static_cast<AttrId>(width - 2),
+                static_cast<AttrId>(width - 1)};
+
+  // Build the instance directly so |view| == rows exactly: column 0 is a
+  // key (one row per id); each later column is a deterministic function
+  // of the previous one with domain shrinking by `fanin` per level (the
+  // Emp -> Dept -> Mgr shape: `fanin` employees per department, ...).
+  Relation db(all);
+  const Schema& s = db.schema();
+  (void)seed;
+  for (int i = 0; i < rows; ++i) {
+    Tuple t(width);
+    uint32_t v = static_cast<uint32_t>(i);
+    int level_domain = rows;
+    for (int c = 0; c < width; ++c) {
+      t[s.PosOf(static_cast<AttrId>(c))] =
+          Value::Const(static_cast<uint32_t>(c) * 0x01000000u + v);
+      level_domain = std::max(2, level_domain / std::max(2, fanin));
+      // Deterministic function of v: keeps every FD satisfied.
+      v = (v * 2654435761u + static_cast<uint32_t>(c)) %
+          static_cast<uint32_t>(level_domain);
+    }
+    db.AddRow(std::move(t));
+  }
+  RELVIEW_DCHECK(SatisfiesAll(db, w.fds), "chain workload illegal");
+  w.view = db.Project(w.x);
+  w.database = std::move(db);
+  RELVIEW_DCHECK(w.view.size() == rows, "chain view collapsed");
+
+  // Translatable insert: copy a row's tail (the common part), fresh head.
+  const Schema vs(w.x);
+  RELVIEW_DCHECK(w.view.size() > 0, "empty bench view");
+  Tuple ok = w.view.row(0);
+  ok.Set(vs, 0, Value::Const(0x0FFFFFF0u));
+  w.insert_ok = ok;
+  // Rejected insert: reuse a row's head (A0 determines A1) with a changed
+  // second column.
+  Tuple bad = w.view.row(0);
+  if (width >= 3) {
+    const Value old = bad.At(vs, 1);
+    bad.Set(vs, 1, Value::Const(old.index() ^ 1u));
+  }
+  w.insert_bad = bad;
+  w.delete_ok = w.view.row(0);
+  return w;
+}
+
+/// A random FD schema over `width` attributes with `nfds` dependencies;
+/// used for the schema-level benchmarks (complement checks, Test 2
+/// precomputation).
+inline FDSet MakeRandomFds(int width, int nfds, uint64_t seed) {
+  Rng rng(seed);
+  FDSet fds;
+  for (int i = 0; i < nfds; ++i) {
+    AttrSet lhs;
+    const int lhs_size = 1 + static_cast<int>(rng.Below(3));
+    for (int k = 0; k < lhs_size; ++k) {
+      lhs.Add(static_cast<AttrId>(rng.Below(width)));
+    }
+    fds.Add(lhs, static_cast<AttrId>(rng.Below(width)));
+  }
+  return fds;
+}
+
+}  // namespace bench
+}  // namespace relview
+
+#endif  // RELVIEW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Schema designer: the full pipeline from a universal schema to updatable
+// multirelation views —
+//   1. analyze a universal-relation schema (candidate keys, normal forms);
+//   2. decompose it into lossless BCNF components (DecomposeBCNF);
+//   3. register the components as a MultiSchema (losslessness re-verified
+//      by the tableau chase);
+//   4. update a projection-of-join view under a constant complement, with
+//      the translation decomposed back into the base tables.
+//
+// This exercises the paper's Section 6(3) direction end to end on an
+// inventory domain.
+//
+// Build & run:  ./build/examples/schema_designer
+
+#include <cstdio>
+
+#include "deps/keys.h"
+#include "multirel/multirel.h"
+
+using namespace relview;
+
+namespace {
+
+Tuple Row(std::initializer_list<const char*> names, ValuePool* pool) {
+  std::vector<Value> vals;
+  for (const char* n : names) vals.push_back(pool->Intern(n));
+  return Tuple(std::move(vals));
+}
+
+}  // namespace
+
+int main() {
+  // Inventory universe: an order line knows its product; products have a
+  // supplier; suppliers have a city.
+  Universe u = Universe::Parse("Order Product Supplier City").value();
+  DependencySet sigma;
+  sigma.fds = FDSet::Parse(
+                  u, "Order -> Product; Product -> Supplier; "
+                     "Supplier -> City")
+                  .value();
+
+  std::printf("universal schema U = %s\nSigma: %s\n\n",
+              u.Format(u.All()).c_str(), sigma.fds.ToString(&u).c_str());
+
+  auto keys = CandidateKeys(u.All(), sigma.fds);
+  if (keys.ok()) {
+    std::printf("candidate keys:");
+    for (const AttrSet& k : *keys) std::printf(" %s", u.Format(k).c_str());
+    std::printf("\n");
+  }
+  std::printf("BCNF: %s;  3NF: %s\n", IsBCNF(u.All(), sigma.fds) ? "yes" : "no",
+              Is3NF(u.All(), sigma.fds).value_or(false) ? "yes" : "no");
+
+  // 2. Decompose.
+  std::vector<AttrSet> parts = DecomposeBCNF(u.All(), sigma.fds);
+  std::printf("\nlossless BCNF decomposition:\n");
+  std::vector<std::string> names;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    names.push_back("R" + std::to_string(i));
+    std::printf("  %s = %s (BCNF: %s)\n", names.back().c_str(),
+                u.Format(parts[i]).c_str(),
+                IsBCNF(parts[i], sigma.fds) ? "yes" : "no");
+  }
+
+  // 3. Register as a multirelation schema.
+  auto schema = MultiSchema::Create(u, sigma, names, parts);
+  if (!schema.ok()) {
+    std::printf("schema rejected: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+
+  ValuePool pool;
+  MultiDatabase db(&*schema);
+  // Populate via one universal relation and decompose — guaranteed
+  // globally consistent.
+  Relation universal(u.All());
+  universal.AddRow(Row({"o1", "cog", "acme", "berlin"}, &pool));
+  universal.AddRow(Row({"o2", "cog", "acme", "berlin"}, &pool));
+  universal.AddRow(Row({"o3", "pin", "zeta", "paris"}, &pool));
+  db.DecomposeFrom(universal);
+  for (int i = 0; i < schema->size(); ++i) {
+    std::printf("\nbase table %s:\n%s", schema->name(i).c_str(),
+                db.instance(i).ToString(&u, &pool).c_str());
+  }
+
+  // 4. Update through the order view (Order, Product) holding the
+  // product catalog (Product, Supplier, City) constant.
+  auto vt = MultiRelViewTranslator::Create(&*schema, u.SetOf("Order Product"),
+                                           u.SetOf("Product Supplier City"));
+  if (!vt.ok()) {
+    std::printf("translator rejected: %s\n", vt.status().ToString().c_str());
+    return 1;
+  }
+  if (Status st = vt->Bind(std::move(db)); !st.ok()) {
+    std::printf("bind failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto report = [&](const char* what, const Status& st) {
+    std::printf("  %-40s %s\n", what, st.ToString().c_str());
+  };
+  std::printf("\nview updates on (Order, Product):\n");
+  report("insert order o4 for cog", vt->Insert(Row({"o4", "cog"}, &pool)));
+  report("insert order o5 for bolt (unknown product)",
+         vt->Insert(Row({"o5", "bolt"}, &pool)));
+  report("delete order o2", vt->Delete(Row({"o2", "cog"}, &pool)));
+  report("delete order o3 (pin's last order)",
+         vt->Delete(Row({"o3", "pin"}, &pool)));
+
+  std::printf("\nbase tables after translation:\n");
+  for (int i = 0; i < schema->size(); ++i) {
+    std::printf("%s:\n%s", schema->name(i).c_str(),
+                vt->database().instance(i).ToString(&u, &pool).c_str());
+  }
+  std::printf("\n(the product catalog never changed: it was the constant "
+              "complement)\n");
+  return 0;
+}

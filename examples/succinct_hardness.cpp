@@ -1,0 +1,88 @@
+// Succinct views and the paper's hardness constructions (Section 3.2,
+// Theorems 4, 5, 7): builds the reductions from concrete formulas, shows
+// the exponential gap between description size and expansion size, and
+// cross-checks the library's algorithms against SAT/QBF oracles.
+//
+// Build & run:  ./build/examples/succinct_hardness
+
+#include <cstdio>
+
+#include "reductions/reductions.h"
+#include "solvers/dpll.h"
+#include "util/small_util.h"
+#include "view/find_complement.h"
+#include "view/insertion.h"
+#include "view/test1.h"
+
+using namespace relview;
+
+int main() {
+  Rng rng(2026);
+
+  std::printf("=== Theorem 5: Test-1 acceptance == UNSAT (co-NP) ===\n");
+  for (int trial = 0; trial < 4; ++trial) {
+    const CNF3 phi = CNF3::Random(4, 6 + 6 * trial, &rng);
+    SuccinctInsertionReduction red = ReduceUnsatToTest1(phi);
+    const Relation v = red.view.Expand();
+    Timer timer;
+    auto rep = RunTest1(red.universe.All(), red.fds, red.view_x, red.comp_y,
+                        v, red.t, {Test1Backend::kClosure});
+    const double secs = timer.ElapsedSeconds();
+    const bool unsat = !SolveSat(phi).satisfiable;
+    std::printf(
+        "  m=%2d  description=%3lld cells  expansion=%4d rows  "
+        "Test1=%-8s DPLL=%s  agree=%s  (%.3f ms)\n",
+        static_cast<int>(phi.clauses.size()),
+        static_cast<long long>(red.view.DescriptionSize()),
+        v.size(), rep->accepted() ? "accept" : "reject",
+        unsat ? "UNSAT" : "SAT",
+        rep->accepted() == unsat ? "yes" : "NO", secs * 1e3);
+  }
+
+  std::printf("\n=== Theorem 7: complement existence == SAT (NP) ===\n");
+  for (int trial = 0; trial < 4; ++trial) {
+    const CNF3 phi = CNF3::Random(4, 4 + 5 * trial, &rng);
+    ComplementExistenceReduction red = ReduceSatToComplementExistence(phi);
+    const Relation v = red.view.Expand();
+    Timer timer;
+    auto res = FindTranslatingComplement(red.universe.All(), red.fds,
+                                         red.view_x, v, red.t);
+    const double secs = timer.ElapsedSeconds();
+    const bool sat = SolveSat(phi).satisfiable;
+    std::printf("  m=%2d  expansion=%4d rows  found=%-3s SAT=%-3s "
+                "agree=%s  (%.3f ms)\n",
+                static_cast<int>(phi.clauses.size()), v.size(),
+                res->found ? "yes" : "no", sat ? "yes" : "no",
+                res->found == sat ? "yes" : "NO", secs * 1e3);
+    if (res->found) {
+      std::vector<bool> h = red.DecodeAssignment(res->complement);
+      std::printf("    decoded assignment:");
+      for (size_t i = 0; i < h.size(); ++i) {
+        std::printf(" x%zu=%d", i, h[i] ? 1 : 0);
+      }
+      std::printf("  satisfies phi: %s\n", phi.Eval(h) ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\n=== Theorem 4: the exponential wall ===\n");
+  std::printf("  (description grows linearly, the decision procedure must "
+              "expand 2^n rows)\n");
+  for (int n = 4; n <= 7; ++n) {
+    const CNF3 phi = CNF3::Random(n, 2 * n, &rng);
+    SuccinctInsertionReduction red = ReduceForallExistsToInsertion(phi, 2);
+    Timer timer;
+    const Relation v = red.view.Expand();
+    auto rep = CheckInsertion(red.universe.All(), red.fds, red.view_x,
+                              red.comp_y, v, red.t);
+    const double secs = timer.ElapsedSeconds();
+    std::printf("  n=%2d  description=%4lld cells  expansion=%5d rows  "
+                "decision time %8.2f ms  verdict=%s\n",
+                n, static_cast<long long>(red.view.DescriptionSize()),
+                v.size(), secs * 1e3,
+                rep->translatable() ? "translatable" : "untranslatable");
+  }
+  std::printf("\n(See DESIGN.md: the forward direction of Theorem 4's "
+              "reduction is validated;\n the literal backward direction has "
+              "a documented erratum.)\n");
+  return 0;
+}

@@ -1,0 +1,289 @@
+// view_shell: an interactive (or scripted) shell around the relview
+// library. Declare a schema, a view and a complement; load rows; issue
+// view updates and watch the constant-complement translation work (or
+// refuse, with the failing condition of Theorem 3/8/9).
+//
+// Commands (one per line; '#' starts a comment):
+//   schema <Attr> <Attr> ...          declare the universe
+//   fd <A> <B> ... -> <C> ...         add FDs
+//   view <Attr> ...                   declare the view X
+//   complement <Attr> ...             declare the complement Y (validated)
+//   complement auto                   use a minimal complement (Cor. 2)
+//   row <val> <val> ...               add a database row (over U)
+//   load <file>                       load rows from a delimited file
+//                                     (header must name the attributes)
+//   bind                              validate Sigma and start translating
+//   insert <val> ...                  insert a view tuple (over X)
+//   delete <val> ...                  delete a view tuple
+//   replace <val> ... -> <val> ...    replace a view tuple
+//   show db | view | hidden           print the database / view
+//   advise <val> ...                  find a complement making the
+//                                     insertion translatable (Thm. 6)
+//   quit
+//
+// Run the demo script:  ./build/examples/view_shell < examples/demo.rvsh
+// Or interactively:     ./build/examples/view_shell
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "relational/csv.h"
+#include "view/find_complement.h"
+#include "view/translator.h"
+
+using namespace relview;
+
+namespace {
+
+class Shell {
+ public:
+  int Run(std::istream& in) {
+    std::string line;
+    const bool interactive = &in == &std::cin && isatty(0);
+    while (true) {
+      if (interactive) std::printf("relview> ");
+      if (!std::getline(in, line)) break;
+      const std::string trimmed = Strip(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (trimmed == "quit" || trimmed == "exit") break;
+      Status st = Dispatch(trimmed);
+      if (!st.ok()) std::printf("  ! %s\n", st.ToString().c_str());
+    }
+    return 0;
+  }
+
+ private:
+  static std::string Strip(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+  }
+
+  static std::vector<std::string> Tokens(const std::string& s) {
+    std::istringstream in(s);
+    std::vector<std::string> out;
+    std::string tok;
+    while (in >> tok) out.push_back(tok);
+    return out;
+  }
+
+  Status Dispatch(const std::string& line) {
+    std::vector<std::string> tok = Tokens(line);
+    const std::string& cmd = tok[0];
+    const std::string rest = Strip(line.substr(cmd.size()));
+    if (cmd == "schema") return CmdSchema(rest);
+    if (cmd == "fd") return CmdFd(rest);
+    if (cmd == "view") return CmdView(rest);
+    if (cmd == "complement") return CmdComplement(rest);
+    if (cmd == "row") return CmdRow(tok);
+    if (cmd == "load") return CmdLoad(rest);
+    if (cmd == "bind") return CmdBind();
+    if (cmd == "insert") return CmdInsert(tok);
+    if (cmd == "delete") return CmdDelete(tok);
+    if (cmd == "replace") return CmdReplace(tok);
+    if (cmd == "show") return CmdShow(rest);
+    if (cmd == "advise") return CmdAdvise(tok);
+    return Status::InvalidArgument("unknown command: " + cmd);
+  }
+
+  Status CmdSchema(const std::string& names) {
+    RELVIEW_ASSIGN_OR_RETURN(universe_, Universe::Parse(names));
+    sigma_ = DependencySet();
+    rows_.clear();
+    translator_.reset();
+    std::printf("  universe U = %s (%d attributes)\n",
+                universe_.Format(universe_.All()).c_str(),
+                universe_.size());
+    return Status::OK();
+  }
+
+  Status CmdFd(const std::string& text) {
+    RELVIEW_ASSIGN_OR_RETURN(std::vector<FD> fds, ParseFDs(universe_, text));
+    for (const FD& fd : fds) sigma_.fds.Add(fd);
+    std::printf("  Sigma = %s\n", sigma_.fds.ToString(&universe_).c_str());
+    return Status::OK();
+  }
+
+  Status CmdView(const std::string& names) {
+    RELVIEW_ASSIGN_OR_RETURN(x_, universe_.Set(names));
+    std::printf("  view X = %s\n", universe_.Format(x_).c_str());
+    return Status::OK();
+  }
+
+  Status CmdComplement(const std::string& names) {
+    if (names == "auto") {
+      y_ = MinimalComplement(universe_.All(), sigma_, x_);
+      std::printf("  minimal complement Y = %s\n",
+                  universe_.Format(y_).c_str());
+      return Status::OK();
+    }
+    RELVIEW_ASSIGN_OR_RETURN(AttrSet y, universe_.Set(names));
+    if (!AreComplementary(universe_.All(), sigma_, x_, y)) {
+      return Status::FailedPrecondition(
+          "not a complement of the view (Theorem 1)");
+    }
+    y_ = y;
+    std::printf("  complement Y = %s\n", universe_.Format(y_).c_str());
+    return Status::OK();
+  }
+
+  Result<Tuple> ParseTuple(const std::vector<std::string>& tok, size_t from,
+                           size_t count) {
+    if (tok.size() - from < count) {
+      return Status::InvalidArgument("expected " + std::to_string(count) +
+                                     " values");
+    }
+    std::vector<Value> vals;
+    for (size_t i = from; i < from + count; ++i) {
+      vals.push_back(pool_.Intern(tok[i]));
+    }
+    return Tuple(std::move(vals));
+  }
+
+  Status CmdRow(const std::vector<std::string>& tok) {
+    RELVIEW_ASSIGN_OR_RETURN(
+        Tuple t, ParseTuple(tok, 1, static_cast<size_t>(universe_.size())));
+    rows_.push_back(std::move(t));
+    std::printf("  %zu row(s) staged\n", rows_.size());
+    return Status::OK();
+  }
+
+  Status CmdLoad(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return Status::NotFound("cannot open " + path);
+    RELVIEW_ASSIGN_OR_RETURN(CsvResult table,
+                             ReadTable(in, &pool_, &universe_));
+    if (table.relation.attrs() != universe_.All()) {
+      return Status::InvalidArgument(
+          "file header must name every attribute of U");
+    }
+    for (const Tuple& r : table.relation.rows()) rows_.push_back(r);
+    std::printf("  loaded %d rows (%zu staged)\n", table.relation.size(),
+                rows_.size());
+    return Status::OK();
+  }
+
+  Status CmdBind() {
+    RELVIEW_ASSIGN_OR_RETURN(
+        ViewTranslator vt,
+        ViewTranslator::Create(universe_, sigma_, x_, y_));
+    Relation db(universe_.All());
+    for (const Tuple& r : rows_) db.AddRow(r);
+    RELVIEW_RETURN_IF_ERROR(vt.Bind(std::move(db)));
+    translator_ = std::make_unique<ViewTranslator>(std::move(vt));
+    std::printf("  bound %zu rows; complement is %s\n", rows_.size(),
+                translator_->complement_is_good()
+                    ? "good (Test 2 exact)"
+                    : "not good (exact test in use)");
+    return Status::OK();
+  }
+
+  Status NeedTranslator() const {
+    if (!translator_) {
+      return Status::FailedPrecondition("run 'bind' first");
+    }
+    return Status::OK();
+  }
+
+  Status CmdInsert(const std::vector<std::string>& tok) {
+    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_ASSIGN_OR_RETURN(
+        Tuple t, ParseTuple(tok, 1, static_cast<size_t>(x_.Count())));
+    Status st = translator_->Insert(t);
+    std::printf("  insert: %s\n", st.ok() ? "ok" : st.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status CmdDelete(const std::vector<std::string>& tok) {
+    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_ASSIGN_OR_RETURN(
+        Tuple t, ParseTuple(tok, 1, static_cast<size_t>(x_.Count())));
+    Status st = translator_->Delete(t);
+    std::printf("  delete: %s\n", st.ok() ? "ok" : st.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status CmdReplace(const std::vector<std::string>& tok) {
+    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    const size_t k = static_cast<size_t>(x_.Count());
+    // replace v1.. -> v2..
+    size_t arrow = 0;
+    for (size_t i = 1; i < tok.size(); ++i) {
+      if (tok[i] == "->") arrow = i;
+    }
+    if (arrow != 1 + k || tok.size() != 2 + 2 * k) {
+      return Status::InvalidArgument("usage: replace <t1...> -> <t2...>");
+    }
+    RELVIEW_ASSIGN_OR_RETURN(Tuple t1, ParseTuple(tok, 1, k));
+    RELVIEW_ASSIGN_OR_RETURN(Tuple t2, ParseTuple(tok, arrow + 1, k));
+    Status st = translator_->Replace(t1, t2);
+    std::printf("  replace: %s\n", st.ok() ? "ok" : st.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status CmdShow(const std::string& what) {
+    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    if (what == "db") {
+      std::printf("%s",
+                  translator_->database()
+                      .ToString(&universe_, &pool_)
+                      .c_str());
+      return Status::OK();
+    }
+    if (what == "view") {
+      RELVIEW_ASSIGN_OR_RETURN(Relation v, translator_->ViewInstance());
+      std::printf("%s", v.ToString(&universe_, &pool_).c_str());
+      return Status::OK();
+    }
+    if (what == "hidden") {
+      std::printf("%s", translator_->database()
+                            .Project(y_)
+                            .ToString(&universe_, &pool_)
+                            .c_str());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("show db | view | hidden");
+  }
+
+  Status CmdAdvise(const std::vector<std::string>& tok) {
+    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_ASSIGN_OR_RETURN(
+        Tuple t, ParseTuple(tok, 1, static_cast<size_t>(x_.Count())));
+    RELVIEW_ASSIGN_OR_RETURN(Relation v, translator_->ViewInstance());
+    RELVIEW_ASSIGN_OR_RETURN(
+        FindComplementResult res,
+        FindTranslatingComplement(universe_.All(), sigma_.fds, x_, v, t));
+    if (res.found) {
+      std::printf("  translatable under constant Y = %s\n",
+                  universe_.Format(res.complement).c_str());
+    } else {
+      std::printf("  no complement of the form W ∪ (U − X) works "
+                  "(%d candidates tried)\n",
+                  res.candidates);
+    }
+    return Status::OK();
+  }
+
+  Universe universe_;
+  DependencySet sigma_;
+  AttrSet x_, y_;
+  ValuePool pool_;
+  std::vector<Tuple> rows_;
+  std::unique_ptr<ViewTranslator> translator_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run(std::cin);
+}

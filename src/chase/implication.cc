@@ -1,0 +1,67 @@
+#include "chase/implication.h"
+
+#include "chase/tableau.h"
+
+namespace relview {
+
+bool ImpliesFD(const AttrSet& universe, const FDSet& fds,
+               const std::vector<JD>& jds, const AttrSet& lhs,
+               const AttrSet& rhs) {
+  if (jds.empty()) return fds.Implies(lhs, rhs);
+  // Two-row tableau: row 0 all-distinguished, row 1 distinguished on lhs.
+  Tableau t(universe);
+  t.AddRowDistinguishedOn(universe);
+  t.AddRowDistinguishedOn(lhs);
+  t.Chase(fds, jds);
+  // Sigma |= lhs -> rhs iff the lhs-row became distinguished on all of rhs.
+  // After Normalize() rows may have been reordered or merged; instead check
+  // that every row agreeing with the distinguished row on lhs also agrees
+  // on rhs. The canonical lhs-row always survives (possibly merged into the
+  // all-distinguished row, in which case the FD holds trivially for it).
+  const Schema& s = t.schema();
+  for (const Tuple& row : t.relation().rows()) {
+    bool on_lhs = true;
+    lhs.ForEach([&](AttrId a) {
+      if (row.At(s, a) != Tableau::Distinguished(a)) on_lhs = false;
+    });
+    if (!on_lhs) continue;
+    bool on_rhs = true;
+    rhs.ForEach([&](AttrId a) {
+      if (row.At(s, a) != Tableau::Distinguished(a)) on_rhs = false;
+    });
+    if (!on_rhs) return false;
+  }
+  return true;
+}
+
+bool ImpliesJD(const AttrSet& universe, const FDSet& fds,
+               const std::vector<JD>& jds, const JD& target) {
+  RELVIEW_DCHECK(target.Scope() == universe, "target JD must cover universe");
+  Tableau t(universe);
+  for (const AttrSet& component : target.components) {
+    t.AddRowDistinguishedOn(component);
+  }
+  t.Chase(fds, jds);
+  return t.HasRowDistinguishedOn(universe);
+}
+
+bool ImpliesMVD(const AttrSet& universe, const FDSet& fds,
+                const std::vector<JD>& jds, const AttrSet& x,
+                const AttrSet& y) {
+  RELVIEW_DCHECK((x | y) == universe, "MVD components must cover universe");
+  return ImpliesJD(universe, fds, jds, JD::MVD(x, y));
+}
+
+bool ImpliesEmbeddedMVD(const AttrSet& universe, const FDSet& fds,
+                        const std::vector<JD>& jds, const EmbeddedMVD& emvd) {
+  const AttrSet scope = emvd.Scope();
+  RELVIEW_DCHECK(scope.SubsetOf(universe), "embedded MVD outside universe");
+  Tableau t(universe);
+  t.AddRowDistinguishedOn(emvd.context_lhs | emvd.left);
+  t.AddRowDistinguishedOn(emvd.context_lhs | emvd.right);
+  t.Chase(fds, jds);
+  // The witness tuple only needs to be distinguished on the emvd's scope.
+  return t.HasRowDistinguishedOn(scope);
+}
+
+}  // namespace relview

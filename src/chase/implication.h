@@ -1,0 +1,38 @@
+// Dependency implication via the tableau chase: Sigma (FDs + JDs) |= FD /
+// MVD / JD / embedded MVD. Polynomial in the tableau size; the MVD/JD tests
+// are the polynomial procedures cited by Corollary 1 of the paper
+// ([26, 38] in its bibliography).
+
+#ifndef RELVIEW_CHASE_IMPLICATION_H_
+#define RELVIEW_CHASE_IMPLICATION_H_
+
+#include <vector>
+
+#include "deps/dep_set.h"
+#include "deps/fd_set.h"
+#include "deps/jd.h"
+
+namespace relview {
+
+/// Sigma |= lhs -> rhs over universe `universe`. With no JDs this is just
+/// the FD closure; with JDs the two-row tableau is chased.
+bool ImpliesFD(const AttrSet& universe, const FDSet& fds,
+               const std::vector<JD>& jds, const AttrSet& lhs,
+               const AttrSet& rhs);
+
+/// Sigma |= *[components...]. Each JD's scope must equal `universe`.
+bool ImpliesJD(const AttrSet& universe, const FDSet& fds,
+               const std::vector<JD>& jds, const JD& target);
+
+/// Sigma |= *[x, y]; requires x ∪ y == universe.
+bool ImpliesMVD(const AttrSet& universe, const FDSet& fds,
+                const std::vector<JD>& jds, const AttrSet& x,
+                const AttrSet& y);
+
+/// Sigma |= (X ->-> Y | Z embedded in X∪Y∪Z).
+bool ImpliesEmbeddedMVD(const AttrSet& universe, const FDSet& fds,
+                        const std::vector<JD>& jds, const EmbeddedMVD& emvd);
+
+}  // namespace relview
+
+#endif  // RELVIEW_CHASE_IMPLICATION_H_

@@ -1,0 +1,189 @@
+#include "chase/instance_chase.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace relview {
+
+namespace {
+
+/// Resolves a violating pair of values. Returns false on constant-constant
+/// conflict; otherwise sets *from/*to to the rename to perform.
+bool ResolvePair(Value a, Value b, Value* from, Value* to) {
+  if (a == b) return true;  // caller filters, defensive
+  if (a.is_const() && b.is_const()) return false;
+  if (a.is_null() && b.is_const()) {
+    *from = a;
+    *to = b;
+  } else if (a.is_const() && b.is_null()) {
+    *from = b;
+    *to = a;
+  } else {
+    // Both nulls: higher id renamed to lower for determinism.
+    if (a.raw() < b.raw()) {
+      *from = b;
+      *to = a;
+    } else {
+      *from = a;
+      *to = b;
+    }
+  }
+  return true;
+}
+
+ChaseOutcome ChaseHash(const Relation& input, const FDSet& fds) {
+  // Lazy-rename backend: cells keep their original values; merges are
+  // recorded in a union-find style map (out.renames) and resolved on
+  // access with path compression. Each round is O(|Sigma| * |R| * |lhs|)
+  // expected; the relation is materialized once at the end.
+  ChaseOutcome out;
+  out.result = input;
+  Relation& r = out.result;
+  const Schema& s = r.schema();
+
+  auto resolve = [&out](Value v) {
+    Value root = v;
+    auto it = out.renames.find(root.raw());
+    while (it != out.renames.end()) {
+      root = it->second;
+      it = out.renames.find(root.raw());
+    }
+    // Path compression.
+    while (v != root) {
+      auto step = out.renames.find(v.raw());
+      Value next = step->second;
+      step->second = root;
+      v = next;
+    }
+    return root;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.stats.rounds;
+    for (const FD& fd : fds.fds()) {
+      if (!fd.lhs.SubsetOf(r.attrs()) || !r.attrs().Contains(fd.rhs)) {
+        continue;
+      }
+      const std::vector<AttrId> lhs_cols = fd.lhs.ToVector();
+      // Bucket by resolved lhs values; keep one representative row per
+      // equal-lhs group, merging rhs values into it.
+      std::unordered_map<uint64_t, std::vector<int>> groups;
+      groups.reserve(r.size() * 2 + 1);
+      std::vector<Value> lhs_vals(lhs_cols.size());
+      for (int i = 0; i < r.size(); ++i) {
+        const Tuple& t = r.row(i);
+        ++out.stats.work;
+        uint64_t h = 0x5DEECE66DULL;
+        for (size_t c = 0; c < lhs_cols.size(); ++c) {
+          lhs_vals[c] = resolve(t.At(s, lhs_cols[c]));
+          h = HashCombine(h, lhs_vals[c].raw());
+        }
+        auto& bucket = groups[h];
+        for (int j : bucket) {
+          const Tuple& o = r.row(j);
+          ++out.stats.work;
+          bool agree = true;
+          for (size_t c = 0; c < lhs_cols.size(); ++c) {
+            if (resolve(o.At(s, lhs_cols[c])) != lhs_vals[c]) {
+              agree = false;
+              break;
+            }
+          }
+          if (!agree) continue;
+          const Value a = resolve(t.At(s, fd.rhs));
+          const Value b = resolve(o.At(s, fd.rhs));
+          if (a == b) continue;
+          Value from, to;
+          if (!ResolvePair(a, b, &from, &to)) {
+            out.conflict = true;
+            return out;
+          }
+          out.renames[from.raw()] = to;
+          ++out.stats.merges;
+          changed = true;
+        }
+        bucket.push_back(i);
+      }
+    }
+  }
+  // Materialize the resolved relation.
+  for (Tuple& row : r.mutable_rows()) {
+    for (int c = 0; c < row.arity(); ++c) row[c] = resolve(row[c]);
+  }
+  r.Normalize();
+  return out;
+}
+
+ChaseOutcome ChaseSort(const Relation& input, const FDSet& fds) {
+  // The paper's algorithm, verbatim:
+  //   Repeat until no new change is made on R*:
+  //     For each FD Z -> A in Sigma do:
+  //       Sort R* lexicographically according to the Z columns.
+  //       Find the first pair of consecutive tuples mu, nu with
+  //       mu[Z] = nu[Z], mu[A] != nu[A].
+  //       Replace mu[A] by nu[A] throughout the A column.
+  ChaseOutcome out;
+  out.result = input;
+  Relation& r = out.result;
+  const Schema& s = r.schema();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.stats.rounds;
+    for (const FD& fd : fds.fds()) {
+      if (!fd.lhs.SubsetOf(r.attrs()) || !r.attrs().Contains(fd.rhs)) {
+        continue;
+      }
+      const std::vector<AttrId> zcols = fd.lhs.ToVector();
+      std::vector<int> order(r.size());
+      for (int i = 0; i < r.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](int ia, int ib) {
+        const Tuple& a = r.row(ia);
+        const Tuple& b = r.row(ib);
+        for (AttrId z : zcols) {
+          const Value va = a.At(s, z);
+          const Value vb = b.At(s, z);
+          if (va != vb) return va < vb;
+        }
+        return false;
+      });
+      out.stats.work +=
+          static_cast<int64_t>(r.size()) *
+          (64 - __builtin_clzll(static_cast<uint64_t>(r.size()) + 1));
+      for (int k = 0; k + 1 < r.size(); ++k) {
+        const Tuple& a = r.row(order[k]);
+        const Tuple& b = r.row(order[k + 1]);
+        if (!a.AgreesWith(b, s, fd.lhs)) continue;
+        const Value va = a.At(s, fd.rhs);
+        const Value vb = b.At(s, fd.rhs);
+        if (va == vb) continue;
+        Value from, to;
+        if (!ResolvePair(va, vb, &from, &to)) {
+          out.conflict = true;
+          return out;
+        }
+        r.RenameValue(from, to);
+        out.renames[from.raw()] = to;
+        ++out.stats.merges;
+        changed = true;
+        break;  // first violating pair only, per the paper
+      }
+    }
+  }
+  r.Normalize();
+  return out;
+}
+
+}  // namespace
+
+ChaseOutcome ChaseInstance(const Relation& r, const FDSet& fds,
+                           ChaseBackend backend) {
+  return backend == ChaseBackend::kHash ? ChaseHash(r, fds)
+                                        : ChaseSort(r, fds);
+}
+
+}  // namespace relview

@@ -1,0 +1,71 @@
+// Chase of a concrete instance containing constants and labeled nulls with
+// respect to a set of FDs. This implements the engine inside Theorem 3's
+// translatability test: the generic instance R(V, t, r, f) is V's rows
+// extended with fresh nulls on the complement-only columns, and the chase
+// propagates the FDs, either
+//   * reaching a fixpoint (a legal completion exists), or
+//   * attempting to equate two distinct *constants* — a hard conflict,
+//     meaning the hypothesised instance cannot exist.
+//
+// Rule semantics for a violating pair (agree on Z, differ on A):
+//   const  vs const  -> conflict;
+//   null   vs const  -> the null is renamed to the constant;
+//   null   vs null   -> the higher-id null is renamed to the lower.
+//
+// Two interchangeable backends are provided:
+//   * kHash — hash-partition per FD with a work-list; near-linear rounds.
+//   * kSort — the paper's literal algorithm (Corollary to Theorem 3):
+//     repeatedly sort by the Z columns and merge the first adjacent
+//     violating pair; O(|V|^2 log |V| |Sigma| |Y-X|) per chase.
+// Both produce the same fixpoint up to null renaming; tests assert this.
+
+#ifndef RELVIEW_CHASE_INSTANCE_CHASE_H_
+#define RELVIEW_CHASE_INSTANCE_CHASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+
+namespace relview {
+
+enum class ChaseBackend { kHash, kSort };
+
+struct ChaseStats {
+  int merges = 0;
+  int rounds = 0;
+  /// Total row comparisons / sort elements touched; backend-specific work
+  /// measure used by the complexity benchmarks.
+  int64_t work = 0;
+};
+
+struct ChaseOutcome {
+  /// True iff the chase tried to equate two distinct constants.
+  bool conflict = false;
+  /// The chased relation (meaningful only when !conflict; otherwise the
+  /// partially chased state at the moment of conflict).
+  Relation result;
+  ChaseStats stats;
+  /// Rename chain: raw(from) -> to, for every merge performed. Use
+  /// Resolve() to map a value of the *input* relation to its final value.
+  std::unordered_map<uint32_t, Value> renames;
+
+  /// Final value of an input value after all merges.
+  Value Resolve(Value v) const {
+    auto it = renames.find(v.raw());
+    while (it != renames.end()) {
+      v = it->second;
+      it = renames.find(v.raw());
+    }
+    return v;
+  }
+};
+
+/// Chases `r` with `fds` to fixpoint (or conflict).
+ChaseOutcome ChaseInstance(const Relation& r, const FDSet& fds,
+                           ChaseBackend backend = ChaseBackend::kHash);
+
+}  // namespace relview
+
+#endif  // RELVIEW_CHASE_INSTANCE_CHASE_H_

@@ -1,0 +1,100 @@
+#include "chase/tableau.h"
+
+#include <unordered_map>
+
+namespace relview {
+
+void Tableau::AddRowDistinguishedOn(const AttrSet& distinguished_on) {
+  const Schema& s = rel_.schema();
+  Tuple t(s.arity());
+  for (int p = 0; p < s.arity(); ++p) {
+    const AttrId a = s.cols()[p];
+    t[p] = distinguished_on.Contains(a) ? Distinguished(a) : Fresh();
+  }
+  rel_.AddRow(std::move(t));
+}
+
+int Tableau::FDPass(const FDSet& fds) {
+  const Schema& s = rel_.schema();
+  int merges = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FD& fd : fds.fds()) {
+      if (!fd.lhs.SubsetOf(rel_.attrs()) || !rel_.attrs().Contains(fd.rhs)) {
+        continue;
+      }
+      std::unordered_map<uint64_t, std::vector<int>> groups;
+      for (int i = 0; i < rel_.size() && !changed; ++i) {
+        const Tuple& t = rel_.row(i);
+        auto& bucket = groups[t.HashOn(s, fd.lhs)];
+        for (int j : bucket) {
+          const Tuple& o = rel_.row(j);
+          if (!t.AgreesWith(o, s, fd.lhs)) continue;
+          Value a = t.At(s, fd.rhs);
+          Value b = o.At(s, fd.rhs);
+          if (a == b) continue;
+          // Distinguished symbols have the smallest ids, so "smaller id
+          // wins" also prefers distinguished symbols.
+          if (b < a) std::swap(a, b);
+          rel_.RenameValue(/*from=*/b, /*to=*/a);
+          ++merges;
+          changed = true;
+          break;
+        }
+        if (!changed) bucket.push_back(i);
+      }
+      if (changed) break;
+    }
+  }
+  return merges;
+}
+
+int Tableau::JDPass(const std::vector<JD>& jds) {
+  int added = 0;
+  for (const JD& jd : jds) {
+    if (jd.Scope() != rel_.attrs()) continue;
+    // T := T ∪ ⋈_i π_{C_i}(T); the join of projections computed pairwise.
+    Relation joined = rel_.Project(jd.components[0]);
+    for (size_t i = 1; i < jd.components.size(); ++i) {
+      joined = Relation::NaturalJoin(joined, rel_.Project(jd.components[i]));
+    }
+    for (const Tuple& t : joined.rows()) {
+      if (!rel_.ContainsRow(t)) {
+        rel_.AddRow(t);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+int Tableau::Chase(const FDSet& fds, const std::vector<JD>& jds) {
+  int applications = 0;
+  while (true) {
+    const int merges = FDPass(fds);
+    applications += merges;
+    const int added = JDPass(jds);
+    applications += added;
+    if (added == 0) {
+      // FD fixpoint was reached inside FDPass and no JD rule fired.
+      break;
+    }
+  }
+  rel_.Normalize();
+  return applications;
+}
+
+bool Tableau::HasRowDistinguishedOn(const AttrSet& on) const {
+  const Schema& s = rel_.schema();
+  for (const Tuple& t : rel_.rows()) {
+    bool all = true;
+    on.ForEach([&](AttrId a) {
+      if (t.At(s, a) != Distinguished(a)) all = false;
+    });
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace relview

@@ -1,0 +1,70 @@
+// Symbolic tableau chase (Maier–Mendelzon–Sagiv [25] / Maier–Sagiv–
+// Yannakakis [26] in the paper's bibliography) for inferring dependencies
+// from FDs and JDs. This is the engine behind Theorem 1's complementarity
+// test (Corollary 1) and Theorem 10's embedded-MVD condition.
+//
+// Symbols are encoded as Values: the *distinguished* symbol of column W is
+// Const(W); nondistinguished symbols are Const(id) with id >= kMaxAttrs.
+// An FD rule application equates two symbols (global rename, distinguished
+// and lower ids win); a JD rule application adds the join of compatible
+// rows. Both rules never invent symbols, so the chase terminates.
+
+#ifndef RELVIEW_CHASE_TABLEAU_H_
+#define RELVIEW_CHASE_TABLEAU_H_
+
+#include <vector>
+
+#include "deps/fd_set.h"
+#include "deps/jd.h"
+#include "relational/relation.h"
+
+namespace relview {
+
+class Tableau {
+ public:
+  explicit Tableau(const AttrSet& attrs)
+      : rel_(attrs), next_symbol_(AttrSet::kMaxAttrs) {}
+
+  const Relation& relation() const { return rel_; }
+  const Schema& schema() const { return rel_.schema(); }
+  int rows() const { return rel_.size(); }
+
+  /// The distinguished symbol of column `a`.
+  static Value Distinguished(AttrId a) { return Value::Const(a); }
+  static bool IsDistinguished(Value v) {
+    return v.is_const() && v.index() < AttrSet::kMaxAttrs;
+  }
+
+  /// A fresh nondistinguished symbol.
+  Value Fresh() { return Value::Const(next_symbol_++); }
+
+  /// Adds a row that is distinguished exactly on `distinguished_on` and
+  /// fresh elsewhere.
+  void AddRowDistinguishedOn(const AttrSet& distinguished_on);
+
+  /// Chases to fixpoint with FD and JD rules. Returns the number of rule
+  /// applications.
+  int Chase(const FDSet& fds, const std::vector<JD>& jds);
+
+  /// True iff some row is distinguished on every attribute of `on`.
+  bool HasRowDistinguishedOn(const AttrSet& on) const;
+
+  /// True iff rows i and j hold the same symbol in column `a`.
+  bool Equal(int i, int j, AttrId a) const {
+    const Schema& s = rel_.schema();
+    return rel_.row(i).At(s, a) == rel_.row(j).At(s, a);
+  }
+
+ private:
+  /// One pass of FD rules; returns number of merges.
+  int FDPass(const FDSet& fds);
+  /// One pass of JD rules; returns number of added rows.
+  int JDPass(const std::vector<JD>& jds);
+
+  Relation rel_;
+  uint32_t next_symbol_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_CHASE_TABLEAU_H_

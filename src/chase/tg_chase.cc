@@ -1,0 +1,59 @@
+#include "chase/tg_chase.h"
+
+namespace relview {
+
+TGChaseOutcome ChaseInstanceTG(const Relation& r, const FDSet& fds,
+                               const std::vector<JD>& jds,
+                               const TGChaseOptions& opts) {
+  TGChaseOutcome out;
+  out.result = r;
+
+  while (true) {
+    // FD pass to fixpoint.
+    ChaseOutcome fd_out =
+        ChaseInstance(out.result, fds, opts.fd_backend);
+    out.stats.merges += fd_out.stats.merges;
+    out.stats.rounds += fd_out.stats.rounds;
+    out.stats.work += fd_out.stats.work;
+    // Compose rename chains (each stage renames away from fresh state, so
+    // appending entries keeps Resolve() correct).
+    for (const auto& [from, to] : fd_out.renames) {
+      out.renames[from] = to;
+    }
+    if (fd_out.conflict) {
+      out.conflict = true;
+      out.result = std::move(fd_out.result);
+      return out;
+    }
+    out.result = std::move(fd_out.result);
+
+    // JD pass: add the join of the projections.
+    int added = 0;
+    for (const JD& jd : jds) {
+      if (jd.Scope() != out.result.attrs() || jd.components.empty()) {
+        continue;
+      }
+      Relation joined = out.result.Project(jd.components[0]);
+      for (size_t i = 1; i < jd.components.size(); ++i) {
+        joined =
+            Relation::NaturalJoin(joined, out.result.Project(jd.components[i]));
+      }
+      for (const Tuple& t : joined.rows()) {
+        if (!out.result.ContainsRow(t)) {
+          if (out.result.size() >= opts.max_rows) {
+            out.aborted = true;
+            return out;
+          }
+          out.result.AddRow(t);
+          ++added;
+        }
+      }
+    }
+    out.jd_rows_added += added;
+    if (added == 0) break;
+  }
+  out.result.Normalize();
+  return out;
+}
+
+}  // namespace relview

@@ -1,0 +1,54 @@
+// Tuple-generating instance chase: extends the FD-only instance chase
+// with join-dependency rules (add the missing recombination tuples), the
+// substrate the paper's Section 6(1) direction ("more general
+// dependencies") calls for. The JD rule introduces no new symbols —
+// generated rows recombine existing cell values — so alternating FD and
+// JD passes terminates: FD merges strictly reduce distinct values, JD
+// additions are bounded by the finite recombination space.
+
+#ifndef RELVIEW_CHASE_TG_CHASE_H_
+#define RELVIEW_CHASE_TG_CHASE_H_
+
+#include <vector>
+
+#include "chase/instance_chase.h"
+#include "deps/jd.h"
+
+namespace relview {
+
+struct TGChaseOptions {
+  ChaseBackend fd_backend = ChaseBackend::kHash;
+  /// Abort (with Internal status semantics: conflict=false, aborted=true)
+  /// when the relation would exceed this many rows.
+  int max_rows = 200000;
+};
+
+struct TGChaseOutcome {
+  bool conflict = false;
+  /// Row-budget exceeded (result is the partial state).
+  bool aborted = false;
+  Relation result;
+  ChaseStats stats;
+  int jd_rows_added = 0;
+  std::unordered_map<uint32_t, Value> renames;
+
+  Value Resolve(Value v) const {
+    auto it = renames.find(v.raw());
+    while (it != renames.end()) {
+      v = it->second;
+      it = renames.find(v.raw());
+    }
+    return v;
+  }
+};
+
+/// Chases `r` with the FDs and JDs to a fixpoint satisfying both (or a
+/// constant conflict / row budget abort). Every JD's scope must equal
+/// r's attribute set; others are skipped.
+TGChaseOutcome ChaseInstanceTG(const Relation& r, const FDSet& fds,
+                               const std::vector<JD>& jds,
+                               const TGChaseOptions& opts = {});
+
+}  // namespace relview
+
+#endif  // RELVIEW_CHASE_TG_CHASE_H_

@@ -1,0 +1,194 @@
+#include "deps/armstrong.h"
+
+namespace relview {
+
+const char* InferenceRuleName(InferenceRule rule) {
+  switch (rule) {
+    case InferenceRule::kGiven:
+      return "given";
+    case InferenceRule::kReflexivity:
+      return "reflexivity";
+    case InferenceRule::kAugmentation:
+      return "augmentation";
+    case InferenceRule::kTransitivity:
+      return "transitivity";
+  }
+  return "?";
+}
+
+std::string Derivation::Statement(const Universe* u) const {
+  auto fmt = [&](const AttrSet& s) {
+    return (u != nullptr) ? u->Format(s) : s.ToString();
+  };
+  return fmt(lhs) + (explicit_fd ? " ->e " : " -> ") + fmt(rhs);
+}
+
+namespace {
+
+void Render(const Derivation& d, const Universe* u, int depth,
+            std::string* out) {
+  out->append(2 * depth, ' ');
+  *out += d.Statement(u);
+  *out += "   [";
+  *out += InferenceRuleName(d.rule);
+  if (d.rule == InferenceRule::kAugmentation) {
+    *out += " by " + ((u != nullptr) ? u->Format(d.augmented_by)
+                                     : d.augmented_by.ToString());
+  }
+  *out += "]\n";
+  for (const auto& p : d.premises) Render(*p, u, depth + 1, out);
+}
+
+/// Shared closure-replaying prover; `use` supplies the given dependencies
+/// as (lhs, rhs) pairs.
+Result<DerivationPtr> Derive(
+    const std::vector<std::pair<AttrSet, AttrSet>>& given, bool explicit_fd,
+    const AttrSet& lhs, const AttrSet& rhs) {
+  auto make = [&](AttrSet l, AttrSet r, InferenceRule rule,
+                  AttrSet aug,
+                  std::vector<DerivationPtr> prem) -> DerivationPtr {
+    auto d = std::make_shared<Derivation>();
+    d->lhs = l;
+    d->rhs = r;
+    d->explicit_fd = explicit_fd;
+    d->rule = rule;
+    d->augmented_by = aug;
+    d->premises = std::move(prem);
+    return d;
+  };
+
+  // Current judgement: lhs -> closure_so_far.
+  AttrSet closure = lhs;
+  DerivationPtr current =
+      make(lhs, lhs, InferenceRule::kReflexivity, AttrSet(), {});
+
+  bool progress = true;
+  while (progress && !rhs.SubsetOf(closure)) {
+    progress = false;
+    for (const auto& [glhs, grhs] : given) {
+      if (!glhs.SubsetOf(closure) || grhs.SubsetOf(closure)) continue;
+      // given: glhs -> grhs; augment by closure: closure -> closure∪grhs
+      // (glhs ∪ closure == closure); then transitivity with the current
+      // judgement.
+      DerivationPtr leaf =
+          make(glhs, grhs, InferenceRule::kGiven, AttrSet(), {});
+      const AttrSet bigger = closure | grhs;
+      DerivationPtr augmented = make(
+          closure, bigger, InferenceRule::kAugmentation, closure, {leaf});
+      current = make(lhs, bigger, InferenceRule::kTransitivity, AttrSet(),
+                     {current, augmented});
+      closure = bigger;
+      progress = true;
+    }
+  }
+  if (!rhs.SubsetOf(closure)) {
+    return Status::NotFound("dependency is not implied: no derivation");
+  }
+  if (closure == rhs) return current;
+  // Project down: closure -> rhs by reflexivity, then transitivity.
+  DerivationPtr narrow =
+      make(closure, rhs, InferenceRule::kReflexivity, AttrSet(), {});
+  return make(lhs, rhs, InferenceRule::kTransitivity, AttrSet(),
+              {current, narrow});
+}
+
+}  // namespace
+
+std::string Derivation::ToString(const Universe* u) const {
+  std::string out;
+  Render(*this, u, 0, &out);
+  return out;
+}
+
+Result<DerivationPtr> DeriveFD(const FDSet& given, const AttrSet& lhs,
+                               const AttrSet& rhs) {
+  std::vector<std::pair<AttrSet, AttrSet>> deps;
+  deps.reserve(given.fds().size());
+  for (const FD& fd : given.fds()) {
+    deps.emplace_back(fd.lhs, AttrSet::Single(fd.rhs));
+  }
+  return Derive(deps, /*explicit_fd=*/false, lhs, rhs);
+}
+
+Result<DerivationPtr> DeriveEFD(const EFDSet& given, const AttrSet& lhs,
+                                const AttrSet& rhs) {
+  std::vector<std::pair<AttrSet, AttrSet>> deps;
+  deps.reserve(given.efds().size());
+  for (const EFD& efd : given.efds()) {
+    deps.emplace_back(efd.lhs, efd.rhs);
+  }
+  return Derive(deps, /*explicit_fd=*/true, lhs, rhs);
+}
+
+Status ReplayDerivation(const Derivation& d, const FDSet& given_fds,
+                        const EFDSet& given_efds) {
+  // Premises first (any failure below propagates).
+  for (const auto& p : d.premises) {
+    if (p->explicit_fd != d.explicit_fd) {
+      return Status::FailedPrecondition(
+          "derivation mixes FD and EFD judgements: " + d.Statement());
+    }
+    RELVIEW_RETURN_IF_ERROR(ReplayDerivation(*p, given_fds, given_efds));
+  }
+  switch (d.rule) {
+    case InferenceRule::kGiven: {
+      if (!d.premises.empty()) {
+        return Status::FailedPrecondition("'given' step with premises");
+      }
+      if (d.explicit_fd) {
+        for (const EFD& efd : given_efds.efds()) {
+          if (efd.lhs == d.lhs && efd.rhs == d.rhs) return Status::OK();
+        }
+      } else {
+        // Allow a multi-attribute rhs matching a set of canonical FDs.
+        bool all_found = true;
+        d.rhs.ForEach([&](AttrId a) {
+          bool found = false;
+          for (const FD& fd : given_fds.fds()) {
+            if (fd.lhs == d.lhs && fd.rhs == a) found = true;
+          }
+          if (!found) all_found = false;
+        });
+        if (all_found) return Status::OK();
+      }
+      return Status::FailedPrecondition("leaf not among the given: " +
+                                        d.Statement());
+    }
+    case InferenceRule::kReflexivity:
+      if (!d.premises.empty()) {
+        return Status::FailedPrecondition("reflexivity with premises");
+      }
+      if (!d.rhs.SubsetOf(d.lhs)) {
+        return Status::FailedPrecondition("invalid reflexivity: " +
+                                          d.Statement());
+      }
+      return Status::OK();
+    case InferenceRule::kAugmentation: {
+      if (d.premises.size() != 1) {
+        return Status::FailedPrecondition("augmentation needs 1 premise");
+      }
+      const Derivation& p = *d.premises[0];
+      if (d.lhs != (p.lhs | d.augmented_by) ||
+          d.rhs != (p.rhs | d.augmented_by)) {
+        return Status::FailedPrecondition("invalid augmentation: " +
+                                          d.Statement());
+      }
+      return Status::OK();
+    }
+    case InferenceRule::kTransitivity: {
+      if (d.premises.size() != 2) {
+        return Status::FailedPrecondition("transitivity needs 2 premises");
+      }
+      const Derivation& p1 = *d.premises[0];
+      const Derivation& p2 = *d.premises[1];
+      if (p1.lhs != d.lhs || p1.rhs != p2.lhs || p2.rhs != d.rhs) {
+        return Status::FailedPrecondition("invalid transitivity: " +
+                                          d.Statement());
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown rule");
+}
+
+}  // namespace relview

@@ -1,0 +1,82 @@
+// Armstrong-style inference for FDs and EFDs with explicit derivations.
+//
+// The paper (Section 5, after Proposition 2) observes that the known axiom
+// systems for FDs ([1] Armstrong) extend to explicit FDs. This module
+// implements a rule-based prover producing *checkable derivation trees*:
+//
+//   FD rules:     reflexivity   Y ⊆ X            =>  X -> Y
+//                 augmentation  X -> Y            =>  XZ -> YZ
+//                 transitivity  X -> Y, Y -> Z    =>  X -> Z
+//   EFD rules:    e-reflexivity Y ⊆ X             =>  X ->e Y
+//                 e-augmentation X ->e Y          =>  XZ ->e YZ
+//                 e-transitivity X ->e Y, Y ->e Z =>  X ->e Z
+//   (EFDs do NOT follow from plain FDs — an FD is stored information, an
+//   EFD asserts computability — matching Propositions 1 and 2.)
+//
+// The prover is complete for these systems (it searches closure-style),
+// and each derivation replays: every step is re-validated against its
+// rule, giving an independently checkable certificate that the closure
+// algorithms are correct.
+
+#ifndef RELVIEW_DEPS_ARMSTRONG_H_
+#define RELVIEW_DEPS_ARMSTRONG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deps/efd.h"
+#include "deps/fd_set.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace relview {
+
+enum class InferenceRule {
+  kGiven,
+  kReflexivity,
+  kAugmentation,
+  kTransitivity,
+};
+
+const char* InferenceRuleName(InferenceRule rule);
+
+/// A derived (E)FD with its derivation tree.
+struct Derivation {
+  AttrSet lhs;
+  AttrSet rhs;
+  /// Whether this judgement is an EFD (X ->e Y) or a plain FD (X -> Y).
+  bool explicit_fd = false;
+  InferenceRule rule = InferenceRule::kGiven;
+  /// For kAugmentation: the attributes added on both sides.
+  AttrSet augmented_by;
+  std::vector<std::shared_ptr<const Derivation>> premises;
+
+  std::string Statement(const Universe* u = nullptr) const;
+  /// Multi-line proof rendering (indented tree).
+  std::string ToString(const Universe* u = nullptr) const;
+};
+
+using DerivationPtr = std::shared_ptr<const Derivation>;
+
+/// Derives lhs -> rhs from the given FDs using Armstrong's axioms.
+/// Returns NotFound when the FD is not implied (the prover is complete).
+Result<DerivationPtr> DeriveFD(const FDSet& given, const AttrSet& lhs,
+                               const AttrSet& rhs);
+
+/// Derives lhs ->e rhs from the given EFDs (e-rules only; Proposition 1
+/// makes this equivalent to FD derivation over the shadows, but the proof
+/// tree carries EFD judgements).
+Result<DerivationPtr> DeriveEFD(const EFDSet& given, const AttrSet& lhs,
+                                const AttrSet& rhs);
+
+/// Independently re-validates every step of a derivation against its rule
+/// and checks that the leaves are members of `given_fds` /
+/// `given_efds` (pass the set matching the judgement kind). Returns an
+/// error describing the first invalid step, if any.
+Status ReplayDerivation(const Derivation& d, const FDSet& given_fds,
+                        const EFDSet& given_efds);
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_ARMSTRONG_H_

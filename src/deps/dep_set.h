@@ -1,0 +1,50 @@
+// DependencySet: the schema's integrity constraints Sigma — functional,
+// join, and explicit functional dependencies together. This is the "(U,
+// Sigma)" of the paper's Section 2.
+
+#ifndef RELVIEW_DEPS_DEP_SET_H_
+#define RELVIEW_DEPS_DEP_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/efd.h"
+#include "deps/fd_set.h"
+#include "deps/jd.h"
+#include "relational/universe.h"
+
+namespace relview {
+
+struct DependencySet {
+  FDSet fds;
+  std::vector<JD> jds;
+  EFDSet efds;
+
+  bool HasJDs() const { return !jds.empty(); }
+  bool HasEFDs() const { return efds.size() > 0; }
+
+  /// Sigma_F ∪ FDs: the FDs plus the FD shadows of the EFDs (used by
+  /// Theorem 10(b) and Proposition 2).
+  FDSet FdsWithEfdShadows() const {
+    FDSet out = fds;
+    for (const EFD& efd : efds.efds()) efd.AppendAsFDs(&out);
+    return out;
+  }
+
+  std::string ToString(const Universe* u = nullptr) const {
+    std::string out = fds.ToString(u);
+    for (const JD& jd : jds) {
+      if (!out.empty()) out += "; ";
+      out += jd.ToString(u);
+    }
+    for (const EFD& efd : efds.efds()) {
+      if (!out.empty()) out += "; ";
+      out += efd.ToString(u);
+    }
+    return out;
+  }
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_DEP_SET_H_

@@ -1,0 +1,77 @@
+// Explicit functional dependencies (Section 5 of the paper). An EFD
+// X ->e Y states that the XY-projection of every legal instance can be
+// computed from the X-projection by an instance-independent *witness*
+// function f: pi_XY(R) = f(pi_X(R)).
+//
+// Proposition 1: for a set Sigma of EFDs, Sigma |= X ->e Y iff
+// Sigma_F |= X -> Y, where Sigma_F replaces each EFD by the ordinary FD on
+// the same attribute sets. We implement implication that way and also
+// provide a constructive composed witness for the positive case.
+
+#ifndef RELVIEW_DEPS_EFD_H_
+#define RELVIEW_DEPS_EFD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// Witness function: maps pi_X(R) to pi_XY(R).
+using EFDWitness = std::function<Relation(const Relation&)>;
+
+struct EFD {
+  AttrSet lhs;  // X
+  AttrSet rhs;  // Y
+  /// Optional witness; algorithms that only need implication ignore it.
+  EFDWitness witness;
+
+  EFD() = default;
+  EFD(AttrSet l, AttrSet r) : lhs(l), rhs(r) {}
+  EFD(AttrSet l, AttrSet r, EFDWitness w)
+      : lhs(l), rhs(r), witness(std::move(w)) {}
+
+  /// The ordinary FD reading (an element of Sigma_F).
+  void AppendAsFDs(FDSet* out) const { out->AddSplit(lhs, rhs); }
+
+  std::string ToString(const Universe* u = nullptr) const;
+};
+
+class EFDSet {
+ public:
+  EFDSet() = default;
+  explicit EFDSet(std::vector<EFD> efds) : efds_(std::move(efds)) {}
+
+  void Add(EFD efd) { efds_.push_back(std::move(efd)); }
+  const std::vector<EFD>& efds() const { return efds_; }
+  int size() const { return static_cast<int>(efds_.size()); }
+
+  /// Sigma_F: the FD shadows of the EFDs.
+  FDSet AsFDs() const;
+
+  /// Proposition 1: Sigma |= X ->e Y iff Sigma_F |= X -> Y.
+  bool Implies(const AttrSet& lhs, const AttrSet& rhs) const {
+    return AsFDs().Implies(lhs, rhs);
+  }
+
+  /// Constructive side of Proposition 1: when Implies(lhs, rhs) holds and
+  /// every EFD used carries a witness, returns a composed witness for
+  /// lhs ->e rhs. Returns an error if a needed witness is missing or the
+  /// implication does not hold.
+  Result<EFDWitness> ComposeWitness(const AttrSet& lhs,
+                                    const AttrSet& rhs) const;
+
+ private:
+  std::vector<EFD> efds_;
+};
+
+/// Checks pi_{XY}(r) == witness(pi_X(r)) for a concrete instance.
+bool SatisfiesEFD(const Relation& r, const EFD& efd);
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_EFD_H_

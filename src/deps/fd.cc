@@ -1,0 +1,35 @@
+#include "deps/fd.h"
+
+#include <sstream>
+
+namespace relview {
+
+std::string FD::ToString(const Universe* u) const {
+  std::string out;
+  bool first = true;
+  lhs.ForEach([&](AttrId a) {
+    if (!first) out += " ";
+    first = false;
+    out += (u != nullptr) ? u->Name(a) : ("A" + std::to_string(a));
+  });
+  out += " -> ";
+  out += (u != nullptr) ? u->Name(rhs) : ("A" + std::to_string(rhs));
+  return out;
+}
+
+Result<std::vector<FD>> ParseFDs(const Universe& u, const std::string& text) {
+  auto arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("FD must contain '->': " + text);
+  }
+  RELVIEW_ASSIGN_OR_RETURN(AttrSet lhs, u.Set(text.substr(0, arrow)));
+  RELVIEW_ASSIGN_OR_RETURN(AttrSet rhs, u.Set(text.substr(arrow + 2)));
+  if (rhs.Empty()) {
+    return Status::InvalidArgument("FD has empty right side: " + text);
+  }
+  std::vector<FD> out;
+  rhs.ForEach([&](AttrId a) { out.emplace_back(lhs, a); });
+  return out;
+}
+
+}  // namespace relview

@@ -1,0 +1,38 @@
+// Functional dependencies. Following Section 3 of the paper, every FD is
+// kept in the canonical form X -> A with a single attribute on the right
+// (an arbitrary FD X -> Y is split into {X -> A : A in Y}).
+
+#ifndef RELVIEW_DEPS_FD_H_
+#define RELVIEW_DEPS_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// A canonical functional dependency lhs -> rhs (single attribute rhs).
+struct FD {
+  AttrSet lhs;
+  AttrId rhs = 0;
+
+  FD() = default;
+  FD(AttrSet l, AttrId r) : lhs(l), rhs(r) {}
+
+  bool operator==(const FD& o) const { return lhs == o.lhs && rhs == o.rhs; }
+
+  /// True when the dependency is trivial (rhs in lhs).
+  bool Trivial() const { return lhs.Contains(rhs); }
+
+  std::string ToString(const Universe* u = nullptr) const;
+};
+
+/// Parses "A B -> C D" into canonical FDs {AB->C, AB->D}.
+Result<std::vector<FD>> ParseFDs(const Universe& u, const std::string& text);
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_FD_H_

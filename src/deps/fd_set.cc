@@ -1,0 +1,140 @@
+#include "deps/fd_set.h"
+
+#include <sstream>
+
+namespace relview {
+
+Result<FDSet> FDSet::Parse(const Universe& u, const std::string& text) {
+  FDSet out;
+  std::string current;
+  std::istringstream in(text);
+  std::string line;
+  // Accept ';' and '\n' as separators.
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == '\n') c = ';';
+  }
+  std::istringstream parts(normalized);
+  while (std::getline(parts, current, ';')) {
+    // Skip blank segments.
+    bool blank = true;
+    for (char c : current) {
+      if (!isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    RELVIEW_ASSIGN_OR_RETURN(std::vector<FD> fds, ParseFDs(u, current));
+    for (const FD& fd : fds) out.Add(fd);
+  }
+  return out;
+}
+
+AttrSet FDSet::Closure(const AttrSet& x) const {
+  // Beeri–Bernstein: maintain, per FD, the count of lhs attributes not yet
+  // in the closure; when a count hits zero the rhs joins the closure.
+  const int n = size();
+  std::vector<int> missing(n);
+  // attr -> list of FDs whose lhs contains it.
+  std::vector<std::vector<int>> uses(AttrSet::kMaxAttrs);
+  std::vector<AttrId> queue;
+
+  AttrSet closure = x;
+  for (int i = 0; i < n; ++i) {
+    const AttrSet outside = fds_[i].lhs - x;
+    missing[i] = outside.Count();
+    outside.ForEach([&](AttrId a) { uses[a].push_back(i); });
+    if (missing[i] == 0 && !closure.Contains(fds_[i].rhs)) {
+      closure.Add(fds_[i].rhs);
+      queue.push_back(fds_[i].rhs);
+    }
+  }
+  while (!queue.empty()) {
+    AttrId a = queue.back();
+    queue.pop_back();
+    for (int i : uses[a]) {
+      if (--missing[i] == 0 && !closure.Contains(fds_[i].rhs)) {
+        closure.Add(fds_[i].rhs);
+        queue.push_back(fds_[i].rhs);
+      }
+    }
+  }
+  return closure;
+}
+
+FDSet FDSet::MinimalCover() const {
+  // 1. Left-reduce each FD; 2. drop redundant FDs.
+  FDSet reduced;
+  for (const FD& fd : fds_) {
+    if (fd.Trivial()) continue;
+    AttrSet lhs = fd.lhs;
+    for (int a = lhs.First(); a >= 0; a = lhs.Next(a)) {
+      AttrSet smaller = lhs;
+      smaller.Remove(static_cast<AttrId>(a));
+      if (Closure(smaller).Contains(fd.rhs)) lhs = smaller;
+    }
+    reduced.Add(lhs, fd.rhs);
+  }
+  // Deduplicate (left reduction can create exact copies, which would make
+  // each copy look redundant relative to the other).
+  FDSet dedup;
+  for (const FD& fd : reduced.fds()) {
+    bool duplicate = false;
+    for (const FD& kept : dedup.fds()) {
+      if (kept == fd) duplicate = true;
+    }
+    if (!duplicate) dedup.Add(fd);
+  }
+  // Drop FDs implied by the remaining ones, one at a time (removing
+  // eagerly keeps mutually redundant FDs from vanishing together).
+  std::vector<FD> current = dedup.fds();
+  for (size_t i = 0; i < current.size();) {
+    FDSet rest;
+    for (size_t j = 0; j < current.size(); ++j) {
+      if (j != i) rest.Add(current[j]);
+    }
+    if (rest.Implies(current[i])) {
+      current.erase(current.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return FDSet(std::move(current));
+}
+
+FDSet FDSet::ProjectExact(const AttrSet& x) const {
+  FDSet out;
+  // Enumerate subsets of x as candidate left sides. Exponential in |x| by
+  // design; used only on small views/tests.
+  std::vector<AttrId> members = x.ToVector();
+  const int k = static_cast<int>(members.size());
+  RELVIEW_DCHECK(k <= 20, "ProjectExact limited to 20 attributes");
+  for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+    AttrSet lhs;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) lhs.Add(members[i]);
+    }
+    const AttrSet implied = (Closure(lhs) & x) - lhs;
+    implied.ForEach([&](AttrId a) { out.Add(lhs, a); });
+  }
+  return out.MinimalCover();
+}
+
+AttrSet FDSet::ShrinkToKey(AttrSet start, const AttrSet& of) const {
+  RELVIEW_DCHECK(IsSuperkey(start, of), "ShrinkToKey: start not a superkey");
+  for (int a = start.First(); a >= 0; a = start.Next(a)) {
+    AttrSet smaller = start;
+    smaller.Remove(static_cast<AttrId>(a));
+    if (IsSuperkey(smaller, of)) start = smaller;
+  }
+  return start;
+}
+
+std::string FDSet::ToString(const Universe* u) const {
+  std::string out;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i) out += "; ";
+    out += fds_[i].ToString(u);
+  }
+  return out;
+}
+
+}  // namespace relview

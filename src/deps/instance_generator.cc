@@ -1,0 +1,136 @@
+#include "deps/instance_generator.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "deps/satisfies.h"
+
+namespace relview {
+
+Relation GenerateLegalInstance(const AttrSet& attrs, const FDSet& fds,
+                               const GeneratorOptions& opts) {
+  Rng rng(opts.seed);
+  Relation r(attrs);
+  const Schema& s = r.schema();
+  // Per-column disjoint value spaces: column at position p uses constants
+  // [p * stride, p * stride + domain).
+  const uint32_t stride = static_cast<uint32_t>(opts.domain) + 7;
+  for (int i = 0; i < opts.rows; ++i) {
+    Tuple t(s.arity());
+    for (int p = 0; p < s.arity(); ++p) {
+      t[p] = Value::Const(static_cast<uint32_t>(p) * stride +
+                          static_cast<uint32_t>(rng.Below(opts.domain)));
+    }
+    r.AddRow(std::move(t));
+  }
+  RepairToLegal(&r, fds);
+  RELVIEW_DCHECK(SatisfiesAll(r, fds), "generator produced illegal instance");
+  return r;
+}
+
+int RepairToLegal(Relation* r, const FDSet& fds) {
+  // Lazy-merge repair (same technique as the hash chase backend): record
+  // constant merges in a union-find map, resolve on access, materialize
+  // once per round. Constants always merge (smaller id wins), so unlike
+  // the chase there is no conflict case.
+  const Schema& s = r->schema();
+  int merges = 0;
+  std::unordered_map<uint32_t, Value> parent;
+  auto resolve = [&parent](Value v) {
+    Value root = v;
+    auto it = parent.find(root.raw());
+    while (it != parent.end()) {
+      root = it->second;
+      it = parent.find(root.raw());
+    }
+    while (v != root) {
+      auto step = parent.find(v.raw());
+      Value next = step->second;
+      step->second = root;
+      v = next;
+    }
+    return root;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FD& fd : fds.fds()) {
+      if (!fd.lhs.SubsetOf(r->attrs()) || !r->attrs().Contains(fd.rhs)) {
+        continue;
+      }
+      const std::vector<AttrId> lhs_cols = fd.lhs.ToVector();
+      std::unordered_map<uint64_t, std::vector<int>> groups;
+      groups.reserve(r->size() * 2 + 1);
+      std::vector<Value> lhs_vals(lhs_cols.size());
+      for (int i = 0; i < r->size(); ++i) {
+        const Tuple& t = r->row(i);
+        uint64_t h = 0x5DEECE66DULL;
+        for (size_t c = 0; c < lhs_cols.size(); ++c) {
+          lhs_vals[c] = resolve(t.At(s, lhs_cols[c]));
+          h = HashCombine(h, lhs_vals[c].raw());
+        }
+        auto& bucket = groups[h];
+        for (int j : bucket) {
+          const Tuple& o = r->row(j);
+          bool agree = true;
+          for (size_t c = 0; c < lhs_cols.size(); ++c) {
+            if (resolve(o.At(s, lhs_cols[c])) != lhs_vals[c]) {
+              agree = false;
+              break;
+            }
+          }
+          if (!agree) continue;
+          Value a = resolve(t.At(s, fd.rhs));
+          Value b = resolve(o.At(s, fd.rhs));
+          if (a == b) continue;
+          if (b < a) std::swap(a, b);
+          parent[b.raw()] = a;
+          ++merges;
+          changed = true;
+        }
+        bucket.push_back(i);
+      }
+    }
+  }
+  for (Tuple& row : r->mutable_rows()) {
+    for (int c = 0; c < row.arity(); ++c) row[c] = resolve(row[c]);
+  }
+  r->Normalize();
+  return merges;
+}
+
+void EnumerateRelations(const AttrSet& attrs, int domain,
+                        const std::function<void(const Relation&)>& fn) {
+  const std::vector<AttrId> cols = attrs.ToVector();
+  const int k = static_cast<int>(cols.size());
+  // All tuples of the full product.
+  int64_t total = 1;
+  for (int i = 0; i < k; ++i) {
+    total *= domain;
+    RELVIEW_DCHECK(total <= 16, "EnumerateRelations: product too large");
+  }
+  Relation full(attrs);
+  const Schema& s = full.schema();
+  for (int64_t code = 0; code < total; ++code) {
+    Tuple t(k);
+    int64_t c = code;
+    for (int p = 0; p < k; ++p) {
+      t[p] = Value::Const(static_cast<uint32_t>(c % domain));
+      c /= domain;
+    }
+    (void)s;
+    full.AddRow(std::move(t));
+  }
+  const uint32_t subsets = 1u << total;
+  for (uint32_t mask = 0; mask < subsets; ++mask) {
+    Relation r(attrs);
+    for (int64_t i = 0; i < total; ++i) {
+      if (mask & (1u << i)) r.AddRow(full.row(static_cast<int>(i)));
+    }
+    r.Normalize();
+    fn(r);
+  }
+}
+
+}  // namespace relview

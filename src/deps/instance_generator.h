@@ -1,0 +1,46 @@
+// Synthetic legal-instance generation. The paper reports no datasets; our
+// benchmarks and property tests need arbitrarily large instances that
+// satisfy a given FD set. We generate random rows with per-column value
+// spaces and then repair to legality with an equating chase (each repair
+// step merges two constants of one column, strictly reducing the number of
+// distinct values, so the loop terminates).
+
+#ifndef RELVIEW_DEPS_INSTANCE_GENERATOR_H_
+#define RELVIEW_DEPS_INSTANCE_GENERATOR_H_
+
+#include <functional>
+
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/rng.h"
+
+namespace relview {
+
+struct GeneratorOptions {
+  int rows = 100;
+  /// Values per column before repair; smaller -> more FD interaction.
+  int domain = 16;
+  uint64_t seed = 1;
+};
+
+/// A random instance over `attrs` satisfying `fds`. The result has at most
+/// `rows` rows (duplicates created by the repair are removed).
+Relation GenerateLegalInstance(const AttrSet& attrs, const FDSet& fds,
+                               const GeneratorOptions& opts);
+
+/// Repairs `r` in place to satisfy `fds` by merging constants (smaller id
+/// wins). Values are renamed relation-wide; callers that want per-column
+/// isolation should use distinct value spaces per column (the generator
+/// does). Returns the number of merges performed.
+int RepairToLegal(Relation* r, const FDSet& fds);
+
+/// Enumerates every relation over `attrs` whose column values come from
+/// {0..domain-1} (per-column shared space), i.e. all subsets of the full
+/// Cartesian product, invoking `fn` on each. Aborts if domain^|attrs| > 16
+/// (2^16 subsets). Brute-force oracle for small-universe tests.
+void EnumerateRelations(const AttrSet& attrs, int domain,
+                        const std::function<void(const Relation&)>& fn);
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_INSTANCE_GENERATOR_H_

@@ -1,0 +1,48 @@
+#include "deps/jd.h"
+
+namespace relview {
+
+std::vector<JD> JD::BipartitionMVDs() const {
+  std::vector<JD> out;
+  const int q = static_cast<int>(components.size());
+  if (q == 0) return out;
+  RELVIEW_DCHECK(q <= 20, "BipartitionMVDs limited to 20 components");
+  // Nontrivial bipartitions; fix component 0 in S1 to avoid mirror
+  // duplicates.
+  for (uint32_t mask = 0; mask < (1u << (q - 1)); ++mask) {
+    AttrSet s1 = components[0];
+    AttrSet s2;
+    for (int i = 1; i < q; ++i) {
+      if (mask & (1u << (i - 1))) {
+        s1 |= components[i];
+      } else {
+        s2 |= components[i];
+      }
+    }
+    if (s2.Empty()) continue;
+    out.push_back(JD::MVD(s1, s2));
+  }
+  return out;
+}
+
+std::string JD::ToString(const Universe* u) const {
+  std::string out = "*[";
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (i) out += ", ";
+    if (u != nullptr) {
+      out += u->Format(components[i]);
+    } else {
+      out += components[i].ToString();
+    }
+  }
+  return out + "]";
+}
+
+std::string EmbeddedMVD::ToString(const Universe* u) const {
+  auto fmt = [&](const AttrSet& s) {
+    return (u != nullptr) ? u->Format(s) : s.ToString();
+  };
+  return fmt(context_lhs) + " ->-> " + fmt(left) + " | " + fmt(right);
+}
+
+}  // namespace relview

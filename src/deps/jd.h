@@ -1,0 +1,59 @@
+// Join dependencies *[R1,...,Rq], multivalued dependencies *[X, Y] (binary
+// JDs), and embedded MVDs (MVDs required to hold of a projection), as used
+// by Theorem 1 and Theorem 10.
+
+#ifndef RELVIEW_DEPS_JD_H_
+#define RELVIEW_DEPS_JD_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// A join dependency *[components_0, ..., components_{q-1}]. The components
+/// must cover the universe the JD is asserted over.
+struct JD {
+  std::vector<AttrSet> components;
+
+  JD() = default;
+  explicit JD(std::vector<AttrSet> cs) : components(std::move(cs)) {}
+
+  /// The MVD *[X, Y] as a binary JD.
+  static JD MVD(const AttrSet& x, const AttrSet& y) { return JD({x, y}); }
+
+  /// Union of all components.
+  AttrSet Scope() const {
+    AttrSet s;
+    for (const AttrSet& c : components) s |= c;
+    return s;
+  }
+
+  bool IsMVD() const { return components.size() == 2; }
+
+  /// The set M(jd) of MVDs implied by splitting the components into two
+  /// blocks (used in the proof of Theorem 1): for each bipartition
+  /// (S1, S2) of the components, the MVD *[∪S1, ∪S2].
+  std::vector<JD> BipartitionMVDs() const;
+
+  std::string ToString(const Universe* u = nullptr) const;
+};
+
+/// An embedded MVD: X ->-> Y | Z must hold of the projection onto
+/// X ∪ Y ∪ Z. Equivalently the JD *[X∪Y, X∪Z] holds in π_{X∪Y∪Z}(R).
+struct EmbeddedMVD {
+  AttrSet context_lhs;  // X (the "common part")
+  AttrSet left;         // Y
+  AttrSet right;        // Z
+
+  AttrSet Scope() const { return context_lhs | left | right; }
+
+  std::string ToString(const Universe* u = nullptr) const;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_JD_H_

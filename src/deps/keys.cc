@@ -1,0 +1,126 @@
+#include "deps/keys.h"
+
+#include <deque>
+#include <set>
+
+namespace relview {
+
+Result<std::vector<AttrSet>> CandidateKeys(const AttrSet& of,
+                                           const FDSet& fds, int limit) {
+  // Lucchesi–Osborn style saturation: from one minimal key, generate
+  // candidates by swapping each FD's right side for its left side.
+  std::vector<AttrSet> keys;
+  std::set<AttrSet> seen;
+  std::deque<AttrSet> queue;
+
+  const AttrSet first = fds.ShrinkToKey(of, of);
+  keys.push_back(first);
+  seen.insert(first);
+  queue.push_back(first);
+
+  while (!queue.empty()) {
+    const AttrSet key = queue.front();
+    queue.pop_front();
+    for (const FD& fd : fds.fds()) {
+      if (!key.Contains(fd.rhs)) continue;
+      AttrSet candidate = (fd.lhs & of) | (key - AttrSet::Single(fd.rhs));
+      if (!fds.IsSuperkey(candidate, of)) continue;
+      candidate = fds.ShrinkToKey(candidate, of);
+      if (seen.insert(candidate).second) {
+        keys.push_back(candidate);
+        queue.push_back(candidate);
+        if (static_cast<int>(keys.size()) > limit) {
+          return Status::CapacityExceeded(
+              "more than " + std::to_string(limit) + " candidate keys");
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+namespace {
+
+/// Finds a BCNF violation inside component `c`: a set X ⊂ c whose closure
+/// within c properly extends X without covering c. Exact subset search;
+/// capped at 20 attributes.
+bool FindBCNFViolation(const AttrSet& c, const FDSet& fds, AttrSet* lhs,
+                       AttrSet* gained) {
+  const std::vector<AttrId> members = c.ToVector();
+  const int k = static_cast<int>(members.size());
+  RELVIEW_DCHECK(k <= 20, "BCNF violation search limited to 20 attributes");
+  for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+    AttrSet x;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) x.Add(members[i]);
+    }
+    const AttrSet closed = fds.Closure(x) & c;
+    if (closed == x) continue;          // nothing gained
+    if (c.SubsetOf(closed)) continue;   // X is a superkey of c: fine
+    *lhs = x;
+    *gained = closed;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsBCNF(const AttrSet& of, const FDSet& fds) {
+  AttrSet lhs, gained;
+  return !FindBCNFViolation(of, fds, &lhs, &gained);
+}
+
+Result<bool> Is3NF(const AttrSet& of, const FDSet& fds) {
+  RELVIEW_ASSIGN_OR_RETURN(std::vector<AttrSet> keys,
+                           CandidateKeys(of, fds));
+  AttrSet prime;
+  for (const AttrSet& k : keys) prime |= k;
+  // Check every implied nontrivial FD X -> A with XA within `of` via the
+  // same exact subset sweep used for BCNF.
+  const std::vector<AttrId> members = of.ToVector();
+  const int k = static_cast<int>(members.size());
+  if (k > 20) {
+    return Status::CapacityExceeded("3NF check limited to 20 attributes");
+  }
+  for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+    AttrSet x;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) x.Add(members[i]);
+    }
+    if (fds.IsSuperkey(x, of)) continue;
+    const AttrSet gained = (fds.Closure(x) & of) - x;
+    // Every gained attribute must be prime.
+    bool ok = true;
+    gained.ForEach([&](AttrId a) {
+      if (!prime.Contains(a)) ok = false;
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<AttrSet> DecomposeBCNF(const AttrSet& of, const FDSet& fds) {
+  std::vector<AttrSet> done;
+  std::deque<AttrSet> work;
+  work.push_back(of);
+  while (!work.empty()) {
+    AttrSet c = work.front();
+    work.pop_front();
+    AttrSet lhs, gained;
+    if (!FindBCNFViolation(c, fds, &lhs, &gained)) {
+      done.push_back(c);
+      continue;
+    }
+    // Split on X -> (X+ ∩ c): components (X+ ∩ c) and (c − X+) ∪ X share
+    // exactly X, which is a superkey of the first — binary lossless.
+    const AttrSet c1 = gained;
+    const AttrSet c2 = (c - gained) | lhs;
+    RELVIEW_DCHECK(c1 != c && c2 != c, "BCNF split made no progress");
+    work.push_back(c1);
+    work.push_back(c2);
+  }
+  return done;
+}
+
+}  // namespace relview

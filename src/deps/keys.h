@@ -1,0 +1,45 @@
+// Candidate keys and normal-form machinery. The paper's complement theory
+// is key-driven ("the common part of the projections must be a superkey of
+// one of the projections"), and its Section 6(3) multirelation direction
+// needs lossless decompositions; this module supplies both: candidate-key
+// enumeration, BCNF/3NF tests, and a lossless BCNF decomposition usable
+// directly as a MultiSchema.
+
+#ifndef RELVIEW_DEPS_KEYS_H_
+#define RELVIEW_DEPS_KEYS_H_
+
+#include <vector>
+
+#include "deps/fd_set.h"
+#include "relational/attr_set.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// All candidate keys of `of` under `fds` (minimal sets X ⊆ of with
+/// X -> of). Worst-case exponential; `limit` bounds the result (and the
+/// search frontier) to keep callers safe — an error is returned when the
+/// limit is hit.
+Result<std::vector<AttrSet>> CandidateKeys(const AttrSet& of,
+                                           const FDSet& fds,
+                                           int limit = 4096);
+
+/// True iff every nontrivial FD implied by `fds` with lhs ⊆ `of` and rhs
+/// in `of` has a superkey left side (BCNF, checked on the *given* FDs plus
+/// their left-reduced forms — sufficient for canonical single-rhs sets).
+bool IsBCNF(const AttrSet& of, const FDSet& fds);
+
+/// True iff for every given FD, the left side is a superkey or the right
+/// side is a prime attribute (member of some candidate key): 3NF.
+Result<bool> Is3NF(const AttrSet& of, const FDSet& fds);
+
+/// A lossless-join BCNF decomposition of `of` via the classical splitting
+/// algorithm: while some component violates BCNF through FD X -> A, split
+/// it into (X ∪ A) and (component − A). The result always has a lossless
+/// join under `fds` (each split is binary lossless); dependency
+/// preservation is not guaranteed (as usual for BCNF).
+std::vector<AttrSet> DecomposeBCNF(const AttrSet& of, const FDSet& fds);
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_KEYS_H_

@@ -1,0 +1,64 @@
+#include "deps/satisfies.h"
+
+#include <unordered_map>
+
+namespace relview {
+
+bool SatisfiesFD(const Relation& r, const FD& fd) {
+  RELVIEW_DCHECK(fd.lhs.SubsetOf(r.attrs()) && r.attrs().Contains(fd.rhs),
+                 "FD outside relation schema");
+  const Schema& s = r.schema();
+  // Map lhs-hash -> (row index of first representative). On collision,
+  // verify real agreement on lhs, then compare rhs.
+  std::unordered_map<uint64_t, std::vector<int>> groups;
+  groups.reserve(r.size() * 2 + 1);
+  for (int i = 0; i < r.size(); ++i) {
+    const Tuple& t = r.row(i);
+    auto& bucket = groups[t.HashOn(s, fd.lhs)];
+    for (int j : bucket) {
+      const Tuple& o = r.row(j);
+      if (t.AgreesWith(o, s, fd.lhs) &&
+          t.At(s, fd.rhs) != o.At(s, fd.rhs)) {
+        return false;
+      }
+    }
+    bucket.push_back(i);
+  }
+  return true;
+}
+
+bool SatisfiesAll(const Relation& r, const FDSet& fds) {
+  for (const FD& fd : fds.fds()) {
+    if (!SatisfiesFD(r, fd)) return false;
+  }
+  return true;
+}
+
+bool SatisfiesJD(const Relation& r, const JD& jd) {
+  RELVIEW_DCHECK(jd.Scope() == r.attrs(), "JD must cover relation schema");
+  if (jd.components.empty()) return true;
+  Relation joined = r.Project(jd.components[0]);
+  for (size_t i = 1; i < jd.components.size(); ++i) {
+    joined = Relation::NaturalJoin(joined, r.Project(jd.components[i]));
+  }
+  return joined.SameAs(r);
+}
+
+bool SatisfiesEmbeddedMVD(const Relation& r, const EmbeddedMVD& emvd) {
+  const Relation scoped = r.Project(emvd.Scope() & r.attrs());
+  JD jd = JD::MVD(emvd.context_lhs | emvd.left, emvd.context_lhs | emvd.right);
+  return SatisfiesJD(scoped, jd);
+}
+
+bool SatisfiesAll(const Relation& r, const DependencySet& sigma) {
+  if (!SatisfiesAll(r, sigma.fds)) return false;
+  for (const JD& jd : sigma.jds) {
+    if (!SatisfiesJD(r, jd)) return false;
+  }
+  for (const EFD& efd : sigma.efds.efds()) {
+    if (efd.witness && !SatisfiesEFD(r, efd)) return false;
+  }
+  return true;
+}
+
+}  // namespace relview

@@ -1,0 +1,33 @@
+// Instance-level satisfaction checks: R |= fd, R |= jd, R |= mvd,
+// R |= embedded mvd. Used by tests, the brute-force oracles, and the
+// legality checks in the translators.
+
+#ifndef RELVIEW_DEPS_SATISFIES_H_
+#define RELVIEW_DEPS_SATISFIES_H_
+
+#include "deps/dep_set.h"
+#include "deps/fd_set.h"
+#include "deps/jd.h"
+#include "relational/relation.h"
+
+namespace relview {
+
+/// R |= lhs -> rhs. O(|R|) expected (hash grouping).
+bool SatisfiesFD(const Relation& r, const FD& fd);
+
+/// R |= every FD in `fds`.
+bool SatisfiesAll(const Relation& r, const FDSet& fds);
+
+/// R |= *[R1,...,Rq]: the join of the projections equals R. Components must
+/// cover R's attributes.
+bool SatisfiesJD(const Relation& r, const JD& jd);
+
+/// R |= X ->-> Y | Z embedded in X∪Y∪Z.
+bool SatisfiesEmbeddedMVD(const Relation& r, const EmbeddedMVD& emvd);
+
+/// R |= all FDs, JDs and (witness-bearing) EFDs of Sigma.
+bool SatisfiesAll(const Relation& r, const DependencySet& sigma);
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_SATISFIES_H_

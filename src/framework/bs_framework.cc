@@ -1,0 +1,137 @@
+#include "framework/bs_framework.h"
+
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+
+namespace relview {
+
+FiniteMapping FiniteMapping::Compose(const FiniteMapping& g,
+                                     const FiniteMapping& f) {
+  std::vector<int> image(f.domain_size());
+  for (int s = 0; s < f.domain_size(); ++s) image[s] = g(f(s));
+  return FiniteMapping(std::move(image), g.range_size());
+}
+
+FiniteMapping FiniteMapping::Identity(int n) {
+  std::vector<int> image(n);
+  std::iota(image.begin(), image.end(), 0);
+  return FiniteMapping(std::move(image), n);
+}
+
+FiniteMapping FiniteMapping::FromLabels(const std::vector<int>& labels) {
+  std::map<int, int> dense;
+  std::vector<int> image(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] =
+        dense.emplace(labels[i], static_cast<int>(dense.size()));
+    image[i] = it->second;
+  }
+  return FiniteMapping(std::move(image), static_cast<int>(dense.size()));
+}
+
+bool IsComplementOf(const FiniteMapping& v, const FiniteMapping& vc) {
+  if (v.domain_size() != vc.domain_size()) return false;
+  std::set<std::pair<int, int>> seen;
+  for (int s = 0; s < v.domain_size(); ++s) {
+    if (!seen.emplace(v(s), vc(s)).second) return false;
+  }
+  return true;
+}
+
+std::optional<FiniteMapping> TranslateUnderConstantComplement(
+    const FiniteMapping& v, const FiniteMapping& vc, const FiniteMapping& u) {
+  const int n = v.domain_size();
+  // Invert v × vc.
+  std::map<std::pair<int, int>, int> inverse;
+  for (int s = 0; s < n; ++s) {
+    if (!inverse.emplace(std::make_pair(v(s), vc(s)), s).second) {
+      return std::nullopt;  // vc is not a complement of v
+    }
+  }
+  std::vector<int> image(n);
+  for (int s = 0; s < n; ++s) {
+    const auto it = inverse.find({u(v(s)), vc(s)});
+    if (it == inverse.end()) return std::nullopt;  // u not vc-translatable
+    image[s] = it->second;
+  }
+  return FiniteMapping(std::move(image), n);
+}
+
+bool IsConsistentTranslation(const FiniteMapping& v, const FiniteMapping& u,
+                             const FiniteMapping& tu) {
+  for (int s = 0; s < v.domain_size(); ++s) {
+    if (v(tu(s)) != u(v(s))) return false;
+  }
+  return true;
+}
+
+bool IsAcceptableTranslation(const FiniteMapping& v, const FiniteMapping& u,
+                             const FiniteMapping& tu) {
+  for (int s = 0; s < v.domain_size(); ++s) {
+    if (u(v(s)) == v(s) && tu(s) != s) return false;
+  }
+  return true;
+}
+
+bool IsMorphismOnPair(const FiniteMapping& tu, const FiniteMapping& tw,
+                      const FiniteMapping& tuw) {
+  // T_{uw}(s) must equal T_u(T_w(s)). (The paper's composition order:
+  // applying w then u on the view corresponds to T_w then T_u.)
+  for (int s = 0; s < tu.domain_size(); ++s) {
+    if (tuw(s) != tu(tw(s))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::optional<FiniteMapping> ComplementFromTranslator(
+    const FiniteMapping& v,
+    const std::vector<std::pair<FiniteMapping, FiniteMapping>>& updates) {
+  const int n = v.domain_size();
+  // Canonical complement: label states by their orbit under the
+  // translations {T_u}. Every T_u then holds the label constant.
+  UnionFind uf(n);
+  for (const auto& [u, tu] : updates) {
+    if (!IsConsistentTranslation(v, u, tu) ||
+        !IsAcceptableTranslation(v, u, tu)) {
+      return std::nullopt;
+    }
+    for (int s = 0; s < n; ++s) uf.Union(s, tu(s));
+  }
+  std::vector<int> labels(n);
+  for (int s = 0; s < n; ++s) labels[s] = uf.Find(s);
+  FiniteMapping vc = FiniteMapping::FromLabels(labels);
+
+  // Validate: vc is a complement and reproduces every T_u.
+  if (!IsComplementOf(v, vc)) return std::nullopt;
+  for (const auto& [u, tu] : updates) {
+    auto derived = TranslateUnderConstantComplement(v, vc, u);
+    if (!derived.has_value() || !(*derived == tu)) return std::nullopt;
+  }
+  return vc;
+}
+
+}  // namespace relview

@@ -1,0 +1,94 @@
+// The Bancilhon–Spyratos constant-complement framework ([3, 31] in the
+// paper; recapped as facts (i) and (ii) in the paper's introduction),
+// instantiated over *finite, enumerated* state spaces so every property is
+// machine-checkable:
+//
+//   * a view is a mapping v from database states to view states;
+//   * a complement v' of v makes s -> (v(s), v'(s)) one-to-one;
+//   * a view update u is translatable under constant v' when for every
+//     state s there is a (then unique) s' with v(s') = u(v(s)) and
+//     v'(s') = v'(s); the translation is T_u = (v × v')⁻¹ ∘ (uv × v');
+//   * fact (i): T_u is consistent (v ∘ T_u = u ∘ v) and acceptable
+//     (u(v(s)) = v(s) implies T_u(s) = s);
+//   * fact (ii): over a reasonable update set U, u -> T_u is a morphism
+//     (T_{uw} = T_u ∘ T_w), and conversely every consistent, acceptable
+//     morphism arises from some constant complement.
+//
+// The relational tests instantiate this with states = legal instances over
+// a tiny universe and v = pi_X, tying the abstract theory to the paper's
+// concrete setting.
+
+#ifndef RELVIEW_FRAMEWORK_BS_FRAMEWORK_H_
+#define RELVIEW_FRAMEWORK_BS_FRAMEWORK_H_
+
+#include <optional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relview {
+
+/// A total function between finite sets {0..n-1} -> {0..range-1}.
+class FiniteMapping {
+ public:
+  FiniteMapping() = default;
+  FiniteMapping(std::vector<int> image, int range)
+      : image_(std::move(image)), range_(range) {}
+
+  int operator()(int s) const { return image_[s]; }
+  int domain_size() const { return static_cast<int>(image_.size()); }
+  int range_size() const { return range_; }
+  const std::vector<int>& image() const { return image_; }
+
+  /// g ∘ f (apply f first). Requires f's range to fit g's domain.
+  static FiniteMapping Compose(const FiniteMapping& g,
+                               const FiniteMapping& f);
+
+  /// Identity on n states.
+  static FiniteMapping Identity(int n);
+
+  /// Canonicalizes an arbitrary labeling into a dense range.
+  static FiniteMapping FromLabels(const std::vector<int>& labels);
+
+  bool operator==(const FiniteMapping& o) const {
+    return image_ == o.image_;
+  }
+
+ private:
+  std::vector<int> image_;
+  int range_ = 0;
+};
+
+/// True iff s -> (v(s), vc(s)) is injective — vc is a complement of v.
+bool IsComplementOf(const FiniteMapping& v, const FiniteMapping& vc);
+
+/// The translation of view update u (a mapping on v's range) under
+/// constant complement vc. Returns nullopt if u is not vc-translatable
+/// (some state has no consistent target).
+std::optional<FiniteMapping> TranslateUnderConstantComplement(
+    const FiniteMapping& v, const FiniteMapping& vc, const FiniteMapping& u);
+
+/// Fact (i) checks.
+bool IsConsistentTranslation(const FiniteMapping& v, const FiniteMapping& u,
+                             const FiniteMapping& tu);
+bool IsAcceptableTranslation(const FiniteMapping& v, const FiniteMapping& u,
+                             const FiniteMapping& tu);
+
+/// Fact (ii): T is a morphism on the given update pairs, i.e.
+/// T(u ∘ w) == T(u) ∘ T(w) for the supplied triples.
+bool IsMorphismOnPair(const FiniteMapping& tu, const FiniteMapping& tw,
+                      const FiniteMapping& tuw);
+
+/// Converse of fact (ii): given a consistent+acceptable morphism T over
+/// updates U (as (u, T_u) pairs), constructs a complement mapping vc such
+/// that every u is vc-translatable with translation T_u. The construction
+/// labels states by their orbit under {T_u} intersected with view-fibers
+/// (the canonical complement of [3]); returns nullopt when T is not in
+/// fact consistent/acceptable for some pair.
+std::optional<FiniteMapping> ComplementFromTranslator(
+    const FiniteMapping& v,
+    const std::vector<std::pair<FiniteMapping, FiniteMapping>>& updates);
+
+}  // namespace relview
+
+#endif  // RELVIEW_FRAMEWORK_BS_FRAMEWORK_H_

@@ -1,0 +1,152 @@
+#include "multirel/multirel.h"
+
+#include "chase/implication.h"
+#include "deps/satisfies.h"
+#include "view/complement.h"
+
+namespace relview {
+
+MultiSchema::MultiSchema(Universe u, DependencySet s,
+                         std::vector<std::string> n, std::vector<AttrSet> c)
+    : universe_(std::move(u)),
+      sigma_(std::move(s)),
+      names_(std::move(n)),
+      components_(std::move(c)) {}
+
+Result<MultiSchema> MultiSchema::Create(Universe universe,
+                                        DependencySet sigma,
+                                        std::vector<std::string> names,
+                                        std::vector<AttrSet> components) {
+  if (names.size() != components.size() || components.empty()) {
+    return Status::InvalidArgument("names/components size mismatch");
+  }
+  AttrSet covered;
+  for (const AttrSet& c : components) covered |= c;
+  if (covered != universe.All()) {
+    return Status::InvalidArgument(
+        "component schemas must cover the universe");
+  }
+  // Lossless join: Sigma |= *[S_1, ..., S_k].
+  JD jd{components};
+  if (!ImpliesJD(universe.All(), sigma.fds, sigma.jds, jd)) {
+    return Status::FailedPrecondition(
+        "decomposition is not lossless under Sigma (Sigma does not imply " +
+        jd.ToString() + ")");
+  }
+  return MultiSchema(std::move(universe), std::move(sigma),
+                     std::move(names), std::move(components));
+}
+
+MultiDatabase::MultiDatabase(const MultiSchema* schema) : schema_(schema) {
+  for (int i = 0; i < schema->size(); ++i) {
+    instances_.emplace_back(schema->component(i));
+  }
+}
+
+Status MultiDatabase::SetInstance(int i, Relation r) {
+  if (i < 0 || i >= schema_->size()) {
+    return Status::InvalidArgument("component index out of range");
+  }
+  if (r.attrs() != schema_->component(i)) {
+    return Status::InvalidArgument("instance schema mismatch for " +
+                                   schema_->name(i));
+  }
+  r.Normalize();
+  instances_[i] = std::move(r);
+  return Status::OK();
+}
+
+Relation MultiDatabase::Join() const {
+  Relation acc = instances_[0];
+  for (size_t i = 1; i < instances_.size(); ++i) {
+    acc = Relation::NaturalJoin(acc, instances_[i]);
+  }
+  return acc;
+}
+
+Status MultiDatabase::CheckGloballyConsistent() const {
+  const Relation joined = Join();
+  if (!SatisfiesAll(joined, schema_->sigma())) {
+    return Status::FailedPrecondition("join violates Sigma");
+  }
+  for (int i = 0; i < schema_->size(); ++i) {
+    if (!joined.Project(schema_->component(i)).SameAs(instances_[i])) {
+      return Status::FailedPrecondition(
+          "dangling tuples in component " + schema_->name(i) +
+          " (database is not globally consistent)");
+    }
+  }
+  return Status::OK();
+}
+
+void MultiDatabase::DecomposeFrom(const Relation& joined) {
+  for (int i = 0; i < schema_->size(); ++i) {
+    instances_[i] = joined.Project(schema_->component(i));
+  }
+}
+
+MultiRelViewTranslator::MultiRelViewTranslator(const MultiSchema* schema,
+                                               AttrSet x, AttrSet y)
+    : schema_(schema), x_(x), y_(y) {}
+
+Result<MultiRelViewTranslator> MultiRelViewTranslator::Create(
+    const MultiSchema* schema, AttrSet x, AttrSet y) {
+  const AttrSet u = schema->universe().All();
+  if (!x.SubsetOf(u) || !y.SubsetOf(u)) {
+    return Status::InvalidArgument("view/complement outside the universe");
+  }
+  if (!AreComplementary(u, schema->sigma(), x, y)) {
+    return Status::FailedPrecondition(
+        "X and Y are not complementary under Sigma");
+  }
+  return MultiRelViewTranslator(schema, x, y);
+}
+
+Status MultiRelViewTranslator::Bind(MultiDatabase db) {
+  RELVIEW_RETURN_IF_ERROR(db.CheckGloballyConsistent());
+  db_ = std::move(db);
+  return Status::OK();
+}
+
+Result<Relation> MultiRelViewTranslator::ViewInstance() const {
+  if (!db_) return Status::FailedPrecondition("no database bound");
+  return db_->Join().Project(x_);
+}
+
+Status MultiRelViewTranslator::Insert(const Tuple& t) {
+  if (!db_) return Status::FailedPrecondition("no database bound");
+  const Relation joined = db_->Join();
+  const Relation v = joined.Project(x_);
+  const AttrSet u = schema_->universe().All();
+  RELVIEW_ASSIGN_OR_RETURN(
+      InsertionReport rep,
+      CheckInsertion(u, schema_->sigma().fds, x_, y_, v, t));
+  if (!rep.translatable()) return Status::Untranslatable(rep.ToString());
+  if (rep.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(Relation updated,
+                           ApplyInsertion(u, x_, y_, joined, t));
+  db_->DecomposeFrom(updated);
+  RELVIEW_RETURN_IF_ERROR(db_->CheckGloballyConsistent());
+  return Status::OK();
+}
+
+Status MultiRelViewTranslator::Delete(const Tuple& t) {
+  if (!db_) return Status::FailedPrecondition("no database bound");
+  const Relation joined = db_->Join();
+  const Relation v = joined.Project(x_);
+  const AttrSet u = schema_->universe().All();
+  RELVIEW_ASSIGN_OR_RETURN(
+      DeletionReport rep,
+      CheckDeletion(u, schema_->sigma().fds, x_, y_, v, t));
+  if (!rep.translatable()) {
+    return Status::Untranslatable(TranslationVerdictName(rep.verdict));
+  }
+  if (rep.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(Relation updated,
+                           ApplyDeletion(u, x_, y_, joined, t));
+  db_->DecomposeFrom(updated);
+  RELVIEW_RETURN_IF_ERROR(db_->CheckGloballyConsistent());
+  return Status::OK();
+}
+
+}  // namespace relview

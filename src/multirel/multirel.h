@@ -1,0 +1,109 @@
+// Multirelation databases with views that are projections of joins — the
+// paper's Section 6, direction (3) ("this is most important, given that
+// the universal relation assumption is being criticized as unrealistic").
+//
+// A MultiSchema names base relations R_1..R_k with schemas S_1..S_k over a
+// shared attribute universe, constrained by FDs Sigma and the *lossless
+// join* requirement Sigma |= *[S_1, ..., S_k] (validated with the tableau
+// chase). A database state is globally consistent when the join J =
+// R_1 ⋈ ... ⋈ R_k satisfies Sigma and projects back onto each R_i.
+//
+// A view is pi_X(J). Under losslessness, J is a faithful universal
+// relation, so the paper's single-relation machinery applies verbatim: a
+// view update is translated on J under a constant complement pi_Y(J), and
+// the result is decomposed back into the base relations. This is the
+// natural first cut of the paper's open direction; the translation is
+// exact relative to the universal-relation semantics.
+
+#ifndef RELVIEW_MULTIREL_MULTIREL_H_
+#define RELVIEW_MULTIREL_MULTIREL_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dep_set.h"
+#include "relational/relation.h"
+#include "relational/universe.h"
+#include "util/status.h"
+#include "view/deletion.h"
+#include "view/insertion.h"
+
+namespace relview {
+
+class MultiSchema {
+ public:
+  /// Validates that the component schemas cover the universe and that the
+  /// decomposition is lossless under sigma (Sigma |= *[S_1..S_k]).
+  static Result<MultiSchema> Create(Universe universe, DependencySet sigma,
+                                    std::vector<std::string> names,
+                                    std::vector<AttrSet> components);
+
+  const Universe& universe() const { return universe_; }
+  const DependencySet& sigma() const { return sigma_; }
+  int size() const { return static_cast<int>(components_.size()); }
+  const AttrSet& component(int i) const { return components_[i]; }
+  const std::string& name(int i) const { return names_[i]; }
+
+ private:
+  MultiSchema(Universe u, DependencySet s, std::vector<std::string> n,
+              std::vector<AttrSet> c);
+
+  Universe universe_;
+  DependencySet sigma_;
+  std::vector<std::string> names_;
+  std::vector<AttrSet> components_;
+};
+
+/// A database state: one instance per component.
+class MultiDatabase {
+ public:
+  explicit MultiDatabase(const MultiSchema* schema);
+
+  Status SetInstance(int i, Relation r);
+  const Relation& instance(int i) const { return instances_[i]; }
+
+  /// R_1 ⋈ ... ⋈ R_k.
+  Relation Join() const;
+
+  /// Global consistency: the join satisfies Sigma and projects back onto
+  /// every component (no dangling tuples).
+  Status CheckGloballyConsistent() const;
+
+  /// Replaces every component with the projection of `joined` (used after
+  /// a translated update).
+  void DecomposeFrom(const Relation& joined);
+
+ private:
+  const MultiSchema* schema_;
+  std::vector<Relation> instances_;
+};
+
+/// Constant-complement translation of updates on pi_X(join).
+class MultiRelViewTranslator {
+ public:
+  /// Validates complementarity of (x, y) under sigma (Theorem 1).
+  static Result<MultiRelViewTranslator> Create(const MultiSchema* schema,
+                                               AttrSet x, AttrSet y);
+
+  /// Binds a globally consistent database.
+  Status Bind(MultiDatabase db);
+  const MultiDatabase& database() const { return *db_; }
+
+  Result<Relation> ViewInstance() const;
+
+  /// Check-and-apply; on success the base relations are re-decomposed
+  /// from the updated join.
+  Status Insert(const Tuple& t);
+  Status Delete(const Tuple& t);
+
+ private:
+  MultiRelViewTranslator(const MultiSchema* schema, AttrSet x, AttrSet y);
+
+  const MultiSchema* schema_;
+  AttrSet x_, y_;
+  std::optional<MultiDatabase> db_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_MULTIREL_MULTIREL_H_

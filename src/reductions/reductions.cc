@@ -1,0 +1,281 @@
+#include "reductions/reductions.h"
+
+namespace relview {
+
+namespace {
+
+/// Bit constants for variable columns.
+const Value kZero = Value::Const(0);
+const Value kOne = Value::Const(1);
+/// B-column constants of Theorems 4/5 (a != b).
+const Value kA = Value::Const(2);
+const Value kB = Value::Const(3);
+
+/// Attribute of the literal l: Xi for a positive literal, Xi' for a
+/// negative one (the paper's L_{ji}).
+AttrId LitAttr(const Lit& l, const std::vector<AttrId>& xi,
+               const std::vector<AttrId>& xi_neg) {
+  return l.positive ? xi[l.var] : xi_neg[l.var];
+}
+
+/// The two-row factor S_{Xi Xi'} = {(0,1), (1,0)} encoding a truth value.
+Relation VariableFactor(AttrId xi, AttrId xi_neg) {
+  Relation f(AttrSet({xi, xi_neg}));
+  const Schema& s = f.schema();
+  Tuple t1(2), t2(2);
+  t1.Set(s, xi, kZero);
+  t1.Set(s, xi_neg, kOne);
+  t2.Set(s, xi, kOne);
+  t2.Set(s, xi_neg, kZero);
+  f.AddRow(t1);
+  f.AddRow(t2);
+  return f;
+}
+
+}  // namespace
+
+MinComplementReduction ReduceSatToMinComplement(const CNF3& phi) {
+  MinComplementReduction r;
+  r.n = phi.num_vars;
+  r.m = static_cast<int>(phi.clauses.size());
+  for (int j = 0; j < r.m; ++j) {
+    r.fj.push_back(*r.universe.Add("F" + std::to_string(j)));
+  }
+  for (int i = 0; i < r.n; ++i) {
+    r.xi.push_back(*r.universe.Add("X" + std::to_string(i)));
+    r.xi_neg.push_back(*r.universe.Add("X" + std::to_string(i) + "n"));
+  }
+  r.a = *r.universe.Add("A");
+
+  AttrSet all_f;
+  for (AttrId f : r.fj) all_f.Add(f);
+  for (int i = 0; i < r.n; ++i) {
+    // F1..Fm Xi -> Xi' and F1..Fm Xi' -> Xi.
+    r.fds.Add(all_f | AttrSet::Single(r.xi[i]), r.xi_neg[i]);
+    r.fds.Add(all_f | AttrSet::Single(r.xi_neg[i]), r.xi[i]);
+  }
+  for (int j = 0; j < r.m; ++j) {
+    for (const Lit& l : phi.clauses[j]) {
+      r.fds.Add(AttrSet::Single(LitAttr(l, r.xi, r.xi_neg)), r.fj[j]);
+    }
+  }
+  r.x = r.universe.All();
+  r.x.Remove(r.a);
+  r.target_size = 1 + r.n;
+  return r;
+}
+
+std::vector<bool> MinComplementReduction::DecodeAssignment(
+    const AttrSet& y) const {
+  std::vector<bool> h(n, false);
+  for (int i = 0; i < n; ++i) h[i] = y.Contains(xi[i]);
+  return h;
+}
+
+SuccinctInsertionReduction ReduceForallExistsToInsertion(const CNF3& phi,
+                                                         int num_universal) {
+  SuccinctInsertionReduction r;
+  r.n = phi.num_vars;
+  r.m = static_cast<int>(phi.clauses.size());
+  r.num_universal = num_universal;
+
+  const AttrId b = *r.universe.Add("B");
+  std::vector<AttrId> xi, xi_neg, fj;
+  for (int i = 0; i < r.n; ++i) {
+    xi.push_back(*r.universe.Add("X" + std::to_string(i)));
+    xi_neg.push_back(*r.universe.Add("X" + std::to_string(i) + "n"));
+  }
+  const AttrId a = *r.universe.Add("A");
+  for (int j = 0; j < r.m; ++j) {
+    fj.push_back(*r.universe.Add("F" + std::to_string(j)));
+  }
+  const AttrId c = *r.universe.Add("C");
+
+  // Sigma: X1 X1' .. Xk Xk' -> A;  F1..Fm -> C;  B A -> C;  Lji A -> Fj.
+  AttrSet universal_block;
+  for (int i = 0; i < num_universal; ++i) {
+    universal_block.Add(xi[i]);
+    universal_block.Add(xi_neg[i]);
+  }
+  r.fds.Add(universal_block, a);
+  AttrSet all_f;
+  for (AttrId f : fj) all_f.Add(f);
+  r.fds.Add(all_f, c);
+  r.fds.Add(AttrSet({b, a}), c);
+  for (int j = 0; j < r.m; ++j) {
+    for (const Lit& l : phi.clauses[j]) {
+      r.fds.Add(AttrSet({LitAttr(l, xi, xi_neg), a}), fj[j]);
+    }
+  }
+
+  // View = B X1 X1' .. Xn Xn'; complement = everything but B.
+  r.view_x = AttrSet::Single(b);
+  AttrSet var_block;
+  for (int i = 0; i < r.n; ++i) {
+    var_block.Add(xi[i]);
+    var_block.Add(xi_neg[i]);
+  }
+  r.view_x |= var_block;
+  r.comp_y = r.universe.All() - AttrSet::Single(b);
+
+  // V = s_B × S_{X1 X1'} × ... × S_{Xn Xn'}  ∪  {s}.
+  r.view = SuccinctView(r.view_x);
+  CartesianProduct grid;
+  Relation sb(AttrSet::Single(b));
+  {
+    Tuple t1(1);
+    t1[0] = kB;
+    sb.AddRow(t1);
+  }
+  grid.factors.push_back(sb);
+  for (int i = 0; i < r.n; ++i) {
+    grid.factors.push_back(VariableFactor(xi[i], xi_neg[i]));
+  }
+  RELVIEW_DCHECK(r.view.AddProduct(std::move(grid)).ok(), "bad grid product");
+
+  CartesianProduct single;
+  Relation s(r.view_x);
+  {
+    const Schema& ss = s.schema();
+    Tuple st(ss.arity());
+    st.Set(ss, b, kA);
+    for (int i = 0; i < r.n; ++i) {
+      st.Set(ss, xi[i], kOne);
+      st.Set(ss, xi_neg[i], kOne);
+    }
+    s.AddRow(st);
+  }
+  single.factors.push_back(s);
+  RELVIEW_DCHECK(r.view.AddProduct(std::move(single)).ok(), "bad s product");
+
+  // t: B = b, variable columns all 1 (agrees with s off B).
+  const Schema vs((r.view_x));
+  Tuple t(vs.arity());
+  t.Set(vs, b, kB);
+  for (int i = 0; i < r.n; ++i) {
+    t.Set(vs, xi[i], kOne);
+    t.Set(vs, xi_neg[i], kOne);
+  }
+  r.t = t;
+  return r;
+}
+
+SuccinctInsertionReduction ReduceUnsatToTest1(const CNF3& phi) {
+  SuccinctInsertionReduction r;
+  r.n = phi.num_vars;
+  r.m = static_cast<int>(phi.clauses.size());
+
+  const AttrId b = *r.universe.Add("B");
+  std::vector<AttrId> xi, xi_neg;
+  for (int i = 0; i < r.n; ++i) {
+    xi.push_back(*r.universe.Add("X" + std::to_string(i)));
+    xi_neg.push_back(*r.universe.Add("X" + std::to_string(i) + "n"));
+  }
+  const AttrId c = *r.universe.Add("C");
+
+  // Sigma: B -> C and Lj1 Lj2 Lj3 -> C per clause.
+  r.fds.Add(AttrSet::Single(b), c);
+  for (int j = 0; j < r.m; ++j) {
+    AttrSet lits;
+    for (const Lit& l : phi.clauses[j]) lits.Add(LitAttr(l, xi, xi_neg));
+    r.fds.Add(lits, c);
+  }
+
+  r.view_x = AttrSet::Single(b);
+  for (int i = 0; i < r.n; ++i) {
+    r.view_x.Add(xi[i]);
+    r.view_x.Add(xi_neg[i]);
+  }
+  r.comp_y = r.universe.All() - AttrSet::Single(b);
+
+  r.view = SuccinctView(r.view_x);
+  CartesianProduct grid;
+  Relation sb(AttrSet::Single(b));
+  {
+    Tuple t1(1);
+    t1[0] = kB;
+    sb.AddRow(t1);
+  }
+  grid.factors.push_back(sb);
+  for (int i = 0; i < r.n; ++i) {
+    grid.factors.push_back(VariableFactor(xi[i], xi_neg[i]));
+  }
+  RELVIEW_DCHECK(r.view.AddProduct(std::move(grid)).ok(), "bad grid product");
+
+  CartesianProduct single;
+  Relation s(r.view_x);
+  {
+    const Schema& ss = s.schema();
+    Tuple st(ss.arity());
+    st.Set(ss, b, kA);
+    for (int i = 0; i < r.n; ++i) {
+      st.Set(ss, xi[i], kZero);
+      st.Set(ss, xi_neg[i], kZero);
+    }
+    s.AddRow(st);
+  }
+  single.factors.push_back(s);
+  RELVIEW_DCHECK(r.view.AddProduct(std::move(single)).ok(), "bad s product");
+
+  const Schema vs((r.view_x));
+  Tuple t(vs.arity());
+  t.Set(vs, b, kB);
+  for (int i = 0; i < r.n; ++i) {
+    t.Set(vs, xi[i], kZero);
+    t.Set(vs, xi_neg[i], kZero);
+  }
+  r.t = t;
+  return r;
+}
+
+ComplementExistenceReduction ReduceSatToComplementExistence(const CNF3& phi) {
+  ComplementExistenceReduction r;
+  r.n = phi.num_vars;
+  r.m = static_cast<int>(phi.clauses.size());
+
+  for (int i = 0; i < r.n; ++i) {
+    r.xi.push_back(*r.universe.Add("X" + std::to_string(i)));
+    r.xi_neg.push_back(*r.universe.Add("X" + std::to_string(i) + "n"));
+  }
+  std::vector<AttrId> fj;
+  for (int j = 0; j < r.m; ++j) {
+    fj.push_back(*r.universe.Add("F" + std::to_string(j)));
+  }
+
+  for (int j = 0; j < r.m; ++j) {
+    for (const Lit& l : phi.clauses[j]) {
+      r.fds.Add(AttrSet::Single(LitAttr(l, r.xi, r.xi_neg)), fj[j]);
+    }
+  }
+
+  r.view_x = AttrSet();
+  for (int i = 0; i < r.n; ++i) {
+    r.view_x.Add(r.xi[i]);
+    r.view_x.Add(r.xi_neg[i]);
+  }
+
+  r.view = SuccinctView(r.view_x);
+  CartesianProduct grid;
+  for (int i = 0; i < r.n; ++i) {
+    grid.factors.push_back(VariableFactor(r.xi[i], r.xi_neg[i]));
+  }
+  RELVIEW_DCHECK(r.view.AddProduct(std::move(grid)).ok(), "bad grid product");
+
+  const Schema vs((r.view_x));
+  Tuple t(vs.arity());
+  for (int i = 0; i < r.n; ++i) {
+    t.Set(vs, r.xi[i], kOne);
+    t.Set(vs, r.xi_neg[i], kOne);
+  }
+  r.t = t;
+  return r;
+}
+
+std::vector<bool> ComplementExistenceReduction::DecodeAssignment(
+    const AttrSet& y) const {
+  std::vector<bool> h(n, false);
+  for (int i = 0; i < n; ++i) h[i] = y.Contains(xi[i]);
+  return h;
+}
+
+}  // namespace relview

@@ -1,0 +1,89 @@
+// The paper's hardness constructions, implemented as executable reductions.
+// Each builder maps a 3-CNF formula (or a ∀∃ 3-CNF instance) to the
+// schema/view/tuple of the corresponding theorem's proof, so the library's
+// algorithms can be cross-validated against SAT/QBF oracles and the
+// exponential blowups can be measured.
+//
+//  * Theorem 2: phi satisfiable  <=>  the view X of schema S_phi has a
+//    complement with 1 + n attributes (minimum-complement NP-hardness).
+//  * Theorem 4: (∀X ∃Y phi) <=> the insertion of t into the succinct view
+//    V is translatable (Pi2^p-hardness of translatability).
+//  * Theorem 5: phi unsatisfiable <=> Test 1 accepts the insertion
+//    (co-NP-hardness of Test 1 under succinct views).
+//  * Theorem 7: phi satisfiable <=> some complement renders the insertion
+//    translatable (NP-hardness of complement finding under succinct
+//    views).
+
+#ifndef RELVIEW_REDUCTIONS_REDUCTIONS_H_
+#define RELVIEW_REDUCTIONS_REDUCTIONS_H_
+
+#include <vector>
+
+#include "deps/fd_set.h"
+#include "relational/universe.h"
+#include "solvers/cnf.h"
+#include "succinct/succinct_view.h"
+
+namespace relview {
+
+/// Theorem 2: U = F1..Fm X1 X1' .. Xn Xn' A with FDs
+/// F1..Fm Xi -> Xi', F1..Fm Xi' -> Xi, and Lj1 -> Fj, Lj2 -> Fj,
+/// Lj3 -> Fj per clause; the view X is U − {A}.
+struct MinComplementReduction {
+  Universe universe;
+  FDSet fds;
+  AttrSet x;
+  /// phi is satisfiable iff X has a complement of this size (= 1 + n).
+  int target_size = 0;
+
+  int n = 0, m = 0;
+  std::vector<AttrId> xi, xi_neg, fj;
+  AttrId a = 0;
+
+  /// Reads a satisfying assignment off a complement of target size.
+  std::vector<bool> DecodeAssignment(const AttrSet& y) const;
+};
+MinComplementReduction ReduceSatToMinComplement(const CNF3& phi);
+
+/// Theorems 4 and 5 share their shape: a succinct view (one product of
+/// per-variable two-row factors plus one extra tuple s) and an insertion.
+struct SuccinctInsertionReduction {
+  Universe universe;
+  FDSet fds;
+  AttrSet view_x;
+  AttrSet comp_y;
+  SuccinctView view{AttrSet()};
+  Tuple t;
+
+  int n = 0, m = 0;
+  /// Theorem 4 only: the number of universally quantified variables.
+  int num_universal = 0;
+};
+
+/// Theorem 4: translatability of the insertion == ∀x1..xk ∃rest phi.
+SuccinctInsertionReduction ReduceForallExistsToInsertion(const CNF3& phi,
+                                                         int num_universal);
+
+/// Theorem 5: Test 1 accepts the insertion == phi unsatisfiable.
+SuccinctInsertionReduction ReduceUnsatToTest1(const CNF3& phi);
+
+/// Theorem 7: U = X1 X1' .. Xn Xn' F1..Fm, FDs Lji -> Fj; the view is all
+/// Xi/Xi'; V = product of the per-variable factors; t is all-ones.
+struct ComplementExistenceReduction {
+  Universe universe;
+  FDSet fds;
+  AttrSet view_x;
+  SuccinctView view{AttrSet()};
+  Tuple t;
+
+  int n = 0, m = 0;
+  std::vector<AttrId> xi, xi_neg;
+
+  /// Reads a satisfying assignment off a found complement.
+  std::vector<bool> DecodeAssignment(const AttrSet& y) const;
+};
+ComplementExistenceReduction ReduceSatToComplementExistence(const CNF3& phi);
+
+}  // namespace relview
+
+#endif  // RELVIEW_REDUCTIONS_REDUCTIONS_H_

@@ -1,0 +1,17 @@
+#include "relational/attr_set.h"
+
+namespace relview {
+
+std::string AttrSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](AttrId a) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(a);
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace relview

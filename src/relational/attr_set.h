@@ -1,0 +1,175 @@
+// AttrSet: a fixed-capacity (256) set of attribute ids, the workhorse of
+// every dependency-theoretic algorithm in relview (closures, complements,
+// MVD inference). Implemented as four 64-bit words so that union /
+// intersection / difference / subset tests are a handful of instructions.
+
+#ifndef RELVIEW_RELATIONAL_ATTR_SET_H_
+#define RELVIEW_RELATIONAL_ATTR_SET_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/small_util.h"
+
+namespace relview {
+
+/// Index of an attribute within a Universe. At most kMaxAttrs attributes.
+using AttrId = uint16_t;
+
+/// A set of attributes over a universe of at most 256 attributes.
+class AttrSet {
+ public:
+  static constexpr int kMaxAttrs = 256;
+  static constexpr int kWords = kMaxAttrs / 64;
+
+  constexpr AttrSet() : words_{0, 0, 0, 0} {}
+
+  AttrSet(std::initializer_list<AttrId> attrs) : words_{0, 0, 0, 0} {
+    for (AttrId a : attrs) Add(a);
+  }
+
+  /// The set {0, 1, ..., n-1}; the usual "universe" set U.
+  static AttrSet FirstN(int n) {
+    AttrSet s;
+    for (int i = 0; i < n; ++i) s.Add(static_cast<AttrId>(i));
+    return s;
+  }
+
+  static AttrSet Of(const std::vector<AttrId>& attrs) {
+    AttrSet s;
+    for (AttrId a : attrs) s.Add(a);
+    return s;
+  }
+
+  static AttrSet Single(AttrId a) {
+    AttrSet s;
+    s.Add(a);
+    return s;
+  }
+
+  void Add(AttrId a) { words_[a >> 6] |= (1ULL << (a & 63)); }
+  void Remove(AttrId a) { words_[a >> 6] &= ~(1ULL << (a & 63)); }
+  bool Contains(AttrId a) const {
+    return (words_[a >> 6] >> (a & 63)) & 1ULL;
+  }
+
+  bool Empty() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) == 0;
+  }
+
+  /// Number of attributes in the set.
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  /// Smallest attribute id in the set; -1 when empty.
+  int First() const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i]) return i * 64 + __builtin_ctzll(words_[i]);
+    }
+    return -1;
+  }
+
+  /// Smallest attribute id strictly greater than `a`; -1 when none.
+  int Next(int a) const {
+    for (int i = a + 1; i < kMaxAttrs; ++i) {
+      if (Contains(static_cast<AttrId>(i))) return i;
+    }
+    return -1;
+  }
+
+  AttrSet operator|(const AttrSet& o) const {
+    AttrSet r;
+    for (int i = 0; i < kWords; ++i) r.words_[i] = words_[i] | o.words_[i];
+    return r;
+  }
+  AttrSet operator&(const AttrSet& o) const {
+    AttrSet r;
+    for (int i = 0; i < kWords; ++i) r.words_[i] = words_[i] & o.words_[i];
+    return r;
+  }
+  /// Set difference (this minus o).
+  AttrSet operator-(const AttrSet& o) const {
+    AttrSet r;
+    for (int i = 0; i < kWords; ++i) r.words_[i] = words_[i] & ~o.words_[i];
+    return r;
+  }
+  AttrSet& operator|=(const AttrSet& o) {
+    for (int i = 0; i < kWords; ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  AttrSet& operator&=(const AttrSet& o) {
+    for (int i = 0; i < kWords; ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  bool operator==(const AttrSet& o) const { return words_ == o.words_; }
+  bool operator!=(const AttrSet& o) const { return words_ != o.words_; }
+  /// Lexicographic order on the words; a total order usable in std::map.
+  bool operator<(const AttrSet& o) const { return words_ < o.words_; }
+
+  /// True iff this ⊆ o.
+  bool SubsetOf(const AttrSet& o) const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] & ~o.words_[i]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const AttrSet& o) const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] & o.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// The members in ascending order.
+  std::vector<AttrId> ToVector() const {
+    std::vector<AttrId> out;
+    out.reserve(Count());
+    for (int i = First(); i >= 0; i = Next(i)) {
+      out.push_back(static_cast<AttrId>(i));
+    }
+    return out;
+  }
+
+  /// Calls fn(AttrId) for each member in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int w = 0; w < kWords; ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        int b = __builtin_ctzll(bits);
+        fn(static_cast<AttrId>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = 0x12345678ULL;
+    for (uint64_t w : words_) h = HashCombine(h, w);
+    return h;
+  }
+
+  /// Debug form using raw ids, e.g. "{0,3,7}".
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kWords> words_;
+};
+
+struct AttrSetHash {
+  size_t operator()(const AttrSet& s) const {
+    return static_cast<size_t>(s.Hash());
+  }
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_ATTR_SET_H_

@@ -1,0 +1,115 @@
+#include "relational/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace relview {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& line,
+                               const std::string& delims) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : line) {
+    if (delims.find(c) != std::string::npos) {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace
+
+Result<CsvResult> ReadTable(std::istream& in, ValuePool* pool,
+                            const Universe* universe,
+                            const std::string& delims) {
+  CsvResult result;
+  std::string line;
+  // Header.
+  std::vector<std::string> header;
+  while (std::getline(in, line)) {
+    header = Split(line, delims);
+    if (!header.empty() && header[0][0] != '#') break;
+    header.clear();
+  }
+  if (header.empty()) {
+    return Status::InvalidArgument("missing header line");
+  }
+
+  std::vector<AttrId> cols;  // header order -> attribute id
+  if (universe != nullptr) {
+    result.universe = *universe;
+    for (const std::string& name : header) {
+      RELVIEW_ASSIGN_OR_RETURN(AttrId id, result.universe.Id(name));
+      cols.push_back(id);
+    }
+  } else {
+    for (const std::string& name : header) {
+      RELVIEW_ASSIGN_OR_RETURN(AttrId id, result.universe.Add(name));
+      cols.push_back(id);
+    }
+  }
+  AttrSet attrs;
+  for (AttrId a : cols) {
+    if (attrs.Contains(a)) {
+      return Status::InvalidArgument("duplicate header column");
+    }
+    attrs.Add(a);
+  }
+  result.relation = Relation(attrs);
+  const Schema& s = result.relation.schema();
+
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> cells = Split(line, delims);
+    if (cells.empty() || cells[0][0] == '#') continue;
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(lineno) + ": expected " +
+          std::to_string(header.size()) + " cells, got " +
+          std::to_string(cells.size()));
+    }
+    Tuple t(s.arity());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      t.Set(s, cols[i], pool->Intern(cells[i]));
+    }
+    result.relation.AddRow(std::move(t));
+  }
+  result.relation.Normalize();
+  return result;
+}
+
+Result<CsvResult> ReadTableFromString(const std::string& text,
+                                      ValuePool* pool,
+                                      const Universe* universe,
+                                      const std::string& delims) {
+  std::istringstream in(text);
+  return ReadTable(in, pool, universe, delims);
+}
+
+void WriteTable(std::ostream& out, const Relation& r, const Universe& u,
+                const ValuePool& pool) {
+  const Schema& s = r.schema();
+  for (int i = 0; i < s.arity(); ++i) {
+    if (i) out << '\t';
+    out << u.Name(s.cols()[i]);
+  }
+  out << '\n';
+  for (const Tuple& row : r.rows()) {
+    for (int i = 0; i < row.arity(); ++i) {
+      if (i) out << '\t';
+      out << pool.NameOf(row[i]);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace relview

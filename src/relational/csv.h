@@ -1,0 +1,44 @@
+// Loading and saving relation instances as delimited text. The first line
+// names the attributes; every following line is a row. Values are
+// interned into a caller-provided ValuePool, so round-trips preserve
+// names.
+
+#ifndef RELVIEW_RELATIONAL_CSV_H_
+#define RELVIEW_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/relation.h"
+#include "relational/universe.h"
+#include "util/status.h"
+
+namespace relview {
+
+struct CsvResult {
+  /// The universe built from (or matched against) the header.
+  Universe universe;
+  Relation relation{AttrSet()};
+};
+
+/// Parses a delimited table. `delims` lists accepted separators (any of
+/// them splits; runs collapse). When `universe` is supplied the header
+/// must name a subset of its attributes (the relation is built over those
+/// columns); otherwise a fresh universe is created from the header.
+Result<CsvResult> ReadTable(std::istream& in, ValuePool* pool,
+                            const Universe* universe = nullptr,
+                            const std::string& delims = ",; \t");
+
+/// Convenience: parse from a string.
+Result<CsvResult> ReadTableFromString(const std::string& text,
+                                      ValuePool* pool,
+                                      const Universe* universe = nullptr,
+                                      const std::string& delims = ",; \t");
+
+/// Writes `r` with a header line, tab-separated.
+void WriteTable(std::ostream& out, const Relation& r, const Universe& u,
+                const ValuePool& pool);
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_CSV_H_

@@ -1,0 +1,185 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace relview {
+
+void Relation::AddRow(Tuple t) {
+  RELVIEW_DCHECK(t.arity() == arity(), "row arity mismatch");
+  rows_.push_back(std::move(t));
+}
+
+Status Relation::AddRowNamed(
+    const std::vector<std::pair<AttrId, Value>>& cells) {
+  if (static_cast<int>(cells.size()) != arity()) {
+    return Status::InvalidArgument("AddRowNamed: wrong number of cells");
+  }
+  Tuple t(arity());
+  AttrSet seen;
+  for (const auto& [attr, value] : cells) {
+    if (!schema_.Contains(attr)) {
+      return Status::InvalidArgument("AddRowNamed: attribute not in schema");
+    }
+    if (seen.Contains(attr)) {
+      return Status::InvalidArgument("AddRowNamed: duplicate attribute");
+    }
+    seen.Add(attr);
+    t[schema_.PosOf(attr)] = value;
+  }
+  rows_.push_back(std::move(t));
+  return Status::OK();
+}
+
+void Relation::Normalize() {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+bool Relation::SameAs(const Relation& other) const {
+  if (schema_ != other.schema_) return false;
+  Relation a = *this;
+  Relation b = other;
+  a.Normalize();
+  b.Normalize();
+  return a.rows_ == b.rows_;
+}
+
+bool Relation::ContainsRow(const Tuple& t) const {
+  for (const Tuple& r : rows_) {
+    if (r == t) return true;
+  }
+  return false;
+}
+
+Relation Relation::Project(const AttrSet& x) const {
+  RELVIEW_DCHECK(x.SubsetOf(attrs()), "projection outside schema");
+  Relation out(x);
+  const Schema& to = out.schema();
+  out.rows_.reserve(rows_.size());
+  for (const Tuple& r : rows_) {
+    out.rows_.push_back(r.Project(schema_, to));
+  }
+  out.Normalize();
+  return out;
+}
+
+Relation Relation::NaturalJoin(const Relation& left, const Relation& right) {
+  const AttrSet shared = left.attrs() & right.attrs();
+  Relation out(left.attrs() | right.attrs());
+  const Schema& os = out.schema();
+
+  // Bucket the right side by its shared-attribute projection.
+  std::unordered_map<uint64_t, std::vector<int>> buckets;
+  buckets.reserve(right.rows_.size() * 2 + 1);
+  for (int i = 0; i < right.size(); ++i) {
+    buckets[right.rows_[i].HashOn(right.schema_, shared)].push_back(i);
+  }
+
+  for (const Tuple& l : left.rows_) {
+    auto it = buckets.find(l.HashOn(left.schema_, shared));
+    if (it == buckets.end()) continue;
+    for (int ri : it->second) {
+      const Tuple& r = right.rows_[ri];
+      // Hash collision guard: verify actual agreement.
+      bool match = true;
+      shared.ForEach([&](AttrId a) {
+        if (l.At(left.schema_, a) != r.At(right.schema_, a)) match = false;
+      });
+      if (!match) continue;
+      Tuple joined(os.arity());
+      out.attrs().ForEach([&](AttrId a) {
+        joined.Set(os, a,
+                   left.schema_.Contains(a) ? l.At(left.schema_, a)
+                                            : r.At(right.schema_, a));
+      });
+      out.rows_.push_back(std::move(joined));
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<Relation> Relation::Union(const Relation& a, const Relation& b) {
+  if (a.schema_ != b.schema_) {
+    return Status::InvalidArgument("Union: schema mismatch");
+  }
+  Relation out = a;
+  out.rows_.insert(out.rows_.end(), b.rows_.begin(), b.rows_.end());
+  out.Normalize();
+  return out;
+}
+
+Result<Relation> Relation::Difference(const Relation& a, const Relation& b) {
+  if (a.schema_ != b.schema_) {
+    return Status::InvalidArgument("Difference: schema mismatch");
+  }
+  std::unordered_set<Tuple, TupleHash> bset(b.rows_.begin(), b.rows_.end());
+  Relation out(a.schema_);
+  for (const Tuple& r : a.rows_) {
+    if (!bset.count(r)) out.rows_.push_back(r);
+  }
+  out.Normalize();
+  return out;
+}
+
+Relation Relation::Select(
+    const std::function<bool(const Tuple&)>& pred) const {
+  Relation out(schema_);
+  for (const Tuple& r : rows_) {
+    if (pred(r)) out.rows_.push_back(r);
+  }
+  return out;
+}
+
+Result<Relation> Relation::Product(const Relation& a, const Relation& b) {
+  if (a.attrs().Intersects(b.attrs())) {
+    return Status::InvalidArgument("Product: schemas must be disjoint");
+  }
+  return NaturalJoin(a, b);  // Natural join over disjoint schemas.
+}
+
+int Relation::RenameValue(Value from, Value to) {
+  int changed = 0;
+  for (Tuple& r : rows_) {
+    for (int i = 0; i < r.arity(); ++i) {
+      if (r[i] == from) {
+        r[i] = to;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+bool Relation::HasNulls() const {
+  for (const Tuple& r : rows_) {
+    for (const Value& v : r.values()) {
+      if (v.is_null()) return true;
+    }
+  }
+  return false;
+}
+
+std::string Relation::ToString(const Universe* u,
+                               const ValuePool* pool) const {
+  std::string out;
+  // Header.
+  for (int i = 0; i < arity(); ++i) {
+    if (i) out += "\t";
+    AttrId a = schema_.cols()[i];
+    out += (u != nullptr) ? u->Name(a) : ("A" + std::to_string(a));
+  }
+  out += "\n";
+  for (const Tuple& r : rows_) {
+    for (int i = 0; i < arity(); ++i) {
+      if (i) out += "\t";
+      out += (pool != nullptr) ? pool->NameOf(r[i]) : r[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace relview

@@ -1,0 +1,91 @@
+// Relation: an in-memory relation instance (schema + rows) with the
+// relational-algebra operations the paper's constructions need: projection,
+// natural join, union, difference, selection, and set-semantics
+// normalization. Rows may contain labeled nulls (see Value); operations are
+// agnostic to null-ness except where documented.
+
+#ifndef RELVIEW_RELATIONAL_RELATION_H_
+#define RELVIEW_RELATIONAL_RELATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/universe.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace relview {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(const AttrSet& attrs) : schema_(attrs) {}
+  explicit Relation(const Schema& schema) : schema_(schema) {}
+
+  const Schema& schema() const { return schema_; }
+  const AttrSet& attrs() const { return schema_.attrs(); }
+  int arity() const { return schema_.arity(); }
+  int size() const { return static_cast<int>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>& mutable_rows() { return rows_; }
+  const Tuple& row(int i) const { return rows_[i]; }
+  Tuple& mutable_row(int i) { return rows_[i]; }
+
+  /// Appends a row. Precondition: t.arity() == arity(). Duplicates are
+  /// permitted until Normalize().
+  void AddRow(Tuple t);
+
+  /// Appends a row given (attr, value) pairs covering the whole schema.
+  Status AddRowNamed(const std::vector<std::pair<AttrId, Value>>& cells);
+
+  /// Sorts rows and removes duplicates (set semantics).
+  void Normalize();
+
+  /// Set equality (normalizes copies of both sides).
+  bool SameAs(const Relation& other) const;
+
+  bool ContainsRow(const Tuple& t) const;
+
+  /// π_X(this). X must be a subset of attrs(). Result is normalized.
+  Relation Project(const AttrSet& x) const;
+
+  /// Natural join. Shared attributes are joined on; result schema is the
+  /// union. Hash-based, O(|L| + |R| + |out|) expected.
+  static Relation NaturalJoin(const Relation& left, const Relation& right);
+
+  /// Union of two relations over identical schemas; normalized.
+  static Result<Relation> Union(const Relation& a, const Relation& b);
+
+  /// a \ b over identical schemas; normalized.
+  static Result<Relation> Difference(const Relation& a, const Relation& b);
+
+  /// Rows satisfying `pred`.
+  Relation Select(const std::function<bool(const Tuple&)>& pred) const;
+
+  /// Cartesian product (disjoint schemas).
+  static Result<Relation> Product(const Relation& a, const Relation& b);
+
+  /// Replaces every occurrence of value `from` with `to` (all columns).
+  /// Returns the number of cells changed.
+  int RenameValue(Value from, Value to);
+
+  /// True iff some row contains a labeled null.
+  bool HasNulls() const;
+
+  /// Multi-line debug form; uses names from `u`/`pool` when provided.
+  std::string ToString(const Universe* u = nullptr,
+                       const ValuePool* pool = nullptr) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_RELATION_H_

@@ -1,0 +1,50 @@
+// Schema: an ordered view of an AttrSet. Columns are stored in ascending
+// AttrId order, so two relations over the same attribute set always have
+// identical column layouts (projections and joins need no permutation
+// bookkeeping).
+
+#ifndef RELVIEW_RELATIONAL_SCHEMA_H_
+#define RELVIEW_RELATIONAL_SCHEMA_H_
+
+#include <array>
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "util/status.h"
+
+namespace relview {
+
+class Schema {
+ public:
+  Schema() { positions_.fill(-1); }
+
+  explicit Schema(const AttrSet& attrs) : attrs_(attrs) {
+    positions_.fill(-1);
+    attrs.ForEach([this](AttrId a) {
+      positions_[a] = static_cast<int16_t>(cols_.size());
+      cols_.push_back(a);
+    });
+  }
+
+  const AttrSet& attrs() const { return attrs_; }
+  /// Column attribute ids in storage (ascending) order.
+  const std::vector<AttrId>& cols() const { return cols_; }
+  int arity() const { return static_cast<int>(cols_.size()); }
+
+  bool Contains(AttrId a) const { return attrs_.Contains(a); }
+
+  /// Storage position of attribute `a`; -1 when absent.
+  int PosOf(AttrId a) const { return positions_[a]; }
+
+  bool operator==(const Schema& o) const { return attrs_ == o.attrs_; }
+  bool operator!=(const Schema& o) const { return attrs_ != o.attrs_; }
+
+ private:
+  AttrSet attrs_;
+  std::vector<AttrId> cols_;
+  std::array<int16_t, AttrSet::kMaxAttrs> positions_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,87 @@
+// Tuple: a dense row of Values laid out in its Schema's column order.
+
+#ifndef RELVIEW_RELATIONAL_TUPLE_H_
+#define RELVIEW_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/small_util.h"
+
+namespace relview {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(int arity) : values_(arity) {}
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  int arity() const { return static_cast<int>(values_.size()); }
+  Value& operator[](int pos) { return values_[pos]; }
+  const Value& operator[](int pos) const { return values_[pos]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Value at attribute `a` under schema `s`. Precondition: s contains a.
+  Value At(const Schema& s, AttrId a) const { return values_[s.PosOf(a)]; }
+  void Set(const Schema& s, AttrId a, Value v) { values_[s.PosOf(a)] = v; }
+
+  /// True iff this and `o` (both under schema `s`) agree on every attribute
+  /// in `on`.
+  bool AgreesWith(const Tuple& o, const Schema& s, const AttrSet& on) const {
+    bool agree = true;
+    on.ForEach([&](AttrId a) {
+      if (values_[s.PosOf(a)] != o.values_[s.PosOf(a)]) agree = false;
+    });
+    return agree;
+  }
+
+  /// Projects onto `to` (a subset of `from`'s attributes).
+  Tuple Project(const Schema& from, const Schema& to) const {
+    Tuple out(to.arity());
+    for (int i = 0; i < to.arity(); ++i) {
+      out.values_[i] = values_[from.PosOf(to.cols()[i])];
+    }
+    return out;
+  }
+
+  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+  bool operator!=(const Tuple& o) const { return values_ != o.values_; }
+  bool operator<(const Tuple& o) const { return values_ < o.values_; }
+
+  uint64_t Hash() const {
+    uint64_t h = 0xABCDEF12ULL;
+    for (const Value& v : values_) h = HashCombine(h, v.raw());
+    return h;
+  }
+
+  /// Hash of the projection onto `on` under schema `s`.
+  uint64_t HashOn(const Schema& s, const AttrSet& on) const {
+    uint64_t h = 0x5DEECE66DULL;
+    on.ForEach([&](AttrId a) { h = HashCombine(h, values_[s.PosOf(a)].raw()); });
+    return h;
+  }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (int i = 0; i < arity(); ++i) {
+      if (i) out += ",";
+      out += values_[i].ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(t.Hash());
+  }
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_TUPLE_H_

@@ -1,0 +1,82 @@
+#include "relational/universe.h"
+
+#include <sstream>
+
+namespace relview {
+
+Universe Universe::Anonymous(int n) {
+  Universe u;
+  for (int i = 0; i < n; ++i) {
+    auto r = u.Add("A" + std::to_string(i));
+    RELVIEW_DCHECK(r.ok(), "Anonymous universe overflow");
+  }
+  return u;
+}
+
+Result<Universe> Universe::Parse(const std::string& names) {
+  Universe u;
+  std::istringstream in(names);
+  std::string tok;
+  while (in >> tok) {
+    RELVIEW_ASSIGN_OR_RETURN(AttrId id, u.Add(tok));
+    (void)id;
+  }
+  return u;
+}
+
+Result<AttrId> Universe::Add(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  if (size() >= AttrSet::kMaxAttrs) {
+    return Status::CapacityExceeded("universe limited to 256 attributes");
+  }
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+Result<AttrId> Universe::Id(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown attribute: " + name);
+  }
+  return it->second;
+}
+
+AttrId Universe::operator[](const std::string& name) const {
+  auto r = Id(name);
+  RELVIEW_DCHECK(r.ok(), ("unknown attribute: " + name).c_str());
+  return *r;
+}
+
+Result<AttrSet> Universe::Set(const std::string& names) const {
+  AttrSet out;
+  std::istringstream in(names);
+  std::string tok;
+  while (in >> tok) {
+    RELVIEW_ASSIGN_OR_RETURN(AttrId id, Id(tok));
+    out.Add(id);
+  }
+  return out;
+}
+
+AttrSet Universe::SetOf(const std::string& names) const {
+  auto r = Set(names);
+  RELVIEW_DCHECK(r.ok(), ("bad attribute set: " + names).c_str());
+  return *r;
+}
+
+std::string Universe::Format(const AttrSet& set) const {
+  std::string out = "{";
+  bool first = true;
+  set.ForEach([&](AttrId a) {
+    if (!first) out += ",";
+    first = false;
+    out += (a < names_.size()) ? names_[a] : ("#" + std::to_string(a));
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace relview

@@ -1,0 +1,60 @@
+// Universe: the named attribute space U of a single-relation schema (the
+// paper's universal-relation setting). Maps attribute names <-> AttrIds and
+// parses attribute-set expressions like "Emp Dept Mgr".
+
+#ifndef RELVIEW_RELATIONAL_UNIVERSE_H_
+#define RELVIEW_RELATIONAL_UNIVERSE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "util/status.h"
+
+namespace relview {
+
+class Universe {
+ public:
+  Universe() = default;
+
+  /// Creates a universe with attributes named A0..A{n-1}.
+  static Universe Anonymous(int n);
+
+  /// Creates a universe from whitespace-separated names, e.g.
+  /// "Emp Dept Mgr".
+  static Result<Universe> Parse(const std::string& names);
+
+  /// Adds an attribute; returns its id. Re-adding an existing name returns
+  /// the existing id.
+  Result<AttrId> Add(const std::string& name);
+
+  /// Id of an existing attribute.
+  Result<AttrId> Id(const std::string& name) const;
+
+  /// Convenience for tests/examples: aborts when the name is unknown.
+  AttrId operator[](const std::string& name) const;
+
+  const std::string& Name(AttrId id) const { return names_[id]; }
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// The full attribute set U.
+  AttrSet All() const { return AttrSet::FirstN(size()); }
+
+  /// Parses a whitespace-separated list of known attribute names into a set.
+  Result<AttrSet> Set(const std::string& names) const;
+
+  /// Convenience for tests/examples: aborts on unknown names.
+  AttrSet SetOf(const std::string& names) const;
+
+  /// Pretty form of a set using attribute names, e.g. "{Emp,Dept}".
+  std::string Format(const AttrSet& set) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> ids_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_UNIVERSE_H_

@@ -1,0 +1,85 @@
+// Value: a cell of a relation instance. Either an interned *constant*
+// (visible data) or a *labeled null* (a placeholder introduced when the
+// view's rows are extended with unknown complement columns — the "new
+// symbols" of the paper's R(V, t, r, f) construction).
+//
+// Values are 32-bit ids; the high bit tags nulls. Equality is id equality,
+// which makes the chase's "equate two symbols" a cheap renaming.
+
+#ifndef RELVIEW_RELATIONAL_VALUE_H_
+#define RELVIEW_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relview {
+
+class Value {
+ public:
+  static constexpr uint32_t kNullTag = 0x80000000u;
+
+  /// Default: constant 0.
+  constexpr Value() : raw_(0) {}
+
+  static constexpr Value Const(uint32_t id) { return Value(id); }
+  static constexpr Value Null(uint32_t id) { return Value(id | kNullTag); }
+
+  bool is_null() const { return raw_ & kNullTag; }
+  bool is_const() const { return !is_null(); }
+  /// Index within the constant or null space (tag stripped).
+  uint32_t index() const { return raw_ & ~kNullTag; }
+  uint32_t raw() const { return raw_; }
+
+  bool operator==(const Value& o) const { return raw_ == o.raw_; }
+  bool operator!=(const Value& o) const { return raw_ != o.raw_; }
+  bool operator<(const Value& o) const { return raw_ < o.raw_; }
+
+  /// "c<i>" for constants, "?<i>" for labeled nulls.
+  std::string ToString() const {
+    return (is_null() ? "?" : "c") + std::to_string(index());
+  }
+
+ private:
+  explicit constexpr Value(uint32_t raw) : raw_(raw) {}
+  uint32_t raw_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.raw() * 0x9E3779B1u; }
+};
+
+/// Optional registry of human-readable constant names for examples and
+/// pretty-printing. Algorithms never require a pool.
+class ValuePool {
+ public:
+  /// Returns the constant for `name`, interning it on first use.
+  Value Intern(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return Value::Const(it->second);
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return Value::Const(id);
+  }
+
+  /// Name of a constant; falls back to Value::ToString for unknown ids and
+  /// for nulls.
+  std::string NameOf(Value v) const {
+    if (v.is_const() && v.index() < names_.size()) return names_[v.index()];
+    return v.ToString();
+  }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_VALUE_H_

@@ -1,0 +1,35 @@
+#include "solvers/cnf.h"
+
+namespace relview {
+
+std::string CNF3::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i) out += " & ";
+    out += "(" + clauses[i][0].ToString() + " | " +
+           clauses[i][1].ToString() + " | " + clauses[i][2].ToString() + ")";
+  }
+  return out;
+}
+
+CNF3 CNF3::Random(int n, int m, Rng* rng) {
+  CNF3 f;
+  f.num_vars = n;
+  f.clauses.reserve(m);
+  for (int j = 0; j < m; ++j) {
+    Clause3 c;
+    int v0 = static_cast<int>(rng->Below(n));
+    int v1 = v0, v2 = v0;
+    if (n >= 3) {
+      while (v1 == v0) v1 = static_cast<int>(rng->Below(n));
+      while (v2 == v0 || v2 == v1) v2 = static_cast<int>(rng->Below(n));
+    }
+    c[0] = Lit(v0, rng->Chance(0.5));
+    c[1] = Lit(v1, rng->Chance(0.5));
+    c[2] = Lit(v2, rng->Chance(0.5));
+    f.clauses.push_back(c);
+  }
+  return f;
+}
+
+}  // namespace relview

@@ -1,0 +1,59 @@
+// 3-CNF formula representation shared by the SAT/QBF solvers and the
+// paper's hardness reductions (Theorems 2, 4, 5, 7).
+
+#ifndef RELVIEW_SOLVERS_CNF_H_
+#define RELVIEW_SOLVERS_CNF_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace relview {
+
+/// A literal: variable index (0-based) plus sign.
+struct Lit {
+  int var = 0;
+  bool positive = true;
+
+  Lit() = default;
+  Lit(int v, bool pos) : var(v), positive(pos) {}
+
+  Lit Negated() const { return Lit(var, !positive); }
+  std::string ToString() const {
+    return (positive ? "x" : "~x") + std::to_string(var);
+  }
+};
+
+/// A clause of exactly three literals (duplicated literals are allowed, so
+/// shorter clauses can be padded).
+using Clause3 = std::array<Lit, 3>;
+
+struct CNF3 {
+  int num_vars = 0;
+  std::vector<Clause3> clauses;
+
+  /// Evaluates under a full assignment.
+  bool Eval(const std::vector<bool>& assignment) const {
+    for (const Clause3& c : clauses) {
+      bool sat = false;
+      for (const Lit& l : c) {
+        if (assignment[l.var] == l.positive) sat = true;
+      }
+      if (!sat) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+
+  /// A random 3-CNF with `n` variables and `m` clauses (distinct variables
+  /// within each clause when n >= 3).
+  static CNF3 Random(int n, int m, Rng* rng);
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SOLVERS_CNF_H_

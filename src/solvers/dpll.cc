@@ -1,0 +1,102 @@
+#include "solvers/dpll.h"
+
+namespace relview {
+
+namespace {
+
+constexpr int8_t kUnset = -1;
+
+/// Recursive DPLL over a 3-CNF. `assign` holds -1/0/1.
+bool Dpll(const CNF3& f, std::vector<int8_t>* assign, int64_t* decisions) {
+  // Unit propagation loop.
+  while (true) {
+    bool propagated = false;
+    for (const Clause3& c : f.clauses) {
+      int unassigned = -1;
+      bool sat = false;
+      int free_count = 0;
+      for (const Lit& l : c) {
+        const int8_t v = (*assign)[l.var];
+        if (v == kUnset) {
+          ++free_count;
+          unassigned = l.var;
+        } else if ((v == 1) == l.positive) {
+          sat = true;
+        }
+      }
+      if (sat) continue;
+      if (free_count == 0) return false;  // conflict
+      if (free_count == 1) {
+        // Find the unassigned literal's required polarity.
+        for (const Lit& l : c) {
+          if ((*assign)[l.var] == kUnset && l.var == unassigned) {
+            (*assign)[l.var] = l.positive ? 1 : 0;
+            break;
+          }
+        }
+        propagated = true;
+      }
+    }
+    if (!propagated) break;
+  }
+  // Pick a branching variable: first unassigned appearing in an unsatisfied
+  // clause.
+  int branch = -1;
+  for (const Clause3& c : f.clauses) {
+    bool sat = false;
+    for (const Lit& l : c) {
+      const int8_t v = (*assign)[l.var];
+      if (v != kUnset && (v == 1) == l.positive) sat = true;
+    }
+    if (sat) continue;
+    for (const Lit& l : c) {
+      if ((*assign)[l.var] == kUnset) {
+        branch = l.var;
+        break;
+      }
+    }
+    if (branch >= 0) break;
+  }
+  if (branch < 0) return true;  // every clause satisfied
+
+  ++*decisions;
+  for (int8_t value : {int8_t{1}, int8_t{0}}) {
+    std::vector<int8_t> saved = *assign;
+    (*assign)[branch] = value;
+    if (Dpll(f, assign, decisions)) return true;
+    *assign = saved;
+  }
+  return false;
+}
+
+}  // namespace
+
+SatResult SolveSat(const CNF3& f,
+                   const std::vector<std::pair<int, bool>>& fixed) {
+  SatResult result;
+  std::vector<int8_t> assign(f.num_vars, kUnset);
+  for (const auto& [var, value] : fixed) assign[var] = value ? 1 : 0;
+  result.satisfiable = Dpll(f, &assign, &result.decisions);
+  if (result.satisfiable) {
+    result.assignment.resize(f.num_vars);
+    for (int i = 0; i < f.num_vars; ++i) {
+      result.assignment[i] = assign[i] == 1;  // unassigned -> false
+    }
+  }
+  return result;
+}
+
+bool ForallExistsSat(const CNF3& f, int num_universal, int64_t* calls) {
+  std::vector<std::pair<int, bool>> fixed(num_universal);
+  const uint64_t total = 1ULL << num_universal;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (int i = 0; i < num_universal; ++i) {
+      fixed[i] = {i, (mask >> i) & 1};
+    }
+    if (calls != nullptr) ++*calls;
+    if (!SolveSat(f, fixed).satisfiable) return false;
+  }
+  return true;
+}
+
+}  // namespace relview

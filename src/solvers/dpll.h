@@ -1,0 +1,35 @@
+// A compact DPLL SAT solver (unit propagation + pure-literal elimination +
+// branching). Oracle for validating the NP-hardness reductions (Theorems 2
+// and 7) and, negated, the co-NP reduction (Theorem 5).
+
+#ifndef RELVIEW_SOLVERS_DPLL_H_
+#define RELVIEW_SOLVERS_DPLL_H_
+
+#include <optional>
+#include <vector>
+
+#include "solvers/cnf.h"
+
+namespace relview {
+
+struct SatResult {
+  bool satisfiable = false;
+  /// A model when satisfiable.
+  std::vector<bool> assignment;
+  int64_t decisions = 0;
+};
+
+/// Decides satisfiability of `f`. Assignments to variables listed in
+/// `fixed` (pairs of var -> value) are forced before search — used by the
+/// QBF solver to check inner existentials under an outer assignment.
+SatResult SolveSat(const CNF3& f,
+                   const std::vector<std::pair<int, bool>>& fixed = {});
+
+/// ∀∃ 2-QBF: for every assignment of vars [0, num_universal) does an
+/// assignment of the rest satisfy f? (The Pi_2 form of Theorem 4's
+/// source problem.) Exponential in num_universal.
+bool ForallExistsSat(const CNF3& f, int num_universal, int64_t* calls = nullptr);
+
+}  // namespace relview
+
+#endif  // RELVIEW_SOLVERS_DPLL_H_

@@ -1,0 +1,68 @@
+#include "succinct/succinct_view.h"
+
+namespace relview {
+
+Status SuccinctView::AddProduct(CartesianProduct product) {
+  AttrSet seen;
+  for (const Relation& f : product.factors) {
+    if (f.attrs().Intersects(seen)) {
+      return Status::InvalidArgument("product factors must be disjoint");
+    }
+    seen |= f.attrs();
+  }
+  if (seen != attrs_) {
+    return Status::InvalidArgument("product must cover the view attributes");
+  }
+  products_.push_back(std::move(product));
+  return Status::OK();
+}
+
+int64_t SuccinctView::DescriptionSize() const {
+  int64_t cells = 0;
+  for (const CartesianProduct& p : products_) {
+    for (const Relation& f : p.factors) {
+      cells += static_cast<int64_t>(f.size()) * f.arity();
+    }
+  }
+  return cells;
+}
+
+int64_t SuccinctView::ExpandedSizeBound() const {
+  int64_t n = 0;
+  for (const CartesianProduct& p : products_) n += p.Size();
+  return n;
+}
+
+bool SuccinctView::Contains(const Tuple& t) const {
+  const Schema full(attrs_);
+  for (const CartesianProduct& p : products_) {
+    bool all = true;
+    for (const Relation& f : p.factors) {
+      const Tuple proj = t.Project(full, f.schema());
+      if (!f.ContainsRow(proj)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Relation SuccinctView::Expand() const {
+  Relation out(attrs_);
+  for (const CartesianProduct& p : products_) {
+    RELVIEW_DCHECK(!p.factors.empty(), "empty product");
+    Relation acc = p.factors[0];
+    for (size_t i = 1; i < p.factors.size(); ++i) {
+      acc = Relation::NaturalJoin(acc, p.factors[i]);  // disjoint: product
+    }
+    auto merged = Relation::Union(out, acc);
+    RELVIEW_DCHECK(merged.ok(), "expansion schema mismatch");
+    out = std::move(merged).value();
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace relview

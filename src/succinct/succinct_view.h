@@ -1,0 +1,72 @@
+// Succinct view encodings (Section 3.2): a view instance given implicitly
+// as a union of Cartesian products of small relations over disjoint
+// attribute groups. The paper uses this encoding to show that
+// translatability testing is Pi2^p-hard (Theorem 4), Test 1 acceptance
+// co-NP-complete (Theorem 5) and complement-finding NP-hard (Theorem 7):
+// the description has size O(|U|) while the expansion is exponential.
+//
+// Membership testing stays polynomial in the description (project the
+// tuple onto each factor); only algorithms that must *scan* V pay the
+// exponential expansion cost — which is exactly the paper's point.
+
+#ifndef RELVIEW_SUCCINCT_SUCCINCT_VIEW_H_
+#define RELVIEW_SUCCINCT_SUCCINCT_VIEW_H_
+
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// One Cartesian product: factors over pairwise disjoint attribute sets.
+struct CartesianProduct {
+  std::vector<Relation> factors;
+
+  AttrSet Attrs() const {
+    AttrSet s;
+    for (const Relation& f : factors) s |= f.attrs();
+    return s;
+  }
+
+  /// Number of tuples in the product.
+  int64_t Size() const {
+    int64_t n = 1;
+    for (const Relation& f : factors) n *= f.size();
+    return n;
+  }
+};
+
+class SuccinctView {
+ public:
+  explicit SuccinctView(const AttrSet& attrs) : attrs_(attrs) {}
+
+  const AttrSet& attrs() const { return attrs_; }
+  const std::vector<CartesianProduct>& products() const { return products_; }
+
+  /// Adds a product term; its attributes must cover attrs() exactly and
+  /// its factors must be pairwise disjoint.
+  Status AddProduct(CartesianProduct product);
+
+  /// Total number of cells in the description (the paper's O(|U|) size
+  /// measure).
+  int64_t DescriptionSize() const;
+
+  /// Number of tuples in the expansion (with duplicates across products
+  /// counted once only if `exact`; the cheap bound sums product sizes).
+  int64_t ExpandedSizeBound() const;
+
+  /// Membership without expansion: polynomial in the description.
+  bool Contains(const Tuple& t) const;
+
+  /// Materializes the view (exponential).
+  Relation Expand() const;
+
+ private:
+  AttrSet attrs_;
+  std::vector<CartesianProduct> products_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SUCCINCT_SUCCINCT_VIEW_H_

@@ -1,0 +1,60 @@
+// Small shared helpers: timing, string joining, hashing combinators.
+
+#ifndef RELVIEW_UTIL_SMALL_UTIL_H_
+#define RELVIEW_UTIL_SMALL_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relview {
+
+/// Monotonic wall-clock stopwatch (nanosecond resolution).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Joins `parts` with `sep` ("A", "B" -> "A,B").
+inline std::string Join(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// 64-bit hash mixing (murmur-style finalizer); used to combine hashes.
+inline uint64_t HashMix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return HashMix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                         (seed >> 2)));
+}
+
+}  // namespace relview
+
+#endif  // RELVIEW_UTIL_SMALL_UTIL_H_

@@ -1,0 +1,165 @@
+// Status and Result<T>: exception-free error propagation for the relview
+// library, in the style of RocksDB's Status / Arrow's Result.
+//
+// Public library entry points that can fail return Status (or Result<T> when
+// they produce a value). Internal invariant violations use RELVIEW_DCHECK.
+
+#ifndef RELVIEW_UTIL_STATUS_H_
+#define RELVIEW_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace relview {
+
+/// Error taxonomy for the relview library.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input: unknown attribute, schema mismatch, arity error.
+  kInvalidArgument,
+  /// A requested object does not exist (attribute, tuple, complement).
+  kNotFound,
+  /// The operation is well-formed but its precondition fails (e.g. the
+  /// proposed views are not complementary, or X ∩ Y is a superkey of X).
+  kFailedPrecondition,
+  /// The requested view update is not translatable under the chosen
+  /// constant complement (the paper's rejection outcome).
+  kUntranslatable,
+  /// A size or capacity limit was exceeded (e.g. > 256 attributes).
+  kCapacityExceeded,
+  /// Internal invariant violation; indicates a bug in relview itself.
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("Ok", "Untranslatable", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); carries a message string on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Untranslatable(std::string msg) {
+    return Status(StatusCode::kUntranslatable, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. Use `RELVIEW_ASSIGN_OR_RETURN` to unwrap in functions
+/// that themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "relview: Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define RELVIEW_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::relview::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define RELVIEW_CONCAT_IMPL(a, b) a##b
+#define RELVIEW_CONCAT(a, b) RELVIEW_CONCAT_IMPL(a, b)
+
+#define RELVIEW_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto RELVIEW_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!RELVIEW_CONCAT(_res_, __LINE__).ok())                       \
+    return RELVIEW_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(RELVIEW_CONCAT(_res_, __LINE__)).value()
+
+/// Internal consistency check; compiled in all build types because the
+/// library's algorithms are the product under test.
+#define RELVIEW_DCHECK(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "relview DCHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, (msg));                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace relview
+
+#endif  // RELVIEW_UTIL_STATUS_H_

@@ -1,0 +1,156 @@
+#include "view/chase_test.h"
+
+#include "view/generic_instance.h"
+
+namespace relview {
+
+namespace {
+
+/// One (f, r, mu) probe in reuse mode: impose r ~ mu on Z∩(Y−X) atop the
+/// base fixpoint, re-chase, and evaluate the success criterion.
+bool ProbeReuse(const GenericInstance& generic, const ChaseOutcome& base,
+                const FDSet& fds, const FD& fd, bool rhs_in_x,
+                const AttrSet& zy, int r, int mu, ChaseBackend backend,
+                ChaseTestResult* acc) {
+  // Collect the hypothesis renames against the base fixpoint first; the
+  // (expensive) relation copy happens only when a rename is really needed.
+  bool contradiction = false;
+  std::vector<std::pair<Value, Value>> manual;
+  zy.ForEach([&](AttrId w) {
+    if (contradiction) return;
+    Value a = base.Resolve(generic.NullAt(r, w));
+    Value b = base.Resolve(generic.NullAt(mu, w));
+    for (const auto& [from, to] : manual) {
+      if (a == from) a = to;
+      if (b == from) b = to;
+    }
+    if (a == b) return;
+    if (a.is_const() && b.is_const()) {
+      contradiction = true;  // hypothesis impossible: chase "succeeds"
+      return;
+    }
+    Value from, to;
+    if (a.is_null() && (b.is_const() || b.raw() < a.raw())) {
+      from = a;
+      to = b;
+    } else {
+      from = b;
+      to = a;
+    }
+    manual.emplace_back(from, to);
+  });
+  if (contradiction) return true;
+
+  ChaseOutcome delta;
+  if (!manual.empty()) {
+    Relation working = base.result;
+    for (const auto& [from, to] : manual) working.RenameValue(from, to);
+    delta = ChaseInstance(working, fds, backend);
+    ++acc->chases_run;
+    acc->stats.merges += delta.stats.merges;
+    acc->stats.rounds += delta.stats.rounds;
+    acc->stats.work += delta.stats.work;
+    if (delta.conflict) return true;
+  }
+  if (rhs_in_x) {
+    // Constants r[A] != t[A] stay distinct: fixpoint without conflict is a
+    // counterexample.
+    return false;
+  }
+  auto resolve_all = [&](Value val) {
+    val = base.Resolve(val);
+    for (const auto& [from, to] : manual) {
+      if (val == from) val = to;
+    }
+    return delta.Resolve(val);
+  };
+  return resolve_all(generic.NullAt(r, fd.rhs)) ==
+         resolve_all(generic.NullAt(mu, fd.rhs));
+}
+
+/// One (f, r, mu) probe in from-scratch mode (the Corollary's algorithm).
+bool ProbeScratch(const GenericInstance& generic, const FDSet& fds,
+                  const FD& fd, bool rhs_in_x, const AttrSet& zy, int r,
+                  int mu, ChaseBackend backend, ChaseTestResult* acc) {
+  Relation working = generic.relation();
+  zy.ForEach([&](AttrId w) {
+    const Value a = generic.NullAt(r, w);
+    const Value b = generic.NullAt(mu, w);
+    if (a != b) working.RenameValue(a, b);
+  });
+  ChaseOutcome out = ChaseInstance(working, fds, backend);
+  ++acc->chases_run;
+  acc->stats.merges += out.stats.merges;
+  acc->stats.rounds += out.stats.rounds;
+  acc->stats.work += out.stats.work;
+  if (out.conflict) return true;
+  if (rhs_in_x) return false;
+  return out.Resolve(generic.NullAt(r, fd.rhs)) ==
+         out.Resolve(generic.NullAt(mu, fd.rhs));
+}
+
+}  // namespace
+
+ChaseTestResult RunConditionC(const AttrSet& universe, const FDSet& fds,
+                              const AttrSet& x, const AttrSet& y,
+                              const Relation& v, const Tuple& t,
+                              const std::vector<int>& mu_rows,
+                              const ChaseTestOptions& opts) {
+  ChaseTestResult result;
+  const Schema& vs = v.schema();
+  const AttrSet y_only = y - x;
+  const GenericInstance generic = GenericInstance::Build(universe, x, v);
+
+  ChaseOutcome base;
+  if (opts.reuse_base_chase) {
+    base = ChaseInstance(generic.relation(), fds, opts.backend);
+    ++result.chases_run;
+    result.stats.merges += base.stats.merges;
+    result.stats.rounds += base.stats.rounds;
+    result.stats.work += base.stats.work;
+    if (base.conflict) {
+      // No legal database projects onto V at all: condition (c) holds
+      // vacuously.
+      return result;
+    }
+  }
+
+  std::vector<int> mus;
+  if (opts.iterate_all_mus) {
+    mus = mu_rows;
+  } else {
+    mus.push_back(mu_rows.front());
+  }
+
+  for (const FD& fd : fds.fds()) {
+    const AttrSet zx = fd.lhs & x;
+    const AttrSet zy = fd.lhs & y_only;
+    const bool rhs_in_x = x.Contains(fd.rhs);
+
+    for (int r = 0; r < v.size(); ++r) {
+      if (r == opts.skip_row) continue;
+      const Tuple& vr = v.row(r);
+      if (!vr.AgreesWith(t, vs, zx)) continue;
+      if (rhs_in_x && vr.At(vs, fd.rhs) == t.At(vs, fd.rhs)) continue;
+
+      for (int mu : mus) {
+        const bool success =
+            opts.reuse_base_chase
+                ? ProbeReuse(generic, base, fds, fd, rhs_in_x, zy, r, mu,
+                             opts.backend, &result)
+                : ProbeScratch(generic, fds, fd, rhs_in_x, zy, r, mu,
+                               opts.backend, &result);
+        if (!success) {
+          result.ok = false;
+          result.violated_fd = fd;
+          result.witness_row = r;
+          result.witness_mu = mu;
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace relview

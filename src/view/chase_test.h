@@ -1,0 +1,50 @@
+// Internal engine for condition (c) of Theorems 3 and 9: the chase-based
+// counterexample search over the generic instance R(V, t, r, f). Shared by
+// the insertion and replacement translators.
+
+#ifndef RELVIEW_VIEW_CHASE_TEST_H_
+#define RELVIEW_VIEW_CHASE_TEST_H_
+
+#include <vector>
+
+#include "chase/instance_chase.h"
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+
+namespace relview {
+
+struct ChaseTestOptions {
+  ChaseBackend backend = ChaseBackend::kHash;
+  /// Chase the null-filled V once and re-chase only per-pair deltas.
+  bool reuse_base_chase = true;
+  /// Quantify over every mu row (needed by Theorem 9 case 2, where X∩Y is
+  /// not necessarily a superkey of Y). When false only mu_rows.front() is
+  /// used (sound when Sigma |= X∩Y -> Y).
+  bool iterate_all_mus = false;
+  /// View row index excluded as a violator (the replaced tuple t1), or -1.
+  int skip_row = -1;
+};
+
+struct ChaseTestResult {
+  /// True when every (f, r[, mu]) chase "succeeds" — no counterexample.
+  bool ok = true;
+  FD violated_fd;
+  int witness_row = -1;
+  int witness_mu = -1;
+  int chases_run = 0;
+  ChaseStats stats;
+};
+
+/// Runs the paper's condition (c) for inserting `t` (a tuple over x) into
+/// view instance `v`, where `mu_rows` lists the rows of v matching t on
+/// X ∩ Y. Preconditions (checked by callers): x ∪ y == universe,
+/// mu_rows nonempty.
+ChaseTestResult RunConditionC(const AttrSet& universe, const FDSet& fds,
+                              const AttrSet& x, const AttrSet& y,
+                              const Relation& v, const Tuple& t,
+                              const std::vector<int>& mu_rows,
+                              const ChaseTestOptions& opts);
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_CHASE_TEST_H_

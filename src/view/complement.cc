@@ -1,0 +1,156 @@
+#include "view/complement.h"
+
+#include <functional>
+
+#include "chase/implication.h"
+
+namespace relview {
+
+namespace {
+
+/// Enumerates subsets of `members` of size `k`, invoking fn; fn returns
+/// true to stop. Returns true if stopped.
+bool ForEachSubsetOfSize(const std::vector<AttrId>& members, int k,
+                         const std::function<bool(const AttrSet&)>& fn) {
+  const int n = static_cast<int>(members.size());
+  if (k > n || k < 0) return false;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    AttrSet s;
+    for (int i : idx) s.Add(members[i]);
+    if (fn(s)) return true;
+    // Next combination.
+    int i = k - 1;
+    while (i >= 0 && idx[i] == n - k + i) --i;
+    if (i < 0) return false;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+bool AreComplementaryFDOnly(const AttrSet& universe, const FDSet& fds,
+                            const AttrSet& x, const AttrSet& y) {
+  if ((x | y) != universe) return false;
+  const AttrSet common = x & y;
+  return fds.IsSuperkey(common, x) || fds.IsSuperkey(common, y);
+}
+
+bool AreComplementary(const AttrSet& universe, const DependencySet& sigma,
+                      const AttrSet& x, const AttrSet& y) {
+  if (sigma.HasEFDs()) {
+    // Theorem 10. (b): Sigma_F |= X ∪ Y -> U.
+    const FDSet all_fds = sigma.FdsWithEfdShadows();
+    if (!all_fds.IsSuperkey(x | y, universe)) return false;
+    // (a): X, Y complementary as views of pi_{X∪Y}(R), i.e. Sigma implies
+    // the embedded MVD X∩Y ->-> X−Y | Y−X. Per Proposition 2(a), EFDs add
+    // nothing to FD/JD/embedded-JD implication beyond their FD shadows.
+    EmbeddedMVD emvd;
+    emvd.context_lhs = x & y;
+    emvd.left = x - y;
+    emvd.right = y - x;
+    return ImpliesEmbeddedMVD(universe, all_fds, sigma.jds, emvd);
+  }
+  // Theorem 1: complementary iff Sigma |= *[X, Y] (needs X ∪ Y = U).
+  if ((x | y) != universe) return false;
+  if (sigma.jds.empty()) {
+    return AreComplementaryFDOnly(universe, sigma.fds, x, y);
+  }
+  return ImpliesMVD(universe, sigma.fds, sigma.jds, x, y);
+}
+
+AttrSet MinimalComplement(const AttrSet& universe, const DependencySet& sigma,
+                          const AttrSet& x,
+                          const std::vector<AttrId>* order) {
+  AttrSet y = universe;  // The identity view is a complement of every view.
+  // Without EFDs only attributes of X can leave the complement (X ∪ Y = U
+  // is necessary); with EFDs any recoverable attribute may leave.
+  std::vector<AttrId> candidates;
+  if (order != nullptr) {
+    candidates = *order;
+  } else {
+    candidates = (sigma.HasEFDs() ? universe : x).ToVector();
+  }
+  for (AttrId a : candidates) {
+    if (!y.Contains(a)) continue;
+    AttrSet smaller = y;
+    smaller.Remove(a);
+    if (AreComplementary(universe, sigma, x, smaller)) y = smaller;
+  }
+  RELVIEW_DCHECK(AreComplementary(universe, sigma, x, y),
+                 "MinimalComplement lost complementarity");
+  return y;
+}
+
+Result<MinimumComplementResult> MinimumComplement(
+    const AttrSet& universe, const DependencySet& sigma, const AttrSet& x) {
+  MinimumComplementResult res;
+  if (!x.SubsetOf(universe)) {
+    return Status::InvalidArgument("view is not a subset of the universe");
+  }
+  if (sigma.HasEFDs()) {
+    // General search over all Y ⊆ U by cardinality.
+    const std::vector<AttrId> members = universe.ToVector();
+    if (members.size() > 24) {
+      return Status::CapacityExceeded(
+          "MinimumComplement with EFDs limited to 24 attributes");
+    }
+    for (int k = 0; k <= static_cast<int>(members.size()); ++k) {
+      bool found = ForEachSubsetOfSize(members, k, [&](const AttrSet& y) {
+        ++res.tests;
+        if (AreComplementary(universe, sigma, x, y)) {
+          res.complement = y;
+          return true;
+        }
+        return false;
+      });
+      if (found) return res;
+    }
+    return Status::Internal("no complement found (identity should work)");
+  }
+  // FD/JD case: Y must contain U − X; only W = Y ∩ X varies.
+  const AttrSet outside = universe - x;
+  const std::vector<AttrId> members = x.ToVector();
+  if (members.size() > 24) {
+    return Status::CapacityExceeded(
+        "MinimumComplement limited to views of 24 attributes");
+  }
+  for (int k = 0; k <= static_cast<int>(members.size()); ++k) {
+    bool found = ForEachSubsetOfSize(members, k, [&](const AttrSet& w) {
+      ++res.tests;
+      if (AreComplementary(universe, sigma, x, w | outside)) {
+        res.complement = w | outside;
+        return true;
+      }
+      return false;
+    });
+    if (found) return res;
+  }
+  return Status::Internal("no complement found (identity should work)");
+}
+
+Result<bool> HasComplementOfSize(const AttrSet& universe,
+                                 const DependencySet& sigma, const AttrSet& x,
+                                 int k) {
+  if (sigma.HasEFDs()) {
+    // No monotonicity guarantee with EFDs: search size k exactly.
+    const std::vector<AttrId> members = universe.ToVector();
+    if (members.size() > 24) {
+      return Status::CapacityExceeded(
+          "HasComplementOfSize with EFDs limited to 24 attributes");
+    }
+    bool found = ForEachSubsetOfSize(members, k, [&](const AttrSet& y) {
+      return AreComplementary(universe, sigma, x, y);
+    });
+    return found;
+  }
+  // Complement size is monotone for FDs + JDs (adding attributes preserves
+  // Sigma |= *[X, Y]), so "exists of size k" == "minimum <= k".
+  RELVIEW_ASSIGN_OR_RETURN(MinimumComplementResult min,
+                           MinimumComplement(universe, sigma, x));
+  return min.complement.Count() <= k;
+}
+
+}  // namespace relview

@@ -1,0 +1,66 @@
+// Complementary views (Section 2 of the paper).
+//
+// A view here is a projection pi_X of the single relation over universe U
+// with dependencies Sigma. X and Y are *complementary* when pi_X(R),
+// pi_Y(R) jointly determine R among legal instances.
+//
+//  * Theorem 1: with Sigma = FDs + JDs, X and Y are complementary iff
+//    Sigma |= *[X, Y] (so X ∪ Y = U and the reconstruction operator is the
+//    natural join); for FD-only Sigma this is "X ∩ Y is a superkey of X or
+//    of Y".
+//  * Corollary 2: a minimal (nonredundant) complement is found in
+//    polynomial time by greedy removal.
+//  * Theorem 2: a minimum-cardinality complement is NP-complete; we provide
+//    an exact exponential solver.
+//  * Theorem 10: with EFDs present, complementarity becomes (a) the
+//    embedded MVD X∩Y ->-> X−Y | Y−X plus (b) Sigma_F |= X∪Y -> U.
+
+#ifndef RELVIEW_VIEW_COMPLEMENT_H_
+#define RELVIEW_VIEW_COMPLEMENT_H_
+
+#include <vector>
+
+#include "deps/dep_set.h"
+#include "relational/attr_set.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// Theorem 1 / Theorem 10 test. Handles FDs, JDs and EFDs in `sigma`.
+bool AreComplementary(const AttrSet& universe, const DependencySet& sigma,
+                      const AttrSet& x, const AttrSet& y);
+
+/// FD-only fast path: X ∪ Y == U and X∩Y superkey of X or of Y. Equivalent
+/// to AreComplementary when sigma has neither JDs nor EFDs.
+bool AreComplementaryFDOnly(const AttrSet& universe, const FDSet& fds,
+                            const AttrSet& x, const AttrSet& y);
+
+/// Corollary 2: starting from the trivial complement U, greedily removes
+/// attributes of X while complementarity is preserved. The removal order is
+/// ascending AttrId unless `order` supplies a permutation of X's members to
+/// try (attributes outside X are never removable without EFDs).
+AttrSet MinimalComplement(const AttrSet& universe, const DependencySet& sigma,
+                          const AttrSet& x,
+                          const std::vector<AttrId>* order = nullptr);
+
+struct MinimumComplementResult {
+  AttrSet complement;
+  /// Number of complementarity tests performed (search effort).
+  int64_t tests = 0;
+};
+
+/// Exact minimum-cardinality complement of X (Theorem 2's optimization
+/// problem; worst-case exponential in |X|). Searches Y = W ∪ (U − X) over
+/// W ⊆ X in increasing |W|.
+Result<MinimumComplementResult> MinimumComplement(
+    const AttrSet& universe, const DependencySet& sigma, const AttrSet& x);
+
+/// Decision form used by the Theorem 2 reduction: does X have a complement
+/// with exactly k attributes?
+Result<bool> HasComplementOfSize(const AttrSet& universe,
+                                 const DependencySet& sigma, const AttrSet& x,
+                                 int k);
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_COMPLEMENT_H_

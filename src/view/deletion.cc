@@ -1,0 +1,63 @@
+#include "view/deletion.h"
+
+namespace relview {
+
+Result<DeletionReport> CheckDeletion(const AttrSet& universe,
+                                     const FDSet& fds, const AttrSet& x,
+                                     const AttrSet& y, const Relation& v,
+                                     const Tuple& t) {
+  if (!x.SubsetOf(universe) || (x | y) != universe) {
+    return Status::InvalidArgument("bad view/complement pair");
+  }
+  if (v.attrs() != x || t.arity() != v.arity()) {
+    return Status::InvalidArgument("tuple/view schema mismatch");
+  }
+  DeletionReport report;
+  if (!v.ContainsRow(t)) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+  const Schema& vs = v.schema();
+  const AttrSet common = x & y;
+
+  // Condition (a): some *other* row of V shares t's common part, so the
+  // complement row t would otherwise delete survives.
+  bool witness = false;
+  for (const Tuple& r : v.rows()) {
+    if (r != t && r.AgreesWith(t, vs, common)) {
+      witness = true;
+      break;
+    }
+  }
+  if (!witness) {
+    report.verdict = TranslationVerdict::kFailsComplementMembership;
+    return report;
+  }
+  // Condition (b). Note: condition (a) already rules out X∩Y being a
+  // superkey of X for legal V (two distinct rows agree on X∩Y), but the
+  // schema-level check is part of the theorem and catches illegal V.
+  if (fds.IsSuperkey(common, x)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+    return report;
+  }
+  if (!fds.IsSuperkey(common, y)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+    return report;
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+Result<Relation> ApplyDeletion(const AttrSet& universe, const AttrSet& x,
+                               const AttrSet& y, const Relation& r,
+                               const Tuple& t) {
+  if (r.attrs() != universe || (x | y) != universe) {
+    return Status::InvalidArgument("bad database/view arguments");
+  }
+  Relation tx(x);
+  tx.AddRow(t);
+  const Relation victims = Relation::NaturalJoin(tx, r.Project(y));
+  return Relation::Difference(r, victims);
+}
+
+}  // namespace relview

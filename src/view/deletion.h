@@ -1,0 +1,42 @@
+// Translation of deletions under constant complement (Section 4.1,
+// Theorem 8). With FD-only Sigma the chase test disappears: deleting rows
+// can never violate an FD, so the deletion of t from V is translatable as
+// R <- R − t*pi_Y(R) iff
+//   (a) t[X∩Y] ∈ pi_{X∩Y}(V − t)  (another view row keeps the complement
+//       row alive), and
+//   (b) Sigma |= X∩Y -> Y and Sigma |/= X∩Y -> X.
+// Testable in O(|V| + |Sigma|).
+
+#ifndef RELVIEW_VIEW_DELETION_H_
+#define RELVIEW_VIEW_DELETION_H_
+
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/status.h"
+#include "view/insertion.h"
+
+namespace relview {
+
+struct DeletionReport {
+  TranslationVerdict verdict = TranslationVerdict::kTranslatable;
+  bool translatable() const {
+    return verdict == TranslationVerdict::kTranslatable ||
+           verdict == TranslationVerdict::kIdentity;
+  }
+};
+
+/// Theorem 8 test. `t` must be a tuple over x's schema; if t ∉ V the
+/// deletion is the identity.
+Result<DeletionReport> CheckDeletion(const AttrSet& universe,
+                                     const FDSet& fds, const AttrSet& x,
+                                     const AttrSet& y, const Relation& v,
+                                     const Tuple& t);
+
+/// Applies T_u[R] = R − t*pi_Y(R).
+Result<Relation> ApplyDeletion(const AttrSet& universe, const AttrSet& x,
+                               const AttrSet& y, const Relation& r,
+                               const Tuple& t);
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_DELETION_H_

@@ -1,0 +1,60 @@
+#include "view/find_complement.h"
+
+#include <unordered_set>
+
+namespace relview {
+
+Result<FindComplementResult> FindTranslatingComplement(
+    const AttrSet& universe, const FDSet& fds, const AttrSet& x,
+    const Relation& v, const Tuple& t, FindComplementTest test,
+    const AttrSet& partial_restriction) {
+  if (!x.SubsetOf(universe) || v.attrs() != x || t.arity() != v.arity()) {
+    return Status::InvalidArgument("bad view-update arguments");
+  }
+  FindComplementResult result;
+  const Schema& vs = v.schema();
+  const AttrSet outside = universe - x;
+
+  // Collect the distinct W_r = {A in X : r[A] = t[A]} candidates.
+  std::unordered_set<AttrSet, AttrSetHash> seen;
+  std::vector<AttrSet> candidates;
+  for (const Tuple& r : v.rows()) {
+    AttrSet wr;
+    x.ForEach([&](AttrId a) {
+      if (r.At(vs, a) == t.At(vs, a)) wr.Add(a);
+    });
+    if (seen.insert(wr).second) candidates.push_back(wr);
+  }
+  result.candidates = static_cast<int>(candidates.size());
+
+  for (const AttrSet& wr : candidates) {
+    const AttrSet y = wr | outside;
+    if (!partial_restriction.Empty() && !partial_restriction.SubsetOf(y)) {
+      continue;
+    }
+    // Quick schema-level filters (conditions (b) of Theorem 3); the full
+    // test repeats them, but they are O(|Sigma|) while the chase test is
+    // expensive.
+    if (!fds.IsSuperkey(wr, y) || fds.IsSuperkey(wr, x)) continue;
+
+    ++result.tests_run;
+    bool ok = false;
+    if (test == FindComplementTest::kExact) {
+      RELVIEW_ASSIGN_OR_RETURN(InsertionReport rep,
+                               CheckInsertion(universe, fds, x, y, v, t));
+      ok = rep.translatable();
+    } else {
+      RELVIEW_ASSIGN_OR_RETURN(Test1Report rep,
+                               RunTest1(universe, fds, x, y, v, t));
+      ok = rep.accepted();
+    }
+    if (ok) {
+      result.found = true;
+      result.complement = y;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace relview

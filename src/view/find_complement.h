@@ -1,0 +1,47 @@
+// Finding a complement that renders a given insertion translatable
+// (Section 3.3, Theorems 6 and 7).
+//
+// If the insertion of t into V is translatable under SOME constant
+// complement Y = W ∪ (U − X) (W ⊆ X), then it is translatable under
+// Y_r = W_r ∪ (U − X) for some view row r, where
+//   W_r = {A ∈ X : r[A] = t[A]}.
+// So at most min(|V|, 2^|X|) translatability tests are needed (Theorem 6);
+// under succinct view encodings the problem is NP-hard (Theorem 7).
+
+#ifndef RELVIEW_VIEW_FIND_COMPLEMENT_H_
+#define RELVIEW_VIEW_FIND_COMPLEMENT_H_
+
+#include <vector>
+
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/status.h"
+#include "view/insertion.h"
+#include "view/test1.h"
+
+namespace relview {
+
+/// Which translatability test drives the search (the paper remarks that
+/// Theorem 6 also holds with Test 1 / Test 2 in place of the exact test).
+enum class FindComplementTest { kExact, kTest1 };
+
+struct FindComplementResult {
+  bool found = false;
+  AttrSet complement;
+  /// Distinct W_r candidates examined and translatability tests run.
+  int candidates = 0;
+  int tests_run = 0;
+};
+
+/// Theorem 6's search. `partial_restriction`, when nonempty, restricts the
+/// acceptable complements to those containing it (the user's "partial
+/// restriction on the complement").
+Result<FindComplementResult> FindTranslatingComplement(
+    const AttrSet& universe, const FDSet& fds, const AttrSet& x,
+    const Relation& v, const Tuple& t,
+    FindComplementTest test = FindComplementTest::kExact,
+    const AttrSet& partial_restriction = AttrSet());
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_FIND_COMPLEMENT_H_

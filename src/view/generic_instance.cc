@@ -1,0 +1,27 @@
+#include "view/generic_instance.h"
+
+namespace relview {
+
+GenericInstance GenericInstance::Build(const AttrSet& universe,
+                                       const AttrSet& x, const Relation& v) {
+  RELVIEW_DCHECK(v.attrs() == x, "view instance schema must equal X");
+  GenericInstance g;
+  g.null_cols_ = universe - x;
+  g.offsets_.assign(AttrSet::kMaxAttrs, -1);
+  int off = 0;
+  g.null_cols_.ForEach([&](AttrId a) { g.offsets_[a] = off++; });
+  g.width_ = off;
+
+  g.rel_ = Relation(universe);
+  const Schema& full = g.rel_.schema();
+  const Schema& vs = v.schema();
+  for (int i = 0; i < v.size(); ++i) {
+    Tuple t(full.arity());
+    x.ForEach([&](AttrId a) { t.Set(full, a, v.row(i).At(vs, a)); });
+    g.null_cols_.ForEach([&](AttrId a) { t.Set(full, a, g.NullAt(i, a)); });
+    g.rel_.AddRow(std::move(t));
+  }
+  return g;
+}
+
+}  // namespace relview

@@ -1,0 +1,47 @@
+// The generic instance underlying Theorem 3's test: the rows of a view
+// instance V (over X) extended to the full universe with fresh labeled
+// nulls in the complement-only columns Y − X. This is the paper's
+// "fill the rows of V with new symbols in the columns of Y − X".
+//
+// Each (row, column) cell gets a deterministic null id so that callers can
+// refer to cells of the *original* V rows even after the chase merges
+// values: combine GenericInstance::NullAt with ChaseOutcome::Resolve.
+
+#ifndef RELVIEW_VIEW_GENERIC_INSTANCE_H_
+#define RELVIEW_VIEW_GENERIC_INSTANCE_H_
+
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace relview {
+
+class GenericInstance {
+ public:
+  /// Builds the extension of `v` (an instance of the view `x`) to
+  /// `universe`, with fresh nulls on universe − x.
+  static GenericInstance Build(const AttrSet& universe, const AttrSet& x,
+                               const Relation& v);
+
+  const Relation& relation() const { return rel_; }
+  const AttrSet& null_cols() const { return null_cols_; }
+
+  /// The initial null placed at (row of V, attribute a). Precondition: a is
+  /// in universe − x.
+  Value NullAt(int vrow, AttrId a) const {
+    const int off = offsets_[a];
+    return Value::Null(static_cast<uint32_t>(vrow) *
+                           static_cast<uint32_t>(width_) +
+                       static_cast<uint32_t>(off));
+  }
+
+ private:
+  Relation rel_;
+  AttrSet null_cols_;
+  int width_ = 0;
+  std::vector<int> offsets_;  // AttrId -> offset within a row's null block
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_GENERIC_INSTANCE_H_

@@ -1,0 +1,141 @@
+#include "view/insertion.h"
+
+#include <vector>
+
+#include "view/chase_test.h"
+
+namespace relview {
+
+const char* TranslationVerdictName(TranslationVerdict v) {
+  switch (v) {
+    case TranslationVerdict::kTranslatable:
+      return "Translatable";
+    case TranslationVerdict::kIdentity:
+      return "Identity";
+    case TranslationVerdict::kFailsComplementMembership:
+      return "FailsComplementMembership";
+    case TranslationVerdict::kFailsCommonPartNotKeyOfY:
+      return "FailsCommonPartNotKeyOfY";
+    case TranslationVerdict::kFailsCommonPartKeyOfX:
+      return "FailsCommonPartKeyOfX";
+    case TranslationVerdict::kFailsChase:
+      return "FailsChase";
+  }
+  return "Unknown";
+}
+
+std::string InsertionReport::ToString() const {
+  std::string out = TranslationVerdictName(verdict);
+  if (verdict == TranslationVerdict::kFailsChase) {
+    out += " (fd " + violated_fd.ToString() + ", view row " +
+           std::to_string(witness_row) + ")";
+  }
+  return out;
+}
+
+namespace {
+
+Status ValidateViewArgs(const AttrSet& universe, const AttrSet& x,
+                        const AttrSet& y, const Relation& v, const Tuple& t) {
+  if (!x.SubsetOf(universe) || !y.SubsetOf(universe)) {
+    return Status::InvalidArgument("view/complement not within universe");
+  }
+  if ((x | y) != universe) {
+    return Status::InvalidArgument(
+        "X ∪ Y must equal U (FD-only complements contain U − X)");
+  }
+  if (v.attrs() != x) {
+    return Status::InvalidArgument("view instance schema must equal X");
+  }
+  if (t.arity() != v.arity()) {
+    return Status::InvalidArgument("tuple arity does not match view");
+  }
+  for (const Value& val : t.values()) {
+    if (val.is_null()) {
+      return Status::InvalidArgument("inserted tuple must be null-free");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<InsertionReport> CheckInsertion(const AttrSet& universe,
+                                       const FDSet& fds, const AttrSet& x,
+                                       const AttrSet& y, const Relation& v,
+                                       const Tuple& t,
+                                       const InsertionOptions& opts) {
+  RELVIEW_RETURN_IF_ERROR(ValidateViewArgs(universe, x, y, v, t));
+  InsertionReport report;
+
+  if (v.ContainsRow(t)) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+
+  const Schema& vs = v.schema();
+  const AttrSet common = x & y;
+
+  // Condition (a): t[X∩Y] appears in pi_{X∩Y}(V). Collect the mu
+  // candidates (rows matching t on the common part) on the way.
+  std::vector<int> mu_rows;
+  for (int i = 0; i < v.size(); ++i) {
+    if (v.row(i).AgreesWith(t, vs, common)) mu_rows.push_back(i);
+  }
+  if (mu_rows.empty()) {
+    report.verdict = TranslationVerdict::kFailsComplementMembership;
+    return report;
+  }
+
+  // Condition (b).
+  if (fds.IsSuperkey(common, x)) {
+    // V ∪ t would violate the implied FD X∩Y -> X (t agrees with a mu row
+    // on X∩Y but differs somewhere in X since t ∉ V).
+    report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+    return report;
+  }
+  if (!fds.IsSuperkey(common, y)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+    return report;
+  }
+
+  // Condition (c).
+  ChaseTestOptions copts;
+  copts.backend = opts.backend;
+  copts.reuse_base_chase = opts.reuse_base_chase;
+  const ChaseTestResult c =
+      RunConditionC(universe, fds, x, y, v, t, mu_rows, copts);
+  report.chases_run = c.chases_run;
+  report.stats = c.stats;
+  if (!c.ok) {
+    report.verdict = TranslationVerdict::kFailsChase;
+    report.violated_fd = c.violated_fd;
+    report.witness_row = c.witness_row;
+    return report;
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+Result<Relation> ApplyInsertion(const AttrSet& universe, const AttrSet& x,
+                                const AttrSet& y, const Relation& r,
+                                const Tuple& t) {
+  if (r.attrs() != universe) {
+    return Status::InvalidArgument("database instance must be over U");
+  }
+  if ((x | y) != universe) {
+    return Status::InvalidArgument("X ∪ Y must equal U");
+  }
+  // t * pi_Y(R): extend t with the Y-part of the rows matching t on X∩Y.
+  Relation tx(x);
+  tx.AddRow(t);
+  const Relation ty = Relation::NaturalJoin(tx, r.Project(y));
+  if (ty.empty()) {
+    return Status::FailedPrecondition(
+        "t matches no complement row: insertion not translatable "
+        "(condition (a))");
+  }
+  return Relation::Union(r, ty);
+}
+
+}  // namespace relview

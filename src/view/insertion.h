@@ -1,0 +1,90 @@
+// Translation of insertions under constant complement (Section 3.1,
+// Theorem 3 and its Corollary).
+//
+// Given the schema (U, Sigma) with Sigma a set of canonical FDs, the view
+// X, the constant complement Y, the current view instance V = pi_X(R) and a
+// tuple t over X, the insertion of t into V is translatable iff
+//   (a) t[X∩Y] ∈ pi_{X∩Y}(V);
+//   (b) Sigma |= X∩Y -> Y and Sigma |/= X∩Y -> X;
+//   (c) for every FD f = Z -> A in Sigma and every tuple r of V with
+//       r[Z∩X] = t[Z∩X] (and r[A] != t[A] when A ∈ X), the chase of the
+//       generic instance R(V, t, r, f) "succeeds": it either derives a
+//       contradiction (equates two distinct constants of V) or forces
+//       r[A] = mu[A] (when A ∈ Y−X, mu being a row matching t on X∩Y) —
+//       i.e. no legal database compatible with V lets the inserted tuple
+//       violate f via r.
+// When translatable, the unique translation is T_u[R] = R ∪ t*pi_Y(R).
+
+#ifndef RELVIEW_VIEW_INSERTION_H_
+#define RELVIEW_VIEW_INSERTION_H_
+
+#include <string>
+
+#include "chase/instance_chase.h"
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// Why a view update is (or is not) translatable.
+enum class TranslationVerdict {
+  kTranslatable,
+  /// The update leaves the view unchanged; translation is the identity.
+  kIdentity,
+  /// Condition (a) failed: the complement would have to grow.
+  kFailsComplementMembership,
+  /// Condition (b) failed: X∩Y is not a superkey of Y under Sigma.
+  kFailsCommonPartNotKeyOfY,
+  /// Condition (b) failed: X∩Y is a superkey of X, so V ∪ t (or V − t)
+  /// cannot be the projection of a legal instance.
+  kFailsCommonPartKeyOfX,
+  /// Condition (c) failed: some legal database compatible with V would
+  /// become illegal (details in the report).
+  kFailsChase,
+};
+
+const char* TranslationVerdictName(TranslationVerdict v);
+
+struct InsertionOptions {
+  ChaseBackend backend = ChaseBackend::kHash;
+  /// The paper's "straightforward shortcut": chase the null-filled V once,
+  /// then re-chase only the per-(r, f) constraint deltas. Off reproduces
+  /// the Corollary's from-scratch O(|V|^3 log |V|) behaviour.
+  bool reuse_base_chase = true;
+};
+
+struct InsertionReport {
+  TranslationVerdict verdict = TranslationVerdict::kTranslatable;
+  bool translatable() const {
+    return verdict == TranslationVerdict::kTranslatable ||
+           verdict == TranslationVerdict::kIdentity;
+  }
+  /// For kFailsChase: the FD and V-row witnessing the counterexample.
+  FD violated_fd;
+  int witness_row = -1;
+  /// Effort accounting (benchmarks).
+  int chases_run = 0;
+  ChaseStats stats;
+  std::string ToString() const;
+};
+
+/// Theorem 3 translatability test. `v` must be an instance over x; `t` a
+/// tuple over x's schema. Requires x ∪ y == universe.
+Result<InsertionReport> CheckInsertion(const AttrSet& universe,
+                                       const FDSet& fds, const AttrSet& x,
+                                       const AttrSet& y, const Relation& v,
+                                       const Tuple& t,
+                                       const InsertionOptions& opts = {});
+
+/// Applies the unique translation T_u[R] = R ∪ t*pi_Y(R) to a materialized
+/// database instance r (whose X-projection is the view the user sees).
+/// Does not re-run the translatability test; callers normally run
+/// CheckInsertion against pi_X(r) first.
+Result<Relation> ApplyInsertion(const AttrSet& universe, const AttrSet& x,
+                                const AttrSet& y, const Relation& r,
+                                const Tuple& t);
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_INSERTION_H_

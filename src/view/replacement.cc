@@ -1,0 +1,116 @@
+#include "view/replacement.h"
+
+#include <vector>
+
+#include "view/chase_test.h"
+
+namespace relview {
+
+Result<ReplacementReport> CheckReplacement(
+    const AttrSet& universe, const FDSet& fds, const AttrSet& x,
+    const AttrSet& y, const Relation& v, const Tuple& t1, const Tuple& t2,
+    const ReplacementOptions& opts) {
+  if (!x.SubsetOf(universe) || (x | y) != universe) {
+    return Status::InvalidArgument("bad view/complement pair");
+  }
+  if (v.attrs() != x || t1.arity() != v.arity() ||
+      t2.arity() != v.arity()) {
+    return Status::InvalidArgument("tuple/view schema mismatch");
+  }
+  ReplacementReport report;
+  if (t1 == t2) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+  if (!v.ContainsRow(t1)) {
+    return Status::InvalidArgument("replaced tuple t1 must be in the view");
+  }
+  if (v.ContainsRow(t2)) {
+    return Status::InvalidArgument(
+        "replacement target t2 must not already be in the view");
+  }
+
+  const Schema& vs = v.schema();
+  const AttrSet common = x & y;
+  int t1_row = -1;
+  for (int i = 0; i < v.size(); ++i) {
+    if (v.row(i) == t1) t1_row = i;
+  }
+
+  const bool same_common = t1.AgreesWith(t2, vs, common);
+  report.theorem_case = same_common ? 2 : 1;
+
+  // Rows of V matching t2 on the common part: the sources of the inserted
+  // tuples' complement columns.
+  std::vector<int> mu_rows;
+  for (int i = 0; i < v.size(); ++i) {
+    if (v.row(i).AgreesWith(t2, vs, common)) mu_rows.push_back(i);
+  }
+
+  if (!same_common) {
+    // Case 1. Condition (a): t1's complement row must survive via another
+    // view row, and t2's complement row must already exist.
+    bool t1_witness = false;
+    for (int i = 0; i < v.size(); ++i) {
+      if (i != t1_row && v.row(i).AgreesWith(t1, vs, common)) {
+        t1_witness = true;
+      }
+    }
+    if (!t1_witness || mu_rows.empty()) {
+      report.verdict = TranslationVerdict::kFailsComplementMembership;
+      return report;
+    }
+    // Condition (b).
+    if (fds.IsSuperkey(common, x)) {
+      report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+      return report;
+    }
+    if (!fds.IsSuperkey(common, y)) {
+      report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+      return report;
+    }
+  } else {
+    // Case 2: t1 itself witnesses t2's common part; conditions (a)/(b)
+    // are automatically satisfiable (mu_rows contains t1_row).
+    RELVIEW_DCHECK(!mu_rows.empty(), "case 2 must have t1 as a mu row");
+  }
+
+  // Condition (c): chase test for t2, excluding t1 as a violator. In case
+  // 2 the common part need not determine Y, so all mu rows are probed.
+  ChaseTestOptions copts;
+  copts.backend = opts.backend;
+  copts.reuse_base_chase = true;
+  copts.skip_row = t1_row;
+  copts.iterate_all_mus = same_common;
+  const ChaseTestResult c =
+      RunConditionC(universe, fds, x, y, v, t2, mu_rows, copts);
+  report.chases_run = c.chases_run;
+  if (!c.ok) {
+    report.verdict = TranslationVerdict::kFailsChase;
+    report.violated_fd = c.violated_fd;
+    report.witness_row = c.witness_row;
+    return report;
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+Result<Relation> ApplyReplacement(const AttrSet& universe, const AttrSet& x,
+                                  const AttrSet& y, const Relation& r,
+                                  const Tuple& t1, const Tuple& t2) {
+  if (r.attrs() != universe || (x | y) != universe) {
+    return Status::InvalidArgument("bad database/view arguments");
+  }
+  const Relation py = r.Project(y);
+  Relation t1x(x);
+  t1x.AddRow(t1);
+  Relation t2x(x);
+  t2x.AddRow(t2);
+  const Relation removed = Relation::NaturalJoin(t1x, py);
+  const Relation added = Relation::NaturalJoin(t2x, py);
+  RELVIEW_ASSIGN_OR_RETURN(Relation without,
+                           Relation::Difference(r, removed));
+  return Relation::Union(without, added);
+}
+
+}  // namespace relview

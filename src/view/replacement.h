@@ -1,0 +1,59 @@
+// Translation of replacements under constant complement (Section 4.2,
+// Theorem 9): replace t1 ∈ V by t2 ∉ V while keeping pi_Y(R) constant.
+//
+// Case 1 (t1[X∩Y] != t2[X∩Y]): behaves like a deletion of t1 plus an
+// insertion of t2 — conditions (a)/(b) of both apply and the chase test
+// runs for t2 against every view row other than t1.
+//
+// Case 2 (t1[X∩Y] == t2[X∩Y]): conditions (a)/(b) are vacuous (X∩Y need
+// not be a superkey of Y; the affected complement rows are replaced as a
+// set), and only the chase test remains. Because X∩Y -> Y is not
+// guaranteed, distinct rows matching t2 on X∩Y may carry different
+// complement parts, so the chase test quantifies over those mu rows too.
+//
+// The translation is T_u[R] = R − t1*pi_Y(R) ∪ t2*pi_Y(R).
+
+#ifndef RELVIEW_VIEW_REPLACEMENT_H_
+#define RELVIEW_VIEW_REPLACEMENT_H_
+
+#include "chase/instance_chase.h"
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/status.h"
+#include "view/insertion.h"
+
+namespace relview {
+
+struct ReplacementOptions {
+  ChaseBackend backend = ChaseBackend::kHash;
+};
+
+struct ReplacementReport {
+  TranslationVerdict verdict = TranslationVerdict::kTranslatable;
+  bool translatable() const {
+    return verdict == TranslationVerdict::kTranslatable ||
+           verdict == TranslationVerdict::kIdentity;
+  }
+  /// Which case of Theorem 9 applied (1 or 2).
+  int theorem_case = 0;
+  FD violated_fd;
+  int witness_row = -1;
+  int chases_run = 0;
+};
+
+/// Theorem 9 test. Requires t1 ∈ V and t2 ∉ V (otherwise degenerate
+/// verdicts are returned: t1 == t2 or t2 ∈ V with t1 ∈ V reduce to
+/// deletion semantics and are reported as such via InvalidArgument).
+Result<ReplacementReport> CheckReplacement(
+    const AttrSet& universe, const FDSet& fds, const AttrSet& x,
+    const AttrSet& y, const Relation& v, const Tuple& t1, const Tuple& t2,
+    const ReplacementOptions& opts = {});
+
+/// Applies T_u[R] = R − t1*pi_Y(R) ∪ t2*pi_Y(R).
+Result<Relation> ApplyReplacement(const AttrSet& universe, const AttrSet& x,
+                                  const AttrSet& y, const Relation& r,
+                                  const Tuple& t1, const Tuple& t2);
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_REPLACEMENT_H_

@@ -1,0 +1,134 @@
+#include "view/selection_view.h"
+
+#include "deps/satisfies.h"
+#include "view/complement.h"
+
+namespace relview {
+
+SelectionViewTranslator::SelectionViewTranslator(Universe universe,
+                                                 DependencySet sigma,
+                                                 AttrSet x, AttrSet y,
+                                                 TuplePredicate p)
+    : universe_(std::move(universe)),
+      sigma_(std::move(sigma)),
+      x_(x),
+      y_(y),
+      p_(std::move(p)),
+      view_schema_(x) {}
+
+Result<SelectionViewTranslator> SelectionViewTranslator::Create(
+    Universe universe, DependencySet sigma, AttrSet x, AttrSet y,
+    TuplePredicate p) {
+  const AttrSet u = universe.All();
+  if (!x.SubsetOf(u) || !y.SubsetOf(u)) {
+    return Status::InvalidArgument("view/complement outside the universe");
+  }
+  if (!p.Attrs().SubsetOf(x)) {
+    return Status::InvalidArgument(
+        "selection predicate must mention only view attributes");
+  }
+  if (!AreComplementary(u, sigma, x, y)) {
+    return Status::FailedPrecondition(
+        "X and Y are not complementary under Sigma");
+  }
+  return SelectionViewTranslator(std::move(universe), std::move(sigma), x, y,
+                                 std::move(p));
+}
+
+Status SelectionViewTranslator::Bind(Relation database) {
+  if (database.attrs() != universe_.All()) {
+    return Status::InvalidArgument("database must be over the universe");
+  }
+  if (!SatisfiesAll(database, sigma_)) {
+    return Status::FailedPrecondition("database violates Sigma");
+  }
+  database.Normalize();
+  database_ = std::move(database);
+  return Status::OK();
+}
+
+Result<Relation> SelectionViewTranslator::ViewInstance() const {
+  if (!database_) return Status::FailedPrecondition("no database bound");
+  const Relation full = database_->Project(x_);
+  return full.Select(
+      [&](const Tuple& t) { return p_.Eval(t, view_schema_); });
+}
+
+Result<Relation> SelectionViewTranslator::HiddenRows() const {
+  if (!database_) return Status::FailedPrecondition("no database bound");
+  const Relation full = database_->Project(x_);
+  return full.Select(
+      [&](const Tuple& t) { return !p_.Eval(t, view_schema_); });
+}
+
+Status SelectionViewTranslator::CheckInsideP(const Tuple& t,
+                                             const char* role) const {
+  if (!p_.Eval(t, view_schema_)) {
+    return Status::Untranslatable(
+        std::string(role) +
+        " lies outside the selection predicate: it belongs to the constant "
+        "sigma_{¬P} complement component");
+  }
+  return Status::OK();
+}
+
+Result<InsertionReport> SelectionViewTranslator::CanInsert(
+    const Tuple& t) const {
+  if (!database_) return Status::FailedPrecondition("no database bound");
+  RELVIEW_RETURN_IF_ERROR(CheckInsideP(t, "inserted tuple"));
+  const Relation full = database_->Project(x_);
+  return CheckInsertion(universe_.All(), sigma_.fds, x_, y_, full, t);
+}
+
+Result<DeletionReport> SelectionViewTranslator::CanDelete(
+    const Tuple& t) const {
+  if (!database_) return Status::FailedPrecondition("no database bound");
+  RELVIEW_RETURN_IF_ERROR(CheckInsideP(t, "deleted tuple"));
+  const Relation full = database_->Project(x_);
+  return CheckDeletion(universe_.All(), sigma_.fds, x_, y_, full, t);
+}
+
+Status SelectionViewTranslator::Insert(const Tuple& t) {
+  RELVIEW_ASSIGN_OR_RETURN(InsertionReport rep, CanInsert(t));
+  if (!rep.translatable()) return Status::Untranslatable(rep.ToString());
+  if (rep.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(
+      Relation updated,
+      ApplyInsertion(universe_.All(), x_, y_, *database_, t));
+  database_ = std::move(updated);
+  return Status::OK();
+}
+
+Status SelectionViewTranslator::Delete(const Tuple& t) {
+  RELVIEW_ASSIGN_OR_RETURN(DeletionReport rep, CanDelete(t));
+  if (!rep.translatable()) {
+    return Status::Untranslatable(TranslationVerdictName(rep.verdict));
+  }
+  if (rep.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(
+      Relation updated,
+      ApplyDeletion(universe_.All(), x_, y_, *database_, t));
+  database_ = std::move(updated);
+  return Status::OK();
+}
+
+Status SelectionViewTranslator::Replace(const Tuple& t1, const Tuple& t2) {
+  if (!database_) return Status::FailedPrecondition("no database bound");
+  RELVIEW_RETURN_IF_ERROR(CheckInsideP(t1, "replaced tuple"));
+  RELVIEW_RETURN_IF_ERROR(CheckInsideP(t2, "replacement tuple"));
+  const Relation full = database_->Project(x_);
+  RELVIEW_ASSIGN_OR_RETURN(
+      ReplacementReport rep,
+      CheckReplacement(universe_.All(), sigma_.fds, x_, y_, full, t1, t2));
+  if (!rep.translatable()) {
+    return Status::Untranslatable(TranslationVerdictName(rep.verdict));
+  }
+  if (rep.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(
+      Relation updated,
+      ApplyReplacement(universe_.All(), x_, y_, *database_, t1, t2));
+  database_ = std::move(updated);
+  return Status::OK();
+}
+
+}  // namespace relview

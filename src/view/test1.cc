@@ -1,0 +1,293 @@
+#include "view/test1.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chase/instance_chase.h"
+
+namespace relview {
+
+namespace {
+
+struct Common {
+  AttrSet common;      // X ∩ Y
+  AttrSet x_only;      // X − Y
+  AttrSet y_only;      // Y − X
+  std::vector<int> mu_rows;
+};
+
+/// Shared preamble: conditions (a)/(b) (Test 1 presupposes them, like the
+/// exact test) and the mu set.
+Result<Test1Report> Preamble(const AttrSet& universe, const FDSet& fds,
+                             const AttrSet& x, const AttrSet& y,
+                             const Relation& v, const Tuple& t, Common* c) {
+  Test1Report report;
+  if (!x.SubsetOf(universe) || (x | y) != universe || v.attrs() != x ||
+      t.arity() != v.arity()) {
+    return Status::InvalidArgument("bad view-update arguments");
+  }
+  if (v.ContainsRow(t)) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+  c->common = x & y;
+  c->x_only = x - y;
+  c->y_only = y - x;
+  const Schema& vs = v.schema();
+  for (int i = 0; i < v.size(); ++i) {
+    if (v.row(i).AgreesWith(t, vs, c->common)) c->mu_rows.push_back(i);
+  }
+  if (c->mu_rows.empty()) {
+    report.verdict = TranslationVerdict::kFailsComplementMembership;
+    return report;
+  }
+  if (fds.IsSuperkey(c->common, x)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+    return report;
+  }
+  if (!fds.IsSuperkey(c->common, y)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+    return report;
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+/// Closure-based success of the two-tuple chase on {r, mu} for FD
+/// lhs -> rhs: seed = (X-agreement of r and mu) ∪ (lhs ∩ (Y−X)).
+bool PairSucceeds(const FDSet& fds, const FD& fd, bool rhs_in_x,
+                  const AttrSet& x, const AttrSet& y_only,
+                  const AttrSet& x_agree, int64_t* probes) {
+  const AttrSet seed = x_agree | (fd.lhs & y_only);
+  ++*probes;
+  const AttrSet closure = fds.Closure(seed);
+  // "Attempts to equate two distinct elements of V": the closure forces
+  // agreement on an X attribute where the constants differ.
+  if (!(closure & x).SubsetOf(x_agree)) return true;
+  // "Equates r[A], mu[A]" (A in Y−X).
+  if (!rhs_in_x && closure.Contains(fd.rhs)) return true;
+  return false;
+}
+
+/// The literal two-tuple chase (reference backend).
+bool PairSucceedsByChase(const FDSet& fds, const FD& fd, bool rhs_in_x,
+                         const AttrSet& universe, const AttrSet& x,
+                         const AttrSet& y_only, const Relation& v, int r,
+                         int mu, const Tuple& t, int64_t* probes) {
+  (void)t;
+  ++*probes;
+  const Schema& vs = v.schema();
+  Relation pair(universe);
+  const Schema& ps = pair.schema();
+  uint32_t next_null = 0;
+  auto extend = [&](int row, uint32_t base) {
+    Tuple out(ps.arity());
+    x.ForEach([&](AttrId a) { out.Set(ps, a, v.row(row).At(vs, a)); });
+    y_only.ForEach([&](AttrId a) {
+      out.Set(ps, a, Value::Null(base + next_null++));
+    });
+    return out;
+  };
+  Tuple rr = extend(r, 0);
+  next_null = 0;
+  Tuple mm = extend(mu, 1000000);
+  // Impose r ~ mu on Z ∩ (Y−X).
+  (fd.lhs & y_only).ForEach([&](AttrId a) { rr.Set(ps, a, mm.At(ps, a)); });
+  pair.AddRow(rr);
+  pair.AddRow(mm);
+  const ChaseOutcome out = ChaseInstance(pair, fds, ChaseBackend::kHash);
+  if (out.conflict) return true;
+  if (!rhs_in_x) {
+    return out.Resolve(rr.At(ps, fd.rhs)) == out.Resolve(mm.At(ps, fd.rhs));
+  }
+  return false;
+}
+
+Result<Test1Report> RunPairwise(const AttrSet& universe, const FDSet& fds,
+                                const AttrSet& x, const AttrSet& y,
+                                const Relation& v, const Tuple& t,
+                                bool by_chase) {
+  Common c;
+  RELVIEW_ASSIGN_OR_RETURN(Test1Report report,
+                           Preamble(universe, fds, x, y, v, t, &c));
+  if (report.verdict != TranslationVerdict::kTranslatable) return report;
+  const Schema& vs = v.schema();
+
+  for (const FD& fd : fds.fds()) {
+    const AttrSet zx = fd.lhs & x;
+    const bool rhs_in_x = x.Contains(fd.rhs);
+    for (int r = 0; r < v.size(); ++r) {
+      const Tuple& vr = v.row(r);
+      if (!vr.AgreesWith(t, vs, zx)) continue;
+      if (rhs_in_x && vr.At(vs, fd.rhs) == t.At(vs, fd.rhs)) continue;
+
+      bool success = false;
+      for (int mu : c.mu_rows) {
+        if (by_chase) {
+          if (r == mu) {
+            // Degenerate single-tuple "pair": the watched cells coincide.
+            success = !rhs_in_x;
+          } else {
+            success = PairSucceedsByChase(fds, fd, rhs_in_x, universe, x,
+                                          c.y_only, v, r, mu, t,
+                                          &report.probes);
+          }
+        } else {
+          AttrSet x_agree;
+          x.ForEach([&](AttrId a) {
+            if (vr.At(vs, a) == v.row(mu).At(vs, a)) x_agree.Add(a);
+          });
+          success = PairSucceeds(fds, fd, rhs_in_x, x, c.y_only, x_agree,
+                                 &report.probes);
+        }
+        if (success) break;
+      }
+      if (!success) {
+        report.verdict = TranslationVerdict::kFailsChase;
+        report.violated_fd = fd;
+        report.witness_row = r;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+/// The indexed backend (the paper's steps (1)-(4)).
+Result<Test1Report> RunIndexed(const AttrSet& universe, const FDSet& fds,
+                               const AttrSet& x, const AttrSet& y,
+                               const Relation& v, const Tuple& t) {
+  Common c;
+  RELVIEW_ASSIGN_OR_RETURN(Test1Report report,
+                           Preamble(universe, fds, x, y, v, t, &c));
+  if (report.verdict != TranslationVerdict::kTranslatable) return report;
+  const Schema& vs = v.schema();
+
+  // All mu rows agree with t on X∩Y and (logically, via X∩Y -> Y) on the
+  // complement columns; they differ only on X − Y. Enumerate the exact
+  // X−Y agreement patterns of T against each candidate r via per-subset
+  // match counts plus a superset Möbius transform.
+  const std::vector<AttrId> xo = c.x_only.ToVector();
+  const int k = static_cast<int>(xo.size());
+  if (k > 16) {
+    return Status::CapacityExceeded(
+        "Test1 indexed backend limited to |X−Y| <= 16");
+  }
+  const uint32_t nmask = 1u << k;
+
+  // Per-subset hash multiset of T's projections (the role of the paper's
+  // sorted copies T_S).
+  std::vector<std::unordered_map<uint64_t, int>> index(nmask);
+  for (uint32_t s = 0; s < nmask; ++s) {
+    AttrSet cols;
+    for (int i = 0; i < k; ++i) {
+      if (s & (1u << i)) cols.Add(xo[i]);
+    }
+    for (int mu : c.mu_rows) {
+      ++index[s][v.row(mu).HashOn(vs, cols)];
+    }
+  }
+
+  // Closure memo (the role of step (3)'s 2^|U| precomputed closures).
+  std::unordered_map<AttrSet, AttrSet, AttrSetHash> closure_memo;
+  auto closure_of = [&](const AttrSet& s) {
+    auto it = closure_memo.find(s);
+    if (it != closure_memo.end()) return it->second;
+    const AttrSet cl = fds.Closure(s);
+    closure_memo.emplace(s, cl);
+    return cl;
+  };
+
+  for (const FD& fd : fds.fds()) {
+    const AttrSet zx = fd.lhs & x;
+    const bool rhs_in_x = x.Contains(fd.rhs);
+    for (int r = 0; r < v.size(); ++r) {
+      const Tuple& vr = v.row(r);
+      if (!vr.AgreesWith(t, vs, zx)) continue;
+      if (rhs_in_x && vr.At(vs, fd.rhs) == t.At(vs, fd.rhs)) continue;
+
+      // r's agreement with every mu on X∩Y is r-vs-t agreement there.
+      AttrSet common_agree;
+      c.common.ForEach([&](AttrId a) {
+        if (vr.At(vs, a) == t.At(vs, a)) common_agree.Add(a);
+      });
+      // match[s]: #mu agreeing with r on at least the pattern s.
+      std::vector<int> match(nmask, 0);
+      for (uint32_t s = 0; s < nmask; ++s) {
+        AttrSet cols;
+        for (int i = 0; i < k; ++i) {
+          if (s & (1u << i)) cols.Add(xo[i]);
+        }
+        auto it = index[s].find(vr.HashOn(vs, cols));
+        match[s] = (it == index[s].end()) ? 0 : it->second;
+      }
+      // exact[s]: #mu agreeing with r on exactly the pattern s (superset
+      // Möbius transform).
+      std::vector<int> exact(match);
+      for (int i = 0; i < k; ++i) {
+        for (uint32_t s = 0; s < nmask; ++s) {
+          if (!(s & (1u << i))) exact[s] -= exact[s | (1u << i)];
+        }
+      }
+
+      // Accumulation loop: G = complement columns where r is known equal
+      // to the (shared) mu extension; the paper's "make r agree with nu on
+      // S+".
+      AttrSet g = fd.lhs & c.y_only;
+      bool success = false;
+      bool changed = true;
+      while (changed && !success) {
+        changed = false;
+        for (uint32_t s = 0; s < nmask && !success; ++s) {
+          if (exact[s] <= 0) continue;
+          AttrSet pattern;
+          for (int i = 0; i < k; ++i) {
+            if (s & (1u << i)) pattern.Add(xo[i]);
+          }
+          const AttrSet seed = common_agree | pattern | g;
+          ++report.probes;
+          const AttrSet cl = closure_of(seed);
+          // Conflict with this exact-pattern mu: the chase would equate
+          // distinct constants of V.
+          if (!(cl & x).SubsetOf(common_agree | pattern)) {
+            success = true;
+            break;
+          }
+          const AttrSet gain = cl & c.y_only;
+          if (!gain.SubsetOf(g)) {
+            g |= gain;
+            changed = true;
+          }
+        }
+        if (!rhs_in_x && g.Contains(fd.rhs)) success = true;
+      }
+      if (!success) {
+        report.verdict = TranslationVerdict::kFailsChase;
+        report.violated_fd = fd;
+        report.witness_row = r;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<Test1Report> RunTest1(const AttrSet& universe, const FDSet& fds,
+                             const AttrSet& x, const AttrSet& y,
+                             const Relation& v, const Tuple& t,
+                             const Test1Options& opts) {
+  switch (opts.backend) {
+    case Test1Backend::kTwoTupleChase:
+      return RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/true);
+    case Test1Backend::kClosure:
+      return RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/false);
+    case Test1Backend::kIndexed:
+      return RunIndexed(universe, fds, x, y, v, t);
+  }
+  return Status::InvalidArgument("unknown Test1 backend");
+}
+
+}  // namespace relview

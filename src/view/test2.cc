@@ -1,0 +1,179 @@
+#include "view/test2.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "view/generic_instance.h"
+
+namespace relview {
+
+namespace {
+
+/// Per-column partition of the four cell objects {t̂, nu, mu1, mu2}.
+class CellPartition {
+ public:
+  static constexpr int kT = 0;   // t̂
+  static constexpr int kN = 1;   // nu
+  static constexpr int kM1 = 2;  // mu1
+  static constexpr int kM2 = 3;  // mu2
+
+  CellPartition() {
+    for (auto& col : parent_) col = {0, 1, 2, 3};
+  }
+
+  int Find(AttrId col, int obj) const {
+    int p = parent_[col][obj];
+    while (p != parent_[col][p]) p = parent_[col][p];
+    return p;
+  }
+
+  /// Returns true if a merge happened.
+  bool Union(AttrId col, int a, int b) {
+    const int ra = Find(col, a);
+    const int rb = Find(col, b);
+    if (ra == rb) return false;
+    parent_[col][std::max(ra, rb)] = std::min(ra, rb);
+    return true;
+  }
+
+  bool Same(AttrId col, int a, int b) const {
+    return Find(col, a) == Find(col, b);
+  }
+
+ private:
+  std::array<std::array<int, 4>, AttrSet::kMaxAttrs> parent_;
+};
+
+}  // namespace
+
+GoodComplementReport CheckGoodComplement(const AttrSet& universe,
+                                         const FDSet& fds, const AttrSet& x,
+                                         const AttrSet& y,
+                                         GoodComplementMode mode) {
+  GoodComplementReport report;
+  // The pairs whose legality is assumed: (mu1, nu) from R1 |= Sigma;
+  // (mu2, nu), (nu, t̂), (mu2, t̂) from R2 |= Sigma and T_u[R2] |= Sigma.
+  constexpr int kPairs[4][2] = {
+      {CellPartition::kM1, CellPartition::kN},
+      {CellPartition::kM2, CellPartition::kN},
+      {CellPartition::kN, CellPartition::kT},
+      {CellPartition::kM2, CellPartition::kT},
+  };
+
+  for (const FD& target : fds.fds()) {
+    if (target.Trivial()) continue;
+    CellPartition part;
+    // Construction equalities:
+    //   nu agrees with t̂ on Y (it is the complement-matching row);
+    //   mu1 agrees with t̂ on Z (the violation premise);
+    //   mu2 is linked to mu1 per the chosen mode.
+    y.ForEach([&](AttrId w) {
+      part.Union(w, CellPartition::kT, CellPartition::kN);
+    });
+    target.lhs.ForEach([&](AttrId w) {
+      part.Union(w, CellPartition::kT, CellPartition::kM1);
+    });
+    const AttrSet link = (mode == GoodComplementMode::kSemantic)
+                             ? x
+                             : (universe - target.lhs);
+    link.ForEach([&](AttrId w) {
+      part.Union(w, CellPartition::kM1, CellPartition::kM2);
+    });
+
+    // Fixpoint over the legality pairs.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++report.fixpoint_rounds;
+      for (const FD& fd : fds.fds()) {
+        for (const auto& pair : kPairs) {
+          bool agree = true;
+          fd.lhs.ForEach([&](AttrId w) {
+            if (!part.Same(w, pair[0], pair[1])) agree = false;
+          });
+          if (agree && part.Union(fd.rhs, pair[0], pair[1])) changed = true;
+        }
+      }
+    }
+
+    if (!part.Same(target.rhs, CellPartition::kM1, CellPartition::kT)) {
+      report.good = false;
+      report.counterexample_fd = target;
+      return report;
+    }
+  }
+  return report;
+}
+
+Result<Test2Report> RunTest2(const AttrSet& universe, const FDSet& fds,
+                             const AttrSet& x, const AttrSet& y,
+                             const Relation& v, const Tuple& t,
+                             ChaseBackend backend) {
+  Test2Report report;
+  if (!x.SubsetOf(universe) || (x | y) != universe || v.attrs() != x ||
+      t.arity() != v.arity()) {
+    return Status::InvalidArgument("bad view-update arguments");
+  }
+  if (v.ContainsRow(t)) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+  const Schema& vs = v.schema();
+  const AttrSet common = x & y;
+  const AttrSet y_only = y - x;
+
+  int mu = -1;
+  for (int i = 0; i < v.size() && mu < 0; ++i) {
+    if (v.row(i).AgreesWith(t, vs, common)) mu = i;
+  }
+  if (mu < 0) {
+    report.verdict = TranslationVerdict::kFailsComplementMembership;
+    return report;
+  }
+  if (fds.IsSuperkey(common, x)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+    return report;
+  }
+  if (!fds.IsSuperkey(common, y)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+    return report;
+  }
+
+  // Canonical database R0: the chased null-filled view.
+  GenericInstance generic = GenericInstance::Build(universe, x, v);
+  const ChaseOutcome base = ChaseInstance(generic.relation(), fds, backend);
+  report.stats = base.stats;
+  if (base.conflict) {
+    // No legal database projects to V; vacuously translatable.
+    report.verdict = TranslationVerdict::kTranslatable;
+    return report;
+  }
+  const Relation& r0 = base.result;
+  const Schema& fs = r0.schema();
+
+  // The inserted database tuple t̂ = t * pi_Y(R0).
+  Tuple inserted(fs.arity());
+  x.ForEach([&](AttrId a) { inserted.Set(fs, a, t.At(vs, a)); });
+  y_only.ForEach([&](AttrId a) {
+    inserted.Set(fs, a, base.Resolve(generic.NullAt(mu, a)));
+  });
+
+  // T_u[R0] |= Sigma: only pairs involving the inserted tuple can violate.
+  for (const FD& fd : fds.fds()) {
+    for (int i = 0; i < r0.size(); ++i) {
+      const Tuple& row = r0.row(i);
+      if (row.AgreesWith(inserted, fs, fd.lhs) &&
+          row.At(fs, fd.rhs) != inserted.At(fs, fd.rhs)) {
+        report.verdict = TranslationVerdict::kFailsChase;
+        report.violated_fd = fd;
+        report.witness_row = i;
+        return report;
+      }
+    }
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+}  // namespace relview

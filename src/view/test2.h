@@ -1,0 +1,77 @@
+// Test 2 (Section 3.1): the "good complement" machinery.
+//
+// Y is a *good* complement of X when, for any two legal databases R1, R2
+// that agree on the view (pi_X(R1) = pi_X(R2)) and both contain the
+// complement row matched by the inserted tuple, the translated insertion
+// T_u is legal on R1 iff it is legal on R2. For a good complement,
+// translatability can be decided by materializing ONE canonical database
+// R0 (the chased null-filled view) and checking T_u[R0] |= Sigma directly:
+// O(|V|^2 log |V|) for the single chase plus O(|V| |Sigma|) for the scan.
+//
+// Goodness is a property of the schema (X, Y, Sigma) alone. The paper
+// shows a counterexample needs only two-tuple relations and checks for one
+// with a 3-symbol tableau fixpoint in O(|Sigma|^2 |U|). We implement that
+// fixpoint as a per-column union-find over the four cell objects
+//   t̂ (inserted tuple), nu (the complement-matching row, shared between
+//   R1 and R2 per the paper's initialization nu2 = nu1, t̂2 = t̂1),
+//   mu1 (the violating row of R1), mu2 (its X-equal image in R2),
+// deriving equalities from R1 |= Sigma (pair mu1-nu) and T_u[R2] |= Sigma
+// (pairs mu2-nu, nu-t̂, mu2-t̂). Y is good for FD Z -> A iff the fixpoint
+// forces mu1[A] = t̂[A].
+//
+// Two initializations are provided (see DESIGN.md interpretation notes):
+//  * kSemantic  — mu1 ~ mu2 on X (the linkage the theorem's derivation
+//    uses: pi_X(R1) = pi_X(R2)). Default.
+//  * kPaperLiteral — mu1 ~ mu2 on U − Z (the literal a2-symbol sharing of
+//    the paper's initialization).
+// Divergence, when it occurs, errs toward declaring Y "not good", which
+// merely disables Test 2 — never an unsound acceptance.
+
+#ifndef RELVIEW_VIEW_TEST2_H_
+#define RELVIEW_VIEW_TEST2_H_
+
+#include "chase/instance_chase.h"
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/status.h"
+#include "view/insertion.h"
+
+namespace relview {
+
+enum class GoodComplementMode { kSemantic, kPaperLiteral };
+
+struct GoodComplementReport {
+  bool good = true;
+  /// When !good: the FD whose two-tuple counterexample tableau survived.
+  FD counterexample_fd;
+  int fixpoint_rounds = 0;
+};
+
+/// The O(|Sigma|^2 |U|) schema-level check.
+GoodComplementReport CheckGoodComplement(
+    const AttrSet& universe, const FDSet& fds, const AttrSet& x,
+    const AttrSet& y, GoodComplementMode mode = GoodComplementMode::kSemantic);
+
+struct Test2Report {
+  TranslationVerdict verdict = TranslationVerdict::kTranslatable;
+  bool accepted() const {
+    return verdict == TranslationVerdict::kTranslatable ||
+           verdict == TranslationVerdict::kIdentity;
+  }
+  FD violated_fd;
+  int witness_row = -1;
+  ChaseStats stats;
+};
+
+/// The fast per-insertion test: builds the canonical R0 by chasing the
+/// null-filled view and checks T_u[R0] |= Sigma. Exact when
+/// CheckGoodComplement(...).good; callers should verify goodness once at
+/// complement-declaration time and disregard Test 2 otherwise.
+Result<Test2Report> RunTest2(const AttrSet& universe, const FDSet& fds,
+                             const AttrSet& x, const AttrSet& y,
+                             const Relation& v, const Tuple& t,
+                             ChaseBackend backend = ChaseBackend::kHash);
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_TEST2_H_

@@ -1,0 +1,107 @@
+#include "view/translator.h"
+
+#include "deps/satisfies.h"
+
+namespace relview {
+
+ViewTranslator::ViewTranslator(Universe universe, DependencySet sigma,
+                               AttrSet x, AttrSet y)
+    : universe_(std::move(universe)),
+      sigma_(std::move(sigma)),
+      x_(x),
+      y_(y) {}
+
+Result<ViewTranslator> ViewTranslator::Create(Universe universe,
+                                              DependencySet sigma, AttrSet x,
+                                              AttrSet y) {
+  const AttrSet u = universe.All();
+  if (!x.SubsetOf(u) || !y.SubsetOf(u)) {
+    return Status::InvalidArgument("view/complement outside the universe");
+  }
+  if (!AreComplementary(u, sigma, x, y)) {
+    return Status::FailedPrecondition(
+        "X and Y are not complementary under Sigma (Theorem 1): X=" +
+        universe.Format(x) + " Y=" + universe.Format(y));
+  }
+  ViewTranslator vt(std::move(universe), std::move(sigma), x, y);
+  vt.good_ = CheckGoodComplement(u, vt.sigma_.fds, x, y);
+  return vt;
+}
+
+Status ViewTranslator::Bind(Relation database) {
+  if (database.attrs() != universe_.All()) {
+    return Status::InvalidArgument("database must be over the universe");
+  }
+  if (!SatisfiesAll(database, sigma_)) {
+    return Status::FailedPrecondition("database violates Sigma");
+  }
+  database.Normalize();
+  database_ = std::move(database);
+  return Status::OK();
+}
+
+Result<Relation> ViewTranslator::ViewInstance() const {
+  if (!bound()) return Status::FailedPrecondition("no database bound");
+  return database_->Project(x_);
+}
+
+Result<InsertionReport> ViewTranslator::CanInsert(const Tuple& t) const {
+  RELVIEW_ASSIGN_OR_RETURN(Relation v, ViewInstance());
+  return CheckInsertion(universe_.All(), sigma_.fds, x_, y_, v, t);
+}
+
+Result<DeletionReport> ViewTranslator::CanDelete(const Tuple& t) const {
+  RELVIEW_ASSIGN_OR_RETURN(Relation v, ViewInstance());
+  return CheckDeletion(universe_.All(), sigma_.fds, x_, y_, v, t);
+}
+
+Result<ReplacementReport> ViewTranslator::CanReplace(const Tuple& t1,
+                                                     const Tuple& t2) const {
+  RELVIEW_ASSIGN_OR_RETURN(Relation v, ViewInstance());
+  return CheckReplacement(universe_.All(), sigma_.fds, x_, y_, v, t1, t2);
+}
+
+Status ViewTranslator::Insert(const Tuple& t) {
+  RELVIEW_ASSIGN_OR_RETURN(InsertionReport report, CanInsert(t));
+  if (!report.translatable()) {
+    return Status::Untranslatable(report.ToString());
+  }
+  if (report.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(
+      Relation updated,
+      ApplyInsertion(universe_.All(), x_, y_, *database_, t));
+  RELVIEW_DCHECK(SatisfiesAll(updated, sigma_.fds),
+                 "translated insertion produced an illegal database");
+  database_ = std::move(updated);
+  return Status::OK();
+}
+
+Status ViewTranslator::Delete(const Tuple& t) {
+  RELVIEW_ASSIGN_OR_RETURN(DeletionReport report, CanDelete(t));
+  if (!report.translatable()) {
+    return Status::Untranslatable(TranslationVerdictName(report.verdict));
+  }
+  if (report.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(
+      Relation updated,
+      ApplyDeletion(universe_.All(), x_, y_, *database_, t));
+  database_ = std::move(updated);
+  return Status::OK();
+}
+
+Status ViewTranslator::Replace(const Tuple& t1, const Tuple& t2) {
+  RELVIEW_ASSIGN_OR_RETURN(ReplacementReport report, CanReplace(t1, t2));
+  if (!report.translatable()) {
+    return Status::Untranslatable(TranslationVerdictName(report.verdict));
+  }
+  if (report.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  RELVIEW_ASSIGN_OR_RETURN(
+      Relation updated,
+      ApplyReplacement(universe_.All(), x_, y_, *database_, t1, t2));
+  RELVIEW_DCHECK(SatisfiesAll(updated, sigma_.fds),
+                 "translated replacement produced an illegal database");
+  database_ = std::move(updated);
+  return Status::OK();
+}
+
+}  // namespace relview

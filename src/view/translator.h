@@ -1,0 +1,80 @@
+// ViewTranslator: the user-facing facade. Owns the schema (U, Sigma), a
+// view X, a constant complement Y, and (optionally) a bound database
+// instance. Implements the paper's full scenario: the user declares a view
+// and a complement (validated for complementarity, Theorem 1), then issues
+// view updates which are checked (Theorems 3, 8, 9) and — when
+// translatable — applied to the underlying database as the unique
+// constant-complement translation.
+
+#ifndef RELVIEW_VIEW_TRANSLATOR_H_
+#define RELVIEW_VIEW_TRANSLATOR_H_
+
+#include <optional>
+
+#include "deps/dep_set.h"
+#include "relational/relation.h"
+#include "relational/universe.h"
+#include "util/status.h"
+#include "view/complement.h"
+#include "view/deletion.h"
+#include "view/insertion.h"
+#include "view/replacement.h"
+#include "view/test2.h"
+
+namespace relview {
+
+class ViewTranslator {
+ public:
+  /// Validates that x and y are complementary under sigma (Theorem 1 /
+  /// Theorem 10) and that sigma's FDs are canonical. The Universe is kept
+  /// for diagnostics only.
+  static Result<ViewTranslator> Create(Universe universe,
+                                       DependencySet sigma, AttrSet x,
+                                       AttrSet y);
+
+  const Universe& universe() const { return universe_; }
+  const DependencySet& sigma() const { return sigma_; }
+  const AttrSet& view() const { return x_; }
+  const AttrSet& complement() const { return y_; }
+
+  /// Whether Y is a good complement (Test 2 precomputation; cached).
+  bool complement_is_good() const { return good_.good; }
+  const GoodComplementReport& good_report() const { return good_; }
+
+  /// Binds the database instance the view is computed from. Must satisfy
+  /// sigma.
+  Status Bind(Relation database);
+  bool bound() const { return database_.has_value(); }
+  const Relation& database() const { return *database_; }
+
+  /// pi_X of the bound database.
+  Result<Relation> ViewInstance() const;
+
+  /// Translatability checks against the current view instance.
+  Result<InsertionReport> CanInsert(const Tuple& t) const;
+  Result<DeletionReport> CanDelete(const Tuple& t) const;
+  Result<ReplacementReport> CanReplace(const Tuple& t1,
+                                       const Tuple& t2) const;
+
+  /// Check-and-apply. Returns Untranslatable (with the verdict in the
+  /// message) when the update is rejected; on success the bound database
+  /// is updated in place and maps onto the updated view.
+  Status Insert(const Tuple& t);
+  Status Delete(const Tuple& t);
+  Status Replace(const Tuple& t1, const Tuple& t2);
+
+ private:
+  ViewTranslator(Universe universe, DependencySet sigma, AttrSet x,
+                 AttrSet y);
+
+  Universe universe_;
+  DependencySet sigma_;
+  AttrSet x_;
+  AttrSet y_;
+  GoodComplementReport good_;
+  std::optional<Relation> database_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_TRANSLATOR_H_

@@ -1,0 +1,125 @@
+// Tests for the Armstrong derivation engine: completeness against the
+// closure algorithm, and independent replay of every produced proof.
+
+#include "deps/armstrong.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace relview {
+namespace {
+
+TEST(ArmstrongTest, DerivesTransitiveChain) {
+  Universe u = Universe::Parse("A B C D").value();
+  auto fds = *FDSet::Parse(u, "A -> B; B -> C; C -> D");
+  auto d = DeriveFD(fds, u.SetOf("A"), u.SetOf("D"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->lhs, u.SetOf("A"));
+  EXPECT_EQ((*d)->rhs, u.SetOf("D"));
+  EXPECT_FALSE((*d)->explicit_fd);
+  EXPECT_TRUE(ReplayDerivation(**d, fds, EFDSet()).ok());
+  // The rendering mentions every rule used.
+  const std::string proof = (*d)->ToString(&u);
+  EXPECT_NE(proof.find("transitivity"), std::string::npos);
+  EXPECT_NE(proof.find("given"), std::string::npos);
+}
+
+TEST(ArmstrongTest, RefusesNonImpliedFD) {
+  Universe u = Universe::Parse("A B C").value();
+  auto fds = *FDSet::Parse(u, "A -> B");
+  auto d = DeriveFD(fds, u.SetOf("B"), u.SetOf("A"));
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArmstrongTest, ReflexivityAlone) {
+  Universe u = Universe::Parse("A B").value();
+  FDSet none;
+  auto d = DeriveFD(none, u.SetOf("A B"), u.SetOf("A"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(ReplayDerivation(**d, none, EFDSet()).ok());
+}
+
+TEST(ArmstrongTest, EFDDerivationCarriesExplicitJudgements) {
+  Universe u = Universe::Parse("Cost Rate Price Tax").value();
+  EFDSet efds;
+  efds.Add(EFD(u.SetOf("Cost Rate"), u.SetOf("Price")));
+  efds.Add(EFD(u.SetOf("Price"), u.SetOf("Tax")));
+  auto d = DeriveEFD(efds, u.SetOf("Cost Rate"), u.SetOf("Tax"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE((*d)->explicit_fd);
+  EXPECT_TRUE(ReplayDerivation(**d, FDSet(), efds).ok());
+  EXPECT_NE((*d)->ToString(&u).find("->e"), std::string::npos);
+}
+
+TEST(ArmstrongTest, ReplayRejectsTamperedProof) {
+  Universe u = Universe::Parse("A B C").value();
+  auto fds = *FDSet::Parse(u, "A -> B");
+  auto d = DeriveFD(fds, u.SetOf("A"), u.SetOf("B"));
+  ASSERT_TRUE(d.ok());
+  // Tamper: claim a different conclusion.
+  Derivation forged = **d;
+  forged.rhs = u.SetOf("C");
+  EXPECT_FALSE(ReplayDerivation(forged, fds, EFDSet()).ok());
+  // Tamper: fabricate a 'given' leaf.
+  Derivation fake_leaf;
+  fake_leaf.lhs = u.SetOf("B");
+  fake_leaf.rhs = u.SetOf("C");
+  fake_leaf.rule = InferenceRule::kGiven;
+  EXPECT_FALSE(ReplayDerivation(fake_leaf, fds, EFDSet()).ok());
+}
+
+TEST(ArmstrongTest, ReplayRejectsMixedJudgements) {
+  Universe u = Universe::Parse("A B").value();
+  Derivation fd_leaf;
+  fd_leaf.lhs = u.SetOf("A");
+  fd_leaf.rhs = u.SetOf("A");
+  fd_leaf.rule = InferenceRule::kReflexivity;
+  Derivation efd_root;
+  efd_root.lhs = u.SetOf("A");
+  efd_root.rhs = u.SetOf("A");
+  efd_root.explicit_fd = true;
+  efd_root.rule = InferenceRule::kAugmentation;
+  efd_root.premises.push_back(std::make_shared<Derivation>(fd_leaf));
+  EXPECT_FALSE(ReplayDerivation(efd_root, FDSet(), EFDSet()).ok());
+}
+
+class ArmstrongPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArmstrongPropertyTest, CompleteAndSoundAgainstClosure) {
+  const int width = 6;
+  Rng rng(5000 + GetParam());
+  FDSet fds;
+  const int nfd = 1 + static_cast<int>(rng.Below(5));
+  for (int i = 0; i < nfd; ++i) {
+    AttrSet lhs;
+    for (int c = 0; c < width; ++c) {
+      if (rng.Chance(0.35)) lhs.Add(static_cast<AttrId>(c));
+    }
+    fds.Add(lhs, static_cast<AttrId>(rng.Below(width)));
+  }
+  for (int probe = 0; probe < 12; ++probe) {
+    AttrSet lhs, rhs;
+    for (int c = 0; c < width; ++c) {
+      if (rng.Chance(0.4)) lhs.Add(static_cast<AttrId>(c));
+      if (rng.Chance(0.4)) rhs.Add(static_cast<AttrId>(c));
+    }
+    if (rhs.Empty()) continue;
+    const bool implied = fds.Implies(lhs, rhs);
+    auto d = DeriveFD(fds, lhs, rhs);
+    EXPECT_EQ(d.ok(), implied) << fds.ToString() << " " << lhs.ToString()
+                               << "->" << rhs.ToString();
+    if (d.ok()) {
+      EXPECT_TRUE(ReplayDerivation(**d, fds, EFDSet()).ok());
+      EXPECT_EQ((*d)->lhs, lhs);
+      EXPECT_EQ((*d)->rhs, rhs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArmstrongPropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,106 @@
+// Unit tests for AttrSet and Universe.
+
+#include "relational/attr_set.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/universe.h"
+
+namespace relview {
+namespace {
+
+TEST(AttrSetTest, EmptyByDefault) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.First(), -1);
+}
+
+TEST(AttrSetTest, AddRemoveContains) {
+  AttrSet s;
+  s.Add(3);
+  s.Add(200);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(200));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1);
+}
+
+TEST(AttrSetTest, InitializerListAndFirstN) {
+  AttrSet s{1, 5, 9};
+  EXPECT_EQ(s.Count(), 3);
+  AttrSet f = AttrSet::FirstN(10);
+  EXPECT_EQ(f.Count(), 10);
+  EXPECT_TRUE(s.SubsetOf(f));
+  EXPECT_FALSE(f.SubsetOf(s));
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a{1, 2, 3};
+  AttrSet b{3, 4};
+  EXPECT_EQ((a | b), (AttrSet{1, 2, 3, 4}));
+  EXPECT_EQ((a & b), AttrSet{3});
+  EXPECT_EQ((a - b), (AttrSet{1, 2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE((a - b).Intersects(b));
+}
+
+TEST(AttrSetTest, IterationAscendingAcrossWords) {
+  AttrSet s{0, 63, 64, 128, 255};
+  std::vector<AttrId> got = s.ToVector();
+  EXPECT_EQ(got, (std::vector<AttrId>{0, 63, 64, 128, 255}));
+  EXPECT_EQ(s.First(), 0);
+  EXPECT_EQ(s.Next(64), 128);
+  EXPECT_EQ(s.Next(255), -1);
+}
+
+TEST(AttrSetTest, HashDiffersAcrossDistinctSets) {
+  AttrSet a{1};
+  AttrSet b{2};
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_EQ(a.Hash(), AttrSet{1}.Hash());
+}
+
+TEST(AttrSetTest, OrderIsTotal) {
+  AttrSet a{1};
+  AttrSet b{2};
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(UniverseTest, ParseAndFormat) {
+  auto u = Universe::Parse("Emp Dept Mgr");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3);
+  EXPECT_EQ((*u)["Dept"], 1);
+  AttrSet ed = u->SetOf("Emp Dept");
+  EXPECT_EQ(u->Format(ed), "{Emp,Dept}");
+}
+
+TEST(UniverseTest, UnknownAttributeIsError) {
+  auto u = Universe::Parse("A B");
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(u->Id("C").ok());
+  EXPECT_FALSE(u->Set("A C").ok());
+}
+
+TEST(UniverseTest, DuplicateNamesShareId) {
+  Universe u;
+  auto a1 = u.Add("A");
+  auto a2 = u.Add("A");
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  EXPECT_EQ(*a1, *a2);
+  EXPECT_EQ(u.size(), 1);
+}
+
+TEST(UniverseTest, CapacityLimit) {
+  Universe u = Universe::Anonymous(256);
+  EXPECT_EQ(u.size(), 256);
+  EXPECT_FALSE(u.Add("overflow").ok());
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,120 @@
+// Theorem 1 with join dependencies: the chase-based complementarity test
+// against the brute-force definition when Sigma contains JDs/MVDs — the
+// case the FD fast path cannot cover.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "deps/instance_generator.h"
+#include "deps/satisfies.h"
+#include "util/rng.h"
+#include "view/complement.h"
+
+namespace relview {
+namespace {
+
+bool BruteComplementary(const AttrSet& universe, const DependencySet& sigma,
+                        const AttrSet& x, const AttrSet& y) {
+  bool complementary = true;
+  std::map<std::pair<std::vector<Tuple>, std::vector<Tuple>>, Relation> seen;
+  EnumerateRelations(universe, 2, [&](const Relation& r) {
+    if (!complementary) return;
+    if (!SatisfiesAll(r, sigma.fds)) return;
+    for (const JD& jd : sigma.jds) {
+      if (!SatisfiesJD(r, jd)) return;
+    }
+    auto key = std::make_pair(r.Project(x).rows(), r.Project(y).rows());
+    auto [it, inserted] = seen.emplace(key, r);
+    if (!inserted && !it->second.SameAs(r)) complementary = false;
+  });
+  return complementary;
+}
+
+TEST(ComplementJDTest, MVDAloneMakesDisjointPartsComplementary) {
+  // Sigma = { *[AB, AC] }: A ->-> B | C. X = AB, Y = AC share only A,
+  // which is a key of neither side — yet the MVD makes them complementary
+  // (reconstruction by join).
+  Universe u = Universe::Parse("A B C").value();
+  DependencySet sigma;
+  sigma.jds.push_back(JD::MVD(u.SetOf("A B"), u.SetOf("A C")));
+  EXPECT_TRUE(
+      AreComplementary(u.All(), sigma, u.SetOf("A B"), u.SetOf("A C")));
+  EXPECT_TRUE(BruteComplementary(u.All(), sigma, u.SetOf("A B"),
+                                 u.SetOf("A C")));
+  // Without the MVD both tests refuse.
+  DependencySet none;
+  EXPECT_FALSE(
+      AreComplementary(u.All(), none, u.SetOf("A B"), u.SetOf("A C")));
+  EXPECT_FALSE(BruteComplementary(u.All(), none, u.SetOf("A B"),
+                                  u.SetOf("A C")));
+}
+
+TEST(ComplementJDTest, TernaryJDDoesNotMakeBinaryPairComplementary) {
+  // A genuinely 3-ary JD *[AB, BC, CA] does not imply the binary MVD
+  // *[AB, BC] in general.
+  Universe u = Universe::Parse("A B C").value();
+  DependencySet sigma;
+  sigma.jds.push_back(JD({u.SetOf("A B"), u.SetOf("B C"), u.SetOf("C A")}));
+  const bool theorem =
+      AreComplementary(u.All(), sigma, u.SetOf("A B"), u.SetOf("B C"));
+  const bool brute =
+      BruteComplementary(u.All(), sigma, u.SetOf("A B"), u.SetOf("B C"));
+  EXPECT_EQ(theorem, brute);
+  EXPECT_FALSE(theorem);
+}
+
+class ComplementJDPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplementJDPropertyTest, ChaseMatchesDefinitionWithRandomJDs) {
+  Rng rng(6200 + GetParam());
+  Universe u = Universe::Anonymous(3);
+  const AttrSet universe = u.All();
+  for (int trial = 0; trial < 12; ++trial) {
+    DependencySet sigma;
+    // Zero or one random FD.
+    if (rng.Chance(0.5)) {
+      AttrSet lhs;
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.4)) lhs.Add(a);
+      });
+      sigma.fds.Add(lhs, static_cast<AttrId>(rng.Below(3)));
+    }
+    // One random MVD covering the universe.
+    AttrSet left, right;
+    universe.ForEach([&](AttrId a) {
+      const uint64_t where = rng.Below(3);
+      if (where == 0) {
+        left.Add(a);
+      } else if (where == 1) {
+        right.Add(a);
+      } else {
+        left.Add(a);
+        right.Add(a);
+      }
+    });
+    if (left.Empty() || right.Empty() || (left | right) != universe) {
+      continue;
+    }
+    sigma.jds.push_back(JD::MVD(left, right));
+
+    AttrSet x, y;
+    universe.ForEach([&](AttrId a) {
+      if (rng.Chance(0.6)) x.Add(a);
+      if (rng.Chance(0.6)) y.Add(a);
+    });
+    if (x.Empty() || y.Empty()) continue;
+
+    const bool theorem = AreComplementary(universe, sigma, x, y);
+    const bool brute = BruteComplementary(universe, sigma, x, y);
+    EXPECT_EQ(theorem, brute)
+        << "sigma=" << sigma.ToString() << " X=" << x.ToString()
+        << " Y=" << y.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComplementJDPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace relview

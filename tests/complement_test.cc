@@ -1,0 +1,214 @@
+// Tests for Section 2: complementary views (Theorem 1), minimal
+// complements (Corollary 2), minimum complements (Theorem 2's search), and
+// Theorem 10 (EFDs). Includes a brute-force check of the *definition* of
+// complementarity (reconstructability) against the Theorem 1 criterion.
+
+#include "view/complement.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "deps/instance_generator.h"
+#include "deps/satisfies.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace {
+
+class EmpDeptMgrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = Universe::Parse("Emp Dept Mgr").value();
+    sigma_.fds = *FDSet::Parse(u_, "Emp -> Dept; Dept -> Mgr");
+  }
+  Universe u_;
+  DependencySet sigma_;
+};
+
+TEST_F(EmpDeptMgrTest, ClassicalDecompositionIsComplementary) {
+  // The paper's example: X = ED, Y = EM are complementary (E = X∩Y is a
+  // key of both), though not independent in Rissanen's sense.
+  EXPECT_TRUE(AreComplementary(u_.All(), sigma_, u_.SetOf("Emp Dept"),
+                               u_.SetOf("Emp Mgr")));
+}
+
+TEST_F(EmpDeptMgrTest, DeptMgrComplementsEmpDept) {
+  // X = ED, Y = DM: X∩Y = D is a superkey of Y = DM (D -> M).
+  EXPECT_TRUE(AreComplementary(u_.All(), sigma_, u_.SetOf("Emp Dept"),
+                               u_.SetOf("Dept Mgr")));
+}
+
+TEST_F(EmpDeptMgrTest, NonCoveringPairIsNot) {
+  EXPECT_FALSE(AreComplementary(u_.All(), sigma_, u_.SetOf("Emp Dept"),
+                                u_.SetOf("Dept")));
+}
+
+TEST_F(EmpDeptMgrTest, DisjointNonKeyPairIsNot) {
+  // X = ED, Y = M: X ∩ Y = {} is no superkey of either side.
+  EXPECT_FALSE(AreComplementary(u_.All(), sigma_, u_.SetOf("Emp Dept"),
+                                u_.SetOf("Mgr")));
+}
+
+TEST_F(EmpDeptMgrTest, IdentityIsAlwaysComplement) {
+  EXPECT_TRUE(AreComplementary(u_.All(), sigma_, u_.SetOf("Emp Dept"),
+                               u_.All()));
+}
+
+TEST_F(EmpDeptMgrTest, FDOnlyFastPathAgreesWithChase) {
+  // Force the chase path by adding the (implied) MVD as a JD.
+  DependencySet with_jd = sigma_;
+  with_jd.jds.push_back(
+      JD::MVD(u_.SetOf("Emp Dept"), u_.SetOf("Dept Mgr")));
+  for (const char* yspec : {"Emp Mgr", "Dept Mgr", "Mgr", "Emp Dept Mgr"}) {
+    const AttrSet y = u_.SetOf(yspec);
+    EXPECT_EQ(AreComplementary(u_.All(), sigma_, u_.SetOf("Emp Dept"), y),
+              AreComplementary(u_.All(), with_jd, u_.SetOf("Emp Dept"), y))
+        << yspec;
+  }
+}
+
+TEST_F(EmpDeptMgrTest, MinimalComplementShrinks) {
+  const AttrSet y =
+      MinimalComplement(u_.All(), sigma_, u_.SetOf("Emp Dept"));
+  // Starting from U = EDM, E and D can both be dropped? Removing E: Y=DM,
+  // complementary (D->M). Then removing D: Y=M, not complementary. So the
+  // greedy (ascending) result is {Dept, Mgr} minus nothing more: {D, M}
+  // after E leaves, and D must stay.
+  EXPECT_EQ(y, u_.SetOf("Dept Mgr"));
+}
+
+TEST_F(EmpDeptMgrTest, MinimalComplementRespectsOrder) {
+  // Removing D first: Y = EM, complementary (E -> M). Then E cannot
+  // leave. Different minimal complements from different orders.
+  std::vector<AttrId> order = {u_["Dept"], u_["Emp"]};
+  const AttrSet y =
+      MinimalComplement(u_.All(), sigma_, u_.SetOf("Emp Dept"), &order);
+  EXPECT_EQ(y, u_.SetOf("Emp Mgr"));
+}
+
+TEST_F(EmpDeptMgrTest, MinimumComplementIsSmallest) {
+  auto res = MinimumComplement(u_.All(), sigma_, u_.SetOf("Emp Dept"));
+  ASSERT_TRUE(res.ok());
+  // Y must contain Mgr (= U − X); the smallest W ⊆ {E, D} with W a
+  // superkey of W ∪ {M} or of X... W = {D}: D -> M so X∩Y={D} is a
+  // superkey of Y={D,M}. W = {}: {} -> M fails. So minimum is {Dept,Mgr}.
+  EXPECT_EQ(res->complement.Count(), 2);
+  EXPECT_TRUE(AreComplementary(u_.All(), sigma_, u_.SetOf("Emp Dept"),
+                               res->complement));
+}
+
+// Brute-force check of the *definition*: X, Y complementary iff no two
+// distinct legal instances share both projections.
+bool BruteComplementary(const AttrSet& universe, const FDSet& fds,
+                        const AttrSet& x, const AttrSet& y) {
+  bool complementary = true;
+  std::map<std::pair<std::vector<Tuple>, std::vector<Tuple>>, Relation>
+      seen;
+  EnumerateRelations(universe, 2, [&](const Relation& r) {
+    if (!complementary) return;
+    if (!SatisfiesAll(r, fds)) return;
+    Relation px = r.Project(x);
+    Relation py = r.Project(y);
+    auto key = std::make_pair(px.rows(), py.rows());
+    auto [it, inserted] = seen.emplace(key, r);
+    if (!inserted && !it->second.SameAs(r)) complementary = false;
+  });
+  return complementary;
+}
+
+TEST(ComplementBruteForceTest, Theorem1MatchesDefinitionOnRandomSchemas) {
+  Universe u = Universe::Anonymous(3);
+  const AttrSet universe = u.All();
+  Rng rng(7);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    FDSet fds;
+    const int nfd = static_cast<int>(rng.Below(3));
+    for (int i = 0; i < nfd; ++i) {
+      AttrSet lhs;
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.4)) lhs.Add(a);
+      });
+      fds.Add(lhs, static_cast<AttrId>(rng.Below(3)));
+    }
+    AttrSet x, y;
+    universe.ForEach([&](AttrId a) {
+      if (rng.Chance(0.6)) x.Add(a);
+      if (rng.Chance(0.6)) y.Add(a);
+    });
+    if (x.Empty() || y.Empty()) continue;
+    DependencySet sigma;
+    sigma.fds = fds;
+    const bool theorem = AreComplementary(universe, sigma, x, y);
+    const bool brute = BruteComplementary(universe, fds, x, y);
+    EXPECT_EQ(theorem, brute)
+        << "fds=" << fds.ToString() << " X=" << x.ToString()
+        << " Y=" << y.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(MinimumComplementTest, MonotoneSizesForFDs) {
+  // HasComplementOfSize must be monotone in k for FD-only schemas.
+  Universe u = Universe::Anonymous(5);
+  auto fds = *FDSet::Parse(u, "A0 -> A1; A1 -> A2; A2 A3 -> A4");
+  DependencySet sigma;
+  sigma.fds = fds;
+  const AttrSet x = u.SetOf("A0 A1 A2 A3");
+  auto min = MinimumComplement(u.All(), sigma, x);
+  ASSERT_TRUE(min.ok());
+  for (int k = 0; k <= 5; ++k) {
+    auto has = HasComplementOfSize(u.All(), sigma, x, k);
+    ASSERT_TRUE(has.ok());
+    EXPECT_EQ(*has, k >= min->complement.Count()) << "k=" << k;
+  }
+}
+
+TEST(Theorem10Test, EFDAllowsNonCoveringComplement) {
+  // U = {Cost, Rate, Price}, Price computable from Cost+Rate:
+  // Cost Rate ->e Price. X = {Cost, Rate}, Y = {Cost}: X ∪ Y != U yet
+  // complementary because (a) the embedded MVD on X∪Y = X is trivial and
+  // (b) Sigma_F |= X ∪ Y -> U.
+  Universe u = Universe::Parse("Cost Rate Price").value();
+  DependencySet sigma;
+  sigma.efds.Add(EFD(u.SetOf("Cost Rate"), u.SetOf("Price")));
+  EXPECT_TRUE(AreComplementary(u.All(), sigma, u.SetOf("Cost Rate"),
+                               u.SetOf("Cost")));
+  // Without the EFD this fails.
+  DependencySet none;
+  EXPECT_FALSE(AreComplementary(u.All(), none, u.SetOf("Cost Rate"),
+                                u.SetOf("Cost")));
+  // And an FD (instead of an EFD) does not help: Price is information.
+  DependencySet with_fd;
+  with_fd.fds = *FDSet::Parse(u, "Cost Rate -> Price");
+  EXPECT_FALSE(AreComplementary(u.All(), with_fd, u.SetOf("Cost Rate"),
+                                u.SetOf("Cost")));
+}
+
+TEST(Theorem10Test, EmbeddedMVDConditionStillRequired) {
+  // With an EFD covering the missing attribute but no key structure on
+  // X ∪ Y, condition (a) fails.
+  Universe u = Universe::Parse("A B C D").value();
+  DependencySet sigma;
+  sigma.efds.Add(EFD(u.SetOf("A B C"), u.SetOf("D")));
+  // X = AB, Y = BC: embedded MVD B ->-> A | C within ABC not implied.
+  EXPECT_FALSE(
+      AreComplementary(u.All(), sigma, u.SetOf("A B"), u.SetOf("B C")));
+  // Add B -> A: now X∩Y = B determines A, embedded MVD holds.
+  sigma.fds = *FDSet::Parse(u, "B -> A");
+  EXPECT_TRUE(
+      AreComplementary(u.All(), sigma, u.SetOf("A B"), u.SetOf("B C")));
+}
+
+TEST(Theorem10Test, MinimalComplementWithEFDsCanDropNonViewAttrs) {
+  Universe u = Universe::Parse("Cost Rate Price").value();
+  DependencySet sigma;
+  sigma.efds.Add(EFD(u.SetOf("Cost Rate"), u.SetOf("Price")));
+  const AttrSet y = MinimalComplement(u.All(), sigma, u.SetOf("Cost Rate"));
+  EXPECT_FALSE(y.Contains(u["Price"]));
+}
+
+}  // namespace
+}  // namespace relview

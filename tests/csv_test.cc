@@ -1,0 +1,87 @@
+// Tests for the delimited-table loader/writer.
+
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace relview {
+namespace {
+
+TEST(CsvTest, ReadsHeaderAndRows) {
+  ValuePool pool;
+  auto res = ReadTableFromString(
+      "Emp,Dept,Mgr\n"
+      "ann,sales,mia\n"
+      "bob,dev,joe\n",
+      &pool);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->universe.size(), 3);
+  EXPECT_EQ(res->relation.size(), 2);
+  EXPECT_EQ(pool.NameOf(res->relation.row(0)[0]), "ann");
+}
+
+TEST(CsvTest, MixedDelimitersAndComments) {
+  ValuePool pool;
+  auto res = ReadTableFromString(
+      "# a comment first\n"
+      "A B\tC\n"
+      "1; 2\t3\n"
+      "# another comment\n"
+      "4 5 6\n",
+      &pool);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->relation.size(), 2);
+  EXPECT_EQ(res->relation.arity(), 3);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  ValuePool pool;
+  auto res = ReadTableFromString("A B\n1 2 3\n", &pool);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(CsvTest, RejectsDuplicateHeader) {
+  ValuePool pool;
+  auto res = ReadTableFromString("A A\n1 2\n", &pool);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  ValuePool pool;
+  auto res = ReadTableFromString("", &pool);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(CsvTest, MatchesExistingUniverse) {
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  ValuePool pool;
+  auto res = ReadTableFromString("Dept Mgr\nsales mia\n", &pool, &u);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->relation.attrs(), u.SetOf("Dept Mgr"));
+  // Unknown attribute is rejected.
+  auto bad = ReadTableFromString("Dept Oops\nx y\n", &pool, &u);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(CsvTest, DeduplicatesRows) {
+  ValuePool pool;
+  auto res = ReadTableFromString("A\n1\n1\n2\n", &pool);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->relation.size(), 2);
+}
+
+TEST(CsvTest, RoundTripsThroughWriteTable) {
+  ValuePool pool;
+  auto res = ReadTableFromString("Emp Dept\nann sales\nbob dev\n", &pool);
+  ASSERT_TRUE(res.ok());
+  std::ostringstream out;
+  WriteTable(out, res->relation, res->universe, pool);
+  auto back = ReadTableFromString(out.str(), &pool, &res->universe);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->relation.SameAs(res->relation));
+}
+
+}  // namespace
+}  // namespace relview

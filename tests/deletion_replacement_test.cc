@@ -1,0 +1,364 @@
+// Tests for Section 4: deletions (Theorem 8) and replacements (Theorem 9),
+// with brute-force validation of both on small enumerated domains.
+
+#include <gtest/gtest.h>
+
+#include "deps/instance_generator.h"
+#include "deps/satisfies.h"
+#include "util/rng.h"
+#include "view/complement.h"
+#include "view/deletion.h"
+#include "view/replacement.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+class EmpDeptMgrDeleteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = Universe::Parse("Emp Dept Mgr").value();
+    fds_ = *FDSet::Parse(u_, "Emp -> Dept; Dept -> Mgr");
+    x_ = u_.SetOf("Emp Dept");
+    y_ = u_.SetOf("Dept Mgr");
+    v_ = Relation(x_);
+    v_.AddRow(Row({1, 10}));
+    v_.AddRow(Row({2, 10}));
+    v_.AddRow(Row({3, 20}));
+  }
+  Universe u_;
+  FDSet fds_;
+  AttrSet x_, y_;
+  Relation v_{AttrSet()};
+};
+
+TEST_F(EmpDeptMgrDeleteTest, DeleteWithSurvivingDeptRow) {
+  // Deleting (e1, d1): (e2, d1) keeps d1's complement row alive.
+  auto rep = CheckDeletion(u_.All(), fds_, x_, y_, v_, Row({1, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kTranslatable);
+}
+
+TEST_F(EmpDeptMgrDeleteTest, DeleteLastDeptRowFailsConditionA) {
+  // (e3, d2) is d2's only view row: deleting it would delete d2's
+  // complement row too.
+  auto rep = CheckDeletion(u_.All(), fds_, x_, y_, v_, Row({3, 20}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kFailsComplementMembership);
+}
+
+TEST_F(EmpDeptMgrDeleteTest, DeleteMissingTupleIsIdentity) {
+  auto rep = CheckDeletion(u_.All(), fds_, x_, y_, v_, Row({9, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kIdentity);
+}
+
+TEST_F(EmpDeptMgrDeleteTest, ApplyDeletionRemovesExactlyTheRow) {
+  Relation db(u_.All());
+  db.AddRow(Row({1, 10, 100}));
+  db.AddRow(Row({2, 10, 100}));
+  db.AddRow(Row({3, 20, 200}));
+  auto updated = ApplyDeletion(u_.All(), x_, y_, db, Row({1, 10}));
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->size(), 2);
+  EXPECT_FALSE(updated->ContainsRow(Row({1, 10, 100})));
+  // Complement constant: pi_Y unchanged.
+  EXPECT_TRUE(updated->Project(y_).SameAs(db.Project(y_)));
+  // View updated: pi_X = V − t.
+  Relation expected = v_.Select(
+      [](const Tuple& t) { return t[0] != Value::Const(1); });
+  EXPECT_TRUE(updated->Project(x_).SameAs(expected));
+}
+
+TEST_F(EmpDeptMgrDeleteTest, KeyComplementFailsConditionB) {
+  // Y = EM: X∩Y = E is a key of X. Deleting (e1, d1) with another row
+  // sharing E?! Emp is a key, so no second row shares E=1 — condition (a)
+  // fails first. (b)'s schema-level rejection needs a V where two rows
+  // share the common part, impossible for legal V here; we check (a).
+  auto rep = CheckDeletion(u_.All(), fds_, x_, u_.SetOf("Emp Mgr"), v_,
+                           Row({1, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kFailsComplementMembership);
+}
+
+// Deletions of view tuples are translatable iff (a) & (b) — validate
+// against brute force: for every legal R with pi_X(R) = V, R − t*pi_Y(R)
+// must be legal (trivially true for FDs) AND project onto V − t AND keep
+// pi_Y constant. Untranslatability must be witnessed by some R where the
+// translation breaks A or B.
+TEST(DeletePropertyTest, CriterionMatchesSemantics) {
+  Rng rng(99);
+  Universe u = Universe::Anonymous(4);
+  const AttrSet universe = u.All();
+  int translatable_seen = 0, untranslatable_seen = 0;
+  for (int trial = 0;
+       trial < 400 && (translatable_seen <= 3 || untranslatable_seen <= 3);
+       ++trial) {
+    FDSet fds;
+    const int nfd = 1 + static_cast<int>(rng.Below(2));
+    for (int i = 0; i < nfd; ++i) {
+      AttrSet lhs;
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.35)) lhs.Add(a);
+      });
+      fds.Add(lhs, static_cast<AttrId>(rng.Below(4)));
+    }
+    AttrSet x;
+    do {
+      x = AttrSet();
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.6)) x.Add(a);
+      });
+    } while (x.Empty() || x == universe);
+    AttrSet y = universe - x;
+    x.ForEach([&](AttrId a) {
+      if (rng.Chance(0.5)) y.Add(a);
+    });
+    if (rng.Chance(0.6)) {
+      (universe - x).ForEach([&](AttrId a) { fds.Add(x & y, a); });
+    }
+    // Theorem 8 presupposes that Y is a complement of X (its proof invokes
+    // Theorem 1); restrict the semantic comparison accordingly.
+    if (!AreComplementaryFDOnly(universe, fds, x, y)) continue;
+    Relation db(universe);
+    const Schema& ds = db.schema();
+    for (int i = 0; i < 4; ++i) {
+      Tuple t(ds.arity());
+      for (int p = 0; p < ds.arity(); ++p) {
+        t[p] = Value::Const(static_cast<uint32_t>(rng.Below(2)));
+      }
+      db.AddRow(t);
+    }
+    RepairToLegal(&db, fds);
+    const Relation v = db.Project(x);
+    if (v.empty()) continue;
+    const Tuple t = v.row(static_cast<int>(rng.Below(v.size())));
+
+    auto rep = CheckDeletion(u.All(), fds, x, y, v, t);
+    ASSERT_TRUE(rep.ok());
+    if (rep->verdict == TranslationVerdict::kIdentity) continue;
+
+    // Semantics: translatable iff for EVERY legal R with pi_X(R) = V,
+    // the deletion R − t*pi_Y(R) projects onto V − t and keeps pi_Y(R).
+    bool semantic_ok = true;
+    Relation vminus = v.Select([&](const Tuple& row) { return row != t; });
+    EnumerateRelations(universe, 2, [&](const Relation& r) {
+      if (!semantic_ok) return;
+      if (!SatisfiesAll(r, fds)) return;
+      if (!r.Project(x).SameAs(v)) return;
+      auto updated = ApplyDeletion(u.All(), x, y, r, t);
+      ASSERT_TRUE(updated.ok());
+      if (!updated->Project(x).SameAs(vminus) ||
+          !updated->Project(y).SameAs(r.Project(y))) {
+        semantic_ok = false;
+      }
+    });
+    EXPECT_EQ(rep->verdict == TranslationVerdict::kTranslatable,
+              semantic_ok)
+        << "fds=" << fds.ToString() << " X=" << x.ToString()
+        << " Y=" << y.ToString() << " t=" << t.ToString() << "\nV:\n"
+        << v.ToString();
+    if (semantic_ok) {
+      ++translatable_seen;
+    } else {
+      ++untranslatable_seen;
+    }
+  }
+  EXPECT_GT(translatable_seen, 3);
+  EXPECT_GT(untranslatable_seen, 3);
+}
+
+// ---------------- replacements ----------------
+
+class ReplaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = Universe::Parse("Emp Dept Mgr").value();
+    fds_ = *FDSet::Parse(u_, "Emp -> Dept; Dept -> Mgr");
+    x_ = u_.SetOf("Emp Dept");
+    y_ = u_.SetOf("Dept Mgr");
+    v_ = Relation(x_);
+    v_.AddRow(Row({1, 10}));
+    v_.AddRow(Row({2, 10}));
+    v_.AddRow(Row({3, 20}));
+  }
+  Universe u_;
+  FDSet fds_;
+  AttrSet x_, y_;
+  Relation v_{AttrSet()};
+};
+
+TEST_F(ReplaceTest, Case1MoveEmployeeBetweenDepts) {
+  // Replace (e1, d1) by (e1, d2): common parts differ (d1 vs d2) — case
+  // 1. Condition (a): d1 survives via (e2, d1); d2 exists via (e3, d2).
+  // The FD Emp -> Dept: candidate violators r with r[Emp] = e1 and
+  // r[Dept] != d2 — only (e1, d1) = t1 itself, which is excluded. So
+  // translatable.
+  auto rep =
+      CheckReplacement(u_.All(), fds_, x_, y_, v_, Row({1, 10}), Row({1, 20}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->theorem_case, 1);
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kTranslatable);
+}
+
+TEST_F(ReplaceTest, Case1FailsWhenOldComplementRowDies) {
+  // Replace (e3, d2) by (e3, d1): d2 loses its only view row.
+  auto rep =
+      CheckReplacement(u_.All(), fds_, x_, y_, v_, Row({3, 20}), Row({3, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->theorem_case, 1);
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kFailsComplementMembership);
+}
+
+TEST_F(ReplaceTest, Case2RenameEmployeeSameDept) {
+  // Replace (e1, d1) by (e9, d1): same common part d1 — case 2; no
+  // superkey conditions needed; chase test passes (Emp -> Dept: violators
+  // r with r[Emp] = e9 — none).
+  auto rep =
+      CheckReplacement(u_.All(), fds_, x_, y_, v_, Row({1, 10}), Row({9, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->theorem_case, 2);
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kTranslatable);
+}
+
+TEST_F(ReplaceTest, Case2DetectsFDViolation) {
+  // Replace (e1, d1) by (e2, d1)?? e2 already in V with d1 — t2 ∈ V is
+  // rejected as an argument error; use (e3, d1): but e3 maps to d2 in V —
+  // Emp -> Dept violation via surviving row (e3, d2): r[Emp]=e3 agrees,
+  // Dept differs. Untranslatable.
+  auto rep =
+      CheckReplacement(u_.All(), fds_, x_, y_, v_, Row({1, 10}), Row({3, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->theorem_case, 2);
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kFailsChase);
+}
+
+TEST_F(ReplaceTest, ReplacedTupleMayBeSoleSourceInCase2) {
+  // V = {(e1, d1)} only; replace (e1, d1) by (e2, d1): t1 itself is the
+  // complement-row source (mu), which case 2 allows.
+  Relation v(x_);
+  v.AddRow(Row({1, 10}));
+  auto rep =
+      CheckReplacement(u_.All(), fds_, x_, y_, v, Row({1, 10}), Row({2, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->theorem_case, 2);
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kTranslatable);
+}
+
+TEST_F(ReplaceTest, ArgumentValidation) {
+  // t1 not in view.
+  EXPECT_FALSE(CheckReplacement(u_.All(), fds_, x_, y_, v_, Row({9, 10}),
+                                Row({8, 10}))
+                   .ok());
+  // t2 already in view.
+  EXPECT_FALSE(CheckReplacement(u_.All(), fds_, x_, y_, v_, Row({1, 10}),
+                                Row({2, 10}))
+                   .ok());
+  // t1 == t2 is the identity.
+  auto rep = CheckReplacement(u_.All(), fds_, x_, y_, v_, Row({1, 10}),
+                              Row({1, 10}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kIdentity);
+}
+
+TEST_F(ReplaceTest, ApplyReplacementSwapsRows) {
+  Relation db(u_.All());
+  db.AddRow(Row({1, 10, 100}));
+  db.AddRow(Row({2, 10, 100}));
+  db.AddRow(Row({3, 20, 200}));
+  auto updated = ApplyReplacement(u_.All(), x_, y_, db, Row({1, 10}),
+                                  Row({1, 20}));
+  ASSERT_TRUE(updated.ok());
+  EXPECT_FALSE(updated->ContainsRow(Row({1, 10, 100})));
+  EXPECT_TRUE(updated->ContainsRow(Row({1, 20, 200})));
+  EXPECT_TRUE(updated->Project(y_).SameAs(db.Project(y_)));
+  EXPECT_TRUE(SatisfiesAll(*updated, fds_));
+}
+
+// Replacement property test mirroring the insertion one: accepted
+// replacements keep every compatible small database legal with the right
+// view and constant complement.
+TEST(ReplacePropertyTest, AcceptedReplacementsAreSafe) {
+  Rng rng(321);
+  Universe u = Universe::Anonymous(4);
+  const AttrSet universe = u.All();
+  int accepted = 0;
+  for (int trial = 0; trial < 150 && accepted < 12; ++trial) {
+    FDSet fds;
+    const int nfd = 1 + static_cast<int>(rng.Below(2));
+    for (int i = 0; i < nfd; ++i) {
+      AttrSet lhs;
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.35)) lhs.Add(a);
+      });
+      fds.Add(lhs, static_cast<AttrId>(rng.Below(4)));
+    }
+    AttrSet x;
+    do {
+      x = AttrSet();
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.6)) x.Add(a);
+      });
+    } while (x.Empty() || x == universe);
+    AttrSet y = universe - x;
+    x.ForEach([&](AttrId a) {
+      if (rng.Chance(0.5)) y.Add(a);
+    });
+    if (rng.Chance(0.5)) {
+      (universe - x).ForEach([&](AttrId a) { fds.Add(x & y, a); });
+    }
+    Relation db(universe);
+    const Schema& ds = db.schema();
+    for (int i = 0; i < 4; ++i) {
+      Tuple t(ds.arity());
+      for (int p = 0; p < ds.arity(); ++p) {
+        t[p] = Value::Const(static_cast<uint32_t>(rng.Below(2)));
+      }
+      db.AddRow(t);
+    }
+    RepairToLegal(&db, fds);
+    const Relation v = db.Project(x);
+    if (v.empty()) continue;
+    const Tuple t1 = v.row(static_cast<int>(rng.Below(v.size())));
+    const Schema vs(x);
+    Tuple t2 = t1;
+    // Mutate one or two X columns.
+    x.ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) {
+        t2.Set(vs, a,
+               Value::Const(static_cast<uint32_t>(rng.Below(2))));
+      }
+    });
+    if (t2 == t1 || v.ContainsRow(t2)) continue;
+
+    auto rep = CheckReplacement(u.All(), fds, x, y, v, t1, t2);
+    ASSERT_TRUE(rep.ok());
+    if (rep->verdict != TranslationVerdict::kTranslatable) continue;
+    ++accepted;
+
+    Relation vafter = v.Select([&](const Tuple& row) { return row != t1; });
+    vafter.AddRow(t2);
+    vafter.Normalize();
+    EnumerateRelations(universe, 2, [&](const Relation& r) {
+      if (!SatisfiesAll(r, fds)) return;
+      if (!r.Project(x).SameAs(v)) return;
+      auto updated = ApplyReplacement(u.All(), x, y, r, t1, t2);
+      ASSERT_TRUE(updated.ok());
+      EXPECT_TRUE(SatisfiesAll(*updated, fds))
+          << "case " << rep->theorem_case << " fds=" << fds.ToString()
+          << "\nR:\n" << r.ToString() << "t1=" << t1.ToString()
+          << " t2=" << t2.ToString();
+      EXPECT_TRUE(updated->Project(x).SameAs(vafter));
+      EXPECT_TRUE(updated->Project(y).SameAs(r.Project(y)));
+    });
+  }
+  EXPECT_GT(accepted, 5);
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,194 @@
+// Tests for JDs/MVDs, instance-level satisfaction, and explicit FDs
+// (Section 5: Propositions 1 and 2 behaviour, witness composition).
+
+#include <gtest/gtest.h>
+
+#include "deps/efd.h"
+#include "deps/instance_generator.h"
+#include "deps/jd.h"
+#include "deps/satisfies.h"
+#include "relational/relation.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+TEST(JDTest, BipartitionMVDs) {
+  JD jd({AttrSet{0, 1}, AttrSet{1, 2}, AttrSet{2, 3}});
+  auto mvds = jd.BipartitionMVDs();
+  // 2^(3-1) - 1 nontrivial bipartitions.
+  EXPECT_EQ(mvds.size(), 3u);
+  for (const JD& mvd : mvds) {
+    EXPECT_TRUE(mvd.IsMVD());
+    EXPECT_EQ(mvd.Scope(), jd.Scope());
+  }
+}
+
+TEST(SatisfiesTest, FDViolationDetected) {
+  Relation r(AttrSet{0, 1});
+  r.AddRow(Row({1, 2}));
+  r.AddRow(Row({1, 3}));
+  EXPECT_FALSE(SatisfiesFD(r, FD(AttrSet{0}, 1)));
+  EXPECT_TRUE(SatisfiesFD(r, FD(AttrSet{1}, 0)));
+}
+
+TEST(SatisfiesTest, MVDHoldsForProductShape) {
+  // R = pi_AB(R) x pi_C(R) (on shared empty set) satisfies *[AB, C]-ish
+  // patterns; build the classical MVD example A ->-> B.
+  Relation r(AttrSet{0, 1, 2});
+  // (a, b1, c1), (a, b1, c2), (a, b2, c1), (a, b2, c2): A ->-> B | C.
+  for (uint32_t b : {1u, 2u}) {
+    for (uint32_t c : {10u, 20u}) r.AddRow(Row({0, b, c}));
+  }
+  EXPECT_TRUE(SatisfiesJD(r, JD::MVD(AttrSet{0, 1}, AttrSet{0, 2})));
+  // Remove one tuple: the MVD breaks.
+  Relation broken = r.Select([](const Tuple& t) {
+    return !(t[1] == Value::Const(2) && t[2] == Value::Const(20));
+  });
+  EXPECT_FALSE(SatisfiesJD(broken, JD::MVD(AttrSet{0, 1}, AttrSet{0, 2})));
+}
+
+TEST(SatisfiesTest, EmbeddedMVDIgnoresOutsideColumns) {
+  // Same data extended by a D column that would break a full MVD.
+  Relation r(AttrSet{0, 1, 2, 3});
+  int d = 0;
+  for (uint32_t b : {1u, 2u}) {
+    for (uint32_t c : {10u, 20u}) r.AddRow(Row({0, b, c, uint32_t(d++)}));
+  }
+  EmbeddedMVD emvd{AttrSet{0}, AttrSet{1}, AttrSet{2}};
+  EXPECT_TRUE(SatisfiesEmbeddedMVD(r, emvd));
+  EXPECT_FALSE(SatisfiesJD(
+      r, JD::MVD(AttrSet{0, 1}, AttrSet{0, 2, 3})));
+}
+
+TEST(InstanceGeneratorTest, ProducesLegalInstances) {
+  Universe u = Universe::Anonymous(5);
+  auto fds = *FDSet::Parse(u, "A0 -> A1; A1 A2 -> A3; A3 -> A4");
+  GeneratorOptions opts;
+  opts.rows = 200;
+  opts.domain = 5;
+  opts.seed = 42;
+  Relation r = GenerateLegalInstance(u.All(), fds, opts);
+  EXPECT_TRUE(SatisfiesAll(r, fds));
+  EXPECT_GT(r.size(), 0);
+}
+
+TEST(InstanceGeneratorTest, DeterministicForSeed) {
+  Universe u = Universe::Anonymous(3);
+  auto fds = *FDSet::Parse(u, "A0 -> A1");
+  GeneratorOptions opts;
+  opts.rows = 50;
+  opts.seed = 7;
+  Relation a = GenerateLegalInstance(u.All(), fds, opts);
+  Relation b = GenerateLegalInstance(u.All(), fds, opts);
+  EXPECT_TRUE(a.SameAs(b));
+  opts.seed = 8;
+  Relation c = GenerateLegalInstance(u.All(), fds, opts);
+  EXPECT_FALSE(a.SameAs(c));  // overwhelmingly likely
+}
+
+TEST(InstanceGeneratorTest, EnumerateRelationsCountsSubsets) {
+  int count = 0;
+  EnumerateRelations(AttrSet{0, 1}, 2, [&](const Relation& r) {
+    EXPECT_TRUE(r.attrs() == (AttrSet{0, 1}));
+    ++count;
+  });
+  EXPECT_EQ(count, 16);  // 2^(2*2) subsets of the 4-tuple product
+}
+
+// ---------- Explicit functional dependencies ----------
+
+EFDWitness ProjectionWitness(AttrSet from, AttrSet to_add,
+                             std::function<Value(Value)> fn, AttrId src,
+                             AttrId dst) {
+  return [from, to_add, fn, src, dst](const Relation& in) {
+    Relation out(from | to_add);
+    const Schema& os = out.schema();
+    const Schema& is = in.schema();
+    for (const Tuple& t : in.rows()) {
+      Tuple row(os.arity());
+      from.ForEach([&](AttrId a) { row.Set(os, a, t.At(is, a)); });
+      row.Set(os, dst, fn(t.At(is, src)));
+      out.AddRow(row);
+    }
+    out.Normalize();
+    return out;
+  };
+}
+
+TEST(EFDTest, Proposition1ImplicationMatchesFDs) {
+  // Sigma = {A ->e B, B ->e C}; Sigma |= A ->e C but not C ->e A.
+  EFDSet efds;
+  efds.Add(EFD(AttrSet{0}, AttrSet{1}));
+  efds.Add(EFD(AttrSet{1}, AttrSet{2}));
+  EXPECT_TRUE(efds.Implies(AttrSet{0}, AttrSet{2}));
+  EXPECT_FALSE(efds.Implies(AttrSet{2}, AttrSet{0}));
+  // And the FD shadows are exactly {A->B, B->C}.
+  EXPECT_EQ(efds.AsFDs().size(), 2);
+}
+
+TEST(EFDTest, SatisfiesEFDChecksWitness) {
+  // Cost(0) -> Price(1) with Price = Cost + 100.
+  auto doubler = [](Value v) { return Value::Const(v.index() + 100); };
+  EFD efd(AttrSet{0}, AttrSet{1},
+          ProjectionWitness(AttrSet{0}, AttrSet{1}, doubler, 0, 1));
+  Relation good(AttrSet{0, 1});
+  good.AddRow(Row({5, 105}));
+  good.AddRow(Row({7, 107}));
+  EXPECT_TRUE(SatisfiesEFD(good, efd));
+  Relation bad(AttrSet{0, 1});
+  bad.AddRow(Row({5, 9}));
+  EXPECT_FALSE(SatisfiesEFD(bad, efd));
+}
+
+TEST(EFDTest, ComposeWitnessChainsFunctions) {
+  // A ->e B (B = A + 100), B ->e C (C = B + 1000): derive A ->e C.
+  auto plus100 = [](Value v) { return Value::Const(v.index() + 100); };
+  auto plus1000 = [](Value v) { return Value::Const(v.index() + 1000); };
+  EFDSet efds;
+  efds.Add(EFD(AttrSet{0}, AttrSet{1},
+               ProjectionWitness(AttrSet{0}, AttrSet{1}, plus100, 0, 1)));
+  efds.Add(EFD(AttrSet{1}, AttrSet{2},
+               ProjectionWitness(AttrSet{1}, AttrSet{2}, plus1000, 1, 2)));
+  auto witness = efds.ComposeWitness(AttrSet{0}, AttrSet{2});
+  ASSERT_TRUE(witness.ok());
+
+  Relation in(AttrSet{0});
+  in.AddRow(Row({5}));
+  Relation out = (*witness)(in);
+  EXPECT_EQ(out.attrs(), (AttrSet{0, 2}));
+  ASSERT_EQ(out.size(), 1);
+  // C = (5 + 100) + 1000.
+  Relation expect(AttrSet{0, 2});
+  expect.AddRow(Row({5, 1105}));
+  EXPECT_TRUE(out.SameAs(expect));
+}
+
+TEST(EFDTest, ComposeWitnessFailsWithoutWitness) {
+  EFDSet efds;
+  efds.Add(EFD(AttrSet{0}, AttrSet{1}));  // no witness attached
+  EXPECT_FALSE(efds.ComposeWitness(AttrSet{0}, AttrSet{1}).ok());
+}
+
+TEST(EFDTest, ComposeWitnessFailsWhenNotImplied) {
+  EFDSet efds;
+  EXPECT_FALSE(efds.ComposeWitness(AttrSet{0}, AttrSet{1}).ok());
+}
+
+TEST(DependencySetTest, FdsWithEfdShadows) {
+  DependencySet sigma;
+  sigma.fds.Add(AttrSet{0}, 1);
+  sigma.efds.Add(EFD(AttrSet{1}, AttrSet{2}));
+  FDSet all = sigma.FdsWithEfdShadows();
+  EXPECT_TRUE(all.Implies(AttrSet{0}, AttrSet{2}));
+  EXPECT_TRUE(sigma.HasEFDs());
+  EXPECT_FALSE(sigma.HasJDs());
+}
+
+}  // namespace
+}  // namespace relview

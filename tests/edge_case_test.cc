@@ -1,0 +1,213 @@
+// Edge cases across the public API: degenerate views, empty instances,
+// single-attribute universes, capacity limits, and replacement-rejection
+// witness checks mirroring the insertion ones.
+
+#include <gtest/gtest.h>
+
+#include "chase/instance_chase.h"
+#include "deps/instance_generator.h"
+#include "deps/satisfies.h"
+#include "util/rng.h"
+#include "view/complement.h"
+#include "view/find_complement.h"
+#include "view/generic_instance.h"
+#include "view/insertion.h"
+#include "view/replacement.h"
+#include "view/test1.h"
+#include "view/test2.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+TEST(EdgeCaseTest, EmptyViewInsertFailsConditionA) {
+  Universe u = Universe::Parse("A B").value();
+  auto fds = *FDSet::Parse(u, "A -> B");
+  Relation v(u.SetOf("A"));
+  // Inserting into an empty view: no complement row can supply B.
+  auto rep = CheckInsertion(u.All(), fds, u.SetOf("A"), u.SetOf("A B"), v,
+                            Row({1}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kFailsComplementMembership);
+}
+
+TEST(EdgeCaseTest, ViewEqualsUniverseIsAlwaysTranslatableModuloSigma) {
+  // X = U: the complement adds nothing; X∩Y = Y, and condition (b)'s
+  // "not a superkey of X" clause decides. With Y = U the translator
+  // refuses everything new (identity view updates only).
+  Universe u = Universe::Parse("A B").value();
+  auto fds = *FDSet::Parse(u, "A -> B");
+  Relation v(u.All());
+  v.AddRow(Row({1, 5}));
+  auto rep = CheckInsertion(u.All(), fds, u.All(), u.All(), v, Row({1, 5}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kIdentity);
+  auto rep2 =
+      CheckInsertion(u.All(), fds, u.All(), u.All(), v, Row({2, 6}));
+  ASSERT_TRUE(rep2.ok());
+  EXPECT_FALSE(rep2->translatable());
+}
+
+TEST(EdgeCaseTest, SingleAttributeUniverse) {
+  Universe u = Universe::Parse("A").value();
+  FDSet fds;
+  Relation v(u.SetOf("A"));
+  v.AddRow(Row({1}));
+  // X = Y = U = {A}: inserting an existing tuple is identity; a new one
+  // hits condition (b) (X∩Y = A is trivially a superkey of X).
+  auto rep =
+      CheckInsertion(u.All(), fds, u.SetOf("A"), u.SetOf("A"), v, Row({1}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, TranslationVerdict::kIdentity);
+  auto rep2 =
+      CheckInsertion(u.All(), fds, u.SetOf("A"), u.SetOf("A"), v, Row({2}));
+  ASSERT_TRUE(rep2.ok());
+  EXPECT_FALSE(rep2->translatable());
+}
+
+TEST(EdgeCaseTest, EmptyFdSetMakesDisjointComplementsFail) {
+  Universe u = Universe::Parse("A B").value();
+  DependencySet none;
+  // Without FDs, X∩Y = {} is a superkey of nothing: only overlapping
+  // covers can be complementary.
+  EXPECT_FALSE(
+      AreComplementary(u.All(), none, u.SetOf("A"), u.SetOf("B")));
+  EXPECT_TRUE(
+      AreComplementary(u.All(), none, u.SetOf("A"), u.SetOf("A B")));
+}
+
+TEST(EdgeCaseTest, Test1IndexedCapacityGuard) {
+  // |X − Y| > 16 trips the indexed backend's explicit capacity error.
+  Universe u = Universe::Anonymous(20);
+  FDSet fds;
+  fds.Add(AttrSet::Single(18), 19);  // condition (b) holds
+  AttrSet x = u.All();
+  x.Remove(19);
+  AttrSet y{18, 19};
+  // X − Y has 18 attributes.
+  Relation v(x);
+  Tuple t(x.Count());
+  for (int i = 0; i < x.Count(); ++i) t[i] = Value::Const(1);
+  v.AddRow(t);
+  Tuple t2 = t;
+  t2[0] = Value::Const(2);
+  auto rep =
+      RunTest1(u.All(), fds, x, y, v, t2, {Test1Backend::kIndexed});
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(EdgeCaseTest, GenericInstanceNullIdsAreDistinct) {
+  Universe u = Universe::Parse("A B C").value();
+  Relation v(u.SetOf("A"));
+  v.AddRow(Row({1}));
+  v.AddRow(Row({2}));
+  GenericInstance g = GenericInstance::Build(u.All(), u.SetOf("A"), v);
+  EXPECT_NE(g.NullAt(0, u["B"]), g.NullAt(0, u["C"]));
+  EXPECT_NE(g.NullAt(0, u["B"]), g.NullAt(1, u["B"]));
+  EXPECT_TRUE(g.relation().HasNulls());
+  EXPECT_EQ(g.relation().size(), 2);
+}
+
+TEST(EdgeCaseTest, FindComplementOnEmptyView) {
+  Universe u = Universe::Parse("A B").value();
+  auto fds = *FDSet::Parse(u, "A -> B");
+  Relation v(u.SetOf("A"));
+  auto res =
+      FindTranslatingComplement(u.All(), fds, u.SetOf("A"), v, Row({1}));
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->found);
+  EXPECT_EQ(res->candidates, 0);
+}
+
+// Replacement rejections reconstruct into genuine counterexamples, like
+// the insertion ones: re-run the reported (f, r) hypothesis and check a
+// legal database emerges whose translation violates Sigma.
+TEST(ReplaceWitnessTest, RejectionsAreGenuine) {
+  Rng rng(1357);
+  Universe u = Universe::Anonymous(4);
+  const AttrSet universe = u.All();
+  int rejections = 0;
+  for (int trial = 0; trial < 3000 && rejections < 8; ++trial) {
+    FDSet fds;
+    const int nfd = 1 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < nfd; ++i) {
+      AttrSet lhs;
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.35)) lhs.Add(a);
+      });
+      fds.Add(lhs, static_cast<AttrId>(rng.Below(4)));
+    }
+    AttrSet x;
+    do {
+      x = AttrSet();
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.6)) x.Add(a);
+      });
+    } while (x.Empty() || x == universe);
+    AttrSet y = universe - x;
+    x.ForEach([&](AttrId a) {
+      if (rng.Chance(0.5)) y.Add(a);
+    });
+    if (rng.Chance(0.6)) {
+      (universe - x).ForEach([&](AttrId a) { fds.Add(x & y, a); });
+    }
+    Relation db(universe);
+    const Schema& ds = db.schema();
+    for (int i = 0; i < 5; ++i) {
+      Tuple row(ds.arity());
+      for (int p = 0; p < ds.arity(); ++p) {
+        row[p] = Value::Const(static_cast<uint32_t>(rng.Below(2)));
+      }
+      db.AddRow(row);
+    }
+    RepairToLegal(&db, fds);
+    Relation v = db.Project(x);
+    if (v.size() < 2) continue;
+    const Schema vs(x);
+    const Tuple t1 = v.row(static_cast<int>(rng.Below(v.size())));
+    Tuple t2 = t1;
+    // Half the time stay in case 2 (mutate only X − Y, keeping the
+    // common part) — its chase test quantifies over all mu rows and
+    // rejects more readily.
+    const AttrSet mutable_attrs = rng.Chance(0.5) ? (x - y) : x;
+    mutable_attrs.ForEach([&](AttrId a) {
+      if (rng.Chance(0.5)) {
+        t2.Set(vs, a, Value::Const(static_cast<uint32_t>(rng.Below(2))));
+      }
+    });
+    if (t2 == t1 || v.ContainsRow(t2)) continue;
+
+    auto rep = CheckReplacement(universe, fds, x, y, v, t1, t2);
+    ASSERT_TRUE(rep.ok());
+    if (rep->verdict != TranslationVerdict::kFailsChase) continue;
+    ++rejections;
+    // Sweep small databases: some legal R compatible with V must yield an
+    // illegal T_u (otherwise the rejection is at least suspicious — the
+    // bounded domain may simply not contain the witness, so only count).
+    bool witnessed = false;
+    EnumerateRelations(universe, 2, [&](const Relation& r) {
+      if (witnessed) return;
+      if (!SatisfiesAll(r, fds)) return;
+      if (!r.Project(x).SameAs(v)) return;
+      auto updated = ApplyReplacement(universe, x, y, r, t1, t2);
+      if (updated.ok() && !SatisfiesAll(*updated, fds)) witnessed = true;
+    });
+    // The two-valued domain contains the generic witness whenever one
+    // exists with two distinct complement values, which holds for chain
+    // FDs over {0,1}; assert it.
+    EXPECT_TRUE(witnessed)
+        << "fds=" << fds.ToString() << " X=" << x.ToString()
+        << " Y=" << y.ToString() << " t1=" << t1.ToString()
+        << " t2=" << t2.ToString() << "\nV:\n" << v.ToString();
+  }
+  EXPECT_GT(rejections, 2);
+}
+
+}  // namespace
+}  // namespace relview

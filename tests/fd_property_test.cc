@@ -1,0 +1,127 @@
+// Randomized property suite for the FD machinery:
+//   * MinimalCover is equivalent to the original set and nonredundant;
+//   * Closure is monotone, extensive and idempotent (a closure operator);
+//   * ShrinkToKey returns a minimal superkey;
+//   * ProjectExact agrees with direct closure checks on the projection
+//     attributes.
+
+#include <gtest/gtest.h>
+
+#include "deps/fd_set.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace {
+
+FDSet RandomFds(int width, int count, uint64_t seed) {
+  Rng rng(seed);
+  FDSet fds;
+  for (int i = 0; i < count; ++i) {
+    AttrSet lhs;
+    for (int c = 0; c < width; ++c) {
+      if (rng.Chance(0.35)) lhs.Add(static_cast<AttrId>(c));
+    }
+    fds.Add(lhs, static_cast<AttrId>(rng.Below(width)));
+  }
+  return fds;
+}
+
+AttrSet RandomSubset(int width, Rng* rng, double p = 0.5) {
+  AttrSet s;
+  for (int c = 0; c < width; ++c) {
+    if (rng->Chance(p)) s.Add(static_cast<AttrId>(c));
+  }
+  return s;
+}
+
+class FDPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FDPropertyTest, ClosureIsAClosureOperator) {
+  const int width = 6;
+  Rng rng(100 + GetParam());
+  FDSet fds = RandomFds(width, 5, 500 + GetParam());
+  const AttrSet a = RandomSubset(width, &rng);
+  const AttrSet b = RandomSubset(width, &rng);
+  // Extensive.
+  EXPECT_TRUE(a.SubsetOf(fds.Closure(a)));
+  // Idempotent.
+  EXPECT_EQ(fds.Closure(fds.Closure(a)), fds.Closure(a));
+  // Monotone.
+  if (a.SubsetOf(b)) {
+    EXPECT_TRUE(fds.Closure(a).SubsetOf(fds.Closure(b)));
+  }
+  EXPECT_TRUE(fds.Closure(a).SubsetOf(fds.Closure(a | b)));
+}
+
+TEST_P(FDPropertyTest, MinimalCoverIsEquivalentAndNonredundant) {
+  const int width = 6;
+  FDSet fds = RandomFds(width, 7, 700 + GetParam());
+  FDSet cover = fds.MinimalCover();
+  // Equivalent: identical closures on all singletons and a few random
+  // sets.
+  Rng rng(900 + GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const AttrSet s = RandomSubset(width, &rng);
+    EXPECT_EQ(fds.Closure(s), cover.Closure(s))
+        << "fds=" << fds.ToString() << " cover=" << cover.ToString();
+  }
+  // Nonredundant: removing any FD changes some closure.
+  for (size_t i = 0; i < cover.fds().size(); ++i) {
+    FDSet rest;
+    for (size_t j = 0; j < cover.fds().size(); ++j) {
+      if (j != i) rest.Add(cover.fds()[j]);
+    }
+    EXPECT_FALSE(rest.Implies(cover.fds()[i]))
+        << "cover=" << cover.ToString();
+  }
+  // Left-reduced: no lhs attribute removable.
+  for (const FD& fd : cover.fds()) {
+    for (int a = fd.lhs.First(); a >= 0; a = fd.lhs.Next(a)) {
+      AttrSet smaller = fd.lhs;
+      smaller.Remove(static_cast<AttrId>(a));
+      EXPECT_FALSE(cover.Implies(FD(smaller, fd.rhs)))
+          << "cover=" << cover.ToString();
+    }
+  }
+}
+
+TEST_P(FDPropertyTest, ShrinkToKeyIsMinimalSuperkey) {
+  const int width = 6;
+  FDSet fds = RandomFds(width, 5, 1100 + GetParam());
+  const AttrSet universe = AttrSet::FirstN(width);
+  const AttrSet key = fds.ShrinkToKey(universe, universe);
+  EXPECT_TRUE(fds.IsSuperkey(key, universe));
+  for (int a = key.First(); a >= 0; a = key.Next(a)) {
+    AttrSet smaller = key;
+    smaller.Remove(static_cast<AttrId>(a));
+    EXPECT_FALSE(fds.IsSuperkey(smaller, universe));
+  }
+}
+
+TEST_P(FDPropertyTest, ProjectExactMatchesClosureOnProjection) {
+  const int width = 5;
+  Rng rng(1300 + GetParam());
+  FDSet fds = RandomFds(width, 5, 1300 + GetParam());
+  const AttrSet x = RandomSubset(width, &rng, 0.6);
+  if (x.Empty()) return;
+  FDSet proj = fds.ProjectExact(x);
+  // For every subset S of x and attribute A in x: proj |= S -> A iff
+  // fds |= S -> A.
+  const std::vector<AttrId> members = x.ToVector();
+  for (uint32_t mask = 0; mask < (1u << members.size()); ++mask) {
+    AttrSet s;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (mask & (1u << i)) s.Add(members[i]);
+    }
+    const AttrSet lhs_closure_full = fds.Closure(s) & x;
+    const AttrSet lhs_closure_proj = proj.Closure(s) & x;
+    EXPECT_EQ(lhs_closure_full, lhs_closure_proj)
+        << "fds=" << fds.ToString() << " X=" << x.ToString()
+        << " S=" << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FDPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,117 @@
+// Unit tests for FD parsing and the FDSet machinery (closure, implication,
+// superkeys, minimal cover, exact projection).
+
+#include "deps/fd_set.h"
+
+#include <gtest/gtest.h>
+
+namespace relview {
+namespace {
+
+class FDSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto u = Universe::Parse("A B C D E");
+    ASSERT_TRUE(u.ok());
+    u_ = *u;
+  }
+  Universe u_;
+};
+
+TEST_F(FDSetTest, ParseSplitsRightSides) {
+  auto fds = FDSet::Parse(u_, "A -> B C; B C -> D");
+  ASSERT_TRUE(fds.ok());
+  EXPECT_EQ(fds->size(), 3);  // A->B, A->C, BC->D
+}
+
+TEST_F(FDSetTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(FDSet::Parse(u_, "A B C").ok());
+  EXPECT_FALSE(FDSet::Parse(u_, "A -> ").ok());
+  EXPECT_FALSE(FDSet::Parse(u_, "A -> Z").ok());
+}
+
+TEST_F(FDSetTest, ClosureTransitive) {
+  auto fds = *FDSet::Parse(u_, "A -> B; B -> C; C -> D");
+  const AttrSet closure = fds.Closure(u_.SetOf("A"));
+  EXPECT_EQ(closure, u_.SetOf("A B C D"));
+  EXPECT_FALSE(closure.Contains(u_["E"]));
+}
+
+TEST_F(FDSetTest, ClosureNeedsWholeLeftSide) {
+  auto fds = *FDSet::Parse(u_, "A B -> C");
+  EXPECT_FALSE(fds.Closure(u_.SetOf("A")).Contains(u_["C"]));
+  EXPECT_TRUE(fds.Closure(u_.SetOf("A B")).Contains(u_["C"]));
+}
+
+TEST_F(FDSetTest, ImpliesAugmentation) {
+  auto fds = *FDSet::Parse(u_, "A -> B");
+  EXPECT_TRUE(fds.Implies(u_.SetOf("A C"), u_.SetOf("B C")));
+  EXPECT_FALSE(fds.Implies(u_.SetOf("B"), u_.SetOf("A")));
+}
+
+TEST_F(FDSetTest, SuperkeyDetection) {
+  // Employee -> Dept, Dept -> Mgr: Employee is a key of the whole schema
+  // restricted to {A,B,C}.
+  auto fds = *FDSet::Parse(u_, "A -> B; B -> C");
+  EXPECT_TRUE(fds.IsSuperkey(u_.SetOf("A"), u_.SetOf("A B C")));
+  EXPECT_FALSE(fds.IsSuperkey(u_.SetOf("B"), u_.SetOf("A B C")));
+}
+
+TEST_F(FDSetTest, MinimalCoverRemovesRedundantFDs) {
+  auto fds = *FDSet::Parse(u_, "A -> B; B -> C; A -> C");
+  FDSet cover = fds.MinimalCover();
+  EXPECT_EQ(cover.size(), 2);
+  // The cover is equivalent to the original.
+  for (const FD& fd : fds.fds()) EXPECT_TRUE(cover.Implies(fd));
+  for (const FD& fd : cover.fds()) EXPECT_TRUE(fds.Implies(fd));
+}
+
+TEST_F(FDSetTest, MinimalCoverReducesLeftSides) {
+  auto fds = *FDSet::Parse(u_, "A -> B; A C -> B");
+  FDSet cover = fds.MinimalCover();
+  ASSERT_EQ(cover.size(), 1);
+  EXPECT_EQ(cover.fds()[0].lhs, u_.SetOf("A"));
+  EXPECT_EQ(cover.fds()[0].rhs, u_["B"]);
+}
+
+TEST_F(FDSetTest, MinimalCoverDropsTrivial) {
+  FDSet fds;
+  fds.Add(u_.SetOf("A B"), u_["A"]);
+  EXPECT_EQ(fds.MinimalCover().size(), 0);
+}
+
+TEST_F(FDSetTest, ShrinkToKeyFindsMinimalKey) {
+  auto fds = *FDSet::Parse(u_, "A -> B; A -> C; A -> D; A -> E");
+  AttrSet key = fds.ShrinkToKey(u_.All(), u_.All());
+  EXPECT_EQ(key, u_.SetOf("A"));
+}
+
+TEST_F(FDSetTest, ProjectExactFindsTransitiveFDs) {
+  // A -> B, B -> C; projecting out B must retain A -> C.
+  auto fds = *FDSet::Parse(u_, "A -> B; B -> C");
+  FDSet proj = fds.ProjectExact(u_.SetOf("A C"));
+  EXPECT_TRUE(proj.Implies(FD(u_.SetOf("A"), u_["C"])));
+  EXPECT_FALSE(proj.Implies(FD(u_.SetOf("C"), u_["A"])));
+}
+
+TEST_F(FDSetTest, EmptySetClosureIsIdentity) {
+  FDSet fds;
+  EXPECT_EQ(fds.Closure(u_.SetOf("A C")), u_.SetOf("A C"));
+}
+
+TEST_F(FDSetTest, EmptyLhsFDAppliesEverywhere) {
+  // {} -> A: A is constant across the relation; closure of anything
+  // contains A.
+  FDSet fds;
+  fds.Add(AttrSet(), u_["A"]);
+  EXPECT_TRUE(fds.Closure(AttrSet()).Contains(u_["A"]));
+  EXPECT_TRUE(fds.Closure(u_.SetOf("B")).Contains(u_["A"]));
+}
+
+TEST_F(FDSetTest, ToStringRoundTripsNames) {
+  auto fds = *FDSet::Parse(u_, "A B -> C");
+  EXPECT_EQ(fds.ToString(&u_), "A B -> C");
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,130 @@
+// Exhaustive validation of the Bancilhon–Spyratos facts on enumerated
+// state spaces: for EVERY view update translatable under a constant
+// complement, the translation is consistent and acceptable (fact (i)),
+// translations compose (fact (ii) forward), and the canonical complement
+// reconstruction round-trips (fact (ii) converse) — swept across random
+// state spaces and complements.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "framework/bs_framework.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace {
+
+struct Space {
+  FiniteMapping v;
+  FiniteMapping vc;
+};
+
+/// A random state space of `pairs` states with view/complement labels;
+/// guaranteed complement by construction (distinct pairs).
+Space MakeSpace(int nview, int ncomp, double keep, Rng* rng) {
+  std::vector<int> vimg, cimg;
+  for (int a = 0; a < nview; ++a) {
+    for (int b = 0; b < ncomp; ++b) {
+      if (rng->Chance(keep) || (a == 0 && b == 0)) {
+        vimg.push_back(a);
+        cimg.push_back(b);
+      }
+    }
+  }
+  return {FiniteMapping(FiniteMapping::FromLabels(vimg)),
+          FiniteMapping(FiniteMapping::FromLabels(cimg))};
+}
+
+class BSPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BSPropertyTest, TranslationsAreConsistentAcceptableAndCompose) {
+  Rng rng(42 + GetParam());
+  const Space sp = MakeSpace(3, 3, 0.8, &rng);
+  ASSERT_TRUE(IsComplementOf(sp.v, sp.vc));
+  const int vr = sp.v.range_size();
+
+  // Enumerate all view updates over a small view range (vr^vr maps).
+  std::vector<FiniteMapping> updates;
+  std::vector<FiniteMapping> translations;
+  int64_t total_maps = 1;
+  for (int i = 0; i < vr; ++i) total_maps *= vr;
+  for (int64_t code = 0; code < total_maps; ++code) {
+    std::vector<int> img(vr);
+    int64_t c = code;
+    for (int i = 0; i < vr; ++i) {
+      img[i] = static_cast<int>(c % vr);
+      c /= vr;
+    }
+    FiniteMapping u(img, vr);
+    auto tu = TranslateUnderConstantComplement(sp.v, sp.vc, u);
+    if (!tu.has_value()) continue;
+    // Fact (i).
+    EXPECT_TRUE(IsConsistentTranslation(sp.v, u, *tu));
+    EXPECT_TRUE(IsAcceptableTranslation(sp.v, u, *tu));
+    updates.push_back(u);
+    translations.push_back(*tu);
+  }
+  ASSERT_FALSE(updates.empty());
+
+  // Fact (ii) forward: for translatable u, w whose composite is also
+  // translatable, T_{uw} == T_u ∘ T_w.
+  for (size_t i = 0; i < updates.size(); ++i) {
+    for (size_t j = 0; j < updates.size(); ++j) {
+      FiniteMapping uw = FiniteMapping::Compose(updates[i], updates[j]);
+      auto tuw = TranslateUnderConstantComplement(sp.v, sp.vc, uw);
+      if (!tuw.has_value()) continue;
+      EXPECT_TRUE(IsMorphismOnPair(translations[i], translations[j], *tuw));
+    }
+  }
+}
+
+TEST_P(BSPropertyTest, CanonicalComplementRoundTrips) {
+  Rng rng(4242 + GetParam());
+  const Space sp = MakeSpace(3, 2, 0.9, &rng);
+  ASSERT_TRUE(IsComplementOf(sp.v, sp.vc));
+  const int vr = sp.v.range_size();
+
+  // Pick the set of all translatable *permutations* of the view range (a
+  // "reasonable" update set: closed under composition with inverses).
+  std::vector<std::pair<FiniteMapping, FiniteMapping>> updates;
+  std::vector<int> perm(vr);
+  for (int i = 0; i < vr; ++i) perm[i] = i;
+  do {
+    FiniteMapping u(perm, vr);
+    auto tu = TranslateUnderConstantComplement(sp.v, sp.vc, u);
+    if (tu.has_value()) updates.emplace_back(u, *tu);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  ASSERT_FALSE(updates.empty());
+
+  auto recovered = ComplementFromTranslator(sp.v, updates);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(IsComplementOf(sp.v, *recovered));
+  for (const auto& [u, tu] : updates) {
+    auto again = TranslateUnderConstantComplement(sp.v, *recovered, u);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_TRUE(*again == tu);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BSPropertyTest, ::testing::Range(0, 12));
+
+TEST(BSFrameworkEdgeTest, IdentityUpdateAlwaysTranslatable) {
+  FiniteMapping v({0, 0, 1}, 2);
+  FiniteMapping vc({0, 1, 0}, 2);
+  auto tid = TranslateUnderConstantComplement(v, vc,
+                                              FiniteMapping::Identity(2));
+  ASSERT_TRUE(tid.has_value());
+  EXPECT_TRUE(*tid == FiniteMapping::Identity(3));
+}
+
+TEST(BSFrameworkEdgeTest, NonComplementIsRejectedByTranslate) {
+  FiniteMapping v({0, 0}, 1);
+  FiniteMapping not_comp({0, 0}, 1);
+  EXPECT_FALSE(TranslateUnderConstantComplement(
+                   v, not_comp, FiniteMapping::Identity(1))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,177 @@
+// Tests for the Bancilhon–Spyratos framework (facts (i) and (ii) of the
+// paper's introduction) over finite state spaces, plus the instantiation
+// with relational states and projection views that ties the abstract
+// theory to the paper's concrete setting.
+
+#include "framework/bs_framework.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "deps/instance_generator.h"
+#include "deps/satisfies.h"
+#include "view/deletion.h"
+#include "view/insertion.h"
+
+namespace relview {
+namespace {
+
+TEST(FiniteMappingTest, ComposeAndIdentity) {
+  FiniteMapping f({1, 2, 0}, 3);
+  FiniteMapping id = FiniteMapping::Identity(3);
+  EXPECT_TRUE(FiniteMapping::Compose(f, id) == f);
+  EXPECT_TRUE(FiniteMapping::Compose(id, f) == f);
+  FiniteMapping ff = FiniteMapping::Compose(f, f);
+  EXPECT_EQ(ff(0), 2);
+  EXPECT_EQ(ff(2), 1);
+}
+
+TEST(FiniteMappingTest, FromLabelsDensifies) {
+  FiniteMapping m = FiniteMapping::FromLabels({42, 17, 42, 3});
+  EXPECT_EQ(m.range_size(), 3);
+  EXPECT_EQ(m(0), m(2));
+  EXPECT_NE(m(0), m(1));
+}
+
+TEST(ComplementTest, IdentityIsComplementOfEverything) {
+  FiniteMapping v({0, 0, 1, 1}, 2);
+  FiniteMapping id = FiniteMapping::Identity(4);
+  EXPECT_TRUE(IsComplementOf(v, id));
+}
+
+TEST(ComplementTest, CoarseMapIsNotComplement) {
+  FiniteMapping v({0, 0, 1, 1}, 2);
+  FiniteMapping coarse({0, 0, 0, 0}, 1);
+  EXPECT_FALSE(IsComplementOf(v, coarse));
+  // The "other half" is a complement.
+  FiniteMapping other({0, 1, 0, 1}, 2);
+  EXPECT_TRUE(IsComplementOf(v, other));
+}
+
+TEST(TranslationTest, ConstantComplementTranslationIsUniqueAndChecked) {
+  // States = pairs (a, b) with a, b in {0,1}; v = first coordinate,
+  // vc = second. u swaps the view value.
+  FiniteMapping v({0, 0, 1, 1}, 2);
+  FiniteMapping vc({0, 1, 0, 1}, 2);
+  FiniteMapping u({1, 0}, 2);
+  auto tu = TranslateUnderConstantComplement(v, vc, u);
+  ASSERT_TRUE(tu.has_value());
+  // (a, b) -> (1 − a, b): state 0 = (0,0) -> (1,0) = state 2, etc.
+  EXPECT_EQ((*tu)(0), 2);
+  EXPECT_EQ((*tu)(1), 3);
+  EXPECT_EQ((*tu)(2), 0);
+  EXPECT_EQ((*tu)(3), 1);
+  // Fact (i).
+  EXPECT_TRUE(IsConsistentTranslation(v, u, *tu));
+  EXPECT_TRUE(IsAcceptableTranslation(v, u, *tu));
+}
+
+TEST(TranslationTest, UntranslatableWhenTargetStateMissing) {
+  // Remove state (1,1): now u (swap) cannot move (0,1) anywhere.
+  FiniteMapping v({0, 0, 1}, 2);
+  FiniteMapping vc({0, 1, 0}, 2);
+  FiniteMapping u({1, 0}, 2);
+  EXPECT_FALSE(TranslateUnderConstantComplement(v, vc, u).has_value());
+}
+
+TEST(TranslationTest, MorphismPropertyHolds) {
+  // Fact (ii), forward direction: translations of composable updates
+  // compose. Use the 4-state space and the updates u (swap) and w = u.
+  FiniteMapping v({0, 0, 1, 1}, 2);
+  FiniteMapping vc({0, 1, 0, 1}, 2);
+  FiniteMapping u({1, 0}, 2);
+  auto tu = TranslateUnderConstantComplement(v, vc, u);
+  ASSERT_TRUE(tu.has_value());
+  FiniteMapping uu = FiniteMapping::Compose(u, u);  // identity on views
+  auto tuu = TranslateUnderConstantComplement(v, vc, uu);
+  ASSERT_TRUE(tuu.has_value());
+  EXPECT_TRUE(IsMorphismOnPair(*tu, *tu, *tuu));
+}
+
+TEST(TranslationTest, ConverseRecoversAComplement) {
+  // Fact (ii), converse: from a consistent acceptable morphism, rebuild a
+  // complement that reproduces it.
+  FiniteMapping v({0, 0, 1, 1}, 2);
+  FiniteMapping vc({0, 1, 0, 1}, 2);
+  FiniteMapping u({1, 0}, 2);
+  FiniteMapping id2({0, 1}, 2);
+  auto tu = TranslateUnderConstantComplement(v, vc, u);
+  ASSERT_TRUE(tu.has_value());
+  std::vector<std::pair<FiniteMapping, FiniteMapping>> updates = {
+      {u, *tu}, {id2, FiniteMapping::Identity(4)}};
+  auto recovered = ComplementFromTranslator(v, updates);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(IsComplementOf(v, *recovered));
+  auto tu2 = TranslateUnderConstantComplement(v, *recovered, u);
+  ASSERT_TRUE(tu2.has_value());
+  EXPECT_TRUE(*tu2 == *tu);
+}
+
+TEST(TranslationTest, ConverseRejectsInconsistentTranslator) {
+  FiniteMapping v({0, 0, 1, 1}, 2);
+  FiniteMapping u({1, 0}, 2);
+  // A bogus "translation" that does not move the view.
+  FiniteMapping bogus = FiniteMapping::Identity(4);
+  auto recovered = ComplementFromTranslator(v, {{u, bogus}});
+  EXPECT_FALSE(recovered.has_value());
+}
+
+// ---- Relational instantiation: states = legal ED instances, v = pi_E ----
+
+TEST(RelationalBridgeTest, ProjectionViewTranslationsAreMorphisms) {
+  // Universe {A, B} with FD A -> B, states = legal instances over domain
+  // {0,1} (per-column), view = pi_A, complement = pi_AB = identity-ish.
+  Universe u = Universe::Anonymous(2);
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+
+  std::vector<Relation> states;
+  EnumerateRelations(u.All(), 2, [&](const Relation& r) {
+    if (SatisfiesAll(r, fds)) states.push_back(r);
+  });
+  ASSERT_GT(states.size(), 4u);
+
+  // v: state -> its pi_A image (labeled).
+  std::map<std::vector<Tuple>, int> view_ids;
+  std::vector<int> vlabels;
+  for (const Relation& s : states) {
+    Relation p = s.Project(AttrSet{0});
+    auto [it, ignore] =
+        view_ids.emplace(p.rows(), static_cast<int>(view_ids.size()));
+    vlabels.push_back(it->second);
+  }
+  FiniteMapping v = FiniteMapping::FromLabels(vlabels);
+
+  // vc: the complement pi_B-with-links... use the full-state identity as
+  // the trivial complement (always valid).
+  FiniteMapping vc = FiniteMapping::Identity(static_cast<int>(states.size()));
+  EXPECT_TRUE(IsComplementOf(v, vc));
+
+  // A view update: insert the A-tuple (1) — defined on view states.
+  std::vector<int> uimage(v.range_size());
+  std::map<int, std::vector<Tuple>> view_rows;
+  for (const auto& [rows, id] : view_ids) view_rows[id] = rows;
+  for (const auto& [rows, id] : view_ids) {
+    std::vector<Tuple> updated = rows;
+    Tuple t(std::vector<Value>{Value::Const(1)});
+    bool present = false;
+    for (const Tuple& row : updated) {
+      if (row == t) present = true;
+    }
+    if (!present) updated.push_back(t);
+    std::sort(updated.begin(), updated.end());
+    auto found = view_ids.find(updated);
+    // Every view instance over {0,1} exists among legal states.
+    ASSERT_NE(found, view_ids.end());
+    uimage[id] = found->second;
+  }
+  FiniteMapping uu(std::move(uimage), v.range_size());
+
+  // Under the identity complement, only updates that do not change the
+  // view are translatable... the insert changes it, so expect failure:
+  EXPECT_FALSE(TranslateUnderConstantComplement(v, vc, uu).has_value());
+}
+
+}  // namespace
+}  // namespace relview

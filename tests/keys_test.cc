@@ -1,0 +1,152 @@
+// Tests for candidate keys, normal forms and the BCNF decomposition —
+// including the synergy checks: decompositions are lossless (tableau
+// chase) and usable as MultiSchemas.
+
+#include "deps/keys.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chase/implication.h"
+#include "multirel/multirel.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace {
+
+TEST(CandidateKeysTest, ChainHasSingleKey) {
+  Universe u = Universe::Parse("A B C").value();
+  auto fds = *FDSet::Parse(u, "A -> B; B -> C");
+  auto keys = CandidateKeys(u.All(), fds);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0], u.SetOf("A"));
+}
+
+TEST(CandidateKeysTest, CycleHasMultipleKeys) {
+  // A -> B, B -> A: both {A,...} and {B,...} patterns.
+  Universe u = Universe::Parse("A B C").value();
+  auto fds = *FDSet::Parse(u, "A -> B; B -> A");
+  auto keys = CandidateKeys(u.All(), fds);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 2u);
+  for (const AttrSet& k : *keys) {
+    EXPECT_TRUE(k.Contains(u["C"]));
+    EXPECT_EQ(k.Count(), 2);
+  }
+}
+
+TEST(CandidateKeysTest, NoFdsMeansAllAttributes) {
+  Universe u = Universe::Parse("A B").value();
+  auto keys = CandidateKeys(u.All(), FDSet());
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0], u.All());
+}
+
+TEST(CandidateKeysTest, KeysAreMinimalAndAreKeys) {
+  Universe u = Universe::Parse("A B C D E").value();
+  auto fds = *FDSet::Parse(u, "A B -> C; C -> D; D E -> A");
+  auto keys = CandidateKeys(u.All(), fds);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_FALSE(keys->empty());
+  for (const AttrSet& k : *keys) {
+    EXPECT_TRUE(fds.IsSuperkey(k, u.All()));
+    for (int a = k.First(); a >= 0; a = k.Next(a)) {
+      AttrSet smaller = k;
+      smaller.Remove(static_cast<AttrId>(a));
+      EXPECT_FALSE(fds.IsSuperkey(smaller, u.All()));
+    }
+  }
+}
+
+TEST(NormalFormTest, BCNFDetectsViolation) {
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  auto fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+  // Dept -> Mgr with Dept not a superkey of EDM: not BCNF.
+  EXPECT_FALSE(IsBCNF(u.All(), fds));
+  // The ED projection is fine (Emp is its key; no other FD applies).
+  EXPECT_TRUE(IsBCNF(u.SetOf("Emp Dept"), fds));
+  EXPECT_TRUE(IsBCNF(u.SetOf("Dept Mgr"), fds));
+}
+
+TEST(NormalFormTest, ThreeNFAllowsPrimeDependents) {
+  // Classic: ST -> L, L -> S (street/city style): 3NF but not BCNF.
+  Universe u = Universe::Parse("S T L").value();
+  auto fds = *FDSet::Parse(u, "S T -> L; L -> S");
+  EXPECT_FALSE(IsBCNF(u.All(), fds));
+  auto three = Is3NF(u.All(), fds);
+  ASSERT_TRUE(three.ok());
+  EXPECT_TRUE(*three);
+}
+
+TEST(NormalFormTest, NonPrimeTransitiveBreaks3NF) {
+  Universe u = Universe::Parse("A B C").value();
+  auto fds = *FDSet::Parse(u, "A -> B; B -> C");
+  auto three = Is3NF(u.All(), fds);
+  ASSERT_TRUE(three.ok());
+  EXPECT_FALSE(*three);
+}
+
+TEST(DecomposeBCNFTest, EmpDeptMgrSplits) {
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  auto fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+  std::vector<AttrSet> parts = DecomposeBCNF(u.All(), fds);
+  ASSERT_EQ(parts.size(), 2u);
+  for (const AttrSet& p : parts) EXPECT_TRUE(IsBCNF(p, fds));
+  // Lossless (tableau chase).
+  EXPECT_TRUE(ImpliesJD(u.All(), fds, {}, JD{parts}));
+}
+
+TEST(DecomposeBCNFTest, BCNFInputIsUntouched) {
+  Universe u = Universe::Parse("A B").value();
+  auto fds = *FDSet::Parse(u, "A -> B");
+  std::vector<AttrSet> parts = DecomposeBCNF(u.All(), fds);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], u.All());
+}
+
+TEST(DecomposeBCNFTest, RandomizedLosslessAndBCNF) {
+  Rng rng(99119);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int width = 4 + static_cast<int>(rng.Below(3));
+    Universe u = Universe::Anonymous(width);
+    FDSet fds;
+    const int nfd = 1 + static_cast<int>(rng.Below(4));
+    for (int i = 0; i < nfd; ++i) {
+      AttrSet lhs;
+      for (int c = 0; c < width; ++c) {
+        if (rng.Chance(0.3)) lhs.Add(static_cast<AttrId>(c));
+      }
+      fds.Add(lhs, static_cast<AttrId>(rng.Below(width)));
+    }
+    std::vector<AttrSet> parts = DecomposeBCNF(u.All(), fds);
+    ASSERT_FALSE(parts.empty());
+    AttrSet covered;
+    for (const AttrSet& p : parts) {
+      covered |= p;
+      EXPECT_TRUE(IsBCNF(p, fds)) << fds.ToString();
+    }
+    EXPECT_EQ(covered, u.All());
+    EXPECT_TRUE(ImpliesJD(u.All(), fds, {}, JD{parts}))
+        << "lossy decomposition for " << fds.ToString();
+  }
+}
+
+TEST(DecomposeBCNFTest, FeedsMultiSchemaDirectly) {
+  // The decomposition is exactly what MultiSchema::Create needs.
+  Universe u = Universe::Parse("Emp Dept Mgr Loc").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr; Mgr -> Loc");
+  std::vector<AttrSet> parts = DecomposeBCNF(u.All(), sigma.fds);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    names.push_back("R" + std::to_string(i));
+  }
+  auto schema = MultiSchema::Create(u, sigma, names, parts);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,158 @@
+// Tests for the multirelation extension (paper Section 6, direction (3)):
+// views as projections of lossless joins, translated through the
+// universal-relation bridge.
+
+#include "multirel/multirel.h"
+
+#include <gtest/gtest.h>
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+class MultiRelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Universe: Emp Dept Mgr; base relations ED(Emp, Dept), DM(Dept, Mgr).
+    // Lossless because Dept -> Mgr makes the shared Dept a key of DM.
+    Universe u = Universe::Parse("Emp Dept Mgr").value();
+    DependencySet sigma;
+    sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+    auto schema = MultiSchema::Create(
+        u, sigma, {"ED", "DM"},
+        {u.SetOf("Emp Dept"), u.SetOf("Dept Mgr")});
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = std::make_unique<MultiSchema>(std::move(*schema));
+
+    MultiDatabase db(schema_.get());
+    Relation ed(schema_->component(0));
+    ed.AddRow(Row({1, 10}));
+    ed.AddRow(Row({2, 10}));
+    ed.AddRow(Row({3, 20}));
+    Relation dm(schema_->component(1));
+    dm.AddRow(Row({10, 100}));
+    dm.AddRow(Row({20, 200}));
+    ASSERT_TRUE(db.SetInstance(0, std::move(ed)).ok());
+    ASSERT_TRUE(db.SetInstance(1, std::move(dm)).ok());
+
+    auto vt = MultiRelViewTranslator::Create(
+        schema_.get(), schema_->universe().SetOf("Emp Dept"),
+        schema_->universe().SetOf("Dept Mgr"));
+    ASSERT_TRUE(vt.ok()) << vt.status().ToString();
+    vt_ = std::make_unique<MultiRelViewTranslator>(std::move(*vt));
+    ASSERT_TRUE(vt_->Bind(std::move(db)).ok());
+  }
+  std::unique_ptr<MultiSchema> schema_;
+  std::unique_ptr<MultiRelViewTranslator> vt_;
+};
+
+TEST_F(MultiRelTest, CreateRejectsLossyDecomposition) {
+  // Without any FDs, {ED, DM} is a lossy decomposition of EDM.
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  DependencySet none;
+  auto schema = MultiSchema::Create(
+      u, none, {"ED", "DM"}, {u.SetOf("Emp Dept"), u.SetOf("Dept Mgr")});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MultiRelTest, CreateRejectsNonCoveringComponents) {
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "Dept -> Mgr");
+  auto schema =
+      MultiSchema::Create(u, sigma, {"ED"}, {u.SetOf("Emp Dept")});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST_F(MultiRelTest, BindRejectsDanglingTuples) {
+  MultiDatabase db(schema_.get());
+  Relation ed(schema_->component(0));
+  ed.AddRow(Row({1, 10}));
+  ed.AddRow(Row({9, 90}));  // dept 90 has no DM row: dangling
+  Relation dm(schema_->component(1));
+  dm.AddRow(Row({10, 100}));
+  ASSERT_TRUE(db.SetInstance(0, std::move(ed)).ok());
+  ASSERT_TRUE(db.SetInstance(1, std::move(dm)).ok());
+  auto vt = MultiRelViewTranslator::Create(
+      schema_.get(), schema_->universe().SetOf("Emp Dept"),
+      schema_->universe().SetOf("Dept Mgr"));
+  ASSERT_TRUE(vt.ok());
+  EXPECT_FALSE(vt->Bind(std::move(db)).ok());
+}
+
+TEST_F(MultiRelTest, ViewIsProjectionOfJoin) {
+  auto view = vt_->ViewInstance();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 3);
+  EXPECT_TRUE(view->ContainsRow(Row({1, 10})));
+}
+
+TEST_F(MultiRelTest, InsertPropagatesToBaseRelations) {
+  ASSERT_TRUE(vt_->Insert(Row({4, 10})).ok());
+  // The ED base relation gains the new pair; DM is untouched.
+  EXPECT_TRUE(vt_->database().instance(0).ContainsRow(Row({4, 10})));
+  EXPECT_EQ(vt_->database().instance(1).size(), 2);
+  EXPECT_TRUE(vt_->database().CheckGloballyConsistent().ok());
+}
+
+TEST_F(MultiRelTest, UntranslatableInsertLeavesBaseRelationsAlone) {
+  const Relation ed_before = vt_->database().instance(0);
+  Status st = vt_->Insert(Row({4, 90}));  // unknown dept
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  EXPECT_TRUE(vt_->database().instance(0).SameAs(ed_before));
+}
+
+TEST_F(MultiRelTest, DeletePropagates) {
+  ASSERT_TRUE(vt_->Delete(Row({1, 10})).ok());
+  EXPECT_FALSE(vt_->database().instance(0).ContainsRow(Row({1, 10})));
+  // Dept 10's manager row survives (emp 2 still there).
+  EXPECT_TRUE(vt_->database().instance(1).ContainsRow(Row({10, 100})));
+}
+
+TEST_F(MultiRelTest, DeleteLastEmployeeOfDeptRejected) {
+  Status st = vt_->Delete(Row({3, 20}));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  EXPECT_TRUE(vt_->database().instance(0).ContainsRow(Row({3, 20})));
+}
+
+TEST_F(MultiRelTest, ThreeWayDecomposition) {
+  // U = A B C D with A -> B, B -> C, C -> D; components AB, BC, CD.
+  Universe u = Universe::Parse("A B C D").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "A -> B; B -> C; C -> D");
+  auto schema = MultiSchema::Create(
+      u, sigma, {"AB", "BC", "CD"},
+      {u.SetOf("A B"), u.SetOf("B C"), u.SetOf("C D")});
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  MultiDatabase db(&*schema);
+  Relation ab(schema->component(0));
+  ab.AddRow(Row({1, 5}));
+  ab.AddRow(Row({2, 5}));
+  Relation bc(schema->component(1));
+  bc.AddRow(Row({5, 7}));
+  Relation cd(schema->component(2));
+  cd.AddRow(Row({7, 9}));
+  ASSERT_TRUE(db.SetInstance(0, std::move(ab)).ok());
+  ASSERT_TRUE(db.SetInstance(1, std::move(bc)).ok());
+  ASSERT_TRUE(db.SetInstance(2, std::move(cd)).ok());
+
+  auto vt = MultiRelViewTranslator::Create(&*schema, u.SetOf("A B C"),
+                                           u.SetOf("C D"));
+  ASSERT_TRUE(vt.ok()) << vt.status().ToString();
+  ASSERT_TRUE(vt->Bind(std::move(db)).ok());
+  // Insert (3, 5, 7): B=5 and C=7 exist; only AB gains a row.
+  ASSERT_TRUE(vt->Insert(Row({3, 5, 7})).ok());
+  EXPECT_TRUE(vt->database().instance(0).ContainsRow(Row({3, 5})));
+  EXPECT_EQ(vt->database().instance(1).size(), 1);
+  EXPECT_EQ(vt->database().instance(2).size(), 1);
+}
+
+}  // namespace
+}  // namespace relview

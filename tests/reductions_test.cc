@@ -1,0 +1,226 @@
+// Cross-validation of the paper's hardness reductions against SAT/QBF
+// oracles:
+//   Theorem 2: SAT(phi)      <=> complement of size n+1 exists;
+//   Theorem 4: ∀∃-SAT(phi)   <=> succinct insertion translatable;
+//   Theorem 5: UNSAT(phi)    <=> Test 1 accepts the succinct insertion;
+//   Theorem 7: SAT(phi)      <=> some complement renders it translatable.
+
+#include "reductions/reductions.h"
+
+#include <gtest/gtest.h>
+
+#include "solvers/dpll.h"
+#include "util/rng.h"
+#include "view/complement.h"
+#include "view/find_complement.h"
+#include "view/insertion.h"
+#include "view/test1.h"
+
+namespace relview {
+namespace {
+
+Clause3 C(Lit a, Lit b, Lit c) { return Clause3{a, b, c}; }
+
+CNF3 SatisfiableExample() {
+  // (x0 | x1 | x2) & (~x0 | x1 | ~x2).
+  CNF3 f;
+  f.num_vars = 3;
+  f.clauses.push_back(C(Lit(0, true), Lit(1, true), Lit(2, true)));
+  f.clauses.push_back(C(Lit(0, false), Lit(1, true), Lit(2, false)));
+  return f;
+}
+
+CNF3 UnsatisfiableExample() {
+  // All eight sign patterns over three variables: unsatisfiable.
+  CNF3 f;
+  f.num_vars = 3;
+  for (int mask = 0; mask < 8; ++mask) {
+    f.clauses.push_back(C(Lit(0, mask & 1), Lit(1, mask & 2),
+                          Lit(2, mask & 4)));
+  }
+  return f;
+}
+
+TEST(Theorem2Test, SatisfiableFormulaYieldsSmallComplement) {
+  const CNF3 phi = SatisfiableExample();
+  MinComplementReduction red = ReduceSatToMinComplement(phi);
+  DependencySet sigma;
+  sigma.fds = red.fds;
+  auto has = HasComplementOfSize(red.universe.All(), sigma, red.x,
+                                 red.target_size);
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);
+  // Decode an assignment from the minimum complement and check it
+  // satisfies phi.
+  auto min = MinimumComplement(red.universe.All(), sigma, red.x);
+  ASSERT_TRUE(min.ok());
+  ASSERT_EQ(min->complement.Count(), red.target_size);
+  const std::vector<bool> h = red.DecodeAssignment(min->complement);
+  EXPECT_TRUE(phi.Eval(h));
+}
+
+TEST(Theorem2Test, UnsatisfiableFormulaNeedsLargerComplement) {
+  const CNF3 phi = UnsatisfiableExample();
+  MinComplementReduction red = ReduceSatToMinComplement(phi);
+  DependencySet sigma;
+  sigma.fds = red.fds;
+  auto has = HasComplementOfSize(red.universe.All(), sigma, red.x,
+                                 red.target_size);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+}
+
+TEST(Theorem2Test, RandomizedAgreementWithDpll) {
+  Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 3 + static_cast<int>(rng.Below(2));
+    const int m = 2 + static_cast<int>(rng.Below(8));
+    const CNF3 phi = CNF3::Random(n, m, &rng);
+    MinComplementReduction red = ReduceSatToMinComplement(phi);
+    DependencySet sigma;
+    sigma.fds = red.fds;
+    auto has = HasComplementOfSize(red.universe.All(), sigma, red.x,
+                                   red.target_size);
+    ASSERT_TRUE(has.ok());
+    EXPECT_EQ(*has, SolveSat(phi).satisfiable)
+        << phi.ToString() << " trial " << trial;
+  }
+}
+
+TEST(Theorem4Test, SuccinctViewExpandsToGridPlusOne) {
+  const CNF3 phi = SatisfiableExample();
+  SuccinctInsertionReduction red = ReduceForallExistsToInsertion(phi, 2);
+  EXPECT_EQ(red.view.ExpandedSizeBound(), (1 << phi.num_vars) + 1);
+  const Relation v = red.view.Expand();
+  EXPECT_EQ(v.size(), (1 << phi.num_vars) + 1);
+  // Membership without expansion agrees with expansion.
+  for (const Tuple& row : v.rows()) {
+    EXPECT_TRUE(red.view.Contains(row));
+  }
+  EXPECT_FALSE(red.view.Contains(red.t));
+  // Description is linear in |U| (a few cells per attribute).
+  EXPECT_LT(red.view.DescriptionSize(), 8 * red.universe.size());
+}
+
+// The paper's forward argument (soundness of the reduction's
+// "satisfiable => translatable" direction) holds and is validated below.
+TEST(Theorem4Test, QbfTrueImpliesTranslatable) {
+  Rng rng(13);
+  int true_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 3 + static_cast<int>(rng.Below(2));
+    const int k = 1 + static_cast<int>(rng.Below(2));
+    const int m = 2 + static_cast<int>(rng.Below(6));
+    const CNF3 phi = CNF3::Random(n, m, &rng);
+    if (!ForallExistsSat(phi, k)) continue;
+    SuccinctInsertionReduction red = ReduceForallExistsToInsertion(phi, k);
+    const Relation v = red.view.Expand();
+    auto rep = CheckInsertion(red.universe.All(), red.fds, red.view_x,
+                              red.comp_y, v, red.t);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_TRUE(rep->translatable())
+        << phi.ToString() << " k=" << k << " trial " << trial;
+    ++true_seen;
+  }
+  EXPECT_GT(true_seen, 5);
+}
+
+// Reproduction finding (documented in EXPERIMENTS.md): the backward
+// direction of the paper's Theorem 4 proof fails as literally stated.
+// The clause FDs Lji A -> Fj also fire between two grid rows that agree
+// on a FALSE literal (value 0). Rows sharing a universal prefix agree on
+// every universal literal column and (after X1X1'..XkXk' -> A spreads the
+// imposed r[A] = s[A] through the class) their F-columns merge; each
+// clause containing an existential literal is satisfied by SOME extension
+// in the class, so s's F-value joins every pool, F1..Fm -> C fires, and
+// r[C] = s[C] is genuinely FORCED in every legal database — even though
+// the prefix has no single satisfying extension. The concrete formula
+// below (universal x0, x1) has prefix x0=x1=0 unsatisfiable
+// (clause1 needs ~x2, clause6 needs x2), yet the insertion is
+// translatable; our independently validated exact test demonstrates it.
+TEST(Theorem4Test, BackwardDirectionErratumWitness) {
+  CNF3 phi;
+  phi.num_vars = 3;
+  auto C3 = [](Lit a, Lit b, Lit c) { return Clause3{a, b, c}; };
+  phi.clauses.push_back(C3(Lit(0, true), Lit(1, true), Lit(2, false)));
+  phi.clauses.push_back(C3(Lit(2, false), Lit(0, false), Lit(1, false)));
+  phi.clauses.push_back(C3(Lit(1, false), Lit(0, true), Lit(2, true)));
+  phi.clauses.push_back(C3(Lit(0, true), Lit(1, true), Lit(2, true)));
+  const int k = 2;
+  ASSERT_FALSE(ForallExistsSat(phi, k));  // prefix (0,0) kills it
+  SuccinctInsertionReduction red = ReduceForallExistsToInsertion(phi, k);
+  const Relation v = red.view.Expand();
+  auto rep = CheckInsertion(red.universe.All(), red.fds, red.view_x,
+                            red.comp_y, v, red.t);
+  ASSERT_TRUE(rep.ok());
+  // The paper's claimed equivalence would demand untranslatability here;
+  // the chase (correctly) proves every legal database stays legal.
+  EXPECT_TRUE(rep->translatable());
+}
+
+TEST(Theorem5Test, UnsatAcceptedSatRejected) {
+  {
+    SuccinctInsertionReduction red = ReduceUnsatToTest1(UnsatisfiableExample());
+    const Relation v = red.view.Expand();
+    auto rep = RunTest1(red.universe.All(), red.fds, red.view_x, red.comp_y,
+                        v, red.t, {Test1Backend::kTwoTupleChase});
+    ASSERT_TRUE(rep.ok());
+    EXPECT_TRUE(rep->accepted());
+  }
+  {
+    SuccinctInsertionReduction red = ReduceUnsatToTest1(SatisfiableExample());
+    const Relation v = red.view.Expand();
+    auto rep = RunTest1(red.universe.All(), red.fds, red.view_x, red.comp_y,
+                        v, red.t, {Test1Backend::kTwoTupleChase});
+    ASSERT_TRUE(rep.ok());
+    EXPECT_FALSE(rep->accepted());
+  }
+}
+
+TEST(Theorem5Test, RandomizedAgreementWithDpll) {
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 3 + static_cast<int>(rng.Below(2));
+    const int m = 3 + static_cast<int>(rng.Below(12));
+    const CNF3 phi = CNF3::Random(n, m, &rng);
+    SuccinctInsertionReduction red = ReduceUnsatToTest1(phi);
+    const Relation v = red.view.Expand();
+    auto rep = RunTest1(red.universe.All(), red.fds, red.view_x, red.comp_y,
+                        v, red.t, {Test1Backend::kClosure});
+    ASSERT_TRUE(rep.ok());
+    EXPECT_EQ(rep->accepted(), !SolveSat(phi).satisfiable)
+        << phi.ToString() << " trial " << trial;
+  }
+}
+
+TEST(Theorem7Test, RandomizedAgreementWithDpll) {
+  Rng rng(19);
+  int sat_seen = 0, unsat_seen = 0;
+  for (int trial = 0; trial < 27; ++trial) {
+    // Mix random draws (usually satisfiable at these densities) with the
+    // fixed unsatisfiable instance so both outcomes are exercised.
+    const int n = 3 + static_cast<int>(rng.Below(2));
+    const int m = 2 + static_cast<int>(rng.Below(10));
+    const CNF3 phi =
+        (trial % 9 == 8) ? UnsatisfiableExample() : CNF3::Random(n, m, &rng);
+    ComplementExistenceReduction red = ReduceSatToComplementExistence(phi);
+    const Relation v = red.view.Expand();
+    auto res = FindTranslatingComplement(red.universe.All(), red.fds,
+                                         red.view_x, v, red.t);
+    ASSERT_TRUE(res.ok());
+    const bool sat = SolveSat(phi).satisfiable;
+    EXPECT_EQ(res->found, sat) << phi.ToString() << " trial " << trial;
+    if (res->found) {
+      EXPECT_TRUE(phi.Eval(red.DecodeAssignment(res->complement)))
+          << phi.ToString();
+      ++sat_seen;
+    } else {
+      ++unsat_seen;
+    }
+  }
+  EXPECT_GT(sat_seen, 2);
+  EXPECT_GT(unsat_seen, 2);
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,170 @@
+// Unit tests for Value, Tuple, Relation and its algebra.
+
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace relview {
+namespace {
+
+Tuple MakeTuple(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+TEST(ValueTest, ConstVsNull) {
+  Value c = Value::Const(7);
+  Value n = Value::Null(7);
+  EXPECT_TRUE(c.is_const());
+  EXPECT_TRUE(n.is_null());
+  EXPECT_NE(c, n);
+  EXPECT_EQ(c.index(), 7u);
+  EXPECT_EQ(n.index(), 7u);
+  EXPECT_EQ(c.ToString(), "c7");
+  EXPECT_EQ(n.ToString(), "?7");
+}
+
+TEST(ValuePoolTest, InternIsIdempotent) {
+  ValuePool pool;
+  Value a = pool.Intern("alice");
+  Value b = pool.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, pool.Intern("alice"));
+  EXPECT_EQ(pool.NameOf(a), "alice");
+}
+
+TEST(TupleTest, ProjectAndAgree) {
+  Schema abc(AttrSet{0, 1, 2});
+  Schema ac(AttrSet{0, 2});
+  Tuple t = MakeTuple({10, 20, 30});
+  Tuple p = t.Project(abc, ac);
+  EXPECT_EQ(p[0], Value::Const(10));
+  EXPECT_EQ(p[1], Value::Const(30));
+  Tuple t2 = MakeTuple({10, 99, 30});
+  EXPECT_TRUE(t.AgreesWith(t2, abc, AttrSet{0, 2}));
+  EXPECT_FALSE(t.AgreesWith(t2, abc, AttrSet{1}));
+}
+
+TEST(RelationTest, NormalizeDeduplicates) {
+  Relation r(AttrSet{0, 1});
+  r.AddRow(MakeTuple({1, 2}));
+  r.AddRow(MakeTuple({1, 2}));
+  r.AddRow(MakeTuple({3, 4}));
+  r.Normalize();
+  EXPECT_EQ(r.size(), 2);
+}
+
+TEST(RelationTest, ProjectDeduplicates) {
+  Relation r(AttrSet{0, 1});
+  r.AddRow(MakeTuple({1, 2}));
+  r.AddRow(MakeTuple({1, 3}));
+  Relation p = r.Project(AttrSet{0});
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_TRUE(p.ContainsRow(MakeTuple({1})));
+}
+
+TEST(RelationTest, NaturalJoinRecombines) {
+  // Classic: R(A,B), S(B,C); join on B.
+  Relation r(AttrSet{0, 1});
+  r.AddRow(MakeTuple({1, 10}));
+  r.AddRow(MakeTuple({2, 20}));
+  Relation s(AttrSet{1, 2});
+  s.AddRow(MakeTuple({10, 100}));
+  s.AddRow(MakeTuple({10, 101}));
+  Relation j = Relation::NaturalJoin(r, s);
+  EXPECT_EQ(j.attrs(), (AttrSet{0, 1, 2}));
+  EXPECT_EQ(j.size(), 2);
+  EXPECT_TRUE(j.ContainsRow(MakeTuple({1, 10, 100})));
+  EXPECT_TRUE(j.ContainsRow(MakeTuple({1, 10, 101})));
+}
+
+TEST(RelationTest, JoinOnDisjointSchemasIsProduct) {
+  Relation r(AttrSet{0});
+  r.AddRow(MakeTuple({1}));
+  r.AddRow(MakeTuple({2}));
+  Relation s(AttrSet{1});
+  s.AddRow(MakeTuple({7}));
+  Relation j = Relation::NaturalJoin(r, s);
+  EXPECT_EQ(j.size(), 2);
+  auto p = Relation::Product(r, s);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->SameAs(j));
+}
+
+TEST(RelationTest, ProductRejectsOverlap) {
+  Relation r(AttrSet{0});
+  Relation s(AttrSet{0});
+  EXPECT_FALSE(Relation::Product(r, s).ok());
+}
+
+TEST(RelationTest, UnionAndDifference) {
+  Relation a(AttrSet{0});
+  a.AddRow(MakeTuple({1}));
+  a.AddRow(MakeTuple({2}));
+  Relation b(AttrSet{0});
+  b.AddRow(MakeTuple({2}));
+  b.AddRow(MakeTuple({3}));
+  auto u = Relation::Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3);
+  auto d = Relation::Difference(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1);
+  EXPECT_TRUE(d->ContainsRow(MakeTuple({1})));
+}
+
+TEST(RelationTest, UnionSchemaMismatchIsError) {
+  Relation a(AttrSet{0});
+  Relation b(AttrSet{1});
+  EXPECT_FALSE(Relation::Union(a, b).ok());
+}
+
+TEST(RelationTest, RenameValueAffectsAllColumns) {
+  Relation r(AttrSet{0, 1});
+  r.AddRow(MakeTuple({5, 5}));
+  EXPECT_EQ(r.RenameValue(Value::Const(5), Value::Const(6)), 2);
+  EXPECT_TRUE(r.ContainsRow(MakeTuple({6, 6})));
+}
+
+TEST(RelationTest, HasNulls) {
+  Relation r(AttrSet{0});
+  r.AddRow(Tuple({Value::Const(1)}));
+  EXPECT_FALSE(r.HasNulls());
+  r.AddRow(Tuple({Value::Null(0)}));
+  EXPECT_TRUE(r.HasNulls());
+}
+
+TEST(RelationTest, SameAsIsOrderInsensitive) {
+  Relation a(AttrSet{0});
+  a.AddRow(MakeTuple({1}));
+  a.AddRow(MakeTuple({2}));
+  Relation b(AttrSet{0});
+  b.AddRow(MakeTuple({2}));
+  b.AddRow(MakeTuple({1}));
+  EXPECT_TRUE(a.SameAs(b));
+}
+
+TEST(RelationTest, AddRowNamedValidates) {
+  Relation r(AttrSet{0, 2});
+  EXPECT_TRUE(r.AddRowNamed({{0, Value::Const(1)}, {2, Value::Const(2)}})
+                  .ok());
+  EXPECT_FALSE(r.AddRowNamed({{0, Value::Const(1)}}).ok());
+  EXPECT_FALSE(
+      r.AddRowNamed({{0, Value::Const(1)}, {1, Value::Const(2)}}).ok());
+  EXPECT_FALSE(
+      r.AddRowNamed({{0, Value::Const(1)}, {0, Value::Const(2)}}).ok());
+  EXPECT_EQ(r.size(), 1);
+}
+
+TEST(RelationTest, SelectFilters) {
+  Relation r(AttrSet{0});
+  r.AddRow(MakeTuple({1}));
+  r.AddRow(MakeTuple({2}));
+  Relation sel = r.Select(
+      [](const Tuple& t) { return t[0] == Value::Const(2); });
+  EXPECT_EQ(sel.size(), 1);
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,87 @@
+// Randomized property suite for selection views (§6(2) extension): under
+// any accepted update sequence, BOTH complement components — the hidden
+// sigma_{¬P} rows and the pi_Y projection — stay constant, and the view
+// evolves exactly as requested.
+
+#include <gtest/gtest.h>
+
+#include "deps/satisfies.h"
+#include "util/rng.h"
+#include "view/selection_view.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+class SelectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectionPropertyTest, ComplementPairConstantUnderRandomOps) {
+  Rng rng(8800 + GetParam());
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+  // Predicate: Dept == 0 (the "visible department").
+  TuplePredicate p;
+  p.AddEquals(u["Dept"], Value::Const(0));
+  auto vt_or = SelectionViewTranslator::Create(
+      u, sigma, u.SetOf("Emp Dept"), u.SetOf("Dept Mgr"), p);
+  ASSERT_TRUE(vt_or.ok());
+  SelectionViewTranslator vt = std::move(*vt_or);
+
+  // Random legal database: dept d -> manager 100+d.
+  Relation db(u.All());
+  const int emps = 4 + static_cast<int>(rng.Below(6));
+  for (int e = 0; e < emps; ++e) {
+    const uint32_t dept = static_cast<uint32_t>(rng.Below(3));
+    db.AddRow(Row({static_cast<uint32_t>(e), dept, 100 + dept}));
+  }
+  ASSERT_TRUE(vt.Bind(std::move(db)).ok());
+
+  const Relation hidden0 = *vt.HiddenRows();
+  const Relation py0 = vt.database().Project(u.SetOf("Dept Mgr"));
+
+  int applied = 0;
+  for (int op = 0; op < 30; ++op) {
+    const uint32_t e = static_cast<uint32_t>(rng.Below(emps + 4));
+    const uint32_t d = static_cast<uint32_t>(rng.Below(3));
+    Status st;
+    switch (rng.Below(3)) {
+      case 0:
+        st = vt.Insert(Row({e, d}));
+        break;
+      case 1:
+        st = vt.Delete(Row({e, d}));
+        break;
+      default: {
+        const uint32_t e2 = static_cast<uint32_t>(rng.Below(emps + 4));
+        st = vt.Replace(Row({e, d}), Row({e2, d}));
+        break;
+      }
+    }
+    if (st.ok()) ++applied;
+    // Whatever happened, the invariants hold.
+    ASSERT_TRUE(SatisfiesAll(vt.database(), sigma.fds));
+    EXPECT_TRUE(vt.HiddenRows()->SameAs(hidden0)) << "op " << op;
+    EXPECT_TRUE(vt.database()
+                    .Project(u.SetOf("Dept Mgr"))
+                    .SameAs(py0))
+        << "op " << op;
+    // Every visible row satisfies P.
+    const Relation visible = *vt.ViewInstance();
+    for (const Tuple& row : visible.rows()) {
+      EXPECT_EQ(row[1], Value::Const(0));
+    }
+  }
+  EXPECT_GT(applied, 0) << "no operation ever applied";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace relview

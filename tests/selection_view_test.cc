@@ -1,0 +1,138 @@
+// Tests for the selection-view extension (paper Section 6, direction (2)):
+// views sigma_P(pi_X(R)) under the constant complement pair
+// (sigma_{¬P} pi_X, pi_Y).
+
+#include "view/selection_view.h"
+
+#include <gtest/gtest.h>
+
+#include "deps/satisfies.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+constexpr uint32_t kSales = 10;
+constexpr uint32_t kDev = 20;
+
+class SelectionViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Universe u = Universe::Parse("Emp Dept Mgr").value();
+    DependencySet sigma;
+    sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+    TuplePredicate sales_only;
+    sales_only.AddEquals(u["Dept"], Value::Const(kSales));
+    auto vt = SelectionViewTranslator::Create(
+        u, sigma, u.SetOf("Emp Dept"), u.SetOf("Dept Mgr"), sales_only);
+    ASSERT_TRUE(vt.ok()) << vt.status().ToString();
+    vt_ = std::make_unique<SelectionViewTranslator>(std::move(*vt));
+
+    Relation db(vt_->universe().All());
+    db.AddRow(Row({1, kSales, 100}));
+    db.AddRow(Row({2, kSales, 100}));
+    db.AddRow(Row({3, kDev, 200}));
+    db.AddRow(Row({4, kDev, 200}));
+    ASSERT_TRUE(vt_->Bind(std::move(db)).ok());
+  }
+  std::unique_ptr<SelectionViewTranslator> vt_;
+};
+
+TEST_F(SelectionViewTest, ViewShowsOnlyMatchingRows) {
+  auto view = vt_->ViewInstance();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 2);
+  for (const Tuple& t : view->rows()) {
+    EXPECT_EQ(t[1], Value::Const(kSales));
+  }
+  auto hidden = vt_->HiddenRows();
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_EQ(hidden->size(), 2);
+}
+
+TEST_F(SelectionViewTest, InsertInsidePredicate) {
+  ASSERT_TRUE(vt_->Insert(Row({5, kSales})).ok());
+  EXPECT_TRUE(vt_->database().ContainsRow(Row({5, kSales, 100})));
+}
+
+TEST_F(SelectionViewTest, InsertOutsidePredicateRejected) {
+  Status st = vt_->Insert(Row({5, kDev}));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  EXPECT_EQ(vt_->database().size(), 4);
+}
+
+TEST_F(SelectionViewTest, HiddenComponentStaysConstant) {
+  const Relation hidden_before = *vt_->HiddenRows();
+  const Relation py_before = vt_->database().Project(
+      Universe::Parse("Emp Dept Mgr")->SetOf("Dept Mgr"));
+  ASSERT_TRUE(vt_->Insert(Row({5, kSales})).ok());
+  ASSERT_TRUE(vt_->Delete(Row({1, kSales})).ok());
+  EXPECT_TRUE(vt_->HiddenRows()->SameAs(hidden_before));
+  EXPECT_TRUE(vt_->database()
+                  .Project(Universe::Parse("Emp Dept Mgr")->SetOf("Dept Mgr"))
+                  .SameAs(py_before));
+}
+
+TEST_F(SelectionViewTest, DeleteOutsidePredicateRejected) {
+  Status st = vt_->Delete(Row({3, kDev}));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  EXPECT_TRUE(vt_->database().ContainsRow(Row({3, kDev, 200})));
+}
+
+TEST_F(SelectionViewTest, DeleteLastRowOfDeptRejected) {
+  // Delete both sales rows: the second one must fail (complement row for
+  // sales would vanish) even though both are inside P.
+  ASSERT_TRUE(vt_->Delete(Row({1, kSales})).ok());
+  Status st = vt_->Delete(Row({2, kSales}));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+}
+
+TEST_F(SelectionViewTest, ReplaceWithinPredicate) {
+  ASSERT_TRUE(vt_->Replace(Row({1, kSales}), Row({9, kSales})).ok());
+  EXPECT_TRUE(vt_->database().ContainsRow(Row({9, kSales, 100})));
+  EXPECT_FALSE(vt_->database().ContainsRow(Row({1, kSales, 100})));
+}
+
+TEST_F(SelectionViewTest, ReplaceLeavingPredicateRejected) {
+  // Moving employee 1 to dev would remove it from the view but ADD it to
+  // the hidden sigma_{¬P} component — not allowed.
+  Status st = vt_->Replace(Row({1, kSales}), Row({1, kDev}));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+}
+
+TEST_F(SelectionViewTest, CreateRejectsPredicateOutsideView) {
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+  TuplePredicate bad;
+  bad.AddEquals(u["Mgr"], Value::Const(1));  // Mgr is not a view attribute
+  auto vt = SelectionViewTranslator::Create(
+      u, sigma, u.SetOf("Emp Dept"), u.SetOf("Dept Mgr"), bad);
+  EXPECT_FALSE(vt.ok());
+}
+
+TEST(TuplePredicateTest, MixedAtoms) {
+  Schema s(AttrSet{0, 1});
+  TuplePredicate p;
+  p.AddEquals(0, Value::Const(1));
+  p.AddNotEquals(1, Value::Const(5));
+  EXPECT_TRUE(p.Eval(Row({1, 4}), s));
+  EXPECT_FALSE(p.Eval(Row({1, 5}), s));
+  EXPECT_FALSE(p.Eval(Row({2, 4}), s));
+  EXPECT_EQ(p.Attrs(), (AttrSet{0, 1}));
+}
+
+TEST(TuplePredicateTest, EmptyPredicateAcceptsAll) {
+  Schema s(AttrSet{0});
+  TuplePredicate p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(p.Eval(Row({7}), s));
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,98 @@
+// Tests for the DPLL SAT solver and the ∀∃ 2-QBF oracle.
+
+#include "solvers/dpll.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace relview {
+namespace {
+
+Clause3 C(Lit a, Lit b, Lit c) { return Clause3{a, b, c}; }
+
+TEST(DpllTest, TrivialSatAndUnsat) {
+  CNF3 f;
+  f.num_vars = 1;
+  f.clauses.push_back(C(Lit(0, true), Lit(0, true), Lit(0, true)));
+  EXPECT_TRUE(SolveSat(f).satisfiable);
+  f.clauses.push_back(C(Lit(0, false), Lit(0, false), Lit(0, false)));
+  EXPECT_FALSE(SolveSat(f).satisfiable);
+}
+
+TEST(DpllTest, ModelSatisfiesFormula) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    CNF3 f = CNF3::Random(6, 20, &rng);
+    SatResult res = SolveSat(f);
+    if (res.satisfiable) {
+      EXPECT_TRUE(f.Eval(res.assignment)) << f.ToString();
+    }
+  }
+}
+
+TEST(DpllTest, AgreesWithBruteForce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int n = 5;
+    CNF3 f = CNF3::Random(n, 3 + static_cast<int>(rng.Below(20)), &rng);
+    bool brute = false;
+    for (uint32_t mask = 0; mask < (1u << n) && !brute; ++mask) {
+      std::vector<bool> assign(n);
+      for (int i = 0; i < n; ++i) assign[i] = (mask >> i) & 1;
+      if (f.Eval(assign)) brute = true;
+    }
+    EXPECT_EQ(SolveSat(f).satisfiable, brute) << f.ToString();
+  }
+}
+
+TEST(DpllTest, RespectsFixedAssignments) {
+  // (x0 | x0 | x0): satisfiable, but not with x0 fixed false.
+  CNF3 f;
+  f.num_vars = 2;
+  f.clauses.push_back(C(Lit(0, true), Lit(0, true), Lit(0, true)));
+  EXPECT_TRUE(SolveSat(f, {{0, true}}).satisfiable);
+  EXPECT_FALSE(SolveSat(f, {{0, false}}).satisfiable);
+}
+
+TEST(QbfTest, ForallExistsBruteAgreement) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 5;
+    const int k = 2;  // universal prefix
+    CNF3 f = CNF3::Random(n, 4 + static_cast<int>(rng.Below(12)), &rng);
+    // Brute: for all 2^k prefixes, exists suffix.
+    bool brute = true;
+    for (uint32_t pmask = 0; pmask < (1u << k) && brute; ++pmask) {
+      bool exists = false;
+      for (uint32_t smask = 0; smask < (1u << (n - k)) && !exists;
+           ++smask) {
+        std::vector<bool> assign(n);
+        for (int i = 0; i < k; ++i) assign[i] = (pmask >> i) & 1;
+        for (int i = k; i < n; ++i) assign[i] = (smask >> (i - k)) & 1;
+        if (f.Eval(assign)) exists = true;
+      }
+      if (!exists) brute = false;
+    }
+    EXPECT_EQ(ForallExistsSat(f, k), brute) << f.ToString();
+  }
+}
+
+TEST(QbfTest, ZeroUniversalsIsPlainSat) {
+  Rng rng(7);
+  CNF3 f = CNF3::Random(4, 10, &rng);
+  EXPECT_EQ(ForallExistsSat(f, 0), SolveSat(f).satisfiable);
+}
+
+TEST(CnfTest, RandomHasDistinctVarsPerClause) {
+  Rng rng(1);
+  CNF3 f = CNF3::Random(5, 30, &rng);
+  for (const Clause3& c : f.clauses) {
+    EXPECT_NE(c[0].var, c[1].var);
+    EXPECT_NE(c[1].var, c[2].var);
+    EXPECT_NE(c[0].var, c[2].var);
+  }
+}
+
+}  // namespace
+}  // namespace relview

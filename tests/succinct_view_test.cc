@@ -1,0 +1,86 @@
+// Tests for the succinct view encoding (union of Cartesian products).
+
+#include "succinct/succinct_view.h"
+
+#include <gtest/gtest.h>
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+Relation Factor(AttrSet attrs, std::vector<Tuple> rows) {
+  Relation r(attrs);
+  for (Tuple& t : rows) r.AddRow(std::move(t));
+  return r;
+}
+
+TEST(SuccinctViewTest, RejectsBadProducts) {
+  SuccinctView v(AttrSet{0, 1});
+  // Overlapping factors.
+  CartesianProduct overlap;
+  overlap.factors.push_back(Factor(AttrSet{0}, {Row({1})}));
+  overlap.factors.push_back(Factor(AttrSet{0, 1}, {Row({1, 2})}));
+  EXPECT_FALSE(v.AddProduct(std::move(overlap)).ok());
+  // Not covering.
+  CartesianProduct partial;
+  partial.factors.push_back(Factor(AttrSet{0}, {Row({1})}));
+  EXPECT_FALSE(v.AddProduct(std::move(partial)).ok());
+}
+
+TEST(SuccinctViewTest, ExpandMatchesContains) {
+  // V = {0,1} x {5,6}  ∪  {(9, 9)}.
+  SuccinctView v(AttrSet{0, 1});
+  CartesianProduct grid;
+  grid.factors.push_back(Factor(AttrSet{0}, {Row({0}), Row({1})}));
+  grid.factors.push_back(Factor(AttrSet{1}, {Row({5}), Row({6})}));
+  ASSERT_TRUE(v.AddProduct(std::move(grid)).ok());
+  CartesianProduct single;
+  single.factors.push_back(Factor(AttrSet{0, 1}, {Row({9, 9})}));
+  ASSERT_TRUE(v.AddProduct(std::move(single)).ok());
+
+  EXPECT_EQ(v.ExpandedSizeBound(), 5);
+  Relation expanded = v.Expand();
+  EXPECT_EQ(expanded.size(), 5);
+  for (const Tuple& t : expanded.rows()) {
+    EXPECT_TRUE(v.Contains(t)) << t.ToString();
+  }
+  EXPECT_FALSE(v.Contains(Row({0, 9})));
+  EXPECT_FALSE(v.Contains(Row({9, 5})));
+  EXPECT_TRUE(v.Contains(Row({9, 9})));
+}
+
+TEST(SuccinctViewTest, ExponentialExpansionLinearDescription) {
+  const int n = 10;
+  AttrSet attrs = AttrSet::FirstN(n);
+  SuccinctView v(attrs);
+  CartesianProduct grid;
+  for (int i = 0; i < n; ++i) {
+    grid.factors.push_back(
+        Factor(AttrSet::Single(static_cast<AttrId>(i)),
+               {Row({0}), Row({1})}));
+  }
+  ASSERT_TRUE(v.AddProduct(std::move(grid)).ok());
+  EXPECT_EQ(v.ExpandedSizeBound(), 1 << n);
+  EXPECT_EQ(v.DescriptionSize(), 2 * n);
+  EXPECT_EQ(v.Expand().size(), 1 << n);
+}
+
+TEST(SuccinctViewTest, OverlappingProductsDeduplicateOnExpand) {
+  SuccinctView v(AttrSet{0});
+  CartesianProduct p1;
+  p1.factors.push_back(Factor(AttrSet{0}, {Row({1}), Row({2})}));
+  ASSERT_TRUE(v.AddProduct(std::move(p1)).ok());
+  CartesianProduct p2;
+  p2.factors.push_back(Factor(AttrSet{0}, {Row({2}), Row({3})}));
+  ASSERT_TRUE(v.AddProduct(std::move(p2)).ok());
+  EXPECT_EQ(v.ExpandedSizeBound(), 4);  // bound counts duplicates
+  EXPECT_EQ(v.Expand().size(), 3);      // expansion deduplicates
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,0 +1,185 @@
+// Tests for Test 1 (the fast, stronger insertion test): backend agreement
+// and the paper's soundness hierarchy
+//   Test1(two-tuple) accepts ⊆ Test1(indexed) accepts ⊆ exact accepts.
+
+#include "view/test1.h"
+
+#include <gtest/gtest.h>
+
+#include "deps/instance_generator.h"
+#include "util/rng.h"
+#include "view/insertion.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+class Test1EmpDeptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = Universe::Parse("Emp Dept Mgr").value();
+    fds_ = *FDSet::Parse(u_, "Emp -> Dept; Dept -> Mgr");
+    x_ = u_.SetOf("Emp Dept");
+    y_ = u_.SetOf("Dept Mgr");
+    v_ = Relation(x_);
+    v_.AddRow(Row({1, 10}));
+    v_.AddRow(Row({2, 10}));
+    v_.AddRow(Row({3, 20}));
+  }
+  Universe u_;
+  FDSet fds_;
+  AttrSet x_, y_;
+  Relation v_{AttrSet()};
+};
+
+TEST_F(Test1EmpDeptTest, AcceptsEasyInsertion) {
+  for (Test1Backend backend :
+       {Test1Backend::kTwoTupleChase, Test1Backend::kClosure,
+        Test1Backend::kIndexed}) {
+    Test1Options opts{backend};
+    auto rep = RunTest1(u_.All(), fds_, x_, y_, v_, Row({4, 10}), opts);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_TRUE(rep->accepted()) << static_cast<int>(backend);
+  }
+}
+
+TEST_F(Test1EmpDeptTest, RejectsViewLevelViolation) {
+  for (Test1Backend backend :
+       {Test1Backend::kTwoTupleChase, Test1Backend::kClosure,
+        Test1Backend::kIndexed}) {
+    Test1Options opts{backend};
+    auto rep = RunTest1(u_.All(), fds_, x_, y_, v_, Row({1, 20}), opts);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_FALSE(rep->accepted()) << static_cast<int>(backend);
+  }
+}
+
+TEST_F(Test1EmpDeptTest, PreambleVerdictsMatchExact) {
+  for (const Tuple& t : {Row({1, 10}), Row({4, 90})}) {
+    auto t1 = RunTest1(u_.All(), fds_, x_, y_, v_, t);
+    auto exact = CheckInsertion(u_.All(), fds_, x_, y_, v_, t);
+    ASSERT_TRUE(t1.ok() && exact.ok());
+    EXPECT_EQ(t1->verdict, exact->verdict) << t.ToString();
+  }
+}
+
+// The key documented behaviour: Test 1 may reject a translatable
+// insertion. Construct one: the bridged scenario from the insertion tests
+// needs a *three-row* derivation that two-tuple chases cannot see.
+TEST(Test1StrictnessTest, RejectsATranslatableInsertionThroughBridges) {
+  Universe u = Universe::Parse("A B C").value();
+  auto fds = *FDSet::Parse(u, "A -> C; B -> C");
+  const AttrSet x = u.SetOf("A B");
+  const AttrSet y = u.SetOf("B C");
+  Relation v(x);
+  v.AddRow(Row({1, 10}));  // (a1, b1)
+  v.AddRow(Row({3, 10}));  // (a3, b1)
+  v.AddRow(Row({3, 20}));  // (a3, b2)
+  const Tuple t = Row({1, 20});
+  // Exact: translatable (a3 bridges b1's and b2's hidden C-values).
+  auto exact = CheckInsertion(u.All(), fds, x, y, v, t);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->verdict, TranslationVerdict::kTranslatable);
+  // Test 1 (pairwise): the violator r=(a1,b1) and the only mu=(a3,b2):
+  // their two-tuple chase cannot derive C-equality — rejected.
+  auto pairwise = RunTest1(u.All(), fds, x, y, v, t,
+                           {Test1Backend::kTwoTupleChase});
+  ASSERT_TRUE(pairwise.ok());
+  EXPECT_FALSE(pairwise->accepted());
+  auto closure = RunTest1(u.All(), fds, x, y, v, t,
+                          {Test1Backend::kClosure});
+  ASSERT_TRUE(closure.ok());
+  EXPECT_FALSE(closure->accepted());
+}
+
+TEST(Test1PropertyTest, BackendsAgreeAndSoundnessHolds) {
+  Rng rng(20240601);
+  Universe u = Universe::Anonymous(4);
+  const AttrSet universe = u.All();
+  int interesting = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    FDSet fds;
+    const int nfd = 1 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < nfd; ++i) {
+      AttrSet lhs;
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.35)) lhs.Add(a);
+      });
+      fds.Add(lhs, static_cast<AttrId>(rng.Below(4)));
+    }
+    AttrSet x;
+    do {
+      x = AttrSet();
+      universe.ForEach([&](AttrId a) {
+        if (rng.Chance(0.6)) x.Add(a);
+      });
+    } while (x.Empty() || x == universe);
+    AttrSet y = universe - x;
+    x.ForEach([&](AttrId a) {
+      if (rng.Chance(0.5)) y.Add(a);
+    });
+    if (rng.Chance(0.6)) {
+      (universe - x).ForEach([&](AttrId a) { fds.Add(x & y, a); });
+    }
+    Relation db(universe);
+    const Schema& ds = db.schema();
+    for (int i = 0; i < 5; ++i) {
+      Tuple row(ds.arity());
+      for (int p = 0; p < ds.arity(); ++p) {
+        row[p] = Value::Const(static_cast<uint32_t>(rng.Below(2)));
+      }
+      db.AddRow(row);
+    }
+    RepairToLegal(&db, fds);
+    Relation v = db.Project(x);
+    if (v.empty()) continue;
+    const Schema vs(x);
+    Tuple t(vs.arity());
+    for (int p = 0; p < vs.arity(); ++p) {
+      t[p] = Value::Const(static_cast<uint32_t>(rng.Below(2)));
+    }
+    if (rng.Chance(0.8)) {
+      const Tuple& base = v.row(static_cast<int>(rng.Below(v.size())));
+      (x & y).ForEach([&](AttrId a) { t.Set(vs, a, base.At(vs, a)); });
+    }
+
+    auto chase_rep = RunTest1(u.All(), fds, x, y, v, t,
+                              {Test1Backend::kTwoTupleChase});
+    auto closure_rep =
+        RunTest1(u.All(), fds, x, y, v, t, {Test1Backend::kClosure});
+    auto indexed_rep =
+        RunTest1(u.All(), fds, x, y, v, t, {Test1Backend::kIndexed});
+    auto exact_rep = CheckInsertion(u.All(), fds, x, y, v, t);
+    ASSERT_TRUE(chase_rep.ok() && closure_rep.ok() && indexed_rep.ok() &&
+                exact_rep.ok());
+
+    // Two-tuple chase and closure are the same mathematics.
+    EXPECT_EQ(chase_rep->verdict, closure_rep->verdict)
+        << "trial " << trial << " fds=" << fds.ToString();
+    // Indexed accumulates across mus: accepts at least what pairwise does.
+    if (chase_rep->accepted()) {
+      EXPECT_TRUE(indexed_rep->accepted())
+          << "trial " << trial << " fds=" << fds.ToString();
+    }
+    // Soundness: any Test-1 acceptance implies exact acceptance.
+    if (indexed_rep->accepted()) {
+      EXPECT_TRUE(exact_rep->translatable())
+          << "trial " << trial << " fds=" << fds.ToString()
+          << " X=" << x.ToString() << " Y=" << y.ToString()
+          << " t=" << t.ToString() << "\nV:\n" << v.ToString();
+    }
+    if (exact_rep->verdict == TranslationVerdict::kTranslatable ||
+        exact_rep->verdict == TranslationVerdict::kFailsChase) {
+      ++interesting;
+    }
+  }
+  EXPECT_GT(interesting, 30);
+}
+
+}  // namespace
+}  // namespace relview

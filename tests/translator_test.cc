@@ -1,0 +1,133 @@
+// Integration tests for the ViewTranslator facade: the paper's end-to-end
+// scenario — declare a view and complement, bind a database, issue view
+// updates, observe the unique constant-complement translations.
+
+#include "view/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "deps/satisfies.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Universe u = Universe::Parse("Emp Dept Mgr").value();
+    DependencySet sigma;
+    sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+    auto vt = ViewTranslator::Create(u, sigma, u.SetOf("Emp Dept"),
+                                     u.SetOf("Dept Mgr"));
+    ASSERT_TRUE(vt.ok()) << vt.status().ToString();
+    vt_ = std::make_unique<ViewTranslator>(std::move(*vt));
+
+    Relation db(vt_->universe().All());
+    db.AddRow(Row({1, 10, 100}));
+    db.AddRow(Row({2, 10, 100}));
+    db.AddRow(Row({3, 20, 200}));
+    ASSERT_TRUE(vt_->Bind(std::move(db)).ok());
+  }
+  std::unique_ptr<ViewTranslator> vt_;
+};
+
+TEST_F(TranslatorTest, CreateRejectsNonComplementaryPair) {
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+  auto bad = ViewTranslator::Create(u, sigma, u.SetOf("Emp Dept"),
+                                    u.SetOf("Mgr"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TranslatorTest, BindRejectsIllegalDatabase) {
+  Universe u = Universe::Parse("Emp Dept Mgr").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr");
+  auto vt = ViewTranslator::Create(u, sigma, u.SetOf("Emp Dept"),
+                                   u.SetOf("Dept Mgr"));
+  ASSERT_TRUE(vt.ok());
+  Relation bad(u.All());
+  bad.AddRow(Row({1, 10, 100}));
+  bad.AddRow(Row({1, 20, 200}));  // Emp -> Dept violated
+  EXPECT_FALSE(vt->Bind(std::move(bad)).ok());
+}
+
+TEST_F(TranslatorTest, GoodComplementDetected) {
+  EXPECT_TRUE(vt_->complement_is_good());
+}
+
+TEST_F(TranslatorTest, InsertDeleteRoundTrip) {
+  const Tuple t = Row({4, 10});
+  ASSERT_TRUE(vt_->Insert(t).ok());
+  EXPECT_TRUE(vt_->database().ContainsRow(Row({4, 10, 100})));
+  auto view = vt_->ViewInstance();
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->ContainsRow(t));
+
+  ASSERT_TRUE(vt_->Delete(t).ok());
+  EXPECT_FALSE(vt_->database().ContainsRow(Row({4, 10, 100})));
+  // Complement held constant throughout.
+  EXPECT_TRUE(vt_->database().Project(vt_->complement()).ContainsRow(
+      Row({10, 100})));
+}
+
+TEST_F(TranslatorTest, UntranslatableInsertIsRefusedAtomically) {
+  const Relation before = vt_->database();
+  Status st = vt_->Insert(Row({1, 20}));  // e1 moves dept: illegal
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  EXPECT_TRUE(vt_->database().SameAs(before));
+}
+
+TEST_F(TranslatorTest, UntranslatableDeleteIsRefused) {
+  Status st = vt_->Delete(Row({3, 20}));  // last row of dept 20
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  EXPECT_TRUE(vt_->database().ContainsRow(Row({3, 20, 200})));
+}
+
+TEST_F(TranslatorTest, ReplaceMovesEmployeeAcrossDepts) {
+  ASSERT_TRUE(vt_->Replace(Row({1, 10}), Row({1, 20})).ok());
+  EXPECT_TRUE(vt_->database().ContainsRow(Row({1, 20, 200})));
+  EXPECT_FALSE(vt_->database().ContainsRow(Row({1, 10, 100})));
+  EXPECT_TRUE(SatisfiesAll(vt_->database(), vt_->sigma().fds));
+}
+
+TEST_F(TranslatorTest, SequenceOfUpdatesComposes) {
+  // The morphism property in action: a chain of translatable updates
+  // keeps view and complement in lock-step.
+  const Relation initial_complement =
+      vt_->database().Project(vt_->complement());
+  ASSERT_TRUE(vt_->Insert(Row({4, 10})).ok());
+  ASSERT_TRUE(vt_->Insert(Row({5, 20})).ok());
+  ASSERT_TRUE(vt_->Delete(Row({2, 10})).ok());
+  ASSERT_TRUE(vt_->Replace(Row({4, 10}), Row({4, 20})).ok());
+  EXPECT_TRUE(
+      vt_->database().Project(vt_->complement()).SameAs(initial_complement));
+  auto view = vt_->ViewInstance();
+  ASSERT_TRUE(view.ok());
+  Relation expected(vt_->view());
+  expected.AddRow(Row({1, 10}));
+  expected.AddRow(Row({3, 20}));
+  expected.AddRow(Row({5, 20}));
+  expected.AddRow(Row({4, 20}));
+  EXPECT_TRUE(view->SameAs(expected));
+}
+
+TEST_F(TranslatorTest, UnboundTranslatorRefusesUpdates) {
+  Universe u = Universe::Parse("A B").value();
+  DependencySet sigma;
+  sigma.fds = *FDSet::Parse(u, "A -> B");
+  auto vt = ViewTranslator::Create(u, sigma, u.SetOf("A"), u.SetOf("A B"));
+  ASSERT_TRUE(vt.ok());
+  EXPECT_FALSE(vt->CanInsert(Row({1})).ok());
+}
+
+}  // namespace
+}  // namespace relview
