@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_complement"
+  "../bench/bench_complement.pdb"
+  "CMakeFiles/bench_complement.dir/bench_complement.cc.o"
+  "CMakeFiles/bench_complement.dir/bench_complement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deletion"
+  "../bench/bench_deletion.pdb"
+  "CMakeFiles/bench_deletion.dir/bench_deletion.cc.o"
+  "CMakeFiles/bench_deletion.dir/bench_deletion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_find_complement"
+  "../bench/bench_find_complement.pdb"
+  "CMakeFiles/bench_find_complement.dir/bench_find_complement.cc.o"
+  "CMakeFiles/bench_find_complement.dir/bench_find_complement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_find_complement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_framework_efd"
+  "../bench/bench_framework_efd.pdb"
+  "CMakeFiles/bench_framework_efd.dir/bench_framework_efd.cc.o"
+  "CMakeFiles/bench_framework_efd.dir/bench_framework_efd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framework_efd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

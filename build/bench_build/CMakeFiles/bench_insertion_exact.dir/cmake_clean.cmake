@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_insertion_exact"
+  "../bench/bench_insertion_exact.pdb"
+  "CMakeFiles/bench_insertion_exact.dir/bench_insertion_exact.cc.o"
+  "CMakeFiles/bench_insertion_exact.dir/bench_insertion_exact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insertion_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

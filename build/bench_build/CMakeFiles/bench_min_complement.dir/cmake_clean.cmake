@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_min_complement"
+  "../bench/bench_min_complement.pdb"
+  "CMakeFiles/bench_min_complement.dir/bench_min_complement.cc.o"
+  "CMakeFiles/bench_min_complement.dir/bench_min_complement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_min_complement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

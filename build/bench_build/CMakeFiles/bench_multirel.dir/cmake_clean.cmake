@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multirel"
+  "../bench/bench_multirel.pdb"
+  "CMakeFiles/bench_multirel.dir/bench_multirel.cc.o"
+  "CMakeFiles/bench_multirel.dir/bench_multirel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multirel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

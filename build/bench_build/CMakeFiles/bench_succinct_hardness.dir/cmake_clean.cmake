@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_succinct_hardness"
+  "../bench/bench_succinct_hardness.pdb"
+  "CMakeFiles/bench_succinct_hardness.dir/bench_succinct_hardness.cc.o"
+  "CMakeFiles/bench_succinct_hardness.dir/bench_succinct_hardness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_succinct_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

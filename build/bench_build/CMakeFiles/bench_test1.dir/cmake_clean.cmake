@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_test1"
+  "../bench/bench_test1.pdb"
+  "CMakeFiles/bench_test1.dir/bench_test1.cc.o"
+  "CMakeFiles/bench_test1.dir/bench_test1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

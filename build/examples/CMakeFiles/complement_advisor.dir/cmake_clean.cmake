@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complement_advisor.dir/complement_advisor.cpp.o"
+  "CMakeFiles/complement_advisor.dir/complement_advisor.cpp.o.d"
+  "complement_advisor"
+  "complement_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complement_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_hardness.dir/succinct_hardness.cpp.o"
+  "CMakeFiles/succinct_hardness.dir/succinct_hardness.cpp.o.d"
+  "succinct_hardness"
+  "succinct_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_registrar.dir/university_registrar.cpp.o"
+  "CMakeFiles/university_registrar.dir/university_registrar.cpp.o.d"
+  "university_registrar"
+  "university_registrar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_registrar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_shell.dir/view_shell.cpp.o"
+  "CMakeFiles/view_shell.dir/view_shell.cpp.o.d"
+  "view_shell"
+  "view_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

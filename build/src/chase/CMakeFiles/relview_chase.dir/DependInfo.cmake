@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/implication.cc" "src/chase/CMakeFiles/relview_chase.dir/implication.cc.o" "gcc" "src/chase/CMakeFiles/relview_chase.dir/implication.cc.o.d"
+  "/root/repo/src/chase/instance_chase.cc" "src/chase/CMakeFiles/relview_chase.dir/instance_chase.cc.o" "gcc" "src/chase/CMakeFiles/relview_chase.dir/instance_chase.cc.o.d"
+  "/root/repo/src/chase/tableau.cc" "src/chase/CMakeFiles/relview_chase.dir/tableau.cc.o" "gcc" "src/chase/CMakeFiles/relview_chase.dir/tableau.cc.o.d"
+  "/root/repo/src/chase/tg_chase.cc" "src/chase/CMakeFiles/relview_chase.dir/tg_chase.cc.o" "gcc" "src/chase/CMakeFiles/relview_chase.dir/tg_chase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/relview_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/relview_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_chase.dir/implication.cc.o"
+  "CMakeFiles/relview_chase.dir/implication.cc.o.d"
+  "CMakeFiles/relview_chase.dir/instance_chase.cc.o"
+  "CMakeFiles/relview_chase.dir/instance_chase.cc.o.d"
+  "CMakeFiles/relview_chase.dir/tableau.cc.o"
+  "CMakeFiles/relview_chase.dir/tableau.cc.o.d"
+  "CMakeFiles/relview_chase.dir/tg_chase.cc.o"
+  "CMakeFiles/relview_chase.dir/tg_chase.cc.o.d"
+  "librelview_chase.a"
+  "librelview_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deps/armstrong.cc" "src/deps/CMakeFiles/relview_deps.dir/armstrong.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/armstrong.cc.o.d"
+  "/root/repo/src/deps/efd.cc" "src/deps/CMakeFiles/relview_deps.dir/efd.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/efd.cc.o.d"
+  "/root/repo/src/deps/fd.cc" "src/deps/CMakeFiles/relview_deps.dir/fd.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/fd.cc.o.d"
+  "/root/repo/src/deps/fd_set.cc" "src/deps/CMakeFiles/relview_deps.dir/fd_set.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/fd_set.cc.o.d"
+  "/root/repo/src/deps/instance_generator.cc" "src/deps/CMakeFiles/relview_deps.dir/instance_generator.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/instance_generator.cc.o.d"
+  "/root/repo/src/deps/jd.cc" "src/deps/CMakeFiles/relview_deps.dir/jd.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/jd.cc.o.d"
+  "/root/repo/src/deps/keys.cc" "src/deps/CMakeFiles/relview_deps.dir/keys.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/keys.cc.o.d"
+  "/root/repo/src/deps/satisfies.cc" "src/deps/CMakeFiles/relview_deps.dir/satisfies.cc.o" "gcc" "src/deps/CMakeFiles/relview_deps.dir/satisfies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/relview_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_deps.dir/armstrong.cc.o"
+  "CMakeFiles/relview_deps.dir/armstrong.cc.o.d"
+  "CMakeFiles/relview_deps.dir/efd.cc.o"
+  "CMakeFiles/relview_deps.dir/efd.cc.o.d"
+  "CMakeFiles/relview_deps.dir/fd.cc.o"
+  "CMakeFiles/relview_deps.dir/fd.cc.o.d"
+  "CMakeFiles/relview_deps.dir/fd_set.cc.o"
+  "CMakeFiles/relview_deps.dir/fd_set.cc.o.d"
+  "CMakeFiles/relview_deps.dir/instance_generator.cc.o"
+  "CMakeFiles/relview_deps.dir/instance_generator.cc.o.d"
+  "CMakeFiles/relview_deps.dir/jd.cc.o"
+  "CMakeFiles/relview_deps.dir/jd.cc.o.d"
+  "CMakeFiles/relview_deps.dir/keys.cc.o"
+  "CMakeFiles/relview_deps.dir/keys.cc.o.d"
+  "CMakeFiles/relview_deps.dir/satisfies.cc.o"
+  "CMakeFiles/relview_deps.dir/satisfies.cc.o.d"
+  "librelview_deps.a"
+  "librelview_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

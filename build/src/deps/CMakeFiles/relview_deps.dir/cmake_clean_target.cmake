@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelview_deps.a"
+)

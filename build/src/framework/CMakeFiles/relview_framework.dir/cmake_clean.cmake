@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_framework.dir/bs_framework.cc.o"
+  "CMakeFiles/relview_framework.dir/bs_framework.cc.o.d"
+  "librelview_framework.a"
+  "librelview_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

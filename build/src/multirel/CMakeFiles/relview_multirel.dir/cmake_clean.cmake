@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_multirel.dir/multirel.cc.o"
+  "CMakeFiles/relview_multirel.dir/multirel.cc.o.d"
+  "librelview_multirel.a"
+  "librelview_multirel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_multirel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_reductions.dir/reductions.cc.o"
+  "CMakeFiles/relview_reductions.dir/reductions.cc.o.d"
+  "librelview_reductions.a"
+  "librelview_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/attr_set.cc" "src/relational/CMakeFiles/relview_relational.dir/attr_set.cc.o" "gcc" "src/relational/CMakeFiles/relview_relational.dir/attr_set.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/relview_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/relview_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/relview_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/relview_relational.dir/relation.cc.o.d"
+  "/root/repo/src/relational/universe.cc" "src/relational/CMakeFiles/relview_relational.dir/universe.cc.o" "gcc" "src/relational/CMakeFiles/relview_relational.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

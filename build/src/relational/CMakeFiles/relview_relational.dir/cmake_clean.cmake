@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_relational.dir/attr_set.cc.o"
+  "CMakeFiles/relview_relational.dir/attr_set.cc.o.d"
+  "CMakeFiles/relview_relational.dir/csv.cc.o"
+  "CMakeFiles/relview_relational.dir/csv.cc.o.d"
+  "CMakeFiles/relview_relational.dir/relation.cc.o"
+  "CMakeFiles/relview_relational.dir/relation.cc.o.d"
+  "CMakeFiles/relview_relational.dir/universe.cc.o"
+  "CMakeFiles/relview_relational.dir/universe.cc.o.d"
+  "librelview_relational.a"
+  "librelview_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_solvers.dir/cnf.cc.o"
+  "CMakeFiles/relview_solvers.dir/cnf.cc.o.d"
+  "CMakeFiles/relview_solvers.dir/dpll.cc.o"
+  "CMakeFiles/relview_solvers.dir/dpll.cc.o.d"
+  "librelview_solvers.a"
+  "librelview_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

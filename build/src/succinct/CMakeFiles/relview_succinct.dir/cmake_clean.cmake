@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_succinct.dir/succinct_view.cc.o"
+  "CMakeFiles/relview_succinct.dir/succinct_view.cc.o.d"
+  "librelview_succinct.a"
+  "librelview_succinct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_succinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

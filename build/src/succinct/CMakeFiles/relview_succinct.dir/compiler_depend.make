@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relview_succinct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_util.dir/status.cc.o"
+  "CMakeFiles/relview_util.dir/status.cc.o.d"
+  "librelview_util.a"
+  "librelview_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

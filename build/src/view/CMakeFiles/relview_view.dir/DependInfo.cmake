@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/view/chase_test.cc" "src/view/CMakeFiles/relview_view.dir/chase_test.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/chase_test.cc.o.d"
+  "/root/repo/src/view/complement.cc" "src/view/CMakeFiles/relview_view.dir/complement.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/complement.cc.o.d"
+  "/root/repo/src/view/deletion.cc" "src/view/CMakeFiles/relview_view.dir/deletion.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/deletion.cc.o.d"
+  "/root/repo/src/view/find_complement.cc" "src/view/CMakeFiles/relview_view.dir/find_complement.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/find_complement.cc.o.d"
+  "/root/repo/src/view/generic_instance.cc" "src/view/CMakeFiles/relview_view.dir/generic_instance.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/generic_instance.cc.o.d"
+  "/root/repo/src/view/insertion.cc" "src/view/CMakeFiles/relview_view.dir/insertion.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/insertion.cc.o.d"
+  "/root/repo/src/view/replacement.cc" "src/view/CMakeFiles/relview_view.dir/replacement.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/replacement.cc.o.d"
+  "/root/repo/src/view/selection_view.cc" "src/view/CMakeFiles/relview_view.dir/selection_view.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/selection_view.cc.o.d"
+  "/root/repo/src/view/test1.cc" "src/view/CMakeFiles/relview_view.dir/test1.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/test1.cc.o.d"
+  "/root/repo/src/view/test2.cc" "src/view/CMakeFiles/relview_view.dir/test2.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/test2.cc.o.d"
+  "/root/repo/src/view/translator.cc" "src/view/CMakeFiles/relview_view.dir/translator.cc.o" "gcc" "src/view/CMakeFiles/relview_view.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chase/CMakeFiles/relview_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/relview_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/relview_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

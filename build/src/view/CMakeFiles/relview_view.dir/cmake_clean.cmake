@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relview_view.dir/chase_test.cc.o"
+  "CMakeFiles/relview_view.dir/chase_test.cc.o.d"
+  "CMakeFiles/relview_view.dir/complement.cc.o"
+  "CMakeFiles/relview_view.dir/complement.cc.o.d"
+  "CMakeFiles/relview_view.dir/deletion.cc.o"
+  "CMakeFiles/relview_view.dir/deletion.cc.o.d"
+  "CMakeFiles/relview_view.dir/find_complement.cc.o"
+  "CMakeFiles/relview_view.dir/find_complement.cc.o.d"
+  "CMakeFiles/relview_view.dir/generic_instance.cc.o"
+  "CMakeFiles/relview_view.dir/generic_instance.cc.o.d"
+  "CMakeFiles/relview_view.dir/insertion.cc.o"
+  "CMakeFiles/relview_view.dir/insertion.cc.o.d"
+  "CMakeFiles/relview_view.dir/replacement.cc.o"
+  "CMakeFiles/relview_view.dir/replacement.cc.o.d"
+  "CMakeFiles/relview_view.dir/selection_view.cc.o"
+  "CMakeFiles/relview_view.dir/selection_view.cc.o.d"
+  "CMakeFiles/relview_view.dir/test1.cc.o"
+  "CMakeFiles/relview_view.dir/test1.cc.o.d"
+  "CMakeFiles/relview_view.dir/test2.cc.o"
+  "CMakeFiles/relview_view.dir/test2.cc.o.d"
+  "CMakeFiles/relview_view.dir/translator.cc.o"
+  "CMakeFiles/relview_view.dir/translator.cc.o.d"
+  "librelview_view.a"
+  "librelview_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relview_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complement_jd_test.dir/complement_jd_test.cc.o"
+  "CMakeFiles/complement_jd_test.dir/complement_jd_test.cc.o.d"
+  "complement_jd_test"
+  "complement_jd_test.pdb"
+  "complement_jd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complement_jd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deletion_replacement_test.dir/deletion_replacement_test.cc.o"
+  "CMakeFiles/deletion_replacement_test.dir/deletion_replacement_test.cc.o.d"
+  "deletion_replacement_test"
+  "deletion_replacement_test.pdb"
+  "deletion_replacement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deletion_replacement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

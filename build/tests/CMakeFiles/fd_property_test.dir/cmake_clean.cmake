@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_property_test.dir/fd_property_test.cc.o"
+  "CMakeFiles/fd_property_test.dir/fd_property_test.cc.o.d"
+  "fd_property_test"
+  "fd_property_test.pdb"
+  "fd_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_set_test.dir/fd_set_test.cc.o"
+  "CMakeFiles/fd_set_test.dir/fd_set_test.cc.o.d"
+  "fd_set_test"
+  "fd_set_test.pdb"
+  "fd_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_complement_test.dir/find_complement_test.cc.o"
+  "CMakeFiles/find_complement_test.dir/find_complement_test.cc.o.d"
+  "find_complement_test"
+  "find_complement_test.pdb"
+  "find_complement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_complement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_complement_brute_test.dir/good_complement_brute_test.cc.o"
+  "CMakeFiles/good_complement_brute_test.dir/good_complement_brute_test.cc.o.d"
+  "good_complement_brute_test"
+  "good_complement_brute_test.pdb"
+  "good_complement_brute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_complement_brute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insertion_test.dir/insertion_test.cc.o"
+  "CMakeFiles/insertion_test.dir/insertion_test.cc.o.d"
+  "insertion_test"
+  "insertion_test.pdb"
+  "insertion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insertion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_chase_test.dir/instance_chase_test.cc.o"
+  "CMakeFiles/instance_chase_test.dir/instance_chase_test.cc.o.d"
+  "instance_chase_test"
+  "instance_chase_test.pdb"
+  "instance_chase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirel_property_test.dir/multirel_property_test.cc.o"
+  "CMakeFiles/multirel_property_test.dir/multirel_property_test.cc.o.d"
+  "multirel_property_test"
+  "multirel_property_test.pdb"
+  "multirel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirel_test.dir/multirel_test.cc.o"
+  "CMakeFiles/multirel_test.dir/multirel_test.cc.o.d"
+  "multirel_test"
+  "multirel_test.pdb"
+  "multirel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

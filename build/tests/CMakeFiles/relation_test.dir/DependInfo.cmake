@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/relation_test.cc" "tests/CMakeFiles/relation_test.dir/relation_test.cc.o" "gcc" "tests/CMakeFiles/relation_test.dir/relation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multirel/CMakeFiles/relview_multirel.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/relview_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/relview_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/relview_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/relview_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/succinct/CMakeFiles/relview_succinct.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/relview_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/reductions/CMakeFiles/relview_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/relview_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_view_test.dir/selection_view_test.cc.o"
+  "CMakeFiles/selection_view_test.dir/selection_view_test.cc.o.d"
+  "selection_view_test"
+  "selection_view_test.pdb"
+  "selection_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_view_test.dir/succinct_view_test.cc.o"
+  "CMakeFiles/succinct_view_test.dir/succinct_view_test.cc.o.d"
+  "succinct_view_test"
+  "succinct_view_test.pdb"
+  "succinct_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

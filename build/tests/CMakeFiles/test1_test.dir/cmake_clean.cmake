@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test1_test.dir/test1_test.cc.o"
+  "CMakeFiles/test1_test.dir/test1_test.cc.o.d"
+  "test1_test"
+  "test1_test.pdb"
+  "test1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

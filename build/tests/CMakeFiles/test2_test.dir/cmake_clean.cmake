@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test2_test.dir/test2_test.cc.o"
+  "CMakeFiles/test2_test.dir/test2_test.cc.o.d"
+  "test2_test"
+  "test2_test.pdb"
+  "test2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_chase_test.dir/tg_chase_test.cc.o"
+  "CMakeFiles/tg_chase_test.dir/tg_chase_test.cc.o.d"
+  "tg_chase_test"
+  "tg_chase_test.pdb"
+  "tg_chase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[GoodComplementBruteTest.CheckerFlagsEveryTwoTupleCounterexample]=]  /root/repo/build/tests/good_complement_brute_test [==[--gtest_filter=GoodComplementBruteTest.CheckerFlagsEveryTwoTupleCounterexample]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoodComplementBruteTest.CheckerFlagsEveryTwoTupleCounterexample]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  good_complement_brute_test_TESTS GoodComplementBruteTest.CheckerFlagsEveryTwoTupleCounterexample)
