@@ -1,7 +1,10 @@
 // view_shell: an interactive (or scripted) shell around the relview
 // library. Declare a schema, a view and a complement; load rows; issue
 // view updates and watch the constant-complement translation work (or
-// refuse, with the failing condition of Theorem 3/8/9).
+// refuse, with the failing condition of Theorem 3/8/9). Updates are served
+// through the UpdateService layer, so the shell also demonstrates
+// journaling (write-ahead log + replay on bind), atomic batches, and the
+// service metrics.
 //
 // Commands (one per line; '#' starts a comment):
 //   schema <Attr> <Attr> ...          declare the universe
@@ -12,10 +15,16 @@
 //   row <val> <val> ...               add a database row (over U)
 //   load <file>                       load rows from a delimited file
 //                                     (header must name the attributes)
+//   journal <file>                    write-ahead journal accepted updates
+//                                     to <file>; existing records replay
+//                                     on 'bind' (set before 'bind')
 //   bind                              validate Sigma and start translating
 //   insert <val> ...                  insert a view tuple (over X)
 //   delete <val> ...                  delete a view tuple
 //   replace <val> ... -> <val> ...    replace a view tuple
+//   batch begin | commit | abort      stage updates; commit applies them
+//                                     all-or-nothing as one version
+//   metrics                           dump service metrics as JSON
 //   show db | view | hidden           print the database / view
 //   advise <val> ...                  find a complement making the
 //                                     insertion translatable (Thm. 6)
@@ -36,6 +45,7 @@
 #include <fstream>
 
 #include "relational/csv.h"
+#include "service/update_service.h"
 #include "view/find_complement.h"
 #include "view/translator.h"
 
@@ -49,7 +59,7 @@ class Shell {
     std::string line;
     const bool interactive = &in == &std::cin && isatty(0);
     while (true) {
-      if (interactive) std::printf("relview> ");
+      if (interactive) std::printf(batch_ ? "relview(batch)> " : "relview> ");
       if (!std::getline(in, line)) break;
       const std::string trimmed = Strip(line);
       if (trimmed.empty() || trimmed[0] == '#') continue;
@@ -86,10 +96,13 @@ class Shell {
     if (cmd == "complement") return CmdComplement(rest);
     if (cmd == "row") return CmdRow(tok);
     if (cmd == "load") return CmdLoad(rest);
+    if (cmd == "journal") return CmdJournal(rest);
     if (cmd == "bind") return CmdBind();
     if (cmd == "insert") return CmdInsert(tok);
     if (cmd == "delete") return CmdDelete(tok);
     if (cmd == "replace") return CmdReplace(tok);
+    if (cmd == "batch") return CmdBatch(rest);
+    if (cmd == "metrics") return CmdMetrics();
     if (cmd == "show") return CmdShow(rest);
     if (cmd == "advise") return CmdAdvise(tok);
     return Status::InvalidArgument("unknown command: " + cmd);
@@ -99,7 +112,8 @@ class Shell {
     RELVIEW_ASSIGN_OR_RETURN(universe_, Universe::Parse(names));
     sigma_ = DependencySet();
     rows_.clear();
-    translator_.reset();
+    service_.reset();
+    batch_.reset();
     std::printf("  universe U = %s (%d attributes)\n",
                 universe_.Format(universe_.All()).c_str(),
                 universe_.size());
@@ -172,6 +186,18 @@ class Shell {
     return Status::OK();
   }
 
+  Status CmdJournal(const std::string& path) {
+    if (path.empty()) return Status::InvalidArgument("usage: journal <file>");
+    if (service_) {
+      return Status::FailedPrecondition(
+          "set the journal before 'bind' (it replays onto the seed rows)");
+    }
+    journal_path_ = path;
+    std::printf("  journaling accepted updates to %s (replayed on bind)\n",
+                path.c_str());
+    return Status::OK();
+  }
+
   Status CmdBind() {
     RELVIEW_ASSIGN_OR_RETURN(
         ViewTranslator vt,
@@ -179,41 +205,75 @@ class Shell {
     Relation db(universe_.All());
     for (const Tuple& r : rows_) db.AddRow(r);
     RELVIEW_RETURN_IF_ERROR(vt.Bind(std::move(db)));
-    translator_ = std::make_unique<ViewTranslator>(std::move(vt));
+    const bool good = vt.complement_is_good();
+    ServiceOptions options;
+    options.journal_path = journal_path_;
+    RELVIEW_ASSIGN_OR_RETURN(service_,
+                             UpdateService::Create(std::move(vt), options));
     std::printf("  bound %zu rows; complement is %s\n", rows_.size(),
-                translator_->complement_is_good()
-                    ? "good (Test 2 exact)"
-                    : "not good (exact test in use)");
+                good ? "good (Test 2 exact)" : "not good (exact test in use)");
+    if (service_->replayed_updates() > 0) {
+      // Replayed records carry raw value ids this process never interned;
+      // advance the pool past them (as "c<id>", matching the fallback
+      // display name) so newly typed symbols can't collide with them.
+      uint32_t max_id = 0;
+      bool any = false;
+      for (const Tuple& r : service_->Snapshot().database->rows()) {
+        for (const Value& v : r.values()) {
+          if (v.is_const() && v.index() >= max_id) {
+            max_id = v.index();
+            any = true;
+          }
+        }
+      }
+      while (any && pool_.size() <= static_cast<int>(max_id)) {
+        pool_.Intern("c" + std::to_string(pool_.size()));
+      }
+      std::printf("  journal replayed %llu update(s); view now has %d rows\n",
+                  static_cast<unsigned long long>(
+                      service_->replayed_updates()),
+                  service_->Snapshot().view->size());
+    }
     return Status::OK();
   }
 
-  Status NeedTranslator() const {
-    if (!translator_) {
+  Status NeedService() const {
+    if (!service_) {
       return Status::FailedPrecondition("run 'bind' first");
     }
     return Status::OK();
   }
 
+  /// Applies immediately, or stages when a batch is open.
+  Status Submit(ViewUpdate u) {
+    const char* name = UpdateKindName(u.kind);
+    if (batch_) {
+      batch_->push_back(std::move(u));
+      std::printf("  %s staged (batch of %zu; 'batch commit' to apply)\n",
+                  name, batch_->size());
+      return Status::OK();
+    }
+    Status st = service_->Apply(u);
+    std::printf("  %s: %s\n", name, st.ok() ? "ok" : st.ToString().c_str());
+    return Status::OK();
+  }
+
   Status CmdInsert(const std::vector<std::string>& tok) {
-    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_RETURN_IF_ERROR(NeedService());
     RELVIEW_ASSIGN_OR_RETURN(
         Tuple t, ParseTuple(tok, 1, static_cast<size_t>(x_.Count())));
-    Status st = translator_->Insert(t);
-    std::printf("  insert: %s\n", st.ok() ? "ok" : st.ToString().c_str());
-    return Status::OK();
+    return Submit(ViewUpdate::Insert(std::move(t)));
   }
 
   Status CmdDelete(const std::vector<std::string>& tok) {
-    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_RETURN_IF_ERROR(NeedService());
     RELVIEW_ASSIGN_OR_RETURN(
         Tuple t, ParseTuple(tok, 1, static_cast<size_t>(x_.Count())));
-    Status st = translator_->Delete(t);
-    std::printf("  delete: %s\n", st.ok() ? "ok" : st.ToString().c_str());
-    return Status::OK();
+    return Submit(ViewUpdate::Delete(std::move(t)));
   }
 
   Status CmdReplace(const std::vector<std::string>& tok) {
-    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_RETURN_IF_ERROR(NeedService());
     const size_t k = static_cast<size_t>(x_.Count());
     // replace v1.. -> v2..
     size_t arrow = 0;
@@ -225,28 +285,68 @@ class Shell {
     }
     RELVIEW_ASSIGN_OR_RETURN(Tuple t1, ParseTuple(tok, 1, k));
     RELVIEW_ASSIGN_OR_RETURN(Tuple t2, ParseTuple(tok, arrow + 1, k));
-    Status st = translator_->Replace(t1, t2);
-    std::printf("  replace: %s\n", st.ok() ? "ok" : st.ToString().c_str());
+    return Submit(ViewUpdate::Replace(std::move(t1), std::move(t2)));
+  }
+
+  Status CmdBatch(const std::string& what) {
+    RELVIEW_RETURN_IF_ERROR(NeedService());
+    if (what == "begin") {
+      if (batch_) return Status::FailedPrecondition("batch already open");
+      batch_.emplace();
+      std::printf("  batch open; updates stage until 'batch commit'\n");
+      return Status::OK();
+    }
+    if (what == "abort") {
+      if (!batch_) return Status::FailedPrecondition("no open batch");
+      std::printf("  batch aborted (%zu staged update(s) dropped)\n",
+                  batch_->size());
+      batch_.reset();
+      return Status::OK();
+    }
+    if (what == "commit") {
+      if (!batch_) return Status::FailedPrecondition("no open batch");
+      std::vector<ViewUpdate> updates = std::move(*batch_);
+      batch_.reset();
+      BatchResult r = service_->ApplyBatch(updates);
+      if (r.ok()) {
+        std::printf("  batch of %zu committed as version %llu\n",
+                    updates.size(),
+                    static_cast<unsigned long long>(service_->version()));
+      } else {
+        std::printf(
+            "  batch rolled back: update %d (%s) rejected: %s\n",
+            r.failed_index,
+            r.failed_index >= 0
+                ? updates[static_cast<size_t>(r.failed_index)].ToString()
+                      .c_str()
+                : "?",
+            r.detail.empty() ? r.status.ToString().c_str()
+                             : r.detail.c_str());
+      }
+      return Status::OK();
+    }
+    return Status::InvalidArgument("usage: batch begin | commit | abort");
+  }
+
+  Status CmdMetrics() {
+    RELVIEW_RETURN_IF_ERROR(NeedService());
+    std::printf("%s\n", service_->metrics().ToJson().c_str());
     return Status::OK();
   }
 
   Status CmdShow(const std::string& what) {
-    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_RETURN_IF_ERROR(NeedService());
+    const ViewSnapshot snap = service_->Snapshot();
     if (what == "db") {
-      std::printf("%s",
-                  translator_->database()
-                      .ToString(&universe_, &pool_)
-                      .c_str());
+      std::printf("%s", snap.database->ToString(&universe_, &pool_).c_str());
       return Status::OK();
     }
     if (what == "view") {
-      RELVIEW_ASSIGN_OR_RETURN(Relation v, translator_->ViewInstance());
-      std::printf("%s", v.ToString(&universe_, &pool_).c_str());
+      std::printf("%s", snap.view->ToString(&universe_, &pool_).c_str());
       return Status::OK();
     }
     if (what == "hidden") {
-      std::printf("%s", translator_->database()
-                            .Project(y_)
+      std::printf("%s", snap.database->Project(y_)
                             .ToString(&universe_, &pool_)
                             .c_str());
       return Status::OK();
@@ -255,13 +355,14 @@ class Shell {
   }
 
   Status CmdAdvise(const std::vector<std::string>& tok) {
-    RELVIEW_RETURN_IF_ERROR(NeedTranslator());
+    RELVIEW_RETURN_IF_ERROR(NeedService());
     RELVIEW_ASSIGN_OR_RETURN(
         Tuple t, ParseTuple(tok, 1, static_cast<size_t>(x_.Count())));
-    RELVIEW_ASSIGN_OR_RETURN(Relation v, translator_->ViewInstance());
+    const ViewSnapshot snap = service_->Snapshot();
     RELVIEW_ASSIGN_OR_RETURN(
         FindComplementResult res,
-        FindTranslatingComplement(universe_.All(), sigma_.fds, x_, v, t));
+        FindTranslatingComplement(universe_.All(), sigma_.fds, x_,
+                                  *snap.view, t));
     if (res.found) {
       std::printf("  translatable under constant Y = %s\n",
                   universe_.Format(res.complement).c_str());
@@ -278,7 +379,9 @@ class Shell {
   AttrSet x_, y_;
   ValuePool pool_;
   std::vector<Tuple> rows_;
-  std::unique_ptr<ViewTranslator> translator_;
+  std::string journal_path_;
+  std::unique_ptr<UpdateService> service_;
+  std::optional<std::vector<ViewUpdate>> batch_;
 };
 
 }  // namespace

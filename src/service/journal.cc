@@ -1,0 +1,255 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "view/translator.h"
+
+namespace relview {
+namespace {
+
+constexpr char kMagic[] = "rv1";
+
+std::string HeaderFor(const std::string& payload) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %zu %016llx ", kMagic, payload.size(),
+                static_cast<unsigned long long>(JournalChecksum(payload)));
+  return buf;
+}
+
+std::string EncodeTuple(const Tuple& t) {
+  std::string out = std::to_string(t.arity());
+  for (const Value& v : t.values()) out += " " + std::to_string(v.raw());
+  return out;
+}
+
+Result<Tuple> DecodeTuple(std::istringstream* in) {
+  int arity = -1;
+  if (!(*in >> arity) || arity < 0) {
+    return Status::InvalidArgument("journal payload: bad tuple arity");
+  }
+  std::vector<Value> vals;
+  vals.reserve(arity);
+  for (int i = 0; i < arity; ++i) {
+    uint32_t raw;
+    if (!(*in >> raw)) {
+      return Status::InvalidArgument("journal payload: short tuple");
+    }
+    vals.push_back(raw & Value::kNullTag ? Value::Null(raw & ~Value::kNullTag)
+                                         : Value::Const(raw));
+  }
+  return Tuple(std::move(vals));
+}
+
+}  // namespace
+
+uint64_t JournalChecksum(const std::string& data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string EncodeJournalPayload(const ViewUpdate& u) {
+  switch (u.kind) {
+    case UpdateKind::kInsert:
+      return "I " + EncodeTuple(u.t1);
+    case UpdateKind::kDelete:
+      return "D " + EncodeTuple(u.t1);
+    case UpdateKind::kReplace:
+      return "R " + EncodeTuple(u.t1) + " " + EncodeTuple(u.t2);
+  }
+  return "";
+}
+
+Result<ViewUpdate> DecodeJournalPayload(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string kind;
+  if (!(in >> kind)) {
+    return Status::InvalidArgument("journal payload: empty record");
+  }
+  if (kind == "I" || kind == "D") {
+    RELVIEW_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&in));
+    return kind == "I" ? ViewUpdate::Insert(std::move(t))
+                       : ViewUpdate::Delete(std::move(t));
+  }
+  if (kind == "R") {
+    RELVIEW_ASSIGN_OR_RETURN(Tuple t1, DecodeTuple(&in));
+    RELVIEW_ASSIGN_OR_RETURN(Tuple t2, DecodeTuple(&in));
+    return ViewUpdate::Replace(std::move(t1), std::move(t2));
+  }
+  return Status::InvalidArgument("journal payload: unknown kind '" + kind +
+                                 "'");
+}
+
+Result<Journal> Journal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open journal " + path + ": " +
+                                   std::strerror(errno));
+  }
+  return Journal(path, fd);
+}
+
+Journal::Journal(Journal&& o) noexcept : path_(std::move(o.path_)),
+                                         fd_(o.fd_) {
+  o.fd_ = -1;
+}
+
+Journal& Journal::operator=(Journal&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(o.path_);
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Journal::Append(const ViewUpdate& u) {
+  return AppendAll({u});
+}
+
+Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal not open");
+  if (updates.empty()) return Status::OK();
+  std::string block;
+  for (const ViewUpdate& u : updates) {
+    const std::string payload = EncodeJournalPayload(u);
+    block += HeaderFor(payload);
+    block += payload;
+    block += '\n';
+  }
+  const char* p = block.data();
+  size_t left = block.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("journal write failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("journal fsync failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<JournalReadResult> Journal::Read(const std::string& path,
+                                        bool repair) {
+  JournalReadResult out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // no journal yet: empty history
+
+  uint64_t good_bytes = 0;  // offset of the end of the last valid record
+  std::string line;
+  int record_no = 0;
+  while (std::getline(in, line)) {
+    ++record_no;
+    const bool has_newline = !in.eof();
+    std::string bad;
+    // Header: "rv1 <len> <checksum16> " followed by exactly <len> payload
+    // bytes. Anything else is a torn or corrupt record.
+    std::istringstream hdr(line);
+    std::string magic, checksum_hex;
+    size_t len = 0;
+    std::string payload;
+    if (!(hdr >> magic >> len >> checksum_hex) || magic != kMagic ||
+        checksum_hex.size() != 16) {
+      bad = "malformed header";
+    } else {
+      // Records are written with single-space separators, so the payload
+      // offset is exactly the reconstructed header's length.
+      const size_t payload_at =
+          magic.size() + 1 + std::to_string(len).size() + 1 + 16 + 1;
+      if (payload_at > line.size() || line.size() - payload_at != len) {
+        bad = "length mismatch (torn write?)";
+      } else {
+        payload = line.substr(payload_at);
+        char want[17];
+        std::snprintf(want, sizeof(want), "%016llx",
+                      static_cast<unsigned long long>(
+                          JournalChecksum(payload)));
+        if (checksum_hex != want) bad = "checksum mismatch";
+      }
+    }
+    if (bad.empty() && !has_newline) bad = "missing record terminator";
+    if (bad.empty()) {
+      Result<ViewUpdate> u = DecodeJournalPayload(payload);
+      if (!u.ok()) {
+        bad = u.status().message();
+      } else {
+        out.updates.push_back(std::move(*u));
+        good_bytes += line.size() + 1;
+        continue;
+      }
+    }
+    out.truncated = true;
+    out.warning = "journal " + path + ": record " +
+                  std::to_string(record_no) + " is invalid (" + bad +
+                  "); truncating to " + std::to_string(out.updates.size()) +
+                  " complete record(s)";
+    break;
+  }
+  in.close();
+  if (out.truncated) {
+    std::fprintf(stderr, "relview: %s\n", out.warning.c_str());
+    if (repair && ::truncate(path.c_str(), static_cast<off_t>(good_bytes)) !=
+                      0) {
+      return Status::Internal("journal truncate failed: " +
+                              std::string(std::strerror(errno)));
+    }
+  }
+  return out;
+}
+
+Result<JournalReadResult> Journal::Replay(const std::string& path,
+                                          ViewTranslator* translator) {
+  if (translator == nullptr || !translator->bound()) {
+    return Status::FailedPrecondition(
+        "journal replay needs a translator bound to the seed instance");
+  }
+  RELVIEW_ASSIGN_OR_RETURN(JournalReadResult records, Read(path));
+  int index = 0;
+  for (const ViewUpdate& u : records.updates) {
+    Status st;
+    switch (u.kind) {
+      case UpdateKind::kInsert:
+        st = translator->Insert(u.t1);
+        break;
+      case UpdateKind::kDelete:
+        st = translator->Delete(u.t1);
+        break;
+      case UpdateKind::kReplace:
+        st = translator->Replace(u.t1, u.t2);
+        break;
+    }
+    if (!st.ok()) {
+      // A journaled update was accepted once; per fact (ii) its replay from
+      // the same seed must succeed. Rejection means journal/seed mismatch.
+      return Status::Internal(
+          "journal replay diverged at record " + std::to_string(index) +
+          " (" + u.ToString() + "): " + st.ToString());
+    }
+    ++index;
+  }
+  return records;
+}
+
+}  // namespace relview

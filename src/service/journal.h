@@ -1,0 +1,104 @@
+// Journal: the service layer's write-ahead log. One text record per
+// accepted view update, appended and fsync'd *before* the update is
+// published, so that replaying the journal against the seed database
+// deterministically reproduces the served state (sound because constant-
+// complement translators are morphisms — fact (ii) of the Bancilhon–
+// Spyratos framework: translations of a serialized update sequence
+// compose).
+//
+// Record format (one line per record):
+//
+//   rv1 <len> <fnv64-hex> <payload>\n
+//
+// where <len> is the byte length of <payload> and <fnv64-hex> is the
+// 16-hex-digit FNV-1a hash of <payload>. The payload spells the update
+// with raw Value ids:
+//
+//   I <arity> <v...>                 insert
+//   D <arity> <v...>                 delete
+//   R <arity> <v...> <arity> <w...>  replace t1 -> t2
+//
+// A torn or corrupt tail (partial line, length mismatch, checksum
+// mismatch) is detected on read, reported, and truncated away — never a
+// crash. Anything *after* the first bad record is dropped with it, since
+// ordering is what makes replay sound.
+
+#ifndef RELVIEW_SERVICE_JOURNAL_H_
+#define RELVIEW_SERVICE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/update.h"
+#include "util/status.h"
+
+namespace relview {
+
+class ViewTranslator;
+
+/// FNV-1a 64-bit over `data`; the journal's record checksum.
+uint64_t JournalChecksum(const std::string& data);
+
+/// Serializes `u` as a journal payload (no header, no newline).
+std::string EncodeJournalPayload(const ViewUpdate& u);
+
+/// Parses a payload produced by EncodeJournalPayload.
+Result<ViewUpdate> DecodeJournalPayload(const std::string& payload);
+
+struct JournalReadResult {
+  std::vector<ViewUpdate> updates;
+  /// True when a torn/corrupt tail was found (and truncated, if the
+  /// reader was allowed to repair).
+  bool truncated = false;
+  /// Human-readable description of the truncation, empty otherwise.
+  std::string warning;
+};
+
+/// An open, append-only journal file.
+class Journal {
+ public:
+  /// Opens (creating if absent) `path` for appending. Existing records are
+  /// left untouched; use Read()/Replay() first to recover them.
+  static Result<Journal> Open(const std::string& path);
+
+  Journal(Journal&& o) noexcept;
+  Journal& operator=(Journal&& o) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one record and fsyncs.
+  Status Append(const ViewUpdate& u);
+
+  /// Appends all records with a single trailing fsync (group commit).
+  Status AppendAll(const std::vector<ViewUpdate>& updates);
+
+  /// Parses every complete record of the journal at `path`. A torn or
+  /// corrupt tail is truncated from the file (when `repair` is true) and
+  /// reported via the result's `truncated`/`warning` fields. A missing
+  /// file reads as an empty journal.
+  static Result<JournalReadResult> Read(const std::string& path,
+                                        bool repair = true);
+
+  /// Recovers state on startup: reads the journal and applies each record
+  /// to `translator` (which must be bound to the seed instance). Returns
+  /// kInternal if a journaled update no longer validates — an accepted
+  /// record must replay deterministically (fact (ii)), so a rejection
+  /// means the journal and seed have diverged; we refuse to guess.
+  static Result<JournalReadResult> Replay(const std::string& path,
+                                          ViewTranslator* translator);
+
+ private:
+  explicit Journal(std::string path, int fd) : path_(std::move(path)),
+                                               fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SERVICE_JOURNAL_H_

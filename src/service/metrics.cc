@@ -1,0 +1,129 @@
+#include "service/metrics.h"
+
+#include <cstdio>
+
+namespace relview {
+namespace {
+
+int BucketOf(int64_t nanos) {
+  if (nanos <= 1) return 0;
+  int b = 63 - __builtin_clzll(static_cast<uint64_t>(nanos));
+  return b >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1 : b;
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<uint64_t>(nanos),
+                         std::memory_order_relaxed);
+  AtomicMax(&max_nanos_, static_cast<uint64_t>(nanos));
+}
+
+uint64_t LatencyHistogram::QuantileNanos(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return b >= 63 ? ~0ULL : (2ULL << b);  // upper edge
+  }
+  return max_nanos();
+}
+
+std::string LatencyHistogram::ToJson() const {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"mean_ns\":%.1f,\"p50_ns\":%llu,\"p99_ns\":%llu,"
+      "\"max_ns\":%llu}",
+      static_cast<unsigned long long>(count()), mean_nanos(),
+      static_cast<unsigned long long>(QuantileNanos(0.50)),
+      static_cast<unsigned long long>(QuantileNanos(0.99)),
+      static_cast<unsigned long long>(max_nanos()));
+  return buf;
+}
+
+void ServiceMetrics::RecordSnapshot() {
+  // Each thread sticks to one shard, so concurrent readers mostly bump
+  // distinct (padded) cache lines.
+  static std::atomic<uint32_t> next_shard{0};
+  static thread_local uint32_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) %
+      kSnapshotShards;
+  snapshot_shards_[shard].value.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t ServiceMetrics::snapshots() const {
+  uint64_t n = 0;
+  for (const ShardedCounter& s : snapshot_shards_) {
+    n += s.value.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void ServiceMetrics::RecordAccepted(UpdateKind kind) {
+  accepted_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordRejected(UpdateKind kind, StatusCode code) {
+  rejected_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+  rejected_by_code_[static_cast<int>(code)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t ServiceMetrics::total_accepted() const {
+  uint64_t n = 0;
+  for (const auto& c : accepted_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+uint64_t ServiceMetrics::total_rejected() const {
+  uint64_t n = 0;
+  for (const auto& c : rejected_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::string ServiceMetrics::ToJson() const {
+  std::string out = "{";
+  auto add = [&out](const std::string& key, uint64_t v) {
+    if (out.size() > 1) out += ",";
+    out += "\"" + key + "\":" + std::to_string(v);
+  };
+  for (int k = 0; k < kKinds; ++k) {
+    const UpdateKind kind = static_cast<UpdateKind>(k);
+    add(std::string("accepted_") + UpdateKindName(kind), accepted(kind));
+    add(std::string("rejected_") + UpdateKindName(kind), rejected(kind));
+  }
+  for (int c = 0; c < kStatusCodes; ++c) {
+    const uint64_t n =
+        rejected_by_code_[c].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    add(std::string("rejected_code_") +
+            StatusCodeName(static_cast<StatusCode>(c)),
+        n);
+  }
+  add("batches_committed", batches_committed());
+  add("batches_rolled_back", batches_rolled_back());
+  add("snapshots", snapshots());
+  add("replayed_updates", replayed());
+  out += ",\"check_latency\":" + check_latency_.ToJson();
+  out += ",\"apply_latency\":" + apply_latency_.ToJson();
+  out += "}";
+  return out;
+}
+
+}  // namespace relview

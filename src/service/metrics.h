@@ -1,0 +1,123 @@
+// ServiceMetrics: thread-safe observability for the update service —
+// monotonic accept/reject counters per update kind and per rejection
+// StatusCode, plus latency histograms for the check (translatability test)
+// and apply (translation + publish) phases. Everything is lock-free
+// atomics so the writer's hot path never blocks on a scrape.
+
+#ifndef RELVIEW_SERVICE_METRICS_H_
+#define RELVIEW_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/update.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// A log2-bucketed latency histogram (nanoseconds). Bucket i counts
+/// samples with latency in [2^i, 2^(i+1)) ns; quantile estimates report
+/// the upper edge of the containing bucket.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // up to ~2^40 ns ≈ 18 minutes
+
+  void Record(int64_t nanos);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t total_nanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_nanos() const {
+    return max_nanos_.load(std::memory_order_relaxed);
+  }
+  double mean_nanos() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(total_nanos()) / n;
+  }
+  /// Upper-edge estimate of the q-quantile, q in [0,1].
+  uint64_t QuantileNanos(double q) const;
+
+  /// {"count":3,"mean_ns":120.0,"p50_ns":128,"p99_ns":256,"max_ns":201}
+  std::string ToJson() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+class ServiceMetrics {
+ public:
+  static constexpr int kKinds = 3;        // insert / delete / replace
+  static constexpr int kStatusCodes = 7;  // StatusCode enumerators
+
+  void RecordAccepted(UpdateKind kind);
+  void RecordRejected(UpdateKind kind, StatusCode code);
+  void RecordCheckLatency(int64_t nanos) { check_latency_.Record(nanos); }
+  void RecordApplyLatency(int64_t nanos) { apply_latency_.Record(nanos); }
+  void RecordBatchCommitted() {
+    batches_committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBatchRolledBack() {
+    batches_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Sharded: snapshot reads are the service's hottest path, and a single
+  /// counter cache line pinged by every reader caps their scaling.
+  void RecordSnapshot();
+  void RecordReplayedUpdate() {
+    replayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t accepted(UpdateKind kind) const {
+    return accepted_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t rejected(UpdateKind kind) const {
+    return rejected_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t rejected_by_code(StatusCode code) const {
+    return rejected_by_code_[static_cast<int>(code)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t total_accepted() const;
+  uint64_t total_rejected() const;
+  uint64_t batches_committed() const {
+    return batches_committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_rolled_back() const {
+    return batches_rolled_back_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshots() const;
+  uint64_t replayed() const {
+    return replayed_.load(std::memory_order_relaxed);
+  }
+  const LatencyHistogram& check_latency() const { return check_latency_; }
+  const LatencyHistogram& apply_latency() const { return apply_latency_; }
+
+  /// The whole module as a single-line JSON object (zero-valued rejection
+  /// codes omitted for brevity).
+  std::string ToJson() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kKinds> accepted_{};
+  std::array<std::atomic<uint64_t>, kKinds> rejected_{};
+  std::array<std::atomic<uint64_t>, kStatusCodes> rejected_by_code_{};
+  struct alignas(64) ShardedCounter {
+    std::atomic<uint64_t> value{0};
+  };
+  static constexpr int kSnapshotShards = 16;
+
+  std::atomic<uint64_t> batches_committed_{0};
+  std::atomic<uint64_t> batches_rolled_back_{0};
+  std::array<ShardedCounter, kSnapshotShards> snapshot_shards_{};
+  std::atomic<uint64_t> replayed_{0};
+  LatencyHistogram check_latency_;
+  LatencyHistogram apply_latency_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SERVICE_METRICS_H_

@@ -1,0 +1,24 @@
+#include "service/update.h"
+
+namespace relview {
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsert:
+      return "insert";
+    case UpdateKind::kDelete:
+      return "delete";
+    case UpdateKind::kReplace:
+      return "replace";
+  }
+  return "unknown";
+}
+
+std::string ViewUpdate::ToString() const {
+  std::string out = UpdateKindName(kind);
+  out += " " + t1.ToString();
+  if (kind == UpdateKind::kReplace) out += " -> " + t2.ToString();
+  return out;
+}
+
+}  // namespace relview

@@ -1,0 +1,52 @@
+// ViewUpdate: a first-class value describing one view update request
+// (insert / delete / replace) against the view X. The service layer
+// batches, journals and replays these; the underlying checks and
+// translations are the paper's Theorems 3, 8 and 9 via ViewTranslator.
+
+#ifndef RELVIEW_SERVICE_UPDATE_H_
+#define RELVIEW_SERVICE_UPDATE_H_
+
+#include <string>
+#include <utility>
+
+#include "relational/tuple.h"
+
+namespace relview {
+
+enum class UpdateKind {
+  kInsert = 0,
+  kDelete = 1,
+  kReplace = 2,
+};
+
+/// "insert", "delete", "replace".
+const char* UpdateKindName(UpdateKind kind);
+
+struct ViewUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  /// The inserted / deleted tuple, or the replacement source t1.
+  Tuple t1;
+  /// The replacement target t2 (kReplace only; empty otherwise).
+  Tuple t2;
+
+  static ViewUpdate Insert(Tuple t) {
+    return ViewUpdate{UpdateKind::kInsert, std::move(t), Tuple()};
+  }
+  static ViewUpdate Delete(Tuple t) {
+    return ViewUpdate{UpdateKind::kDelete, std::move(t), Tuple()};
+  }
+  static ViewUpdate Replace(Tuple from, Tuple to) {
+    return ViewUpdate{UpdateKind::kReplace, std::move(from), std::move(to)};
+  }
+
+  bool operator==(const ViewUpdate& o) const {
+    return kind == o.kind && t1 == o.t1 && t2 == o.t2;
+  }
+
+  /// "insert (c1,c2)" / "replace (c1,c2) -> (c1,c3)".
+  std::string ToString() const;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SERVICE_UPDATE_H_

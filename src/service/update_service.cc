@@ -1,0 +1,216 @@
+#include "service/update_service.h"
+
+#include "util/small_util.h"
+#include "view/deletion.h"
+#include "view/insertion.h"
+#include "view/replacement.h"
+
+namespace relview {
+
+Result<std::unique_ptr<UpdateService>> UpdateService::Create(
+    ViewTranslator translator, ServiceOptions options) {
+  if (!translator.bound()) {
+    return Status::FailedPrecondition(
+        "UpdateService needs a translator bound to a database");
+  }
+  uint64_t replayed = 0;
+  std::optional<Journal> journal;
+  if (!options.journal_path.empty()) {
+    RELVIEW_ASSIGN_OR_RETURN(
+        JournalReadResult recovered,
+        Journal::Replay(options.journal_path, &translator));
+    replayed = recovered.updates.size();
+    RELVIEW_ASSIGN_OR_RETURN(Journal j, Journal::Open(options.journal_path));
+    journal = std::move(j);
+  }
+  std::unique_ptr<UpdateService> service(
+      new UpdateService(std::move(translator), std::move(journal)));
+  for (uint64_t i = 0; i < replayed; ++i) {
+    service->metrics_.RecordReplayedUpdate();
+  }
+  return service;
+}
+
+namespace {
+uint64_t NextServiceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+UpdateService::UpdateService(ViewTranslator translator,
+                             std::optional<Journal> journal)
+    : translator_(std::move(translator)),
+      journal_(std::move(journal)),
+      service_id_(NextServiceId()) {
+  Publish(0);
+}
+
+ViewSnapshot UpdateService::Snapshot() const {
+  // Per-thread cache gated on the published version: while no write has
+  // committed, a reader's Snapshot() is one atomic load plus a local copy
+  // — no rwlock word, no contended pointer. The cache pins at most one
+  // stale version per (thread, service) until that thread reads again.
+  struct Cache {
+    uint64_t service_id = 0;
+    ViewSnapshot snap;
+  };
+  static thread_local Cache cache;
+  const uint64_t v = published_version_.load(std::memory_order_acquire);
+  if (cache.service_id != service_id_ || cache.snap.version != v) {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    cache.snap = *snapshot_;
+    cache.service_id = service_id_;
+  }
+  metrics_.RecordSnapshot();
+  return cache.snap;
+}
+
+uint64_t UpdateService::version() const {
+  return published_version_.load(std::memory_order_acquire);
+}
+
+Status UpdateService::StageOne(const ViewUpdate& u, const Relation& v,
+                               Relation* db, std::string* detail) {
+  const AttrSet all = translator_.universe().All();
+  const FDSet& fds = translator_.sigma().fds;
+  const AttrSet& x = translator_.view();
+  const AttrSet& y = translator_.complement();
+
+  Timer check_timer;
+  TranslationVerdict verdict = TranslationVerdict::kTranslatable;
+  switch (u.kind) {
+    case UpdateKind::kInsert: {
+      Result<InsertionReport> r = CheckInsertion(all, fds, x, y, v, u.t1);
+      metrics_.RecordCheckLatency(check_timer.ElapsedNanos());
+      if (!r.ok()) {
+        metrics_.RecordRejected(u.kind, r.status().code());
+        *detail = r.status().ToString();
+        return r.status();
+      }
+      if (!r->translatable()) {
+        metrics_.RecordRejected(u.kind, StatusCode::kUntranslatable);
+        *detail = r->ToString();
+        return Status::Untranslatable(*detail);
+      }
+      verdict = r->verdict;
+      break;
+    }
+    case UpdateKind::kDelete: {
+      Result<DeletionReport> r = CheckDeletion(all, fds, x, y, v, u.t1);
+      metrics_.RecordCheckLatency(check_timer.ElapsedNanos());
+      if (!r.ok()) {
+        metrics_.RecordRejected(u.kind, r.status().code());
+        *detail = r.status().ToString();
+        return r.status();
+      }
+      if (!r->translatable()) {
+        metrics_.RecordRejected(u.kind, StatusCode::kUntranslatable);
+        *detail = TranslationVerdictName(r->verdict);
+        return Status::Untranslatable(*detail);
+      }
+      verdict = r->verdict;
+      break;
+    }
+    case UpdateKind::kReplace: {
+      Result<ReplacementReport> r =
+          CheckReplacement(all, fds, x, y, v, u.t1, u.t2);
+      metrics_.RecordCheckLatency(check_timer.ElapsedNanos());
+      if (!r.ok()) {
+        metrics_.RecordRejected(u.kind, r.status().code());
+        *detail = r.status().ToString();
+        return r.status();
+      }
+      if (!r->translatable()) {
+        metrics_.RecordRejected(u.kind, StatusCode::kUntranslatable);
+        *detail = TranslationVerdictName(r->verdict);
+        return Status::Untranslatable(*detail);
+      }
+      verdict = r->verdict;
+      break;
+    }
+  }
+
+  metrics_.RecordAccepted(u.kind);
+  if (verdict == TranslationVerdict::kIdentity) return Status::OK();
+
+  Timer apply_timer;
+  Result<Relation> updated = Status::Internal("unreachable");
+  switch (u.kind) {
+    case UpdateKind::kInsert:
+      updated = ApplyInsertion(all, x, y, *db, u.t1);
+      break;
+    case UpdateKind::kDelete:
+      updated = ApplyDeletion(all, x, y, *db, u.t1);
+      break;
+    case UpdateKind::kReplace:
+      updated = ApplyReplacement(all, x, y, *db, u.t1, u.t2);
+      break;
+  }
+  metrics_.RecordApplyLatency(apply_timer.ElapsedNanos());
+  if (!updated.ok()) {
+    *detail = updated.status().ToString();
+    return updated.status();
+  }
+  *db = std::move(*updated);
+  return Status::OK();
+}
+
+BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
+  BatchResult result;
+  if (updates.empty()) return result;
+
+  std::lock_guard<std::mutex> writer(writer_mu_);
+
+  // Stage the whole batch on a copy. The committed state (and every
+  // outstanding snapshot) is untouched until the swap below.
+  Relation db = translator_.database();
+  const AttrSet& x = translator_.view();
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const Relation v = db.Project(x);
+    Status st = StageOne(updates[i], v, &db, &result.detail);
+    if (!st.ok()) {
+      metrics_.RecordBatchRolledBack();
+      result.status = std::move(st);
+      result.failed_index = static_cast<int>(i);
+      return result;
+    }
+  }
+
+  // Write-ahead: the batch is durable before it becomes visible.
+  if (journal_.has_value()) {
+    Status st = journal_->AppendAll(updates);
+    if (!st.ok()) {
+      metrics_.RecordBatchRolledBack();
+      result.status = std::move(st);
+      result.detail = "journal append failed; batch rolled back";
+      return result;
+    }
+  }
+
+  translator_.InstallDatabase(std::move(db));
+  metrics_.RecordBatchCommitted();
+  Publish(++version_);
+  return result;
+}
+
+Status UpdateService::Apply(const ViewUpdate& update) {
+  BatchResult r = ApplyBatch({update});
+  return r.status;
+}
+
+void UpdateService::Publish(uint64_t version) {
+  auto snap = std::make_shared<ViewSnapshot>();
+  snap->version = version;
+  snap->database = std::make_shared<const Relation>(translator_.database());
+  snap->view = std::make_shared<const Relation>(
+      translator_.database().Project(translator_.view()));
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snap);
+  }
+  // Open the readers' fast-path gate only after the pointer is in place.
+  published_version_.store(version, std::memory_order_release);
+}
+
+}  // namespace relview

@@ -1,0 +1,131 @@
+// UpdateService: the concurrent, journaled serving layer over
+// ViewTranslator.
+//
+// Concurrency model — single writer, many readers:
+//   * Writers (Apply / ApplyBatch) are serialized by a writer mutex and
+//     stage every translation on a *copy* of the database relation; the
+//     authoritative state changes only on commit.
+//   * Readers call Snapshot() and get an immutable, versioned view of the
+//     database and its X-projection behind shared_ptrs. Publishing a new
+//     version is a pointer swap under a short exclusive lock, so readers
+//     never wait on translatability checks or translations — they at most
+//     contend for the microseconds of the swap itself.
+//
+// Batches are all-or-nothing: if any update in the batch is rejected, the
+// staged copy is discarded, the committed state is untouched, and the
+// BatchResult reports which update failed and why (the Theorem 3/8/9
+// verdict). On success the batch is journaled (fsync'd) *before* the new
+// state is published — see journal.h for why replay is sound.
+
+#ifndef RELVIEW_SERVICE_UPDATE_SERVICE_H_
+#define RELVIEW_SERVICE_UPDATE_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "service/journal.h"
+#include "service/metrics.h"
+#include "service/update.h"
+#include "util/status.h"
+#include "view/translator.h"
+
+namespace relview {
+
+/// An immutable, versioned observation of the served state. Cheap to copy
+/// (two shared_ptrs); stays valid however many writes land afterwards.
+struct ViewSnapshot {
+  uint64_t version = 0;
+  std::shared_ptr<const Relation> view;      // pi_X(database)
+  std::shared_ptr<const Relation> database;  // full instance over U
+};
+
+/// Outcome of ApplyBatch.
+struct BatchResult {
+  /// OK on commit; the first failing update's status otherwise.
+  Status status;
+  /// Index of the rejected update within the batch, -1 on success.
+  int failed_index = -1;
+  /// The rejected update's translatability verdict / diagnostic.
+  std::string detail;
+
+  bool ok() const { return status.ok(); }
+};
+
+struct ServiceOptions {
+  /// When non-empty, accepted updates are write-ahead journaled here and
+  /// any existing records are replayed against the seed state on Create.
+  std::string journal_path;
+};
+
+class UpdateService {
+ public:
+  /// Wraps a bound translator. When options name a journal, existing
+  /// records are replayed first (recovering a previous incarnation's
+  /// state) and the journal is opened for appending.
+  static Result<std::unique_ptr<UpdateService>> Create(
+      ViewTranslator translator, ServiceOptions options = {});
+
+  /// Current immutable snapshot. Never blocks on a writer's translation
+  /// work; safe from any thread.
+  ViewSnapshot Snapshot() const;
+
+  /// Version of the latest committed state (0 = seed, +1 per commit).
+  uint64_t version() const;
+
+  /// Applies a single update: check, journal, publish. Serialized with
+  /// other writers. Returns kUntranslatable (verdict in the message) when
+  /// the paper's test rejects it; the served state is then unchanged.
+  Status Apply(const ViewUpdate& update);
+
+  /// Applies a batch atomically. All updates validate and translate on a
+  /// staged copy; one rejection rolls the whole batch back. A committed
+  /// batch advances the version by exactly 1.
+  BatchResult ApplyBatch(const std::vector<ViewUpdate>& updates);
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// Number of journal records replayed during Create (0 without journal).
+  uint64_t replayed_updates() const { return metrics_.replayed(); }
+
+  /// Schema accessors (immutable after Create; safe from any thread).
+  const Universe& universe() const { return translator_.universe(); }
+  const AttrSet& view_attrs() const { return translator_.view(); }
+  const AttrSet& complement_attrs() const { return translator_.complement(); }
+
+ private:
+  UpdateService(ViewTranslator translator, std::optional<Journal> journal);
+
+  /// Checks `u` against view `v` and, when translatable, folds it into
+  /// `db`. Records metrics. On rejection returns the failing status.
+  Status StageOne(const ViewUpdate& u, const Relation& v, Relation* db,
+                  std::string* detail);
+
+  void Publish(uint64_t version);  // under writer_mu_
+
+  // Writer-side authoritative state; mutated only under writer_mu_.
+  mutable std::mutex writer_mu_;
+  ViewTranslator translator_;
+  std::optional<Journal> journal_;
+  uint64_t version_ = 0;
+
+  // Reader-visible published state. snapshot_mu_ guards only the pointer;
+  // published_version_ is the lock-free fast-path gate: readers re-take
+  // the shared lock only when the version actually changed (see
+  // Snapshot()), so a reader herd neither serializes on the rwlock word
+  // nor starves the writer's exclusive acquisition.
+  mutable std::shared_mutex snapshot_mu_;
+  std::shared_ptr<const ViewSnapshot> snapshot_;
+  std::atomic<uint64_t> published_version_{0};
+  const uint64_t service_id_;
+
+  mutable ServiceMetrics metrics_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SERVICE_UPDATE_SERVICE_H_

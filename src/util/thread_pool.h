@@ -1,0 +1,110 @@
+// Small threading helpers for the service benchmarks and concurrency
+// tests: a start gate that releases a gang of threads simultaneously (so
+// measured intervals don't include staggered thread startup), and a
+// fixed-size thread pool with a blocking task queue.
+
+#ifndef RELVIEW_UTIL_THREAD_POOL_H_
+#define RELVIEW_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relview {
+
+/// One-shot gate: workers Wait(), the coordinator Open()s once, everyone
+/// proceeds. Reusable is not needed; create a fresh gate per run.
+class StartGate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// A fixed pool of worker threads draining a FIFO task queue. Destruction
+/// drains outstanding tasks, then joins.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished running.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  int pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_UTIL_THREAD_POOL_H_

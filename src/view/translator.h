@@ -47,6 +47,11 @@ class ViewTranslator {
   bool bound() const { return database_.has_value(); }
   const Relation& database() const { return *database_; }
 
+  /// Replaces the bound database without re-validating Sigma. For trusted
+  /// callers (the service layer) installing a relation produced by the
+  /// Apply* translations, which are legality-preserving by Theorems 3/8/9.
+  void InstallDatabase(Relation database) { database_ = std::move(database); }
+
   /// pi_X of the bound database.
   Result<Relation> ViewInstance() const;
 
