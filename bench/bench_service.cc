@@ -27,7 +27,7 @@
 // Also reports write-path throughput: single updates, batched updates,
 // and journaled (fsync-bound) updates.
 //
-// Usage: bench_service [rows] [seconds-per-point]
+// Usage: bench_service [rows] [seconds-per-point] [--json=PATH]
 
 #include <atomic>
 #include <cstdio>
@@ -302,9 +302,16 @@ double WriteOnlyThroughput(UpdateService* service, double seconds,
 
 int main(int argc, char** argv) {
   using namespace relview;
-  const int rows = argc > 1 ? std::atoi(argv[1]) : 512;
-  const double secs = argc > 2 ? std::atof(argv[2]) : 1.0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) != 0) positional.push_back(argv[i]);
+  }
+  const int rows = positional.size() > 0 ? std::atoi(positional[0]) : 512;
+  const double secs = positional.size() > 1 ? std::atof(positional[1]) : 1.0;
+  const std::string json_path = bench::FlagValue(argc, argv, "json");
   const unsigned cores = std::thread::hardware_concurrency();
+  bench::JsonWriter json;
+  json.Add("rows", rows).Add("cores", static_cast<int>(cores));
 
   std::printf("bench_service: |view| = %d rows, %.1fs per point, %u cores\n\n",
               rows, secs, cores);
@@ -323,7 +330,9 @@ int main(int argc, char** argv) {
     if (readers == 4) scale4 = scaling;
     std::printf("%-8d %16.0f %16.0f %9.2fx\n", readers, p.reads_per_sec,
                 p.writes_per_sec, scaling);
+    json.Add("reads_per_sec_r" + std::to_string(readers), p.reads_per_sec);
   }
+  json.Add("read_scaling_r4", scale4);
 
   // --- 2. Lock-coupled baseline (informational) -----------------------
   const Point snap4 = RunSnapshotPoint(service.get(), 4, secs);
@@ -364,24 +373,37 @@ int main(int argc, char** argv) {
   std::printf("\n%-28s %16s\n", "write path", "updates/s");
   {
     auto s = MakeService(rows, "");
-    std::printf("%-28s %16.0f\n", "single updates (batch=1)",
-                WriteOnlyThroughput(s.get(), secs, 1));
+    const double ups = WriteOnlyThroughput(s.get(), secs, 1);
+    std::printf("%-28s %16.0f\n", "single updates (batch=1)", ups);
+    json.Add("writes_per_sec_batch1", ups);
   }
   {
     auto s = MakeService(rows, "");
-    std::printf("%-28s %16.0f\n", "batched (batch=16)",
-                WriteOnlyThroughput(s.get(), secs, 16));
+    const double ups = WriteOnlyThroughput(s.get(), secs, 16);
+    std::printf("%-28s %16.0f\n", "batched (batch=16)", ups);
+    json.Add("writes_per_sec_batch16", ups);
   }
   {
     const std::string journal = "/tmp/relview_bench_service.journal";
     std::remove(journal.c_str());
     auto s = MakeService(rows, journal);
-    std::printf("%-28s %16.0f\n", "journaled+fsync (batch=16)",
-                WriteOnlyThroughput(s.get(), secs, 16));
+    const double ups = WriteOnlyThroughput(s.get(), secs, 16);
+    std::printf("%-28s %16.0f\n", "journaled+fsync (batch=16)", ups);
+    json.Add("writes_per_sec_journaled16", ups);
     std::remove(journal.c_str());
   }
 
   std::printf("\nmixed-workload metrics: %s\n",
               service->metrics().ToJson().c_str());
+  json.Add("pass", pass);
+  json.Raw("mixed_workload_metrics", service->metrics().ToJson());
+  if (!json_path.empty()) {
+    Status st = json.WriteFile(json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "json: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return pass ? 0 : 1;
 }

@@ -6,12 +6,15 @@
 #define RELVIEW_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "deps/fd_set.h"
 #include "deps/instance_generator.h"
 #include "deps/satisfies.h"
 #include "relational/relation.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace relview {
 namespace bench {
@@ -86,6 +89,110 @@ inline ChainWorkload MakeChainWorkload(int width, int rows, int fanin,
   w.insert_bad = bad;
   w.delete_ok = w.view.row(0);
   return w;
+}
+
+/// A probe-heavy workload for the condition-(c) chase test: U = {A,B,C},
+/// X = AB, Y = BC, Sigma = {B -> C, C -> B}. C -> B has an empty lhs∩X, so
+/// every view row is a chase-probe candidate for every checked insertion —
+/// per-update cost is dominated by |V| independent probes, the regime the
+/// parallel probe executor targets. `groups` controls how many B-values
+/// the rows spread over (condition (a) needs the inserted tuple to reuse
+/// one).
+struct ProbeHeavyWorkload {
+  Universe universe;
+  FDSet fds;
+  AttrSet x, y;
+  Relation database{AttrSet()};
+  Relation view{AttrSet()};
+};
+
+inline ProbeHeavyWorkload MakeProbeHeavyWorkload(int rows, int groups) {
+  ProbeHeavyWorkload w;
+  w.universe = Universe::Anonymous(3);
+  w.fds.Add(AttrSet::Single(1), 2);  // B -> C
+  w.fds.Add(AttrSet::Single(2), 1);  // C -> B
+  w.x = AttrSet{0, 1};
+  w.y = AttrSet{1, 2};
+  Relation db(w.universe.All());
+  const Schema& s = db.schema();
+  for (int i = 0; i < rows; ++i) {
+    const uint32_t g = static_cast<uint32_t>(i % std::max(1, groups));
+    Tuple t(3);
+    t[s.PosOf(0)] = Value::Const(static_cast<uint32_t>(i));
+    t[s.PosOf(1)] = Value::Const(0x01000000u + g);
+    t[s.PosOf(2)] = Value::Const(0x02000000u + g);
+    db.AddRow(std::move(t));
+  }
+  RELVIEW_DCHECK(SatisfiesAll(db, w.fds), "probe-heavy workload illegal");
+  w.view = db.Project(w.x);
+  w.database = std::move(db);
+  RELVIEW_DCHECK(w.view.size() == rows, "probe-heavy view collapsed");
+  return w;
+}
+
+/// Minimal ordered single-line JSON object builder for the benchmarks'
+/// --json mode. Keys are emitted in insertion order; Raw() splices
+/// pre-rendered JSON (numbers, nested objects).
+class JsonWriter {
+ public:
+  JsonWriter& Add(const std::string& key, uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonWriter& Add(const std::string& key, int64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonWriter& Add(const std::string& key, int v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonWriter& Add(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(key, buf);
+  }
+  JsonWriter& Add(const std::string& key, bool v) {
+    return Raw(key, v ? "true" : "false");
+  }
+  JsonWriter& Add(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + v + "\"");  // callers pass escape-free strings
+  }
+  JsonWriter& Raw(const std::string& key, const std::string& json) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + key + "\":" + json;
+    return *this;
+  }
+
+  std::string ToString() const { return "{" + body_ + "}"; }
+
+  Status WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return Status::Internal("cannot open " + path);
+    const std::string out = ToString() + "\n";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (!ok) return Status::Internal("short write to " + path);
+    return Status::OK();
+  }
+
+ private:
+  std::string body_;
+};
+
+/// Parses `--name=value` from argv; returns empty when absent.
+inline std::string FlagValue(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+inline bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 /// A random FD schema over `width` attributes with `nfds` dependencies;

@@ -1,0 +1,79 @@
+#include "deps/closure_cache.h"
+
+namespace relview {
+
+uint64_t ClosureCache::Fingerprint(const FDSet& fds) {
+  // Order-sensitive FNV-style mix over (lhs, rhs) pairs. Two textually
+  // identical FD sets fingerprint equal, which is all the guard needs;
+  // a spurious mismatch merely costs a cache refill.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(fds.size()));
+  for (const FD& fd : fds.fds()) {
+    mix(static_cast<uint64_t>(fd.lhs.Hash()));
+    mix(static_cast<uint64_t>(fd.rhs) + 0x9e3779b97f4a7c15ull);
+  }
+  return h;
+}
+
+AttrSet ClosureCache::Closure(const FDSet& fds, const AttrSet& seed) {
+  const uint64_t fp = Fingerprint(fds);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fp != fingerprint_) {
+      entries_.clear();
+      lru_.clear();
+      fingerprint_ = fp;
+    } else {
+      auto it = entries_.find(seed);
+      if (it != entries_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.closure;
+      }
+    }
+  }
+  // Compute outside the lock: closures are pure and the worst case is two
+  // threads racing to insert the same entry.
+  const AttrSet closure = fds.Closure(seed);
+  std::lock_guard<std::mutex> lock(mu_);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (fp != fingerprint_) {  // schema changed while we computed
+    entries_.clear();
+    lru_.clear();
+    fingerprint_ = fp;
+  }
+  if (entries_.find(seed) == entries_.end()) {
+    while (entries_.size() >= capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lru_.push_front(seed);
+    entries_.emplace(seed, Entry{closure, lru_.begin()});
+  }
+  return closure;
+}
+
+void ClosureCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  fingerprint_ = 0;
+}
+
+double ClosureCache::hit_rate() const {
+  const uint64_t h = hits();
+  const uint64_t m = misses();
+  return (h + m) == 0 ? 0.0 : static_cast<double>(h) / (h + m);
+}
+
+size_t ClosureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace relview

@@ -1,0 +1,75 @@
+// ClosureCache: a bounded, thread-safe LRU memo for FDSet::Closure.
+//
+// Closure computation is linear in the total FD size, but the paper's
+// translatability machinery recomputes the same few closures over and
+// over: conditions (b) of Theorems 3/8/9 always ask for (X∩Y)+, Test 1
+// asks for one closure per agreement pattern (of which there are few in
+// practice), and the probe screen in chase_test.cc asks for one per
+// (x_agree, fd) pair. A shared cache turns all of these into O(1) lookups
+// on a sustained update stream against one schema.
+//
+// The cache is keyed by the seed attribute set and guarded by a
+// fingerprint of the FD set it was filled under: a lookup with a
+// different FD set clears the cache first, so a single instance can be
+// threaded through call sites without tracking schema changes. All
+// operations take an internal mutex; the cache is safe to share across
+// the parallel probe workers.
+
+#ifndef RELVIEW_DEPS_CLOSURE_CACHE_H_
+#define RELVIEW_DEPS_CLOSURE_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "deps/fd_set.h"
+#include "relational/attr_set.h"
+
+namespace relview {
+
+class ClosureCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit ClosureCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// seed+ under `fds`, memoized. Equivalent to fds.Closure(seed).
+  AttrSet Closure(const FDSet& fds, const AttrSet& seed);
+
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// hits / (hits + misses), 0 when unused.
+  double hit_rate() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  static uint64_t Fingerprint(const FDSet& fds);
+
+  struct Entry {
+    AttrSet closure;
+    std::list<AttrSet>::iterator lru_it;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t fingerprint_ = 0;          // FD set the entries were filled under
+  std::list<AttrSet> lru_;            // front = most recently used
+  std::unordered_map<AttrSet, Entry, AttrSetHash> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_DEPS_CLOSURE_CACHE_H_

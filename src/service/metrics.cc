@@ -91,6 +91,42 @@ uint64_t ServiceMetrics::total_accepted() const {
   return n;
 }
 
+void ServiceMetrics::SetEngineGauges(const EngineStats& stats) {
+  const uint64_t values[kEngineGauges] = {
+      stats.closure_hits,   stats.closure_misses, stats.index_reuses,
+      stats.index_rebuilds, stats.base_reuses,    stats.base_rebuilds,
+      stats.base_extends,   stats.base_shrinks,   stats.probes_run,
+      stats.probes_screened, stats.probes_parallel};
+  for (int i = 0; i < kEngineGauges; ++i) {
+    engine_gauges_[i].store(values[i], std::memory_order_relaxed);
+  }
+}
+
+EngineStats ServiceMetrics::engine_gauges() const {
+  EngineStats s;
+  uint64_t values[kEngineGauges];
+  for (int i = 0; i < kEngineGauges; ++i) {
+    values[i] = engine_gauges_[i].load(std::memory_order_relaxed);
+  }
+  s.closure_hits = values[0];
+  s.closure_misses = values[1];
+  s.index_reuses = values[2];
+  s.index_rebuilds = values[3];
+  s.base_reuses = values[4];
+  s.base_rebuilds = values[5];
+  s.base_extends = values[6];
+  s.base_shrinks = values[7];
+  s.probes_run = values[8];
+  s.probes_screened = values[9];
+  s.probes_parallel = values[10];
+  const uint64_t lookups = s.closure_hits + s.closure_misses;
+  s.closure_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(s.closure_hits) /
+                         static_cast<double>(lookups);
+  return s;
+}
+
 uint64_t ServiceMetrics::total_rejected() const {
   uint64_t n = 0;
   for (const auto& c : rejected_) n += c.load(std::memory_order_relaxed);
@@ -120,6 +156,24 @@ std::string ServiceMetrics::ToJson() const {
   add("batches_rolled_back", batches_rolled_back());
   add("snapshots", snapshots());
   add("replayed_updates", replayed());
+  const EngineStats eng = engine_gauges();
+  add("closure_cache_hits", eng.closure_hits);
+  add("closure_cache_misses", eng.closure_misses);
+  {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.4f", eng.closure_hit_rate);
+    out += ",\"closure_cache_hit_rate\":";
+    out += rate;
+  }
+  add("view_index_reuses", eng.index_reuses);
+  add("view_index_rebuilds", eng.index_rebuilds);
+  add("base_chase_reuses", eng.base_reuses);
+  add("base_chase_rebuilds", eng.base_rebuilds);
+  add("base_chase_extends", eng.base_extends);
+  add("base_chase_shrinks", eng.base_shrinks);
+  add("probes_run", eng.probes_run);
+  add("probes_screened", eng.probes_screened);
+  add("probes_parallel", eng.probes_parallel);
   out += ",\"check_latency\":" + check_latency_.ToJson();
   out += ",\"apply_latency\":" + apply_latency_.ToJson();
   out += "}";

@@ -14,6 +14,7 @@
 
 #include "service/update.h"
 #include "util/status.h"
+#include "view/view_index.h"
 
 namespace relview {
 
@@ -71,6 +72,10 @@ class ServiceMetrics {
   void RecordReplayedUpdate() {
     replayed_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Publishes a snapshot of the translator's incremental-engine counters
+  /// (closure cache, view index, base chase, probe parallelism). Called by
+  /// the writer after each committed batch; gauges, not monotonic sums.
+  void SetEngineGauges(const EngineStats& stats);
 
   uint64_t accepted(UpdateKind kind) const {
     return accepted_[static_cast<int>(kind)].load(std::memory_order_relaxed);
@@ -96,6 +101,9 @@ class ServiceMetrics {
   }
   const LatencyHistogram& check_latency() const { return check_latency_; }
   const LatencyHistogram& apply_latency() const { return apply_latency_; }
+  /// Last-published engine counter snapshot (zeros before the first
+  /// SetEngineGauges call).
+  EngineStats engine_gauges() const;
 
   /// The whole module as a single-line JSON object (zero-valued rejection
   /// codes omitted for brevity).
@@ -116,6 +124,11 @@ class ServiceMetrics {
   std::atomic<uint64_t> replayed_{0};
   LatencyHistogram check_latency_;
   LatencyHistogram apply_latency_;
+  /// Engine gauges, index-mapped onto EngineStats' uint64_t fields (the
+  /// hit rate is recomputed from hits/misses on read so the whole snapshot
+  /// stays lock-free).
+  static constexpr int kEngineGauges = 11;
+  std::array<std::atomic<uint64_t>, kEngineGauges> engine_gauges_{};
 };
 
 }  // namespace relview

@@ -70,89 +70,66 @@ uint64_t UpdateService::version() const {
   return published_version_.load(std::memory_order_acquire);
 }
 
-Status UpdateService::StageOne(const ViewUpdate& u, const Relation& v,
-                               Relation* db, std::string* detail) {
-  const AttrSet all = translator_.universe().All();
-  const FDSet& fds = translator_.sigma().fds;
-  const AttrSet& x = translator_.view();
-  const AttrSet& y = translator_.complement();
-
-  Timer check_timer;
+Status UpdateService::StageOne(const ViewUpdate& u, std::string* detail,
+                               bool* mutated) {
+  Timer timer;
   TranslationVerdict verdict = TranslationVerdict::kTranslatable;
+  int64_t apply_nanos = 0;
+  Status st = Status::OK();
   switch (u.kind) {
     case UpdateKind::kInsert: {
-      Result<InsertionReport> r = CheckInsertion(all, fds, x, y, v, u.t1);
-      metrics_.RecordCheckLatency(check_timer.ElapsedNanos());
+      Result<InsertionReport> r = translator_.InsertWithReport(u.t1);
       if (!r.ok()) {
-        metrics_.RecordRejected(u.kind, r.status().code());
-        *detail = r.status().ToString();
-        return r.status();
-      }
-      if (!r->translatable()) {
-        metrics_.RecordRejected(u.kind, StatusCode::kUntranslatable);
+        st = r.status();
+        *detail = st.ToString();
+      } else if (!r->translatable()) {
         *detail = r->ToString();
-        return Status::Untranslatable(*detail);
+        st = Status::Untranslatable(*detail);
+      } else {
+        verdict = r->verdict;
+        apply_nanos = r->apply_nanos;
       }
-      verdict = r->verdict;
       break;
     }
     case UpdateKind::kDelete: {
-      Result<DeletionReport> r = CheckDeletion(all, fds, x, y, v, u.t1);
-      metrics_.RecordCheckLatency(check_timer.ElapsedNanos());
+      Result<DeletionReport> r = translator_.DeleteWithReport(u.t1);
       if (!r.ok()) {
-        metrics_.RecordRejected(u.kind, r.status().code());
-        *detail = r.status().ToString();
-        return r.status();
-      }
-      if (!r->translatable()) {
-        metrics_.RecordRejected(u.kind, StatusCode::kUntranslatable);
+        st = r.status();
+        *detail = st.ToString();
+      } else if (!r->translatable()) {
         *detail = TranslationVerdictName(r->verdict);
-        return Status::Untranslatable(*detail);
+        st = Status::Untranslatable(*detail);
+      } else {
+        verdict = r->verdict;
+        apply_nanos = r->apply_nanos;
       }
-      verdict = r->verdict;
       break;
     }
     case UpdateKind::kReplace: {
-      Result<ReplacementReport> r =
-          CheckReplacement(all, fds, x, y, v, u.t1, u.t2);
-      metrics_.RecordCheckLatency(check_timer.ElapsedNanos());
+      Result<ReplacementReport> r = translator_.ReplaceWithReport(u.t1, u.t2);
       if (!r.ok()) {
-        metrics_.RecordRejected(u.kind, r.status().code());
-        *detail = r.status().ToString();
-        return r.status();
-      }
-      if (!r->translatable()) {
-        metrics_.RecordRejected(u.kind, StatusCode::kUntranslatable);
+        st = r.status();
+        *detail = st.ToString();
+      } else if (!r->translatable()) {
         *detail = TranslationVerdictName(r->verdict);
-        return Status::Untranslatable(*detail);
+        st = Status::Untranslatable(*detail);
+      } else {
+        verdict = r->verdict;
+        apply_nanos = r->apply_nanos;
       }
-      verdict = r->verdict;
       break;
     }
   }
-
+  // The report times the apply phase itself; everything else was the check.
+  metrics_.RecordCheckLatency(timer.ElapsedNanos() - apply_nanos);
+  if (!st.ok()) {
+    metrics_.RecordRejected(u.kind, st.code());
+    return st;
+  }
   metrics_.RecordAccepted(u.kind);
   if (verdict == TranslationVerdict::kIdentity) return Status::OK();
-
-  Timer apply_timer;
-  Result<Relation> updated = Status::Internal("unreachable");
-  switch (u.kind) {
-    case UpdateKind::kInsert:
-      updated = ApplyInsertion(all, x, y, *db, u.t1);
-      break;
-    case UpdateKind::kDelete:
-      updated = ApplyDeletion(all, x, y, *db, u.t1);
-      break;
-    case UpdateKind::kReplace:
-      updated = ApplyReplacement(all, x, y, *db, u.t1, u.t2);
-      break;
-  }
-  metrics_.RecordApplyLatency(apply_timer.ElapsedNanos());
-  if (!updated.ok()) {
-    *detail = updated.status().ToString();
-    return updated.status();
-  }
-  *db = std::move(*updated);
+  metrics_.RecordApplyLatency(apply_nanos);
+  *mutated = true;
   return Status::OK();
 }
 
@@ -162,14 +139,16 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
 
   std::lock_guard<std::mutex> writer(writer_mu_);
 
-  // Stage the whole batch on a copy. The committed state (and every
-  // outstanding snapshot) is untouched until the swap below.
-  Relation db = translator_.database();
-  const AttrSet& x = translator_.view();
+  // The translator applies updates in place (keeping the engine's caches
+  // warm), so save the committed relation first: one rejection reinstalls
+  // it and the batch leaves no trace. Published snapshots hold their own
+  // shared_ptrs and are untouched either way.
+  Relation saved = translator_.database();
+  bool mutated = false;
   for (size_t i = 0; i < updates.size(); ++i) {
-    const Relation v = db.Project(x);
-    Status st = StageOne(updates[i], v, &db, &result.detail);
+    Status st = StageOne(updates[i], &result.detail, &mutated);
     if (!st.ok()) {
+      if (mutated) translator_.InstallDatabase(std::move(saved));
       metrics_.RecordBatchRolledBack();
       result.status = std::move(st);
       result.failed_index = static_cast<int>(i);
@@ -181,6 +160,7 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   if (journal_.has_value()) {
     Status st = journal_->AppendAll(updates);
     if (!st.ok()) {
+      if (mutated) translator_.InstallDatabase(std::move(saved));
       metrics_.RecordBatchRolledBack();
       result.status = std::move(st);
       result.detail = "journal append failed; batch rolled back";
@@ -188,9 +168,9 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
     }
   }
 
-  translator_.InstallDatabase(std::move(db));
   metrics_.RecordBatchCommitted();
   Publish(++version_);
+  metrics_.SetEngineGauges(translator_.engine_stats());
   return result;
 }
 
@@ -203,8 +183,11 @@ void UpdateService::Publish(uint64_t version) {
   auto snap = std::make_shared<ViewSnapshot>();
   snap->version = version;
   snap->database = std::make_shared<const Relation>(translator_.database());
-  snap->view = std::make_shared<const Relation>(
-      translator_.database().Project(translator_.view()));
+  // Served from the engine's incrementally maintained view when live
+  // (identical row order to Project — both are canonical).
+  Result<Relation> view = translator_.ViewInstance();
+  RELVIEW_DCHECK(view.ok(), "publish on an unbound translator");
+  snap->view = std::make_shared<const Relation>(std::move(*view));
   {
     std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
     snapshot_ = std::move(snap);

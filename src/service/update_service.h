@@ -3,8 +3,11 @@
 //
 // Concurrency model — single writer, many readers:
 //   * Writers (Apply / ApplyBatch) are serialized by a writer mutex and
-//     stage every translation on a *copy* of the database relation; the
-//     authoritative state changes only on commit.
+//     drive the translator's check-and-apply mutators directly, so the
+//     incremental engine's view index and base-chase fixpoint stay warm
+//     across the whole stream. A batch saves the database relation first
+//     and reinstalls it on any rejection, so the committed state (and
+//     every outstanding snapshot) is untouched unless the batch commits.
 //   * Readers call Snapshot() and get an immutable, versioned view of the
 //     database and its X-projection behind shared_ptrs. Publishing a new
 //     version is a pointer swap under a short exclusive lock, so readers
@@ -100,10 +103,11 @@ class UpdateService {
  private:
   UpdateService(ViewTranslator translator, std::optional<Journal> journal);
 
-  /// Checks `u` against view `v` and, when translatable, folds it into
-  /// `db`. Records metrics. On rejection returns the failing status.
-  Status StageOne(const ViewUpdate& u, const Relation& v, Relation* db,
-                  std::string* detail);
+  /// Checks `u` and, when translatable, applies it to the translator in
+  /// place (maintaining the engine's caches). Records metrics; sets
+  /// *mutated when the database actually changed. On rejection returns
+  /// the failing status.
+  Status StageOne(const ViewUpdate& u, std::string* detail, bool* mutated);
 
   void Publish(uint64_t version);  // under writer_mu_
 

@@ -1,25 +1,39 @@
 #include "view/chase_test.h"
 
+#include <atomic>
+#include <mutex>
+
 #include "view/generic_instance.h"
 
 namespace relview {
 
 namespace {
 
+Value ResolveChain(const std::unordered_map<uint32_t, Value>& renames,
+                   Value v) {
+  auto it = renames.find(v.raw());
+  while (it != renames.end()) {
+    v = it->second;
+    it = renames.find(v.raw());
+  }
+  return v;
+}
+
 /// One (f, r, mu) probe in reuse mode: impose r ~ mu on Z∩(Y−X) atop the
 /// base fixpoint, re-chase, and evaluate the success criterion.
-bool ProbeReuse(const GenericInstance& generic, const ChaseOutcome& base,
-                const FDSet& fds, const FD& fd, bool rhs_in_x,
-                const AttrSet& zy, int r, int mu, ChaseBackend backend,
-                ChaseTestResult* acc) {
+bool ProbeReuse(const BaseChaseView& base, const FDSet& fds, const FD& fd,
+                bool rhs_in_x, const AttrSet& zy, uint32_t r_base,
+                uint32_t mu_base, const std::vector<int>& offsets,
+                ChaseBackend backend, ChaseTestResult* acc) {
   // Collect the hypothesis renames against the base fixpoint first; the
   // (expensive) relation copy happens only when a rename is really needed.
   bool contradiction = false;
   std::vector<std::pair<Value, Value>> manual;
   zy.ForEach([&](AttrId w) {
     if (contradiction) return;
-    Value a = base.Resolve(generic.NullAt(r, w));
-    Value b = base.Resolve(generic.NullAt(mu, w));
+    const uint32_t off = static_cast<uint32_t>(offsets[w]);
+    Value a = ResolveChain(*base.renames, Value::Null(r_base + off));
+    Value b = ResolveChain(*base.renames, Value::Null(mu_base + off));
     for (const auto& [from, to] : manual) {
       if (a == from) a = to;
       if (b == from) b = to;
@@ -43,7 +57,7 @@ bool ProbeReuse(const GenericInstance& generic, const ChaseOutcome& base,
 
   ChaseOutcome delta;
   if (!manual.empty()) {
-    Relation working = base.result;
+    Relation working = *base.fixpoint;
     for (const auto& [from, to] : manual) working.RenameValue(from, to);
     delta = ChaseInstance(working, fds, backend);
     ++acc->chases_run;
@@ -57,25 +71,28 @@ bool ProbeReuse(const GenericInstance& generic, const ChaseOutcome& base,
     // counterexample.
     return false;
   }
+  const uint32_t rhs_off = static_cast<uint32_t>(offsets[fd.rhs]);
   auto resolve_all = [&](Value val) {
-    val = base.Resolve(val);
+    val = ResolveChain(*base.renames, val);
     for (const auto& [from, to] : manual) {
       if (val == from) val = to;
     }
     return delta.Resolve(val);
   };
-  return resolve_all(generic.NullAt(r, fd.rhs)) ==
-         resolve_all(generic.NullAt(mu, fd.rhs));
+  return resolve_all(Value::Null(r_base + rhs_off)) ==
+         resolve_all(Value::Null(mu_base + rhs_off));
 }
 
 /// One (f, r, mu) probe in from-scratch mode (the Corollary's algorithm).
-bool ProbeScratch(const GenericInstance& generic, const FDSet& fds,
-                  const FD& fd, bool rhs_in_x, const AttrSet& zy, int r,
-                  int mu, ChaseBackend backend, ChaseTestResult* acc) {
-  Relation working = generic.relation();
+bool ProbeScratch(const Relation& generic, const FDSet& fds, const FD& fd,
+                  bool rhs_in_x, const AttrSet& zy, uint32_t r_base,
+                  uint32_t mu_base, const std::vector<int>& offsets,
+                  ChaseBackend backend, ChaseTestResult* acc) {
+  Relation working = generic;
   zy.ForEach([&](AttrId w) {
-    const Value a = generic.NullAt(r, w);
-    const Value b = generic.NullAt(mu, w);
+    const uint32_t off = static_cast<uint32_t>(offsets[w]);
+    const Value a = Value::Null(r_base + off);
+    const Value b = Value::Null(mu_base + off);
     if (a != b) working.RenameValue(a, b);
   });
   ChaseOutcome out = ChaseInstance(working, fds, backend);
@@ -85,11 +102,117 @@ bool ProbeScratch(const GenericInstance& generic, const FDSet& fds,
   acc->stats.work += out.stats.work;
   if (out.conflict) return true;
   if (rhs_in_x) return false;
-  return out.Resolve(generic.NullAt(r, fd.rhs)) ==
-         out.Resolve(generic.NullAt(mu, fd.rhs));
+  const uint32_t rhs_off = static_cast<uint32_t>(offsets[fd.rhs]);
+  return out.Resolve(Value::Null(r_base + rhs_off)) ==
+         out.Resolve(Value::Null(mu_base + rhs_off));
+}
+
+struct ProbeContext {
+  const FDSet& fds;
+  const AttrSet& x;
+  const AttrSet& y_only;
+  const BaseChaseView& base;
+  const Relation* generic;
+  const std::vector<int>& offsets;
+  const ChaseTestOptions& opts;
+};
+
+bool RunOneProbe(const ProbeContext& ctx, const ProbeSpec& spec,
+                 ChaseTestResult* acc) {
+  const FD& fd = ctx.fds.fds()[spec.fd_index];
+  const bool rhs_in_x = ctx.x.Contains(fd.rhs);
+  ++acc->probes_run;
+  if (ctx.opts.pair_screen &&
+      PairScreenSucceeds(ctx.fds, fd, rhs_in_x, ctx.x, ctx.y_only,
+                         spec.x_agree, ctx.opts.closure_cache)) {
+    ++acc->probes_screened;
+    return true;
+  }
+  const AttrSet zy = fd.lhs & ctx.y_only;
+  return ctx.base.fixpoint != nullptr
+             ? ProbeReuse(ctx.base, ctx.fds, fd, rhs_in_x, zy,
+                          spec.r_null_base, spec.mu_null_base, ctx.offsets,
+                          ctx.opts.backend, acc)
+             : ProbeScratch(*ctx.generic, ctx.fds, fd, rhs_in_x, zy,
+                            spec.r_null_base, spec.mu_null_base, ctx.offsets,
+                            ctx.opts.backend, acc);
+}
+
+void MergeAccounting(const ChaseTestResult& from, ChaseTestResult* into) {
+  into->chases_run += from.chases_run;
+  into->probes_run += from.probes_run;
+  into->probes_screened += from.probes_screened;
+  into->probes_parallel += from.probes_parallel;
+  into->stats.merges += from.stats.merges;
+  into->stats.rounds += from.stats.rounds;
+  into->stats.work += from.stats.work;
+}
+
+int RunProbeSpecsParallel(const std::vector<ProbeSpec>& specs,
+                          const ProbeContext& ctx, ChaseTestResult* acc) {
+  ThreadPool* pool = ctx.opts.pool;
+  const size_t n = specs.size();
+  // Running minimum over failing spec indexes. Every index below the final
+  // minimum is guaranteed to have been claimed and probed (a spec is only
+  // skipped when an even lower failure already exists), so the result is
+  // exactly the sequential first failure regardless of thread timing.
+  std::atomic<size_t> first_fail{n};
+  std::atomic<size_t> next{0};
+  std::mutex acc_mu;
+  const int workers = pool->size();
+  for (int w = 0; w < workers; ++w) {
+    pool->Submit([&] {
+      ChaseTestResult local;
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || i >= first_fail.load(std::memory_order_acquire)) break;
+        ++local.probes_parallel;
+        if (!RunOneProbe(ctx, specs[i], &local)) {
+          size_t cur = first_fail.load(std::memory_order_relaxed);
+          while (i < cur && !first_fail.compare_exchange_weak(
+                                cur, i, std::memory_order_release)) {
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(acc_mu);
+      MergeAccounting(local, acc);
+    });
+  }
+  pool->Wait();
+  const size_t fail = first_fail.load(std::memory_order_acquire);
+  return fail == n ? -1 : static_cast<int>(fail);
 }
 
 }  // namespace
+
+bool PairScreenSucceeds(const FDSet& fds, const FD& fd, bool rhs_in_x,
+                        const AttrSet& x, const AttrSet& y_only,
+                        const AttrSet& x_agree, ClosureCache* cache) {
+  const AttrSet seed = x_agree | (fd.lhs & y_only);
+  const AttrSet closure = cache ? cache->Closure(fds, seed)
+                                : fds.Closure(seed);
+  // "Attempts to equate two distinct elements of V": the closure forces
+  // agreement on an X attribute where the constants differ.
+  if (!(closure & x).SubsetOf(x_agree)) return true;
+  // "Equates r[A], mu[A]" (A in Y−X).
+  if (!rhs_in_x && closure.Contains(fd.rhs)) return true;
+  return false;
+}
+
+int RunProbeSpecs(const std::vector<ProbeSpec>& specs, const FDSet& fds,
+                  const AttrSet& x, const AttrSet& y_only,
+                  const BaseChaseView& base, const Relation* generic,
+                  const std::vector<int>& null_offsets,
+                  const ChaseTestOptions& opts, ChaseTestResult* acc) {
+  const ProbeContext ctx{fds, x, y_only, base, generic, null_offsets, opts};
+  if (opts.pool != nullptr && specs.size() > 1) {
+    return RunProbeSpecsParallel(specs, ctx, acc);
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!RunOneProbe(ctx, specs[i], acc)) return static_cast<int>(i);
+  }
+  return -1;
+}
 
 ChaseTestResult RunConditionC(const AttrSet& universe, const FDSet& fds,
                               const AttrSet& x, const AttrSet& y,
@@ -101,18 +224,21 @@ ChaseTestResult RunConditionC(const AttrSet& universe, const FDSet& fds,
   const AttrSet y_only = y - x;
   const GenericInstance generic = GenericInstance::Build(universe, x, v);
 
-  ChaseOutcome base;
+  ChaseOutcome base_outcome;
+  BaseChaseView base;
   if (opts.reuse_base_chase) {
-    base = ChaseInstance(generic.relation(), fds, opts.backend);
+    base_outcome = ChaseInstance(generic.relation(), fds, opts.backend);
     ++result.chases_run;
-    result.stats.merges += base.stats.merges;
-    result.stats.rounds += base.stats.rounds;
-    result.stats.work += base.stats.work;
-    if (base.conflict) {
+    result.stats.merges += base_outcome.stats.merges;
+    result.stats.rounds += base_outcome.stats.rounds;
+    result.stats.work += base_outcome.stats.work;
+    if (base_outcome.conflict) {
       // No legal database projects onto V at all: condition (c) holds
       // vacuously.
       return result;
     }
+    base.fixpoint = &base_outcome.result;
+    base.renames = &base_outcome.renames;
   }
 
   std::vector<int> mus;
@@ -122,9 +248,11 @@ ChaseTestResult RunConditionC(const AttrSet& universe, const FDSet& fds,
     mus.push_back(mu_rows.front());
   }
 
-  for (const FD& fd : fds.fds()) {
+  const uint32_t width = static_cast<uint32_t>(generic.width());
+  std::vector<ProbeSpec> specs;
+  for (int fi = 0; fi < fds.size(); ++fi) {
+    const FD& fd = fds.fds()[fi];
     const AttrSet zx = fd.lhs & x;
-    const AttrSet zy = fd.lhs & y_only;
     const bool rhs_in_x = x.Contains(fd.rhs);
 
     for (int r = 0; r < v.size(); ++r) {
@@ -134,21 +262,31 @@ ChaseTestResult RunConditionC(const AttrSet& universe, const FDSet& fds,
       if (rhs_in_x && vr.At(vs, fd.rhs) == t.At(vs, fd.rhs)) continue;
 
       for (int mu : mus) {
-        const bool success =
-            opts.reuse_base_chase
-                ? ProbeReuse(generic, base, fds, fd, rhs_in_x, zy, r, mu,
-                             opts.backend, &result)
-                : ProbeScratch(generic, fds, fd, rhs_in_x, zy, r, mu,
-                               opts.backend, &result);
-        if (!success) {
-          result.ok = false;
-          result.violated_fd = fd;
-          result.witness_row = r;
-          result.witness_mu = mu;
-          return result;
+        ProbeSpec spec;
+        spec.fd_index = fi;
+        spec.r = r;
+        spec.mu = mu;
+        spec.r_null_base = static_cast<uint32_t>(r) * width;
+        spec.mu_null_base = static_cast<uint32_t>(mu) * width;
+        if (opts.pair_screen) {
+          const Tuple& vmu = v.row(mu);
+          x.ForEach([&](AttrId a) {
+            if (vr.At(vs, a) == vmu.At(vs, a)) spec.x_agree.Add(a);
+          });
         }
+        specs.push_back(spec);
       }
     }
+  }
+
+  const int fail = RunProbeSpecs(specs, fds, x, y_only, base,
+                                 &generic.relation(), generic.offsets(),
+                                 opts, &result);
+  if (fail >= 0) {
+    result.ok = false;
+    result.violated_fd = fds.fds()[specs[fail].fd_index];
+    result.witness_row = specs[fail].r;
+    result.witness_mu = specs[fail].mu;
   }
   return result;
 }

@@ -1,15 +1,38 @@
 // Internal engine for condition (c) of Theorems 3 and 9: the chase-based
 // counterexample search over the generic instance R(V, t, r, f). Shared by
-// the insertion and replacement translators.
+// the insertion and replacement translators and by the incremental
+// translatability engine (view_index.h).
+//
+// The search is a flat list of independent (f, r, mu) probes; each probe
+// imposes the hypothesis r ~ mu on Z∩(Y−X), chases, and checks the
+// paper's success criterion. RunProbeSpecs exposes that list directly so
+// that
+//   * the incremental engine can enumerate candidates from its indexes
+//     (output-sensitive) instead of scanning V per FD, and
+//   * probes can run on a thread pool: they share only immutable state, so
+//     the only ordering that matters is which failure is *reported*. We
+//     keep the sequential semantics (lowest spec index wins) with an
+//     atomic running-minimum over failing indexes; workers skip specs at
+//     or above the current minimum, giving the early exit.
+//
+// A probe may also be resolved by the sound "pair screen": Test 1's
+// closure criterion on the two-tuple subinstance {r, mu}. A screen success
+// implies full-probe success (a two-tuple chase is a sub-chase of the
+// generic instance: every derivation it makes, the full chase makes too),
+// so screening only ever skips successful probes and never changes a
+// verdict or a witness.
 
 #ifndef RELVIEW_VIEW_CHASE_TEST_H_
 #define RELVIEW_VIEW_CHASE_TEST_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "chase/instance_chase.h"
+#include "deps/closure_cache.h"
 #include "deps/fd_set.h"
 #include "relational/relation.h"
+#include "util/thread_pool.h"
 
 namespace relview {
 
@@ -23,6 +46,16 @@ struct ChaseTestOptions {
   bool iterate_all_mus = false;
   /// View row index excluded as a violator (the replaced tuple t1), or -1.
   int skip_row = -1;
+  /// Resolve probes by Test 1's closure criterion first (sound: screen
+  /// successes are a subset of probe successes; see file comment). Off by
+  /// default so the free functions keep the paper's literal cost model.
+  bool pair_screen = false;
+  /// Closure memo for the screen (and any other closure the test needs).
+  /// May be null; must be thread-safe when pool is set (ClosureCache is).
+  ClosureCache* closure_cache = nullptr;
+  /// When non-null, probes are fanned out over this pool with the
+  /// atomic first-counterexample early exit. Null = sequential.
+  ThreadPool* pool = nullptr;
 };
 
 struct ChaseTestResult {
@@ -32,8 +65,55 @@ struct ChaseTestResult {
   int witness_row = -1;
   int witness_mu = -1;
   int chases_run = 0;
+  /// Probe accounting: total probes evaluated, probes resolved by the
+  /// screen without chasing, and probes executed on pool threads.
+  int64_t probes_run = 0;
+  int64_t probes_screened = 0;
+  int64_t probes_parallel = 0;
   ChaseStats stats;
 };
+
+/// One (f, r, mu) probe, independent of how view rows are numbered: a row
+/// is identified by its null-id base (its Y−X cell w has null id
+/// base + offsets[w]). RunConditionC uses base = row * width; the
+/// incremental engine uses stable slot ids that survive view edits.
+struct ProbeSpec {
+  int fd_index = 0;  // index into fds.fds()
+  int r = -1;        // candidate violator (reported as the witness)
+  int mu = -1;       // complement-source row
+  uint32_t r_null_base = 0;
+  uint32_t mu_null_base = 0;
+  /// Agreement of rows r and mu on X; used only by the pair screen.
+  AttrSet x_agree;
+};
+
+/// Immutable base-chase fixpoint shared by all probes of one check. Both
+/// pointers must outlive the call; `renames` maps the *input* relation's
+/// values to their fixpoint values (chain-walked, as ChaseOutcome does).
+struct BaseChaseView {
+  const Relation* fixpoint = nullptr;
+  const std::unordered_map<uint32_t, Value>* renames = nullptr;
+};
+
+/// Test 1's closure criterion on the pair {r, mu} for `fd`: success iff
+/// the pair closure equates distinct constants of V or derives
+/// r[rhs] = mu[rhs] with rhs in Y−X. Sound for the full probe (see file
+/// comment). `cache` may be null.
+bool PairScreenSucceeds(const FDSet& fds, const FD& fd, bool rhs_in_x,
+                        const AttrSet& x, const AttrSet& y_only,
+                        const AttrSet& x_agree, ClosureCache* cache);
+
+/// Runs the probes in spec order and returns the index of the first
+/// failing spec, or -1 when all succeed. In reuse mode (`base.fixpoint`
+/// non-null) probes re-chase per-pair deltas on top of the fixpoint; in
+/// scratch mode `generic` must be the generic instance relation and every
+/// probe chases a renamed copy of it. `null_offsets` maps AttrId to the
+/// offset within a row's null block. Accounting accumulates into `acc`.
+int RunProbeSpecs(const std::vector<ProbeSpec>& specs, const FDSet& fds,
+                  const AttrSet& x, const AttrSet& y_only,
+                  const BaseChaseView& base, const Relation* generic,
+                  const std::vector<int>& null_offsets,
+                  const ChaseTestOptions& opts, ChaseTestResult* acc);
 
 /// Runs the paper's condition (c) for inserting `t` (a tuple over x) into
 /// view instance `v`, where `mu_rows` lists the rows of v matching t on

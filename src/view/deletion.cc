@@ -5,7 +5,8 @@ namespace relview {
 Result<DeletionReport> CheckDeletion(const AttrSet& universe,
                                      const FDSet& fds, const AttrSet& x,
                                      const AttrSet& y, const Relation& v,
-                                     const Tuple& t) {
+                                     const Tuple& t,
+                                     const DeletionOptions& opts) {
   if (!x.SubsetOf(universe) || (x | y) != universe) {
     return Status::InvalidArgument("bad view/complement pair");
   }
@@ -36,11 +37,14 @@ Result<DeletionReport> CheckDeletion(const AttrSet& universe,
   // Condition (b). Note: condition (a) already rules out X∩Y being a
   // superkey of X for legal V (two distinct rows agree on X∩Y), but the
   // schema-level check is part of the theorem and catches illegal V.
-  if (fds.IsSuperkey(common, x)) {
+  const AttrSet common_closure = opts.closure_cache != nullptr
+                                     ? opts.closure_cache->Closure(fds, common)
+                                     : fds.Closure(common);
+  if (x.SubsetOf(common_closure)) {
     report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
     return report;
   }
-  if (!fds.IsSuperkey(common, y)) {
+  if (!y.SubsetOf(common_closure)) {
     report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
     return report;
   }

@@ -10,6 +10,7 @@
 #ifndef RELVIEW_VIEW_DELETION_H_
 #define RELVIEW_VIEW_DELETION_H_
 
+#include "deps/closure_cache.h"
 #include "deps/fd_set.h"
 #include "relational/relation.h"
 #include "util/status.h"
@@ -17,12 +18,20 @@
 
 namespace relview {
 
+struct DeletionOptions {
+  /// Shared closure memo for the condition (b) superkey checks. Optional.
+  ClosureCache* closure_cache = nullptr;
+};
+
 struct DeletionReport {
   TranslationVerdict verdict = TranslationVerdict::kTranslatable;
   bool translatable() const {
     return verdict == TranslationVerdict::kTranslatable ||
            verdict == TranslationVerdict::kIdentity;
   }
+  /// Time spent applying the translation (ViewTranslator::DeleteWithReport
+  /// only; 0 for pure checks and rejected/identity updates).
+  int64_t apply_nanos = 0;
 };
 
 /// Theorem 8 test. `t` must be a tuple over x's schema; if t ∉ V the
@@ -30,7 +39,8 @@ struct DeletionReport {
 Result<DeletionReport> CheckDeletion(const AttrSet& universe,
                                      const FDSet& fds, const AttrSet& x,
                                      const AttrSet& y, const Relation& v,
-                                     const Tuple& t);
+                                     const Tuple& t,
+                                     const DeletionOptions& opts = {});
 
 /// Applies T_u[R] = R − t*pi_Y(R).
 Result<Relation> ApplyDeletion(const AttrSet& universe, const AttrSet& x,

@@ -26,6 +26,11 @@ class GenericInstance {
   const Relation& relation() const { return rel_; }
   const AttrSet& null_cols() const { return null_cols_; }
 
+  /// Size of each row's null-id block (= |universe − x|).
+  int width() const { return width_; }
+  /// AttrId -> offset within a row's null block (-1 outside universe − x).
+  const std::vector<int>& offsets() const { return offsets_; }
+
   /// The initial null placed at (row of V, attribute a). Precondition: a is
   /// in universe − x.
   Value NullAt(int vrow, AttrId a) const {

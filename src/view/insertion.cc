@@ -87,14 +87,18 @@ Result<InsertionReport> CheckInsertion(const AttrSet& universe,
     return report;
   }
 
-  // Condition (b).
-  if (fds.IsSuperkey(common, x)) {
+  // Condition (b): one (possibly cached) closure answers both superkey
+  // questions.
+  const AttrSet common_closure = opts.closure_cache != nullptr
+                                     ? opts.closure_cache->Closure(fds, common)
+                                     : fds.Closure(common);
+  if (x.SubsetOf(common_closure)) {
     // V ∪ t would violate the implied FD X∩Y -> X (t agrees with a mu row
     // on X∩Y but differs somewhere in X since t ∉ V).
     report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
     return report;
   }
-  if (!fds.IsSuperkey(common, y)) {
+  if (!y.SubsetOf(common_closure)) {
     report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
     return report;
   }
@@ -103,6 +107,7 @@ Result<InsertionReport> CheckInsertion(const AttrSet& universe,
   ChaseTestOptions copts;
   copts.backend = opts.backend;
   copts.reuse_base_chase = opts.reuse_base_chase;
+  copts.closure_cache = opts.closure_cache;
   const ChaseTestResult c =
       RunConditionC(universe, fds, x, y, v, t, mu_rows, copts);
   report.chases_run = c.chases_run;

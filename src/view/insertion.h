@@ -21,6 +21,7 @@
 #include <string>
 
 #include "chase/instance_chase.h"
+#include "deps/closure_cache.h"
 #include "deps/fd_set.h"
 #include "relational/relation.h"
 #include "util/status.h"
@@ -52,6 +53,8 @@ struct InsertionOptions {
   /// then re-chase only the per-(r, f) constraint deltas. Off reproduces
   /// the Corollary's from-scratch O(|V|^3 log |V|) behaviour.
   bool reuse_base_chase = true;
+  /// Shared closure memo for condition (b) and the chase test. Optional.
+  ClosureCache* closure_cache = nullptr;
 };
 
 struct InsertionReport {
@@ -66,6 +69,9 @@ struct InsertionReport {
   /// Effort accounting (benchmarks).
   int chases_run = 0;
   ChaseStats stats;
+  /// Time spent applying the translation (ViewTranslator::InsertWithReport
+  /// only; 0 for pure checks and rejected/identity updates).
+  int64_t apply_nanos = 0;
   std::string ToString() const;
 };
 

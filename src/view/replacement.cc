@@ -61,11 +61,15 @@ Result<ReplacementReport> CheckReplacement(
       return report;
     }
     // Condition (b).
-    if (fds.IsSuperkey(common, x)) {
+    const AttrSet common_closure =
+        opts.closure_cache != nullptr
+            ? opts.closure_cache->Closure(fds, common)
+            : fds.Closure(common);
+    if (x.SubsetOf(common_closure)) {
       report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
       return report;
     }
-    if (!fds.IsSuperkey(common, y)) {
+    if (!y.SubsetOf(common_closure)) {
       report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
       return report;
     }
@@ -80,6 +84,7 @@ Result<ReplacementReport> CheckReplacement(
   ChaseTestOptions copts;
   copts.backend = opts.backend;
   copts.reuse_base_chase = true;
+  copts.closure_cache = opts.closure_cache;
   copts.skip_row = t1_row;
   copts.iterate_all_mus = same_common;
   const ChaseTestResult c =

@@ -17,6 +17,7 @@
 #define RELVIEW_VIEW_REPLACEMENT_H_
 
 #include "chase/instance_chase.h"
+#include "deps/closure_cache.h"
 #include "deps/fd_set.h"
 #include "relational/relation.h"
 #include "util/status.h"
@@ -26,6 +27,8 @@ namespace relview {
 
 struct ReplacementOptions {
   ChaseBackend backend = ChaseBackend::kHash;
+  /// Shared closure memo for condition (b) and the chase test. Optional.
+  ClosureCache* closure_cache = nullptr;
 };
 
 struct ReplacementReport {
@@ -39,6 +42,9 @@ struct ReplacementReport {
   FD violated_fd;
   int witness_row = -1;
   int chases_run = 0;
+  /// Time spent applying the translation (ViewTranslator::ReplaceWithReport
+  /// only; 0 for pure checks and rejected/identity updates).
+  int64_t apply_nanos = 0;
 };
 
 /// Theorem 9 test. Requires t1 ∈ V and t2 ∉ V (otherwise degenerate

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "chase/instance_chase.h"
+#include "view/chase_test.h"
 
 namespace relview {
 
@@ -23,8 +24,8 @@ Result<Test1Report> Preamble(const AttrSet& universe, const FDSet& fds,
                              const AttrSet& x, const AttrSet& y,
                              const Relation& v, const Tuple& t, Common* c) {
   Test1Report report;
-  if (!x.SubsetOf(universe) || (x | y) != universe || v.attrs() != x ||
-      t.arity() != v.arity()) {
+  if (!x.SubsetOf(universe) || !y.SubsetOf(universe) ||
+      (x | y) != universe || v.attrs() != x || t.arity() != v.arity()) {
     return Status::InvalidArgument("bad view-update arguments");
   }
   if (v.ContainsRow(t)) {
@@ -55,19 +56,15 @@ Result<Test1Report> Preamble(const AttrSet& universe, const FDSet& fds,
 }
 
 /// Closure-based success of the two-tuple chase on {r, mu} for FD
-/// lhs -> rhs: seed = (X-agreement of r and mu) ∪ (lhs ∩ (Y−X)).
+/// lhs -> rhs: seed = (X-agreement of r and mu) ∪ (lhs ∩ (Y−X)). The
+/// mathematics lives in PairScreenSucceeds (chase_test.h), shared with
+/// the incremental engine's probe screen.
 bool PairSucceeds(const FDSet& fds, const FD& fd, bool rhs_in_x,
                   const AttrSet& x, const AttrSet& y_only,
-                  const AttrSet& x_agree, int64_t* probes) {
-  const AttrSet seed = x_agree | (fd.lhs & y_only);
+                  const AttrSet& x_agree, int64_t* probes,
+                  ClosureCache* cache) {
   ++*probes;
-  const AttrSet closure = fds.Closure(seed);
-  // "Attempts to equate two distinct elements of V": the closure forces
-  // agreement on an X attribute where the constants differ.
-  if (!(closure & x).SubsetOf(x_agree)) return true;
-  // "Equates r[A], mu[A]" (A in Y−X).
-  if (!rhs_in_x && closure.Contains(fd.rhs)) return true;
-  return false;
+  return PairScreenSucceeds(fds, fd, rhs_in_x, x, y_only, x_agree, cache);
 }
 
 /// The literal two-tuple chase (reference backend).
@@ -107,10 +104,12 @@ bool PairSucceedsByChase(const FDSet& fds, const FD& fd, bool rhs_in_x,
 Result<Test1Report> RunPairwise(const AttrSet& universe, const FDSet& fds,
                                 const AttrSet& x, const AttrSet& y,
                                 const Relation& v, const Tuple& t,
-                                bool by_chase) {
+                                bool by_chase, ClosureCache* cache) {
   Common c;
   RELVIEW_ASSIGN_OR_RETURN(Test1Report report,
                            Preamble(universe, fds, x, y, v, t, &c));
+  report.used_backend =
+      by_chase ? Test1Backend::kTwoTupleChase : Test1Backend::kClosure;
   if (report.verdict != TranslationVerdict::kTranslatable) return report;
   const Schema& vs = v.schema();
 
@@ -139,7 +138,7 @@ Result<Test1Report> RunPairwise(const AttrSet& universe, const FDSet& fds,
             if (vr.At(vs, a) == v.row(mu).At(vs, a)) x_agree.Add(a);
           });
           success = PairSucceeds(fds, fd, rhs_in_x, x, c.y_only, x_agree,
-                                 &report.probes);
+                                 &report.probes, cache);
         }
         if (success) break;
       }
@@ -154,13 +153,28 @@ Result<Test1Report> RunPairwise(const AttrSet& universe, const FDSet& fds,
   return report;
 }
 
-/// The indexed backend (the paper's steps (1)-(4)).
+/// The indexed backend (the paper's steps (1)-(4)). When |X−Y| exceeds the
+/// pattern-mask capacity the test degrades to the closure backend (same
+/// soundness, weaker acceptance bound is not at issue — kClosure accepts a
+/// subset of kIndexed) and records the fallback in the report.
 Result<Test1Report> RunIndexed(const AttrSet& universe, const FDSet& fds,
                                const AttrSet& x, const AttrSet& y,
-                               const Relation& v, const Tuple& t) {
+                               const Relation& v, const Tuple& t,
+                               ClosureCache* cache) {
+  {
+    const AttrSet x_only_probe = x - y;
+    if (static_cast<int>(x_only_probe.ToVector().size()) > 16) {
+      RELVIEW_ASSIGN_OR_RETURN(
+          Test1Report fallback,
+          RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/false, cache));
+      fallback.indexed_fell_back = true;
+      return fallback;
+    }
+  }
   Common c;
   RELVIEW_ASSIGN_OR_RETURN(Test1Report report,
                            Preamble(universe, fds, x, y, v, t, &c));
+  report.used_backend = Test1Backend::kIndexed;
   if (report.verdict != TranslationVerdict::kTranslatable) return report;
   const Schema& vs = v.schema();
 
@@ -170,10 +184,6 @@ Result<Test1Report> RunIndexed(const AttrSet& universe, const FDSet& fds,
   // match counts plus a superset Möbius transform.
   const std::vector<AttrId> xo = c.x_only.ToVector();
   const int k = static_cast<int>(xo.size());
-  if (k > 16) {
-    return Status::CapacityExceeded(
-        "Test1 indexed backend limited to |X−Y| <= 16");
-  }
   const uint32_t nmask = 1u << k;
 
   // Per-subset hash multiset of T's projections (the role of the paper's
@@ -189,15 +199,12 @@ Result<Test1Report> RunIndexed(const AttrSet& universe, const FDSet& fds,
     }
   }
 
-  // Closure memo (the role of step (3)'s 2^|U| precomputed closures).
-  std::unordered_map<AttrSet, AttrSet, AttrSetHash> closure_memo;
-  auto closure_of = [&](const AttrSet& s) {
-    auto it = closure_memo.find(s);
-    if (it != closure_memo.end()) return it->second;
-    const AttrSet cl = fds.Closure(s);
-    closure_memo.emplace(s, cl);
-    return cl;
-  };
+  // Closure memo (the role of step (3)'s 2^|U| precomputed closures):
+  // the shared cache when the caller provides one, else a local one that
+  // lives for this call only.
+  ClosureCache local_cache(256);
+  ClosureCache* memo = cache != nullptr ? cache : &local_cache;
+  auto closure_of = [&](const AttrSet& s) { return memo->Closure(fds, s); };
 
   for (const FD& fd : fds.fds()) {
     const AttrSet zx = fd.lhs & x;
@@ -281,11 +288,13 @@ Result<Test1Report> RunTest1(const AttrSet& universe, const FDSet& fds,
                              const Test1Options& opts) {
   switch (opts.backend) {
     case Test1Backend::kTwoTupleChase:
-      return RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/true);
+      return RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/true,
+                         opts.closure_cache);
     case Test1Backend::kClosure:
-      return RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/false);
+      return RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/false,
+                         opts.closure_cache);
     case Test1Backend::kIndexed:
-      return RunIndexed(universe, fds, x, y, v, t);
+      return RunIndexed(universe, fds, x, y, v, t, opts.closure_cache);
   }
   return Status::InvalidArgument("unknown Test1 backend");
 }

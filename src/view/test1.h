@@ -26,6 +26,7 @@
 #ifndef RELVIEW_VIEW_TEST1_H_
 #define RELVIEW_VIEW_TEST1_H_
 
+#include "deps/closure_cache.h"
 #include "deps/fd_set.h"
 #include "relational/relation.h"
 #include "util/status.h"
@@ -37,6 +38,9 @@ enum class Test1Backend { kTwoTupleChase, kClosure, kIndexed };
 
 struct Test1Options {
   Test1Backend backend = Test1Backend::kClosure;
+  /// Shared closure memo (replaces the indexed backend's local memo; also
+  /// used by the closure backend). Optional.
+  ClosureCache* closure_cache = nullptr;
 };
 
 struct Test1Report {
@@ -50,6 +54,10 @@ struct Test1Report {
   int witness_row = -1;
   /// Effort: two-tuple chases or closure computations performed.
   int64_t probes = 0;
+  /// Backend that actually ran (kIndexed degrades to kClosure when
+  /// |X−Y| > 16 rather than failing; see indexed_fell_back).
+  Test1Backend used_backend = Test1Backend::kClosure;
+  bool indexed_fell_back = false;
 };
 
 /// Runs Test 1 for inserting `t` into `v` under view x / complement y.

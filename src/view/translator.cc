@@ -1,6 +1,7 @@
 #include "view/translator.h"
 
 #include "deps/satisfies.h"
+#include "util/small_util.h"
 
 namespace relview {
 
@@ -11,12 +12,38 @@ ViewTranslator::ViewTranslator(Universe universe, DependencySet sigma,
       x_(x),
       y_(y) {}
 
+ViewTranslator::ViewTranslator(const ViewTranslator& other)
+    : universe_(other.universe_),
+      sigma_(other.sigma_),
+      x_(other.x_),
+      y_(other.y_),
+      options_(other.options_),
+      good_(other.good_),
+      database_(other.database_) {}
+
+ViewTranslator& ViewTranslator::operator=(const ViewTranslator& other) {
+  if (this == &other) return *this;
+  universe_ = other.universe_;
+  sigma_ = other.sigma_;
+  x_ = other.x_;
+  y_ = other.y_;
+  options_ = other.options_;
+  good_ = other.good_;
+  database_ = other.database_;
+  engine_.reset();  // caches are per-instance; rebuild lazily
+  return *this;
+}
+
 Result<ViewTranslator> ViewTranslator::Create(Universe universe,
                                               DependencySet sigma, AttrSet x,
-                                              AttrSet y) {
+                                              AttrSet y,
+                                              TranslatorOptions options) {
   const AttrSet u = universe.All();
   if (!x.SubsetOf(u) || !y.SubsetOf(u)) {
     return Status::InvalidArgument("view/complement outside the universe");
+  }
+  if (options.probe_threads < 1) {
+    return Status::InvalidArgument("probe_threads must be >= 1");
   }
   if (!AreComplementary(u, sigma, x, y)) {
     return Status::FailedPrecondition(
@@ -24,6 +51,7 @@ Result<ViewTranslator> ViewTranslator::Create(Universe universe,
         universe.Format(x) + " Y=" + universe.Format(y));
   }
   ViewTranslator vt(std::move(universe), std::move(sigma), x, y);
+  vt.options_ = options;
   vt.good_ = CheckGoodComplement(u, vt.sigma_.fds, x, y);
   return vt;
 }
@@ -37,70 +65,146 @@ Status ViewTranslator::Bind(Relation database) {
   }
   database.Normalize();
   database_ = std::move(database);
+  engine_.reset();
   return Status::OK();
+}
+
+void ViewTranslator::InstallDatabase(Relation database) {
+  database_ = std::move(database);
+  engine_.reset();
+}
+
+TranslatabilityEngine* ViewTranslator::EngineOrNull() const {
+  if (!options_.incremental || !bound()) return nullptr;
+  if (engine_ == nullptr) {
+    EngineConfig config;
+    config.backend = options_.backend;
+    config.probe_threads = options_.probe_threads;
+    config.pair_screen = options_.pair_screen;
+    config.closure_cache_capacity = options_.closure_cache_capacity;
+    engine_ = std::make_unique<TranslatabilityEngine>(
+        universe_.All(), sigma_.fds, x_, y_, config);
+    engine_->Rebuild(*database_);
+  }
+  return engine_.get();
+}
+
+EngineStats ViewTranslator::engine_stats() const {
+  return engine_ != nullptr ? engine_->stats() : EngineStats{};
 }
 
 Result<Relation> ViewTranslator::ViewInstance() const {
   if (!bound()) return Status::FailedPrecondition("no database bound");
+  if (TranslatabilityEngine* engine = EngineOrNull()) {
+    return engine->view();
+  }
   return database_->Project(x_);
 }
 
 Result<InsertionReport> ViewTranslator::CanInsert(const Tuple& t) const {
+  if (TranslatabilityEngine* engine = EngineOrNull()) {
+    return engine->CheckInsert(t);
+  }
   RELVIEW_ASSIGN_OR_RETURN(Relation v, ViewInstance());
   return CheckInsertion(universe_.All(), sigma_.fds, x_, y_, v, t);
 }
 
 Result<DeletionReport> ViewTranslator::CanDelete(const Tuple& t) const {
+  if (TranslatabilityEngine* engine = EngineOrNull()) {
+    return engine->CheckDelete(t);
+  }
   RELVIEW_ASSIGN_OR_RETURN(Relation v, ViewInstance());
   return CheckDeletion(universe_.All(), sigma_.fds, x_, y_, v, t);
 }
 
 Result<ReplacementReport> ViewTranslator::CanReplace(const Tuple& t1,
                                                      const Tuple& t2) const {
+  if (TranslatabilityEngine* engine = EngineOrNull()) {
+    return engine->CheckReplace(t1, t2);
+  }
   RELVIEW_ASSIGN_OR_RETURN(Relation v, ViewInstance());
   return CheckReplacement(universe_.All(), sigma_.fds, x_, y_, v, t1, t2);
 }
 
-Status ViewTranslator::Insert(const Tuple& t) {
+Result<InsertionReport> ViewTranslator::InsertWithReport(const Tuple& t) {
   RELVIEW_ASSIGN_OR_RETURN(InsertionReport report, CanInsert(t));
-  if (!report.translatable()) {
-    return Status::Untranslatable(report.ToString());
+  if (!report.translatable() ||
+      report.verdict == TranslationVerdict::kIdentity) {
+    return report;
   }
-  if (report.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  Timer apply_timer;
   RELVIEW_ASSIGN_OR_RETURN(
       Relation updated,
       ApplyInsertion(universe_.All(), x_, y_, *database_, t));
-  RELVIEW_DCHECK(SatisfiesAll(updated, sigma_.fds),
-                 "translated insertion produced an illegal database");
+  if (options_.paranoid_checks) {
+    RELVIEW_DCHECK(SatisfiesAll(updated, sigma_.fds),
+                   "translated insertion produced an illegal database");
+  }
   database_ = std::move(updated);
-  return Status::OK();
+  if (engine_ != nullptr) engine_->NotifyInsert(t);
+  report.apply_nanos = apply_timer.ElapsedNanos();
+  return report;
 }
 
-Status ViewTranslator::Delete(const Tuple& t) {
+Result<DeletionReport> ViewTranslator::DeleteWithReport(const Tuple& t) {
   RELVIEW_ASSIGN_OR_RETURN(DeletionReport report, CanDelete(t));
-  if (!report.translatable()) {
-    return Status::Untranslatable(TranslationVerdictName(report.verdict));
+  if (!report.translatable() ||
+      report.verdict == TranslationVerdict::kIdentity) {
+    return report;
   }
-  if (report.verdict == TranslationVerdict::kIdentity) return Status::OK();
+  Timer apply_timer;
   RELVIEW_ASSIGN_OR_RETURN(
       Relation updated,
       ApplyDeletion(universe_.All(), x_, y_, *database_, t));
   database_ = std::move(updated);
+  if (engine_ != nullptr) engine_->NotifyDelete(t);
+  report.apply_nanos = apply_timer.ElapsedNanos();
+  return report;
+}
+
+Result<ReplacementReport> ViewTranslator::ReplaceWithReport(
+    const Tuple& t1, const Tuple& t2) {
+  RELVIEW_ASSIGN_OR_RETURN(ReplacementReport report, CanReplace(t1, t2));
+  if (!report.translatable() ||
+      report.verdict == TranslationVerdict::kIdentity) {
+    return report;
+  }
+  Timer apply_timer;
+  RELVIEW_ASSIGN_OR_RETURN(
+      Relation updated,
+      ApplyReplacement(universe_.All(), x_, y_, *database_, t1, t2));
+  if (options_.paranoid_checks) {
+    RELVIEW_DCHECK(SatisfiesAll(updated, sigma_.fds),
+                   "translated replacement produced an illegal database");
+  }
+  database_ = std::move(updated);
+  if (engine_ != nullptr) engine_->NotifyReplace(t1, t2);
+  report.apply_nanos = apply_timer.ElapsedNanos();
+  return report;
+}
+
+Status ViewTranslator::Insert(const Tuple& t) {
+  RELVIEW_ASSIGN_OR_RETURN(InsertionReport report, InsertWithReport(t));
+  if (!report.translatable()) {
+    return Status::Untranslatable(report.ToString());
+  }
+  return Status::OK();
+}
+
+Status ViewTranslator::Delete(const Tuple& t) {
+  RELVIEW_ASSIGN_OR_RETURN(DeletionReport report, DeleteWithReport(t));
+  if (!report.translatable()) {
+    return Status::Untranslatable(TranslationVerdictName(report.verdict));
+  }
   return Status::OK();
 }
 
 Status ViewTranslator::Replace(const Tuple& t1, const Tuple& t2) {
-  RELVIEW_ASSIGN_OR_RETURN(ReplacementReport report, CanReplace(t1, t2));
+  RELVIEW_ASSIGN_OR_RETURN(ReplacementReport report,
+                           ReplaceWithReport(t1, t2));
   if (!report.translatable()) {
     return Status::Untranslatable(TranslationVerdictName(report.verdict));
   }
-  if (report.verdict == TranslationVerdict::kIdentity) return Status::OK();
-  RELVIEW_ASSIGN_OR_RETURN(
-      Relation updated,
-      ApplyReplacement(universe_.All(), x_, y_, *database_, t1, t2));
-  RELVIEW_DCHECK(SatisfiesAll(updated, sigma_.fds),
-                 "translated replacement produced an illegal database");
-  database_ = std::move(updated);
   return Status::OK();
 }
 

@@ -5,10 +5,18 @@
 // view updates which are checked (Theorems 3, 8, 9) and — when
 // translatable — applied to the underlying database as the unique
 // constant-complement translation.
+//
+// By default checks run on the incremental engine (view_index.h): the
+// view instance, its indexes, and the base-chase fixpoint persist across
+// calls and are maintained in place when an accepted update is applied,
+// so a sustained update stream amortizes all per-check setup. Verdicts
+// and witnesses are identical to the from-scratch free functions; set
+// TranslatorOptions.incremental = false to run those directly instead.
 
 #ifndef RELVIEW_VIEW_TRANSLATOR_H_
 #define RELVIEW_VIEW_TRANSLATOR_H_
 
+#include <memory>
 #include <optional>
 
 #include "deps/dep_set.h"
@@ -20,8 +28,25 @@
 #include "view/insertion.h"
 #include "view/replacement.h"
 #include "view/test2.h"
+#include "view/view_index.h"
 
 namespace relview {
+
+struct TranslatorOptions {
+  /// Serve checks from the persistent view index + cached base chase.
+  bool incremental = true;
+  /// Fan condition-(c) probes out over this many threads (engine only).
+  int probe_threads = 1;
+  /// Screen probes with Test 1's closure criterion first (engine only;
+  /// sound — never changes a verdict or witness).
+  bool pair_screen = true;
+  size_t closure_cache_capacity = ClosureCache::kDefaultCapacity;
+  /// Re-verify SatisfiesAll after every applied translation. The Apply*
+  /// translations are legality-preserving by Theorems 3/8/9, so this is a
+  /// paranoia knob: it costs O(|R|·|Sigma|) per write.
+  bool paranoid_checks = false;
+  ChaseBackend backend = ChaseBackend::kHash;
+};
 
 class ViewTranslator {
  public:
@@ -30,12 +55,21 @@ class ViewTranslator {
   /// for diagnostics only.
   static Result<ViewTranslator> Create(Universe universe,
                                        DependencySet sigma, AttrSet x,
-                                       AttrSet y);
+                                       AttrSet y,
+                                       TranslatorOptions options = {});
+
+  /// Copies share schema and database but not caches: the copy rebuilds
+  /// its engine lazily on first use. Moves carry the engine along.
+  ViewTranslator(const ViewTranslator& other);
+  ViewTranslator& operator=(const ViewTranslator& other);
+  ViewTranslator(ViewTranslator&&) = default;
+  ViewTranslator& operator=(ViewTranslator&&) = default;
 
   const Universe& universe() const { return universe_; }
   const DependencySet& sigma() const { return sigma_; }
   const AttrSet& view() const { return x_; }
   const AttrSet& complement() const { return y_; }
+  const TranslatorOptions& options() const { return options_; }
 
   /// Whether Y is a good complement (Test 2 precomputation; cached).
   bool complement_is_good() const { return good_.good; }
@@ -50,9 +84,10 @@ class ViewTranslator {
   /// Replaces the bound database without re-validating Sigma. For trusted
   /// callers (the service layer) installing a relation produced by the
   /// Apply* translations, which are legality-preserving by Theorems 3/8/9.
-  void InstallDatabase(Relation database) { database_ = std::move(database); }
+  void InstallDatabase(Relation database);
 
-  /// pi_X of the bound database.
+  /// pi_X of the bound database (served from the engine's cached view
+  /// when live).
   Result<Relation> ViewInstance() const;
 
   /// Translatability checks against the current view instance.
@@ -61,6 +96,15 @@ class ViewTranslator {
   Result<ReplacementReport> CanReplace(const Tuple& t1,
                                        const Tuple& t2) const;
 
+  /// Check-and-apply returning the full report (verdict + witness +
+  /// timing). The update is applied — and the engine's caches maintained
+  /// incrementally — only for a translatable, non-identity verdict; an
+  /// untranslatable verdict is returned in the report, not as an error.
+  Result<InsertionReport> InsertWithReport(const Tuple& t);
+  Result<DeletionReport> DeleteWithReport(const Tuple& t);
+  Result<ReplacementReport> ReplaceWithReport(const Tuple& t1,
+                                              const Tuple& t2);
+
   /// Check-and-apply. Returns Untranslatable (with the verdict in the
   /// message) when the update is rejected; on success the bound database
   /// is updated in place and maps onto the updated view.
@@ -68,16 +112,25 @@ class ViewTranslator {
   Status Delete(const Tuple& t);
   Status Replace(const Tuple& t1, const Tuple& t2);
 
+  /// Engine counters (zeroed when the engine has not been built).
+  EngineStats engine_stats() const;
+
  private:
   ViewTranslator(Universe universe, DependencySet sigma, AttrSet x,
                  AttrSet y);
+
+  /// The live engine, built on demand. Null when incremental is off or no
+  /// database is bound.
+  TranslatabilityEngine* EngineOrNull() const;
 
   Universe universe_;
   DependencySet sigma_;
   AttrSet x_;
   AttrSet y_;
+  TranslatorOptions options_;
   GoodComplementReport good_;
   std::optional<Relation> database_;
+  mutable std::unique_ptr<TranslatabilityEngine> engine_;
 };
 
 }  // namespace relview

@@ -1,0 +1,696 @@
+#include "view/view_index.h"
+
+#include <algorithm>
+
+namespace relview {
+
+// ---------------------------------------------------------------------------
+// ViewIndex
+
+ViewIndex ViewIndex::Build(const AttrSet& universe, const AttrSet& x,
+                           const AttrSet& common, const FDSet& fds,
+                           Relation view) {
+  ViewIndex idx;
+  idx.view_ = std::move(view);
+  idx.x_ = x;
+
+  const AttrSet null_cols = universe - x;
+  idx.null_offsets_.assign(AttrSet::kMaxAttrs, -1);
+  int off = 0;
+  null_cols.ForEach([&](AttrId a) { idx.null_offsets_[a] = off++; });
+  idx.null_width_ = off;
+
+  // subs_[0] is always the mu index on X∩Y; per-FD indexes on lhs∩X are
+  // deduplicated by their column set (chain schemas share most of them).
+  idx.subs_.push_back(SubIndex{common, {}});
+  idx.fd_subindex_.assign(fds.size(), -1);
+  for (int fi = 0; fi < fds.size(); ++fi) {
+    const AttrSet zx = fds.fds()[fi].lhs & x;
+    if (zx.Empty()) continue;  // every row is a candidate: no index helps
+    int found = -1;
+    for (size_t s = 0; s < idx.subs_.size(); ++s) {
+      if (idx.subs_[s].cols == zx) {
+        found = static_cast<int>(s);
+        break;
+      }
+    }
+    if (found < 0) {
+      found = static_cast<int>(idx.subs_.size());
+      idx.subs_.push_back(SubIndex{zx, {}});
+    }
+    idx.fd_subindex_[fi] = found;
+  }
+
+  // Seed slots 1:1 with initial positions.
+  const int n = idx.view_.size();
+  idx.slot_of_pos_.resize(n);
+  idx.pos_of_slot_.resize(n);
+  for (int p = 0; p < n; ++p) {
+    idx.slot_of_pos_[p] = p;
+    idx.pos_of_slot_[p] = p;
+    idx.AddSlot(p, idx.view_.row(p));
+  }
+  return idx;
+}
+
+int ViewIndex::PositionOf(const Tuple& t) const {
+  const auto& rows = view_.rows();
+  auto it = std::lower_bound(rows.begin(), rows.end(), t);
+  if (it == rows.end() || !(*it == t)) return -1;
+  return static_cast<int>(it - rows.begin());
+}
+
+void ViewIndex::AddSlot(int slot, const Tuple& row) {
+  const Schema& s = view_.schema();
+  for (SubIndex& sub : subs_) {
+    sub.buckets[row.HashOn(s, sub.cols)].push_back(slot);
+  }
+}
+
+void ViewIndex::RemoveSlot(int slot, const Tuple& row) {
+  const Schema& s = view_.schema();
+  for (SubIndex& sub : subs_) {
+    auto it = sub.buckets.find(row.HashOn(s, sub.cols));
+    RELVIEW_DCHECK(it != sub.buckets.end(), "view index bucket missing");
+    std::vector<int>& slots = it->second;
+    auto pos = std::find(slots.begin(), slots.end(), slot);
+    RELVIEW_DCHECK(pos != slots.end(), "view index slot missing");
+    *pos = slots.back();
+    slots.pop_back();
+    if (slots.empty()) sub.buckets.erase(it);
+  }
+}
+
+void ViewIndex::CollectAgreeing(const SubIndex& sub, const Tuple& t,
+                                std::vector<int>* out) const {
+  out->clear();
+  const Schema& s = view_.schema();
+  auto it = sub.buckets.find(t.HashOn(s, sub.cols));
+  if (it == sub.buckets.end()) return;
+  for (int slot : it->second) {
+    const int pos = pos_of_slot_[slot];
+    // Hash buckets can alias: confirm real agreement.
+    if (view_.row(pos).AgreesWith(t, s, sub.cols)) out->push_back(pos);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+void ViewIndex::MuPositions(const Tuple& t, std::vector<int>* out) const {
+  CollectAgreeing(subs_[0], t, out);
+}
+
+void ViewIndex::CandidatePositions(int fd_index, const Tuple& t,
+                                   std::vector<int>* out) const {
+  const int sub = fd_subindex_[fd_index];
+  if (sub < 0) {  // lhs∩X empty: every row agrees vacuously
+    out->resize(view_.size());
+    for (int p = 0; p < view_.size(); ++p) (*out)[p] = p;
+    return;
+  }
+  CollectAgreeing(subs_[sub], t, out);
+}
+
+std::pair<int, int> ViewIndex::ApplyInsert(const Tuple& t) {
+  std::vector<Tuple>& rows = view_.mutable_rows();
+  auto it = std::lower_bound(rows.begin(), rows.end(), t);
+  RELVIEW_DCHECK(it == rows.end() || !(*it == t),
+                 "inserting a duplicate view row");
+  const int pos = static_cast<int>(it - rows.begin());
+  rows.insert(it, t);
+
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pos_of_slot_[slot] = pos;
+  } else {
+    slot = static_cast<int>(pos_of_slot_.size());
+    pos_of_slot_.push_back(pos);
+  }
+  slot_of_pos_.insert(slot_of_pos_.begin() + pos, slot);
+  for (int p = pos + 1; p < static_cast<int>(slot_of_pos_.size()); ++p) {
+    pos_of_slot_[slot_of_pos_[p]] = p;
+  }
+  AddSlot(slot, t);
+  return {pos, slot};
+}
+
+void ViewIndex::ApplyDelete(const Tuple& t) {
+  const int pos = PositionOf(t);
+  RELVIEW_DCHECK(pos >= 0, "deleting a row absent from the view");
+  const int slot = slot_of_pos_[pos];
+  RemoveSlot(slot, t);
+  std::vector<Tuple>& rows = view_.mutable_rows();
+  rows.erase(rows.begin() + pos);
+  slot_of_pos_.erase(slot_of_pos_.begin() + pos);
+  for (int p = pos; p < static_cast<int>(slot_of_pos_.size()); ++p) {
+    pos_of_slot_[slot_of_pos_[p]] = p;
+  }
+  pos_of_slot_[slot] = -1;
+  free_slots_.push_back(slot);
+}
+
+// ---------------------------------------------------------------------------
+// BaseChaseCache
+
+namespace {
+
+/// The slot-keyed generic-instance row for view position `pos`.
+Tuple SlotRow(const ViewIndex& index, const AttrSet& universe,
+              const AttrSet& x, int pos, int slot, const Schema& us) {
+  const Schema& vs = index.schema();
+  const Tuple& vr = index.view().row(pos);
+  Tuple out(us.arity());
+  x.ForEach([&](AttrId a) { out.Set(us, a, vr.At(vs, a)); });
+  const uint32_t base = index.SlotNullBase(slot);
+  (universe - x).ForEach([&](AttrId a) {
+    out.Set(us, a,
+            Value::Null(base + static_cast<uint32_t>(
+                                   index.null_offsets()[a])));
+  });
+  return out;
+}
+
+void MergeChaseStats(const ChaseOutcome& out, ChaseTestResult* acc) {
+  if (acc == nullptr) return;
+  ++acc->chases_run;
+  acc->stats.merges += out.stats.merges;
+  acc->stats.rounds += out.stats.rounds;
+  acc->stats.work += out.stats.work;
+}
+
+/// U recovered from the index's offset table and view schema.
+AttrSet UniverseOf(const ViewIndex& index) {
+  AttrSet universe = index.view().attrs();
+  for (int a = 0; a < AttrSet::kMaxAttrs; ++a) {
+    if (index.null_offsets()[a] >= 0) universe.Add(static_cast<AttrId>(a));
+  }
+  return universe;
+}
+
+}  // namespace
+
+void BaseChaseCache::Invalidate() {
+  valid_ = false;
+  conflict_ = false;
+  fixpoint_ = Relation();
+  renames_.clear();
+  slot_of_row_.clear();
+  row_of_slot_.clear();
+  fd_buckets_.clear();
+}
+
+void BaseChaseCache::IndexRow(const FDSet& fds, int row) {
+  const Schema& us = fixpoint_.schema();
+  const Tuple& t = fixpoint_.row(row);
+  const int slot = slot_of_row_[row];
+  for (int fi = 0; fi < fds.size(); ++fi) {
+    fd_buckets_[fi][t.HashOn(us, fds.fds()[fi].lhs)].push_back(slot);
+  }
+}
+
+void BaseChaseCache::UnindexRow(const FDSet& fds, int row) {
+  const Schema& us = fixpoint_.schema();
+  const Tuple& t = fixpoint_.row(row);
+  const int slot = slot_of_row_[row];
+  for (int fi = 0; fi < fds.size(); ++fi) {
+    auto it = fd_buckets_[fi].find(t.HashOn(us, fds.fds()[fi].lhs));
+    RELVIEW_DCHECK(it != fd_buckets_[fi].end(), "base chase bucket missing");
+    std::vector<int>& slots = it->second;
+    auto p = std::find(slots.begin(), slots.end(), slot);
+    RELVIEW_DCHECK(p != slots.end(), "base chase bucket slot missing");
+    *p = slots.back();
+    slots.pop_back();
+    if (slots.empty()) fd_buckets_[fi].erase(it);
+  }
+}
+
+void BaseChaseCache::EraseRow(int row) {
+  const int slot = slot_of_row_[row];
+  std::vector<Tuple>& rows = fixpoint_.mutable_rows();
+  rows.erase(rows.begin() + row);
+  slot_of_row_.erase(slot_of_row_.begin() + row);
+  row_of_slot_[slot] = -1;
+  for (int r = row; r < static_cast<int>(slot_of_row_.size()); ++r) {
+    row_of_slot_[slot_of_row_[r]] = r;
+  }
+}
+
+std::vector<int> BaseChaseCache::ComponentOf(const FDSet& fds,
+                                             int row) const {
+  const Schema& us = fixpoint_.schema();
+  std::vector<char> visited(slot_of_row_.size(), 0);
+  std::vector<int> stack{row};
+  visited[row] = 1;
+  std::vector<int> comp;
+  while (!stack.empty()) {
+    const int r = stack.back();
+    stack.pop_back();
+    comp.push_back(r);
+    const Tuple& t = fixpoint_.row(r);
+    for (int fi = 0; fi < fds.size(); ++fi) {
+      auto it = fd_buckets_[fi].find(t.HashOn(us, fds.fds()[fi].lhs));
+      if (it == fd_buckets_[fi].end()) continue;
+      for (int slot : it->second) {
+        const int rr = row_of_slot_[slot];
+        if (!visited[rr]) {
+          visited[rr] = 1;
+          stack.push_back(rr);
+        }
+      }
+    }
+  }
+  std::sort(comp.begin(), comp.end());
+  return comp;
+}
+
+bool BaseChaseCache::SpliceRechase(const ViewIndex& index, const FDSet& fds,
+                                   ChaseBackend backend,
+                                   const std::vector<int>& comp,
+                                   int erase_row, ChaseTestResult* acc) {
+  const AttrSet x = index.view().attrs();
+  const AttrSet universe = UniverseOf(index);
+  const Schema& us = fixpoint_.schema();
+  // Re-chase the surviving component rows from their pristine slot-keyed
+  // seeds. The component is closed under every past and future chase
+  // interaction (see the file comment), so this tiny chase reaches
+  // exactly the merges a full rebuild would give these rows.
+  Relation seeds(universe);
+  std::vector<int> keep;
+  for (int r : comp) {
+    if (r == erase_row) continue;
+    keep.push_back(r);
+    const int slot = slot_of_row_[r];
+    seeds.AddRow(SlotRow(index, universe, x, index.slot_pos(slot), slot, us));
+  }
+  ChaseOutcome out = ChaseInstance(seeds, fds, backend);
+  MergeChaseStats(out, acc);
+  if (out.conflict) {
+    // Cannot happen splicing an *accepted* update into a legal view, but
+    // degrade gracefully: drop the cache and let the next check rebuild.
+    Invalidate();
+    return false;
+  }
+  // Merges never cross components, so the stale rename entries are
+  // exactly the ones keyed by a component slot's nulls.
+  const int width = index.null_width();
+  if (width > 0 && !renames_.empty()) {
+    std::vector<char> in_comp(row_of_slot_.size(), 0);
+    for (int r : comp) in_comp[slot_of_row_[r]] = 1;
+    for (auto it = renames_.begin(); it != renames_.end();) {
+      const uint32_t key = it->first;
+      const uint32_t slot =
+          (key & ~Value::kNullTag) / static_cast<uint32_t>(width);
+      if ((key & Value::kNullTag) != 0 && slot < in_comp.size() &&
+          in_comp[slot]) {
+        it = renames_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& [from, to] : out.renames) renames_.emplace(from, to);
+
+  for (int r : comp) UnindexRow(fds, r);
+  std::vector<Tuple>& rows = fixpoint_.mutable_rows();
+  for (size_t k = 0; k < keep.size(); ++k) {
+    rows[keep[k]] = std::move(out.result.mutable_rows()[k]);
+  }
+  for (int r : keep) IndexRow(fds, r);
+  if (erase_row >= 0) EraseRow(erase_row);
+  return true;
+}
+
+void BaseChaseCache::Rebuild(const ViewIndex& index, const FDSet& fds,
+                             ChaseBackend backend, ChaseTestResult* acc) {
+  const AttrSet x = index.view().attrs();
+  const AttrSet universe = UniverseOf(index);
+  Relation generic(universe);
+  const Schema& us = generic.schema();
+  for (int p = 0; p < index.size(); ++p) {
+    generic.AddRow(SlotRow(index, universe, x, p, index.slot_at(p), us));
+  }
+  ChaseOutcome out = ChaseInstance(generic, fds, backend);
+  MergeChaseStats(out, acc);
+  conflict_ = out.conflict;
+  fixpoint_ = std::move(out.result);
+  renames_ = std::move(out.renames);
+  valid_ = true;
+  // The chase mutates rows in place, so fixpoint row p still corresponds
+  // to view position p; seed the slot maps and interaction buckets.
+  slot_of_row_.assign(index.size(), -1);
+  row_of_slot_.assign(index.slot_count(), -1);
+  fd_buckets_.assign(fds.size(), {});
+  if (conflict_) return;  // partial state; TryRemove/ExtendWith are gated
+  for (int p = 0; p < index.size(); ++p) {
+    const int slot = index.slot_at(p);
+    slot_of_row_[p] = slot;
+    row_of_slot_[slot] = p;
+  }
+  for (int r = 0; r < fixpoint_.size(); ++r) IndexRow(fds, r);
+}
+
+void BaseChaseCache::ExtendWith(const ViewIndex& index, int pos, int slot,
+                                const FDSet& fds, ChaseBackend backend,
+                                ChaseTestResult* acc) {
+  RELVIEW_DCHECK(valid_ && !conflict_, "extending an unusable base chase");
+  const AttrSet x = index.view().attrs();
+  const AttrSet universe = UniverseOf(index);
+  const int row = fixpoint_.size();
+  fixpoint_.AddRow(SlotRow(index, universe, x, pos, slot, fixpoint_.schema()));
+  slot_of_row_.push_back(slot);
+  if (slot >= static_cast<int>(row_of_slot_.size())) {
+    row_of_slot_.resize(slot + 1, -1);
+  }
+  row_of_slot_[slot] = row;
+  IndexRow(fds, row);
+  const std::vector<int> comp = ComponentOf(fds, row);
+  if (comp.size() > 1) {
+    SpliceRechase(index, fds, backend, comp, /*erase_row=*/-1, acc);
+  }
+}
+
+bool BaseChaseCache::TryRemove(const ViewIndex& index, int pos,
+                               const FDSet& fds, ChaseBackend backend,
+                               ChaseTestResult* acc) {
+  if (!valid_ || conflict_) return false;
+  const int slot = index.slot_at(pos);
+  const int row = row_of_slot_[slot];
+  RELVIEW_DCHECK(row >= 0, "slot missing from the base chase");
+  if (row < 0) return false;
+  const std::vector<int> comp = ComponentOf(fds, row);
+  if (comp.size() == 1) {
+    // Never interacted with anything, so no rename mentions its nulls
+    // (that would need a step): excising the row is the whole update.
+    UnindexRow(fds, row);
+    EraseRow(row);
+    return true;
+  }
+  return SpliceRechase(index, fds, backend, comp, row, acc);
+}
+
+// ---------------------------------------------------------------------------
+// TranslatabilityEngine
+
+TranslatabilityEngine::TranslatabilityEngine(const AttrSet& universe,
+                                             const FDSet& fds,
+                                             const AttrSet& x,
+                                             const AttrSet& y,
+                                             const EngineConfig& config)
+    : universe_(universe),
+      fds_(fds),
+      x_(x),
+      y_(y),
+      common_(x & y),
+      y_only_(y - x),
+      config_(config),
+      closures_(config.closure_cache_capacity) {
+  if (config_.probe_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.probe_threads);
+  }
+}
+
+void TranslatabilityEngine::Rebuild(const Relation& database) {
+  index_ = ViewIndex::Build(universe_, x_, common_, fds_,
+                            database.Project(x_));
+  base_.Invalidate();
+  ++stats_.index_rebuilds;
+}
+
+Status TranslatabilityEngine::ValidateTuple(const Tuple& t,
+                                            bool must_be_null_free) const {
+  if (t.arity() != index_.schema().arity()) {
+    return Status::InvalidArgument("tuple arity does not match view");
+  }
+  if (must_be_null_free) {
+    for (const Value& val : t.values()) {
+      if (val.is_null()) {
+        return Status::InvalidArgument("inserted tuple must be null-free");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void TranslatabilityEngine::EnsureBase(ChaseTestResult* acc) {
+  if (base_.valid()) {
+    ++stats_.base_reuses;
+    return;
+  }
+  base_.Rebuild(index_, fds_, config_.backend, acc);
+  ++stats_.base_rebuilds;
+}
+
+void TranslatabilityEngine::RunC(const Tuple& t,
+                                 const std::vector<int>& mu_positions,
+                                 bool iterate_all_mus, int skip_row,
+                                 ChaseTestResult* out) {
+  EnsureBase(out);
+  if (base_.conflict()) return;  // condition (c) holds vacuously
+
+  std::vector<int> mus;
+  if (iterate_all_mus) {
+    mus = mu_positions;
+  } else {
+    mus.push_back(mu_positions.front());
+  }
+
+  const Schema& vs = index_.schema();
+  std::vector<ProbeSpec> specs;
+  std::vector<int> cand;
+  for (int fi = 0; fi < fds_.size(); ++fi) {
+    const FD& fd = fds_.fds()[fi];
+    const bool rhs_in_x = x_.Contains(fd.rhs);
+    index_.CandidatePositions(fi, t, &cand);
+    for (int r : cand) {
+      if (r == skip_row) continue;
+      const Tuple& vr = index_.view().row(r);
+      if (rhs_in_x && vr.At(vs, fd.rhs) == t.At(vs, fd.rhs)) continue;
+      for (int mu : mus) {
+        ProbeSpec spec;
+        spec.fd_index = fi;
+        spec.r = r;
+        spec.mu = mu;
+        spec.r_null_base = index_.SlotNullBase(index_.slot_at(r));
+        spec.mu_null_base = index_.SlotNullBase(index_.slot_at(mu));
+        if (config_.pair_screen) {
+          const Tuple& vmu = index_.view().row(mu);
+          x_.ForEach([&](AttrId a) {
+            if (vr.At(vs, a) == vmu.At(vs, a)) spec.x_agree.Add(a);
+          });
+        }
+        specs.push_back(spec);
+      }
+    }
+  }
+
+  ChaseTestOptions opts;
+  opts.backend = config_.backend;
+  opts.pair_screen = config_.pair_screen;
+  opts.closure_cache = &closures_;
+  opts.pool = pool_.get();
+  const int fail =
+      RunProbeSpecs(specs, fds_, x_, y_only_, base_.AsView(),
+                    /*generic=*/nullptr, index_.null_offsets(), opts, out);
+  if (fail >= 0) {
+    out->ok = false;
+    out->violated_fd = fds_.fds()[specs[fail].fd_index];
+    out->witness_row = specs[fail].r;
+    out->witness_mu = specs[fail].mu;
+  }
+  stats_.probes_run += static_cast<uint64_t>(out->probes_run);
+  stats_.probes_screened += static_cast<uint64_t>(out->probes_screened);
+  stats_.probes_parallel += static_cast<uint64_t>(out->probes_parallel);
+}
+
+Result<InsertionReport> TranslatabilityEngine::CheckInsert(const Tuple& t) {
+  ++stats_.index_reuses;
+  RELVIEW_RETURN_IF_ERROR(ValidateTuple(t, /*must_be_null_free=*/true));
+  InsertionReport report;
+  if (index_.Contains(t)) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+  // Condition (a): O(1) expected via the mu index.
+  std::vector<int> mus;
+  index_.MuPositions(t, &mus);
+  if (mus.empty()) {
+    report.verdict = TranslationVerdict::kFailsComplementMembership;
+    return report;
+  }
+  // Condition (b): one cached closure answers both superkey questions.
+  const AttrSet cl = closures_.Closure(fds_, common_);
+  if (x_.SubsetOf(cl)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+    return report;
+  }
+  if (!y_.SubsetOf(cl)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+    return report;
+  }
+  // Condition (c).
+  ChaseTestResult c;
+  RunC(t, mus, /*iterate_all_mus=*/false, /*skip_row=*/-1, &c);
+  report.chases_run = c.chases_run;
+  report.stats = c.stats;
+  if (!c.ok) {
+    report.verdict = TranslationVerdict::kFailsChase;
+    report.violated_fd = c.violated_fd;
+    report.witness_row = c.witness_row;
+    return report;
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+Result<DeletionReport> TranslatabilityEngine::CheckDelete(const Tuple& t) {
+  ++stats_.index_reuses;
+  RELVIEW_RETURN_IF_ERROR(ValidateTuple(t, /*must_be_null_free=*/false));
+  DeletionReport report;
+  const int pos = index_.PositionOf(t);
+  if (pos < 0) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+  // Condition (a): another row shares t's common part.
+  std::vector<int> mus;
+  index_.MuPositions(t, &mus);
+  bool witness = false;
+  for (int p : mus) {
+    if (p != pos) {
+      witness = true;
+      break;
+    }
+  }
+  if (!witness) {
+    report.verdict = TranslationVerdict::kFailsComplementMembership;
+    return report;
+  }
+  // Condition (b).
+  const AttrSet cl = closures_.Closure(fds_, common_);
+  if (x_.SubsetOf(cl)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+    return report;
+  }
+  if (!y_.SubsetOf(cl)) {
+    report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+    return report;
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+Result<ReplacementReport> TranslatabilityEngine::CheckReplace(
+    const Tuple& t1, const Tuple& t2) {
+  ++stats_.index_reuses;
+  RELVIEW_RETURN_IF_ERROR(ValidateTuple(t1, /*must_be_null_free=*/false));
+  RELVIEW_RETURN_IF_ERROR(ValidateTuple(t2, /*must_be_null_free=*/false));
+  ReplacementReport report;
+  if (t1 == t2) {
+    report.verdict = TranslationVerdict::kIdentity;
+    return report;
+  }
+  const int t1_row = index_.PositionOf(t1);
+  if (t1_row < 0) {
+    return Status::InvalidArgument("replaced tuple t1 must be in the view");
+  }
+  if (index_.Contains(t2)) {
+    return Status::InvalidArgument(
+        "replacement target t2 must not already be in the view");
+  }
+
+  const Schema& vs = index_.schema();
+  const bool same_common = t1.AgreesWith(t2, vs, common_);
+  report.theorem_case = same_common ? 2 : 1;
+
+  std::vector<int> mus;
+  index_.MuPositions(t2, &mus);
+
+  if (!same_common) {
+    // Case 1: t1's complement row survives via another view row, and t2's
+    // complement row already exists.
+    std::vector<int> t1_bucket;
+    index_.MuPositions(t1, &t1_bucket);
+    bool t1_witness = false;
+    for (int p : t1_bucket) {
+      if (p != t1_row) {
+        t1_witness = true;
+        break;
+      }
+    }
+    if (!t1_witness || mus.empty()) {
+      report.verdict = TranslationVerdict::kFailsComplementMembership;
+      return report;
+    }
+    const AttrSet cl = closures_.Closure(fds_, common_);
+    if (x_.SubsetOf(cl)) {
+      report.verdict = TranslationVerdict::kFailsCommonPartKeyOfX;
+      return report;
+    }
+    if (!y_.SubsetOf(cl)) {
+      report.verdict = TranslationVerdict::kFailsCommonPartNotKeyOfY;
+      return report;
+    }
+  } else {
+    RELVIEW_DCHECK(!mus.empty(), "case 2 must have t1 as a mu row");
+  }
+
+  ChaseTestResult c;
+  RunC(t2, mus, /*iterate_all_mus=*/same_common, t1_row, &c);
+  report.chases_run = c.chases_run;
+  if (!c.ok) {
+    report.verdict = TranslationVerdict::kFailsChase;
+    report.violated_fd = c.violated_fd;
+    report.witness_row = c.witness_row;
+    return report;
+  }
+  report.verdict = TranslationVerdict::kTranslatable;
+  return report;
+}
+
+void TranslatabilityEngine::NotifyInsert(const Tuple& t) {
+  const auto [pos, slot] = index_.ApplyInsert(t);
+  if (base_.valid() && !base_.conflict()) {
+    base_.ExtendWith(index_, pos, slot, fds_, config_.backend, nullptr);
+    ++stats_.base_extends;
+  }
+  // A conflicted base stays valid: inserting a row cannot remove the
+  // conflict, so condition (c) keeps holding vacuously.
+}
+
+void TranslatabilityEngine::NotifyDelete(const Tuple& t) {
+  const int pos = index_.PositionOf(t);
+  RELVIEW_DCHECK(pos >= 0, "notified delete of a row absent from the view");
+  if (base_.TryRemove(index_, pos, fds_, config_.backend, nullptr)) {
+    ++stats_.base_shrinks;
+  } else {
+    base_.Invalidate();
+  }
+  index_.ApplyDelete(t);
+}
+
+void TranslatabilityEngine::NotifyReplace(const Tuple& t1, const Tuple& t2) {
+  const int pos = index_.PositionOf(t1);
+  RELVIEW_DCHECK(pos >= 0, "notified replace of a row absent from the view");
+  const bool kept =
+      base_.TryRemove(index_, pos, fds_, config_.backend, nullptr);
+  index_.ApplyDelete(t1);
+  const auto [npos, nslot] = index_.ApplyInsert(t2);
+  if (kept) {
+    ++stats_.base_shrinks;
+    base_.ExtendWith(index_, npos, nslot, fds_, config_.backend, nullptr);
+    ++stats_.base_extends;
+  } else {
+    base_.Invalidate();
+  }
+}
+
+EngineStats TranslatabilityEngine::stats() const {
+  EngineStats s = stats_;
+  s.closure_hits = closures_.hits();
+  s.closure_misses = closures_.misses();
+  s.closure_hit_rate = closures_.hit_rate();
+  return s;
+}
+
+}  // namespace relview

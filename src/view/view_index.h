@@ -1,0 +1,268 @@
+// The incremental translatability engine: persistent indexes over a cached
+// view instance plus a cached base-chase fixpoint, maintained across a
+// stream of updates against one bound database.
+//
+// The from-scratch checks (insertion.cc / deletion.cc / replacement.cc)
+// pay, per call: re-projecting pi_X(R), scanning V once per FD for
+// candidate violators and once for mu rows, rebuilding the generic
+// instance, and re-chasing it. On a sustained stream all of that is
+// redundant — an accepted update changes V by exactly one row (+t, −t, or
+// −t1+t2, by the shape of the Apply* translations), so this file keeps:
+//
+//  * ViewIndex — the canonical view relation (same sorted/deduped order
+//    Project() produces, so witness row numbers match the scratch path
+//    exactly) with a hash index on X∩Y projections (O(1) mu lookup,
+//    condition (a)) and one hash index per distinct FD lhs∩X pattern
+//    (output-sensitive candidate enumeration for condition (c)). Rows own
+//    stable *slot* ids that survive edits; position<->slot maps are fixed
+//    up in O(|V|) ints per accepted update instead of rebuilding the
+//    indexes.
+//
+//  * BaseChaseCache — the chase fixpoint of the generic instance (slot-
+//    keyed nulls) plus its rename map, maintained under every accepted
+//    write by re-chasing only the affected *connected component*. Chase
+//    steps only merge values and merges are never undone, so rows that
+//    ever took a step together still agree on that FD's lhs in the
+//    fixpoint: per-FD hash buckets over the fixpoint rows' lhs
+//    projections therefore give a conservative superset of the real
+//    interaction graph, and merges never cross components (null classes
+//    never contain constants — U−X cells start as nulls and FD steps only
+//    equate same-column cells). An accepted insert appends the new seed
+//    row and re-chases its component; an accepted delete excises the row
+//    and re-chases the survivors of its component from their pristine
+//    seeds; replacements compose the two. The spliced state is reachable
+//    from the new generic instance (component steps and outside steps
+//    touch disjoint rows and values) and no step applies across the
+//    splice, so by Church-Rosser it *is* the chase fixpoint — verdicts
+//    match a from-scratch rebuild exactly.
+//
+//  * TranslatabilityEngine — the drop-in Check/Notify pair ViewTranslator
+//    uses when TranslatorOptions.incremental is on. Checks return reports
+//    identical (verdict, witness) to the free functions; probes go through
+//    chase_test.h's RunProbeSpecs, optionally screened by the sound pair
+//    closure criterion and fanned out over a thread pool.
+
+#ifndef RELVIEW_VIEW_VIEW_INDEX_H_
+#define RELVIEW_VIEW_VIEW_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/instance_chase.h"
+#include "deps/closure_cache.h"
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "view/chase_test.h"
+#include "view/deletion.h"
+#include "view/insertion.h"
+#include "view/replacement.h"
+
+namespace relview {
+
+/// Persistent indexes over one view instance. Positions are indexes into
+/// view() (canonical order, identical to Relation::Project output);
+/// slots are stable row identities used to key labeled nulls.
+class ViewIndex {
+ public:
+  ViewIndex() = default;
+
+  /// Builds from a canonical (normalized) view instance over x.
+  static ViewIndex Build(const AttrSet& universe, const AttrSet& x,
+                         const AttrSet& common, const FDSet& fds,
+                         Relation view);
+
+  const Relation& view() const { return view_; }
+  const Schema& schema() const { return view_.schema(); }
+  int size() const { return view_.size(); }
+
+  /// Position of t in the canonical order, -1 if absent. O(log |V|).
+  int PositionOf(const Tuple& t) const;
+  bool Contains(const Tuple& t) const { return PositionOf(t) >= 0; }
+
+  int slot_at(int pos) const { return slot_of_pos_[pos]; }
+  /// Null-id base of a slot; cell w of that row is base + null_offsets()[w].
+  uint32_t SlotNullBase(int slot) const {
+    return static_cast<uint32_t>(slot) * static_cast<uint32_t>(null_width_);
+  }
+  const std::vector<int>& null_offsets() const { return null_offsets_; }
+  int null_width() const { return null_width_; }
+  /// Number of slot ids ever allocated (bounds null-id bases).
+  int slot_count() const { return static_cast<int>(pos_of_slot_.size()); }
+  int slot_pos(int slot) const { return pos_of_slot_[slot]; }
+
+  /// Ascending positions of rows agreeing with t on X∩Y (the mu rows).
+  void MuPositions(const Tuple& t, std::vector<int>* out) const;
+  /// Ascending positions of rows agreeing with t on fds[fd_index].lhs∩X.
+  void CandidatePositions(int fd_index, const Tuple& t,
+                          std::vector<int>* out) const;
+
+  /// Incremental maintenance for an accepted insert/delete of t. Insert
+  /// returns the new row's (position, slot); delete frees t's slot.
+  std::pair<int, int> ApplyInsert(const Tuple& t);
+  void ApplyDelete(const Tuple& t);
+
+ private:
+  struct SubIndex {
+    AttrSet cols;  // projection the bucket keys hash
+    std::unordered_map<uint64_t, std::vector<int>> buckets;  // hash -> slots
+  };
+
+  void AddSlot(int slot, const Tuple& row);
+  void RemoveSlot(int slot, const Tuple& row);
+  void CollectAgreeing(const SubIndex& sub, const Tuple& t,
+                       std::vector<int>* out) const;
+
+  Relation view_;
+  AttrSet x_;
+  std::vector<SubIndex> subs_;     // subs_[0] keys X∩Y (the mu index)
+  std::vector<int> fd_subindex_;   // fd index -> subs_ index, -1 = lhs∩X = ∅
+  std::vector<int> slot_of_pos_;
+  std::vector<int> pos_of_slot_;   // -1 = free slot
+  std::vector<int> free_slots_;
+  std::vector<int> null_offsets_;  // AttrId -> offset, -1 outside U − X
+  int null_width_ = 0;
+};
+
+/// Cached chase fixpoint of the slot-keyed generic instance.
+class BaseChaseCache {
+ public:
+  bool valid() const { return valid_; }
+  bool conflict() const { return conflict_; }
+  void Invalidate();
+
+  /// Chases the generic instance of `index`'s current view from scratch.
+  void Rebuild(const ViewIndex& index, const FDSet& fds,
+               ChaseBackend backend, ChaseTestResult* acc);
+  /// Folds one freshly inserted row (at `pos`, with stable id `slot`) into
+  /// the fixpoint: append its seed row, then re-chase only its connected
+  /// component from pristine seeds and splice the result. Requires
+  /// valid() && !conflict(); degrades to Invalidate() on a (theoretically
+  /// impossible after an accepted insert) chase conflict.
+  void ExtendWith(const ViewIndex& index, int pos, int slot,
+                  const FDSet& fds, ChaseBackend backend,
+                  ChaseTestResult* acc);
+  /// Excises the fixpoint row of view position `pos` in place: re-chases
+  /// the surviving rows of its connected component from their pristine
+  /// seeds and splices them over (an isolated row is simply erased).
+  /// Returns false without touching the cache when it is unusable, or
+  /// after Invalidate() on an unexpected chase conflict. Call before the
+  /// row leaves the view index.
+  bool TryRemove(const ViewIndex& index, int pos, const FDSet& fds,
+                 ChaseBackend backend, ChaseTestResult* acc);
+
+  BaseChaseView AsView() const { return BaseChaseView{&fixpoint_, &renames_}; }
+
+ private:
+  void IndexRow(const FDSet& fds, int row);
+  void UnindexRow(const FDSet& fds, int row);
+  void EraseRow(int row);
+  /// Ascending row indexes of `row`'s connected component under the
+  /// bucket graph (rows sharing an lhs hash bucket for any FD).
+  std::vector<int> ComponentOf(const FDSet& fds, int row) const;
+  /// Re-chases the component's rows (minus `erase_row`, if >= 0) from
+  /// their slot-keyed seeds, splices rows and renames back in, and erases
+  /// `erase_row`. False + Invalidate() on chase conflict.
+  bool SpliceRechase(const ViewIndex& index, const FDSet& fds,
+                     ChaseBackend backend, const std::vector<int>& comp,
+                     int erase_row, ChaseTestResult* acc);
+
+  bool valid_ = false;
+  bool conflict_ = false;
+  Relation fixpoint_;
+  std::unordered_map<uint32_t, Value> renames_;
+  std::vector<int> slot_of_row_;
+  std::vector<int> row_of_slot_;  // -1 = absent
+  /// Per-FD hash buckets over the fixpoint rows' lhs projections, holding
+  /// slot ids. Rows that ever took a chase step together agreed on that
+  /// FD's lhs then and merges are never undone, so they share a bucket
+  /// now: bucket connectivity is a conservative superset of the real
+  /// interaction graph (hash aliasing only enlarges components).
+  std::vector<std::unordered_map<uint64_t, std::vector<int>>> fd_buckets_;
+};
+
+struct EngineConfig {
+  ChaseBackend backend = ChaseBackend::kHash;
+  /// Probe-loop fan-out; 1 = sequential, n > 1 spins up a pool of n.
+  int probe_threads = 1;
+  /// Screen probes with Test 1's closure criterion (sound; chase_test.h).
+  bool pair_screen = true;
+  size_t closure_cache_capacity = ClosureCache::kDefaultCapacity;
+};
+
+struct EngineStats {
+  /// Checks answered from a live index vs. index (re)builds.
+  uint64_t index_reuses = 0;
+  uint64_t index_rebuilds = 0;
+  /// Base-chase fixpoint: reused as-is / rebuilt from scratch / extended
+  /// in place by an inserted row / shrunk in place by a deleted row (both
+  /// re-chase only the affected connected component).
+  uint64_t base_reuses = 0;
+  uint64_t base_rebuilds = 0;
+  uint64_t base_extends = 0;
+  uint64_t base_shrinks = 0;
+  /// Probe accounting (mirrors ChaseTestResult, accumulated).
+  uint64_t probes_run = 0;
+  uint64_t probes_screened = 0;
+  uint64_t probes_parallel = 0;
+  /// Closure-cache counters (snapshot of the engine's shared cache).
+  uint64_t closure_hits = 0;
+  uint64_t closure_misses = 0;
+  double closure_hit_rate = 0.0;
+};
+
+/// Incremental counterpart of CheckInsertion/CheckDeletion/CheckReplacement
+/// for a fixed (U, Sigma, X, Y) and an evolving bound database. Verdicts
+/// and witnesses are identical to the free functions (tests/incremental_
+/// test.cc holds this over random schemas and streams).
+class TranslatabilityEngine {
+ public:
+  TranslatabilityEngine(const AttrSet& universe, const FDSet& fds,
+                        const AttrSet& x, const AttrSet& y,
+                        const EngineConfig& config);
+
+  /// (Re)builds the view index from a full database instance. Called on
+  /// Bind/InstallDatabase; accepted updates use the Notify* paths instead.
+  void Rebuild(const Relation& database);
+
+  const Relation& view() const { return index_.view(); }
+
+  Result<InsertionReport> CheckInsert(const Tuple& t);
+  Result<DeletionReport> CheckDelete(const Tuple& t);
+  Result<ReplacementReport> CheckReplace(const Tuple& t1, const Tuple& t2);
+
+  /// Incremental maintenance after the translator applied an accepted,
+  /// non-identity update.
+  void NotifyInsert(const Tuple& t);
+  void NotifyDelete(const Tuple& t);
+  void NotifyReplace(const Tuple& t1, const Tuple& t2);
+
+  EngineStats stats() const;
+  ClosureCache* closure_cache() { return &closures_; }
+
+ private:
+  /// Condition (c) over the index: enumerate (fd, r, mu) specs from the
+  /// candidate indexes and run them through RunProbeSpecs against the
+  /// cached base fixpoint.
+  void RunC(const Tuple& t, const std::vector<int>& mu_positions,
+            bool iterate_all_mus, int skip_row, ChaseTestResult* out);
+  void EnsureBase(ChaseTestResult* acc);
+  Status ValidateTuple(const Tuple& t, bool must_be_null_free) const;
+
+  AttrSet universe_;
+  FDSet fds_;  // owned copy: the engine must survive translator moves
+  AttrSet x_, y_, common_, y_only_;
+  EngineConfig config_;
+  ViewIndex index_;
+  BaseChaseCache base_;
+  ClosureCache closures_;
+  std::unique_ptr<ThreadPool> pool_;
+  EngineStats stats_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_VIEW_VIEW_INDEX_H_

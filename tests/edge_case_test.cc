@@ -81,8 +81,9 @@ TEST(EdgeCaseTest, EmptyFdSetMakesDisjointComplementsFail) {
       AreComplementary(u.All(), none, u.SetOf("A"), u.SetOf("A B")));
 }
 
-TEST(EdgeCaseTest, Test1IndexedCapacityGuard) {
-  // |X − Y| > 16 trips the indexed backend's explicit capacity error.
+TEST(EdgeCaseTest, Test1IndexedCapacityFallsBackToClosure) {
+  // |X − Y| > 16 exceeds the indexed backend's pattern-mask capacity; it
+  // degrades to the (sound) closure backend and flags the fallback.
   Universe u = Universe::Anonymous(20);
   FDSet fds;
   fds.Add(AttrSet::Single(18), 19);  // condition (b) holds
@@ -98,8 +99,10 @@ TEST(EdgeCaseTest, Test1IndexedCapacityGuard) {
   t2[0] = Value::Const(2);
   auto rep =
       RunTest1(u.All(), fds, x, y, v, t2, {Test1Backend::kIndexed});
-  EXPECT_FALSE(rep.ok());
-  EXPECT_EQ(rep.status().code(), StatusCode::kCapacityExceeded);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep->indexed_fell_back);
+  EXPECT_EQ(rep->used_backend, Test1Backend::kClosure);
+  EXPECT_TRUE(rep->accepted());
 }
 
 TEST(EdgeCaseTest, GenericInstanceNullIdsAreDistinct) {

@@ -1,0 +1,470 @@
+// Differential tests for the incremental translatability engine: for
+// random FD sets and random update streams, a translator running on the
+// engine (persistent view index + cached base chase, with and without
+// parallel probes and the pair screen) must produce verdicts, witnesses
+// and post-states identical to the from-scratch free functions after
+// every update. Also unit-tests the shared ClosureCache.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "deps/closure_cache.h"
+#include "deps/instance_generator.h"
+#include "deps/satisfies.h"
+#include "service/metrics.h"
+#include "util/rng.h"
+#include "view/complement.h"
+#include "view/translator.h"
+
+namespace relview {
+namespace {
+
+// ---------------------------------------------------------------------
+// ClosureCache
+
+TEST(ClosureCacheTest, MatchesDirectClosureAndCounts) {
+  Universe u = Universe::Anonymous(5);
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  fds.Add(AttrSet{1}, 2);
+  fds.Add(AttrSet{2, 3}, 4);
+
+  ClosureCache cache(64);
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t bits = 0; bits < 32; ++bits) {
+      AttrSet seed;
+      for (int a = 0; a < 5; ++a) {
+        if (bits & (1u << a)) seed.Add(static_cast<AttrId>(a));
+      }
+      EXPECT_EQ(cache.Closure(fds, seed), fds.Closure(seed));
+    }
+  }
+  EXPECT_EQ(cache.misses(), 32u);  // one per distinct seed
+  EXPECT_EQ(cache.hits(), 64u);    // rounds 2 and 3 fully cached
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ClosureCacheTest, EvictsLeastRecentlyUsed) {
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  ClosureCache cache(2);
+  const AttrSet a{0}, b{1}, c{2};
+  cache.Closure(fds, a);
+  cache.Closure(fds, b);
+  cache.Closure(fds, a);  // a is now MRU
+  cache.Closure(fds, c);  // evicts b
+  EXPECT_EQ(cache.evictions(), 1u);
+  const uint64_t hits_before = cache.hits();
+  cache.Closure(fds, a);
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  cache.Closure(fds, b);  // must be a miss again
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(ClosureCacheTest, InvalidatesWhenFdSetChanges) {
+  FDSet fds1;
+  fds1.Add(AttrSet{0}, 1);
+  FDSet fds2;
+  fds2.Add(AttrSet{0}, 2);
+  ClosureCache cache(16);
+  const AttrSet seed{0};
+  EXPECT_EQ(cache.Closure(fds1, seed), fds1.Closure(seed));
+  // Same seed, different FD set: a stale hit here would be unsound.
+  EXPECT_EQ(cache.Closure(fds2, seed), fds2.Closure(seed));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.Closure(fds2, seed), fds2.Closure(seed));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Differential harness
+
+struct Schema4 {
+  Universe universe;
+  FDSet fds;
+  AttrSet x, y;
+  Relation database{AttrSet()};
+};
+
+/// Per-column value spaces (matching the instance generator's convention)
+/// keep RepairToLegal merges column-local.
+Value ColValue(int col, uint32_t v) {
+  return Value::Const(static_cast<uint32_t>(col) * 0x01000000u + v);
+}
+
+/// The paper's chain shape A0 -> A1 -> ... with a deterministic legal
+/// instance; X drops the last attribute, Y keeps the last two.
+Schema4 MakeChainSchema(int width, int rows, uint64_t seed) {
+  Schema4 s;
+  s.universe = Universe::Anonymous(width);
+  for (int i = 0; i + 1 < width; ++i) {
+    s.fds.Add(AttrSet::Single(static_cast<AttrId>(i)),
+              static_cast<AttrId>(i + 1));
+  }
+  s.x = s.universe.All();
+  s.x.Remove(static_cast<AttrId>(width - 1));
+  s.y = AttrSet{static_cast<AttrId>(width - 2),
+                static_cast<AttrId>(width - 1)};
+  Rng rng(seed);
+  Relation db(s.universe.All());
+  const relview::Schema& sch = db.schema();
+  for (int i = 0; i < rows; ++i) {
+    Tuple t(width);
+    uint32_t v = static_cast<uint32_t>(i);
+    for (int c = 0; c < width; ++c) {
+      t[sch.PosOf(static_cast<AttrId>(c))] = ColValue(c, v);
+      v = static_cast<uint32_t>(
+          (v * 2654435761u + static_cast<uint32_t>(c)) %
+          static_cast<uint32_t>(std::max<int>(2, rows >> (2 * (c + 1)))));
+    }
+    db.AddRow(std::move(t));
+  }
+  RepairToLegal(&db, s.fds);
+  db.Normalize();
+  s.database = std::move(db);
+  return s;
+}
+
+/// A random canonical FD set over `width` attributes together with the
+/// first complementary (X, Y) pair found by subset enumeration, and a
+/// random legal instance. Returns nullopt when no nontrivial complement
+/// exists for the drawn FDs.
+std::optional<Schema4> MakeRandomSchema(int width, int nfds, int rows,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  Schema4 s;
+  s.universe = Universe::Anonymous(width);
+  for (int i = 0; i < nfds; ++i) {
+    AttrSet lhs;
+    const int lhs_size = 1 + static_cast<int>(rng.Below(2));
+    for (int k = 0; k < lhs_size; ++k) {
+      lhs.Add(static_cast<AttrId>(rng.Below(width)));
+    }
+    const AttrId rhs = static_cast<AttrId>(rng.Below(width));
+    if (lhs.Contains(rhs)) continue;  // keep FDs nontrivial
+    s.fds.Add(lhs, rhs);
+  }
+  DependencySet sigma;
+  sigma.fds = s.fds;
+  const AttrSet all = s.universe.All();
+  const uint32_t subsets = 1u << width;
+  for (uint32_t xb = 1; xb + 1 < subsets && s.x.Empty(); ++xb) {
+    for (uint32_t yb = 1; yb + 1 < subsets; ++yb) {
+      AttrSet x, y;
+      for (int a = 0; a < width; ++a) {
+        if (xb & (1u << a)) x.Add(static_cast<AttrId>(a));
+        if (yb & (1u << a)) y.Add(static_cast<AttrId>(a));
+      }
+      if ((x | y) != all || x == all || y == all) continue;
+      if (!AreComplementary(all, sigma, x, y)) continue;
+      s.x = x;
+      s.y = y;
+      break;
+    }
+  }
+  if (s.x.Empty()) return std::nullopt;
+  GeneratorOptions gopts;
+  gopts.rows = rows;
+  gopts.domain = 6;
+  gopts.seed = seed * 7919 + 13;
+  s.database = GenerateLegalInstance(all, s.fds, gopts);
+  return s;
+}
+
+ViewTranslator MakeVt(const Schema4& s, TranslatorOptions options) {
+  DependencySet sigma;
+  sigma.fds = s.fds;
+  auto vt = ViewTranslator::Create(s.universe, sigma, s.x, s.y, options);
+  EXPECT_TRUE(vt.ok()) << vt.status().ToString();
+  Status st = vt->Bind(s.database);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return std::move(*vt);
+}
+
+/// One random update over X: mostly mutations of live view rows (which
+/// exercise conditions (a)/(b)/(c) and both Theorem 9 cases), sometimes
+/// wholly random tuples.
+struct RandomOp {
+  UpdateKind kind = UpdateKind::kInsert;
+  Tuple t1, t2;
+};
+
+RandomOp DrawOp(Rng* rng, const Relation& view) {
+  const relview::Schema& vs = view.schema();
+  const int arity = vs.arity();
+  auto random_tuple = [&] {
+    Tuple t(arity);
+    for (int p = 0; p < arity; ++p) {
+      t[p] = ColValue(static_cast<int>(vs.cols()[p]),
+                      static_cast<uint32_t>(rng->Below(6)));
+    }
+    return t;
+  };
+  auto mutated_row = [&] {
+    if (view.empty()) return random_tuple();
+    Tuple t = view.row(static_cast<int>(rng->Below(view.size())));
+    const int p = static_cast<int>(rng->Below(arity));
+    t[p] = ColValue(static_cast<int>(vs.cols()[p]),
+                    static_cast<uint32_t>(rng->Below(6)));
+    return t;
+  };
+  RandomOp op;
+  const uint64_t k = rng->Below(4);
+  if (k == 0) {
+    op.kind = UpdateKind::kInsert;
+    op.t1 = rng->Chance(0.7) ? mutated_row() : random_tuple();
+  } else if (k == 1) {
+    op.kind = UpdateKind::kDelete;
+    op.t1 = view.empty() || rng->Chance(0.3)
+                ? random_tuple()
+                : view.row(static_cast<int>(rng->Below(view.size())));
+  } else {
+    op.kind = UpdateKind::kReplace;
+    op.t1 = view.empty() || rng->Chance(0.2)
+                ? random_tuple()
+                : view.row(static_cast<int>(rng->Below(view.size())));
+    op.t2 = mutated_row();
+  }
+  return op;
+}
+
+/// Applies `op` to every translator and asserts identical outcomes:
+/// status, verdict, violated FD, witness row, theorem case — but never
+/// effort counters (chases_run is legitimately order-dependent under the
+/// parallel executor's early exit).
+void ApplyEverywhere(const RandomOp& op, std::vector<ViewTranslator>* vts,
+                     const std::string& ctx) {
+  switch (op.kind) {
+    case UpdateKind::kInsert: {
+      Result<InsertionReport> ref = (*vts)[0].InsertWithReport(op.t1);
+      for (size_t i = 1; i < vts->size(); ++i) {
+        Result<InsertionReport> r = (*vts)[i].InsertWithReport(op.t1);
+        ASSERT_EQ(ref.ok(), r.ok()) << ctx << " vt" << i;
+        if (!ref.ok()) {
+          ASSERT_EQ(ref.status().ToString(), r.status().ToString())
+              << ctx << " vt" << i;
+          continue;
+        }
+        ASSERT_EQ(ref->verdict, r->verdict) << ctx << " vt" << i;
+        ASSERT_EQ(ref->violated_fd, r->violated_fd) << ctx << " vt" << i;
+        ASSERT_EQ(ref->witness_row, r->witness_row) << ctx << " vt" << i;
+      }
+      break;
+    }
+    case UpdateKind::kDelete: {
+      Result<DeletionReport> ref = (*vts)[0].DeleteWithReport(op.t1);
+      for (size_t i = 1; i < vts->size(); ++i) {
+        Result<DeletionReport> r = (*vts)[i].DeleteWithReport(op.t1);
+        ASSERT_EQ(ref.ok(), r.ok()) << ctx << " vt" << i;
+        if (!ref.ok()) {
+          ASSERT_EQ(ref.status().ToString(), r.status().ToString())
+              << ctx << " vt" << i;
+          continue;
+        }
+        ASSERT_EQ(ref->verdict, r->verdict) << ctx << " vt" << i;
+      }
+      break;
+    }
+    case UpdateKind::kReplace: {
+      Result<ReplacementReport> ref =
+          (*vts)[0].ReplaceWithReport(op.t1, op.t2);
+      for (size_t i = 1; i < vts->size(); ++i) {
+        Result<ReplacementReport> r =
+            (*vts)[i].ReplaceWithReport(op.t1, op.t2);
+        ASSERT_EQ(ref.ok(), r.ok()) << ctx << " vt" << i;
+        if (!ref.ok()) {
+          ASSERT_EQ(ref.status().ToString(), r.status().ToString())
+              << ctx << " vt" << i;
+          continue;
+        }
+        ASSERT_EQ(ref->verdict, r->verdict) << ctx << " vt" << i;
+        ASSERT_EQ(ref->theorem_case, r->theorem_case) << ctx << " vt" << i;
+        ASSERT_EQ(ref->violated_fd, r->violated_fd) << ctx << " vt" << i;
+        ASSERT_EQ(ref->witness_row, r->witness_row) << ctx << " vt" << i;
+      }
+      break;
+    }
+  }
+  // Post-state equality: databases and served views must agree exactly
+  // (the engine maintains the view in Project's canonical order).
+  Result<Relation> ref_view = (*vts)[0].ViewInstance();
+  ASSERT_TRUE(ref_view.ok());
+  for (size_t i = 1; i < vts->size(); ++i) {
+    ASSERT_TRUE((*vts)[i].database().SameAs((*vts)[0].database()))
+        << ctx << " vt" << i << " database diverged";
+    Result<Relation> v = (*vts)[i].ViewInstance();
+    ASSERT_TRUE(v.ok());
+    ASSERT_EQ(v->rows(), ref_view->rows())
+        << ctx << " vt" << i << " view diverged";
+  }
+}
+
+/// vts[0] is the from-scratch reference; the rest are engine variants
+/// covering screen on/off and 1 vs 4 probe threads.
+std::vector<ViewTranslator> MakeFleet(const Schema4& s) {
+  std::vector<ViewTranslator> vts;
+  TranslatorOptions scratch;
+  scratch.incremental = false;
+  vts.push_back(MakeVt(s, scratch));
+  TranslatorOptions engine1;  // defaults: incremental, screen, 1 thread
+  vts.push_back(MakeVt(s, engine1));
+  TranslatorOptions engine4;
+  engine4.probe_threads = 4;
+  engine4.pair_screen = false;
+  vts.push_back(MakeVt(s, engine4));
+  return vts;
+}
+
+void RunDifferential(const Schema4& s, int ops, uint64_t seed,
+                     const std::string& ctx) {
+  std::vector<ViewTranslator> vts = MakeFleet(s);
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    Result<Relation> view = vts[0].ViewInstance();
+    ASSERT_TRUE(view.ok());
+    const RandomOp op = DrawOp(&rng, *view);
+    ApplyEverywhere(op, &vts, ctx + " op " + std::to_string(i));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalDifferentialTest, ChainSchemas) {
+  for (int width : {3, 4, 5}) {
+    for (uint64_t seed : {11ull, 22ull}) {
+      Schema4 s = MakeChainSchema(width, 40, seed);
+      RunDifferential(s, 60, seed * 31 + width,
+                      "chain w" + std::to_string(width) + " s" +
+                          std::to_string(seed));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(IncrementalDifferentialTest, ProbeHeavySchema) {
+  // U = ABC, X = AB, Y = BC, Sigma = {B -> C, C -> B}: C -> B has an empty
+  // lhs∩X, so every row is a probe candidate — the parallel executor's
+  // first-counterexample selection gets real coverage here.
+  Schema4 s;
+  s.universe = Universe::Anonymous(3);
+  s.fds.Add(AttrSet{1}, 2);
+  s.fds.Add(AttrSet{2}, 1);
+  s.x = AttrSet{0, 1};
+  s.y = AttrSet{1, 2};
+  Relation db(s.universe.All());
+  const relview::Schema& sch = db.schema();
+  for (int i = 0; i < 30; ++i) {
+    Tuple t(3);
+    t[sch.PosOf(0)] = ColValue(0, static_cast<uint32_t>(i));
+    t[sch.PosOf(1)] = ColValue(1, static_cast<uint32_t>(i % 5));
+    t[sch.PosOf(2)] = ColValue(2, static_cast<uint32_t>(i % 5));
+    db.AddRow(std::move(t));
+  }
+  db.Normalize();
+  s.database = std::move(db);
+  for (uint64_t seed : {5ull, 6ull, 7ull}) {
+    RunDifferential(s, 60, seed, "probe-heavy s" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalDifferentialTest, RandomFdSchemas) {
+  int schemas_run = 0;
+  for (uint64_t seed = 1; seed <= 40 && schemas_run < 8; ++seed) {
+    std::optional<Schema4> s = MakeRandomSchema(/*width=*/4, /*nfds=*/3,
+                                                /*rows=*/25, seed);
+    if (!s.has_value()) continue;
+    DependencySet sigma;
+    sigma.fds = s->fds;
+    auto probe = ViewTranslator::Create(s->universe, sigma, s->x, s->y);
+    if (!probe.ok()) continue;  // e.g. non-canonical corner the seed drew
+    ++schemas_run;
+    RunDifferential(*s, 50, seed * 97, "random s" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(schemas_run, 4) << "subset enumeration found too few schemas";
+}
+
+// ---------------------------------------------------------------------
+// Engine behaviours beyond verdict parity
+
+TEST(IncrementalEngineTest, ReusesIndexAndExtendsBaseAcrossStream) {
+  Schema4 s = MakeChainSchema(4, 50, 3);
+  TranslatorOptions opts;
+  ViewTranslator vt = MakeVt(s, opts);
+  const relview::Schema vs(s.x);
+  Result<Relation> view = vt.ViewInstance();
+  ASSERT_TRUE(view.ok());
+  for (int i = 0; i < 10; ++i) {
+    Tuple fresh = view->row(0);
+    fresh.Set(vs, 0, ColValue(0, 0x00F000u + static_cast<uint32_t>(i)));
+    auto ins = vt.InsertWithReport(fresh);
+    ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+    ASSERT_TRUE(ins->translatable());
+    auto del = vt.DeleteWithReport(fresh);
+    ASSERT_TRUE(del.ok()) << del.status().ToString();
+    ASSERT_TRUE(del->translatable());
+  }
+  const EngineStats es = vt.engine_stats();
+  EXPECT_EQ(es.index_rebuilds, 1u);  // one build, maintained ever after
+  EXPECT_GE(es.index_reuses, 20u);
+  EXPECT_GT(es.base_extends, 0u);    // accepted inserts extend in place
+  EXPECT_GT(es.closure_hits, 0u);
+  EXPECT_GT(es.closure_hit_rate, 0.5);
+}
+
+TEST(IncrementalEngineTest, CopiedTranslatorRebuildsItsOwnCaches) {
+  Schema4 s = MakeChainSchema(4, 30, 9);
+  ViewTranslator vt = MakeVt(s, TranslatorOptions{});
+  const relview::Schema vs(s.x);
+  Result<Relation> view = vt.ViewInstance();
+  ASSERT_TRUE(view.ok());
+  Tuple fresh = view->row(0);
+  fresh.Set(vs, 0, ColValue(0, 0x00F001u));
+  ASSERT_TRUE(vt.Insert(fresh).ok());
+
+  ViewTranslator copy = vt;  // drops caches; must still agree
+  EXPECT_EQ(copy.engine_stats().index_rebuilds, 0u);
+  Result<Relation> a = vt.ViewInstance();
+  Result<Relation> b = copy.ViewInstance();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows(), b->rows());
+  Tuple fresh2 = view->row(0);
+  fresh2.Set(vs, 0, ColValue(0, 0x00F002u));
+  auto r1 = vt.CanInsert(fresh2);
+  auto r2 = copy.CanInsert(fresh2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->verdict, r2->verdict);
+}
+
+TEST(IncrementalEngineTest, MetricsExportEngineGauges) {
+  ServiceMetrics metrics;
+  EngineStats stats;
+  stats.closure_hits = 30;
+  stats.closure_misses = 10;
+  stats.index_reuses = 7;
+  stats.base_shrinks = 5;
+  stats.probes_run = 100;
+  stats.probes_screened = 60;
+  stats.probes_parallel = 40;
+  metrics.SetEngineGauges(stats);
+  const EngineStats out = metrics.engine_gauges();
+  EXPECT_EQ(out.closure_hits, 30u);
+  EXPECT_EQ(out.base_shrinks, 5u);
+  EXPECT_DOUBLE_EQ(out.closure_hit_rate, 0.75);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"closure_cache_hit_rate\":0.75"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"view_index_reuses\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"base_chase_shrinks\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"probes_run\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"probes_parallel\":40"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must stay single-line";
+}
+
+}  // namespace
+}  // namespace relview
