@@ -142,6 +142,8 @@ class SerializedFacade {
       case UpdateKind::kReplace:
         st = vt_.Replace(u.t1, u.t2);
         break;
+      case UpdateKind::kNumUpdateKinds:
+        break;  // sentinel, not a real kind
     }
     if (st.ok()) view_ = *vt_.ViewInstance();
   }

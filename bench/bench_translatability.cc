@@ -19,8 +19,15 @@
 // (tests/incremental_test.cc asserts it); this experiment measures only
 // wall clock.
 //
+// Experiment 3 — tracing overhead. The experiment-1 mixed stream with the
+// global span tracer off vs enabled at 1/64 head-based sampling (the
+// recommended production setting), best-of-N to shed scheduler noise.
+// Gate: <= 5% slowdown, with a small absolute-time floor so a sub-noise
+// delta on a fast machine cannot flake the gate.
+//
 // Usage: bench_translatability [--smoke] [--json=PATH]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/trace.h"
 #include "util/small_util.h"
 #include "view/translator.h"
 
@@ -273,6 +281,48 @@ int main(int argc, char** argv) {
   }
   json.Add("probe_scaling_t4", scale4);
 
+  // --- 3. Tracing overhead ---------------------------------------------
+  const int trace_reps = 3;
+  const int trace_rounds = smoke ? chain_rounds : chain_rounds / 2;
+  std::printf(
+      "\nexperiment 3: tracing overhead, mixed stream of %d updates, "
+      "sampling 1/64, best of %d\n",
+      4 * trace_rounds, trace_reps);
+  std::printf("%-26s %12s %14s %10s\n", "tracer", "seconds", "updates/s",
+              "overhead");
+  auto best_chain_seconds = [&] {
+    double best = 0;
+    for (int rep = 0; rep < trace_reps; ++rep) {
+      ViewTranslator vt = MakeTranslator(chain.universe, chain.fds, chain.x,
+                                         chain.y, chain.database,
+                                         TranslatorOptions{});
+      const StreamResult r = RunChainStream(&vt, chain, trace_rounds);
+      if (rep == 0 || r.seconds < best) best = r.seconds;
+    }
+    return best;
+  };
+  GlobalTracer().Disable();
+  const double untraced = best_chain_seconds();
+  std::printf("%-26s %12.3f %14.0f %10s\n", "off", untraced,
+              untraced > 0 ? 4.0 * trace_rounds / untraced : 0, "-");
+  GlobalTracer().Enable(/*sample_every=*/64);
+  const double traced = best_chain_seconds();
+  GlobalTracer().Disable();
+  const TracerStats ts = GlobalTracer().stats();
+  const double overhead =
+      untraced > 0 ? traced / untraced - 1.0 : 0.0;
+  std::printf("%-26s %12.3f %14.0f %9.1f%%\n", "on (1/64)", traced,
+              traced > 0 ? 4.0 * trace_rounds / traced : 0, 100.0 * overhead);
+  std::printf(
+      "tracer: %llu spans started, %llu recorded, %llu sampled out\n",
+      static_cast<unsigned long long>(ts.spans_started),
+      static_cast<unsigned long long>(ts.spans_recorded),
+      static_cast<unsigned long long>(ts.spans_sampled_out));
+  json.Add("untraced_seconds", untraced)
+      .Add("traced_seconds", traced)
+      .Add("tracing_overhead_pct", 100.0 * overhead)
+      .Add("tracing_spans_recorded", ts.spans_recorded);
+
   // --- Gates -----------------------------------------------------------
   // Smoke mode checks plumbing, not performance: tiny sizes leave the
   // fixed per-check work dominant and thread setup un-amortized.
@@ -286,6 +336,15 @@ int main(int argc, char** argv) {
     if (!smoke && scale4 <= 1.2) pass = false;
   } else {
     std::printf(" (informational: %u core(s) cannot scale)\n", cores);
+  }
+  // Tracing gate: relative bound with an absolute floor — when both runs
+  // are within 30ms the delta is scheduler noise, not span cost.
+  const double overhead_floor_s = 0.030;
+  std::printf("tracing overhead at 1/64 sampling: %.1f%% (required: <= 5%% "
+              "at full size, noise floor %.0fms)\n",
+              100.0 * overhead, 1000.0 * overhead_floor_s);
+  if (!smoke && overhead > 0.05 && traced - untraced > overhead_floor_s) {
+    pass = false;
   }
   json.Add("pass", pass);
   std::printf("%s\n", pass ? "PASS" : "FAIL");

@@ -25,6 +25,17 @@
 //   batch begin | commit | abort      stage updates; commit applies them
 //                                     all-or-nothing as one version
 //   metrics                           dump service metrics as JSON
+//   trace on [N]                      trace spans, sampling 1 in N roots
+//   trace off                         stop tracing
+//   trace dump [file]                 without a file: flat text to stdout;
+//                                     with one: Chrome trace_event JSON
+//                                     (chrome://tracing / Perfetto)
+//   telemetry [json]                  Prometheus text exposition (or the
+//                                     combined JSON document) of service,
+//                                     engine, journal and tracer metrics
+//   explain [last]                    provenance of the last rejected (or
+//                                     last, with 'last') update decision:
+//                                     failing condition, FD, violator row
 //   show db | view | hidden           print the database / view
 //   advise <val> ...                  find a complement making the
 //                                     insertion translatable (Thm. 6)
@@ -36,6 +47,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -44,6 +56,7 @@
 
 #include <fstream>
 
+#include "obs/telemetry.h"
 #include "relational/csv.h"
 #include "service/update_service.h"
 #include "view/find_complement.h"
@@ -103,6 +116,9 @@ class Shell {
     if (cmd == "replace") return CmdReplace(tok);
     if (cmd == "batch") return CmdBatch(rest);
     if (cmd == "metrics") return CmdMetrics();
+    if (cmd == "trace") return CmdTrace(tok);
+    if (cmd == "telemetry") return CmdTelemetry(rest);
+    if (cmd == "explain") return CmdExplain(rest);
     if (cmd == "show") return CmdShow(rest);
     if (cmd == "advise") return CmdAdvise(tok);
     return Status::InvalidArgument("unknown command: " + cmd);
@@ -210,6 +226,12 @@ class Shell {
     options.journal_path = journal_path_;
     RELVIEW_ASSIGN_OR_RETURN(service_,
                              UpdateService::Create(std::move(vt), options));
+    // Re-registering on rebind replaces the previous service's collectors.
+    service_->RegisterTelemetry(&GlobalTelemetry());
+    GlobalTelemetry().Register(
+        "tracer", [] { return CollectTracerStats(GlobalTracer()); });
+    GlobalTelemetry().RegisterJson(
+        "tracer", [] { return TracerStatsJson(GlobalTracer()); });
     std::printf("  bound %zu rows; complement is %s\n", rows_.size(),
                 good ? "good (Test 2 exact)" : "not good (exact test in use)");
     if (service_->replayed_updates() > 0) {
@@ -331,6 +353,76 @@ class Shell {
   Status CmdMetrics() {
     RELVIEW_RETURN_IF_ERROR(NeedService());
     std::printf("%s\n", service_->metrics().ToJson().c_str());
+    return Status::OK();
+  }
+
+  Status CmdTrace(const std::vector<std::string>& tok) {
+    const std::string what = tok.size() > 1 ? tok[1] : "";
+    Tracer& tracer = GlobalTracer();
+    if (what == "on") {
+      uint32_t every = 1;
+      if (tok.size() > 2) {
+        const long n = std::atol(tok[2].c_str());
+        if (n < 1) return Status::InvalidArgument("usage: trace on [N>=1]");
+        every = static_cast<uint32_t>(n);
+      }
+      tracer.Enable(every);
+      std::printf("  tracing on (sampling 1 in %u root spans)\n", every);
+      return Status::OK();
+    }
+    if (what == "off") {
+      tracer.Disable();
+      const TracerStats s = tracer.stats();
+      std::printf("  tracing off (%llu span(s) recorded, %llu buffered)\n",
+                  static_cast<unsigned long long>(s.spans_recorded),
+                  static_cast<unsigned long long>(s.records_buffered));
+      return Status::OK();
+    }
+    if (what == "dump") {
+      if (tok.size() > 2) {
+        std::ofstream out(tok[2]);
+        if (!out) return Status::InvalidArgument("cannot write " + tok[2]);
+        out << tracer.ExportChromeTrace();
+        std::printf("  wrote Chrome trace to %s (load in chrome://tracing)\n",
+                    tok[2].c_str());
+      } else {
+        std::printf("%s", tracer.ExportText().c_str());
+      }
+      return Status::OK();
+    }
+    return Status::InvalidArgument("usage: trace on [N] | off | dump [file]");
+  }
+
+  Status CmdTelemetry(const std::string& what) {
+    RELVIEW_RETURN_IF_ERROR(NeedService());
+    if (what == "json") {
+      std::printf("%s\n", GlobalTelemetry().RenderJson().c_str());
+      return Status::OK();
+    }
+    if (!what.empty()) {
+      return Status::InvalidArgument("usage: telemetry [json]");
+    }
+    std::printf("%s", GlobalTelemetry().RenderPrometheus().c_str());
+    return Status::OK();
+  }
+
+  Status CmdExplain(const std::string& what) {
+    RELVIEW_RETURN_IF_ERROR(NeedService());
+    std::optional<DecisionTrace> trace;
+    if (what == "last") {
+      trace = service_->decisions().Last();
+      if (!trace) return Status::NotFound("no decisions recorded yet");
+    } else if (what.empty()) {
+      trace = service_->decisions().LastRejected();
+      if (!trace) {
+        return Status::NotFound(
+            "no rejected decision retained ('explain last' for the most "
+            "recent decision of any outcome)");
+      }
+    } else {
+      return Status::InvalidArgument("usage: explain [last]");
+    }
+    std::printf("%s", trace->ToString(&universe_).c_str());
     return Status::OK();
   }
 

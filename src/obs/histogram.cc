@@ -1,0 +1,79 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace relview {
+namespace {
+
+int BucketOf(int64_t nanos) {
+  if (nanos <= 1) return 0;
+  int b = 63 - __builtin_clzll(static_cast<uint64_t>(nanos));
+  return b >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1 : b;
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur > value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<uint64_t>(nanos),
+                         std::memory_order_relaxed);
+  AtomicMax(&max_nanos_, static_cast<uint64_t>(nanos));
+  AtomicMin(&min_nanos_, static_cast<uint64_t>(nanos));
+}
+
+uint64_t LatencyHistogram::min_nanos() const {
+  const uint64_t m = min_nanos_.load(std::memory_order_relaxed);
+  return m == ~0ULL ? 0 : m;
+}
+
+uint64_t LatencyHistogram::QuantileNanos(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (q <= 0) return min_nanos();
+  if (q >= 1) return max_nanos();
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      const uint64_t edge = b >= 63 ? ~0ULL : (2ULL << b);  // upper edge
+      return std::clamp(edge, min_nanos(), max_nanos());
+    }
+  }
+  return max_nanos();
+}
+
+std::string LatencyHistogram::ToJson() const {
+  char buf[224];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"mean_ns\":%.1f,\"min_ns\":%llu,\"p50_ns\":%llu,"
+      "\"p99_ns\":%llu,\"max_ns\":%llu}",
+      static_cast<unsigned long long>(count()), mean_nanos(),
+      static_cast<unsigned long long>(min_nanos()),
+      static_cast<unsigned long long>(QuantileNanos(0.50)),
+      static_cast<unsigned long long>(QuantileNanos(0.99)),
+      static_cast<unsigned long long>(max_nanos()));
+  return buf;
+}
+
+}  // namespace relview

@@ -1,0 +1,58 @@
+// LatencyHistogram: a lock-free log2-bucketed latency histogram
+// (nanoseconds), shared by the service metrics, the journal's fsync
+// accounting and the telemetry exposition. Bucket i counts samples with
+// latency in [2^i, 2^(i+1)) ns. Quantile estimates report the upper edge
+// of the containing bucket, clamped into [min, max] so boundary quantiles
+// (q = 0, q = 1, single-sample histograms) are exact observed values
+// rather than bucket edges.
+
+#ifndef RELVIEW_OBS_HISTOGRAM_H_
+#define RELVIEW_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace relview {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // up to ~2^40 ns ≈ 18 minutes
+
+  void Record(int64_t nanos);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t total_nanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_nanos() const {
+    return max_nanos_.load(std::memory_order_relaxed);
+  }
+  /// Smallest recorded sample; 0 while the histogram is empty.
+  uint64_t min_nanos() const;
+  double mean_nanos() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(total_nanos()) / n;
+  }
+  /// Estimate of the q-quantile, q clamped into [0,1]. Returns 0 on an
+  /// empty histogram; q = 0 reports min_nanos(), q = 1 reports
+  /// max_nanos(), and interior quantiles report the containing bucket's
+  /// upper edge clamped into [min, max].
+  uint64_t QuantileNanos(double q) const;
+
+  /// {"count":3,"mean_ns":120.0,"min_ns":88,"p50_ns":128,"p99_ns":256,
+  ///  "max_ns":201}
+  std::string ToJson() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+  std::atomic<uint64_t> max_nanos_{0};
+  std::atomic<uint64_t> min_nanos_{~0ULL};
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_OBS_HISTOGRAM_H_

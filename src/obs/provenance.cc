@@ -1,0 +1,201 @@
+#include "obs/provenance.h"
+
+#include <cstdio>
+
+namespace relview {
+namespace {
+
+const char* KindName(char kind) {
+  switch (kind) {
+    case 'I': return "insert";
+    case 'D': return "delete";
+    case 'R': return "replace";
+    default: return "unknown";
+  }
+}
+
+const char* ConditionText(char c) {
+  switch (c) {
+    case 'a': return "(a) complement membership: t[X∩Y] not in pi_{X∩Y}(V)";
+    case 'b': return "(b) key structure of X∩Y under Sigma";
+    case 'c': return "(c) chase counterexample";
+    default: return "none";
+  }
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string DecisionTrace::ToString(const Universe* u) const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "decision #%llu: %s %s -> %s\n",
+                static_cast<unsigned long long>(sequence), KindName(kind),
+                update.c_str(), accepted ? "ACCEPTED" : "REJECTED");
+  out += buf;
+  if (!accepted) {
+    out += "  failed condition: ";
+    out += ConditionText(failed_condition);
+    out += "\n  verdict: " + verdict + "\n";
+    if (has_violated_fd) {
+      out += "  violated FD: " + violated_fd.ToString(u) + "\n";
+    }
+    if (has_violator) {
+      std::snprintf(buf, sizeof(buf), "  violator row: V[%d] = %s\n",
+                    violator_row, violator_tuple.ToString().c_str());
+      out += buf;
+    }
+    if (has_mu) {
+      out += "  mu row: " + mu_tuple.ToString() + "\n";
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  chase: %d chases, %lld merges, %lld rounds, %lld work; "
+                "probes %lld run / %lld screened / %lld parallel\n",
+                chases_run, static_cast<long long>(chase_merges),
+                static_cast<long long>(chase_rounds),
+                static_cast<long long>(chase_work),
+                static_cast<long long>(probes_run),
+                static_cast<long long>(probes_screened),
+                static_cast<long long>(probes_parallel));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  engine: closure %lld hit / %lld miss; index %lld reuse / "
+                "%lld rebuild; base %lld reuse / %lld rebuild / %lld extend "
+                "/ %lld shrink; %lld component rows rechased\n",
+                static_cast<long long>(closure_hits),
+                static_cast<long long>(closure_misses),
+                static_cast<long long>(index_reuses),
+                static_cast<long long>(index_rebuilds),
+                static_cast<long long>(base_reuses),
+                static_cast<long long>(base_rebuilds),
+                static_cast<long long>(base_extends),
+                static_cast<long long>(base_shrinks),
+                static_cast<long long>(component_rows_rechased));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  timing: check %lld ns, apply %lld ns",
+                static_cast<long long>(check_nanos),
+                static_cast<long long>(apply_nanos));
+  out += buf;
+  if (batch_index >= 0) {
+    std::snprintf(buf, sizeof(buf), "; batch index %d", batch_index);
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+std::string DecisionTrace::ToJson(const Universe* u) const {
+  char buf[512];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"sequence\":%llu,\"kind\":\"%s\",\"accepted\":%s,"
+                "\"failed_condition\":\"%c\",",
+                static_cast<unsigned long long>(sequence), KindName(kind),
+                accepted ? "true" : "false",
+                failed_condition == '\0' ? '-' : failed_condition);
+  out += buf;
+  out += "\"verdict\":\"";
+  AppendJsonEscaped(verdict, &out);
+  out += "\",\"update\":\"";
+  AppendJsonEscaped(update, &out);
+  out += "\"";
+  if (has_violated_fd) {
+    out += ",\"violated_fd\":\"";
+    AppendJsonEscaped(violated_fd.ToString(u), &out);
+    out += "\"";
+  }
+  if (has_violator) {
+    std::snprintf(buf, sizeof(buf), ",\"violator_row\":%d,", violator_row);
+    out += buf;
+    out += "\"violator_tuple\":\"";
+    AppendJsonEscaped(violator_tuple.ToString(), &out);
+    out += "\"";
+  }
+  if (has_mu) {
+    out += ",\"mu_tuple\":\"";
+    AppendJsonEscaped(mu_tuple.ToString(), &out);
+    out += "\"";
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"chases_run\":%d,\"chase_merges\":%lld,\"chase_rounds\":%lld,"
+      "\"chase_work\":%lld,\"probes_run\":%lld,\"probes_screened\":%lld,"
+      "\"probes_parallel\":%lld,\"closure_hits\":%lld,"
+      "\"closure_misses\":%lld,\"index_reuses\":%lld,"
+      "\"index_rebuilds\":%lld,\"base_reuses\":%lld,\"base_rebuilds\":%lld,"
+      "\"base_extends\":%lld,\"base_shrinks\":%lld,"
+      "\"component_rows_rechased\":%lld,\"check_nanos\":%lld,"
+      "\"apply_nanos\":%lld,\"batch_index\":%d}",
+      chases_run, static_cast<long long>(chase_merges),
+      static_cast<long long>(chase_rounds),
+      static_cast<long long>(chase_work),
+      static_cast<long long>(probes_run),
+      static_cast<long long>(probes_screened),
+      static_cast<long long>(probes_parallel),
+      static_cast<long long>(closure_hits),
+      static_cast<long long>(closure_misses),
+      static_cast<long long>(index_reuses),
+      static_cast<long long>(index_rebuilds),
+      static_cast<long long>(base_reuses),
+      static_cast<long long>(base_rebuilds),
+      static_cast<long long>(base_extends),
+      static_cast<long long>(base_shrinks),
+      static_cast<long long>(component_rows_rechased),
+      static_cast<long long>(check_nanos),
+      static_cast<long long>(apply_nanos), batch_index);
+  out += buf;
+  return out;
+}
+
+DecisionLog::DecisionLog(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+uint64_t DecisionLog::Push(DecisionTrace t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  t.sequence = next_sequence_++;
+  const uint64_t seq = t.sequence;
+  traces_.push_back(std::move(t));
+  while (traces_.size() > capacity_) traces_.pop_front();
+  return seq;
+}
+
+std::vector<DecisionTrace> DecisionLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<DecisionTrace>(traces_.begin(), traces_.end());
+}
+
+std::optional<DecisionTrace> DecisionLog::Last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.empty()) return std::nullopt;
+  return traces_.back();
+}
+
+std::optional<DecisionTrace> DecisionLog::LastRejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+    if (!it->accepted) return *it;
+  }
+  return std::nullopt;
+}
+
+uint64_t DecisionLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+}  // namespace relview

@@ -1,0 +1,122 @@
+// DecisionTrace: per-update provenance of the translatability decision.
+//
+// The chase-based tests (Theorem 3 / Theorems 8, 9) compute — and without
+// this layer, discard — exactly the evidence a caller needs to understand a
+// rejection: which of conditions (a)/(b)/(c) failed, the FD f and the
+// violator row r of the first failing probe of condition (c), how much
+// chase work was spent, and how the incremental engine attributed that
+// work (cache hits, base-chase extends, component sizes re-chased). The
+// view/service layer fills one DecisionTrace per update and appends it to
+// a bounded DecisionLog; the shell's `explain` command and the provenance
+// tests read it back.
+//
+// This header deliberately depends only on deps/ + relational/ (the FD and
+// Tuple vocabulary). Mapping a TranslationVerdict to its condition letter
+// lives with the verdict enum in view/insertion.h, so obs stays below the
+// view layer in the dependency order.
+
+#ifndef RELVIEW_OBS_PROVENANCE_H_
+#define RELVIEW_OBS_PROVENANCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relational/tuple.h"
+#include "relational/universe.h"
+
+namespace relview {
+
+struct DecisionTrace {
+  /// Monotonic decision number (assigned by the DecisionLog on append).
+  uint64_t sequence = 0;
+  /// 'I' insert, 'D' delete, 'R' replace, '?' unknown.
+  char kind = '?';
+  bool accepted = false;
+  /// Which of the paper's conditions rejected the update: 'a' (complement
+  /// membership), 'b' (X∩Y key structure), 'c' (chase counterexample);
+  /// '-' when accepted or rejected before the tests ran (input errors).
+  char failed_condition = '-';
+  /// TranslationVerdictName(...) or a StatusCode name for pre-test errors.
+  std::string verdict;
+  /// Textual rendering of the update ("(1,20)" / "(1,10) -> (1,20)").
+  std::string update;
+
+  // -- First failing probe of condition (c) --------------------------------
+  bool has_violated_fd = false;
+  FD violated_fd;
+  /// Row r of V whose generic instance R(V,t,r,f) chase failed.
+  bool has_violator = false;
+  int violator_row = -1;
+  Tuple violator_tuple;
+  /// The mu row matching t on X∩Y, when the probe carried one.
+  bool has_mu = false;
+  Tuple mu_tuple;
+
+  // -- Chase effort --------------------------------------------------------
+  int chases_run = 0;
+  int64_t chase_merges = 0;   // null-merge (equate) steps
+  int64_t chase_rounds = 0;
+  int64_t chase_work = 0;     // tuple-FD applications
+  int64_t probes_run = 0;
+  int64_t probes_screened = 0;
+  int64_t probes_parallel = 0;
+
+  // -- Incremental-engine attribution (deltas for this one decision) ------
+  int64_t closure_hits = 0;
+  int64_t closure_misses = 0;
+  int64_t index_reuses = 0;
+  int64_t index_rebuilds = 0;
+  int64_t base_reuses = 0;
+  int64_t base_rebuilds = 0;
+  int64_t base_extends = 0;
+  int64_t base_shrinks = 0;
+  /// Rows of the touched components re-chased for this decision.
+  int64_t component_rows_rechased = 0;
+
+  // -- Timing / batching ---------------------------------------------------
+  int64_t check_nanos = 0;
+  int64_t apply_nanos = 0;
+  /// Position within the originating ApplyBatch. Every service update
+  /// flows through ApplyBatch (a single Apply is a batch of one), so this
+  /// is 0-based and only -1 when the producer never set it.
+  int batch_index = -1;
+
+  /// Multi-line human-readable explanation (the shell's `explain` output).
+  std::string ToString(const Universe* u = nullptr) const;
+  /// Single-line JSON object.
+  std::string ToJson(const Universe* u = nullptr) const;
+};
+
+/// Bounded, thread-safe log of the most recent DecisionTraces.
+class DecisionLog {
+ public:
+  explicit DecisionLog(size_t capacity = 256);
+
+  /// Appends `t` (stamping t.sequence) and returns the stamped sequence.
+  uint64_t Push(DecisionTrace t);
+
+  /// Oldest-first copy of the retained traces.
+  std::vector<DecisionTrace> Snapshot() const;
+  /// The most recent trace, if any.
+  std::optional<DecisionTrace> Last() const;
+  /// Most recent trace for which `accepted == false`, if any retained.
+  std::optional<DecisionTrace> LastRejected() const;
+
+  uint64_t total() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<DecisionTrace> traces_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_OBS_PROVENANCE_H_

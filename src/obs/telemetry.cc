@@ -1,0 +1,198 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+
+namespace relview {
+namespace {
+
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+void AppendSample(const std::string& name, const MetricSample& s,
+                  std::string* out) {
+  char buf[64];
+  *out += name;
+  *out += s.labels;
+  // %.17g round-trips doubles; integers render without an exponent.
+  std::snprintf(buf, sizeof(buf), " %.17g\n", s.value);
+  *out += buf;
+}
+
+}  // namespace
+
+MetricFamily CounterFamily(std::string name, std::string help, double value) {
+  MetricFamily f{std::move(name), std::move(help), "counter", {}};
+  f.samples.push_back({"", value});
+  return f;
+}
+
+MetricFamily GaugeFamily(std::string name, std::string help, double value) {
+  MetricFamily f{std::move(name), std::move(help), "gauge", {}};
+  f.samples.push_back({"", value});
+  return f;
+}
+
+MetricFamily SummaryFamily(std::string name, std::string help,
+                           const LatencyHistogram& h) {
+  MetricFamily f{std::move(name), std::move(help), "summary", {}};
+  const double kNsToSec = 1e-9;
+  f.samples.push_back({"{quantile=\"0\"}",
+                       static_cast<double>(h.min_nanos()) * kNsToSec});
+  f.samples.push_back({"{quantile=\"0.5\"}",
+                       static_cast<double>(h.QuantileNanos(0.5)) * kNsToSec});
+  f.samples.push_back({"{quantile=\"0.99\"}",
+                       static_cast<double>(h.QuantileNanos(0.99)) * kNsToSec});
+  f.samples.push_back({"{quantile=\"1\"}",
+                       static_cast<double>(h.max_nanos()) * kNsToSec});
+  // _count and _sum are rendered specially (suffixed series).
+  f.samples.push_back({"_count", static_cast<double>(h.count())});
+  f.samples.push_back({"_sum", static_cast<double>(h.total_nanos()) * kNsToSec});
+  return f;
+}
+
+std::string Label(const std::string& key, const std::string& value) {
+  std::string out = "{" + key + "=\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"}";
+  return out;
+}
+
+void TelemetryRegistry::Register(const std::string& name,
+                                 TelemetryCollector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : collectors_) {
+    if (n == name) {
+      c = std::move(collector);
+      return;
+    }
+  }
+  collectors_.emplace_back(name, std::move(collector));
+}
+
+void TelemetryRegistry::RegisterJson(const std::string& name,
+                                     JsonProvider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, p] : json_sections_) {
+    if (n == name) {
+      p = std::move(provider);
+      return;
+    }
+  }
+  json_sections_.emplace_back(name, std::move(provider));
+}
+
+void TelemetryRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(collectors_, [&](const auto& e) { return e.first == name; });
+  std::erase_if(json_sections_,
+                [&](const auto& e) { return e.first == name; });
+}
+
+std::string TelemetryRegistry::RenderPrometheus() const {
+  std::vector<std::pair<std::string, TelemetryCollector>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors = collectors_;
+  }
+  std::string out;
+  for (const auto& [section, collect] : collectors) {
+    for (const MetricFamily& f : collect()) {
+      const std::string name = SanitizeName(f.name);
+      out += "# HELP " + name + " " + f.help + "\n";
+      out += "# TYPE " + name + " " + f.type + "\n";
+      for (const MetricSample& s : f.samples) {
+        if (!s.labels.empty() && s.labels[0] == '_') {
+          // Suffixed series (summary _count / _sum).
+          AppendSample(name + s.labels, {"", s.value}, &out);
+        } else {
+          AppendSample(name, s, &out);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string TelemetryRegistry::RenderJson() const {
+  std::vector<std::pair<std::string, JsonProvider>> sections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sections = json_sections_;
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, provider] : sections) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + provider();
+  }
+  out += "}";
+  return out;
+}
+
+TelemetryRegistry& GlobalTelemetry() {
+  static TelemetryRegistry* registry = new TelemetryRegistry();
+  return *registry;
+}
+
+std::vector<MetricFamily> CollectTracerStats(const Tracer& tracer) {
+  const TracerStats s = tracer.stats();
+  std::vector<MetricFamily> out;
+  out.push_back(GaugeFamily("relview_tracer_enabled", "1 when tracing is on",
+                            tracer.enabled() ? 1 : 0));
+  out.push_back(GaugeFamily("relview_tracer_sample_every",
+                            "Keep 1 in N root spans",
+                            static_cast<double>(tracer.sample_every())));
+  out.push_back(CounterFamily("relview_tracer_spans_started_total",
+                              "Span sites reached while tracing was enabled",
+                              static_cast<double>(s.spans_started)));
+  out.push_back(CounterFamily("relview_tracer_spans_recorded_total",
+                              "Spans pushed to the trace ring",
+                              static_cast<double>(s.spans_recorded)));
+  out.push_back(CounterFamily("relview_tracer_spans_sampled_out_total",
+                              "Spans dropped by head-based sampling",
+                              static_cast<double>(s.spans_sampled_out)));
+  out.push_back(CounterFamily("relview_tracer_dropped_oldest_total",
+                              "Records overwritten by ring lapping",
+                              static_cast<double>(s.dropped_oldest)));
+  out.push_back(CounterFamily("relview_tracer_dropped_collisions_total",
+                              "Records abandoned to a same-slot writer race",
+                              static_cast<double>(s.dropped_collisions)));
+  out.push_back(GaugeFamily("relview_tracer_records_buffered",
+                            "Records currently readable from the ring",
+                            static_cast<double>(s.records_buffered)));
+  return out;
+}
+
+std::string TracerStatsJson(const Tracer& tracer) {
+  const TracerStats s = tracer.stats();
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"enabled\":%s,\"sample_every\":%u,\"spans_started\":%llu,"
+      "\"spans_recorded\":%llu,\"spans_sampled_out\":%llu,"
+      "\"dropped_oldest\":%llu,\"dropped_collisions\":%llu,"
+      "\"records_buffered\":%llu}",
+      tracer.enabled() ? "true" : "false", tracer.sample_every(),
+      static_cast<unsigned long long>(s.spans_started),
+      static_cast<unsigned long long>(s.spans_recorded),
+      static_cast<unsigned long long>(s.spans_sampled_out),
+      static_cast<unsigned long long>(s.dropped_oldest),
+      static_cast<unsigned long long>(s.dropped_collisions),
+      static_cast<unsigned long long>(s.records_buffered));
+  return buf;
+}
+
+}  // namespace relview

@@ -1,0 +1,87 @@
+// TelemetryRegistry: one place to read everything the process knows about
+// itself. Components register collectors (Prometheus-style metric
+// families) and JSON section providers; the registry renders a combined
+// text exposition (`RenderPrometheus`) and a combined JSON document
+// (`RenderJson`, one top-level key per registered section — the service's
+// existing JSON dump plugs in unchanged).
+//
+// The registry is generic: it knows nothing about ServiceMetrics or
+// EngineStats. The service layer registers adapters (see
+// update_service.h's RegisterTelemetry) so the dependency arrow keeps
+// pointing from service/ down into obs/.
+
+#ifndef RELVIEW_OBS_TELEMETRY_H_
+#define RELVIEW_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace relview {
+
+/// One sample of a metric: optional label set ("{kind=\"insert\"}",
+/// already formatted, possibly empty) plus a value.
+struct MetricSample {
+  std::string labels;
+  double value = 0;
+};
+
+/// A named group of samples sharing HELP/TYPE metadata.
+struct MetricFamily {
+  std::string name;  // sanitized to [a-zA-Z0-9_:] on render
+  std::string help;
+  std::string type;  // "counter" | "gauge" | "summary"
+  std::vector<MetricSample> samples;
+};
+
+/// Convenience constructors.
+MetricFamily CounterFamily(std::string name, std::string help, double value);
+MetricFamily GaugeFamily(std::string name, std::string help, double value);
+/// Renders a LatencyHistogram as a Prometheus summary (quantile samples
+/// plus implicit <name>_count / <name>_sum series, in seconds).
+MetricFamily SummaryFamily(std::string name, std::string help,
+                           const LatencyHistogram& h);
+/// Formats one label pair into the MetricSample::labels syntax.
+std::string Label(const std::string& key, const std::string& value);
+
+using TelemetryCollector = std::function<std::vector<MetricFamily>()>;
+using JsonProvider = std::function<std::string()>;
+
+class TelemetryRegistry {
+ public:
+  /// Registers (or replaces) a named collector of metric families.
+  void Register(const std::string& name, TelemetryCollector collector);
+  /// Registers (or replaces) a named JSON section; `provider` must return
+  /// a complete JSON value (the service metrics dump, tracer stats, ...).
+  void RegisterJson(const std::string& name, JsonProvider provider);
+  void Unregister(const std::string& name);
+
+  /// Prometheus text exposition format 0.0.4: HELP/TYPE comments followed
+  /// by the samples of every registered collector, in registration order.
+  std::string RenderPrometheus() const;
+  /// {"<section>":<value>,...} in registration order.
+  std::string RenderJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, TelemetryCollector>> collectors_;
+  std::vector<std::pair<std::string, JsonProvider>> json_sections_;
+};
+
+/// Process-wide registry; the service registers into it on construction.
+TelemetryRegistry& GlobalTelemetry();
+
+/// Metric families / JSON for a tracer's own counters (spans started,
+/// recorded, sampled out, drops). Register under e.g. "tracer".
+std::vector<MetricFamily> CollectTracerStats(const Tracer& tracer);
+std::string TracerStatsJson(const Tracer& tracer);
+
+}  // namespace relview
+
+#endif  // RELVIEW_OBS_TELEMETRY_H_

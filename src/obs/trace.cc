@@ -1,0 +1,259 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+namespace relview {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(RoundUpPow2(capacity < 2 ? 2 : capacity)) {
+  mask_ = slots_.size() - 1;
+}
+
+uint64_t TraceRing::dropped_oldest() const {
+  const uint64_t pushed = head_.load(std::memory_order_relaxed);
+  return pushed > slots_.size() ? pushed - slots_.size() : 0;
+}
+
+void TraceRing::Push(const TraceEvent& ev) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & mask_];
+  // Claim the slot. A failed claim means another writer is lapping us a
+  // full ring ahead mid-write; losing one record there keeps every other
+  // record untorn, which is the property the readers rely on.
+  uint64_t expect = s.seq.load(std::memory_order_relaxed);
+  if (expect == kBusy ||
+      !s.seq.compare_exchange_strong(expect, kBusy,
+                                     std::memory_order_acq_rel)) {
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.name.store(reinterpret_cast<uintptr_t>(ev.name),
+               std::memory_order_relaxed);
+  s.start_ns.store(ev.start_ns, std::memory_order_relaxed);
+  s.dur_ns.store(ev.dur_ns, std::memory_order_relaxed);
+  s.tid.store(ev.tid, std::memory_order_relaxed);
+  s.depth.store(ev.depth, std::memory_order_relaxed);
+  for (int a = 0; a < TraceEvent::kMaxArgs; ++a) {
+    const bool present = a < ev.num_args;
+    s.arg_name[a].store(
+        present ? reinterpret_cast<uintptr_t>(ev.arg_name[a]) : 0,
+        std::memory_order_relaxed);
+    s.arg_value[a].store(present ? ev.arg_value[a] : 0,
+                         std::memory_order_relaxed);
+  }
+  s.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t cap = slots_.size();
+  const uint64_t first = head > cap ? head - cap : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(head - first));
+  for (uint64_t ticket = first; ticket < head; ++ticket) {
+    const Slot& s = slots_[ticket & mask_];
+    const uint64_t want = 2 * ticket + 2;
+    const uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 != want) continue;  // lapped, busy, or never written
+    TraceEvent ev;
+    ev.name = reinterpret_cast<const char*>(
+        s.name.load(std::memory_order_relaxed));
+    ev.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    ev.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    ev.tid = s.tid.load(std::memory_order_relaxed);
+    ev.depth = s.depth.load(std::memory_order_relaxed);
+    ev.num_args = 0;
+    for (int a = 0; a < TraceEvent::kMaxArgs; ++a) {
+      const uintptr_t n = s.arg_name[a].load(std::memory_order_relaxed);
+      if (n == 0) break;
+      ev.arg_name[a] = reinterpret_cast<const char*>(n);
+      ev.arg_value[a] = s.arg_value[a].load(std::memory_order_relaxed);
+      ++ev.num_args;
+    }
+    // Seqlock recheck: discard if a writer touched the slot meanwhile.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  // Intended for quiescent moments (between experiments / shell commands);
+  // concurrent pushes may survive the sweep but records stay untorn.
+  head_.store(0, std::memory_order_relaxed);
+  collisions_.store(0, std::memory_order_relaxed);
+  for (Slot& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer(size_t ring_capacity)
+    : ring_(ring_capacity), epoch_ns_(SteadyNowNs()) {}
+
+void Tracer::Enable(uint32_t sample_every) {
+  sample_every_.store(sample_every < 1 ? 1 : sample_every,
+                      std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+int64_t Tracer::NowNanos() const { return SteadyNowNs() - epoch_ns_; }
+
+Tracer::ThreadState& Tracer::Tls() {
+  // Per-(thread, tracer) state, with a one-entry cache so the common case
+  // (one tracer per thread) is a pointer compare.
+  struct Cache {
+    const Tracer* tracer = nullptr;
+    ThreadState* state = nullptr;
+  };
+  static thread_local Cache cache;
+  static thread_local std::unordered_map<const Tracer*, ThreadState> states;
+  if (cache.tracer == this) return *cache.state;
+  ThreadState& st = states[this];
+  cache = {this, &st};
+  return st;
+}
+
+bool Tracer::BeginSpan() {
+  ThreadState& ts = Tls();
+  if (ts.depth == 0) {
+    const uint32_t every = sample_every_.load(std::memory_order_relaxed);
+    ts.sampled = (ts.sample_counter++ % every) == 0;
+  }
+  ++ts.depth;
+  spans_started_.fetch_add(1, std::memory_order_relaxed);
+  if (!ts.sampled) {
+    spans_sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!ts.tid_assigned) {
+    ts.tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    ts.tid_assigned = true;
+  }
+  return true;
+}
+
+void Tracer::EndSpan(TraceEvent* ev) {
+  ThreadState& ts = Tls();
+  if (ts.depth > 0) --ts.depth;
+  if (ev == nullptr) return;
+  ev->tid = ts.tid;
+  ev->depth = ts.depth;
+  ring_.Push(*ev);
+  spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TracerStats Tracer::stats() const {
+  TracerStats s;
+  s.spans_started = spans_started_.load(std::memory_order_relaxed);
+  s.spans_recorded = spans_recorded_.load(std::memory_order_relaxed);
+  s.spans_sampled_out = spans_sampled_out_.load(std::memory_order_relaxed);
+  s.dropped_oldest = ring_.dropped_oldest();
+  s.dropped_collisions = ring_.dropped_collisions();
+  s.records_buffered =
+      s.spans_recorded > s.dropped_oldest + s.dropped_collisions
+          ? s.spans_recorded - s.dropped_oldest - s.dropped_collisions
+          : 0;
+  return s;
+}
+
+namespace {
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ExportChromeTrace() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(ev.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"depth\":%u",
+                  static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0, ev.tid, ev.depth);
+    out += buf;
+    for (int a = 0; a < ev.num_args; ++a) {
+      out += ",\"";
+      AppendJsonEscaped(ev.arg_name[a], &out);
+      std::snprintf(buf, sizeof(buf), "\":%llu",
+                    static_cast<unsigned long long>(ev.arg_value[a]));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+std::string Tracer::ExportText() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  char buf[128];
+  for (const TraceEvent& ev : events) {
+    std::snprintf(buf, sizeof(buf), "%12.3f %10.3f  tid=%-3u %*s",
+                  static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0, ev.tid,
+                  static_cast<int>(ev.depth) * 2, "");
+    out += buf;
+    out += ev.name != nullptr ? ev.name : "?";
+    for (int a = 0; a < ev.num_args; ++a) {
+      std::snprintf(buf, sizeof(buf), " %s=%llu", ev.arg_name[a],
+                    static_cast<unsigned long long>(ev.arg_value[a]));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all spans
+  return *tracer;
+}
+
+}  // namespace relview

@@ -1,0 +1,233 @@
+// Structured span tracing for the relview hot paths.
+//
+// Design constraints (gated by bench_translatability experiment 3: ≤ 5%
+// overhead on the mixed update stream with sampling 1/64):
+//
+//  * Disabled cost is one relaxed atomic load + branch per span site —
+//    tracing is compiled in everywhere and switched at runtime.
+//  * Head-based sampling: the keep/drop decision is made once per *root*
+//    span (depth 0 on the thread) with a thread-local counter, so a kept
+//    trace is always complete — child spans inherit the decision and
+//    nested timings stay mutually consistent.
+//  * Span completion goes to a fixed-capacity lock-free MPSC ring
+//    (TraceRing). Producers never block and never wait for each other:
+//    each claims a ticket with one fetch_add and publishes through a
+//    per-slot seqlock. Overflow drops the *oldest* records (the ring laps)
+//    and a reader that observes a slot mid-write simply skips it, so
+//    concurrent dumps never see torn records (tests hold this under TSan).
+//  * Clocks are monotonic (steady_clock) relative to the tracer's birth.
+//
+// Exporters: Chrome trace_event JSON ("catapult" / chrome://tracing /
+// Perfetto compatible) and a flat text log, both rendered from a
+// consistent snapshot of the ring.
+//
+// Usage:
+//   RELVIEW_TRACE_SPAN("engine.condition_c");           // scope = span
+//   RELVIEW_TRACE_SPAN_N(span, "svc.stage");            // named handle
+//   span.AddArg("probes", n);                           // u64 args
+//
+// All names must be string literals (or otherwise outlive the tracer):
+// the ring stores pointers, not copies.
+
+#ifndef RELVIEW_OBS_TRACE_H_
+#define RELVIEW_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relview {
+
+/// One completed span as read back out of the ring.
+struct TraceEvent {
+  const char* name = "";
+  int64_t start_ns = 0;  // monotonic, relative to the tracer's birth
+  int64_t dur_ns = 0;
+  uint32_t tid = 0;   // small dense thread id assigned on first span
+  uint32_t depth = 0;  // nesting depth at emission (root = 0)
+  static constexpr int kMaxArgs = 2;
+  const char* arg_name[kMaxArgs] = {nullptr, nullptr};
+  uint64_t arg_value[kMaxArgs] = {0, 0};
+  int num_args = 0;
+};
+
+/// Fixed-capacity lock-free MPSC ring of TraceEvents. Writers claim a
+/// ticket (one fetch_add) and publish via a per-slot seqlock; readers
+/// snapshot without blocking writers and skip any slot observed mid-write.
+/// Overflow overwrites the oldest slot (drop-oldest). Capacity is rounded
+/// up to a power of two.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  size_t capacity() const { return slots_.size(); }
+  /// Total records ever pushed (accepted + dropped).
+  uint64_t pushed() const { return head_.load(std::memory_order_relaxed); }
+  /// Records lost to ring lapping (oldest overwritten).
+  uint64_t dropped_oldest() const;
+  /// Records abandoned because another writer held the same slot (only
+  /// possible when producers outpace the ring by a full lap mid-write).
+  uint64_t dropped_collisions() const {
+    return collisions_.load(std::memory_order_relaxed);
+  }
+
+  void Push(const TraceEvent& ev);
+
+  /// Consistent copy of every currently readable record, oldest first.
+  /// Never blocks writers; records being written during the snapshot are
+  /// skipped, not torn.
+  std::vector<TraceEvent> Snapshot() const;
+
+  void Clear();
+
+ private:
+  // Per-slot seqlock. seq == kBusy while a writer owns the slot; otherwise
+  // seq == 2*ticket + 2 marks a published record for that ticket (0 =
+  // never written). All payload fields are relaxed atomics so concurrent
+  // read-during-write is well-defined (the seq recheck discards it).
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uintptr_t> name{0};
+    std::atomic<int64_t> start_ns{0};
+    std::atomic<int64_t> dur_ns{0};
+    std::atomic<uint32_t> tid{0};
+    std::atomic<uint32_t> depth{0};
+    std::atomic<uintptr_t> arg_name[TraceEvent::kMaxArgs] = {};
+    std::atomic<uint64_t> arg_value[TraceEvent::kMaxArgs] = {};
+  };
+  static constexpr uint64_t kBusy = 1;
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> collisions_{0};
+};
+
+struct TracerStats {
+  uint64_t spans_started = 0;    // sites reached while enabled
+  uint64_t spans_recorded = 0;   // pushed to the ring
+  uint64_t spans_sampled_out = 0;
+  uint64_t dropped_oldest = 0;   // ring laps
+  uint64_t dropped_collisions = 0;
+  uint64_t records_buffered = 0;  // currently readable
+};
+
+/// The span tracer. Thread-safe throughout; one process-global instance
+/// (GlobalTracer) serves the library's trace sites, but tests may own
+/// private instances.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 14;  // 16384 spans
+
+  explicit Tracer(size_t ring_capacity = kDefaultCapacity);
+
+  /// Turns tracing on, keeping 1 in `sample_every` root spans (and every
+  /// child of a kept root). sample_every < 1 is treated as 1.
+  void Enable(uint32_t sample_every = 1);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  uint32_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  TracerStats stats() const;
+  std::vector<TraceEvent> Snapshot() const { return ring_.Snapshot(); }
+  void Clear() { ring_.Clear(); }
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  /// Loadable in chrome://tracing and Perfetto.
+  std::string ExportChromeTrace() const;
+  /// One line per span: "start_us dur_us tid depth name k=v ...".
+  std::string ExportText() const;
+
+  // -- Span internals (used by the Span RAII class) ------------------------
+  /// Registers a span start on this thread; returns whether the span is
+  /// being recorded (sampling decision at depth 0, inherited below).
+  bool BeginSpan();
+  /// Closes the innermost span; records `ev` when the trace is kept.
+  void EndSpan(TraceEvent* ev);
+  int64_t NowNanos() const;
+
+ private:
+  struct ThreadState {
+    uint64_t sample_counter = 0;
+    uint32_t depth = 0;
+    bool sampled = false;
+    uint32_t tid = 0;
+    bool tid_assigned = false;
+  };
+  ThreadState& Tls();
+
+  TraceRing ring_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint32_t> sample_every_{1};
+  std::atomic<uint64_t> spans_started_{0};
+  std::atomic<uint64_t> spans_recorded_{0};
+  std::atomic<uint64_t> spans_sampled_out_{0};
+  std::atomic<uint32_t> next_tid_{1};
+  const int64_t epoch_ns_;
+};
+
+/// The process-wide tracer used by the library's trace sites.
+Tracer& GlobalTracer();
+
+/// RAII span handle. Constructing against a disabled tracer costs one
+/// relaxed load + branch and leaves the handle inert.
+class Span {
+ public:
+  Span(Tracer& tracer, const char* name) {
+    if (!tracer.enabled()) return;
+    tracer_ = &tracer;
+    live_ = true;
+    recording_ = tracer.BeginSpan();
+    ev_.name = name;
+    if (recording_) ev_.start_ns = tracer.NowNanos();
+  }
+  ~Span() { Finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument (first kMaxArgs stick; extras dropped).
+  /// `name` must be a string literal.
+  void AddArg(const char* name, uint64_t value) {
+    if (!recording_ || ev_.num_args >= TraceEvent::kMaxArgs) return;
+    ev_.arg_name[ev_.num_args] = name;
+    ev_.arg_value[ev_.num_args] = value;
+    ++ev_.num_args;
+  }
+
+  /// Early close (idempotent; the destructor is then a no-op).
+  void Finish() {
+    if (!live_) return;
+    live_ = false;
+    if (recording_) ev_.dur_ns = tracer_->NowNanos() - ev_.start_ns;
+    tracer_->EndSpan(recording_ ? &ev_ : nullptr);
+  }
+
+  bool recording() const { return recording_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  bool live_ = false;
+  bool recording_ = false;
+  TraceEvent ev_;
+};
+
+#define RELVIEW_OBS_CONCAT_IMPL(a, b) a##b
+#define RELVIEW_OBS_CONCAT(a, b) RELVIEW_OBS_CONCAT_IMPL(a, b)
+
+/// Anonymous scope span against the global tracer.
+#define RELVIEW_TRACE_SPAN(name)                       \
+  ::relview::Span RELVIEW_OBS_CONCAT(_relview_span_,   \
+                                     __LINE__)(        \
+      ::relview::GlobalTracer(), (name))
+
+/// Named scope span (for AddArg / early Finish).
+#define RELVIEW_TRACE_SPAN_N(var, name) \
+  ::relview::Span var(::relview::GlobalTracer(), (name))
+
+}  // namespace relview
+
+#endif  // RELVIEW_OBS_TRACE_H_

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/trace.h"
+#include "util/small_util.h"
 #include "view/translator.h"
 
 namespace relview {
@@ -66,6 +68,8 @@ std::string EncodeJournalPayload(const ViewUpdate& u) {
       return "D " + EncodeTuple(u.t1);
     case UpdateKind::kReplace:
       return "R " + EncodeTuple(u.t1) + " " + EncodeTuple(u.t2);
+    case UpdateKind::kNumUpdateKinds:
+      break;  // sentinel, not a real kind
   }
   return "";
 }
@@ -99,8 +103,10 @@ Result<Journal> Journal::Open(const std::string& path) {
   return Journal(path, fd);
 }
 
-Journal::Journal(Journal&& o) noexcept : path_(std::move(o.path_)),
-                                         fd_(o.fd_) {
+Journal::Journal(Journal&& o) noexcept
+    : path_(std::move(o.path_)),
+      fd_(o.fd_),
+      fsync_latency_(std::move(o.fsync_latency_)) {
   o.fd_ = -1;
 }
 
@@ -109,6 +115,7 @@ Journal& Journal::operator=(Journal&& o) noexcept {
     if (fd_ >= 0) ::close(fd_);
     path_ = std::move(o.path_);
     fd_ = o.fd_;
+    fsync_latency_ = std::move(o.fsync_latency_);
     o.fd_ = -1;
   }
   return *this;
@@ -125,6 +132,8 @@ Status Journal::Append(const ViewUpdate& u) {
 Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
   if (fd_ < 0) return Status::FailedPrecondition("journal not open");
   if (updates.empty()) return Status::OK();
+  RELVIEW_TRACE_SPAN_N(span, "journal.append");
+  span.AddArg("records", updates.size());
   std::string block;
   for (const ViewUpdate& u : updates) {
     const std::string payload = EncodeJournalPayload(u);
@@ -144,10 +153,12 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
     p += n;
     left -= static_cast<size_t>(n);
   }
+  Timer fsync_timer;
   if (::fsync(fd_) != 0) {
     return Status::Internal("journal fsync failed: " +
                             std::string(std::strerror(errno)));
   }
+  fsync_latency_->Record(fsync_timer.ElapsedNanos());
   return Status::OK();
 }
 
@@ -238,6 +249,9 @@ Result<JournalReadResult> Journal::Replay(const std::string& path,
         break;
       case UpdateKind::kReplace:
         st = translator->Replace(u.t1, u.t2);
+        break;
+      case UpdateKind::kNumUpdateKinds:
+        st = Status::Internal("journal replay: sentinel update kind");
         break;
     }
     if (!st.ok()) {

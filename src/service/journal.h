@@ -27,9 +27,11 @@
 #define RELVIEW_SERVICE_JOURNAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "service/update.h"
 #include "util/status.h"
 
@@ -70,6 +72,13 @@ class Journal {
 
   const std::string& path() const { return path_; }
 
+  /// Per-fsync latency distribution (one sample per Append/AppendAll).
+  /// Held behind a shared_ptr so telemetry collectors survive Journal
+  /// moves (the histogram itself is atomic and non-movable).
+  std::shared_ptr<const LatencyHistogram> fsync_latency() const {
+    return fsync_latency_;
+  }
+
   /// Appends one record and fsyncs.
   Status Append(const ViewUpdate& u);
 
@@ -97,6 +106,8 @@ class Journal {
 
   std::string path_;
   int fd_ = -1;
+  std::shared_ptr<LatencyHistogram> fsync_latency_ =
+      std::make_shared<LatencyHistogram>();
 };
 
 }  // namespace relview

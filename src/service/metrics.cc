@@ -3,59 +3,6 @@
 #include <cstdio>
 
 namespace relview {
-namespace {
-
-int BucketOf(int64_t nanos) {
-  if (nanos <= 1) return 0;
-  int b = 63 - __builtin_clzll(static_cast<uint64_t>(nanos));
-  return b >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1 : b;
-}
-
-void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
-  uint64_t cur = target->load(std::memory_order_relaxed);
-  while (cur < value &&
-         !target->compare_exchange_weak(cur, value,
-                                        std::memory_order_relaxed)) {
-  }
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(int64_t nanos) {
-  if (nanos < 0) nanos = 0;
-  buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_nanos_.fetch_add(static_cast<uint64_t>(nanos),
-                         std::memory_order_relaxed);
-  AtomicMax(&max_nanos_, static_cast<uint64_t>(nanos));
-}
-
-uint64_t LatencyHistogram::QuantileNanos(double q) const {
-  const uint64_t n = count();
-  if (n == 0) return 0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
-  uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen >= rank) return b >= 63 ? ~0ULL : (2ULL << b);  // upper edge
-  }
-  return max_nanos();
-}
-
-std::string LatencyHistogram::ToJson() const {
-  char buf[192];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"count\":%llu,\"mean_ns\":%.1f,\"p50_ns\":%llu,\"p99_ns\":%llu,"
-      "\"max_ns\":%llu}",
-      static_cast<unsigned long long>(count()), mean_nanos(),
-      static_cast<unsigned long long>(QuantileNanos(0.50)),
-      static_cast<unsigned long long>(QuantileNanos(0.99)),
-      static_cast<unsigned long long>(max_nanos()));
-  return buf;
-}
 
 void ServiceMetrics::RecordSnapshot() {
   // Each thread sticks to one shard, so concurrent readers mostly bump
@@ -92,33 +39,20 @@ uint64_t ServiceMetrics::total_accepted() const {
 }
 
 void ServiceMetrics::SetEngineGauges(const EngineStats& stats) {
-  const uint64_t values[kEngineGauges] = {
-      stats.closure_hits,   stats.closure_misses, stats.index_reuses,
-      stats.index_rebuilds, stats.base_reuses,    stats.base_rebuilds,
-      stats.base_extends,   stats.base_shrinks,   stats.probes_run,
-      stats.probes_screened, stats.probes_parallel};
-  for (int i = 0; i < kEngineGauges; ++i) {
-    engine_gauges_[i].store(values[i], std::memory_order_relaxed);
-  }
+  int i = 0;
+#define RELVIEW_ENGINE_STORE_FIELD(name) \
+  engine_gauges_[i++].store(stats.name, std::memory_order_relaxed);
+  RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_STORE_FIELD)
+#undef RELVIEW_ENGINE_STORE_FIELD
 }
 
 EngineStats ServiceMetrics::engine_gauges() const {
   EngineStats s;
-  uint64_t values[kEngineGauges];
-  for (int i = 0; i < kEngineGauges; ++i) {
-    values[i] = engine_gauges_[i].load(std::memory_order_relaxed);
-  }
-  s.closure_hits = values[0];
-  s.closure_misses = values[1];
-  s.index_reuses = values[2];
-  s.index_rebuilds = values[3];
-  s.base_reuses = values[4];
-  s.base_rebuilds = values[5];
-  s.base_extends = values[6];
-  s.base_shrinks = values[7];
-  s.probes_run = values[8];
-  s.probes_screened = values[9];
-  s.probes_parallel = values[10];
+  int i = 0;
+#define RELVIEW_ENGINE_LOAD_FIELD(name) \
+  s.name = engine_gauges_[i++].load(std::memory_order_relaxed);
+  RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_LOAD_FIELD)
+#undef RELVIEW_ENGINE_LOAD_FIELD
   const uint64_t lookups = s.closure_hits + s.closure_misses;
   s.closure_hit_rate =
       lookups == 0 ? 0.0
@@ -174,6 +108,8 @@ std::string ServiceMetrics::ToJson() const {
   add("probes_run", eng.probes_run);
   add("probes_screened", eng.probes_screened);
   add("probes_parallel", eng.probes_parallel);
+  add("component_rows_rechased", eng.component_rows_rechased);
+  add("max_component_size", eng.max_component_size);
   out += ",\"check_latency\":" + check_latency_.ToJson();
   out += ",\"apply_latency\":" + apply_latency_.ToJson();
   out += "}";

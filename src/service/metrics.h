@@ -12,49 +12,25 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.h"
 #include "service/update.h"
 #include "util/status.h"
 #include "view/view_index.h"
 
 namespace relview {
 
-/// A log2-bucketed latency histogram (nanoseconds). Bucket i counts
-/// samples with latency in [2^i, 2^(i+1)) ns; quantile estimates report
-/// the upper edge of the containing bucket.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 40;  // up to ~2^40 ns ≈ 18 minutes
-
-  void Record(int64_t nanos);
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t total_nanos() const {
-    return total_nanos_.load(std::memory_order_relaxed);
-  }
-  uint64_t max_nanos() const {
-    return max_nanos_.load(std::memory_order_relaxed);
-  }
-  double mean_nanos() const {
-    const uint64_t n = count();
-    return n == 0 ? 0.0 : static_cast<double>(total_nanos()) / n;
-  }
-  /// Upper-edge estimate of the q-quantile, q in [0,1].
-  uint64_t QuantileNanos(double q) const;
-
-  /// {"count":3,"mean_ns":120.0,"p50_ns":128,"p99_ns":256,"max_ns":201}
-  std::string ToJson() const;
-
- private:
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> total_nanos_{0};
-  std::atomic<uint64_t> max_nanos_{0};
-};
-
 class ServiceMetrics {
  public:
-  static constexpr int kKinds = 3;        // insert / delete / replace
-  static constexpr int kStatusCodes = 7;  // StatusCode enumerators
+  /// Counter array sizes derived from the enums' sentinel values, so a new
+  /// kind or status code grows the arrays instead of silently dropping
+  /// counts.
+  static constexpr int kKinds = static_cast<int>(UpdateKind::kNumUpdateKinds);
+  static constexpr int kStatusCodes =
+      static_cast<int>(StatusCode::kNumStatusCodes);
+  static_assert(static_cast<int>(UpdateKind::kReplace) + 1 == kKinds,
+                "UpdateKind sentinel must stay last");
+  static_assert(static_cast<int>(StatusCode::kInternal) + 1 == kStatusCodes,
+                "StatusCode sentinel must stay last");
 
   void RecordAccepted(UpdateKind kind);
   void RecordRejected(UpdateKind kind, StatusCode code);
@@ -124,10 +100,15 @@ class ServiceMetrics {
   std::atomic<uint64_t> replayed_{0};
   LatencyHistogram check_latency_;
   LatencyHistogram apply_latency_;
-  /// Engine gauges, index-mapped onto EngineStats' uint64_t fields (the
-  /// hit rate is recomputed from hits/misses on read so the whole snapshot
-  /// stays lock-free).
-  static constexpr int kEngineGauges = 11;
+  /// Engine gauges, mapped 1:1 onto EngineStats' uint64_t fields via the
+  /// RELVIEW_ENGINE_STAT_FIELDS X-macro (the hit rate is recomputed from
+  /// hits/misses on read so the whole snapshot stays lock-free). The count
+  /// is derived from the same list, so a new EngineStats field can't be
+  /// dropped here.
+#define RELVIEW_ENGINE_COUNT_FIELD(name) +1
+  static constexpr int kEngineGauges =
+      0 RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_COUNT_FIELD);
+#undef RELVIEW_ENGINE_COUNT_FIELD
   std::array<std::atomic<uint64_t>, kEngineGauges> engine_gauges_{};
 };
 

@@ -10,6 +10,8 @@ const char* UpdateKindName(UpdateKind kind) {
       return "delete";
     case UpdateKind::kReplace:
       return "replace";
+    case UpdateKind::kNumUpdateKinds:
+      break;  // sentinel, not a real kind
   }
   return "unknown";
 }

@@ -17,6 +17,9 @@ enum class UpdateKind {
   kInsert = 0,
   kDelete = 1,
   kReplace = 2,
+  /// Sentinel — number of real kinds above. Keep last; ServiceMetrics
+  /// sizes its per-kind counters from it.
+  kNumUpdateKinds,
 };
 
 /// "insert", "delete", "replace".

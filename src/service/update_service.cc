@@ -1,5 +1,6 @@
 #include "service/update_service.h"
 
+#include "obs/trace.h"
 #include "util/small_util.h"
 #include "view/deletion.h"
 #include "view/insertion.h"
@@ -70,61 +71,135 @@ uint64_t UpdateService::version() const {
   return published_version_.load(std::memory_order_acquire);
 }
 
-Status UpdateService::StageOne(const ViewUpdate& u, std::string* detail,
-                               bool* mutated) {
+Status UpdateService::StageOne(const ViewUpdate& u, int batch_index,
+                               std::string* detail, bool* mutated) {
+  RELVIEW_TRACE_SPAN("svc.stage_one");
   Timer timer;
+  DecisionTrace trace;
+  trace.update = u.ToString();
+  trace.batch_index = batch_index;
+  const EngineStats before = translator_.engine_stats();
   TranslationVerdict verdict = TranslationVerdict::kTranslatable;
   int64_t apply_nanos = 0;
   Status st = Status::OK();
   switch (u.kind) {
     case UpdateKind::kInsert: {
+      trace.kind = 'I';
       Result<InsertionReport> r = translator_.InsertWithReport(u.t1);
       if (!r.ok()) {
         st = r.status();
         *detail = st.ToString();
-      } else if (!r->translatable()) {
-        *detail = r->ToString();
-        st = Status::Untranslatable(*detail);
       } else {
         verdict = r->verdict;
-        apply_nanos = r->apply_nanos;
+        trace.verdict = TranslationVerdictName(r->verdict);
+        trace.failed_condition = FailingCondition(r->verdict);
+        trace.chases_run = r->chases_run;
+        trace.chase_merges = r->stats.merges;
+        trace.chase_rounds = r->stats.rounds;
+        trace.chase_work = r->stats.work;
+        if (!r->translatable()) {
+          *detail = r->ToString();
+          st = Status::Untranslatable(*detail);
+          if (r->verdict == TranslationVerdict::kFailsChase) {
+            trace.has_violated_fd = true;
+            trace.violated_fd = r->violated_fd;
+            trace.has_violator = r->witness_row >= 0;
+            trace.violator_row = r->witness_row;
+            trace.violator_tuple = r->witness_tuple;
+            trace.has_mu = r->witness_mu_tuple.arity() > 0;
+            trace.mu_tuple = r->witness_mu_tuple;
+          }
+        } else {
+          apply_nanos = r->apply_nanos;
+        }
       }
       break;
     }
     case UpdateKind::kDelete: {
+      trace.kind = 'D';
       Result<DeletionReport> r = translator_.DeleteWithReport(u.t1);
       if (!r.ok()) {
         st = r.status();
         *detail = st.ToString();
-      } else if (!r->translatable()) {
-        *detail = TranslationVerdictName(r->verdict);
-        st = Status::Untranslatable(*detail);
       } else {
         verdict = r->verdict;
-        apply_nanos = r->apply_nanos;
+        trace.verdict = TranslationVerdictName(r->verdict);
+        trace.failed_condition = FailingCondition(r->verdict);
+        if (!r->translatable()) {
+          *detail = TranslationVerdictName(r->verdict);
+          st = Status::Untranslatable(*detail);
+        } else {
+          apply_nanos = r->apply_nanos;
+        }
       }
       break;
     }
     case UpdateKind::kReplace: {
+      trace.kind = 'R';
       Result<ReplacementReport> r = translator_.ReplaceWithReport(u.t1, u.t2);
       if (!r.ok()) {
         st = r.status();
         *detail = st.ToString();
-      } else if (!r->translatable()) {
-        *detail = TranslationVerdictName(r->verdict);
-        st = Status::Untranslatable(*detail);
       } else {
         verdict = r->verdict;
-        apply_nanos = r->apply_nanos;
+        trace.verdict = TranslationVerdictName(r->verdict);
+        trace.failed_condition = FailingCondition(r->verdict);
+        trace.chases_run = r->chases_run;
+        if (!r->translatable()) {
+          *detail = TranslationVerdictName(r->verdict);
+          st = Status::Untranslatable(*detail);
+          if (r->verdict == TranslationVerdict::kFailsChase) {
+            trace.has_violated_fd = true;
+            trace.violated_fd = r->violated_fd;
+            trace.has_violator = r->witness_row >= 0;
+            trace.violator_row = r->witness_row;
+            trace.violator_tuple = r->witness_tuple;
+            trace.has_mu = r->witness_mu_tuple.arity() > 0;
+            trace.mu_tuple = r->witness_mu_tuple;
+          }
+        } else {
+          apply_nanos = r->apply_nanos;
+        }
       }
       break;
     }
+    case UpdateKind::kNumUpdateKinds:
+      // Sentinel; unreachable through the public constructors. Bail before
+      // the per-kind metric arrays would be indexed out of range.
+      *detail = "sentinel update kind";
+      return Status::Internal(*detail).WithBatchIndex(batch_index);
   }
   // The report times the apply phase itself; everything else was the check.
-  metrics_.RecordCheckLatency(timer.ElapsedNanos() - apply_nanos);
+  const int64_t check_nanos = timer.ElapsedNanos() - apply_nanos;
+  metrics_.RecordCheckLatency(check_nanos);
+
+  // Attribute the engine's counter movement to this one decision.
+  const EngineStats after = translator_.engine_stats();
+  auto delta = [](uint64_t b, uint64_t a) {
+    return static_cast<int64_t>(a - b);
+  };
+  trace.probes_run = delta(before.probes_run, after.probes_run);
+  trace.probes_screened = delta(before.probes_screened, after.probes_screened);
+  trace.probes_parallel = delta(before.probes_parallel, after.probes_parallel);
+  trace.closure_hits = delta(before.closure_hits, after.closure_hits);
+  trace.closure_misses = delta(before.closure_misses, after.closure_misses);
+  trace.index_reuses = delta(before.index_reuses, after.index_reuses);
+  trace.index_rebuilds = delta(before.index_rebuilds, after.index_rebuilds);
+  trace.base_reuses = delta(before.base_reuses, after.base_reuses);
+  trace.base_rebuilds = delta(before.base_rebuilds, after.base_rebuilds);
+  trace.base_extends = delta(before.base_extends, after.base_extends);
+  trace.base_shrinks = delta(before.base_shrinks, after.base_shrinks);
+  trace.component_rows_rechased =
+      delta(before.component_rows_rechased, after.component_rows_rechased);
+  trace.check_nanos = check_nanos;
+  trace.apply_nanos = apply_nanos;
+  trace.accepted = st.ok();
+  if (trace.verdict.empty()) trace.verdict = StatusCodeName(st.code());
+  decisions_.Push(std::move(trace));
+
   if (!st.ok()) {
     metrics_.RecordRejected(u.kind, st.code());
-    return st;
+    return std::move(st).WithBatchIndex(batch_index);
   }
   metrics_.RecordAccepted(u.kind);
   if (verdict == TranslationVerdict::kIdentity) return Status::OK();
@@ -136,6 +211,8 @@ Status UpdateService::StageOne(const ViewUpdate& u, std::string* detail,
 BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   BatchResult result;
   if (updates.empty()) return result;
+  RELVIEW_TRACE_SPAN_N(span, "svc.apply_batch");
+  span.AddArg("updates", updates.size());
 
   std::lock_guard<std::mutex> writer(writer_mu_);
 
@@ -146,7 +223,8 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   Relation saved = translator_.database();
   bool mutated = false;
   for (size_t i = 0; i < updates.size(); ++i) {
-    Status st = StageOne(updates[i], &result.detail, &mutated);
+    Status st = StageOne(updates[i], static_cast<int>(i), &result.detail,
+                         &mutated);
     if (!st.ok()) {
       if (mutated) translator_.InstallDatabase(std::move(saved));
       metrics_.RecordBatchRolledBack();
@@ -179,7 +257,85 @@ Status UpdateService::Apply(const ViewUpdate& update) {
   return r.status;
 }
 
+void UpdateService::RegisterTelemetry(TelemetryRegistry* registry) const {
+  registry->Register("service", [this] {
+    std::vector<MetricFamily> out;
+    MetricFamily accepted = CounterFamily(
+        "relview_updates_accepted_total", "Accepted view updates by kind", 0);
+    accepted.samples.clear();
+    MetricFamily rejected = CounterFamily(
+        "relview_updates_rejected_total", "Rejected view updates by kind", 0);
+    rejected.samples.clear();
+    for (int k = 0; k < ServiceMetrics::kKinds; ++k) {
+      const UpdateKind kind = static_cast<UpdateKind>(k);
+      const std::string label = Label("kind", UpdateKindName(kind));
+      accepted.samples.push_back(
+          {label, static_cast<double>(metrics_.accepted(kind))});
+      rejected.samples.push_back(
+          {label, static_cast<double>(metrics_.rejected(kind))});
+    }
+    out.push_back(std::move(accepted));
+    out.push_back(std::move(rejected));
+    MetricFamily by_code = CounterFamily("relview_rejections_total",
+                                         "Rejections by status code", 0);
+    by_code.samples.clear();
+    for (int c = 1; c < ServiceMetrics::kStatusCodes; ++c) {
+      const StatusCode code = static_cast<StatusCode>(c);
+      by_code.samples.push_back(
+          {Label("code", StatusCodeName(code)),
+           static_cast<double>(metrics_.rejected_by_code(code))});
+    }
+    out.push_back(std::move(by_code));
+    out.push_back(CounterFamily(
+        "relview_batches_committed_total", "Committed batches",
+        static_cast<double>(metrics_.batches_committed())));
+    out.push_back(CounterFamily(
+        "relview_batches_rolled_back_total", "Rolled-back batches",
+        static_cast<double>(metrics_.batches_rolled_back())));
+    out.push_back(CounterFamily("relview_snapshots_total", "Snapshot reads",
+                                static_cast<double>(metrics_.snapshots())));
+    out.push_back(CounterFamily(
+        "relview_replayed_updates_total", "Journal records replayed",
+        static_cast<double>(metrics_.replayed())));
+    out.push_back(CounterFamily(
+        "relview_decisions_total", "Decision traces recorded",
+        static_cast<double>(decisions_.total())));
+    out.push_back(GaugeFamily("relview_published_version",
+                              "Version of the published snapshot",
+                              static_cast<double>(version())));
+    out.push_back(SummaryFamily("relview_check_latency_seconds",
+                                "Translatability-check latency",
+                                metrics_.check_latency()));
+    out.push_back(SummaryFamily("relview_apply_latency_seconds",
+                                "Translation-apply latency",
+                                metrics_.apply_latency()));
+    const EngineStats eng = metrics_.engine_gauges();
+#define RELVIEW_ENGINE_GAUGE_FAMILY(name)                            \
+  out.push_back(GaugeFamily("relview_engine_" #name,                 \
+                            "Incremental-engine counter " #name,     \
+                            static_cast<double>(eng.name)));
+    RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_GAUGE_FAMILY)
+#undef RELVIEW_ENGINE_GAUGE_FAMILY
+    if (journal_.has_value()) {
+      out.push_back(SummaryFamily("relview_journal_fsync_seconds",
+                                  "Journal fsync latency",
+                                  *journal_->fsync_latency()));
+    }
+    return out;
+  });
+  registry->RegisterJson("service", [this] { return metrics_.ToJson(); });
+  registry->RegisterJson("decisions", [this] {
+    std::string out = "{\"total\":" + std::to_string(decisions_.total());
+    if (std::optional<DecisionTrace> last = decisions_.Last()) {
+      out += ",\"last\":" + last->ToJson(&translator_.universe());
+    }
+    out += "}";
+    return out;
+  });
+}
+
 void UpdateService::Publish(uint64_t version) {
+  RELVIEW_TRACE_SPAN("svc.publish");
   auto snap = std::make_shared<ViewSnapshot>();
   snap->version = version;
   snap->database = std::make_shared<const Relation>(translator_.database());

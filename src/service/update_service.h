@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/provenance.h"
+#include "obs/telemetry.h"
 #include "service/journal.h"
 #include "service/metrics.h"
 #include "service/update.h"
@@ -87,10 +89,22 @@ class UpdateService {
 
   /// Applies a batch atomically. All updates validate and translate on a
   /// staged copy; one rejection rolls the whole batch back. A committed
-  /// batch advances the version by exactly 1.
+  /// batch advances the version by exactly 1. On rejection the returned
+  /// status carries the batch position (Status::batch_index()), matching
+  /// BatchResult::failed_index.
   BatchResult ApplyBatch(const std::vector<ViewUpdate>& updates);
 
   const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// Per-update decision provenance: one DecisionTrace per staged update
+  /// (accepted or rejected), most recent kept up to the log's capacity.
+  const DecisionLog& decisions() const { return decisions_; }
+
+  /// Registers this service's collectors with `registry` under the
+  /// sections "service" (counters, latency summaries, engine gauges,
+  /// journal fsync latency) and "decisions". The service must outlive the
+  /// registry or be unregistered first.
+  void RegisterTelemetry(TelemetryRegistry* registry) const;
 
   /// Number of journal records replayed during Create (0 without journal).
   uint64_t replayed_updates() const { return metrics_.replayed(); }
@@ -104,10 +118,12 @@ class UpdateService {
   UpdateService(ViewTranslator translator, std::optional<Journal> journal);
 
   /// Checks `u` and, when translatable, applies it to the translator in
-  /// place (maintaining the engine's caches). Records metrics; sets
-  /// *mutated when the database actually changed. On rejection returns
-  /// the failing status.
-  Status StageOne(const ViewUpdate& u, std::string* detail, bool* mutated);
+  /// place (maintaining the engine's caches). Records metrics and pushes a
+  /// DecisionTrace (batch_index = position within the originating batch);
+  /// sets *mutated when the database actually changed. On rejection
+  /// returns the failing status, annotated with the batch position.
+  Status StageOne(const ViewUpdate& u, int batch_index, std::string* detail,
+                  bool* mutated);
 
   void Publish(uint64_t version);  // under writer_mu_
 
@@ -128,6 +144,7 @@ class UpdateService {
   const uint64_t service_id_;
 
   mutable ServiceMetrics metrics_;
+  DecisionLog decisions_;
 };
 
 }  // namespace relview

@@ -33,6 +33,9 @@ enum class StatusCode {
   kCapacityExceeded,
   /// Internal invariant violation; indicates a bug in relview itself.
   kInternal,
+  /// Sentinel — number of real codes above. Keep last; ServiceMetrics
+  /// sizes its per-code counters from it.
+  kNumStatusCodes,
 };
 
 /// Human-readable name of a StatusCode ("Ok", "Untranslatable", ...).
@@ -69,6 +72,19 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Position of the originating update within a batch (ApplyBatch
+  /// rollback rejections); -1 when the status is not batch-scoped.
+  int batch_index() const { return batch_index_; }
+  /// Fluent payload attachment: `return st.WithBatchIndex(i);`.
+  Status&& WithBatchIndex(int index) && {
+    batch_index_ = index;
+    return std::move(*this);
+  }
+  Status& WithBatchIndex(int index) & {
+    batch_index_ = index;
+    return *this;
+  }
+
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -80,6 +96,7 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  int batch_index_ = -1;
 };
 
 /// A value-or-error. Use `RELVIEW_ASSIGN_OR_RETURN` to unwrap in functions

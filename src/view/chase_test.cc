@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "view/generic_instance.h"
 
 namespace relview {
@@ -204,6 +205,8 @@ int RunProbeSpecs(const std::vector<ProbeSpec>& specs, const FDSet& fds,
                   const BaseChaseView& base, const Relation* generic,
                   const std::vector<int>& null_offsets,
                   const ChaseTestOptions& opts, ChaseTestResult* acc) {
+  RELVIEW_TRACE_SPAN_N(span, "chase.run_probe_specs");
+  span.AddArg("specs", specs.size());
   const ProbeContext ctx{fds, x, y_only, base, generic, null_offsets, opts};
   if (opts.pool != nullptr && specs.size() > 1) {
     return RunProbeSpecsParallel(specs, ctx, acc);
@@ -219,6 +222,8 @@ ChaseTestResult RunConditionC(const AttrSet& universe, const FDSet& fds,
                               const Relation& v, const Tuple& t,
                               const std::vector<int>& mu_rows,
                               const ChaseTestOptions& opts) {
+  RELVIEW_TRACE_SPAN_N(span, "chase.condition_c");
+  span.AddArg("view_rows", static_cast<uint64_t>(v.size()));
   ChaseTestResult result;
   const Schema& vs = v.schema();
   const AttrSet y_only = y - x;

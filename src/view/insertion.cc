@@ -24,6 +24,22 @@ const char* TranslationVerdictName(TranslationVerdict v) {
   return "Unknown";
 }
 
+char FailingCondition(TranslationVerdict v) {
+  switch (v) {
+    case TranslationVerdict::kTranslatable:
+    case TranslationVerdict::kIdentity:
+      return '-';
+    case TranslationVerdict::kFailsComplementMembership:
+      return 'a';
+    case TranslationVerdict::kFailsCommonPartNotKeyOfY:
+    case TranslationVerdict::kFailsCommonPartKeyOfX:
+      return 'b';
+    case TranslationVerdict::kFailsChase:
+      return 'c';
+  }
+  return '-';
+}
+
 std::string InsertionReport::ToString() const {
   std::string out = TranslationVerdictName(verdict);
   if (verdict == TranslationVerdict::kFailsChase) {
@@ -116,6 +132,8 @@ Result<InsertionReport> CheckInsertion(const AttrSet& universe,
     report.verdict = TranslationVerdict::kFailsChase;
     report.violated_fd = c.violated_fd;
     report.witness_row = c.witness_row;
+    report.witness_tuple = v.row(c.witness_row);
+    if (c.witness_mu >= 0) report.witness_mu_tuple = v.row(c.witness_mu);
     return report;
   }
   report.verdict = TranslationVerdict::kTranslatable;

@@ -47,6 +47,11 @@ enum class TranslationVerdict {
 
 const char* TranslationVerdictName(TranslationVerdict v);
 
+/// Which of the paper's conditions the verdict violates: 'a' (complement
+/// membership), 'b' (key structure of X∩Y), 'c' (chase counterexample),
+/// or '-' for accepted verdicts. Provenance vocabulary (obs/provenance.h).
+char FailingCondition(TranslationVerdict v);
+
 struct InsertionOptions {
   ChaseBackend backend = ChaseBackend::kHash;
   /// The paper's "straightforward shortcut": chase the null-filled V once,
@@ -66,6 +71,11 @@ struct InsertionReport {
   /// For kFailsChase: the FD and V-row witnessing the counterexample.
   FD violated_fd;
   int witness_row = -1;
+  /// The witness row's value (and the mu row's, when the probe carried
+  /// one) at check time — provenance that survives later view edits.
+  /// Empty tuples when the verdict is not kFailsChase.
+  Tuple witness_tuple;
+  Tuple witness_mu_tuple;
   /// Effort accounting (benchmarks).
   int chases_run = 0;
   ChaseStats stats;

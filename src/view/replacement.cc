@@ -94,6 +94,8 @@ Result<ReplacementReport> CheckReplacement(
     report.verdict = TranslationVerdict::kFailsChase;
     report.violated_fd = c.violated_fd;
     report.witness_row = c.witness_row;
+    report.witness_tuple = v.row(c.witness_row);
+    if (c.witness_mu >= 0) report.witness_mu_tuple = v.row(c.witness_mu);
     return report;
   }
   report.verdict = TranslationVerdict::kTranslatable;

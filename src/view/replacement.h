@@ -41,6 +41,9 @@ struct ReplacementReport {
   int theorem_case = 0;
   FD violated_fd;
   int witness_row = -1;
+  /// Witness (and mu) row values at check time; see InsertionReport.
+  Tuple witness_tuple;
+  Tuple witness_mu_tuple;
   int chases_run = 0;
   /// Time spent applying the translation (ViewTranslator::ReplaceWithReport
   /// only; 0 for pure checks and rejected/identity updates).

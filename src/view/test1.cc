@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "chase/instance_chase.h"
+#include "obs/trace.h"
 #include "view/chase_test.h"
 
 namespace relview {
@@ -286,6 +287,7 @@ Result<Test1Report> RunTest1(const AttrSet& universe, const FDSet& fds,
                              const AttrSet& x, const AttrSet& y,
                              const Relation& v, const Tuple& t,
                              const Test1Options& opts) {
+  RELVIEW_TRACE_SPAN("test1.run");
   switch (opts.backend) {
     case Test1Backend::kTwoTupleChase:
       return RunPairwise(universe, fds, x, y, v, t, /*by_chase=*/true,

@@ -1,6 +1,7 @@
 #include "view/translator.h"
 
 #include "deps/satisfies.h"
+#include "obs/trace.h"
 #include "util/small_util.h"
 
 namespace relview {
@@ -127,6 +128,7 @@ Result<ReplacementReport> ViewTranslator::CanReplace(const Tuple& t1,
 }
 
 Result<InsertionReport> ViewTranslator::InsertWithReport(const Tuple& t) {
+  RELVIEW_TRACE_SPAN("translator.insert");
   RELVIEW_ASSIGN_OR_RETURN(InsertionReport report, CanInsert(t));
   if (!report.translatable() ||
       report.verdict == TranslationVerdict::kIdentity) {
@@ -147,6 +149,7 @@ Result<InsertionReport> ViewTranslator::InsertWithReport(const Tuple& t) {
 }
 
 Result<DeletionReport> ViewTranslator::DeleteWithReport(const Tuple& t) {
+  RELVIEW_TRACE_SPAN("translator.delete");
   RELVIEW_ASSIGN_OR_RETURN(DeletionReport report, CanDelete(t));
   if (!report.translatable() ||
       report.verdict == TranslationVerdict::kIdentity) {
@@ -164,6 +167,7 @@ Result<DeletionReport> ViewTranslator::DeleteWithReport(const Tuple& t) {
 
 Result<ReplacementReport> ViewTranslator::ReplaceWithReport(
     const Tuple& t1, const Tuple& t2) {
+  RELVIEW_TRACE_SPAN("translator.replace");
   RELVIEW_ASSIGN_OR_RETURN(ReplacementReport report, CanReplace(t1, t2));
   if (!report.translatable() ||
       report.verdict == TranslationVerdict::kIdentity) {

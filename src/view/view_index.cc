@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace relview {
 
 // ---------------------------------------------------------------------------
@@ -268,6 +270,10 @@ bool BaseChaseCache::SpliceRechase(const ViewIndex& index, const FDSet& fds,
                                    ChaseBackend backend,
                                    const std::vector<int>& comp,
                                    int erase_row, ChaseTestResult* acc) {
+  RELVIEW_TRACE_SPAN_N(span, "base.splice_rechase");
+  span.AddArg("component_rows", comp.size());
+  rechased_rows_ += comp.size() - (erase_row >= 0 ? 1 : 0);
+  if (comp.size() > max_component_) max_component_ = comp.size();
   const AttrSet x = index.view().attrs();
   const AttrSet universe = UniverseOf(index);
   const Schema& us = fixpoint_.schema();
@@ -323,6 +329,8 @@ bool BaseChaseCache::SpliceRechase(const ViewIndex& index, const FDSet& fds,
 
 void BaseChaseCache::Rebuild(const ViewIndex& index, const FDSet& fds,
                              ChaseBackend backend, ChaseTestResult* acc) {
+  RELVIEW_TRACE_SPAN_N(span, "base.rebuild");
+  span.AddArg("view_rows", static_cast<uint64_t>(index.size()));
   const AttrSet x = index.view().attrs();
   const AttrSet universe = UniverseOf(index);
   Relation generic(universe);
@@ -445,6 +453,7 @@ void TranslatabilityEngine::RunC(const Tuple& t,
                                  const std::vector<int>& mu_positions,
                                  bool iterate_all_mus, int skip_row,
                                  ChaseTestResult* out) {
+  RELVIEW_TRACE_SPAN_N(span, "engine.condition_c");
   EnsureBase(out);
   if (base_.conflict()) return;  // condition (c) holds vacuously
 
@@ -501,9 +510,12 @@ void TranslatabilityEngine::RunC(const Tuple& t,
   stats_.probes_run += static_cast<uint64_t>(out->probes_run);
   stats_.probes_screened += static_cast<uint64_t>(out->probes_screened);
   stats_.probes_parallel += static_cast<uint64_t>(out->probes_parallel);
+  span.AddArg("specs", specs.size());
+  span.AddArg("probes_run", static_cast<uint64_t>(out->probes_run));
 }
 
 Result<InsertionReport> TranslatabilityEngine::CheckInsert(const Tuple& t) {
+  RELVIEW_TRACE_SPAN("engine.check_insert");
   ++stats_.index_reuses;
   RELVIEW_RETURN_IF_ERROR(ValidateTuple(t, /*must_be_null_free=*/true));
   InsertionReport report;
@@ -537,6 +549,10 @@ Result<InsertionReport> TranslatabilityEngine::CheckInsert(const Tuple& t) {
     report.verdict = TranslationVerdict::kFailsChase;
     report.violated_fd = c.violated_fd;
     report.witness_row = c.witness_row;
+    report.witness_tuple = index_.view().row(c.witness_row);
+    if (c.witness_mu >= 0) {
+      report.witness_mu_tuple = index_.view().row(c.witness_mu);
+    }
     return report;
   }
   report.verdict = TranslationVerdict::kTranslatable;
@@ -544,6 +560,7 @@ Result<InsertionReport> TranslatabilityEngine::CheckInsert(const Tuple& t) {
 }
 
 Result<DeletionReport> TranslatabilityEngine::CheckDelete(const Tuple& t) {
+  RELVIEW_TRACE_SPAN("engine.check_delete");
   ++stats_.index_reuses;
   RELVIEW_RETURN_IF_ERROR(ValidateTuple(t, /*must_be_null_free=*/false));
   DeletionReport report;
@@ -582,6 +599,7 @@ Result<DeletionReport> TranslatabilityEngine::CheckDelete(const Tuple& t) {
 
 Result<ReplacementReport> TranslatabilityEngine::CheckReplace(
     const Tuple& t1, const Tuple& t2) {
+  RELVIEW_TRACE_SPAN("engine.check_replace");
   ++stats_.index_reuses;
   RELVIEW_RETURN_IF_ERROR(ValidateTuple(t1, /*must_be_null_free=*/false));
   RELVIEW_RETURN_IF_ERROR(ValidateTuple(t2, /*must_be_null_free=*/false));
@@ -642,6 +660,10 @@ Result<ReplacementReport> TranslatabilityEngine::CheckReplace(
     report.verdict = TranslationVerdict::kFailsChase;
     report.violated_fd = c.violated_fd;
     report.witness_row = c.witness_row;
+    report.witness_tuple = index_.view().row(c.witness_row);
+    if (c.witness_mu >= 0) {
+      report.witness_mu_tuple = index_.view().row(c.witness_mu);
+    }
     return report;
   }
   report.verdict = TranslationVerdict::kTranslatable;
@@ -649,6 +671,7 @@ Result<ReplacementReport> TranslatabilityEngine::CheckReplace(
 }
 
 void TranslatabilityEngine::NotifyInsert(const Tuple& t) {
+  RELVIEW_TRACE_SPAN("engine.notify_insert");
   const auto [pos, slot] = index_.ApplyInsert(t);
   if (base_.valid() && !base_.conflict()) {
     base_.ExtendWith(index_, pos, slot, fds_, config_.backend, nullptr);
@@ -659,6 +682,7 @@ void TranslatabilityEngine::NotifyInsert(const Tuple& t) {
 }
 
 void TranslatabilityEngine::NotifyDelete(const Tuple& t) {
+  RELVIEW_TRACE_SPAN("engine.notify_delete");
   const int pos = index_.PositionOf(t);
   RELVIEW_DCHECK(pos >= 0, "notified delete of a row absent from the view");
   if (base_.TryRemove(index_, pos, fds_, config_.backend, nullptr)) {
@@ -670,6 +694,7 @@ void TranslatabilityEngine::NotifyDelete(const Tuple& t) {
 }
 
 void TranslatabilityEngine::NotifyReplace(const Tuple& t1, const Tuple& t2) {
+  RELVIEW_TRACE_SPAN("engine.notify_replace");
   const int pos = index_.PositionOf(t1);
   RELVIEW_DCHECK(pos >= 0, "notified replace of a row absent from the view");
   const bool kept =
@@ -690,6 +715,8 @@ EngineStats TranslatabilityEngine::stats() const {
   s.closure_hits = closures_.hits();
   s.closure_misses = closures_.misses();
   s.closure_hit_rate = closures_.hit_rate();
+  s.component_rows_rechased = base_.rechased_rows();
+  s.max_component_size = base_.max_component();
   return s;
 }
 

@@ -156,6 +156,12 @@ class BaseChaseCache {
 
   BaseChaseView AsView() const { return BaseChaseView{&fixpoint_, &renames_}; }
 
+  /// Cumulative fixpoint rows re-chased by component splices (provenance /
+  /// telemetry; monotonic, survives Invalidate()).
+  uint64_t rechased_rows() const { return rechased_rows_; }
+  /// Largest single component a splice ever touched.
+  uint64_t max_component() const { return max_component_; }
+
  private:
   void IndexRow(const FDSet& fds, int row);
   void UnindexRow(const FDSet& fds, int row);
@@ -182,6 +188,8 @@ class BaseChaseCache {
   /// now: bucket connectivity is a conservative superset of the real
   /// interaction graph (hash aliasing only enlarges components).
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> fd_buckets_;
+  uint64_t rechased_rows_ = 0;
+  uint64_t max_component_ = 0;
 };
 
 struct EngineConfig {
@@ -193,24 +201,38 @@ struct EngineConfig {
   size_t closure_cache_capacity = ClosureCache::kDefaultCapacity;
 };
 
+/// X-macro over EngineStats' uint64_t counters. ServiceMetrics' gauge
+/// array and the telemetry exposition iterate this list, so a field added
+/// here flows into every export automatically instead of being silently
+/// dropped by a hand-maintained index map.
+#define RELVIEW_ENGINE_STAT_FIELDS(X)                                     \
+  /* Checks answered from a live index vs. index (re)builds. */           \
+  X(index_reuses)                                                         \
+  X(index_rebuilds)                                                       \
+  /* Base-chase fixpoint: reused as-is / rebuilt from scratch / extended  \
+     in place by an inserted row / shrunk in place by a deleted row (both \
+     re-chase only the affected connected component). */                  \
+  X(base_reuses)                                                          \
+  X(base_rebuilds)                                                        \
+  X(base_extends)                                                         \
+  X(base_shrinks)                                                         \
+  /* Probe accounting (mirrors ChaseTestResult, accumulated). */          \
+  X(probes_run)                                                           \
+  X(probes_screened)                                                      \
+  X(probes_parallel)                                                      \
+  /* Closure-cache counters (snapshot of the engine's shared cache). */   \
+  X(closure_hits)                                                         \
+  X(closure_misses)                                                       \
+  /* Component-scoped maintenance: total fixpoint rows re-chased by       \
+     splice maintenance, and the largest single component touched. */     \
+  X(component_rows_rechased)                                              \
+  X(max_component_size)
+
 struct EngineStats {
-  /// Checks answered from a live index vs. index (re)builds.
-  uint64_t index_reuses = 0;
-  uint64_t index_rebuilds = 0;
-  /// Base-chase fixpoint: reused as-is / rebuilt from scratch / extended
-  /// in place by an inserted row / shrunk in place by a deleted row (both
-  /// re-chase only the affected connected component).
-  uint64_t base_reuses = 0;
-  uint64_t base_rebuilds = 0;
-  uint64_t base_extends = 0;
-  uint64_t base_shrinks = 0;
-  /// Probe accounting (mirrors ChaseTestResult, accumulated).
-  uint64_t probes_run = 0;
-  uint64_t probes_screened = 0;
-  uint64_t probes_parallel = 0;
-  /// Closure-cache counters (snapshot of the engine's shared cache).
-  uint64_t closure_hits = 0;
-  uint64_t closure_misses = 0;
+#define RELVIEW_ENGINE_DEFINE_FIELD(name) uint64_t name = 0;
+  RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_DEFINE_FIELD)
+#undef RELVIEW_ENGINE_DEFINE_FIELD
+  /// Derived: closure_hits / (closure_hits + closure_misses).
   double closure_hit_rate = 0.0;
 };
 

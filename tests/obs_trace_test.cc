@@ -1,0 +1,343 @@
+// Tests for the span tracer (obs/trace.h): ring semantics (drop-oldest,
+// no torn records under concurrent writers), head-based sampling, the
+// disabled fast path, and well-formedness of the Chrome trace_event JSON
+// export (checked with a tiny recursive-descent JSON parser rather than
+// eyeballed substrings).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace relview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal validating JSON parser: syntax only, no DOM. Enough to prove
+// the exporter emits parseable JSON (balanced structure, legal strings and
+// numbers), which substring checks cannot.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+  int objects_seen() const { return objects_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                   s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString() {
+    if (!Eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return Eat('"');
+  }
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+  bool ParseObject() {
+    if (!Eat('{')) return false;
+    ++objects_;
+    SkipWs();
+    if (Eat('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool ParseArray() {
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool ParseLiteral(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool ParseValue() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  int objects_ = 0;
+};
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer tracer(64);
+  {
+    Span s(tracer, "noop");
+    s.AddArg("n", 7);
+    EXPECT_FALSE(s.recording());
+  }
+  const TracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.spans_started, 0u);
+  EXPECT_EQ(stats.spans_recorded, 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, RecordsSpanWithArgsAndTiming) {
+  Tracer tracer(64);
+  tracer.Enable();
+  {
+    Span outer(tracer, "outer");
+    outer.AddArg("rows", 42);
+    Span inner(tracer, "inner");
+  }
+  tracer.Disable();
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Children complete (and are pushed) before their parent.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  ASSERT_EQ(events[1].num_args, 1);
+  EXPECT_STREQ(events[1].arg_name[0], "rows");
+  EXPECT_EQ(events[1].arg_value[0], 42u);
+  EXPECT_GE(events[0].start_ns, 0);
+  EXPECT_GE(events[0].dur_ns, 0);
+  // The parent encloses the child.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST(TracerTest, HeadBasedSamplingKeepsWholeTraces) {
+  Tracer tracer(1 << 10);
+  tracer.Enable(/*sample_every=*/4);
+  const int roots = 100;
+  for (int i = 0; i < roots; ++i) {
+    Span root(tracer, "root");
+    Span child(tracer, "child");  // must inherit the root's decision
+  }
+  tracer.Disable();
+  const TracerStats stats = tracer.stats();
+  // 1 in 4 roots kept, each with exactly one child: 25 * 2 records.
+  EXPECT_EQ(stats.spans_recorded, 50u);
+  EXPECT_EQ(stats.spans_sampled_out, 150u);
+  int children = 0;
+  for (const TraceEvent& ev : tracer.Snapshot()) {
+    if (std::string(ev.name) == "child") ++children;
+  }
+  EXPECT_EQ(children, 25);
+}
+
+TEST(TraceRingTest, DropsOldestWhenLapped) {
+  TraceRing ring(8);  // rounded to a power of two
+  const uint64_t cap = ring.capacity();
+  const uint64_t total = cap + 5;
+  for (uint64_t i = 0; i < total; ++i) {
+    TraceEvent ev;
+    ev.name = "e";
+    ev.start_ns = static_cast<int64_t>(i);
+    ring.Push(ev);
+  }
+  EXPECT_EQ(ring.pushed(), total);
+  EXPECT_EQ(ring.dropped_oldest(), total - cap);
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), cap);
+  // Oldest-first, and exactly the newest `cap` records survive.
+  for (uint64_t i = 0; i < cap; ++i) {
+    EXPECT_EQ(events[i].start_ns, static_cast<int64_t>(total - cap + i));
+  }
+}
+
+TEST(TraceRingTest, ConcurrentWritersAndReadersNeverTear) {
+  // Each record carries a checksum relation between its fields. Writers
+  // hammer a deliberately tiny ring (constant lapping) while readers
+  // snapshot; any torn read would break the relation. Run under TSan for
+  // the memory-model half of the claim.
+  TraceRing ring(64);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const TraceEvent& ev : ring.Snapshot()) {
+        const int64_t want = ev.start_ns * 3 + 1;
+        if (ev.dur_ns != want ||
+            ev.arg_value[0] != static_cast<uint64_t>(ev.start_ns) * 7) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const int64_t k = static_cast<int64_t>(w) * kPerWriter + i;
+        TraceEvent ev;
+        ev.name = "w";
+        ev.start_ns = k;
+        ev.dur_ns = k * 3 + 1;
+        ev.arg_name[0] = "k";
+        ev.arg_value[0] = static_cast<uint64_t>(k) * 7;
+        ev.num_args = 1;
+        ring.Push(ev);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(ring.pushed(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  // Final snapshot: every slot either holds an intact record or was
+  // abandoned to a (counted) same-slot collision — never a torn one.
+  std::vector<TraceEvent> events = ring.Snapshot();
+  EXPECT_LE(events.size(), ring.capacity());
+  EXPECT_GE(events.size() + ring.dropped_collisions(), ring.capacity());
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.dur_ns, ev.start_ns * 3 + 1);
+  }
+}
+
+TEST(TracerExportTest, ChromeTraceIsWellFormedJson) {
+  Tracer tracer(256);
+  tracer.Enable();
+  {
+    Span a(tracer, "alpha");
+    a.AddArg("specs", 3);
+    a.AddArg("probes", 9);
+    Span b(tracer, "beta \"quoted\\name\"");  // exercises escaping
+  }
+  {
+    Span c(tracer, "gamma");
+  }
+  tracer.Disable();
+
+  const std::string json = tracer.ExportChromeTrace();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.Valid()) << json;
+  // Top-level object + 3 event objects + one args object per event.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 3);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  // The quote and backslash must arrive escaped.
+  EXPECT_NE(json.find("beta \\\"quoted\\\\name\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"specs\":3"), std::string::npos);
+}
+
+TEST(TracerExportTest, EmptyTraceIsStillValidJson) {
+  Tracer tracer(16);
+  const std::string json = tracer.ExportChromeTrace();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.Valid()) << json;
+  EXPECT_EQ(CountOccurrences(json, "\"ph\""), 0);
+}
+
+TEST(TracerExportTest, TextExportListsEverySpan) {
+  Tracer tracer(64);
+  tracer.Enable();
+  {
+    Span a(tracer, "first");
+    Span b(tracer, "second");
+    b.AddArg("k", 5);
+  }
+  tracer.Disable();
+  const std::string text = tracer.ExportText();
+  EXPECT_NE(text.find("first"), std::string::npos);
+  EXPECT_NE(text.find("second"), std::string::npos);
+  EXPECT_NE(text.find("k=5"), std::string::npos);
+}
+
+TEST(TracerTest, ClearResetsBufferButNotCounters) {
+  Tracer tracer(64);
+  tracer.Enable();
+  { Span s(tracer, "x"); }
+  tracer.Disable();
+  ASSERT_EQ(tracer.Snapshot().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.stats().spans_recorded, 1u);
+}
+
+}  // namespace
+}  // namespace relview

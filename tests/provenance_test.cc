@@ -1,0 +1,199 @@
+// Provenance tests, pinned to the paper's running example (Theorem 3):
+// U = {Emp, Dept, Mgr}, Sigma = {Emp -> Dept, Dept -> Mgr}, X = ED,
+// Y = DM, V = {(e1,d1), (e2,d1), (e3,d2)}. A rejected update must
+// reproducibly report *which* condition of the translatability test
+// failed and, for condition (c), the violated FD and the violator row —
+// through the service layer's DecisionLog, not just the in-memory report.
+
+#include "obs/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/update_service.h"
+#include "view/insertion.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<uint32_t> consts) {
+  std::vector<Value> vals;
+  for (uint32_t c : consts) vals.push_back(Value::Const(c));
+  return Tuple(std::move(vals));
+}
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = Universe::Parse("Emp Dept Mgr").value();
+    DependencySet sigma;
+    sigma.fds = *FDSet::Parse(u_, "Emp -> Dept; Dept -> Mgr");
+    auto vt = ViewTranslator::Create(u_, sigma, u_.SetOf("Emp Dept"),
+                                     u_.SetOf("Dept Mgr"));
+    ASSERT_TRUE(vt.ok()) << vt.status().ToString();
+    Relation db(u_.All());
+    db.AddRow(Row({1, 10, 100}));
+    db.AddRow(Row({2, 10, 100}));
+    db.AddRow(Row({3, 20, 200}));
+    ASSERT_TRUE(vt->Bind(std::move(db)).ok());
+    auto service = UpdateService::Create(std::move(*vt));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(*service);
+  }
+
+  Universe u_;
+  std::unique_ptr<UpdateService> service_;
+};
+
+TEST_F(ProvenanceTest, RejectedInsertionReportsConditionCWithFdAndViolator) {
+  // (e1, d2): condition (c) must reject — the FD Emp -> Dept has row
+  // (e1, d1) agreeing with t on Emp but not Dept (insertion_test.cc proves
+  // the verdict; here we prove the provenance survives the service).
+  Status st = service_->Apply(ViewUpdate::Insert(Row({1, 20})));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+
+  auto trace = service_->decisions().LastRejected();
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->kind, 'I');
+  EXPECT_FALSE(trace->accepted);
+  EXPECT_EQ(trace->failed_condition, 'c');
+  EXPECT_EQ(trace->verdict, "FailsChase");
+  ASSERT_TRUE(trace->has_violated_fd);
+  EXPECT_TRUE(trace->violated_fd.lhs.Contains(u_["Emp"]));
+  EXPECT_EQ(trace->violated_fd.rhs, u_["Dept"]);
+  ASSERT_TRUE(trace->has_violator);
+  EXPECT_EQ(trace->violator_row, 0);
+  EXPECT_EQ(trace->violator_tuple, Row({1, 10}));
+  // The mu row matching t on X∩Y (Dept = d2) is (e3, d2).
+  ASSERT_TRUE(trace->has_mu);
+  EXPECT_EQ(trace->mu_tuple, Row({3, 20}));
+  EXPECT_GT(trace->check_nanos, 0);
+  EXPECT_EQ(trace->apply_nanos, 0);
+  EXPECT_EQ(trace->batch_index, 0);  // Apply is a batch of one
+
+  // Human/machine renderings carry the same evidence.
+  const std::string text = trace->ToString(&u_);
+  EXPECT_NE(text.find("REJECTED"), std::string::npos);
+  EXPECT_NE(text.find("(c)"), std::string::npos);
+  EXPECT_NE(text.find("Emp -> Dept"), std::string::npos);
+  EXPECT_NE(text.find("V[0]"), std::string::npos);
+  const std::string json = trace->ToJson(&u_);
+  EXPECT_NE(json.find("\"failed_condition\":\"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"violated_fd\":\"Emp -> Dept\""), std::string::npos);
+  EXPECT_NE(json.find("\"violator_row\":0"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, ConditionAFailureHasNoFdEvidence) {
+  // (e4, d9): d9 has no complement row — condition (a).
+  Status st = service_->Apply(ViewUpdate::Insert(Row({4, 90})));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  auto trace = service_->decisions().LastRejected();
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->failed_condition, 'a');
+  EXPECT_EQ(trace->verdict, "FailsComplementMembership");
+  EXPECT_FALSE(trace->has_violated_fd);
+  EXPECT_FALSE(trace->has_violator);
+}
+
+TEST_F(ProvenanceTest, RejectedDeletionIsTracedToo) {
+  // Deleting (e3, d2) would orphan d2's complement row: condition (a).
+  Status st = service_->Apply(ViewUpdate::Delete(Row({3, 20})));
+  EXPECT_EQ(st.code(), StatusCode::kUntranslatable);
+  auto trace = service_->decisions().LastRejected();
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->kind, 'D');
+  EXPECT_EQ(trace->failed_condition, 'a');
+}
+
+TEST_F(ProvenanceTest, AcceptedDecisionsAreRecordedAsWell) {
+  ASSERT_TRUE(service_->Apply(ViewUpdate::Insert(Row({4, 10}))).ok());
+  auto trace = service_->decisions().Last();
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->kind, 'I');
+  EXPECT_TRUE(trace->accepted);
+  EXPECT_EQ(trace->failed_condition, '-');
+  EXPECT_EQ(trace->verdict, "Translatable");
+  EXPECT_GT(trace->apply_nanos, 0);
+  EXPECT_FALSE(service_->decisions().LastRejected().has_value());
+}
+
+TEST_F(ProvenanceTest, BatchPositionIsThreadedIntoStatusAndTrace) {
+  // Update 0 accepts, update 1 is the condition-(c) rejection: the batch
+  // rolls back and both the Status payload and the DecisionTrace carry
+  // the failing position.
+  std::vector<ViewUpdate> batch = {
+      ViewUpdate::Insert(Row({4, 10})),
+      ViewUpdate::Insert(Row({1, 20})),
+      ViewUpdate::Insert(Row({5, 10})),  // never staged
+  };
+  BatchResult r = service_->ApplyBatch(batch);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.failed_index, 1);
+  EXPECT_EQ(r.status.batch_index(), 1);
+  EXPECT_EQ(service_->version(), 0u);  // rolled back
+
+  ASSERT_EQ(service_->decisions().total(), 2u);  // update 2 never ran
+  std::vector<DecisionTrace> traces = service_->decisions().Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_TRUE(traces[0].accepted);
+  EXPECT_EQ(traces[0].batch_index, 0);
+  EXPECT_FALSE(traces[1].accepted);
+  EXPECT_EQ(traces[1].batch_index, 1);
+  EXPECT_EQ(traces[1].failed_condition, 'c');
+  auto rejected = service_->decisions().LastRejected();
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->batch_index, 1);
+}
+
+TEST_F(ProvenanceTest, SingleUpdateStatusCarriesBatchIndexZero) {
+  Status st = service_->Apply(ViewUpdate::Insert(Row({1, 20})));
+  EXPECT_EQ(st.batch_index(), 0);
+  // A default-constructed status is not batch-scoped.
+  EXPECT_EQ(Status::OK().batch_index(), -1);
+}
+
+TEST(FailingConditionTest, MapsEveryVerdictToItsPaperCondition) {
+  EXPECT_EQ(FailingCondition(TranslationVerdict::kTranslatable), '-');
+  EXPECT_EQ(FailingCondition(TranslationVerdict::kIdentity), '-');
+  EXPECT_EQ(FailingCondition(TranslationVerdict::kFailsComplementMembership),
+            'a');
+  EXPECT_EQ(FailingCondition(TranslationVerdict::kFailsCommonPartNotKeyOfY),
+            'b');
+  EXPECT_EQ(FailingCondition(TranslationVerdict::kFailsCommonPartKeyOfX),
+            'b');
+  EXPECT_EQ(FailingCondition(TranslationVerdict::kFailsChase), 'c');
+}
+
+TEST(DecisionLogTest, BoundedLogKeepsTheNewestTraces) {
+  DecisionLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    DecisionTrace t;
+    t.kind = 'I';
+    t.accepted = (i % 2) == 0;
+    EXPECT_EQ(log.Push(std::move(t)), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(log.total(), 10u);
+  EXPECT_EQ(log.capacity(), 4u);
+  std::vector<DecisionTrace> traces = log.Snapshot();
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_EQ(traces.front().sequence, 6u);  // oldest retained
+  EXPECT_EQ(traces.back().sequence, 9u);
+  auto last = log.Last();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->sequence, 9u);
+  auto rejected = log.LastRejected();
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->sequence, 9u);  // i=9 was odd -> rejected
+}
+
+TEST(DecisionLogTest, EmptyLogHasNoLast) {
+  DecisionLog log;
+  EXPECT_FALSE(log.Last().has_value());
+  EXPECT_FALSE(log.LastRejected().has_value());
+  EXPECT_EQ(log.total(), 0u);
+}
+
+}  // namespace
+}  // namespace relview
