@@ -18,6 +18,23 @@
 //   journal <file>                    write-ahead journal accepted updates
 //                                     to <file>; existing records replay
 //                                     on 'bind' (set before 'bind')
+//   datadir <dir> [every [rotate]]    crash-safe store instead of a single
+//                                     journal file: rotated segments +
+//                                     checkpoints under <dir>; auto-
+//                                     checkpoint every <every> records
+//                                     (default 1024), rotate segments at
+//                                     <rotate> records (default 4096).
+//                                     Set before 'bind'; 'bind' recovers
+//   checkpoint                        force a checkpoint of the committed
+//                                     state now (then compact segments)
+//   recover                           rebuild the service from the durable
+//                                     state under datadir (checkpoint +
+//                                     journal suffix) and report what the
+//                                     recovery path did
+//   failpoint <name> <spec>           arm a fault-injection point (see
+//                                     docs/OPERATIONS.md), e.g.
+//                                     'failpoint journal.fsync error@2';
+//                                     'failpoint list' / 'failpoint clear'
 //   bind                              validate Sigma and start translating
 //   insert <val> ...                  insert a view tuple (over X)
 //   delete <val> ...                  delete a view tuple
@@ -59,6 +76,7 @@
 #include "obs/telemetry.h"
 #include "relational/csv.h"
 #include "service/update_service.h"
+#include "util/failpoint.h"
 #include "view/find_complement.h"
 #include "view/translator.h"
 
@@ -110,6 +128,10 @@ class Shell {
     if (cmd == "row") return CmdRow(tok);
     if (cmd == "load") return CmdLoad(rest);
     if (cmd == "journal") return CmdJournal(rest);
+    if (cmd == "datadir") return CmdDataDir(tok);
+    if (cmd == "checkpoint") return CmdCheckpoint();
+    if (cmd == "recover") return CmdRecover();
+    if (cmd == "failpoint") return CmdFailpoint(tok);
     if (cmd == "bind") return CmdBind();
     if (cmd == "insert") return CmdInsert(tok);
     if (cmd == "delete") return CmdDelete(tok);
@@ -214,6 +236,97 @@ class Shell {
     return Status::OK();
   }
 
+  Status CmdDataDir(const std::vector<std::string>& tok) {
+    if (tok.size() < 2 || tok.size() > 4) {
+      return Status::InvalidArgument("usage: datadir <dir> [every [rotate]]");
+    }
+    if (service_) {
+      return Status::FailedPrecondition(
+          "set the datadir before 'bind' (it recovers onto the seed rows)");
+    }
+    store_opts_.dir = tok[1];
+    store_opts_.checkpoint_every = 1024;
+    if (tok.size() > 2) {
+      store_opts_.checkpoint_every =
+          static_cast<uint64_t>(std::atoll(tok[2].c_str()));
+    }
+    if (tok.size() > 3) {
+      const long long n = std::atoll(tok[3].c_str());
+      if (n < 1) return Status::InvalidArgument("rotate must be >= 1");
+      store_opts_.rotate_records = static_cast<uint64_t>(n);
+    }
+    std::printf(
+        "  durable store at %s (checkpoint every %llu, rotate at %llu); "
+        "'bind' recovers\n",
+        store_opts_.dir.c_str(),
+        static_cast<unsigned long long>(store_opts_.checkpoint_every),
+        static_cast<unsigned long long>(store_opts_.rotate_records));
+    return Status::OK();
+  }
+
+  Status CmdCheckpoint() {
+    RELVIEW_RETURN_IF_ERROR(NeedService());
+    RELVIEW_ASSIGN_OR_RETURN(uint64_t seq, service_->Checkpoint());
+    const DurableStore* store = service_->store();
+    std::printf("  checkpoint covers seq %llu (%d live segment(s), "
+                "compaction lag %llu)\n",
+                static_cast<unsigned long long>(seq), store->segment_count(),
+                static_cast<unsigned long long>(store->compaction_lag()));
+    return Status::OK();
+  }
+
+  Status CmdRecover() {
+    if (store_opts_.dir.empty()) {
+      return Status::FailedPrecondition("set 'datadir <dir>' first");
+    }
+    service_.reset();
+    RELVIEW_RETURN_IF_ERROR(CmdBind());
+    const RecoveryInfo& info = service_->store()->recovery();
+    std::printf("  recovery: %s, replayed %llu record(s), now at seq %llu "
+                "(%d segment(s))\n",
+                info.used_checkpoint
+                    ? ("from checkpoint seq " +
+                       std::to_string(info.checkpoint_seq))
+                          .c_str()
+                    : "full replay from seed",
+                static_cast<unsigned long long>(info.replayed),
+                static_cast<unsigned long long>(info.recovered_seq),
+                info.segments);
+    for (const std::string& w : info.warnings) {
+      std::printf("  recovery warning: %s\n", w.c_str());
+    }
+    return Status::OK();
+  }
+
+  Status CmdFailpoint(const std::vector<std::string>& tok) {
+    if (tok.size() == 2 && tok[1] == "list") {
+      const std::vector<std::string> armed = Failpoints::Armed();
+      for (const std::string& name : armed) {
+        std::printf("  %s: %llu hit(s)\n", name.c_str(),
+                    static_cast<unsigned long long>(Failpoints::Hits(name)));
+      }
+      if (armed.empty()) std::printf("  no failpoints armed\n");
+      return Status::OK();
+    }
+    if (tok.size() >= 2 && tok[1] == "clear") {
+      if (tok.size() == 3) {
+        Failpoints::Clear(tok[2]);
+      } else {
+        Failpoints::ClearAll();
+      }
+      std::printf("  failpoint(s) cleared\n");
+      return Status::OK();
+    }
+    if (tok.size() != 3) {
+      return Status::InvalidArgument(
+          "usage: failpoint <name> <spec> | failpoint clear [<name>] | "
+          "failpoint list");
+    }
+    RELVIEW_RETURN_IF_ERROR(Failpoints::Set(tok[1], tok[2]));
+    std::printf("  failpoint %s armed: %s\n", tok[1].c_str(), tok[2].c_str());
+    return Status::OK();
+  }
+
   Status CmdBind() {
     RELVIEW_ASSIGN_OR_RETURN(
         ViewTranslator vt,
@@ -224,6 +337,7 @@ class Shell {
     const bool good = vt.complement_is_good();
     ServiceOptions options;
     options.journal_path = journal_path_;
+    options.store = store_opts_;
     RELVIEW_ASSIGN_OR_RETURN(service_,
                              UpdateService::Create(std::move(vt), options));
     // Re-registering on rebind replaces the previous service's collectors.
@@ -472,6 +586,7 @@ class Shell {
   ValuePool pool_;
   std::vector<Tuple> rows_;
   std::string journal_path_;
+  StoreOptions store_opts_;
   std::unique_ptr<UpdateService> service_;
   std::optional<std::vector<ViewUpdate>> batch_;
 };
@@ -479,6 +594,13 @@ class Shell {
 }  // namespace
 
 int main() {
+  // Operators can pre-arm fault injection, e.g.
+  //   RELVIEW_FAILPOINTS="journal.fsync=error@2" ./view_shell
+  Status fp = Failpoints::InstallFromEnv();
+  if (!fp.ok()) {
+    std::fprintf(stderr, "RELVIEW_FAILPOINTS: %s\n", fp.ToString().c_str());
+    return 2;
+  }
   Shell shell;
   return shell.Run(std::cin);
 }

@@ -1,0 +1,211 @@
+#include "service/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.h"
+#include "service/journal.h"
+#include "util/failpoint.h"
+
+namespace relview {
+namespace {
+
+constexpr char kMagic[] = "rvckpt1";
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+Status SyncDir(const std::string& path) {
+  const std::string dir = DirOf(path);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("checkpoint: cannot open dir " + dir + ": " +
+                            std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("checkpoint: dir fsync failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// write(2) the whole buffer, honoring the "checkpoint.write" failpoint
+/// (error: fail before writing; short: write a prefix, then fail).
+Status WriteAll(int fd, const std::string& data) {
+  size_t limit = data.size();
+  bool injected_fault = false;
+  if (FailpointHit fp = Failpoints::Check("checkpoint.write")) {
+    if (fp.action == FailpointAction::kError) {
+      return Status::Internal("checkpoint write failed: injected EIO");
+    }
+    if (fp.action == FailpointAction::kShortWrite) {
+      limit = fp.arg != 0 && fp.arg < limit ? fp.arg : limit / 2;
+      injected_fault = true;
+    }
+  }
+  const char* p = data.data();
+  size_t left = limit;
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("checkpoint write failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (injected_fault) {
+    return Status::Internal("checkpoint write failed: injected short write");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(const Relation& database, uint64_t seq) {
+  std::string body;
+  body.reserve(static_cast<size_t>(database.size()) * 16);
+  for (const Tuple& row : database.rows()) {
+    for (int i = 0; i < row.arity(); ++i) {
+      if (i) body += ' ';
+      body += std::to_string(row[i].raw());
+    }
+    body += '\n';
+  }
+  char header[96];
+  std::snprintf(header, sizeof(header), "%s %llu %d %d %016llx\n", kMagic,
+                static_cast<unsigned long long>(seq), database.arity(),
+                database.size(),
+                static_cast<unsigned long long>(JournalChecksum(body)));
+  return header + body;
+}
+
+Status WriteCheckpoint(const std::string& path, const Relation& database,
+                       uint64_t seq) {
+  RELVIEW_TRACE_SPAN_N(span, "ckpt.write");
+  span.AddArg("rows", static_cast<uint64_t>(database.size()));
+  span.AddArg("seq", seq);
+  std::string data = EncodeCheckpoint(database, seq);
+  if (FailpointHit fp = Failpoints::Check("checkpoint.flip")) {
+    if (fp.action == FailpointAction::kFlipBit && fp.arg <= data.size() &&
+        fp.arg > 0) {
+      data[data.size() - fp.arg] ^= 1;  // silent corruption on the way out
+    }
+  }
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("checkpoint: cannot open " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  Status st = WriteAll(fd, data);
+  if (!st.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (Failpoints::Check("checkpoint.fsync")) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("checkpoint fsync failed: injected EIO");
+  }
+  if (::fsync(fd) != 0) {
+    const Status err = Status::Internal("checkpoint fsync failed: " +
+                                        std::string(std::strerror(errno)));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  ::close(fd);
+
+  Failpoints::Check("checkpoint.crash_before_rename");  // crash-armed only
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status err = Status::Internal("checkpoint rename failed: " +
+                                        std::string(std::strerror(errno)));
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  Failpoints::Check("checkpoint.crash_after_rename");  // crash-armed only
+  return SyncDir(path);
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path,
+                                      const AttrSet& attrs) {
+  RELVIEW_TRACE_SPAN("ckpt.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no checkpoint at " + path);
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::Corruption("checkpoint " + path + ": empty file");
+  }
+  std::istringstream hdr(header);
+  std::string magic, checksum_hex;
+  unsigned long long seq = 0;
+  int arity = -1, nrows = -1;
+  if (!(hdr >> magic >> seq >> arity >> nrows >> checksum_hex) ||
+      magic != kMagic || arity < 0 || nrows < 0 ||
+      checksum_hex.size() != 16) {
+    return Status::Corruption("checkpoint " + path + ": malformed header");
+  }
+  if (arity != attrs.Count()) {
+    return Status::Corruption("checkpoint " + path + ": arity " +
+                              std::to_string(arity) +
+                              " does not match the schema (" +
+                              std::to_string(attrs.Count()) + ")");
+  }
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  char want[17];
+  std::snprintf(want, sizeof(want), "%016llx",
+                static_cast<unsigned long long>(JournalChecksum(body)));
+  if (checksum_hex != want) {
+    return Status::Corruption("checkpoint " + path + ": checksum mismatch");
+  }
+
+  CheckpointData out;
+  out.seq = seq;
+  out.database = Relation(attrs);
+  std::istringstream rows(body);
+  std::string line;
+  int row_no = 0;
+  while (std::getline(rows, line)) {
+    ++row_no;
+    std::istringstream cells(line);
+    std::vector<Value> vals;
+    vals.reserve(static_cast<size_t>(arity));
+    uint32_t raw;
+    while (cells >> raw) {
+      vals.push_back(raw & Value::kNullTag
+                         ? Value::Null(raw & ~Value::kNullTag)
+                         : Value::Const(raw));
+    }
+    if (static_cast<int>(vals.size()) != arity) {
+      return Status::Corruption("checkpoint " + path + ": row " +
+                                std::to_string(row_no) + " has " +
+                                std::to_string(vals.size()) + " values");
+    }
+    out.database.AddRow(Tuple(std::move(vals)));
+  }
+  if (row_no != nrows) {
+    return Status::Corruption("checkpoint " + path + ": expected " +
+                              std::to_string(nrows) + " rows, found " +
+                              std::to_string(row_no));
+  }
+  return out;
+}
+
+}  // namespace relview

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/small_util.h"
 #include "view/translator.h"
 
@@ -17,6 +18,78 @@ namespace relview {
 namespace {
 
 constexpr char kMagic[] = "rv1";
+
+// Validates one complete record line (terminator already stripped).
+// Returns an empty string and sets *payload on success; otherwise a
+// description of the damage.
+std::string ValidateRecordLine(const std::string& line,
+                               std::string* payload) {
+  std::istringstream hdr(line);
+  std::string magic, checksum_hex;
+  size_t len = 0;
+  if (!(hdr >> magic >> len >> checksum_hex) || magic != kMagic ||
+      checksum_hex.size() != 16) {
+    return "malformed header";
+  }
+  // Records are written with single-space separators, so the payload
+  // offset is exactly the reconstructed header's length.
+  const size_t payload_at =
+      magic.size() + 1 + std::to_string(len).size() + 1 + 16 + 1;
+  if (payload_at > line.size() || line.size() - payload_at != len) {
+    return "length mismatch (torn write?)";
+  }
+  *payload = line.substr(payload_at);
+  char want[17];
+  std::snprintf(want, sizeof(want), "%016llx",
+                static_cast<unsigned long long>(JournalChecksum(*payload)));
+  if (checksum_hex != want) return "checksum mismatch";
+  return "";
+}
+
+// Re-verifies the file's final record before a writer may extend it. A
+// clean journal always ends in a newline-terminated record whose
+// checksum validates; anything else means the previous incarnation died
+// mid-append (or the disk flipped bits) and the caller must repair via
+// Journal::Read first. Reads only a bounded tail window.
+Status VerifyTailRecord(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::OK();  // no file yet: nothing to verify
+  const std::streamoff size = in.tellg();
+  if (size == 0) return Status::OK();  // empty journal is clean
+
+  constexpr std::streamoff kWindow = 1 << 20;
+  const std::streamoff start = size > kWindow ? size - kWindow : 0;
+  in.seekg(start);
+  std::string tail(static_cast<size_t>(size - start), '\0');
+  if (!in.read(tail.data(), static_cast<std::streamsize>(tail.size()))) {
+    return Status::Internal("journal " + path + ": cannot read tail");
+  }
+  if (tail.back() != '\n') {
+    return Status::Corruption("journal " + path +
+                              ": final record is torn (no terminator); "
+                              "repair with Journal::Read before appending");
+  }
+  tail.pop_back();
+  const size_t nl = tail.find_last_of('\n');
+  if (nl == std::string::npos && start > 0) {
+    // The final record alone outgrows the window; records are a few
+    // hundred bytes, so this is itself a sign of damage.
+    return Status::Corruption("journal " + path +
+                              ": final record exceeds the verification "
+                              "window");
+  }
+  const std::string line =
+      nl == std::string::npos ? tail : tail.substr(nl + 1);
+  std::string payload;
+  const std::string bad = ValidateRecordLine(line, &payload);
+  if (!bad.empty()) {
+    return Status::Corruption("journal " + path + ": final record is "
+                              "invalid (" + bad +
+                              "); repair with Journal::Read before "
+                              "appending");
+  }
+  return Status::OK();
+}
 
 std::string HeaderFor(const std::string& payload) {
   char buf[64];
@@ -94,13 +167,21 @@ Result<ViewUpdate> DecodeJournalPayload(const std::string& payload) {
                                  "'");
 }
 
-Result<Journal> Journal::Open(const std::string& path) {
+Result<Journal> Journal::Open(
+    const std::string& path,
+    std::shared_ptr<LatencyHistogram> fsync_latency) {
+  // O_APPEND resumes after the last byte, so never extend a file whose
+  // final record does not verify: appends after a torn tail would be
+  // unreachable to replay (everything past the first bad record drops).
+  RELVIEW_RETURN_IF_ERROR(VerifyTailRecord(path));
   int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
   if (fd < 0) {
     return Status::InvalidArgument("cannot open journal " + path + ": " +
                                    std::strerror(errno));
   }
-  return Journal(path, fd);
+  Journal j(path, fd);
+  if (fsync_latency != nullptr) j.fsync_latency_ = std::move(fsync_latency);
+  return j;
 }
 
 Journal::Journal(Journal&& o) noexcept
@@ -141,8 +222,22 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
     block += payload;
     block += '\n';
   }
+  // Fault injection on the durability path (docs/OPERATIONS.md):
+  // "journal.write" error fails the batch cleanly; a short write leaves a
+  // real torn record on disk for the repair path to truncate.
+  size_t limit = block.size();
+  bool injected_torn_tail = false;
+  if (FailpointHit fp = Failpoints::Check("journal.write")) {
+    if (fp.action == FailpointAction::kError) {
+      return Status::Internal("journal write failed: injected EIO");
+    }
+    if (fp.action == FailpointAction::kShortWrite) {
+      limit = fp.arg != 0 && fp.arg < limit ? fp.arg : limit / 2;
+      injected_torn_tail = true;
+    }
+  }
   const char* p = block.data();
-  size_t left = block.size();
+  size_t left = limit;
   while (left > 0) {
     ssize_t n = ::write(fd_, p, left);
     if (n < 0) {
@@ -153,7 +248,14 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
     p += n;
     left -= static_cast<size_t>(n);
   }
+  if (injected_torn_tail) {
+    return Status::Internal("journal write failed: injected short write");
+  }
+  Failpoints::Check("journal.crash_after_write");  // crash-armed only
   Timer fsync_timer;
+  if (Failpoints::Check("journal.fsync")) {
+    return Status::Internal("journal fsync failed: injected EIO");
+  }
   if (::fsync(fd_) != 0) {
     return Status::Internal("journal fsync failed: " +
                             std::string(std::strerror(errno)));
@@ -174,32 +276,10 @@ Result<JournalReadResult> Journal::Read(const std::string& path,
   while (std::getline(in, line)) {
     ++record_no;
     const bool has_newline = !in.eof();
-    std::string bad;
     // Header: "rv1 <len> <checksum16> " followed by exactly <len> payload
     // bytes. Anything else is a torn or corrupt record.
-    std::istringstream hdr(line);
-    std::string magic, checksum_hex;
-    size_t len = 0;
     std::string payload;
-    if (!(hdr >> magic >> len >> checksum_hex) || magic != kMagic ||
-        checksum_hex.size() != 16) {
-      bad = "malformed header";
-    } else {
-      // Records are written with single-space separators, so the payload
-      // offset is exactly the reconstructed header's length.
-      const size_t payload_at =
-          magic.size() + 1 + std::to_string(len).size() + 1 + 16 + 1;
-      if (payload_at > line.size() || line.size() - payload_at != len) {
-        bad = "length mismatch (torn write?)";
-      } else {
-        payload = line.substr(payload_at);
-        char want[17];
-        std::snprintf(want, sizeof(want), "%016llx",
-                      static_cast<unsigned long long>(
-                          JournalChecksum(payload)));
-        if (checksum_hex != want) bad = "checksum mismatch";
-      }
-    }
+    std::string bad = ValidateRecordLine(line, &payload);
     if (bad.empty() && !has_newline) bad = "missing record terminator";
     if (bad.empty()) {
       Result<ViewUpdate> u = DecodeJournalPayload(payload);

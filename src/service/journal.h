@@ -1,28 +1,32 @@
-// Journal: the service layer's write-ahead log. One text record per
-// accepted view update, appended and fsync'd *before* the update is
-// published, so that replaying the journal against the seed database
-// deterministically reproduces the served state (sound because constant-
-// complement translators are morphisms — fact (ii) of the Bancilhon–
-// Spyratos framework: translations of a serialized update sequence
-// compose).
-//
-// Record format (one line per record):
-//
-//   rv1 <len> <fnv64-hex> <payload>\n
-//
-// where <len> is the byte length of <payload> and <fnv64-hex> is the
-// 16-hex-digit FNV-1a hash of <payload>. The payload spells the update
-// with raw Value ids:
-//
-//   I <arity> <v...>                 insert
-//   D <arity> <v...>                 delete
-//   R <arity> <v...> <arity> <w...>  replace t1 -> t2
-//
-// A torn or corrupt tail (partial line, length mismatch, checksum
-// mismatch) is detected on read, reported, and truncated away — never a
-// crash. Anything *after* the first bad record is dropped with it, since
-// ordering is what makes replay sound.
-
+/// \file
+/// Journal: the service layer's write-ahead log. One text record per
+/// accepted view update, appended and fsync'd *before* the update is
+/// published, so that replaying the journal against the seed database
+/// deterministically reproduces the served state (sound because constant-
+/// complement translators are morphisms — fact (ii) of the Bancilhon–
+/// Spyratos framework: translations of a serialized update sequence
+/// compose).
+///
+/// Record format (one line per record):
+///
+///   rv1 <len> <fnv64-hex> <payload>\n
+///
+/// where <len> is the byte length of <payload> and <fnv64-hex> is the
+/// 16-hex-digit FNV-1a hash of <payload>. The payload spells the update
+/// with raw Value ids:
+///
+///   I <arity> <v...>                 insert
+///   D <arity> <v...>                 delete
+///   R <arity> <v...> <arity> <w...>  replace t1 -> t2
+///
+/// A torn or corrupt tail (partial line, length mismatch, checksum
+/// mismatch) is detected on read, reported, and truncated away — never a
+/// crash. Anything *after* the first bad record is dropped with it, since
+/// ordering is what makes replay sound.
+///
+/// Journals are either standalone files (Open/Read/Replay below) or
+/// segments of a rotated log managed by DurableStore (recovery.h), which
+/// adds checkpoint-bounded replay and compaction on top of this format.
 #ifndef RELVIEW_SERVICE_JOURNAL_H_
 #define RELVIEW_SERVICE_JOURNAL_H_
 
@@ -48,7 +52,9 @@ std::string EncodeJournalPayload(const ViewUpdate& u);
 /// Parses a payload produced by EncodeJournalPayload.
 Result<ViewUpdate> DecodeJournalPayload(const std::string& payload);
 
+/// Everything Journal::Read learned about one journal file.
 struct JournalReadResult {
+  /// The decoded records, in append order.
   std::vector<ViewUpdate> updates;
   /// True when a torn/corrupt tail was found (and truncated, if the
   /// reader was allowed to repair).
@@ -60,16 +66,27 @@ struct JournalReadResult {
 /// An open, append-only journal file.
 class Journal {
  public:
-  /// Opens (creating if absent) `path` for appending. Existing records are
-  /// left untouched; use Read()/Replay() first to recover them.
-  static Result<Journal> Open(const std::string& path);
+  /// Opens (creating if absent) `path` for appending, after verifying the
+  /// integrity of the file's final record: a torn tail or a checksum
+  /// mismatch yields a typed kCorruption status instead of a handle, so a
+  /// writer can never extend past silent damage. Run Read() (with repair)
+  /// first to recover a journal that crashed mid-append. When
+  /// `fsync_latency` is non-null the journal records into it instead of a
+  /// fresh histogram (so rotated segments share one distribution).
+  static Result<Journal> Open(
+      const std::string& path,
+      std::shared_ptr<LatencyHistogram> fsync_latency = nullptr);
 
+  /// Move-only: the moved-from journal gives up its file descriptor.
   Journal(Journal&& o) noexcept;
+  /// Move assignment; closes the currently held descriptor first.
   Journal& operator=(Journal&& o) noexcept;
-  Journal(const Journal&) = delete;
-  Journal& operator=(const Journal&) = delete;
+  Journal(const Journal&) = delete;             ///< Not copyable.
+  Journal& operator=(const Journal&) = delete;  ///< Not copyable.
+  /// Closes the file descriptor (appended records are already fsync'd).
   ~Journal();
 
+  /// Path this journal appends to.
   const std::string& path() const { return path_; }
 
   /// Per-fsync latency distribution (one sample per Append/AppendAll).
@@ -83,6 +100,9 @@ class Journal {
   Status Append(const ViewUpdate& u);
 
   /// Appends all records with a single trailing fsync (group commit).
+  /// Failpoints: "journal.write" (error, or a short write that leaves a
+  /// torn tail on disk), "journal.crash_after_write" (crash between
+  /// write and fsync), "journal.fsync" (error).
   Status AppendAll(const std::vector<ViewUpdate>& updates);
 
   /// Parses every complete record of the journal at `path`. A torn or

@@ -1,8 +1,9 @@
-// ServiceMetrics: thread-safe observability for the update service —
-// monotonic accept/reject counters per update kind and per rejection
-// StatusCode, plus latency histograms for the check (translatability test)
-// and apply (translation + publish) phases. Everything is lock-free
-// atomics so the writer's hot path never blocks on a scrape.
+/// \file
+/// ServiceMetrics: thread-safe observability for the update service —
+/// monotonic accept/reject counters per update kind and per rejection
+/// StatusCode, plus latency histograms for the check (translatability
+/// test) and apply (translation + publish) phases. Everything is
+/// lock-free atomics so the writer's hot path never blocks on a scrape.
 
 #ifndef RELVIEW_SERVICE_METRICS_H_
 #define RELVIEW_SERVICE_METRICS_H_
@@ -19,32 +20,41 @@
 
 namespace relview {
 
+/// The update service's counter/latency module. All recording methods
+/// are safe from any thread; reads are relaxed-consistent snapshots.
 class ServiceMetrics {
  public:
-  /// Counter array sizes derived from the enums' sentinel values, so a new
-  /// kind or status code grows the arrays instead of silently dropping
-  /// counts.
+  /// Per-kind counter array size, derived from the enum's sentinel value
+  /// so a new kind grows the arrays instead of silently dropping counts.
   static constexpr int kKinds = static_cast<int>(UpdateKind::kNumUpdateKinds);
+  /// Per-status-code counter array size; same sentinel-derived scheme.
   static constexpr int kStatusCodes =
       static_cast<int>(StatusCode::kNumStatusCodes);
   static_assert(static_cast<int>(UpdateKind::kReplace) + 1 == kKinds,
                 "UpdateKind sentinel must stay last");
-  static_assert(static_cast<int>(StatusCode::kInternal) + 1 == kStatusCodes,
+  static_assert(static_cast<int>(StatusCode::kCorruption) + 1 == kStatusCodes,
                 "StatusCode sentinel must stay last");
 
+  /// Counts one accepted update of `kind`.
   void RecordAccepted(UpdateKind kind);
+  /// Counts one rejected update of `kind`, attributed to `code`.
   void RecordRejected(UpdateKind kind, StatusCode code);
+  /// Records one translatability-check latency sample.
   void RecordCheckLatency(int64_t nanos) { check_latency_.Record(nanos); }
+  /// Records one translation+publish latency sample.
   void RecordApplyLatency(int64_t nanos) { apply_latency_.Record(nanos); }
+  /// Counts one committed batch.
   void RecordBatchCommitted() {
     batches_committed_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Counts one rolled-back batch.
   void RecordBatchRolledBack() {
     batches_rolled_back_.fetch_add(1, std::memory_order_relaxed);
   }
   /// Sharded: snapshot reads are the service's hottest path, and a single
   /// counter cache line pinged by every reader caps their scaling.
   void RecordSnapshot();
+  /// Counts one update replayed from the journal during Create.
   void RecordReplayedUpdate() {
     replayed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -53,29 +63,40 @@ class ServiceMetrics {
   /// the writer after each committed batch; gauges, not monotonic sums.
   void SetEngineGauges(const EngineStats& stats);
 
+  /// Accepted updates of `kind` so far.
   uint64_t accepted(UpdateKind kind) const {
     return accepted_[static_cast<int>(kind)].load(std::memory_order_relaxed);
   }
+  /// Rejected updates of `kind` so far.
   uint64_t rejected(UpdateKind kind) const {
     return rejected_[static_cast<int>(kind)].load(std::memory_order_relaxed);
   }
+  /// Rejections attributed to `code` (summed over kinds).
   uint64_t rejected_by_code(StatusCode code) const {
     return rejected_by_code_[static_cast<int>(code)].load(
         std::memory_order_relaxed);
   }
+  /// Accepted updates summed over kinds.
   uint64_t total_accepted() const;
+  /// Rejected updates summed over kinds.
   uint64_t total_rejected() const;
+  /// Batches committed so far.
   uint64_t batches_committed() const {
     return batches_committed_.load(std::memory_order_relaxed);
   }
+  /// Batches rolled back so far.
   uint64_t batches_rolled_back() const {
     return batches_rolled_back_.load(std::memory_order_relaxed);
   }
+  /// Snapshot() calls served (summed over shards).
   uint64_t snapshots() const;
+  /// Journal records replayed during Create.
   uint64_t replayed() const {
     return replayed_.load(std::memory_order_relaxed);
   }
+  /// Translatability-check latency distribution.
   const LatencyHistogram& check_latency() const { return check_latency_; }
+  /// Translation+publish latency distribution.
   const LatencyHistogram& apply_latency() const { return apply_latency_; }
   /// Last-published engine counter snapshot (zeros before the first
   /// SetEngineGauges call).

@@ -1,0 +1,166 @@
+/// \file
+/// DurableStore: crash-safe persistence for UpdateService — a rotated,
+/// segmented write-ahead journal plus periodic checkpoints, with a unified
+/// recovery path (newest valid checkpoint + replay of the journal suffix)
+/// that replaces full-journal replay on startup.
+///
+/// On-disk layout (one directory per served view):
+///
+///   <dir>/journal-<first_seq %016x>.log    journal segments (journal.h
+///                                          record format); first_seq =
+///                                          global sequence number of the
+///                                          segment's first record
+///   <dir>/checkpoint-<seq %016x>.rvc       checkpoints (checkpoint.h
+///                                          format); seq = records covered
+///   <dir>/*.tmp                            in-flight checkpoint writes;
+///                                          deleted on recovery
+///
+/// The global *sequence number* counts accepted view updates since the
+/// seed instance. Invariants maintained across any crash point:
+///
+///   1. Segments cover a contiguous, gap-free range of sequence numbers;
+///      recovery fails with kCorruption if a middle segment is torn or a
+///      gap is detected (a torn *tail* of the *last* segment is the normal
+///      crash signature and is repaired by truncation).
+///   2. Compaction deletes a segment only when a durable checkpoint covers
+///      every record in it, and never deletes the active segment, so the
+///      suffix [checkpoint_seq, seq) is always replayable.
+///   3. Checkpoints are written atomically (tmp + rename + dir fsync) and
+///      verified by checksum on read; a corrupt checkpoint is skipped and
+///      recovery falls back to the next older one (ultimately the seed).
+#ifndef RELVIEW_SERVICE_RECOVERY_H_
+#define RELVIEW_SERVICE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "service/journal.h"
+#include "util/status.h"
+
+namespace relview {
+
+class ViewTranslator;
+
+/// Tuning and placement knobs for a DurableStore.
+struct StoreOptions {
+  /// Directory holding segments and checkpoints; created if absent.
+  /// Empty disables the store (UpdateService then runs un-journaled or
+  /// with the legacy single-file journal).
+  std::string dir;
+  /// Rotate to a fresh segment once the active one holds at least this
+  /// many records. A batch is never split across segments.
+  uint64_t rotate_records = 4096;
+  /// Auto-checkpoint (from UpdateService) once this many records
+  /// accumulate past the last checkpoint; 0 = manual checkpoints only.
+  uint64_t checkpoint_every = 0;
+  /// Newest valid checkpoints kept after compaction (>= 1).
+  int keep_checkpoints = 2;
+};
+
+/// What recovery found and did; exposed for operators (shell `recover`,
+/// telemetry) and asserted on by the torture tests.
+struct RecoveryInfo {
+  /// True when a checkpoint was loaded (false: full replay from seed).
+  bool used_checkpoint = false;
+  /// Sequence number of the loaded checkpoint (0 when none).
+  uint64_t checkpoint_seq = 0;
+  /// Journal records replayed on top of the checkpoint (or seed).
+  uint64_t replayed = 0;
+  /// Sequence number after recovery (checkpoint_seq + replayed, unless a
+  /// newer checkpoint out-ran the journal).
+  uint64_t recovered_seq = 0;
+  /// Live journal segments after recovery.
+  int segments = 0;
+  /// Anything non-fatal worth surfacing: repaired torn tails, corrupt
+  /// checkpoints skipped, stray tmp files removed.
+  std::vector<std::string> warnings;
+};
+
+/// The persistence engine behind UpdateService: owns the segment files
+/// and checkpoints under StoreOptions::dir. Not internally synchronized —
+/// the service serializes all calls behind its writer mutex.
+class DurableStore {
+ public:
+  /// Opens the store and runs recovery into `translator` (which must be
+  /// bound to the *seed* instance): loads the newest checkpoint that
+  /// verifies, replays the journal suffix past it, repairs a torn tail on
+  /// the final segment, and opens the active segment for appending.
+  /// Returns kCorruption for damage that breaks replay soundness (middle-
+  /// segment truncation, sequence gaps) and kInternal when a journaled
+  /// update no longer validates against the recovered state.
+  static Result<std::unique_ptr<DurableStore>> Open(
+      StoreOptions options, ViewTranslator* translator);
+
+  /// What recovery found when this store was opened.
+  const RecoveryInfo& recovery() const { return recovery_; }
+  /// The options the store was opened with.
+  const StoreOptions& options() const { return options_; }
+
+  /// Appends one committed batch to the active segment (rotating first if
+  /// it is full) and fsyncs. On success the store's sequence number
+  /// advances by updates.size().
+  Status Append(const std::vector<ViewUpdate>& updates);
+
+  /// Writes a checkpoint of `database` covering the current sequence
+  /// number, then compacts: deletes segments fully covered by the new
+  /// checkpoint and checkpoints older than options().keep_checkpoints.
+  /// Returns the covered sequence number. `database` must be the state
+  /// at exactly seq() — the service calls this under its writer mutex.
+  Result<uint64_t> WriteCheckpoint(const Relation& database);
+
+  /// Accepted records since the seed (checkpointed + journaled).
+  uint64_t seq() const { return seq_; }
+  /// Sequence number of the newest durable checkpoint (0 = none).
+  uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
+  /// Records accepted since the last durable checkpoint — the replay debt
+  /// a crash would incur right now.
+  uint64_t compaction_lag() const { return seq_ - last_checkpoint_seq_; }
+  /// Checkpoints written by this incarnation (not counting recovered
+  /// ones).
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  /// Segments deleted by compaction in this incarnation.
+  uint64_t segments_compacted() const { return segments_compacted_; }
+  /// Live segment files (including the active one).
+  int segment_count() const { return static_cast<int>(segments_.size()); }
+
+  /// Shared fsync-latency histogram spanning all segment rotations.
+  std::shared_ptr<const LatencyHistogram> fsync_latency() const {
+    return fsync_latency_;
+  }
+
+ private:
+  /// One live segment file and the sequence range it is known to hold.
+  struct Segment {
+    std::string path;
+    uint64_t first_seq = 0;
+    uint64_t records = 0;
+  };
+
+  DurableStore() = default;
+
+  Status Recover(ViewTranslator* translator);
+  Status OpenActiveSegment();
+  Status Compact();
+  std::string SegmentPath(uint64_t first_seq) const;
+  std::string CheckpointPath(uint64_t seq) const;
+
+  StoreOptions options_;
+  RecoveryInfo recovery_;
+  std::vector<Segment> segments_;  // ascending first_seq; back() is active
+  std::vector<uint64_t> checkpoint_seqs_;  // ascending, on-disk files
+  std::optional<Journal> active_;
+  uint64_t seq_ = 0;
+  uint64_t last_checkpoint_seq_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  uint64_t segments_compacted_ = 0;
+  std::shared_ptr<LatencyHistogram> fsync_latency_ =
+      std::make_shared<LatencyHistogram>();
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SERVICE_RECOVERY_H_

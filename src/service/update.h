@@ -1,7 +1,8 @@
-// ViewUpdate: a first-class value describing one view update request
-// (insert / delete / replace) against the view X. The service layer
-// batches, journals and replays these; the underlying checks and
-// translations are the paper's Theorems 3, 8 and 9 via ViewTranslator.
+/// \file
+/// ViewUpdate: a first-class value describing one view update request
+/// (insert / delete / replace) against the view X. The service layer
+/// batches, journals and replays these; the underlying checks and
+/// translations are the paper's Theorems 3, 8 and 9 via ViewTranslator.
 
 #ifndef RELVIEW_SERVICE_UPDATE_H_
 #define RELVIEW_SERVICE_UPDATE_H_
@@ -13,10 +14,11 @@
 
 namespace relview {
 
+/// The three update shapes of the paper's Section 4.
 enum class UpdateKind {
-  kInsert = 0,
-  kDelete = 1,
-  kReplace = 2,
+  kInsert = 0,   ///< Insert a view tuple (Theorem 3).
+  kDelete = 1,   ///< Delete a view tuple (Theorem 8).
+  kReplace = 2,  ///< Replace one view tuple by another (Theorem 9).
   /// Sentinel — number of real kinds above. Keep last; ServiceMetrics
   /// sizes its per-kind counters from it.
   kNumUpdateKinds,
@@ -25,23 +27,30 @@ enum class UpdateKind {
 /// "insert", "delete", "replace".
 const char* UpdateKindName(UpdateKind kind);
 
+/// One view update request; a plain value the service layer can batch,
+/// journal and replay.
 struct ViewUpdate {
+  /// Which of the paper's update shapes this is.
   UpdateKind kind = UpdateKind::kInsert;
   /// The inserted / deleted tuple, or the replacement source t1.
   Tuple t1;
   /// The replacement target t2 (kReplace only; empty otherwise).
   Tuple t2;
 
+  /// An insertion of `t` (over the view attributes X).
   static ViewUpdate Insert(Tuple t) {
     return ViewUpdate{UpdateKind::kInsert, std::move(t), Tuple()};
   }
+  /// A deletion of `t`.
   static ViewUpdate Delete(Tuple t) {
     return ViewUpdate{UpdateKind::kDelete, std::move(t), Tuple()};
   }
+  /// A replacement of `from` by `to`.
   static ViewUpdate Replace(Tuple from, Tuple to) {
     return ViewUpdate{UpdateKind::kReplace, std::move(from), std::move(to)};
   }
 
+  /// Structural equality (kind and both tuples).
   bool operator==(const ViewUpdate& o) const {
     return kind == o.kind && t1 == o.t1 && t2 == o.t2;
   }

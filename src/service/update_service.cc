@@ -1,6 +1,9 @@
 #include "service/update_service.h"
 
+#include <cstdio>
+
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/small_util.h"
 #include "view/deletion.h"
 #include "view/insertion.h"
@@ -14,9 +17,19 @@ Result<std::unique_ptr<UpdateService>> UpdateService::Create(
     return Status::FailedPrecondition(
         "UpdateService needs a translator bound to a database");
   }
+  if (!options.journal_path.empty() && !options.store.dir.empty()) {
+    return Status::InvalidArgument(
+        "ServiceOptions: journal_path and store.dir are mutually "
+        "exclusive");
+  }
   uint64_t replayed = 0;
   std::optional<Journal> journal;
-  if (!options.journal_path.empty()) {
+  std::unique_ptr<DurableStore> store;
+  if (!options.store.dir.empty()) {
+    RELVIEW_ASSIGN_OR_RETURN(store,
+                             DurableStore::Open(options.store, &translator));
+    replayed = store->recovery().replayed;
+  } else if (!options.journal_path.empty()) {
     RELVIEW_ASSIGN_OR_RETURN(
         JournalReadResult recovered,
         Journal::Replay(options.journal_path, &translator));
@@ -24,8 +37,8 @@ Result<std::unique_ptr<UpdateService>> UpdateService::Create(
     RELVIEW_ASSIGN_OR_RETURN(Journal j, Journal::Open(options.journal_path));
     journal = std::move(j);
   }
-  std::unique_ptr<UpdateService> service(
-      new UpdateService(std::move(translator), std::move(journal)));
+  std::unique_ptr<UpdateService> service(new UpdateService(
+      std::move(translator), std::move(journal), std::move(store)));
   for (uint64_t i = 0; i < replayed; ++i) {
     service->metrics_.RecordReplayedUpdate();
   }
@@ -40,9 +53,11 @@ uint64_t NextServiceId() {
 }  // namespace
 
 UpdateService::UpdateService(ViewTranslator translator,
-                             std::optional<Journal> journal)
+                             std::optional<Journal> journal,
+                             std::unique_ptr<DurableStore> store)
     : translator_(std::move(translator)),
       journal_(std::move(journal)),
+      store_(std::move(store)),
       service_id_(NextServiceId()) {
   Publish(0);
 }
@@ -235,8 +250,10 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   }
 
   // Write-ahead: the batch is durable before it becomes visible.
-  if (journal_.has_value()) {
-    Status st = journal_->AppendAll(updates);
+  Failpoints::Check("service.crash_before_journal");  // crash-armed only
+  if (store_ != nullptr || journal_.has_value()) {
+    Status st = store_ != nullptr ? store_->Append(updates)
+                                  : journal_->AppendAll(updates);
     if (!st.ok()) {
       if (mutated) translator_.InstallDatabase(std::move(saved));
       metrics_.RecordBatchRolledBack();
@@ -245,11 +262,38 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
       return result;
     }
   }
+  Failpoints::Check("service.crash_before_publish");  // crash-armed only
 
   metrics_.RecordBatchCommitted();
   Publish(++version_);
   metrics_.SetEngineGauges(translator_.engine_stats());
+
+  // Checkpoint cadence: once the replay debt crosses the configured
+  // threshold, snapshot the committed state and compact. A checkpoint
+  // failure never fails the batch — it is already durable in the journal;
+  // the debt simply keeps accruing until a checkpoint succeeds.
+  if (store_ != nullptr && store_->options().checkpoint_every > 0 &&
+      store_->compaction_lag() >= store_->options().checkpoint_every) {
+    Result<uint64_t> ckpt = CheckpointLocked();
+    if (!ckpt.ok()) {
+      std::fprintf(stderr, "relview: auto-checkpoint failed: %s\n",
+                   ckpt.status().ToString().c_str());
+    }
+  }
   return result;
+}
+
+Result<uint64_t> UpdateService::Checkpoint() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  return CheckpointLocked();
+}
+
+Result<uint64_t> UpdateService::CheckpointLocked() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpointing needs the durable store (ServiceOptions::store)");
+  }
+  return store_->WriteCheckpoint(translator_.database());
 }
 
 Status UpdateService::Apply(const ViewUpdate& update) {
@@ -320,6 +364,35 @@ void UpdateService::RegisterTelemetry(TelemetryRegistry* registry) const {
       out.push_back(SummaryFamily("relview_journal_fsync_seconds",
                                   "Journal fsync latency",
                                   *journal_->fsync_latency()));
+    }
+    if (store_ != nullptr) {
+      out.push_back(SummaryFamily("relview_journal_fsync_seconds",
+                                  "Journal fsync latency (all segments)",
+                                  *store_->fsync_latency()));
+      out.push_back(GaugeFamily("relview_journal_segments",
+                                "Live journal segment files",
+                                static_cast<double>(store_->segment_count())));
+      out.push_back(GaugeFamily(
+          "relview_durable_seq",
+          "Accepted records made durable since the seed instance",
+          static_cast<double>(store_->seq())));
+      out.push_back(GaugeFamily(
+          "relview_checkpoint_last_seq",
+          "Sequence number of the newest durable checkpoint",
+          static_cast<double>(store_->last_checkpoint_seq())));
+      out.push_back(GaugeFamily(
+          "relview_compaction_lag_records",
+          "Records accepted since the last durable checkpoint (replay "
+          "debt on crash)",
+          static_cast<double>(store_->compaction_lag())));
+      out.push_back(CounterFamily(
+          "relview_checkpoints_written_total",
+          "Checkpoints written by this incarnation",
+          static_cast<double>(store_->checkpoints_written())));
+      out.push_back(CounterFamily(
+          "relview_segments_compacted_total",
+          "Journal segments deleted by compaction",
+          static_cast<double>(store_->segments_compacted())));
     }
     return out;
   });

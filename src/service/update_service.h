@@ -1,24 +1,25 @@
-// UpdateService: the concurrent, journaled serving layer over
-// ViewTranslator.
-//
-// Concurrency model — single writer, many readers:
-//   * Writers (Apply / ApplyBatch) are serialized by a writer mutex and
-//     drive the translator's check-and-apply mutators directly, so the
-//     incremental engine's view index and base-chase fixpoint stay warm
-//     across the whole stream. A batch saves the database relation first
-//     and reinstalls it on any rejection, so the committed state (and
-//     every outstanding snapshot) is untouched unless the batch commits.
-//   * Readers call Snapshot() and get an immutable, versioned view of the
-//     database and its X-projection behind shared_ptrs. Publishing a new
-//     version is a pointer swap under a short exclusive lock, so readers
-//     never wait on translatability checks or translations — they at most
-//     contend for the microseconds of the swap itself.
-//
-// Batches are all-or-nothing: if any update in the batch is rejected, the
-// staged copy is discarded, the committed state is untouched, and the
-// BatchResult reports which update failed and why (the Theorem 3/8/9
-// verdict). On success the batch is journaled (fsync'd) *before* the new
-// state is published — see journal.h for why replay is sound.
+/// \file
+/// UpdateService: the concurrent, journaled serving layer over
+/// ViewTranslator.
+///
+/// Concurrency model — single writer, many readers:
+///   * Writers (Apply / ApplyBatch) are serialized by a writer mutex and
+///     drive the translator's check-and-apply mutators directly, so the
+///     incremental engine's view index and base-chase fixpoint stay warm
+///     across the whole stream. A batch saves the database relation first
+///     and reinstalls it on any rejection, so the committed state (and
+///     every outstanding snapshot) is untouched unless the batch commits.
+///   * Readers call Snapshot() and get an immutable, versioned view of the
+///     database and its X-projection behind shared_ptrs. Publishing a new
+///     version is a pointer swap under a short exclusive lock, so readers
+///     never wait on translatability checks or translations — they at most
+///     contend for the microseconds of the swap itself.
+///
+/// Batches are all-or-nothing: if any update in the batch is rejected, the
+/// staged copy is discarded, the committed state is untouched, and the
+/// BatchResult reports which update failed and why (the Theorem 3/8/9
+/// verdict). On success the batch is journaled (fsync'd) *before* the new
+/// state is published — see journal.h for why replay is sound.
 
 #ifndef RELVIEW_SERVICE_UPDATE_SERVICE_H_
 #define RELVIEW_SERVICE_UPDATE_SERVICE_H_
@@ -35,6 +36,7 @@
 #include "obs/telemetry.h"
 #include "service/journal.h"
 #include "service/metrics.h"
+#include "service/recovery.h"
 #include "service/update.h"
 #include "util/status.h"
 #include "view/translator.h"
@@ -44,9 +46,10 @@ namespace relview {
 /// An immutable, versioned observation of the served state. Cheap to copy
 /// (two shared_ptrs); stays valid however many writes land afterwards.
 struct ViewSnapshot {
+  /// Commit count when this snapshot was published (0 = seed).
   uint64_t version = 0;
-  std::shared_ptr<const Relation> view;      // pi_X(database)
-  std::shared_ptr<const Relation> database;  // full instance over U
+  std::shared_ptr<const Relation> view;      ///< pi_X(database)
+  std::shared_ptr<const Relation> database;  ///< full instance over U
 };
 
 /// Outcome of ApplyBatch.
@@ -58,15 +61,27 @@ struct BatchResult {
   /// The rejected update's translatability verdict / diagnostic.
   std::string detail;
 
+  /// True when the whole batch committed.
   bool ok() const { return status.ok(); }
 };
 
+/// Persistence configuration for UpdateService::Create.
 struct ServiceOptions {
   /// When non-empty, accepted updates are write-ahead journaled here and
   /// any existing records are replayed against the seed state on Create.
+  /// Legacy single-file mode: no rotation, no checkpoints; prefer
+  /// `store.dir` for anything long-running.
   std::string journal_path;
+  /// When store.dir is non-empty, the service persists through a
+  /// DurableStore instead: rotated journal segments plus periodic
+  /// checkpoints, recovered on Create as newest-valid-checkpoint +
+  /// journal-suffix replay. Mutually exclusive with journal_path.
+  StoreOptions store;
 };
 
+/// The serving layer: a single-writer/multi-reader facade over a bound
+/// ViewTranslator with versioned snapshots, write-ahead journaling and
+/// (with `ServiceOptions::store`) checkpointed crash recovery.
 class UpdateService {
  public:
   /// Wraps a bound translator. When options name a journal, existing
@@ -94,6 +109,19 @@ class UpdateService {
   /// BatchResult::failed_index.
   BatchResult ApplyBatch(const std::vector<ViewUpdate>& updates);
 
+  /// Forces a checkpoint of the committed state at the current sequence
+  /// number (then compacts fully-covered journal segments). Serialized
+  /// with writers. Requires the checkpointed store (options.store.dir);
+  /// returns FailedPrecondition otherwise. Returns the covered sequence
+  /// number.
+  Result<uint64_t> Checkpoint();
+
+  /// The durable store backing this service, or null when running
+  /// un-journaled / with the legacy single-file journal. Exposes recovery
+  /// info, sequence numbers and compaction counters.
+  const DurableStore* store() const { return store_.get(); }
+
+  /// Accept/reject counters and latency histograms for this service.
   const ServiceMetrics& metrics() const { return metrics_; }
 
   /// Per-update decision provenance: one DecisionTrace per staged update
@@ -109,13 +137,19 @@ class UpdateService {
   /// Number of journal records replayed during Create (0 without journal).
   uint64_t replayed_updates() const { return metrics_.replayed(); }
 
-  /// Schema accessors (immutable after Create; safe from any thread).
+  /// The attribute universe U (immutable after Create).
   const Universe& universe() const { return translator_.universe(); }
+  /// The view attributes X (immutable after Create).
   const AttrSet& view_attrs() const { return translator_.view(); }
+  /// The complement attributes Y (immutable after Create).
   const AttrSet& complement_attrs() const { return translator_.complement(); }
 
  private:
-  UpdateService(ViewTranslator translator, std::optional<Journal> journal);
+  UpdateService(ViewTranslator translator, std::optional<Journal> journal,
+                std::unique_ptr<DurableStore> store);
+
+  /// Checkpoint body; caller holds writer_mu_.
+  Result<uint64_t> CheckpointLocked();
 
   /// Checks `u` and, when translatable, applies it to the translator in
   /// place (maintaining the engine's caches). Records metrics and pushes a
@@ -131,6 +165,7 @@ class UpdateService {
   mutable std::mutex writer_mu_;
   ViewTranslator translator_;
   std::optional<Journal> journal_;
+  std::unique_ptr<DurableStore> store_;
   uint64_t version_ = 0;
 
   // Reader-visible published state. snapshot_mu_ guards only the pointer;

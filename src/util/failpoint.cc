@@ -1,0 +1,185 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace relview {
+namespace {
+
+struct Arm {
+  FailpointAction action = FailpointAction::kOff;
+  uint64_t arg = 0;
+  uint64_t nth = 1;    // first hit that fires (1-based)
+  uint64_t times = 1;  // consecutive firing hits; 0 = unlimited
+  uint64_t hits = 0;   // hits observed since arming
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Arm> arms;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+// Fast-path gate: number of armed failpoints. Zero means Check returns
+// immediately without touching the registry lock.
+std::atomic<int> g_armed{0};
+
+Result<Arm> ParseSpec(const std::string& spec) {
+  // <action>[@<nth>][*<times>][:<arg>]
+  Arm arm;
+  size_t end = spec.find_first_of("@*:");
+  const std::string action = spec.substr(0, end);
+  if (action == "off" || action.empty()) {
+    arm.action = FailpointAction::kOff;
+  } else if (action == "error") {
+    arm.action = FailpointAction::kError;
+  } else if (action == "short") {
+    arm.action = FailpointAction::kShortWrite;
+  } else if (action == "crash") {
+    arm.action = FailpointAction::kCrash;
+  } else if (action == "flip") {
+    arm.action = FailpointAction::kFlipBit;
+    arm.arg = 1;
+  } else {
+    return Status::InvalidArgument("failpoint action '" + action +
+                                   "' (want error|short|crash|flip|off)");
+  }
+  size_t pos = end;
+  while (pos != std::string::npos && pos < spec.size()) {
+    const char tag = spec[pos];
+    size_t next = spec.find_first_of("@*:", pos + 1);
+    const std::string num = spec.substr(
+        pos + 1, next == std::string::npos ? next : next - pos - 1);
+    char* parse_end = nullptr;
+    const unsigned long long v = std::strtoull(num.c_str(), &parse_end, 10);
+    if (num.empty() || parse_end == nullptr || *parse_end != '\0') {
+      return Status::InvalidArgument("failpoint spec: bad number after '" +
+                                     std::string(1, tag) + "' in '" + spec +
+                                     "'");
+    }
+    if (tag == '@') {
+      if (v == 0) {
+        return Status::InvalidArgument("failpoint spec: @nth is 1-based");
+      }
+      arm.nth = v;
+    } else if (tag == '*') {
+      arm.times = v;
+    } else {  // ':'
+      arm.arg = v;
+    }
+    pos = next;
+  }
+  return arm;
+}
+
+}  // namespace
+
+Status Failpoints::Set(const std::string& name, const std::string& spec) {
+  RELVIEW_ASSIGN_OR_RETURN(Arm arm, ParseSpec(spec));
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.arms.find(name);
+  if (arm.action == FailpointAction::kOff) {
+    if (it != r.arms.end()) {
+      r.arms.erase(it);
+      g_armed.fetch_sub(1, std::memory_order_release);
+    }
+    return Status::OK();
+  }
+  if (it == r.arms.end()) {
+    r.arms.emplace(name, arm);
+    g_armed.fetch_add(1, std::memory_order_release);
+  } else {
+    it->second = arm;  // re-arm: counter restarts at zero
+  }
+  return Status::OK();
+}
+
+void Failpoints::Clear(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.arms.erase(name) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void Failpoints::ClearAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_armed.fetch_sub(static_cast<int>(r.arms.size()),
+                    std::memory_order_release);
+  r.arms.clear();
+}
+
+Status Failpoints::InstallFromEnv(const char* env_var) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || *value == '\0') return Status::OK();
+  std::string text(value);
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string pair = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(std::string(env_var) +
+                                     ": want name=spec, got '" + pair + "'");
+    }
+    RELVIEW_RETURN_IF_ERROR(Set(pair.substr(0, eq), pair.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+FailpointHit Failpoints::Check(const char* name) {
+  if (g_armed.load(std::memory_order_acquire) == 0) return {};
+  Registry& r = GetRegistry();
+  FailpointHit hit;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.arms.find(name);
+    if (it == r.arms.end()) return {};
+    Arm& arm = it->second;
+    ++arm.hits;
+    const bool fires =
+        arm.hits >= arm.nth &&
+        (arm.times == 0 || arm.hits < arm.nth + arm.times);
+    if (!fires) return {};
+    hit.action = arm.action;
+    hit.arg = arm.arg;
+  }
+  if (hit.action == FailpointAction::kCrash) {
+    // Simulated power loss: no destructors, no stream flushes, nothing.
+    std::fprintf(stderr, "relview: failpoint '%s' crashing process\n", name);
+    ::_exit(kCrashExitCode);
+  }
+  return hit;
+}
+
+uint64_t Failpoints::Hits(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.arms.find(name);
+  return it == r.arms.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> Failpoints::Armed() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.arms.size());
+  for (const auto& [name, arm] : r.arms) out.push_back(name);
+  return out;
+}
+
+}  // namespace relview

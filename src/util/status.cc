@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
     case StatusCode::kNumStatusCodes:
       break;  // sentinel, not a real code
   }

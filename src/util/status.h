@@ -33,6 +33,11 @@ enum class StatusCode {
   kCapacityExceeded,
   /// Internal invariant violation; indicates a bug in relview itself.
   kInternal,
+  /// On-disk state failed an integrity check (journal/checkpoint checksum
+  /// mismatch, torn record, sequence gap). Distinguished from kInternal
+  /// because the fix is operational (see docs/OPERATIONS.md), not a code
+  /// bug.
+  kCorruption,
   /// Sentinel — number of real codes above. Keep last; ServiceMetrics
   /// sizes its per-code counters from it.
   kNumStatusCodes,
@@ -66,6 +71,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,17 +1,18 @@
-// ViewTranslator: the user-facing facade. Owns the schema (U, Sigma), a
-// view X, a constant complement Y, and (optionally) a bound database
-// instance. Implements the paper's full scenario: the user declares a view
-// and a complement (validated for complementarity, Theorem 1), then issues
-// view updates which are checked (Theorems 3, 8, 9) and — when
-// translatable — applied to the underlying database as the unique
-// constant-complement translation.
-//
-// By default checks run on the incremental engine (view_index.h): the
-// view instance, its indexes, and the base-chase fixpoint persist across
-// calls and are maintained in place when an accepted update is applied,
-// so a sustained update stream amortizes all per-check setup. Verdicts
-// and witnesses are identical to the from-scratch free functions; set
-// TranslatorOptions.incremental = false to run those directly instead.
+/// \file
+/// ViewTranslator: the user-facing facade. Owns the schema (U, Sigma), a
+/// view X, a constant complement Y, and (optionally) a bound database
+/// instance. Implements the paper's full scenario: the user declares a view
+/// and a complement (validated for complementarity, Theorem 1), then issues
+/// view updates which are checked (Theorems 3, 8, 9) and — when
+/// translatable — applied to the underlying database as the unique
+/// constant-complement translation.
+///
+/// By default checks run on the incremental engine (view_index.h): the
+/// view instance, its indexes, and the base-chase fixpoint persist across
+/// calls and are maintained in place when an accepted update is applied,
+/// so a sustained update stream amortizes all per-check setup. Verdicts
+/// and witnesses are identical to the from-scratch free functions; set
+/// TranslatorOptions.incremental = false to run those directly instead.
 
 #ifndef RELVIEW_VIEW_TRANSLATOR_H_
 #define RELVIEW_VIEW_TRANSLATOR_H_
@@ -32,6 +33,7 @@
 
 namespace relview {
 
+/// Tuning knobs for ViewTranslator::Create.
 struct TranslatorOptions {
   /// Serve checks from the persistent view index + cached base chase.
   bool incremental = true;
@@ -40,14 +42,19 @@ struct TranslatorOptions {
   /// Screen probes with Test 1's closure criterion first (engine only;
   /// sound — never changes a verdict or witness).
   bool pair_screen = true;
+  /// Entry capacity of the engine's attribute-closure cache.
   size_t closure_cache_capacity = ClosureCache::kDefaultCapacity;
   /// Re-verify SatisfiesAll after every applied translation. The Apply*
   /// translations are legality-preserving by Theorems 3/8/9, so this is a
   /// paranoia knob: it costs O(|R|·|Sigma|) per write.
   bool paranoid_checks = false;
+  /// Instance-chase implementation used by the checks.
   ChaseBackend backend = ChaseBackend::kHash;
 };
 
+/// The paper's full scenario behind one object: declare a view X with a
+/// constant complement Y over (U, Sigma), bind an instance, then issue
+/// view updates that are checked and translated per Theorems 3/8/9.
 class ViewTranslator {
  public:
   /// Validates that x and y are complementary under sigma (Theorem 1 /
@@ -61,24 +68,35 @@ class ViewTranslator {
   /// Copies share schema and database but not caches: the copy rebuilds
   /// its engine lazily on first use. Moves carry the engine along.
   ViewTranslator(const ViewTranslator& other);
+  /// Copy assignment; same cache semantics as the copy constructor.
   ViewTranslator& operator=(const ViewTranslator& other);
+  /// Move; carries the live engine along.
   ViewTranslator(ViewTranslator&&) = default;
+  /// Move assignment; carries the live engine along.
   ViewTranslator& operator=(ViewTranslator&&) = default;
 
+  /// The attribute universe U.
   const Universe& universe() const { return universe_; }
+  /// The dependency set Sigma (canonical FDs).
   const DependencySet& sigma() const { return sigma_; }
+  /// The view attributes X.
   const AttrSet& view() const { return x_; }
+  /// The complement attributes Y.
   const AttrSet& complement() const { return y_; }
+  /// The options this translator was created with.
   const TranslatorOptions& options() const { return options_; }
 
   /// Whether Y is a good complement (Test 2 precomputation; cached).
   bool complement_is_good() const { return good_.good; }
+  /// The full Test 2 report behind complement_is_good().
   const GoodComplementReport& good_report() const { return good_; }
 
   /// Binds the database instance the view is computed from. Must satisfy
   /// sigma.
   Status Bind(Relation database);
+  /// Whether a database instance is bound.
   bool bound() const { return database_.has_value(); }
+  /// The bound database (undefined before a successful Bind).
   const Relation& database() const { return *database_; }
 
   /// Replaces the bound database without re-validating Sigma. For trusted
@@ -90,26 +108,34 @@ class ViewTranslator {
   /// when live).
   Result<Relation> ViewInstance() const;
 
-  /// Translatability checks against the current view instance.
+  /// Translatability check for inserting `t` (Theorem 3); no mutation.
   Result<InsertionReport> CanInsert(const Tuple& t) const;
+  /// Translatability check for deleting `t` (Theorem 8); no mutation.
   Result<DeletionReport> CanDelete(const Tuple& t) const;
+  /// Translatability check for replacing `t1` by `t2` (Theorem 9); no
+  /// mutation.
   Result<ReplacementReport> CanReplace(const Tuple& t1,
                                        const Tuple& t2) const;
 
-  /// Check-and-apply returning the full report (verdict + witness +
-  /// timing). The update is applied — and the engine's caches maintained
-  /// incrementally — only for a translatable, non-identity verdict; an
-  /// untranslatable verdict is returned in the report, not as an error.
+  /// Check-and-apply insertion returning the full report (verdict +
+  /// witness + timing). The update is applied — and the engine's caches
+  /// maintained incrementally — only for a translatable, non-identity
+  /// verdict; an untranslatable verdict is returned in the report, not as
+  /// an error.
   Result<InsertionReport> InsertWithReport(const Tuple& t);
+  /// Check-and-apply deletion; report semantics as InsertWithReport.
   Result<DeletionReport> DeleteWithReport(const Tuple& t);
+  /// Check-and-apply replacement; report semantics as InsertWithReport.
   Result<ReplacementReport> ReplaceWithReport(const Tuple& t1,
                                               const Tuple& t2);
 
-  /// Check-and-apply. Returns Untranslatable (with the verdict in the
-  /// message) when the update is rejected; on success the bound database
-  /// is updated in place and maps onto the updated view.
+  /// Check-and-apply insertion. Returns Untranslatable (with the verdict
+  /// in the message) when rejected; on success the bound database is
+  /// updated in place and maps onto the updated view.
   Status Insert(const Tuple& t);
+  /// Check-and-apply deletion; status semantics as Insert.
   Status Delete(const Tuple& t);
+  /// Check-and-apply replacement; status semantics as Insert.
   Status Replace(const Tuple& t1, const Tuple& t2);
 
   /// Engine counters (zeroed when the engine has not been built).

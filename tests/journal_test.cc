@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string>
 
+#include "util/failpoint.h"
 #include "view/translator.h"
 
 namespace relview {
@@ -45,7 +46,10 @@ class JournalTest : public ::testing::Test {
             ".log";
     std::remove(path_.c_str());
   }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    Failpoints::ClearAll();
+    std::remove(path_.c_str());
+  }
   std::string path_;
 };
 
@@ -197,6 +201,125 @@ TEST_F(JournalTest, ReplayOfInvalidUpdateReturnsInternal) {
   auto r = Journal::Replay(path_, &vt);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(JournalTest, OpenVerifiesFinalRecordChecksum) {
+  // The fix for the reopen-after-repair hole: O_APPEND must never extend a
+  // journal whose final record does not verify, or everything appended
+  // after the bad record would be unreachable to replay.
+  {
+    auto j = Journal::Open(path_);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({4, 10}))).ok());
+    ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({5, 20}))).ok());
+  }
+  // Flip a payload bit of the *final* record, keeping it "complete"
+  // (newline-terminated, correct length) — only the checksum can tell.
+  std::ifstream in(path_, std::ios::binary);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  in.close();
+  all[all.size() - 2] ^= 1;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << all;
+  out.close();
+
+  auto reopened = Journal::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+
+  // Read(repair) truncates the bad record; Open then succeeds and appends
+  // land on the repaired boundary.
+  auto r = Journal::Read(path_, /*repair=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated);
+  auto again = Journal::Open(path_);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_TRUE(again->Append(ViewUpdate::Delete(Row({4, 10}))).ok());
+  auto final_read = Journal::Read(path_);
+  ASSERT_TRUE(final_read.ok());
+  EXPECT_FALSE(final_read->truncated);
+  EXPECT_EQ(final_read->updates.size(), 2u);
+}
+
+TEST_F(JournalTest, OpenRefusesTornTail) {
+  {
+    auto j = Journal::Open(path_);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({4, 10}))).ok());
+  }
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out << "rv1 57 0123456789abcdef I 2 torn";  // no terminator
+  out.close();
+
+  auto reopened = Journal::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+
+  auto r = Journal::Read(path_, /*repair=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated);
+  ASSERT_EQ(r->updates.size(), 1u);
+  EXPECT_TRUE(Journal::Open(path_).ok());
+}
+
+TEST_F(JournalTest, FailpointFsyncErrorMidBatchFailsAppend) {
+  // fsync reports EIO on the *second* batch. The first lands durably; the
+  // second fails, leaving the service free to roll back.
+  ASSERT_TRUE(Failpoints::Set("journal.fsync", "error@2").ok());
+  auto j = Journal::Open(path_);
+  ASSERT_TRUE(j.ok());
+  ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({4, 10}))).ok());
+  Status st = j->AppendAll({ViewUpdate::Insert(Row({5, 20})),
+                            ViewUpdate::Insert(Row({6, 10}))});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("injected"), std::string::npos);
+  // Third batch: the failpoint fired its once, real fsync resumes.
+  ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({7, 20}))).ok());
+}
+
+TEST_F(JournalTest, FailpointShortWriteOnLengthPrefixRepairsAndReplays) {
+  // A short write that tears mid-header (3 bytes keeps only "rv1") leaves
+  // a real torn tail on disk; repair must recover exactly the records
+  // before it, and replay of the repaired journal must equal direct
+  // application of those records (fact (ii)).
+  {
+    auto j = Journal::Open(path_);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({4, 10}))).ok());
+    ASSERT_TRUE(Failpoints::Set("journal.write", "short:3").ok());
+    Status st = j->Append(ViewUpdate::Insert(Row({5, 20})));
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("short write"), std::string::npos);
+    Failpoints::ClearAll();
+  }
+  auto reopened = Journal::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+
+  ViewTranslator replayed = MakeTranslator();
+  auto r = Journal::Replay(path_, &replayed);  // repairs the tail, too
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+  ASSERT_EQ(r->updates.size(), 1u);
+
+  ViewTranslator direct = MakeTranslator();
+  ASSERT_TRUE(direct.Insert(Row({4, 10})).ok());
+  EXPECT_TRUE(replayed.database().SameAs(direct.database()));
+  EXPECT_TRUE(Journal::Open(path_).ok());  // repaired: appendable again
+}
+
+TEST_F(JournalTest, FailpointWriteErrorLeavesFileUntouched) {
+  ASSERT_TRUE(Failpoints::Set("journal.write", "error").ok());
+  auto j = Journal::Open(path_);
+  ASSERT_TRUE(j.ok());
+  Status st = j->Append(ViewUpdate::Insert(Row({4, 10})));
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("injected"), std::string::npos);
+  auto r = Journal::Read(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->updates.empty());  // the error fired before any byte
+  EXPECT_FALSE(r->truncated);
 }
 
 TEST_F(JournalTest, ReplayRequiresBoundTranslator) {
