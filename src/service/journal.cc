@@ -57,38 +57,37 @@ Status VerifyTailRecord(const std::string& path) {
   const std::streamoff size = in.tellg();
   if (size == 0) return Status::OK();  // empty journal is clean
 
-  constexpr std::streamoff kWindow = 1 << 20;
-  const std::streamoff start = size > kWindow ? size - kWindow : 0;
-  in.seekg(start);
-  std::string tail(static_cast<size_t>(size - start), '\0');
-  if (!in.read(tail.data(), static_cast<std::streamsize>(tail.size()))) {
-    return Status::Internal("journal " + path + ": cannot read tail");
+  // A 1 MiB window covers any ordinary tail, but a single record can
+  // legitimately outgrow it (huge-arity tuples), so keep doubling until
+  // the window holds a whole record or spans the file.
+  for (std::streamoff window = 1 << 20;; window *= 2) {
+    const std::streamoff start = size > window ? size - window : 0;
+    in.clear();
+    in.seekg(start);
+    std::string tail(static_cast<size_t>(size - start), '\0');
+    if (!in.read(tail.data(), static_cast<std::streamsize>(tail.size()))) {
+      return Status::Internal("journal " + path + ": cannot read tail");
+    }
+    if (tail.back() != '\n') {
+      return Status::Corruption("journal " + path +
+                                ": final record is torn (no terminator); "
+                                "repair with Journal::Read before appending");
+    }
+    tail.pop_back();
+    const size_t nl = tail.find_last_of('\n');
+    if (nl == std::string::npos && start > 0) continue;  // grow the window
+    const std::string line =
+        nl == std::string::npos ? tail : tail.substr(nl + 1);
+    std::string payload;
+    const std::string bad = ValidateRecordLine(line, &payload);
+    if (!bad.empty()) {
+      return Status::Corruption("journal " + path + ": final record is "
+                                "invalid (" + bad +
+                                "); repair with Journal::Read before "
+                                "appending");
+    }
+    return Status::OK();
   }
-  if (tail.back() != '\n') {
-    return Status::Corruption("journal " + path +
-                              ": final record is torn (no terminator); "
-                              "repair with Journal::Read before appending");
-  }
-  tail.pop_back();
-  const size_t nl = tail.find_last_of('\n');
-  if (nl == std::string::npos && start > 0) {
-    // The final record alone outgrows the window; records are a few
-    // hundred bytes, so this is itself a sign of damage.
-    return Status::Corruption("journal " + path +
-                              ": final record exceeds the verification "
-                              "window");
-  }
-  const std::string line =
-      nl == std::string::npos ? tail : tail.substr(nl + 1);
-  std::string payload;
-  const std::string bad = ValidateRecordLine(line, &payload);
-  if (!bad.empty()) {
-    return Status::Corruption("journal " + path + ": final record is "
-                              "invalid (" + bad +
-                              "); repair with Journal::Read before "
-                              "appending");
-  }
-  return Status::OK();
 }
 
 std::string HeaderFor(const std::string& payload) {
@@ -187,6 +186,7 @@ Result<Journal> Journal::Open(
 Journal::Journal(Journal&& o) noexcept
     : path_(std::move(o.path_)),
       fd_(o.fd_),
+      poisoned_(o.poisoned_),
       fsync_latency_(std::move(o.fsync_latency_)) {
   o.fd_ = -1;
 }
@@ -196,6 +196,7 @@ Journal& Journal::operator=(Journal&& o) noexcept {
     if (fd_ >= 0) ::close(fd_);
     path_ = std::move(o.path_);
     fd_ = o.fd_;
+    poisoned_ = o.poisoned_;
     fsync_latency_ = std::move(o.fsync_latency_);
     o.fd_ = -1;
   }
@@ -210,8 +211,32 @@ Status Journal::Append(const ViewUpdate& u) {
   return AppendAll({u});
 }
 
+Status Journal::RollBackTo(off_t batch_start, Status cause) {
+  // Undo the partially persisted batch: O_APPEND keeps writing at EOF,
+  // so a torn record left behind would silently orphan every later
+  // committed batch at replay (Read stops at the first bad record), and
+  // a fully written but un-fsync'd batch would replay as accepted after
+  // the service rolled it back in memory.
+  if (::ftruncate(fd_, batch_start) == 0 && ::fsync(fd_) == 0) {
+    return cause;
+  }
+  // The file still holds bytes the caller thinks were undone. Refuse all
+  // further appends from this handle; reopening re-runs tail
+  // verification and repair.
+  poisoned_ = true;
+  return Status::Internal(cause.message() + "; rollback to offset " +
+                          std::to_string(batch_start) + " failed (" +
+                          std::strerror(errno) +
+                          "), journal poisoned until reopen");
+}
+
 Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
   if (fd_ < 0) return Status::FailedPrecondition("journal not open");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "journal " + path_ + ": an earlier failed append could not be "
+        "rolled back; reopen (with repair) before appending");
+  }
   if (updates.empty()) return Status::OK();
   RELVIEW_TRACE_SPAN_N(span, "journal.append");
   span.AddArg("records", updates.size());
@@ -222,9 +247,17 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
     block += payload;
     block += '\n';
   }
+  // Where this batch starts, so a failed append can be rolled off the
+  // file and the journal still ends at a committed record boundary.
+  const off_t batch_start = ::lseek(fd_, 0, SEEK_END);
+  if (batch_start < 0) {
+    return Status::Internal("journal seek failed: " +
+                            std::string(std::strerror(errno)));
+  }
   // Fault injection on the durability path (docs/OPERATIONS.md):
-  // "journal.write" error fails the batch cleanly; a short write leaves a
-  // real torn record on disk for the repair path to truncate.
+  // "journal.write" error fails the batch cleanly; a short write models a
+  // crash mid-append — the torn record stays on disk for the repair path
+  // and the handle is poisoned, exactly as if the process had died.
   size_t limit = block.size();
   bool injected_torn_tail = false;
   if (FailpointHit fp = Failpoints::Check("journal.write")) {
@@ -242,23 +275,28 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
     ssize_t n = ::write(fd_, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal("journal write failed: " +
-                              std::string(std::strerror(errno)));
+      return RollBackTo(batch_start,
+                        Status::Internal("journal write failed: " +
+                                         std::string(std::strerror(errno))));
     }
     p += n;
     left -= static_cast<size_t>(n);
   }
   if (injected_torn_tail) {
-    return Status::Internal("journal write failed: injected short write");
+    poisoned_ = true;
+    return Status::Internal("journal write failed: injected short write "
+                            "(torn tail kept, handle poisoned)");
   }
   Failpoints::Check("journal.crash_after_write");  // crash-armed only
   Timer fsync_timer;
   if (Failpoints::Check("journal.fsync")) {
-    return Status::Internal("journal fsync failed: injected EIO");
+    return RollBackTo(batch_start,
+                      Status::Internal("journal fsync failed: injected EIO"));
   }
   if (::fsync(fd_) != 0) {
-    return Status::Internal("journal fsync failed: " +
-                            std::string(std::strerror(errno)));
+    return RollBackTo(batch_start,
+                      Status::Internal("journal fsync failed: " +
+                                       std::string(std::strerror(errno))));
   }
   fsync_latency_->Record(fsync_timer.ElapsedNanos());
   return Status::OK();

@@ -30,6 +30,8 @@
 #ifndef RELVIEW_SERVICE_JOURNAL_H_
 #define RELVIEW_SERVICE_JOURNAL_H_
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -100,9 +102,16 @@ class Journal {
   Status Append(const ViewUpdate& u);
 
   /// Appends all records with a single trailing fsync (group commit).
-  /// Failpoints: "journal.write" (error, or a short write that leaves a
-  /// torn tail on disk), "journal.crash_after_write" (crash between
-  /// write and fsync), "journal.fsync" (error).
+  /// All-or-nothing on the file: a write or fsync failure truncates the
+  /// file back to the pre-batch offset (and fsyncs the truncation), so a
+  /// torn or phantom record never outlives the error it reported. If
+  /// even the rollback fails, the handle *poisons* itself — every
+  /// subsequent append returns kFailedPrecondition until the journal is
+  /// reopened (which re-verifies and repairs the tail).
+  /// Failpoints: "journal.write" (error, or a short write that models a
+  /// crash mid-append: the torn tail stays on disk and the handle is
+  /// poisoned), "journal.crash_after_write" (crash between write and
+  /// fsync), "journal.fsync" (error, rolled back like a real one).
   Status AppendAll(const std::vector<ViewUpdate>& updates);
 
   /// Parses every complete record of the journal at `path`. A torn or
@@ -124,8 +133,17 @@ class Journal {
   explicit Journal(std::string path, int fd) : path_(std::move(path)),
                                                fd_(fd) {}
 
+  /// Truncates the file back to `batch_start` (undoing a failed batch)
+  /// and returns `cause`; if the truncation itself fails, poisons the
+  /// handle and reports that on top of `cause`.
+  Status RollBackTo(off_t batch_start, Status cause);
+
   std::string path_;
   int fd_ = -1;
+  /// Set when a failed append could not be rolled off the file: the tail
+  /// no longer ends at a committed record boundary, so appending through
+  /// this handle would orphan everything it writes.
+  bool poisoned_ = false;
   std::shared_ptr<LatencyHistogram> fsync_latency_ =
       std::make_shared<LatencyHistogram>();
 };

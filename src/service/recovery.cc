@@ -162,8 +162,12 @@ Status DurableStore::Recover(ViewTranslator* translator) {
 
   // 2. Newest checkpoint that verifies wins; corrupt ones are skipped
   //    (and reported) so a flipped bit degrades to a longer replay, not
-  //    an outage.
+  //    an outage. A known-corrupt file is also unlinked and dropped from
+  //    checkpoint_seqs_ — were it retained, thinning would count the dead
+  //    file toward keep_checkpoints and could evict a *valid* older
+  //    checkpoint instead.
   const AttrSet all = translator->universe().All();
+  size_t corrupt = 0;
   for (auto it = checkpoint_seqs.rbegin(); it != checkpoint_seqs.rend();
        ++it) {
     Result<CheckpointData> ckpt = ReadCheckpoint(CheckpointPath(*it), all);
@@ -176,8 +180,13 @@ Status DurableStore::Recover(ViewTranslator* translator) {
     }
     recovery_.warnings.push_back("skipping checkpoint " +
                                  std::to_string(*it) + ": " +
-                                 ckpt.status().ToString());
+                                 ckpt.status().ToString() + " (removed)");
+    ::unlink(CheckpointPath(*it).c_str());
+    ++corrupt;
   }
+  // The failures form a suffix of the ascending list (newest first, stop
+  // at the first success).
+  checkpoint_seqs.resize(checkpoint_seqs.size() - corrupt);
   checkpoint_seqs_ = std::move(checkpoint_seqs);
   const uint64_t ckpt_seq = recovery_.checkpoint_seq;
 
@@ -276,6 +285,13 @@ Status DurableStore::Append(const std::vector<ViewUpdate>& updates) {
 
 Result<uint64_t> DurableStore::WriteCheckpoint(const Relation& database) {
   const uint64_t seq = seq_;
+  // Idempotent at a fixed seq: a durable checkpoint covering exactly this
+  // state already exists, and pushing seq again would make thinning erase
+  // two list entries for the one on-disk file, silently shrinking the
+  // real fallback depth below keep_checkpoints.
+  if (!checkpoint_seqs_.empty() && checkpoint_seqs_.back() == seq) {
+    return seq;
+  }
   RELVIEW_RETURN_IF_ERROR(
       ::relview::WriteCheckpoint(CheckpointPath(seq), database, seq));
   last_checkpoint_seq_ = seq;
@@ -287,25 +303,7 @@ Result<uint64_t> DurableStore::WriteCheckpoint(const Relation& database) {
 
 Status DurableStore::Compact() {
   RELVIEW_TRACE_SPAN_N(span, "ckpt.compact");
-  // A segment may go only when a durable checkpoint covers every record
-  // in it — i.e. its successor begins at or before the checkpoint — and
-  // the active (last) segment always stays. Deletion order is oldest
-  // first, so a crash mid-compaction leaves a prefix-trimmed, still
-  // contiguous chain.
-  uint64_t deleted = 0;
-  while (segments_.size() >= 2 &&
-         segments_[1].first_seq <= last_checkpoint_seq_) {
-    if (::unlink(segments_.front().path.c_str()) != 0 && errno != ENOENT) {
-      return Status::Internal("compaction: cannot delete " +
-                              segments_.front().path + ": " +
-                              std::strerror(errno));
-    }
-    segments_.erase(segments_.begin());
-    ++segments_compacted_;
-    ++deleted;
-    Failpoints::Check("compact.crash_mid_delete");  // crash-armed only
-  }
-  // Thin old checkpoints: keep the newest keep_checkpoints files.
+  // Thin old checkpoints first: keep the newest keep_checkpoints files.
   while (static_cast<int>(checkpoint_seqs_.size()) >
          options_.keep_checkpoints) {
     const uint64_t victim = checkpoint_seqs_.front();
@@ -315,6 +313,28 @@ Status DurableStore::Compact() {
                               std::strerror(errno));
     }
     checkpoint_seqs_.erase(checkpoint_seqs_.begin());
+  }
+  // A segment may go only when the *oldest retained* checkpoint covers
+  // every record in it — i.e. its successor begins at or before that
+  // checkpoint — and the active (last) segment always stays. Bounding by
+  // the oldest (not the newest) checkpoint keeps the fallback promise:
+  // should the newest checkpoint later fail verification, recovery can
+  // load any retained older one and still find the journal suffix past
+  // it on disk. Deletion order is oldest first, so a crash
+  // mid-compaction leaves a prefix-trimmed, still contiguous chain.
+  const uint64_t covered =
+      checkpoint_seqs_.empty() ? 0 : checkpoint_seqs_.front();
+  uint64_t deleted = 0;
+  while (segments_.size() >= 2 && segments_[1].first_seq <= covered) {
+    if (::unlink(segments_.front().path.c_str()) != 0 && errno != ENOENT) {
+      return Status::Internal("compaction: cannot delete " +
+                              segments_.front().path + ": " +
+                              std::strerror(errno));
+    }
+    segments_.erase(segments_.begin());
+    ++segments_compacted_;
+    ++deleted;
+    Failpoints::Check("compact.crash_mid_delete");  // crash-armed only
   }
   span.AddArg("segments_deleted", deleted);
   return Status::OK();

@@ -22,12 +22,14 @@
 ///      recovery fails with kCorruption if a middle segment is torn or a
 ///      gap is detected (a torn *tail* of the *last* segment is the normal
 ///      crash signature and is repaired by truncation).
-///   2. Compaction deletes a segment only when a durable checkpoint covers
-///      every record in it, and never deletes the active segment, so the
-///      suffix [checkpoint_seq, seq) is always replayable.
+///   2. Compaction deletes a segment only when the *oldest retained*
+///      durable checkpoint covers every record in it, and never deletes
+///      the active segment — so the journal suffix past ANY retained
+///      checkpoint is always replayable, not just the newest one.
 ///   3. Checkpoints are written atomically (tmp + rename + dir fsync) and
-///      verified by checksum on read; a corrupt checkpoint is skipped and
-///      recovery falls back to the next older one (ultimately the seed).
+///      verified by checksum on read; a corrupt checkpoint is skipped
+///      (and unlinked) and recovery falls back to the next older one
+///      (ultimately the seed) — sound because of invariant 2.
 #ifndef RELVIEW_SERVICE_RECOVERY_H_
 #define RELVIEW_SERVICE_RECOVERY_H_
 
@@ -106,10 +108,14 @@ class DurableStore {
   Status Append(const std::vector<ViewUpdate>& updates);
 
   /// Writes a checkpoint of `database` covering the current sequence
-  /// number, then compacts: deletes segments fully covered by the new
-  /// checkpoint and checkpoints older than options().keep_checkpoints.
-  /// Returns the covered sequence number. `database` must be the state
-  /// at exactly seq() — the service calls this under its writer mutex.
+  /// number, then compacts: thins checkpoints down to the newest
+  /// options().keep_checkpoints files and deletes segments fully covered
+  /// by the *oldest* checkpoint that remains (so recovery can still fall
+  /// back from a corrupt newer checkpoint without hitting a journal
+  /// gap). Idempotent when a checkpoint at the current sequence number
+  /// already exists. Returns the covered sequence number. `database`
+  /// must be the state at exactly seq() — the service calls this under
+  /// its writer mutex.
   Result<uint64_t> WriteCheckpoint(const Relation& database);
 
   /// Accepted records since the seed (checkpointed + journaled).

@@ -314,6 +314,103 @@ TEST_F(CheckpointTest, StoreSkipsCorruptCheckpointAndFallsBack) {
             std::string::npos);
   EXPECT_EQ((*store)->seq(), 4u);
   EXPECT_TRUE(vt.database().SameAs(direct.database()));
+  // The known-corrupt file was unlinked: thinning must only ever count
+  // usable checkpoints toward keep_checkpoints.
+  EXPECT_FALSE(std::filesystem::exists(newest_ckpt));
+}
+
+TEST_F(CheckpointTest, CompactionPreservesFallbackToOlderCheckpoint) {
+  // Segment compaction is bounded by the *oldest retained* checkpoint,
+  // so when the newest checkpoint turns out corrupt, recovery can fall
+  // back to an older retained one and still find the journal suffix
+  // (older_seq, newest_seq] on disk — a longer replay, not a "journal
+  // gap" outage.
+  StoreOptions opts;
+  opts.dir = dir_;
+  opts.rotate_records = 2;
+  opts.keep_checkpoints = 2;
+  ViewTranslator direct = MakeTranslator();
+  std::string newest_ckpt;
+  {
+    ViewTranslator vt = MakeTranslator();
+    auto store = DurableStore::Open(opts, &vt);
+    ASSERT_TRUE(store.ok());
+    for (uint32_t i = 0; i < 3; ++i) {
+      const ViewUpdate u = ViewUpdate::Insert(Row({100 + i, 10}));
+      ApplyAndAppend(&vt, store->get(), u);
+      ASSERT_TRUE(direct.Insert(u.t1).ok());
+    }
+    ASSERT_TRUE((*store)->WriteCheckpoint(vt.database()).ok());  // seq 3
+    for (uint32_t i = 3; i < 5; ++i) {
+      const ViewUpdate u = ViewUpdate::Insert(Row({100 + i, 20}));
+      ApplyAndAppend(&vt, store->get(), u);
+      ASSERT_TRUE(direct.Insert(u.t1).ok());
+    }
+    auto seq = (*store)->WriteCheckpoint(vt.database());  // seq 5
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(*seq, 5u);
+    char name[64];
+    std::snprintf(name, sizeof(name), "checkpoint-%016llx.rvc",
+                  static_cast<unsigned long long>(*seq));
+    newest_ckpt = dir_ + "/" + name;
+    // Records (3, 5] are not covered by the retained seq-3 checkpoint;
+    // their segments must have survived the seq-5 compaction.
+  }
+  // Corrupt the newest checkpoint's body.
+  {
+    std::fstream f(newest_ckpt, std::ios::in | std::ios::out |
+                                    std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(f.is_open());
+    const std::streamoff size = f.tellg();
+    char c;
+    f.seekg(size - 2);
+    f.get(c);
+    f.seekp(size - 2);
+    f.put(static_cast<char>(c ^ 1));
+  }
+  ViewTranslator vt = MakeTranslator();
+  auto store = DurableStore::Open(opts, &vt);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovery().used_checkpoint);
+  EXPECT_EQ((*store)->recovery().checkpoint_seq, 3u);
+  EXPECT_EQ((*store)->recovery().replayed, 2u);  // records 3 and 4
+  EXPECT_EQ((*store)->seq(), 5u);
+  EXPECT_TRUE(vt.database().SameAs(direct.database()));
+}
+
+TEST_F(CheckpointTest, WriteCheckpointIsIdempotentAtFixedSeq) {
+  // Two checkpoints with no intervening updates must not duplicate the
+  // seq in the retained-checkpoint list (thinning would then erase two
+  // entries for one on-disk file, shrinking the real fallback depth).
+  StoreOptions opts;
+  opts.dir = dir_;
+  opts.keep_checkpoints = 2;
+  ViewTranslator vt = MakeTranslator();
+  auto store = DurableStore::Open(opts, &vt);
+  ASSERT_TRUE(store.ok());
+  ApplyAndAppend(&vt, store->get(), ViewUpdate::Insert(Row({100, 10})));
+  auto first = (*store)->WriteCheckpoint(vt.database());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  auto second = (*store)->WriteCheckpoint(vt.database());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1u);
+  EXPECT_EQ((*store)->checkpoints_written(), 1u);
+  // Advance and checkpoint twice more: thinning keeps the newest two
+  // *distinct* checkpoints, so seq 1's file goes exactly when seq 3's
+  // checkpoint lands.
+  ApplyAndAppend(&vt, store->get(), ViewUpdate::Insert(Row({101, 10})));
+  ASSERT_TRUE((*store)->WriteCheckpoint(vt.database()).ok());  // seq 2
+  EXPECT_TRUE(std::filesystem::exists(
+      dir_ + "/checkpoint-0000000000000001.rvc"));
+  ApplyAndAppend(&vt, store->get(), ViewUpdate::Insert(Row({102, 10})));
+  ASSERT_TRUE((*store)->WriteCheckpoint(vt.database()).ok());  // seq 3
+  EXPECT_FALSE(std::filesystem::exists(
+      dir_ + "/checkpoint-0000000000000001.rvc"));
+  EXPECT_TRUE(std::filesystem::exists(
+      dir_ + "/checkpoint-0000000000000002.rvc"));
+  EXPECT_TRUE(std::filesystem::exists(
+      dir_ + "/checkpoint-0000000000000003.rvc"));
 }
 
 TEST_F(CheckpointTest, StoreDetectsMidLogSegmentGap) {

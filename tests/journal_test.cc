@@ -274,8 +274,76 @@ TEST_F(JournalTest, FailpointFsyncErrorMidBatchFailsAppend) {
                             ViewUpdate::Insert(Row({6, 10}))});
   ASSERT_FALSE(st.ok());
   EXPECT_NE(st.ToString().find("injected"), std::string::npos);
-  // Third batch: the failpoint fired its once, real fsync resumes.
+  // The failed batch was rolled off the file: its records must not
+  // survive as phantoms that would replay as accepted.
+  {
+    auto r = Journal::Read(path_);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->truncated);
+    ASSERT_EQ(r->updates.size(), 1u);
+    EXPECT_TRUE(r->updates[0] == ViewUpdate::Insert(Row({4, 10})));
+  }
+  // Third batch: the failpoint fired its once, real fsync resumes, and
+  // the new record lands at the committed boundary.
   ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({7, 20}))).ok());
+  auto r = Journal::Read(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->truncated);
+  ASSERT_EQ(r->updates.size(), 2u);
+  EXPECT_TRUE(r->updates[1] == ViewUpdate::Insert(Row({7, 20})));
+}
+
+TEST_F(JournalTest, FailpointShortWritePoisonsHandle) {
+  // An injected short write models a crash mid-append: the torn tail
+  // stays on disk for the repair path — so the live handle must poison
+  // itself, or later batches would land after the tear and be silently
+  // dropped at replay.
+  auto j = Journal::Open(path_);
+  ASSERT_TRUE(j.ok());
+  ASSERT_TRUE(j->Append(ViewUpdate::Insert(Row({4, 10}))).ok());
+  ASSERT_TRUE(Failpoints::Set("journal.write", "short:3").ok());
+  ASSERT_FALSE(j->Append(ViewUpdate::Insert(Row({5, 20}))).ok());
+  Failpoints::ClearAll();
+  Status st = j->Append(ViewUpdate::Insert(Row({6, 10})));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // Repair + reopen restores service; nothing appended through the
+  // poisoned handle is on disk.
+  ASSERT_TRUE(Journal::Read(path_, /*repair=*/true).ok());
+  auto again = Journal::Open(path_);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_TRUE(again->Append(ViewUpdate::Insert(Row({6, 10}))).ok());
+  auto r = Journal::Read(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->truncated);
+  ASSERT_EQ(r->updates.size(), 2u);
+  EXPECT_TRUE(r->updates[1] == ViewUpdate::Insert(Row({6, 10})));
+}
+
+TEST_F(JournalTest, OpenAcceptsFinalRecordLargerThanTailWindow) {
+  // One valid record can outgrow the 1 MiB tail-verification window
+  // (huge-arity tuples); Open must widen its window, not declare the
+  // journal corrupt.
+  std::vector<Value> vals;
+  vals.reserve(150000);
+  for (uint32_t i = 0; i < 150000; ++i) {
+    vals.push_back(Value::Const(1000000u + i));
+  }
+  const ViewUpdate big = ViewUpdate::Insert(Tuple(std::move(vals)));
+  ASSERT_GT(EncodeJournalPayload(big).size(), size_t{1} << 20);
+  {
+    auto j = Journal::Open(path_);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j->Append(big).ok());
+  }
+  auto reopened = Journal::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_TRUE(reopened->Append(ViewUpdate::Insert(Row({5, 20}))).ok());
+  auto r = Journal::Read(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->truncated);
+  ASSERT_EQ(r->updates.size(), 2u);
+  EXPECT_TRUE(r->updates[0] == big);
 }
 
 TEST_F(JournalTest, FailpointShortWriteOnLengthPrefixRepairsAndReplays) {
