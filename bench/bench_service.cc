@@ -32,12 +32,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "util/annotations.h"
 #include "service/update_service.h"
 #include "util/small_util.h"
 #include "util/thread_pool.h"
@@ -121,16 +121,24 @@ class SerializedFacade {
     view_ = *vt_.ViewInstance();
   }
 
-  const Relation& seed_view() const { return view_; }
-  const AttrSet& view_attrs() const { return vt_.view(); }
+  // Setup-phase accessors; called before the worker threads exist, but the
+  // lock is uncontended then, so take it and keep the analysis clean.
+  Relation seed_view() {
+    MutexLock lock(mu_);
+    return view_;
+  }
+  AttrSet view_attrs() {
+    MutexLock lock(mu_);
+    return vt_.view();
+  }
 
   bool Contains(const Tuple& t) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return view_.ContainsRow(t);
   }
 
   void Apply(const ViewUpdate& u) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Status st;
     switch (u.kind) {
       case UpdateKind::kInsert:
@@ -149,9 +157,9 @@ class SerializedFacade {
   }
 
  private:
-  std::mutex mu_;
-  ViewTranslator vt_;
-  Relation view_;
+  Mutex mu_;
+  ViewTranslator vt_ RELVIEW_GUARDED_BY(mu_);
+  Relation view_ RELVIEW_GUARDED_BY(mu_);
 };
 
 struct Point {

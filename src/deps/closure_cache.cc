@@ -22,7 +22,7 @@ uint64_t ClosureCache::Fingerprint(const FDSet& fds) {
 AttrSet ClosureCache::Closure(const FDSet& fds, const AttrSet& seed) {
   const uint64_t fp = Fingerprint(fds);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (fp != fingerprint_) {
       entries_.clear();
       lru_.clear();
@@ -39,7 +39,7 @@ AttrSet ClosureCache::Closure(const FDSet& fds, const AttrSet& seed) {
   // Compute outside the lock: closures are pure and the worst case is two
   // threads racing to insert the same entry.
   const AttrSet closure = fds.Closure(seed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (fp != fingerprint_) {  // schema changed while we computed
     entries_.clear();
@@ -59,7 +59,7 @@ AttrSet ClosureCache::Closure(const FDSet& fds, const AttrSet& seed) {
 }
 
 void ClosureCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
   fingerprint_ = 0;
@@ -72,7 +72,7 @@ double ClosureCache::hit_rate() const {
 }
 
 size_t ClosureCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -22,11 +22,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "deps/fd_set.h"
 #include "relational/attr_set.h"
+#include "util/annotations.h"
 
 namespace relview {
 
@@ -38,9 +38,10 @@ class ClosureCache {
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
   /// seed+ under `fds`, memoized. Equivalent to fds.Closure(seed).
-  AttrSet Closure(const FDSet& fds, const AttrSet& seed);
+  AttrSet Closure(const FDSet& fds, const AttrSet& seed)
+      RELVIEW_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() RELVIEW_EXCLUDES(mu_);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -49,7 +50,7 @@ class ClosureCache {
   }
   /// hits / (hits + misses), 0 when unused.
   double hit_rate() const;
-  size_t size() const;
+  size_t size() const RELVIEW_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
  private:
@@ -61,10 +62,13 @@ class ClosureCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t fingerprint_ = 0;          // FD set the entries were filled under
-  std::list<AttrSet> lru_;            // front = most recently used
-  std::unordered_map<AttrSet, Entry, AttrSetHash> entries_;
+  mutable Mutex mu_;
+  /// FD set the entries were filled under.
+  uint64_t fingerprint_ RELVIEW_GUARDED_BY(mu_) = 0;
+  /// front = most recently used.
+  std::list<AttrSet> lru_ RELVIEW_GUARDED_BY(mu_);
+  std::unordered_map<AttrSet, Entry, AttrSetHash> entries_
+      RELVIEW_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -166,7 +166,7 @@ DecisionLog::DecisionLog(size_t capacity)
     : capacity_(capacity < 1 ? 1 : capacity) {}
 
 uint64_t DecisionLog::Push(DecisionTrace t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   t.sequence = next_sequence_++;
   const uint64_t seq = t.sequence;
   traces_.push_back(std::move(t));
@@ -175,18 +175,18 @@ uint64_t DecisionLog::Push(DecisionTrace t) {
 }
 
 std::vector<DecisionTrace> DecisionLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<DecisionTrace>(traces_.begin(), traces_.end());
 }
 
 std::optional<DecisionTrace> DecisionLog::Last() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (traces_.empty()) return std::nullopt;
   return traces_.back();
 }
 
 std::optional<DecisionTrace> DecisionLog::LastRejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
     if (!it->accepted) return *it;
   }
@@ -194,7 +194,7 @@ std::optional<DecisionTrace> DecisionLog::LastRejected() const {
 }
 
 uint64_t DecisionLog::total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_sequence_;
 }
 

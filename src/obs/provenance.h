@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "deps/fd.h"
 #include "relational/tuple.h"
 #include "relational/universe.h"
+#include "util/annotations.h"
 
 namespace relview {
 
@@ -98,23 +98,23 @@ class DecisionLog {
   explicit DecisionLog(size_t capacity = 256);
 
   /// Appends `t` (stamping t.sequence) and returns the stamped sequence.
-  uint64_t Push(DecisionTrace t);
+  uint64_t Push(DecisionTrace t) RELVIEW_EXCLUDES(mu_);
 
   /// Oldest-first copy of the retained traces.
-  std::vector<DecisionTrace> Snapshot() const;
+  std::vector<DecisionTrace> Snapshot() const RELVIEW_EXCLUDES(mu_);
   /// The most recent trace, if any.
-  std::optional<DecisionTrace> Last() const;
+  std::optional<DecisionTrace> Last() const RELVIEW_EXCLUDES(mu_);
   /// Most recent trace for which `accepted == false`, if any retained.
-  std::optional<DecisionTrace> LastRejected() const;
+  std::optional<DecisionTrace> LastRejected() const RELVIEW_EXCLUDES(mu_);
 
-  uint64_t total() const;
+  uint64_t total() const RELVIEW_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<DecisionTrace> traces_;
-  uint64_t next_sequence_ = 0;
+  mutable Mutex mu_;
+  std::deque<DecisionTrace> traces_ RELVIEW_GUARDED_BY(mu_);
+  uint64_t next_sequence_ RELVIEW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace relview

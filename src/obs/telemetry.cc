@@ -71,7 +71,7 @@ std::string Label(const std::string& key, const std::string& value) {
 
 void TelemetryRegistry::Register(const std::string& name,
                                  TelemetryCollector collector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [n, c] : collectors_) {
     if (n == name) {
       c = std::move(collector);
@@ -83,7 +83,7 @@ void TelemetryRegistry::Register(const std::string& name,
 
 void TelemetryRegistry::RegisterJson(const std::string& name,
                                      JsonProvider provider) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [n, p] : json_sections_) {
     if (n == name) {
       p = std::move(provider);
@@ -94,7 +94,7 @@ void TelemetryRegistry::RegisterJson(const std::string& name,
 }
 
 void TelemetryRegistry::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::erase_if(collectors_, [&](const auto& e) { return e.first == name; });
   std::erase_if(json_sections_,
                 [&](const auto& e) { return e.first == name; });
@@ -103,7 +103,7 @@ void TelemetryRegistry::Unregister(const std::string& name) {
 std::string TelemetryRegistry::RenderPrometheus() const {
   std::vector<std::pair<std::string, TelemetryCollector>> collectors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     collectors = collectors_;
   }
   std::string out;
@@ -128,7 +128,7 @@ std::string TelemetryRegistry::RenderPrometheus() const {
 std::string TelemetryRegistry::RenderJson() const {
   std::vector<std::pair<std::string, JsonProvider>> sections;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sections = json_sections_;
   }
   std::string out = "{";

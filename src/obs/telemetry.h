@@ -15,13 +15,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/histogram.h"
 #include "obs/trace.h"
+#include "util/annotations.h"
 
 namespace relview {
 
@@ -56,22 +56,28 @@ using JsonProvider = std::function<std::string()>;
 class TelemetryRegistry {
  public:
   /// Registers (or replaces) a named collector of metric families.
-  void Register(const std::string& name, TelemetryCollector collector);
+  void Register(const std::string& name, TelemetryCollector collector)
+      RELVIEW_EXCLUDES(mu_);
   /// Registers (or replaces) a named JSON section; `provider` must return
   /// a complete JSON value (the service metrics dump, tracer stats, ...).
-  void RegisterJson(const std::string& name, JsonProvider provider);
-  void Unregister(const std::string& name);
+  void RegisterJson(const std::string& name, JsonProvider provider)
+      RELVIEW_EXCLUDES(mu_);
+  void Unregister(const std::string& name) RELVIEW_EXCLUDES(mu_);
 
   /// Prometheus text exposition format 0.0.4: HELP/TYPE comments followed
   /// by the samples of every registered collector, in registration order.
-  std::string RenderPrometheus() const;
+  /// Collectors run *outside* mu_ (on a copy of the registration list), so
+  /// a collector may re-enter the registry without deadlocking.
+  std::string RenderPrometheus() const RELVIEW_EXCLUDES(mu_);
   /// {"<section>":<value>,...} in registration order.
-  std::string RenderJson() const;
+  std::string RenderJson() const RELVIEW_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, TelemetryCollector>> collectors_;
-  std::vector<std::pair<std::string, JsonProvider>> json_sections_;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, TelemetryCollector>> collectors_
+      RELVIEW_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, JsonProvider>> json_sections_
+      RELVIEW_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry; the service registers into it on construction.

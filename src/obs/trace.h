@@ -58,6 +58,12 @@ struct TraceEvent {
 /// snapshot without blocking writers and skip any slot observed mid-write.
 /// Overflow overwrites the oldest slot (drop-oldest). Capacity is rounded
 /// up to a power of two.
+///
+/// Deliberately unannotated for clang's thread-safety analysis
+/// (util/annotations.h): a per-slot seqlock is not a capability the
+/// analysis can model. Correctness is held by the acquire/release
+/// protocol on `seq` below and verified dynamically — obs_trace_test
+/// runs under TSan in CI.
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity);

@@ -46,7 +46,7 @@ Status SyncDir(const std::string& path) {
 Status WriteAll(int fd, const std::string& data) {
   size_t limit = data.size();
   bool injected_fault = false;
-  if (FailpointHit fp = Failpoints::Check("checkpoint.write")) {
+  if (FailpointHit fp = RELVIEW_FAILPOINT("checkpoint.write")) {
     if (fp.action == FailpointAction::kError) {
       return Status::Internal("checkpoint write failed: injected EIO");
     }
@@ -99,7 +99,7 @@ Status WriteCheckpoint(const std::string& path, const Relation& database,
   span.AddArg("rows", static_cast<uint64_t>(database.size()));
   span.AddArg("seq", seq);
   std::string data = EncodeCheckpoint(database, seq);
-  if (FailpointHit fp = Failpoints::Check("checkpoint.flip")) {
+  if (FailpointHit fp = RELVIEW_FAILPOINT("checkpoint.flip")) {
     if (fp.action == FailpointAction::kFlipBit && fp.arg <= data.size() &&
         fp.arg > 0) {
       data[data.size() - fp.arg] ^= 1;  // silent corruption on the way out
@@ -118,7 +118,7 @@ Status WriteCheckpoint(const std::string& path, const Relation& database,
     ::unlink(tmp.c_str());
     return st;
   }
-  if (Failpoints::Check("checkpoint.fsync")) {
+  if (RELVIEW_FAILPOINT("checkpoint.fsync")) {
     ::close(fd);
     ::unlink(tmp.c_str());
     return Status::Internal("checkpoint fsync failed: injected EIO");
@@ -132,14 +132,14 @@ Status WriteCheckpoint(const std::string& path, const Relation& database,
   }
   ::close(fd);
 
-  Failpoints::Check("checkpoint.crash_before_rename");  // crash-armed only
+  RELVIEW_FAILPOINT("checkpoint.crash_before_rename");  // crash-armed only
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     const Status err = Status::Internal("checkpoint rename failed: " +
                                         std::string(std::strerror(errno)));
     ::unlink(tmp.c_str());
     return err;
   }
-  Failpoints::Check("checkpoint.crash_after_rename");  // crash-armed only
+  RELVIEW_FAILPOINT("checkpoint.crash_after_rename");  // crash-armed only
   return SyncDir(path);
 }
 

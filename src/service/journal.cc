@@ -260,7 +260,7 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
   // and the handle is poisoned, exactly as if the process had died.
   size_t limit = block.size();
   bool injected_torn_tail = false;
-  if (FailpointHit fp = Failpoints::Check("journal.write")) {
+  if (FailpointHit fp = RELVIEW_FAILPOINT("journal.write")) {
     if (fp.action == FailpointAction::kError) {
       return Status::Internal("journal write failed: injected EIO");
     }
@@ -287,9 +287,9 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
     return Status::Internal("journal write failed: injected short write "
                             "(torn tail kept, handle poisoned)");
   }
-  Failpoints::Check("journal.crash_after_write");  // crash-armed only
+  RELVIEW_FAILPOINT("journal.crash_after_write");  // crash-armed only
   Timer fsync_timer;
-  if (Failpoints::Check("journal.fsync")) {
+  if (RELVIEW_FAILPOINT("journal.fsync")) {
     return RollBackTo(batch_start,
                       Status::Internal("journal fsync failed: injected EIO"));
   }

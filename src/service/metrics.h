@@ -4,6 +4,13 @@
 /// StatusCode, plus latency histograms for the check (translatability
 /// test) and apply (translation + publish) phases. Everything is
 /// lock-free atomics so the writer's hot path never blocks on a scrape.
+///
+/// Concurrency contract: there is deliberately no mutex here and hence no
+/// RELVIEW_GUARDED_BY annotations (util/annotations.h) — the atomics ARE
+/// the synchronization. Cross-counter reads (ToJson, engine gauges) are
+/// relaxed-consistent: a scrape racing the writer may see one counter
+/// from before an update and another from after, which monitoring
+/// tolerates by design.
 
 #ifndef RELVIEW_SERVICE_METRICS_H_
 #define RELVIEW_SERVICE_METRICS_H_

@@ -175,7 +175,7 @@ Status DurableStore::Recover(ViewTranslator* translator) {
       translator->InstallDatabase(std::move(ckpt->database));
       recovery_.used_checkpoint = true;
       recovery_.checkpoint_seq = ckpt->seq;
-      last_checkpoint_seq_ = ckpt->seq;
+      last_checkpoint_seq_.store(ckpt->seq, std::memory_order_relaxed);
       break;
     }
     recovery_.warnings.push_back("skipping checkpoint " +
@@ -200,7 +200,7 @@ Status DurableStore::Recover(ViewTranslator* translator) {
          segments_[start + 1].first_seq <= ckpt_seq) {
     ++start;
   }
-  seq_ = ckpt_seq;
+  uint64_t recovered_seq = ckpt_seq;
   for (size_t i = start; i < segments_.size(); ++i) {
     Segment& seg = segments_[i];
     const bool is_last = i + 1 == segments_.size();
@@ -211,12 +211,12 @@ Status DurableStore::Recover(ViewTranslator* translator) {
             std::to_string(seg.first_seq) + ") are on no segment and no "
             "checkpoint covers them");
       }
-    } else if (seg.first_seq != seq_) {
+    } else if (seg.first_seq != recovered_seq) {
       return Status::Corruption("journal gap: segment " + seg.path +
                                 " starts at " +
                                 std::to_string(seg.first_seq) +
                                 " but the previous segment ends at " +
-                                std::to_string(seq_));
+                                std::to_string(recovered_seq));
     }
     // Only the final segment may legitimately carry a torn tail (the
     // crash signature); truncation earlier in the chain would silently
@@ -240,11 +240,13 @@ Status DurableStore::Recover(ViewTranslator* translator) {
           ApplyRecovered(translator, read.updates[r], seg.first_seq + r));
       ++recovery_.replayed;
     }
-    seq_ = std::max(seq_, seg.first_seq + seg.records);
+    recovered_seq = std::max(recovered_seq, seg.first_seq + seg.records);
   }
-  recovery_.recovered_seq = seq_;
+  seq_.store(recovered_seq, std::memory_order_relaxed);
+  SyncSegmentCount();
+  recovery_.recovered_seq = recovered_seq;
   replay_span.AddArg("replayed", recovery_.replayed);
-  span.AddArg("seq", seq_);
+  span.AddArg("seq", recovered_seq);
   return Status::OK();
 }
 
@@ -257,7 +259,9 @@ Status DurableStore::OpenActiveSegment() {
     active_ = std::move(j);
     return Status::OK();
   }
-  segments_.push_back(Segment{SegmentPath(seq_), seq_, 0});
+  const uint64_t cur = seq();
+  segments_.push_back(Segment{SegmentPath(cur), cur, 0});
+  SyncSegmentCount();
   RELVIEW_ASSIGN_OR_RETURN(
       Journal j, Journal::Open(segments_.back().path, fsync_latency_));
   active_ = std::move(j);
@@ -272,19 +276,21 @@ Status DurableStore::Append(const std::vector<ViewUpdate>& updates) {
   if (segments_.back().records >= options_.rotate_records) {
     RELVIEW_TRACE_SPAN("journal.rotate");
     active_.reset();  // close the full segment; its records are fsync'd
-    segments_.push_back(Segment{SegmentPath(seq_), seq_, 0});
+    const uint64_t cur = seq();
+    segments_.push_back(Segment{SegmentPath(cur), cur, 0});
+    SyncSegmentCount();
     RELVIEW_ASSIGN_OR_RETURN(
         Journal j, Journal::Open(segments_.back().path, fsync_latency_));
     active_ = std::move(j);
   }
   RELVIEW_RETURN_IF_ERROR(active_->AppendAll(updates));
   segments_.back().records += updates.size();
-  seq_ += updates.size();
+  seq_.fetch_add(updates.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<uint64_t> DurableStore::WriteCheckpoint(const Relation& database) {
-  const uint64_t seq = seq_;
+  const uint64_t seq = this->seq();
   // Idempotent at a fixed seq: a durable checkpoint covering exactly this
   // state already exists, and pushing seq again would make thinning erase
   // two list entries for the one on-disk file, silently shrinking the
@@ -294,8 +300,8 @@ Result<uint64_t> DurableStore::WriteCheckpoint(const Relation& database) {
   }
   RELVIEW_RETURN_IF_ERROR(
       ::relview::WriteCheckpoint(CheckpointPath(seq), database, seq));
-  last_checkpoint_seq_ = seq;
-  ++checkpoints_written_;
+  last_checkpoint_seq_.store(seq, std::memory_order_relaxed);
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
   checkpoint_seqs_.push_back(seq);
   RELVIEW_RETURN_IF_ERROR(Compact());
   return seq;
@@ -332,9 +338,10 @@ Status DurableStore::Compact() {
                               std::strerror(errno));
     }
     segments_.erase(segments_.begin());
-    ++segments_compacted_;
+    SyncSegmentCount();
+    segments_compacted_.fetch_add(1, std::memory_order_relaxed);
     ++deleted;
-    Failpoints::Check("compact.crash_mid_delete");  // crash-armed only
+    RELVIEW_FAILPOINT("compact.crash_mid_delete");  // crash-armed only
   }
   span.AddArg("segments_deleted", deleted);
   return Status::OK();

@@ -33,6 +33,7 @@
 #ifndef RELVIEW_SERVICE_RECOVERY_H_
 #define RELVIEW_SERVICE_RECOVERY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -118,20 +119,36 @@ class DurableStore {
   /// its writer mutex.
   Result<uint64_t> WriteCheckpoint(const Relation& database);
 
+  // The counter accessors below are safe from any thread: the fields are
+  // relaxed atomics, mutated only by the single writer (the service
+  // serializes Append / WriteCheckpoint behind its writer mutex) but read
+  // lock-free by telemetry scrapes. A scrape may observe a mid-batch
+  // combination (e.g. seq_ advanced, segment count not yet), which is fine
+  // for monitoring; everything else on this class needs the external
+  // writer serialization documented above.
+
   /// Accepted records since the seed (checkpointed + journaled).
-  uint64_t seq() const { return seq_; }
+  uint64_t seq() const { return seq_.load(std::memory_order_relaxed); }
   /// Sequence number of the newest durable checkpoint (0 = none).
-  uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
+  uint64_t last_checkpoint_seq() const {
+    return last_checkpoint_seq_.load(std::memory_order_relaxed);
+  }
   /// Records accepted since the last durable checkpoint — the replay debt
   /// a crash would incur right now.
-  uint64_t compaction_lag() const { return seq_ - last_checkpoint_seq_; }
+  uint64_t compaction_lag() const { return seq() - last_checkpoint_seq(); }
   /// Checkpoints written by this incarnation (not counting recovered
   /// ones).
-  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
   /// Segments deleted by compaction in this incarnation.
-  uint64_t segments_compacted() const { return segments_compacted_; }
+  uint64_t segments_compacted() const {
+    return segments_compacted_.load(std::memory_order_relaxed);
+  }
   /// Live segment files (including the active one).
-  int segment_count() const { return static_cast<int>(segments_.size()); }
+  int segment_count() const {
+    return segment_count_.load(std::memory_order_relaxed);
+  }
 
   /// Shared fsync-latency histogram spanning all segment rotations.
   std::shared_ptr<const LatencyHistogram> fsync_latency() const {
@@ -153,16 +170,23 @@ class DurableStore {
   Status Compact();
   std::string SegmentPath(uint64_t first_seq) const;
   std::string CheckpointPath(uint64_t seq) const;
+  /// Refreshes segment_count_ after segments_ changed.
+  void SyncSegmentCount() {
+    segment_count_.store(static_cast<int>(segments_.size()),
+                         std::memory_order_relaxed);
+  }
 
   StoreOptions options_;
   RecoveryInfo recovery_;
   std::vector<Segment> segments_;  // ascending first_seq; back() is active
   std::vector<uint64_t> checkpoint_seqs_;  // ascending, on-disk files
   std::optional<Journal> active_;
-  uint64_t seq_ = 0;
-  uint64_t last_checkpoint_seq_ = 0;
-  uint64_t checkpoints_written_ = 0;
-  uint64_t segments_compacted_ = 0;
+  // Writer-mutated, scrape-read counters; see the accessor comment above.
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> last_checkpoint_seq_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> segments_compacted_{0};
+  std::atomic<int> segment_count_{0};
   std::shared_ptr<LatencyHistogram> fsync_latency_ =
       std::make_shared<LatencyHistogram>();
 };

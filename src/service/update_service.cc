@@ -58,7 +58,13 @@ UpdateService::UpdateService(ViewTranslator translator,
     : translator_(std::move(translator)),
       journal_(std::move(journal)),
       store_(std::move(store)),
+      universe_(translator_.universe()),
+      view_attrs_(translator_.view()),
+      complement_attrs_(translator_.complement()),
       service_id_(NextServiceId()) {
+  // No concurrent access is possible yet, but Publish requires the writer
+  // capability, so take it (uncontended) rather than suppress the analysis.
+  MutexLock writer(writer_mu_);
   Publish(0);
 }
 
@@ -74,7 +80,7 @@ ViewSnapshot UpdateService::Snapshot() const {
   static thread_local Cache cache;
   const uint64_t v = published_version_.load(std::memory_order_acquire);
   if (cache.service_id != service_id_ || cache.snap.version != v) {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    ReaderMutexLock lock(snapshot_mu_);
     cache.snap = *snapshot_;
     cache.service_id = service_id_;
   }
@@ -229,7 +235,7 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   RELVIEW_TRACE_SPAN_N(span, "svc.apply_batch");
   span.AddArg("updates", updates.size());
 
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
 
   // The translator applies updates in place (keeping the engine's caches
   // warm), so save the committed relation first: one rejection reinstalls
@@ -250,7 +256,7 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   }
 
   // Write-ahead: the batch is durable before it becomes visible.
-  Failpoints::Check("service.crash_before_journal");  // crash-armed only
+  RELVIEW_FAILPOINT("service.crash_before_journal");  // crash-armed only
   if (store_ != nullptr || journal_.has_value()) {
     Status st = store_ != nullptr ? store_->Append(updates)
                                   : journal_->AppendAll(updates);
@@ -262,7 +268,7 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
       return result;
     }
   }
-  Failpoints::Check("service.crash_before_publish");  // crash-armed only
+  RELVIEW_FAILPOINT("service.crash_before_publish");  // crash-armed only
 
   metrics_.RecordBatchCommitted();
   Publish(++version_);
@@ -284,7 +290,7 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
 }
 
 Result<uint64_t> UpdateService::Checkpoint() {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   return CheckpointLocked();
 }
 
@@ -302,7 +308,20 @@ Status UpdateService::Apply(const ViewUpdate& update) {
 }
 
 void UpdateService::RegisterTelemetry(TelemetryRegistry* registry) const {
-  registry->Register("service", [this] {
+  // Snapshot the construction-time plumbing once, under the writer mutex,
+  // so the scrape lambdas below never touch writer-guarded members: the
+  // store pointer and the fsync histograms are fixed at Create time, and
+  // every value the lambdas read through them is a relaxed atomic.
+  const DurableStore* store = nullptr;
+  std::shared_ptr<const LatencyHistogram> journal_fsync;
+  std::shared_ptr<const LatencyHistogram> store_fsync;
+  {
+    MutexLock writer(writer_mu_);
+    store = store_.get();
+    if (journal_.has_value()) journal_fsync = journal_->fsync_latency();
+    if (store != nullptr) store_fsync = store->fsync_latency();
+  }
+  registry->Register("service", [this, store, journal_fsync, store_fsync] {
     std::vector<MetricFamily> out;
     MetricFamily accepted = CounterFamily(
         "relview_updates_accepted_total", "Accepted view updates by kind", 0);
@@ -360,39 +379,38 @@ void UpdateService::RegisterTelemetry(TelemetryRegistry* registry) const {
                             static_cast<double>(eng.name)));
     RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_GAUGE_FAMILY)
 #undef RELVIEW_ENGINE_GAUGE_FAMILY
-    if (journal_.has_value()) {
+    if (journal_fsync != nullptr) {
       out.push_back(SummaryFamily("relview_journal_fsync_seconds",
-                                  "Journal fsync latency",
-                                  *journal_->fsync_latency()));
+                                  "Journal fsync latency", *journal_fsync));
     }
-    if (store_ != nullptr) {
+    if (store != nullptr) {
       out.push_back(SummaryFamily("relview_journal_fsync_seconds",
                                   "Journal fsync latency (all segments)",
-                                  *store_->fsync_latency()));
+                                  *store_fsync));
       out.push_back(GaugeFamily("relview_journal_segments",
                                 "Live journal segment files",
-                                static_cast<double>(store_->segment_count())));
+                                static_cast<double>(store->segment_count())));
       out.push_back(GaugeFamily(
           "relview_durable_seq",
           "Accepted records made durable since the seed instance",
-          static_cast<double>(store_->seq())));
+          static_cast<double>(store->seq())));
       out.push_back(GaugeFamily(
           "relview_checkpoint_last_seq",
           "Sequence number of the newest durable checkpoint",
-          static_cast<double>(store_->last_checkpoint_seq())));
+          static_cast<double>(store->last_checkpoint_seq())));
       out.push_back(GaugeFamily(
           "relview_compaction_lag_records",
           "Records accepted since the last durable checkpoint (replay "
           "debt on crash)",
-          static_cast<double>(store_->compaction_lag())));
+          static_cast<double>(store->compaction_lag())));
       out.push_back(CounterFamily(
           "relview_checkpoints_written_total",
           "Checkpoints written by this incarnation",
-          static_cast<double>(store_->checkpoints_written())));
+          static_cast<double>(store->checkpoints_written())));
       out.push_back(CounterFamily(
           "relview_segments_compacted_total",
           "Journal segments deleted by compaction",
-          static_cast<double>(store_->segments_compacted())));
+          static_cast<double>(store->segments_compacted())));
     }
     return out;
   });
@@ -400,7 +418,7 @@ void UpdateService::RegisterTelemetry(TelemetryRegistry* registry) const {
   registry->RegisterJson("decisions", [this] {
     std::string out = "{\"total\":" + std::to_string(decisions_.total());
     if (std::optional<DecisionTrace> last = decisions_.Last()) {
-      out += ",\"last\":" + last->ToJson(&translator_.universe());
+      out += ",\"last\":" + last->ToJson(&universe_);
     }
     out += "}";
     return out;
@@ -418,7 +436,7 @@ void UpdateService::Publish(uint64_t version) {
   RELVIEW_DCHECK(view.ok(), "publish on an unbound translator");
   snap->view = std::make_shared<const Relation>(std::move(*view));
   {
-    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    WriterMutexLock lock(snapshot_mu_);
     snapshot_ = std::move(snap);
   }
   // Open the readers' fast-path gate only after the pointer is in place.

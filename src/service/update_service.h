@@ -26,9 +26,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +36,7 @@
 #include "service/metrics.h"
 #include "service/recovery.h"
 #include "service/update.h"
+#include "util/annotations.h"
 #include "util/status.h"
 #include "view/translator.h"
 
@@ -92,7 +91,7 @@ class UpdateService {
 
   /// Current immutable snapshot. Never blocks on a writer's translation
   /// work; safe from any thread.
-  ViewSnapshot Snapshot() const;
+  ViewSnapshot Snapshot() const RELVIEW_EXCLUDES(snapshot_mu_);
 
   /// Version of the latest committed state (0 = seed, +1 per commit).
   uint64_t version() const;
@@ -100,21 +99,22 @@ class UpdateService {
   /// Applies a single update: check, journal, publish. Serialized with
   /// other writers. Returns kUntranslatable (verdict in the message) when
   /// the paper's test rejects it; the served state is then unchanged.
-  Status Apply(const ViewUpdate& update);
+  Status Apply(const ViewUpdate& update) RELVIEW_EXCLUDES(writer_mu_);
 
   /// Applies a batch atomically. All updates validate and translate on a
   /// staged copy; one rejection rolls the whole batch back. A committed
   /// batch advances the version by exactly 1. On rejection the returned
   /// status carries the batch position (Status::batch_index()), matching
   /// BatchResult::failed_index.
-  BatchResult ApplyBatch(const std::vector<ViewUpdate>& updates);
+  BatchResult ApplyBatch(const std::vector<ViewUpdate>& updates)
+      RELVIEW_EXCLUDES(writer_mu_);
 
   /// Forces a checkpoint of the committed state at the current sequence
   /// number (then compacts fully-covered journal segments). Serialized
   /// with writers. Requires the checkpointed store (options.store.dir);
   /// returns FailedPrecondition otherwise. Returns the covered sequence
   /// number.
-  Result<uint64_t> Checkpoint();
+  Result<uint64_t> Checkpoint() RELVIEW_EXCLUDES(writer_mu_);
 
   /// The durable store backing this service, or null when running
   /// un-journaled / with the legacy single-file journal. Exposes recovery
@@ -132,24 +132,25 @@ class UpdateService {
   /// sections "service" (counters, latency summaries, engine gauges,
   /// journal fsync latency) and "decisions". The service must outlive the
   /// registry or be unregistered first.
-  void RegisterTelemetry(TelemetryRegistry* registry) const;
+  void RegisterTelemetry(TelemetryRegistry* registry) const
+      RELVIEW_EXCLUDES(writer_mu_);
 
   /// Number of journal records replayed during Create (0 without journal).
   uint64_t replayed_updates() const { return metrics_.replayed(); }
 
   /// The attribute universe U (immutable after Create).
-  const Universe& universe() const { return translator_.universe(); }
+  const Universe& universe() const { return universe_; }
   /// The view attributes X (immutable after Create).
-  const AttrSet& view_attrs() const { return translator_.view(); }
+  const AttrSet& view_attrs() const { return view_attrs_; }
   /// The complement attributes Y (immutable after Create).
-  const AttrSet& complement_attrs() const { return translator_.complement(); }
+  const AttrSet& complement_attrs() const { return complement_attrs_; }
 
  private:
   UpdateService(ViewTranslator translator, std::optional<Journal> journal,
                 std::unique_ptr<DurableStore> store);
 
   /// Checkpoint body; caller holds writer_mu_.
-  Result<uint64_t> CheckpointLocked();
+  Result<uint64_t> CheckpointLocked() RELVIEW_REQUIRES(writer_mu_);
 
   /// Checks `u` and, when translatable, applies it to the translator in
   /// place (maintaining the engine's caches). Records metrics and pushes a
@@ -157,24 +158,38 @@ class UpdateService {
   /// sets *mutated when the database actually changed. On rejection
   /// returns the failing status, annotated with the batch position.
   Status StageOne(const ViewUpdate& u, int batch_index, std::string* detail,
-                  bool* mutated);
+                  bool* mutated) RELVIEW_REQUIRES(writer_mu_);
 
-  void Publish(uint64_t version);  // under writer_mu_
+  void Publish(uint64_t version) RELVIEW_REQUIRES(writer_mu_)
+      RELVIEW_EXCLUDES(snapshot_mu_);
 
   // Writer-side authoritative state; mutated only under writer_mu_.
-  mutable std::mutex writer_mu_;
-  ViewTranslator translator_;
-  std::optional<Journal> journal_;
-  std::unique_ptr<DurableStore> store_;
-  uint64_t version_ = 0;
+  mutable Mutex writer_mu_;
+  ViewTranslator translator_ RELVIEW_GUARDED_BY(writer_mu_);
+  std::optional<Journal> journal_ RELVIEW_GUARDED_BY(writer_mu_);
+  // The pointer itself is fixed at construction (store() hands it out
+  // lock-free); the *pointee's* mutating operations are writer-serialized.
+  // Its counter accessors are relaxed atomics, safe from any thread — the
+  // telemetry lambdas read them through a pointer copied out under the
+  // lock in RegisterTelemetry.
+  std::unique_ptr<DurableStore> store_ RELVIEW_PT_GUARDED_BY(writer_mu_);
+  uint64_t version_ RELVIEW_GUARDED_BY(writer_mu_) = 0;
+
+  // Immutable after construction: copies of the translator's schema
+  // handles, so accessors and telemetry never touch the guarded
+  // translator_ off the writer thread.
+  const Universe universe_;
+  const AttrSet view_attrs_;
+  const AttrSet complement_attrs_;
 
   // Reader-visible published state. snapshot_mu_ guards only the pointer;
   // published_version_ is the lock-free fast-path gate: readers re-take
   // the shared lock only when the version actually changed (see
   // Snapshot()), so a reader herd neither serializes on the rwlock word
-  // nor starves the writer's exclusive acquisition.
-  mutable std::shared_mutex snapshot_mu_;
-  std::shared_ptr<const ViewSnapshot> snapshot_;
+  // nor starves the writer's exclusive acquisition. Publish runs with
+  // writer_mu_ held and briefly takes snapshot_mu_, never the reverse.
+  mutable SharedMutex snapshot_mu_ RELVIEW_ACQUIRED_AFTER(writer_mu_);
+  std::shared_ptr<const ViewSnapshot> snapshot_ RELVIEW_GUARDED_BY(snapshot_mu_);
   std::atomic<uint64_t> published_version_{0};
   const uint64_t service_id_;
 

@@ -1,0 +1,196 @@
+// Clang thread-safety-analysis annotations and capability-annotated
+// synchronization wrappers for the relview library.
+//
+// The annotations turn the locking discipline documented in comments
+// ("guarded by writer_mu_", "call only under the service's writer mutex")
+// into compile-time checked contracts: building with
+//
+//   clang++ -Wthread-safety -Werror
+//
+// rejects any access to a RELVIEW_GUARDED_BY member without its mutex
+// held, any call to a RELVIEW_REQUIRES function without its capability,
+// and any double- or cross-order acquisition the annotations rule out.
+// CI runs exactly that build (see .github/workflows/ci.yml, job
+// `thread-safety`); under GCC and other compilers the macros expand to
+// nothing, so the annotated tree stays portable.
+//
+// Library code must use the relview::Mutex / relview::SharedMutex /
+// relview::CondVar wrappers below instead of the raw std types: the std
+// types carry no capability attributes on libstdc++, so locking them is
+// invisible to the analysis. tools/relview_lint.py enforces this (rule
+// `naked-mutex`) together with the companion rule that every Mutex
+// member has at least one RELVIEW_GUARDED_BY / RELVIEW_REQUIRES /
+// RELVIEW_ACQUIRE user in its file.
+//
+// Annotation vocabulary (mirrors the clang attribute of the same name):
+//
+//   RELVIEW_GUARDED_BY(mu)     member readable/writable only with mu held
+//   RELVIEW_PT_GUARDED_BY(mu)  pointer member whose *pointee* needs mu
+//   RELVIEW_REQUIRES(mu)       function callable only with mu held
+//   RELVIEW_REQUIRES_SHARED(mu) ... with mu held at least shared
+//   RELVIEW_EXCLUDES(mu)       function callable only with mu NOT held
+//                              (annotate public entry points that lock mu
+//                              themselves, making self-deadlock a
+//                              compile error)
+//   RELVIEW_ACQUIRE(...)       function acquires the capability
+//   RELVIEW_ACQUIRE_SHARED(...)
+//   RELVIEW_RELEASE(...)       function releases the capability
+//   RELVIEW_RELEASE_SHARED(...)
+//   RELVIEW_TRY_ACQUIRE(b, ...) acquires iff the return value is b
+//   RELVIEW_ACQUIRED_BEFORE/AFTER(...)  static lock-order edges
+//   RELVIEW_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (last resort;
+//                              say why in a comment)
+
+#ifndef RELVIEW_UTIL_ANNOTATIONS_H_
+#define RELVIEW_UTIL_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RELVIEW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RELVIEW_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define RELVIEW_CAPABILITY(x) RELVIEW_THREAD_ANNOTATION(capability(x))
+#define RELVIEW_SCOPED_CAPABILITY RELVIEW_THREAD_ANNOTATION(scoped_lockable)
+#define RELVIEW_GUARDED_BY(x) RELVIEW_THREAD_ANNOTATION(guarded_by(x))
+#define RELVIEW_PT_GUARDED_BY(x) RELVIEW_THREAD_ANNOTATION(pt_guarded_by(x))
+#define RELVIEW_ACQUIRED_BEFORE(...) \
+  RELVIEW_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RELVIEW_ACQUIRED_AFTER(...) \
+  RELVIEW_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define RELVIEW_REQUIRES(...) \
+  RELVIEW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RELVIEW_REQUIRES_SHARED(...) \
+  RELVIEW_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define RELVIEW_ACQUIRE(...) \
+  RELVIEW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELVIEW_ACQUIRE_SHARED(...) \
+  RELVIEW_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELVIEW_RELEASE(...) \
+  RELVIEW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELVIEW_RELEASE_SHARED(...) \
+  RELVIEW_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELVIEW_TRY_ACQUIRE(...) \
+  RELVIEW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RELVIEW_EXCLUDES(...) \
+  RELVIEW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RELVIEW_RETURN_CAPABILITY(x) \
+  RELVIEW_THREAD_ANNOTATION(lock_returned(x))
+#define RELVIEW_NO_THREAD_SAFETY_ANALYSIS \
+  RELVIEW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace relview {
+
+/// std::mutex with the `mutex` capability, so acquisitions are visible to
+/// -Wthread-safety. Satisfies BasicLockable/Lockable; prefer the MutexLock
+/// guard over calling lock()/unlock() directly.
+class RELVIEW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RELVIEW_ACQUIRE() { mu_.lock(); }
+  void unlock() RELVIEW_RELEASE() { mu_.unlock(); }
+  bool try_lock() RELVIEW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the `mutex` capability: exclusive (writer) and
+/// shared (reader) modes both tracked by the analysis.
+class RELVIEW_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() RELVIEW_ACQUIRE() { mu_.lock(); }
+  void unlock() RELVIEW_RELEASE() { mu_.unlock(); }
+  bool try_lock() RELVIEW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() RELVIEW_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELVIEW_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() RELVIEW_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock of a Mutex (std::lock_guard is unannotated on
+/// libstdc++, so the analysis would not see it).
+class RELVIEW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RELVIEW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELVIEW_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock of a SharedMutex (the writer side).
+class RELVIEW_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) RELVIEW_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() RELVIEW_RELEASE() { mu_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock of a SharedMutex (the reader side).
+class RELVIEW_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) RELVIEW_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() RELVIEW_RELEASE() { mu_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable usable with the annotated Mutex. Waits are expressed
+/// as explicit `while (!pred) cv.Wait(mu);` loops rather than predicate
+/// lambdas: the loop body stays inside the REQUIRES(mu) function, so the
+/// analysis keeps checking the guarded reads the predicate performs.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and reacquires `mu` before
+  /// returning. Spurious wakeups are possible — always wait in a loop.
+  void Wait(Mutex& mu) RELVIEW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // mu stays locked; the guard must not unlock it
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_UTIL_ANNOTATIONS_H_

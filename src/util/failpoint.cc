@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "util/annotations.h"
 
 namespace relview {
 namespace {
@@ -20,8 +21,8 @@ struct Arm {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Arm> arms;
+  Mutex mu;
+  std::map<std::string, Arm> arms RELVIEW_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -86,7 +87,7 @@ Result<Arm> ParseSpec(const std::string& spec) {
 Status Failpoints::Set(const std::string& name, const std::string& spec) {
   RELVIEW_ASSIGN_OR_RETURN(Arm arm, ParseSpec(spec));
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.arms.find(name);
   if (arm.action == FailpointAction::kOff) {
     if (it != r.arms.end()) {
@@ -106,7 +107,7 @@ Status Failpoints::Set(const std::string& name, const std::string& spec) {
 
 void Failpoints::Clear(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   if (r.arms.erase(name) > 0) {
     g_armed.fetch_sub(1, std::memory_order_release);
   }
@@ -114,7 +115,7 @@ void Failpoints::Clear(const std::string& name) {
 
 void Failpoints::ClearAll() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   g_armed.fetch_sub(static_cast<int>(r.arms.size()),
                     std::memory_order_release);
   r.arms.clear();
@@ -146,7 +147,7 @@ FailpointHit Failpoints::Check(const char* name) {
   Registry& r = GetRegistry();
   FailpointHit hit;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     auto it = r.arms.find(name);
     if (it == r.arms.end()) return {};
     Arm& arm = it->second;
@@ -168,14 +169,14 @@ FailpointHit Failpoints::Check(const char* name) {
 
 uint64_t Failpoints::Hits(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.arms.find(name);
   return it == r.arms.end() ? 0 : it->second.hits;
 }
 
 std::vector<std::string> Failpoints::Armed() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<std::string> out;
   out.reserve(r.arms.size());
   for (const auto& [name, arm] : r.arms) out.push_back(name);

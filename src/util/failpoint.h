@@ -71,6 +71,12 @@ struct FailpointHit {
   explicit operator bool() const { return action != FailpointAction::kOff; }
 };
 
+/// Marks a named fault-injection site. Expands to Failpoints::Check; use
+/// the macro (not a direct call) so tools/relview_lint.py can enforce
+/// that every site name is unique across the tree and documented in
+/// docs/OPERATIONS.md. `name` must be a string literal.
+#define RELVIEW_FAILPOINT(name) ::relview::Failpoints::Check(name)
+
 /// Process-wide registry of armed failpoints. All methods are
 /// thread-safe; Check is wait-free when nothing is armed.
 class Failpoints {

@@ -7,7 +7,6 @@
 #ifndef RELVIEW_UTIL_STATUS_H_
 #define RELVIEW_UTIL_STATUS_H_
 
-#include <cassert>
 #include <cstdlib>
 #include <cstdio>
 #include <optional>
@@ -46,9 +45,25 @@ enum class StatusCode {
 /// Human-readable name of a StatusCode ("Ok", "Untranslatable", ...).
 const char* StatusCodeName(StatusCode code);
 
+/// Internal consistency check; compiled in all build types because the
+/// library's algorithms are the product under test.
+#define RELVIEW_DCHECK(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "relview DCHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, (msg));                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
 /// A success-or-error value. Cheap to copy in the success case (no
 /// allocation); carries a message string on error.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure, so every
+/// Status-returning call must be consumed — propagated, checked, or
+/// explicitly voided with a comment saying why failure is impossible or
+/// irrelevant there.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -108,15 +123,17 @@ class Status {
 };
 
 /// A value-or-error. Use `RELVIEW_ASSIGN_OR_RETURN` to unwrap in functions
-/// that themselves return Status/Result.
+/// that themselves return Status/Result. [[nodiscard]] for the same reason
+/// as Status: discarding one silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit construction from a non-OK status (error).
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    RELVIEW_DCHECK(!status_.ok(),
+                   "Result constructed from OK status without value");
   }
 
   bool ok() const { return value_.has_value(); }
@@ -173,17 +190,6 @@ class Result {
   if (!RELVIEW_CONCAT(_res_, __LINE__).ok())                       \
     return RELVIEW_CONCAT(_res_, __LINE__).status();               \
   lhs = std::move(RELVIEW_CONCAT(_res_, __LINE__)).value()
-
-/// Internal consistency check; compiled in all build types because the
-/// library's algorithms are the product under test.
-#define RELVIEW_DCHECK(cond, msg)                                        \
-  do {                                                                   \
-    if (!(cond)) {                                                       \
-      std::fprintf(stderr, "relview DCHECK failed at %s:%d: %s\n",       \
-                   __FILE__, __LINE__, (msg));                           \
-      std::abort();                                                      \
-    }                                                                    \
-  } while (0)
 
 }  // namespace relview
 

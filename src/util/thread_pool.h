@@ -2,16 +2,21 @@
 // tests: a start gate that releases a gang of threads simultaneously (so
 // measured intervals don't include staggered thread startup), and a
 // fixed-size thread pool with a blocking task queue.
+//
+// Both classes carry clang thread-safety annotations (util/annotations.h):
+// the queue and flags are RELVIEW_GUARDED_BY their mutex, and waits are
+// explicit loops so the guarded reads inside the predicates stay visible
+// to the analysis.
 
 #ifndef RELVIEW_UTIL_THREAD_POOL_H_
 #define RELVIEW_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace relview {
 
@@ -19,23 +24,23 @@ namespace relview {
 /// proceeds. Reusable is not needed; create a fresh gate per run.
 class StartGate {
  public:
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return open_; });
+  void Wait() RELVIEW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!open_) cv_.Wait(mu_);
   }
 
-  void Open() {
+  void Open() RELVIEW_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       open_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool open_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool open_ RELVIEW_GUARDED_BY(mu_) = false;
 };
 
 /// A fixed pool of worker threads draining a FIFO task queue. Destruction
@@ -50,58 +55,58 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& t : workers_) t.join();
   }
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) RELVIEW_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.push_back(std::move(task));
       ++pending_;
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
 
   /// Blocks until every submitted task has finished running.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  void Wait() RELVIEW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (pending_ != 0) idle_cv_.Wait(mu_);
   }
 
   int size() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() RELVIEW_EXCLUDES(mu_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
       }
       task();
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) idle_cv_.notify_all();
+        MutexLock lock(mu_);
+        if (--pending_ == 0) idle_cv_.NotifyAll();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  int pending_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ RELVIEW_GUARDED_BY(mu_);
+  int pending_ RELVIEW_GUARDED_BY(mu_) = 0;
+  bool stopping_ RELVIEW_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,9 +1,9 @@
 #include "view/chase_test.h"
 
 #include <atomic>
-#include <mutex>
 
 #include "obs/trace.h"
+#include "util/annotations.h"
 #include "view/generic_instance.h"
 
 namespace relview {
@@ -159,7 +159,7 @@ int RunProbeSpecsParallel(const std::vector<ProbeSpec>& specs,
   // exactly the sequential first failure regardless of thread timing.
   std::atomic<size_t> first_fail{n};
   std::atomic<size_t> next{0};
-  std::mutex acc_mu;
+  Mutex acc_mu;
   const int workers = pool->size();
   for (int w = 0; w < workers; ++w) {
     pool->Submit([&] {
@@ -175,7 +175,7 @@ int RunProbeSpecsParallel(const std::vector<ProbeSpec>& specs,
           }
         }
       }
-      std::lock_guard<std::mutex> lock(acc_mu);
+      MutexLock lock(acc_mu);
       MergeAccounting(local, acc);
     });
   }

@@ -240,6 +240,15 @@ struct EngineStats {
 /// for a fixed (U, Sigma, X, Y) and an evolving bound database. Verdicts
 /// and witnesses are identical to the free functions (tests/incremental_
 /// test.cc holds this over random schemas and streams).
+///
+/// Concurrency contract: the engine (and ViewIndex/BaseChaseCache above)
+/// is confined to the single writer thread — UpdateService serializes all
+/// mutating calls behind its writer mutex, so there are no internal locks
+/// and no RELVIEW_GUARDED_BY annotations here. The only internal
+/// parallelism is the condition-(c) probe fan-out, which hands workers
+/// disjoint read-only state plus one Mutex-guarded accumulator (see
+/// RunProbeSpecsParallel in view/chase_test.cc). Effort counters shared
+/// with telemetry scrapes live in ServiceMetrics as atomics, not here.
 class TranslatabilityEngine {
  public:
   TranslatabilityEngine(const AttrSet& universe, const FDSet& fds,

@@ -92,7 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SpaceCase{"A -> B; B -> C", "A B", "B C"},
                       SpaceCase{"B -> C", "A B", "B C"},
                       SpaceCase{"A -> C", "A B", "A C"}),
-    [](const auto& info) { return "Case" + std::to_string(info.index); });
+    [](const auto& param_info) {
+      return "Case" + std::to_string(param_info.index);
+    });
 
 }  // namespace
 }  // namespace relview

@@ -1,0 +1,15 @@
+// Control case: consuming the Status/Result properly must compile, so a
+// failure of the discard_*.cc cases is attributable to [[nodiscard]] and
+// not to a broken include path or flag set.
+#include "util/status.h"
+
+namespace relview {
+Status Fallible() { return Status::OK(); }
+Result<int> FallibleValue() { return 7; }
+}  // namespace relview
+
+int main() {
+  relview::Status st = relview::Fallible();
+  relview::Result<int> r = relview::FallibleValue();
+  return st.ok() && r.ok() ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// Must NOT compile under -Werror=unused-result: Result<T> is
+// [[nodiscard]] — discarding one drops both the value and the error.
+#include "util/status.h"
+
+namespace relview {
+Result<int> FallibleValue() { return 7; }
+}  // namespace relview
+
+int main() {
+  relview::FallibleValue();  // discarded Result — must be rejected
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Must NOT compile under -Werror=unused-result: Status is [[nodiscard]],
+// so silently dropping a fallible call's outcome is a build error.
+#include "util/status.h"
+
+namespace relview {
+Status Fallible() { return Status::Internal("boom"); }
+}  // namespace relview
+
+int main() {
+  relview::Fallible();  // discarded Status — the whole point of this case
+  return 0;
+}

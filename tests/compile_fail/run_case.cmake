@@ -1,0 +1,41 @@
+# Compile-fail harness for the [[nodiscard]] guarantees on Status and
+# Result<T>. Driven from the top-level CMakeLists as test
+# `status_nodiscard_compile_fail`:
+#
+#   cmake -DCXX=<compiler> -DSRC_DIR=<repo>/src -DCASE_DIR=<this dir>
+#         -P run_case.cmake
+#
+# control_ok.cc must compile (proves flags/includes are sane), and each
+# discard_*.cc must be rejected — with unused-result in the diagnostics,
+# so an unrelated compile error cannot masquerade as a pass.
+
+set(FLAGS -std=c++20 -fsyntax-only -Werror=unused-result -I${SRC_DIR})
+
+execute_process(
+  COMMAND ${CXX} ${FLAGS} ${CASE_DIR}/control_ok.cc
+  RESULT_VARIABLE control_rc
+  ERROR_VARIABLE control_err)
+if(NOT control_rc EQUAL 0)
+  message(FATAL_ERROR
+          "control_ok.cc failed to compile — harness broken:\n"
+          "${control_err}")
+endif()
+
+foreach(case discard_status discard_result)
+  execute_process(
+    COMMAND ${CXX} ${FLAGS} ${CASE_DIR}/${case}.cc
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "${case}.cc compiled but must not: [[nodiscard]] is missing "
+            "from Status/Result")
+  endif()
+  if(NOT err MATCHES "unused-result|nodiscard")
+    message(FATAL_ERROR
+            "${case}.cc failed for the wrong reason (expected an "
+            "unused-result diagnostic):\n${err}")
+  endif()
+endforeach()
+
+message(STATUS "nodiscard compile-fail cases behaved as expected")

@@ -289,6 +289,8 @@ void ApplyEverywhere(const RandomOp& op, std::vector<ViewTranslator>* vts,
       }
       break;
     }
+    case UpdateKind::kNumUpdateKinds:
+      FAIL() << ctx << " sentinel update kind generated";
   }
   // Post-state equality: databases and served views must agree exactly
   // (the engine maintains the view in Project's canonical order).

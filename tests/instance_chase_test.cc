@@ -87,8 +87,8 @@ TEST_P(InstanceChaseTest, FixpointSatisfiesAllFDs) {
 INSTANTIATE_TEST_SUITE_P(Backends, InstanceChaseTest,
                          ::testing::Values(ChaseBackend::kHash,
                                            ChaseBackend::kSort),
-                         [](const auto& info) {
-                           return info.param == ChaseBackend::kHash
+                         [](const auto& param_info) {
+                           return param_info.param == ChaseBackend::kHash
                                       ? "Hash"
                                       : "Sort";
                          });

@@ -1,0 +1,387 @@
+#!/usr/bin/env python3
+"""relview-lint: repository-local static checks for the relview tree.
+
+Complements the compiler-side analyses (clang -Wthread-safety, clang-tidy,
+[[nodiscard]]) with project-specific rules the compilers cannot express:
+
+  failpoint-duplicate    every RELVIEW_FAILPOINT site name is unique across
+                         the tree (a duplicate would make fault-injection
+                         specs ambiguous)
+  failpoint-undocumented every RELVIEW_FAILPOINT site name appears in the
+                         operator catalog (docs/OPERATIONS.md)
+  failpoint-nonliteral   RELVIEW_FAILPOINT takes a string literal (specs
+                         and the catalog are greppable only for literals)
+  failpoint-direct-check code outside util/failpoint.* calls
+                         Failpoints::Check directly instead of the macro
+                         (which the rules above key on)
+  naked-std-mutex        src/ uses std::mutex / std::shared_mutex instead
+                         of the capability-annotated relview::Mutex /
+                         SharedMutex (util/annotations.h), so clang's
+                         thread-safety analysis would be blind to it
+  unguarded-mutex-member a Mutex/SharedMutex *member* with no
+                         RELVIEW_GUARDED_BY / RELVIEW_PT_GUARDED_BY user
+                         in the same file (a lock that protects nothing is
+                         either dead or missing its annotations)
+  value-unchecked        .value() on a Result/optional with no visible
+                         ok()/has_value() evidence earlier in the same
+                         top-level chunk (use RELVIEW_ASSIGN_OR_RETURN, or
+                         check first)
+  raw-assert             assert() outside the RELVIEW_DCHECK definition
+                         (asserts vanish under NDEBUG; the library's
+                         invariants must hold in all build types)
+  layering               a src/ subdirectory includes a header from a
+                         directory above it in the dependency order (the
+                         DAG below)
+
+Findings print as `path:line: [rule] message`, one per line. Exit status:
+0 = clean, 1 = findings, 2 = usage/setup error.
+
+Suppressing one line: append `// relview-lint: allow(<rule>)` to it. Keep
+suppressions rare and justified in an adjacent comment.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directory-level include DAG for src/. Key = directory, value = the set of
+# directories its files may #include from (itself always allowed). This is
+# the *intended* architecture: util at the bottom; the relational algebra
+# vocabulary above it; dependency theory (deps) above that; the chase,
+# solvers, succinct models and observability as independent middle layers;
+# the paper's view-update machinery above those; and the multirelation +
+# service layers on top. Growing an edge here is an intentional,
+# reviewable act — add it in the same PR as the first include that needs
+# it.
+ALLOWED_INCLUDES = {
+    "util": set(),
+    "framework": {"util"},
+    "relational": {"util"},
+    "solvers": {"util"},
+    "deps": {"util", "relational"},
+    "succinct": {"util", "relational"},
+    "obs": {"util", "relational", "deps"},
+    "chase": {"util", "relational", "deps"},
+    "reductions": {"util", "relational", "deps", "solvers", "succinct"},
+    "view": {"util", "relational", "deps", "chase", "obs"},
+    "multirel": {"util", "relational", "deps", "chase", "view"},
+    "service": {"util", "relational", "obs", "view"},
+}
+
+FAILPOINT_CALL = re.compile(r'RELVIEW_FAILPOINT\s*\(\s*"([^"]+)"\s*\)')
+FAILPOINT_ANY = re.compile(r"RELVIEW_FAILPOINT\s*\(\s*([^)]*)\)")
+DIRECT_CHECK = re.compile(r"Failpoints::Check\s*\(")
+STD_MUTEX = re.compile(r"\bstd::(?:recursive_|shared_|timed_)?mutex\b")
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:relview::)?(?:Mutex|SharedMutex)\s+"
+    r"(\w*_)\s*(?:RELVIEW_\w+\s*\([^)]*\)\s*)*;"
+)
+VALUE_CALL = re.compile(r"\.value\s*\(\s*\)")
+RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+SUPPRESS = re.compile(r"relview-lint:\s*allow\(([\w,\- ]+)\)")
+
+# Tokens accepted as evidence that a .value() call was preceded by a
+# success check within the same top-level chunk.
+OK_EVIDENCE = re.compile(
+    r"\.ok\s*\(|has_value\s*\(|RELVIEW_DCHECK|RELVIEW_ASSIGN_OR_RETURN|"
+    r"ASSERT_TRUE|ASSERT_OK|EXPECT_TRUE|CheckOk"
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(lines):
+    """Blanks out // and /* */ comment text, preserving line structure and
+    string literals outside comments (a naive scanner: a quote opened on
+    one line is assumed closed on it, which holds for this codebase)."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        in_string = False
+        while i < len(line):
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < len(line) else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                    continue
+                i += 1
+                continue
+            if in_string:
+                result.append(c)
+                if c == "\\":
+                    if nxt:
+                        result.append(nxt)
+                        i += 2
+                        continue
+                elif c == '"':
+                    in_string = False
+                i += 1
+                continue
+            if c == '"':
+                in_string = True
+                result.append(c)
+                i += 1
+                continue
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            result.append(c)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def suppressed(raw_line, rule):
+    m = SUPPRESS.search(raw_line)
+    if not m:
+        return False
+    rules = {r.strip() for r in m.group(1).split(",")}
+    return rule in rules or "all" in rules
+
+
+def source_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc")):
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def check_failpoints(root, files, findings):
+    """Site uniqueness, literal-ness, documentation, macro discipline."""
+    catalog = ""
+    ops = os.path.join(root, "docs", "OPERATIONS.md")
+    if os.path.exists(ops):
+        with open(ops, encoding="utf-8") as f:
+            catalog = f.read()
+    seen = {}
+    for path in files:
+        rel = relpath(root, path)
+        defining = rel in ("src/util/failpoint.h", "src/util/failpoint.cc")
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        code = strip_comments(raw)
+        for ln, line in enumerate(code, 1):
+            if defining:
+                continue
+            if DIRECT_CHECK.search(line) and "RELVIEW_FAILPOINT" not in line:
+                if not suppressed(raw[ln - 1], "failpoint-direct-check"):
+                    findings.append(Finding(
+                        rel, ln, "failpoint-direct-check",
+                        "call RELVIEW_FAILPOINT(\"name\") instead of "
+                        "Failpoints::Check so the site registers with the "
+                        "failpoint catalog checks"))
+            for m in FAILPOINT_ANY.finditer(line):
+                arg = m.group(1).strip()
+                lit = FAILPOINT_CALL.match(m.group(0))
+                if not lit:
+                    if not suppressed(raw[ln - 1], "failpoint-nonliteral"):
+                        findings.append(Finding(
+                            rel, ln, "failpoint-nonliteral",
+                            f"RELVIEW_FAILPOINT argument `{arg}` is not a "
+                            "string literal; specs and the operator catalog "
+                            "can only reference literal site names"))
+                    continue
+                name = lit.group(1)
+                if name in seen:
+                    if not suppressed(raw[ln - 1], "failpoint-duplicate"):
+                        first = seen[name]
+                        findings.append(Finding(
+                            rel, ln, "failpoint-duplicate",
+                            f"failpoint site `{name}` already defined at "
+                            f"{first[0]}:{first[1]}; site names must be "
+                            "unique across the tree"))
+                else:
+                    seen[name] = (rel, ln)
+                    if catalog and name not in catalog:
+                        if not suppressed(raw[ln - 1],
+                                          "failpoint-undocumented"):
+                            findings.append(Finding(
+                                rel, ln, "failpoint-undocumented",
+                                f"failpoint site `{name}` is not documented "
+                                "in docs/OPERATIONS.md (operator catalog)"))
+
+
+def check_mutexes(root, files, findings):
+    for path in files:
+        rel = relpath(root, path)
+        if rel == "src/util/annotations.h":
+            continue  # the wrapper itself owns the raw std::mutex
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        code = strip_comments(raw)
+        members = []  # (name, line)
+        guarded_users = set()
+        for ln, line in enumerate(code, 1):
+            if rel.startswith("src/") and STD_MUTEX.search(line):
+                if not suppressed(raw[ln - 1], "naked-std-mutex"):
+                    findings.append(Finding(
+                        rel, ln, "naked-std-mutex",
+                        "use relview::Mutex / SharedMutex "
+                        "(util/annotations.h) so clang's thread-safety "
+                        "analysis sees the capability"))
+            m = MUTEX_MEMBER.match(line)
+            if m and not suppressed(raw[ln - 1], "unguarded-mutex-member"):
+                members.append((m.group(1), ln))
+            for g in re.finditer(
+                    r"RELVIEW_(?:PT_)?GUARDED_BY\s*\(\s*(\w+)\s*\)", line):
+                guarded_users.add(g.group(1))
+        for name, ln in members:
+            if name not in guarded_users:
+                findings.append(Finding(
+                    rel, ln, "unguarded-mutex-member",
+                    f"mutex member `{name}` has no RELVIEW_GUARDED_BY / "
+                    "RELVIEW_PT_GUARDED_BY user in this file; annotate "
+                    "what it protects (or delete it)"))
+
+
+def check_value_discipline(root, files, findings):
+    """Flags .value() with no ok()/has_value() evidence earlier in the same
+    top-level chunk. Chunks are delimited by column-0 closing braces — a
+    deliberately coarse scope (a whole class body is one chunk) that keeps
+    the heuristic quiet on correct code while still catching the common
+    mistake: unwrapping a fresh Result with no check anywhere near it."""
+    for path in files:
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        code = strip_comments(raw)
+        chunk_start = 0
+        evidence_at = -1  # last line with ok-evidence in current chunk
+        for ln, line in enumerate(code, 1):
+            if line.startswith("}"):
+                chunk_start = ln
+                evidence_at = -1
+                continue
+            if OK_EVIDENCE.search(line):
+                evidence_at = ln
+            if VALUE_CALL.search(line):
+                if evidence_at < 0 or evidence_at < chunk_start:
+                    if not suppressed(raw[ln - 1], "value-unchecked"):
+                        findings.append(Finding(
+                            rel, ln, "value-unchecked",
+                            ".value() with no preceding ok()/has_value() "
+                            "check in this scope; check first or use "
+                            "RELVIEW_ASSIGN_OR_RETURN"))
+                    else:
+                        evidence_at = ln  # a vetted unwrap vouches for
+                        # later ones in the same chunk
+
+
+def check_asserts(root, files, findings):
+    for path in files:
+        rel = relpath(root, path)
+        if rel == "src/util/status.h":
+            continue  # defines RELVIEW_DCHECK
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        code = strip_comments(raw)
+        for ln, line in enumerate(code, 1):
+            if "static_assert" in line:
+                continue
+            if RAW_ASSERT.search(line):
+                if not suppressed(raw[ln - 1], "raw-assert"):
+                    findings.append(Finding(
+                        rel, ln, "raw-assert",
+                        "use RELVIEW_DCHECK (always compiled) instead of "
+                        "assert (vanishes under NDEBUG)"))
+
+
+def check_layering(root, files, findings):
+    for path in files:
+        rel = relpath(root, path)
+        if not rel.startswith("src/"):
+            continue
+        parts = rel.split("/")
+        if len(parts) < 3:
+            continue  # src/CMakeLists.txt etc.
+        here = parts[1]
+        allowed = ALLOWED_INCLUDES.get(here)
+        if allowed is None:
+            findings.append(Finding(
+                rel, 1, "layering",
+                f"directory src/{here}/ is not in the layering map; add it "
+                "to ALLOWED_INCLUDES in tools/relview_lint.py"))
+            continue
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        code = strip_comments(raw)
+        for ln, line in enumerate(code, 1):
+            m = INCLUDE.match(line)
+            if not m:
+                continue
+            target = m.group(1).split("/")[0]
+            if "/" not in m.group(1):
+                continue  # same-directory or generated include
+            if target == here or target in allowed:
+                continue
+            if target not in ALLOWED_INCLUDES:
+                continue  # not a src/ subdirectory include
+            if not suppressed(raw[ln - 1], "layering"):
+                findings.append(Finding(
+                    rel, ln, "layering",
+                    f"src/{here}/ must not include \"{m.group(1)}\" — "
+                    f"{target}/ is not below {here}/ in the dependency "
+                    "order (see ALLOWED_INCLUDES)"))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="relview repository lint (see module docstring)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"relview-lint: no src/ under root {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    src_only = list(source_files(root, ["src"]))
+    everything = list(source_files(
+        root, ["src", "tests", "bench", "examples"]))
+
+    check_failpoints(root, everything, findings)
+    check_mutexes(root, everything, findings)
+    check_value_discipline(root, src_only, findings)
+    check_asserts(root, src_only, findings)
+    check_layering(root, src_only, findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"relview-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

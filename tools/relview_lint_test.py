@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/relview_lint.py — each rule gets a firing fixture
+and a clean fixture, plus coverage for suppression comments and the
+comment stripper. Run directly or through ctest (relview_lint_selftest).
+"""
+
+import contextlib
+import io
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import relview_lint  # noqa: E402
+
+
+class LintFixture(unittest.TestCase):
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="relview_lint_test_")
+        self.addCleanup(shutil.rmtree, self.root)
+        os.makedirs(os.path.join(self.root, "src"), exist_ok=True)
+        self.write("docs/OPERATIONS.md", "Catalog: `known.site`\n")
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+    def run_lint(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = relview_lint.main(["--root", self.root])
+        return code, out.getvalue()
+
+    def assert_rules(self, output, *rules):
+        for rule in rules:
+            self.assertIn(f"[{rule}]", output, output)
+
+    def assert_clean(self):
+        code, out = self.run_lint()
+        self.assertEqual(code, 0, out)
+        self.assertEqual(out, "")
+
+
+class FailpointRules(LintFixture):
+    def test_clean_documented_site(self):
+        self.write("src/service/a.cc", 'RELVIEW_FAILPOINT("known.site");\n')
+        self.assert_clean()
+
+    def test_duplicate_site(self):
+        self.write("src/service/a.cc", 'RELVIEW_FAILPOINT("known.site");\n')
+        self.write("src/service/b.cc", 'RELVIEW_FAILPOINT("known.site");\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "failpoint-duplicate")
+
+    def test_undocumented_site(self):
+        self.write("src/service/a.cc", 'RELVIEW_FAILPOINT("new.site");\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "failpoint-undocumented")
+
+    def test_nonliteral_argument(self):
+        self.write("src/service/a.cc", "RELVIEW_FAILPOINT(kSiteName);\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "failpoint-nonliteral")
+
+    def test_direct_check_call(self):
+        self.write("src/service/a.cc", 'Failpoints::Check("known.site");\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "failpoint-direct-check")
+
+    def test_defining_files_exempt(self):
+        self.write("src/util/failpoint.h",
+                   "#define RELVIEW_FAILPOINT(name) "
+                   "::relview::Failpoints::Check(name)\n")
+        self.write("src/util/failpoint.cc",
+                   "FailpointHit Failpoints::Check(const char* name) {\n"
+                   "  return Lookup(name);\n}\n")
+        self.assert_clean()
+
+    def test_commented_site_ignored(self):
+        self.write("src/service/a.cc",
+                   '// RELVIEW_FAILPOINT("commented.out")\n')
+        self.assert_clean()
+
+
+class MutexRules(LintFixture):
+    def test_naked_std_mutex(self):
+        self.write("src/view/a.h", "#include <mutex>\nstd::mutex mu_;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "naked-std-mutex")
+
+    def test_shared_and_recursive_variants_flagged(self):
+        self.write("src/view/a.h",
+                   "std::shared_mutex a_;\nstd::recursive_mutex b_;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[naked-std-mutex]"), 2, out)
+
+    def test_unguarded_member(self):
+        self.write("src/view/a.h", "class C {\n  Mutex mu_;\n};\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "unguarded-mutex-member")
+
+    def test_guarded_member_clean(self):
+        self.write("src/view/a.h",
+                   "class C {\n"
+                   "  mutable Mutex mu_;\n"
+                   "  int x_ RELVIEW_GUARDED_BY(mu_);\n"
+                   "};\n")
+        self.assert_clean()
+
+    def test_pt_guarded_counts_as_user(self):
+        self.write("src/view/a.h",
+                   "class C {\n"
+                   "  Mutex mu_;\n"
+                   "  std::unique_ptr<T> p_ RELVIEW_PT_GUARDED_BY(mu_);\n"
+                   "};\n")
+        self.assert_clean()
+
+    def test_member_with_trailing_annotation(self):
+        self.write("src/view/a.h",
+                   "class C {\n"
+                   "  SharedMutex snap_mu_ RELVIEW_ACQUIRED_AFTER(w_mu_);\n"
+                   "};\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "unguarded-mutex-member")
+
+    def test_local_mutex_not_a_member(self):
+        # No trailing underscore -> local variable, not checked for users.
+        self.write("src/view/a.cc", "void f() {\n  Mutex acc_mu;\n}\n")
+        self.assert_clean()
+
+    def test_annotations_header_exempt(self):
+        self.write("src/util/annotations.h",
+                   "class Mutex {\n  std::mutex mu_;\n};\n")
+        self.assert_clean()
+
+
+class ValueRule(LintFixture):
+    def test_unchecked_value(self):
+        self.write("src/view/a.cc",
+                   "void f() {\n  auto v = r.value();\n}\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "value-unchecked")
+
+    def test_checked_value_clean(self):
+        self.write("src/view/a.cc",
+                   "void f() {\n"
+                   "  if (!r.ok()) return;\n"
+                   "  auto v = r.value();\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_dcheck_counts_as_evidence(self):
+        self.write("src/view/a.cc",
+                   "void f() {\n"
+                   '  RELVIEW_DCHECK(r.has_value(), "must hold");\n'
+                   "  auto v = r.value();\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_evidence_does_not_leak_across_chunks(self):
+        self.write("src/view/a.cc",
+                   "void f() {\n"
+                   "  if (!r.ok()) return;\n"
+                   "}\n"
+                   "void g() {\n"
+                   "  auto v = r.value();\n"
+                   "}\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "value-unchecked")
+
+    def test_value_or_not_flagged(self):
+        self.write("src/view/a.cc",
+                   "void f() {\n  auto v = r.value_or(0);\n}\n")
+        self.assert_clean()
+
+    def test_tests_directory_not_in_scope(self):
+        self.write("tests/a_test.cc",
+                   "void f() {\n  auto v = r.value();\n}\n")
+        self.assert_clean()
+
+
+class AssertRule(LintFixture):
+    def test_raw_assert(self):
+        self.write("src/view/a.cc", "void f() {\n  assert(x > 0);\n}\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "raw-assert")
+
+    def test_static_assert_clean(self):
+        self.write("src/view/a.cc", "static_assert(sizeof(int) == 4);\n")
+        self.assert_clean()
+
+    def test_status_header_exempt(self):
+        self.write("src/util/status.h",
+                   "#define RELVIEW_DCHECK(cond, msg) assert(cond)\n")
+        self.assert_clean()
+
+    def test_assert_in_comment_clean(self):
+        self.write("src/view/a.cc", "// callers assert(ok) beforehand\n")
+        self.assert_clean()
+
+
+class LayeringRule(LintFixture):
+    def test_upward_include_flagged(self):
+        self.write("src/relational/a.h",
+                   '#include "service/update_service.h"\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "layering")
+
+    def test_downward_include_clean(self):
+        self.write("src/service/a.h", '#include "view/translator.h"\n')
+        self.assert_clean()
+
+    def test_same_directory_clean(self):
+        self.write("src/view/a.h", '#include "view/b.h"\n')
+        self.assert_clean()
+
+    def test_system_and_foreign_includes_ignored(self):
+        self.write("src/view/a.h",
+                   "#include <vector>\n"
+                   '#include "gtest/gtest.h"\n')
+        self.assert_clean()
+
+    def test_unknown_directory_flagged(self):
+        self.write("src/newdir/a.h", "int x;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "layering")
+
+
+class Suppression(LintFixture):
+    def test_allow_comment_suppresses(self):
+        self.write("src/view/a.cc",
+                   "void f() {\n"
+                   "  assert(x);  // relview-lint: allow(raw-assert)\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_allow_wrong_rule_does_not_suppress(self):
+        self.write("src/view/a.cc",
+                   "void f() {\n"
+                   "  assert(x);  // relview-lint: allow(layering)\n"
+                   "}\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "raw-assert")
+
+
+class RealTree(unittest.TestCase):
+    def test_repository_is_clean(self):
+        repo = os.path.dirname(
+            os.path.dirname(os.path.abspath(relview_lint.__file__)))
+        if not os.path.isdir(os.path.join(repo, "src")):
+            self.skipTest("not running inside the repository")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = relview_lint.main(["--root", repo])
+        self.assertEqual(code, 0, out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()
