@@ -1,0 +1,401 @@
+// Open-loop multi-tenant load harness for relview_serve (DESIGN.md §12).
+//
+// Open-loop means arrivals come from a clock, not from completions: a
+// dispatcher thread draws exponential inter-arrival gaps at the target
+// rate and timestamps every batch with its *scheduled* arrival; workers
+// (each owning one persistent HTTP connection) execute whatever is
+// queued. Latency is measured from the scheduled arrival to the response
+// — queueing delay included — so when offered load exceeds what the
+// server's fsync path can absorb, the numbers show it honestly instead of
+// the harness quietly slowing its own arrivals (the classic
+// closed-loop coordinated-omission trap).
+//
+// The server is expected to *shed* (429) rather than queue without bound
+// past the knee: offered vs accepted throughput plus the 429/503 split is
+// exactly the admission-control story the front-end claims, and the
+// bounded p99 on *accepted* requests is the gate CI enforces.
+//
+// Usage:
+//   loadgen --port=NNNN [--host=127.0.0.1] [--rate=200] [--duration=5]
+//           [--connections=8] [--tenants=4] [--emps=64] [--depts=8]
+//           [--batch=4] [--theta=0.99] [--seed=42]
+//           [--json=BENCH_net.json] [--gate] [--p99-limit-ms=500]
+//
+// With --gate the exit code is nonzero when nothing was accepted or the
+// accepted-request p99 exceeds the limit.
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "loadgen_traffic.h"
+#include "net/http.h"
+#include "obs/histogram.h"
+#include "util/annotations.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace bench {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Job {
+  int64_t scheduled_nanos = 0;
+  std::string body;
+};
+
+/// Dispatcher-to-worker queue. Unbounded by design: the backlog IS the
+/// open-loop signal (it turns into latency, never into dropped offers).
+class JobQueue {
+ public:
+  void Push(Job job) RELVIEW_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      jobs_.push_back(std::move(job));
+    }
+    cv_.NotifyOne();
+  }
+
+  void Close() RELVIEW_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      closed_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  /// False = queue closed and drained.
+  bool Pop(Job* out) RELVIEW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (jobs_.empty() && !closed_) cv_.Wait(mu_);
+    if (jobs_.empty()) return false;
+    *out = std::move(jobs_.front());
+    jobs_.pop_front();
+    return true;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Job> jobs_ RELVIEW_GUARDED_BY(mu_);
+  bool closed_ RELVIEW_GUARDED_BY(mu_) = false;
+};
+
+/// Shared tallies (relaxed atomics; summed after the run).
+struct Tally {
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};   // 409 semantic verdicts
+  std::atomic<uint64_t> shed{0};       // 429
+  std::atomic<uint64_t> unavailable{0};  // 503 (deadline/drain/durability)
+  std::atomic<uint64_t> other_status{0};
+  std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> updates_applied{0};
+  LatencyHistogram accepted_latency;
+  LatencyHistogram all_latency;
+};
+
+/// One worker's persistent connection.
+class Connection {
+ public:
+  Connection(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+  ~Connection() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool EnsureOpen() {
+    if (fd_ >= 0) return true;
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0) {
+      Close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  /// Sends `request` and parses one response; -1 on transport error.
+  /// Closes the connection when the server asked to.
+  int Roundtrip(const std::string& request, std::string* body) {
+    if (!EnsureOpen()) return -1;
+    size_t off = 0;
+    while (off < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + off,
+                               request.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      Close();
+      return -1;
+    }
+    net::ResponseParser parser;
+    char buf[16 * 1024];
+    while (!parser.complete() && !parser.error()) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        parser.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      Close();
+      return -1;
+    }
+    if (parser.error()) {
+      Close();
+      return -1;
+    }
+    *body = parser.body();
+    std::string connection = parser.Header("connection");
+    for (char& c : connection) c = static_cast<char>(std::tolower(c));
+    if (connection == "close") Close();
+    return parser.status();
+  }
+
+ private:
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+};
+
+void WorkerLoop(const std::string& host, int port, JobQueue* queue,
+                Tally* tally) {
+  Connection conn(host, port);
+  Job job;
+  while (queue->Pop(&job)) {
+    std::string body;
+    int status = conn.Roundtrip(job.body, &body);
+    if (status < 0) {
+      // One reconnect retry: the server may have closed an idle
+      // keep-alive socket between requests.
+      status = conn.Roundtrip(job.body, &body);
+    }
+    const int64_t latency = NowNanos() - job.scheduled_nanos;
+    tally->all_latency.Record(latency);
+    if (status < 0) {
+      tally->transport_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    switch (status) {
+      case 200: {
+        tally->accepted.fetch_add(1, std::memory_order_relaxed);
+        tally->accepted_latency.Record(latency);
+        const size_t pos = body.find("\"applied\":");
+        if (pos != std::string::npos) {
+          tally->updates_applied.fetch_add(
+              std::strtoull(body.c_str() + pos + 10, nullptr, 10),
+              std::memory_order_relaxed);
+        }
+        break;
+      }
+      case 409:
+        tally->rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case 429:
+        tally->shed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case 503:
+        tally->unavailable.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        tally->other_status.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  const std::string host_flag = FlagValue(argc, argv, "host");
+  const std::string host = host_flag.empty() ? "127.0.0.1" : host_flag;
+  const int port = std::atoi(FlagValue(argc, argv, "port").c_str());
+  if (port <= 0) {
+    std::fprintf(stderr, "loadgen: --port=NNNN is required\n");
+    return 2;
+  }
+  auto int_flag = [&](const char* name, int def) {
+    const std::string v = FlagValue(argc, argv, name);
+    return v.empty() ? def : std::atoi(v.c_str());
+  };
+  auto double_flag = [&](const char* name, double def) {
+    const std::string v = FlagValue(argc, argv, name);
+    return v.empty() ? def : std::atof(v.c_str());
+  };
+  const double rate = double_flag("rate", 200.0);
+  const double duration = double_flag("duration", 5.0);
+  const int connections = int_flag("connections", 8);
+  TrafficOptions traffic;
+  traffic.tenants = int_flag("tenants", 4);
+  traffic.emps = static_cast<uint32_t>(int_flag("emps", 64));
+  traffic.depts = static_cast<uint32_t>(int_flag("depts", 8));
+  traffic.batch_size = int_flag("batch", 4);
+  traffic.zipf_theta = double_flag("theta", 0.99);
+  traffic.seed = static_cast<uint64_t>(int_flag("seed", 42));
+  const std::string json_path = FlagValue(argc, argv, "json");
+  const bool gate = HasFlag(argc, argv, "gate");
+  const double p99_limit_ms = double_flag("p99-limit-ms", 500.0);
+
+  Tally tally;
+  JobQueue queue;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(connections));
+  for (int i = 0; i < connections; ++i) {
+    workers.emplace_back(
+        [&host, port, &queue, &tally] {
+          WorkerLoop(host, port, &queue, &tally);
+        });
+  }
+
+  // The dispatcher: exponential inter-arrival gaps at `rate` per second,
+  // scheduled on an absolute clock so a slow Next() call never drags the
+  // offered rate down (gaps accumulate from the previous *scheduled*
+  // instant, not from "now").
+  TrafficGen gen(traffic);
+  Rng arrivals(traffic.seed ^ 0x9E3779B97F4A7C15ULL);
+  const int64_t start = NowNanos();
+  const int64_t end = start + static_cast<int64_t>(duration * 1e9);
+  int64_t next_arrival = start;
+  while (next_arrival < end) {
+    const int64_t now = NowNanos();
+    if (next_arrival > now) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(next_arrival - now));
+    }
+    GeneratedBatch batch = gen.Next();
+    Job job;
+    job.scheduled_nanos = next_arrival;
+    job.body = net::BuildRequest("POST", "/v1/batch", host, batch.body);
+    queue.Push(std::move(job));
+    tally.offered.fetch_add(1, std::memory_order_relaxed);
+    // Exponential gap: -ln(U)/rate, capped to keep one stuck draw from
+    // stalling the stream.
+    const double u = static_cast<double>(arrivals.Next() >> 11) * 0x1.0p-53;
+    const double gap_s = -std::log(1.0 - u) / rate;
+    next_arrival +=
+        static_cast<int64_t>(std::min(gap_s, 1.0) * 1e9);
+  }
+  queue.Close();
+  for (std::thread& t : workers) t.join();
+  const double wall_s =
+      static_cast<double>(NowNanos() - start) / 1e9;
+
+  const uint64_t offered = tally.offered.load();
+  const uint64_t accepted = tally.accepted.load();
+  const double offered_rate = static_cast<double>(offered) / wall_s;
+  const double accepted_rate = static_cast<double>(accepted) / wall_s;
+  const double p50_ms =
+      static_cast<double>(tally.accepted_latency.QuantileNanos(0.50)) / 1e6;
+  const double p99_ms =
+      static_cast<double>(tally.accepted_latency.QuantileNanos(0.99)) / 1e6;
+  const double p999_ms =
+      static_cast<double>(tally.accepted_latency.QuantileNanos(0.999)) / 1e6;
+
+  std::printf("loadgen: %.1fs against %s:%d, %d connections\n", wall_s,
+              host.c_str(), port, connections);
+  std::printf("  offered   %8llu batches (%.1f/s target %.1f/s)\n",
+              static_cast<unsigned long long>(offered), offered_rate, rate);
+  std::printf("  accepted  %8llu (%.1f/s), %llu updates applied\n",
+              static_cast<unsigned long long>(accepted), accepted_rate,
+              static_cast<unsigned long long>(tally.updates_applied.load()));
+  std::printf("  rejected  %8llu (409)  shed %llu (429)  unavailable %llu "
+              "(503)  other %llu  transport %llu\n",
+              static_cast<unsigned long long>(tally.rejected.load()),
+              static_cast<unsigned long long>(tally.shed.load()),
+              static_cast<unsigned long long>(tally.unavailable.load()),
+              static_cast<unsigned long long>(tally.other_status.load()),
+              static_cast<unsigned long long>(tally.transport_errors.load()));
+  std::printf("  accepted latency p50 %.2fms  p99 %.2fms  p99.9 %.2fms "
+              "(open-loop: includes queue wait)\n",
+              p50_ms, p99_ms, p999_ms);
+
+  JsonWriter json;
+  json.Add("host", host)
+      .Add("port", port)
+      .Add("rate_target", rate)
+      .Add("duration_s", wall_s)
+      .Add("connections", connections)
+      .Add("tenants", traffic.tenants)
+      .Add("batch_size", traffic.batch_size)
+      .Add("zipf_theta", traffic.zipf_theta)
+      .Add("offered", offered)
+      .Add("offered_per_sec", offered_rate)
+      .Add("accepted", accepted)
+      .Add("accepted_per_sec", accepted_rate)
+      .Add("updates_applied", tally.updates_applied.load())
+      .Add("rejected_409", tally.rejected.load())
+      .Add("shed_429", tally.shed.load())
+      .Add("unavailable_503", tally.unavailable.load())
+      .Add("other_status", tally.other_status.load())
+      .Add("transport_errors", tally.transport_errors.load())
+      .Add("accepted_p50_ms", p50_ms)
+      .Add("accepted_p99_ms", p99_ms)
+      .Add("accepted_p999_ms", p999_ms);
+  json.Raw("accepted_latency", tally.accepted_latency.ToJson());
+  json.Raw("all_latency", tally.all_latency.ToJson());
+
+  bool pass = true;
+  if (gate) {
+    if (accepted == 0) {
+      std::fprintf(stderr, "loadgen: GATE FAIL: no batch was accepted\n");
+      pass = false;
+    }
+    if (p99_ms > p99_limit_ms) {
+      std::fprintf(stderr,
+                   "loadgen: GATE FAIL: accepted p99 %.2fms > limit %.2fms\n",
+                   p99_ms, p99_limit_ms);
+      pass = false;
+    }
+  }
+  json.Add("pass", pass);
+  if (!json_path.empty()) {
+    Status st = json.WriteFile(json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "loadgen: json: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relview
+
+int main(int argc, char** argv) {
+  return relview::bench::Run(argc, argv);
+}

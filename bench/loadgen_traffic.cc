@@ -1,0 +1,98 @@
+#include "loadgen_traffic.h"
+
+#include <cmath>
+
+namespace relview {
+namespace bench {
+
+double ZipfSampler::Pow(double x, double t) { return std::pow(x, t); }
+
+TrafficGen::TrafficGen(const TrafficOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      dept_sampler_(static_cast<int>(options.depts), options.zipf_theta),
+      next_fresh_(static_cast<size_t>(options.tenants)) {
+  // Fresh employee ids start past the seeded range, per tenant. They keep
+  // the round-robin department convention so DeptOfEmp stays the right
+  // department for them too.
+  for (auto& n : next_fresh_) n = options_.emps + 1;
+}
+
+uint32_t TrafficGen::EmpOfDept(int dept_index, uint32_t k) const {
+  // Employees are dealt round-robin: e % depts == dept_index selects the
+  // seeded members of that department. The smallest positive such e:
+  const uint32_t base =
+      dept_index == 0 ? options_.depts : static_cast<uint32_t>(dept_index);
+  return base + k * options_.depts;
+}
+
+GeneratedBatch TrafficGen::Next() {
+  GeneratedBatch out;
+  const int tenant = next_tenant_;
+  next_tenant_ = (next_tenant_ + 1) % options_.tenants;
+  out.tenant = "t" + std::to_string(tenant);
+
+  const int total_weight = options_.weight_insert + options_.weight_delete +
+                           options_.weight_replace + options_.weight_conflict;
+  std::string updates;
+  for (int i = 0; i < options_.batch_size; ++i) {
+    const int dept_index = dept_sampler_.Sample(rng_);
+    const uint32_t dept =
+        net::kDeptBase + static_cast<uint32_t>(dept_index) % options_.depts;
+    const int roll =
+        static_cast<int>(rng_.Below(static_cast<uint64_t>(total_weight)));
+    std::string u;
+    if (roll < options_.weight_insert) {
+      // Fresh employee into the hot department: choose the next fresh id
+      // congruent to dept_index so DeptOfEmp(e) == dept.
+      uint32_t e = next_fresh_[static_cast<size_t>(tenant)]++;
+      while (e % options_.depts != static_cast<uint32_t>(dept_index)) {
+        e = next_fresh_[static_cast<size_t>(tenant)]++;
+      }
+      u = "{\"op\":\"insert\",\"row\":[" + std::to_string(e) + "," +
+          std::to_string(dept) + "]}";
+    } else if (roll < options_.weight_insert + options_.weight_delete) {
+      // A seeded employee of the department (may already be deleted —
+      // that rejection is part of the mix).
+      const uint32_t members =
+          options_.emps / options_.depts;  // >= 1 (depts <= emps)
+      const uint32_t e = EmpOfDept(
+          dept_index, static_cast<uint32_t>(rng_.Below(members)));
+      u = "{\"op\":\"delete\",\"row\":[" + std::to_string(e) + "," +
+          std::to_string(dept) + "]}";
+    } else if (roll < options_.weight_insert + options_.weight_delete +
+                          options_.weight_replace) {
+      // Move an employee to the neighbouring department.
+      const uint32_t members = options_.emps / options_.depts;
+      const uint32_t e = EmpOfDept(
+          dept_index, static_cast<uint32_t>(rng_.Below(members)));
+      const uint32_t to_dept =
+          net::kDeptBase +
+          (static_cast<uint32_t>(dept_index) + 1) % options_.depts;
+      u = "{\"op\":\"replace\",\"from\":[" + std::to_string(e) + "," +
+          std::to_string(dept) + "],\"to\":[" + std::to_string(e) + "," +
+          std::to_string(to_dept) + "]}";
+    } else {
+      // FD conflict: a seeded employee claimed by the wrong department —
+      // Emp -> Dept makes this untranslatable, always.
+      const uint32_t members = options_.emps / options_.depts;
+      const uint32_t e = EmpOfDept(
+          dept_index, static_cast<uint32_t>(rng_.Below(members)));
+      const uint32_t wrong_dept =
+          net::kDeptBase +
+          (static_cast<uint32_t>(dept_index) + 1) % options_.depts;
+      u = "{\"op\":\"insert\",\"row\":[" + std::to_string(e) + "," +
+          std::to_string(wrong_dept) + "]}";
+    }
+    if (!updates.empty()) updates += ",";
+    updates += u;
+    ++out.updates;
+  }
+  out.body = "{\"tenant\":\"" + out.tenant + "\",\"updates\":[" + updates +
+             "]}";
+  ++generated_;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace relview

@@ -1,0 +1,140 @@
+// Deterministic multi-tenant traffic for the network front-end's load
+// harness (bench/loadgen.cc) and its tests.
+//
+// The generator emits POST /v1/batch bodies against the tenant layout of
+// src/net/workload.h: every tenant serves the Emp/Dept/Mgr chain seeded
+// with employees 1..emps dealt round-robin over `depts` departments. The
+// stream is a pure function of TrafficOptions (notably the seed): two
+// generators with equal options produce byte-identical request sequences,
+// independent of what the server accepted — that is what makes the
+// harness open-loop (arrivals never adapt to service time) and replayable
+// (a failing run can be regenerated exactly).
+//
+// Skew: the department a batch touches is drawn from a Zipf(theta)
+// distribution over the tenant's departments, so a realistic hot-key
+// pattern concentrates translation work (and FD-conflict rejections) on a
+// few departments while the tail stays cold.
+//
+// Op mix per update (weights in TrafficOptions):
+//   * insert_fresh  — a brand-new employee into the sampled department
+//                     (translatable: extends the view, FDs respected)
+//   * delete        — an existing employee of the sampled department
+//                     (usually translatable; already-deleted ids reject)
+//   * replace       — move an employee to the next department (exercises
+//                     Theorem 9's replacement path; mixed verdicts)
+//   * insert_conflict — an existing employee with a *different*
+//                     department: always untranslatable (FD Emp -> Dept),
+//                     keeping a steady rejected fraction in the stream.
+
+#ifndef RELVIEW_BENCH_LOADGEN_TRAFFIC_H_
+#define RELVIEW_BENCH_LOADGEN_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/workload.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace bench {
+
+/// Zipf(theta) sampler over {0, ..., n-1} via the precomputed CDF:
+/// P(k) proportional to 1 / (k+1)^theta. theta = 0 is uniform; theta
+/// around 1 gives the classic hot-key skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double theta) : cdf_(static_cast<size_t>(n)) {
+    double sum = 0;
+    for (int k = 0; k < n; ++k) {
+      sum += 1.0 / Pow(static_cast<double>(k + 1), theta);
+      cdf_[static_cast<size_t>(k)] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  /// Draws one index in [0, n).
+  int Sample(Rng& rng) const {
+    const double u =
+        static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;  // [0, 1)
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(lo);
+  }
+
+ private:
+  // std::pow is not constexpr-friendly everywhere and the dependency is
+  // trivial to avoid: exp(theta * -log(k)) via a small series is overkill,
+  // so use repeated multiplication for integer-ish thetas and fall back to
+  // the identity x^t = exp(t ln x) through long double otherwise.
+  static double Pow(double x, double t);
+
+  std::vector<double> cdf_;
+};
+
+/// Everything that defines the traffic stream. Must match the server's
+/// TenantSpec (tenants/emps/depts) for the translatability mix to behave
+/// as documented; the stream is well-formed regardless.
+struct TrafficOptions {
+  int tenants = 4;
+  uint32_t emps = 64;
+  uint32_t depts = 8;
+  /// Zipf exponent over departments (0 = uniform).
+  double zipf_theta = 0.99;
+  /// View updates per batch.
+  int batch_size = 4;
+  /// Op-mix weights (need not sum to anything particular).
+  int weight_insert = 5;
+  int weight_delete = 2;
+  int weight_replace = 2;
+  int weight_conflict = 1;
+  uint64_t seed = 42;
+};
+
+/// One generated request.
+struct GeneratedBatch {
+  std::string tenant;  ///< "t0", ...
+  std::string body;    ///< Complete JSON body for POST /v1/batch.
+  int updates = 0;     ///< Batch size (for throughput accounting).
+};
+
+/// The deterministic request stream; Next() is NOT thread-safe (the
+/// dispatcher owns the generator, workers only execute).
+class TrafficGen {
+ public:
+  explicit TrafficGen(const TrafficOptions& options);
+
+  /// The next batch in the stream. Tenants rotate round-robin; content is
+  /// a pure function of (options, call index).
+  GeneratedBatch Next();
+
+  /// Batches generated so far.
+  uint64_t generated() const { return generated_; }
+
+ private:
+  /// Employee id k-th of department d (ids are dealt round-robin, so the
+  /// k-th employee of department index d is d + 1 + k*depts, shifted into
+  /// [1, emps] range semantics).
+  uint32_t EmpOfDept(int dept_index, uint32_t k) const;
+
+  TrafficOptions options_;
+  Rng rng_;
+  ZipfSampler dept_sampler_;
+  int next_tenant_ = 0;
+  /// Next fresh employee id per tenant (fresh inserts grow past emps).
+  std::vector<uint32_t> next_fresh_;
+  uint64_t generated_ = 0;
+};
+
+}  // namespace bench
+}  // namespace relview
+
+#endif  // RELVIEW_BENCH_LOADGEN_TRAFFIC_H_

@@ -1,0 +1,20 @@
+#include "net/admission.h"
+
+namespace relview {
+namespace net {
+
+int WriteGate::RetryAfterSeconds() const {
+  // Drain time for the whole queue at the observed per-write latency.
+  // Before any write has completed there is no estimate; answer the
+  // floor (1 s) rather than invent one.
+  const uint64_t per_write = ewma_write_nanos();
+  const uint64_t queued = static_cast<uint64_t>(depth() < 0 ? 0 : depth());
+  const uint64_t drain_nanos = per_write * queued;
+  const uint64_t secs = (drain_nanos + 999'999'999ULL) / 1'000'000'000ULL;
+  if (secs < 1) return 1;
+  if (secs > 60) return 60;
+  return static_cast<int>(secs);
+}
+
+}  // namespace net
+}  // namespace relview

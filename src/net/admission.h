@@ -1,0 +1,111 @@
+// Admission control for the network front-end: the bounded write gate
+// that sheds load *before* requests pile onto the service's writer mutex
+// and journal fsync queue.
+//
+// Model: every mutating request (POST /v1/batch) must hold a write
+// ticket while it runs ApplyBatch. Tickets are bounded; when they are
+// exhausted the server answers 429 with a Retry-After computed from the
+// observed batch latency (journal fsync included) times the current
+// depth — i.e. an honest estimate of when a retry will find a free slot.
+// Because a ticket covers the whole check→journal→fsync→publish path,
+// the gate's depth *is* the journal/fsync queue depth as seen from the
+// socket side; `UpdateService::pending_writers()` exposes the same
+// quantity from the service side and the two are exported next to each
+// other in /metrics.
+//
+// The gate never blocks: a request either gets a ticket immediately or
+// is shed. The "queue" being bounded is the set of connection threads
+// parked on the writer mutex — exactly the thing that melted first in
+// the pre-net benchmarks when offered load exceeded the fsync rate.
+
+#ifndef RELVIEW_NET_ADMISSION_H_
+#define RELVIEW_NET_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace relview {
+namespace net {
+
+/// Bounded non-blocking ticket gate for write admission. All methods are
+/// thread-safe; the fast path is one CAS.
+class WriteGate {
+ public:
+  /// `capacity` <= 0 admits nothing (useful in shedding tests).
+  explicit WriteGate(int capacity) : capacity_(capacity) {}
+
+  /// Takes a ticket when depth < capacity. Returns false (shed) otherwise.
+  bool TryEnter() {
+    int depth = depth_.load(std::memory_order_relaxed);
+    while (depth < capacity_) {
+      if (depth_.compare_exchange_weak(depth, depth + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Returns a ticket taken by TryEnter.
+  void Exit() { depth_.fetch_sub(1, std::memory_order_release); }
+
+  /// Writes currently holding tickets (queued on or inside ApplyBatch).
+  int depth() const { return depth_.load(std::memory_order_relaxed); }
+  /// Configured capacity.
+  int capacity() const { return capacity_; }
+  /// Requests shed since construction.
+  uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+
+  /// Records one completed write's latency into the EWMA that prices
+  /// Retry-After (alpha = 1/8).
+  void RecordWriteLatency(int64_t nanos) {
+    const uint64_t sample = static_cast<uint64_t>(nanos < 0 ? 0 : nanos);
+    uint64_t prev = ewma_nanos_.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+      next = prev == 0 ? sample : prev - prev / 8 + sample / 8;
+    } while (!ewma_nanos_.compare_exchange_weak(prev, next,
+                                                std::memory_order_relaxed));
+  }
+
+  /// EWMA of write latency in nanoseconds (0 before the first sample).
+  uint64_t ewma_write_nanos() const {
+    return ewma_nanos_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds a shed client should wait before retrying: the time for the
+  /// current queue to drain at the observed per-write latency, rounded
+  /// up, clamped into [1, 60].
+  int RetryAfterSeconds() const;
+
+  /// RAII ticket. `admitted()` is false when the gate shed the request.
+  class Ticket {
+   public:
+    explicit Ticket(WriteGate& gate)
+        : gate_(gate), admitted_(gate.TryEnter()) {}
+    ~Ticket() {
+      if (admitted_) gate_.Exit();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    /// True when the gate admitted this request.
+    bool admitted() const { return admitted_; }
+
+   private:
+    WriteGate& gate_;
+    const bool admitted_;
+  };
+
+ private:
+  const int capacity_;
+  std::atomic<int> depth_{0};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> ewma_nanos_{0};
+};
+
+}  // namespace net
+}  // namespace relview
+
+#endif  // RELVIEW_NET_ADMISSION_H_

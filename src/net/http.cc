@@ -1,0 +1,315 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace relview {
+namespace net {
+
+namespace {
+
+const std::string kEmpty;
+
+bool IEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+const std::string& FindHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [k, v] : headers) {
+    if (IEquals(k, name)) return v;
+  }
+  return kEmpty;
+}
+
+/// Parses a non-negative decimal integer; false on junk or overflow past
+/// `max`.
+bool ParseSize(const std::string& s, size_t max, size_t* out) {
+  if (s.empty()) return false;
+  size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > max / 10) return false;
+    v = v * 10 + static_cast<size_t>(c - '0');
+    if (v > max) return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Splits a header block (without the trailing blank line) into lines and
+/// appends (name, value) pairs. Returns false on a malformed line.
+bool ParseHeaderLines(const std::string& block, size_t first_line_end,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = first_line_end;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    if (eol == std::string::npos) eol = block.size();
+    const std::string line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    out->emplace_back(Trim(line.substr(0, colon)),
+                      Trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string& HttpRequest::Header(const std::string& name) const {
+  return FindHeader(headers, name);
+}
+
+std::string HttpRequest::QueryParam(const std::string& key) const {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string& conn = Header("Connection");
+  if (IEquals(conn, "close")) return false;
+  if (version == "HTTP/1.0") return IEquals(conn, "keep-alive");
+  return true;
+}
+
+void RequestParser::Fail(int status, std::string detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = std::move(detail);
+}
+
+void RequestParser::Feed(const char* data, size_t n) {
+  if (state_ == State::kError) return;
+  buffer_.append(data, n);
+  TryAdvance();
+}
+
+void RequestParser::Next() {
+  if (state_ != State::kComplete) return;
+  request_ = HttpRequest();
+  body_expected_ = 0;
+  state_ = State::kHeaders;
+  TryAdvance();
+}
+
+void RequestParser::TryAdvance() {
+  if (state_ == State::kHeaders) {
+    const size_t block_end = buffer_.find("\r\n\r\n");
+    if (block_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        Fail(431, "header block exceeds " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return;
+    }
+    if (block_end + 4 > limits_.max_header_bytes) {
+      Fail(431, "header block exceeds " +
+                    std::to_string(limits_.max_header_bytes) + " bytes");
+      return;
+    }
+    ParseHeaderBlock(block_end);
+    if (state_ == State::kError) return;
+    buffer_.erase(0, block_end + 4);
+  }
+  if (state_ == State::kBody) {
+    if (buffer_.size() < body_expected_) return;
+    request_.body = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    state_ = State::kComplete;
+  }
+}
+
+void RequestParser::ParseHeaderBlock(size_t block_end) {
+  const std::string block = buffer_.substr(0, block_end + 2);
+  const size_t line_end = block.find("\r\n");
+  const std::string request_line = block.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.find(' ', sp2 + 1) != std::string::npos) {
+    Fail(400, "malformed request line: " + request_line);
+    return;
+  }
+  request_.method = request_line.substr(0, sp1);
+  request_.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = request_line.substr(sp2 + 1);
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    Fail(400, "malformed request target: " + request_.target);
+    return;
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    Fail(400, "unsupported version: " + request_.version);
+    return;
+  }
+  const size_t qmark = request_.target.find('?');
+  request_.path = request_.target.substr(0, qmark);
+  request_.query = qmark == std::string::npos
+                       ? ""
+                       : request_.target.substr(qmark + 1);
+  if (!ParseHeaderLines(block, line_end + 2, &request_.headers)) {
+    Fail(400, "malformed header line");
+    return;
+  }
+  if (!request_.Header("Transfer-Encoding").empty()) {
+    Fail(501, "chunked transfer encoding not supported");
+    return;
+  }
+  const std::string& len = request_.Header("Content-Length");
+  if (len.empty()) {
+    if (request_.method == "POST" || request_.method == "PUT") {
+      Fail(411, "length required for " + request_.method);
+      return;
+    }
+    body_expected_ = 0;
+  } else if (!ParseSize(len, limits_.max_body_bytes, &body_expected_)) {
+    size_t ignored = 0;
+    // Distinguish "too large" (a well-formed number past the cap) from
+    // junk so the client learns which mistake to fix.
+    if (ParseSize(len, static_cast<size_t>(-1) / 2, &ignored)) {
+      Fail(413, "body of " + len + " bytes exceeds limit of " +
+                    std::to_string(limits_.max_body_bytes));
+    } else {
+      Fail(400, "malformed Content-Length: " + len);
+    }
+    return;
+  }
+  state_ = State::kBody;
+}
+
+void ResponseParser::Feed(const char* data, size_t n) {
+  if (state_ == State::kError) return;
+  buffer_.append(data, n);
+  if (state_ == State::kHeaders) {
+    const size_t block_end = buffer_.find("\r\n\r\n");
+    if (block_end == std::string::npos) return;
+    const std::string block = buffer_.substr(0, block_end + 2);
+    const size_t line_end = block.find("\r\n");
+    const std::string status_line = block.substr(0, line_end);
+    // "HTTP/1.1 200 OK"
+    const size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string::npos || sp1 + 4 > status_line.size()) {
+      state_ = State::kError;
+      return;
+    }
+    status_ = 0;
+    for (size_t i = sp1 + 1; i < status_line.size() && status_line[i] != ' ';
+         ++i) {
+      if (status_line[i] < '0' || status_line[i] > '9') {
+        state_ = State::kError;
+        return;
+      }
+      status_ = status_ * 10 + (status_line[i] - '0');
+    }
+    headers_.clear();
+    if (!ParseHeaderLines(block, line_end + 2, &headers_)) {
+      state_ = State::kError;
+      return;
+    }
+    const std::string& len = FindHeader(headers_, "Content-Length");
+    if (!ParseSize(len, static_cast<size_t>(-1) / 2, &body_expected_)) {
+      state_ = State::kError;
+      return;
+    }
+    buffer_.erase(0, block_end + 4);
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody && buffer_.size() >= body_expected_) {
+    body_ = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    state_ = State::kComplete;
+  }
+}
+
+const std::string& ResponseParser::Header(const std::string& name) const {
+  return FindHeader(headers_, name);
+}
+
+void ResponseParser::Next() {
+  if (state_ != State::kComplete) return;
+  status_ = 0;
+  body_.clear();
+  headers_.clear();
+  body_expected_ = 0;
+  state_ = State::kHeaders;
+  // Re-feed nothing: the next Feed() call advances on leftover bytes.
+  Feed("", 0);
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string BuildResponse(int status, const std::string& content_type,
+                          const std::string& body, bool keep_alive,
+                          const std::vector<std::string>& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    StatusText(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (!keep_alive) out += "Connection: close\r\n";
+  for (const std::string& h : extra_headers) out += h + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string BuildRequest(const std::string& method, const std::string& target,
+                         const std::string& host, const std::string& body) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace net
+}  // namespace relview

@@ -1,0 +1,166 @@
+// Minimal HTTP/1.1 machinery for the network front-end: an incremental
+// request parser (fed arbitrary byte chunks, so torn reads and pipelining
+// fall out of the design instead of being patched on), response
+// formatting, and an incremental response parser for clients (loadgen,
+// tests). No external dependencies; only the subset the relview server
+// speaks is implemented:
+//
+//   * request line + headers + optional Content-Length body
+//   * keep-alive (HTTP/1.1 default) and Connection: close
+//   * pipelining: leftover bytes after one request seed the next parse
+//   * hard limits on header and body size, reported as 431/413 so the
+//     handler can answer before closing
+//
+// Unsupported on purpose (answered with a clean error, never a hang):
+// chunked transfer encoding (501), requests without Content-Length that
+// claim a body, percent-escaped query strings (parsed verbatim).
+
+#ifndef RELVIEW_NET_HTTP_H_
+#define RELVIEW_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace relview {
+namespace net {
+
+/// Size caps enforced while parsing; exceeding one yields a typed parse
+/// error (431 for headers, 413 for bodies) instead of unbounded buffering.
+struct HttpLimits {
+  /// Max bytes of request line + headers (through the blank line).
+  size_t max_header_bytes = 8 * 1024;
+  /// Max Content-Length accepted for a request body.
+  size_t max_body_bytes = 1 << 20;
+};
+
+/// One parsed HTTP request.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (verbatim).
+  std::string target;   ///< Raw request target ("/v1/batch?tenant=t0").
+  std::string path;     ///< Target up to '?' ("/v1/batch").
+  std::string query;    ///< Target after '?' ("" when absent).
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0".
+  /// Header (name, value) pairs in arrival order; names as sent.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; empty string when absent.
+  const std::string& Header(const std::string& name) const;
+  /// Value of `key` in the query string ("a=1&b=2" syntax, no unescaping);
+  /// empty when absent.
+  std::string QueryParam(const std::string& key) const;
+  /// False when "Connection: close" was sent or the version is HTTP/1.0
+  /// without "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed() accepts any chunking of
+/// the byte stream — a whole pipeline of requests or one byte at a time —
+/// and the parser surfaces one complete request per Next() cycle.
+///
+/// Lifecycle:
+///   RequestParser p(limits);
+///   p.Feed(data, n);                  // as bytes arrive
+///   while (p.complete()) { use p.request(); p.Next(); }
+///   if (p.error()) { answer with p.error_status(); close; }
+class RequestParser {
+ public:
+  explicit RequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Appends bytes to the parse buffer and advances the state machine.
+  void Feed(const char* data, size_t n);
+
+  /// True when a full request is parsed and request() is valid.
+  bool complete() const { return state_ == State::kComplete; }
+  /// True after a malformed or over-limit input; the connection should be
+  /// answered with error_status() and closed.
+  bool error() const { return state_ == State::kError; }
+  /// True while mid-request (bytes consumed, request not complete): a
+  /// read timeout here is a torn request, not an idle connection.
+  bool mid_request() const {
+    return state_ != State::kError &&
+           (!buffer_.empty() || state_ == State::kBody);
+  }
+  /// The parsed request. Valid only while complete().
+  const HttpRequest& request() const { return request_; }
+  /// Suggested response status for error(): 400, 411, 413, 431 or 501.
+  int error_status() const { return error_status_; }
+  /// Human-readable parse-error detail.
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// Discards the completed request and starts parsing the next one from
+  /// any leftover (pipelined) bytes already fed.
+  void Next();
+
+ private:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  void ParseHeaderBlock(size_t block_end);
+  void Fail(int status, std::string detail);
+  void TryAdvance();
+
+  HttpLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_detail_;
+};
+
+/// Incremental HTTP/1.1 response parser (client side: loadgen and the
+/// loopback tests). Responses must carry Content-Length — the relview
+/// server always does.
+class ResponseParser {
+ public:
+  /// Appends bytes and advances the state machine.
+  void Feed(const char* data, size_t n);
+
+  /// True when a full response (headers + body) is parsed.
+  bool complete() const { return state_ == State::kComplete; }
+  /// True on a malformed response.
+  bool error() const { return state_ == State::kError; }
+  /// Parsed status code (e.g. 200, 429). Valid while complete().
+  int status() const { return status_; }
+  /// Response body. Valid while complete().
+  const std::string& body() const { return body_; }
+  /// Case-insensitive response-header lookup; empty when absent.
+  const std::string& Header(const std::string& name) const;
+
+  /// Discards the completed response and starts on leftover bytes.
+  void Next();
+
+ private:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  size_t body_expected_ = 0;
+  int status_ = 0;
+  std::string body_;
+  std::vector<std::pair<std::string, std::string>> headers_;
+};
+
+/// Canonical reason phrase for the status codes the server emits
+/// ("OK", "Too Many Requests", ...); "Unknown" otherwise.
+const char* StatusText(int status);
+
+/// Formats a full response: status line, Content-Type/Content-Length,
+/// "Connection: close" when `keep_alive` is false, `extra_headers`
+/// verbatim (each "Name: value", no CRLF), then the body.
+std::string BuildResponse(int status, const std::string& content_type,
+                          const std::string& body, bool keep_alive,
+                          const std::vector<std::string>& extra_headers = {});
+
+/// Formats a request (client side). `body` empty means no body and no
+/// Content-Length for GET-style methods.
+std::string BuildRequest(const std::string& method, const std::string& target,
+                         const std::string& host, const std::string& body);
+
+}  // namespace net
+}  // namespace relview
+
+#endif  // RELVIEW_NET_HTTP_H_

@@ -1,0 +1,277 @@
+#include "net/json.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace relview {
+namespace net {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Hand-rolled recursive-descent parser over a byte range; depth-limited.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Parse() {
+    RELVIEW_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing garbage after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    const size_t len = std::string(w).size();
+    if (text_.compare(pos_, len, w) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > max_depth_) return Error("nesting deeper than limit");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        RELVIEW_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return JsonValue::Bool(true);
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) return JsonValue::Bool(false);
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue::Null();
+        return Error("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    uint64_t magnitude = 0;
+    size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const uint64_t d = static_cast<uint64_t>(text_[pos_] - '0');
+      if (magnitude > (UINT64_MAX - d) / 10) {
+        return Error("integer overflow");
+      }
+      magnitude = magnitude * 10 + d;
+      ++digits;
+      ++pos_;
+    }
+    if (digits == 0) return Error("bad number");
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      return Error("non-integer numbers are not accepted");
+    }
+    const uint64_t limit =
+        negative ? (1ULL << 63) : (1ULL << 63) - 1;  // |INT64_MIN| / INT64_MAX
+    if (magnitude > limit) {
+      pos_ = start;
+      return Error("integer out of int64 range");
+    }
+    const int64_t v = negative ? -static_cast<int64_t>(magnitude - 1) - 1
+                               : static_cast<int64_t>(magnitude);
+    return JsonValue::Int(v);
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          RELVIEW_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pairs: decode the low half when present; a lone
+          // surrogate becomes U+FFFD.
+          if (cp >= 0xD800 && cp <= 0xDBFF &&
+              text_.compare(pos_, 2, "\\u") == 0) {
+            pos_ += 2;
+            RELVIEW_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              cp = 0xFFFD;
+            }
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default: return Error("bad escape");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue v(JsonValue::Type::kArray);
+    SkipSpace();
+    if (Consume(']')) return v;
+    while (true) {
+      RELVIEW_ASSIGN_OR_RETURN(JsonValue elem, ParseValue(depth + 1));
+      v.array_.push_back(std::move(elem));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue v(JsonValue::Type::kObject);
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      RELVIEW_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Error("expected ':'");
+      RELVIEW_ASSIGN_OR_RETURN(JsonValue val, ParseValue(depth + 1));
+      v.members_.emplace_back(std::move(key), std::move(val));
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  const int max_depth_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> ParseJson(const std::string& text, int max_depth) {
+  return JsonParser(text, max_depth).Parse();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace relview

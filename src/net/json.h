@@ -1,0 +1,95 @@
+// A small recursive-descent JSON parser for the network front-end's
+// request bodies, plus escaping helpers for the responses the server
+// builds by string concatenation (the house style — see
+// ServiceMetrics::ToJson, TelemetryRegistry::RenderJson).
+//
+// Scope: everything the batch-submit API needs and nothing more —
+// objects, arrays, strings (with \uXXXX escapes decoded to UTF-8),
+// 64-bit signed integers, booleans, null. Non-integer numbers are
+// rejected: every numeric field in the wire protocol is a Value id or a
+// count, and silently truncating doubles would corrupt tuples.
+
+#ifndef RELVIEW_NET_JSON_H_
+#define RELVIEW_NET_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relview {
+namespace net {
+
+/// A parsed JSON value (tree form).
+class JsonValue {
+ public:
+  /// The JSON type tags.
+  enum class Type { kNull, kBool, kInt, kString, kArray, kObject };
+
+  /// The value's type.
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; preconditions match the type tag.
+  bool bool_value() const { return int_ != 0; }
+  int64_t int_value() const { return int_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+
+  /// Object member by key, or nullptr when absent / not an object.
+  const JsonValue* Get(const std::string& key) const;
+  /// Object members in parse order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Constructors used by the parser (and tests).
+  static JsonValue Null() { return JsonValue(Type::kNull); }
+  static JsonValue Bool(bool b) {
+    JsonValue v(Type::kBool);
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v(Type::kInt);
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v(Type::kString);
+    v.string_ = std::move(s);
+    return v;
+  }
+
+ private:
+  friend class JsonParser;
+  explicit JsonValue(Type t) : type_(t) {}
+
+  Type type_ = Type::kNull;
+  int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). `max_depth` bounds nesting so a hostile
+/// body cannot blow the stack. Errors carry a byte offset.
+Result<JsonValue> ParseJson(const std::string& text, int max_depth = 32);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace net
+}  // namespace relview
+
+#endif  // RELVIEW_NET_JSON_H_

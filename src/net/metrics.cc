@@ -1,0 +1,143 @@
+#include "net/metrics.h"
+
+namespace relview {
+namespace net {
+
+const char* RouteName(Route route) {
+  switch (route) {
+    case Route::kBatch: return "batch";
+    case Route::kSnapshot: return "snapshot";
+    case Route::kHealth: return "health";
+    case Route::kMetrics: return "metrics";
+    case Route::kOther: return "other";
+    case Route::kNumRoutes: break;
+  }
+  return "?";
+}
+
+const char* RefusalKindName(RefusalKind kind) {
+  switch (kind) {
+    case RefusalKind::kShed429: return "shed";
+    case RefusalKind::kDeadline: return "deadline";
+    case RefusalKind::kDraining: return "draining";
+    case RefusalKind::kOverCapacity: return "over_capacity";
+    case RefusalKind::kDurability: return "durability";
+    case RefusalKind::kParse: return "parse";
+    case RefusalKind::kNumRefusalKinds: break;
+  }
+  return "?";
+}
+
+int NetMetrics::StatusSlot(int status) {
+  for (size_t i = 0; i < kStatusCodes.size(); ++i) {
+    if (kStatusCodes[i] == status) return static_cast<int>(i);
+  }
+  return static_cast<int>(kStatusCodes.size());
+}
+
+void NetMetrics::RecordResponse(int status) {
+  responses_[static_cast<size_t>(StatusSlot(status))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t NetMetrics::responses(int status) const {
+  return responses_[static_cast<size_t>(StatusSlot(status))].load(
+      std::memory_order_relaxed);
+}
+
+void NetMetrics::RecordLatency(Route route, int64_t nanos) {
+  latency_[static_cast<int>(route)].Record(nanos);
+}
+
+std::vector<MetricFamily> NetMetrics::Collect() const {
+  std::vector<MetricFamily> out;
+  MetricFamily requests_fam = CounterFamily(
+      "relview_net_requests_total", "HTTP requests by route", 0);
+  requests_fam.samples.clear();
+  for (int r = 0; r < kRoutes; ++r) {
+    requests_fam.samples.push_back(
+        {Label("route", RouteName(static_cast<Route>(r))),
+         static_cast<double>(requests(static_cast<Route>(r)))});
+  }
+  out.push_back(std::move(requests_fam));
+
+  MetricFamily responses_fam = CounterFamily(
+      "relview_net_responses_total", "HTTP responses by status", 0);
+  responses_fam.samples.clear();
+  for (size_t i = 0; i < kStatusCodes.size(); ++i) {
+    responses_fam.samples.push_back(
+        {Label("status", std::to_string(kStatusCodes[i])),
+         static_cast<double>(
+             responses_[i].load(std::memory_order_relaxed))});
+  }
+  responses_fam.samples.push_back(
+      {Label("status", "other"),
+       static_cast<double>(responses_[kStatusCodes.size()].load(
+           std::memory_order_relaxed))});
+  out.push_back(std::move(responses_fam));
+
+  MetricFamily refusals_fam = CounterFamily(
+      "relview_net_refusals_total",
+      "Requests refused before being served, by reason", 0);
+  refusals_fam.samples.clear();
+  for (int k = 0; k < kRefusals; ++k) {
+    refusals_fam.samples.push_back(
+        {Label("reason", RefusalKindName(static_cast<RefusalKind>(k))),
+         static_cast<double>(refusals(static_cast<RefusalKind>(k)))});
+  }
+  out.push_back(std::move(refusals_fam));
+
+  out.push_back(GaugeFamily("relview_net_connections",
+                            "Currently open HTTP connections",
+                            static_cast<double>(connections())));
+  out.push_back(CounterFamily("relview_net_connections_total",
+                              "Connections accepted since start",
+                              static_cast<double>(connections_total())));
+  out.push_back(CounterFamily(
+      "relview_net_bytes_read_total", "Request bytes read",
+      static_cast<double>(bytes_read_.load(std::memory_order_relaxed))));
+  out.push_back(CounterFamily(
+      "relview_net_bytes_written_total", "Response bytes written",
+      static_cast<double>(bytes_written_.load(std::memory_order_relaxed))));
+  for (int r = 0; r < kRoutes; ++r) {
+    const Route route = static_cast<Route>(r);
+    out.push_back(SummaryFamily(
+        std::string("relview_net_") + RouteName(route) + "_latency_seconds",
+        std::string("Handling latency for route ") + RouteName(route),
+        latency(route)));
+  }
+  return out;
+}
+
+std::string NetMetrics::ToJson() const {
+  std::string out = "{";
+  auto add = [&out](const std::string& key, uint64_t v) {
+    if (out.size() > 1) out += ",";
+    out += "\"" + key + "\":" + std::to_string(v);
+  };
+  for (int r = 0; r < kRoutes; ++r) {
+    add(std::string("requests_") + RouteName(static_cast<Route>(r)),
+        requests(static_cast<Route>(r)));
+  }
+  add("responses_200", responses(200));
+  add("responses_409", responses(409));
+  add("responses_429", responses(429));
+  add("responses_503", responses(503));
+  for (int k = 0; k < kRefusals; ++k) {
+    add(std::string("refused_") +
+            RefusalKindName(static_cast<RefusalKind>(k)),
+        refusals(static_cast<RefusalKind>(k)));
+  }
+  add("connections", static_cast<uint64_t>(
+                         connections() < 0 ? 0 : connections()));
+  add("connections_total", connections_total());
+  add("bytes_read", bytes_read_.load(std::memory_order_relaxed));
+  add("bytes_written", bytes_written_.load(std::memory_order_relaxed));
+  out += ",\"batch_latency\":" + latency(Route::kBatch).ToJson();
+  out += ",\"snapshot_latency\":" + latency(Route::kSnapshot).ToJson();
+  out += "}";
+  return out;
+}
+
+}  // namespace net
+}  // namespace relview

@@ -1,0 +1,136 @@
+// NetMetrics: counters and latency distributions for the HTTP front-end,
+// exported through TelemetryRegistry next to the service metrics. Same
+// discipline as ServiceMetrics: lock-free atomics on the hot path, a
+// relaxed-consistent scrape (single-valued families only, so there are
+// no multi-counter tear windows to guard here).
+
+#ifndef RELVIEW_NET_METRICS_H_
+#define RELVIEW_NET_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
+
+namespace relview {
+namespace net {
+
+/// Route classes the server distinguishes in its metrics.
+enum class Route {
+  kBatch = 0,    ///< POST /v1/batch
+  kSnapshot,     ///< GET /v1/snapshot
+  kHealth,       ///< GET /healthz
+  kMetrics,      ///< GET /metrics
+  kOther,        ///< anything else (404/405 paths)
+  kNumRoutes,    ///< sentinel; keep last
+};
+
+/// "batch", "snapshot", ...
+const char* RouteName(Route route);
+
+/// Why a request was refused without being served.
+enum class RefusalKind {
+  kShed429 = 0,     ///< write gate full: 429 + Retry-After
+  kDeadline,        ///< per-request deadline exceeded before apply: 503
+  kDraining,        ///< server draining on SIGTERM: 503
+  kOverCapacity,    ///< connection cap hit at accept time: 503
+  kDurability,      ///< journal/fsync failure surfaced as 503
+  kParse,           ///< 4xx parse/validation failures
+  kNumRefusalKinds, ///< sentinel; keep last
+};
+
+/// "shed", "deadline", ...
+const char* RefusalKindName(RefusalKind kind);
+
+/// The front-end's counter/latency module. All methods are thread-safe.
+class NetMetrics {
+ public:
+  static constexpr int kRoutes = static_cast<int>(Route::kNumRoutes);
+  static constexpr int kRefusals =
+      static_cast<int>(RefusalKind::kNumRefusalKinds);
+
+  /// Counts one request routed to `route`.
+  void RecordRequest(Route route) {
+    requests_[static_cast<int>(route)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
+  /// Counts one response with `status` (bucketed by class internally).
+  void RecordResponse(int status);
+  /// Counts one refusal of `kind`.
+  void RecordRefusal(RefusalKind kind) {
+    refusals_[static_cast<int>(kind)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
+  /// Records end-to-end handling latency (parse-complete to response
+  /// bytes written) for `route`.
+  void RecordLatency(Route route, int64_t nanos);
+  /// Tracks the connection gauge.
+  void ConnectionOpened() {
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ConnectionClosed() {
+    connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Byte accounting.
+  void AddBytesRead(uint64_t n) {
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddBytesWritten(uint64_t n) {
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Requests routed to `route` so far.
+  uint64_t requests(Route route) const {
+    return requests_[static_cast<int>(route)].load(std::memory_order_relaxed);
+  }
+  /// Responses with status `s` (counted per distinct emitted code).
+  uint64_t responses(int status) const;
+  /// Refusals of `kind` so far.
+  uint64_t refusals(RefusalKind kind) const {
+    return refusals_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+  /// Currently open connections.
+  int64_t connections() const {
+    return static_cast<int64_t>(
+        connections_.load(std::memory_order_relaxed));
+  }
+  /// Connections accepted since start.
+  uint64_t connections_total() const {
+    return connections_total_.load(std::memory_order_relaxed);
+  }
+  /// Handling-latency distribution for `route`.
+  const LatencyHistogram& latency(Route route) const {
+    return latency_[static_cast<int>(route)];
+  }
+
+  /// Metric families for the telemetry registry ("net" section).
+  std::vector<MetricFamily> Collect() const;
+  /// Single-line JSON summary for the registry's JSON document.
+  std::string ToJson() const;
+
+ private:
+  // Distinct status codes the server emits; anything else lands in the
+  // final slot as "other".
+  static constexpr std::array<int, 12> kStatusCodes = {
+      200, 400, 404, 405, 408, 409, 411, 413, 429, 431, 501, 503};
+
+  static int StatusSlot(int status);
+
+  std::array<std::atomic<uint64_t>, kRoutes> requests_{};
+  std::array<std::atomic<uint64_t>, kStatusCodes.size() + 1> responses_{};
+  std::array<std::atomic<uint64_t>, kRefusals> refusals_{};
+  std::atomic<int64_t> connections_{0};
+  std::atomic<uint64_t> connections_total_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::array<LatencyHistogram, kRoutes> latency_{};
+};
+
+}  // namespace net
+}  // namespace relview
+
+#endif  // RELVIEW_NET_METRICS_H_

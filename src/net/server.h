@@ -1,0 +1,174 @@
+/// \file
+/// HttpServer: the network front-end over a TenantSet of UpdateServices.
+///
+/// Threading model — one acceptor, thread-per-connection on a fixed pool:
+/// the acceptor thread accept()s, enforces the connection cap (excess
+/// connections get an immediate 503 and close, they never occupy a
+/// worker), and hands each admitted socket to a ThreadPool worker that
+/// serves the whole keep-alive conversation. Workers block in recv with a
+/// receive timeout, so an idle peer releases its worker after
+/// `idle_timeout_ms` and a torn request is answered with 408.
+///
+/// Admission and backpressure (see admission.h): POST /v1/batch takes a
+/// WriteGate ticket for the whole check→journal→fsync→publish path.
+/// When the gate is full the request is shed with 429 and a Retry-After
+/// priced from the observed write latency — clients see backpressure
+/// before the writer mutex queue grows, and the acceptor never stops
+/// reading, so reads and health checks stay live past the write
+/// saturation knee.
+///
+/// Graceful drain: BeginDrain() is async-signal-safe (an atomic store
+/// plus shutdown(2) of the listen socket) so a SIGTERM handler may call
+/// it directly. Draining connections finish their in-flight request;
+/// subsequent requests get 503 + Connection: close. Wait() blocks until
+/// the drain completes (bounded by `drain_timeout_ms`, after which
+/// lingering connections are shut down hard).
+///
+/// Wire protocol (JSON; see docs/OPERATIONS.md "Running the server"):
+///   POST /v1/batch        {"tenant":"t0","updates":[{"op":"insert",
+///                          "row":[1,1000000]}, {"op":"replace",
+///                          "from":[1,1000000],"to":[1,1000001]}, ...]}
+///     200 committed, 409 rejected (failed_index + verdict), 429 shed,
+///     503 deadline / draining / durability failure
+///   GET /v1/snapshot?tenant=t0[&include=database]   versioned view rows
+///   GET /healthz          200 "ok" (503 while draining)
+///   GET /metrics          Prometheus text; ?format=json for the JSON
+///                         document of every registered section
+
+#ifndef RELVIEW_NET_SERVER_H_
+#define RELVIEW_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/http.h"
+#include "net/metrics.h"
+#include "net/workload.h"
+#include "obs/telemetry.h"
+#include "util/annotations.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace relview {
+namespace net {
+
+/// Tuning for HttpServer::Start.
+struct ServerOptions {
+  /// Listen address ("127.0.0.1"; "0.0.0.0" to expose).
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Connection-serving worker threads; <= 0 sizes the pool to
+  /// max_connections so an admitted connection never queues.
+  int worker_threads = 0;
+  /// Open-connection cap; excess accepts are answered 503 and closed.
+  int max_connections = 64;
+  /// WriteGate capacity: batches allowed on the check→fsync→publish path
+  /// at once (the rest shed with 429).
+  int max_write_queue = 8;
+  /// Default per-request deadline for POST /v1/batch, measured from
+  /// request-complete to apply-start; expired requests get 503 without
+  /// touching the service. A request may override it downward with an
+  /// `x-relview-deadline-ms` header. < 0 disables.
+  int request_deadline_ms = 5000;
+  /// recv timeout: an idle keep-alive connection is closed after this
+  /// long; a connection mid-request gets 408.
+  int idle_timeout_ms = 5000;
+  /// HTTP parse limits (see HttpLimits).
+  size_t max_header_bytes = 8 * 1024;
+  size_t max_body_bytes = 1 << 20;
+  /// How long Wait()/Stop() lets in-flight connections finish after
+  /// BeginDrain before shutting their sockets down hard.
+  int drain_timeout_ms = 5000;
+};
+
+/// The front-end server. Construction binds + listens + starts threads;
+/// destruction (or Stop()) drains and joins. Thread-safe.
+class HttpServer {
+ public:
+  /// Binds `options.host:options.port`, registers the "net" telemetry
+  /// section with `registry` (optional, may be null) and starts serving
+  /// `tenants` (borrowed; must outlive the server).
+  static Result<std::unique_ptr<HttpServer>> Start(
+      TenantSet* tenants, TelemetryRegistry* registry,
+      ServerOptions options = {});
+
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves port 0).
+  int port() const { return port_; }
+
+  /// Starts a graceful drain: stop accepting, finish in-flight requests,
+  /// answer new requests on live connections with 503 + close.
+  /// Async-signal-safe; callable from a SIGTERM handler.
+  void BeginDrain();
+
+  /// True once BeginDrain was called.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the server has fully drained after BeginDrain:
+  /// acceptor joined, connections closed (hard-closed past
+  /// drain_timeout_ms), workers joined, telemetry unregistered.
+  void Wait();
+
+  /// BeginDrain + Wait. Idempotent.
+  void Stop();
+
+  /// Front-end counters (live; safe from any thread).
+  const NetMetrics& metrics() const { return metrics_; }
+  /// The write-admission gate (live depth / shed counters).
+  const WriteGate& gate() const { return *gate_; }
+
+ private:
+  HttpServer(TenantSet* tenants, TelemetryRegistry* registry,
+             const ServerOptions& options);
+
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Dispatches one parsed request; returns the full response bytes and
+  /// sets *keep_open.
+  std::string Handle(const HttpRequest& req, int64_t received_nanos,
+                     bool* keep_open);
+  std::string HandleBatch(const HttpRequest& req, int64_t received_nanos,
+                          bool* keep_open);
+  std::string HandleSnapshot(const HttpRequest& req);
+  std::string HandleMetrics(const HttpRequest& req);
+
+  /// Registers/unregisters a connection fd for the drain bookkeeping.
+  bool TrackConnection(int fd) RELVIEW_EXCLUDES(conn_mu_);
+  void UntrackConnection(int fd) RELVIEW_EXCLUDES(conn_mu_);
+
+  TenantSet* const tenants_;
+  TelemetryRegistry* const registry_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable Mutex conn_mu_;
+  CondVar conn_cv_;
+  std::set<int> open_fds_ RELVIEW_GUARDED_BY(conn_mu_);
+
+  std::unique_ptr<WriteGate> gate_;
+  NetMetrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+};
+
+}  // namespace net
+}  // namespace relview
+
+#endif  // RELVIEW_NET_SERVER_H_

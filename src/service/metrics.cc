@@ -27,6 +27,9 @@ void ServiceMetrics::RecordAccepted(UpdateKind kind) {
 }
 
 void ServiceMetrics::RecordRejected(UpdateKind kind, StatusCode code) {
+  // Two families move together; the scope keeps an exported snapshot from
+  // seeing the kind bump without the code bump (or vice versa).
+  WriteScope scope(*this);
   rejected_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
   rejected_by_code_[static_cast<int>(code)].fetch_add(
       1, std::memory_order_relaxed);
@@ -39,6 +42,9 @@ uint64_t ServiceMetrics::total_accepted() const {
 }
 
 void ServiceMetrics::SetEngineGauges(const EngineStats& stats) {
+  // The gauges are one logical snapshot; publish them atomically as seen
+  // through ReadConsistent.
+  WriteScope scope(*this);
   int i = 0;
 #define RELVIEW_ENGINE_STORE_FIELD(name) \
   engine_gauges_[i++].store(stats.name, std::memory_order_relaxed);
@@ -68,6 +74,10 @@ uint64_t ServiceMetrics::total_rejected() const {
 }
 
 std::string ServiceMetrics::ToJson() const {
+  return ReadConsistent([this] { return ToJsonRelaxed(); });
+}
+
+std::string ServiceMetrics::ToJsonRelaxed() const {
   std::string out = "{";
   auto add = [&out](const std::string& key, uint64_t v) {
     if (out.size() > 1) out += ",";

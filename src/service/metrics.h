@@ -7,10 +7,17 @@
 ///
 /// Concurrency contract: there is deliberately no mutex here and hence no
 /// RELVIEW_GUARDED_BY annotations (util/annotations.h) — the atomics ARE
-/// the synchronization. Cross-counter reads (ToJson, engine gauges) are
-/// relaxed-consistent: a scrape racing the writer may see one counter
-/// from before an update and another from after, which monitoring
-/// tolerates by design.
+/// the synchronization. Multi-counter recordings (a rejection bumps both
+/// the per-kind and the per-code family; engine gauges publish a dozen
+/// fields) are additionally bracketed by a seqlock (WriteScope), so a
+/// scrape that reads through ReadConsistent() sees every family from the
+/// same side of each recording: sum-over-kinds always equals
+/// sum-over-codes in an exported snapshot. The seqlock assumes a single
+/// writer at a time — recording methods that take a WriteScope are only
+/// called with the service's writer_mu_ held (or before the service is
+/// shared). Readers never block the writer; a reader that keeps losing
+/// races falls back to one relaxed-consistent pass after a bounded number
+/// of retries, so a scrape can degrade but never livelock.
 
 #ifndef RELVIEW_SERVICE_METRICS_H_
 #define RELVIEW_SERVICE_METRICS_H_
@@ -110,10 +117,61 @@ class ServiceMetrics {
   EngineStats engine_gauges() const;
 
   /// The whole module as a single-line JSON object (zero-valued rejection
-  /// codes omitted for brevity).
+  /// codes omitted for brevity). Seqlock-consistent: the exported counter
+  /// families all come from the same side of any concurrent recording.
   std::string ToJson() const;
 
+  /// Runs `fn` (a pure read of this object's counters returning a value)
+  /// under the seqlock read protocol: retried until no WriteScope ran
+  /// concurrently, so the values `fn` read are mutually consistent. After
+  /// `kSeqlockMaxRetries` lost races it degrades to one relaxed-consistent
+  /// run rather than livelock behind a hot writer. `fn` may run while a
+  /// write is mid-flight (the torn result is discarded), so it must be
+  /// side-effect free.
+  template <typename Fn>
+  auto ReadConsistent(Fn&& fn) const -> decltype(fn()) {
+    for (int i = 0; i < kSeqlockMaxRetries; ++i) {
+      // Boehm's seqlock-reader recipe: acquire-load the sequence, do the
+      // (relaxed) payload reads, then an acquire fence orders those reads
+      // before the re-check of the sequence word.
+      const uint64_t s1 = seq_.load(std::memory_order_acquire);
+      if (s1 & 1) continue;  // writer mid-scope
+      auto result = fn();
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) return result;
+    }
+    return fn();
+  }
+
+  /// RAII seqlock write scope bracketing one multi-counter recording.
+  /// Single-writer only (see the class comment): scopes must never nest or
+  /// run concurrently.
+  class WriteScope {
+   public:
+    explicit WriteScope(const ServiceMetrics& m) : m_(m) {
+      // Odd sequence = write in progress. The release fence orders the
+      // sequence bump before the payload stores that follow.
+      m_.seq_.store(m_.seq_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+    }
+    ~WriteScope() {
+      // Back to even; release-published so a reader that sees the new
+      // sequence also sees every payload store of the scope.
+      m_.seq_.store(m_.seq_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+    }
+    WriteScope(const WriteScope&) = delete;
+    WriteScope& operator=(const WriteScope&) = delete;
+
+   private:
+    const ServiceMetrics& m_;
+  };
+
  private:
+  /// Seqlock read retries before degrading to a relaxed read.
+  static constexpr int kSeqlockMaxRetries = 64;
+
   std::array<std::atomic<uint64_t>, kKinds> accepted_{};
   std::array<std::atomic<uint64_t>, kKinds> rejected_{};
   std::array<std::atomic<uint64_t>, kStatusCodes> rejected_by_code_{};
@@ -138,6 +196,12 @@ class ServiceMetrics {
       0 RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_COUNT_FIELD);
 #undef RELVIEW_ENGINE_COUNT_FIELD
   std::array<std::atomic<uint64_t>, kEngineGauges> engine_gauges_{};
+  /// Seqlock word: odd while a WriteScope is open. Mutable so the const
+  /// recording path (scrapes run on const refs) can take read retries.
+  mutable std::atomic<uint64_t> seq_{0};
+
+  /// ToJson body; relaxed reads, wrapped by ReadConsistent in ToJson().
+  std::string ToJsonRelaxed() const;
 };
 
 }  // namespace relview

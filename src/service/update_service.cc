@@ -235,6 +235,15 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   RELVIEW_TRACE_SPAN_N(span, "svc.apply_batch");
   span.AddArg("updates", updates.size());
 
+  // Queue-depth gauge: counted before the mutex so parked writers show up.
+  struct PendingGuard {
+    std::atomic<int>& n;
+    explicit PendingGuard(std::atomic<int>& counter) : n(counter) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~PendingGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+  } pending(pending_writers_);
+
   MutexLock writer(writer_mu_);
 
   // The translator applies updates in place (keeping the engine's caches
@@ -307,7 +316,33 @@ Status UpdateService::Apply(const ViewUpdate& update) {
   return r.status;
 }
 
-void UpdateService::RegisterTelemetry(TelemetryRegistry* registry) const {
+namespace {
+
+/// Merges a `service="<section>"` label into every sample so several
+/// tenants' otherwise-identical family names stay distinguishable in one
+/// Prometheus exposition. Summary _count/_sum suffix markers pass
+/// through untouched.
+std::vector<MetricFamily> TagFamilies(std::vector<MetricFamily> families,
+                                      const std::string& section) {
+  const std::string tag = Label("service", section);  // {service="..."}
+  for (MetricFamily& f : families) {
+    for (MetricSample& s : f.samples) {
+      if (!s.labels.empty() && s.labels[0] == '_') continue;
+      if (s.labels.empty()) {
+        s.labels = tag;
+      } else {
+        // {kind="insert"} -> {service="...",kind="insert"}
+        s.labels = tag.substr(0, tag.size() - 1) + "," + s.labels.substr(1);
+      }
+    }
+  }
+  return families;
+}
+
+}  // namespace
+
+void UpdateService::RegisterTelemetry(TelemetryRegistry* registry,
+                                      const std::string& section) const {
   // Snapshot the construction-time plumbing once, under the writer mutex,
   // so the scrape lambdas below never touch writer-guarded members: the
   // store pointer and the fsync histograms are fixed at Create time, and
@@ -321,108 +356,130 @@ void UpdateService::RegisterTelemetry(TelemetryRegistry* registry) const {
     if (journal_.has_value()) journal_fsync = journal_->fsync_latency();
     if (store != nullptr) store_fsync = store->fsync_latency();
   }
-  registry->Register("service", [this, store, journal_fsync, store_fsync] {
-    std::vector<MetricFamily> out;
-    MetricFamily accepted = CounterFamily(
-        "relview_updates_accepted_total", "Accepted view updates by kind", 0);
-    accepted.samples.clear();
-    MetricFamily rejected = CounterFamily(
-        "relview_updates_rejected_total", "Rejected view updates by kind", 0);
-    rejected.samples.clear();
-    for (int k = 0; k < ServiceMetrics::kKinds; ++k) {
-      const UpdateKind kind = static_cast<UpdateKind>(k);
-      const std::string label = Label("kind", UpdateKindName(kind));
-      accepted.samples.push_back(
-          {label, static_cast<double>(metrics_.accepted(kind))});
-      rejected.samples.push_back(
-          {label, static_cast<double>(metrics_.rejected(kind))});
-    }
-    out.push_back(std::move(accepted));
-    out.push_back(std::move(rejected));
-    MetricFamily by_code = CounterFamily("relview_rejections_total",
-                                         "Rejections by status code", 0);
-    by_code.samples.clear();
-    for (int c = 1; c < ServiceMetrics::kStatusCodes; ++c) {
-      const StatusCode code = static_cast<StatusCode>(c);
-      by_code.samples.push_back(
-          {Label("code", StatusCodeName(code)),
-           static_cast<double>(metrics_.rejected_by_code(code))});
-    }
-    out.push_back(std::move(by_code));
-    out.push_back(CounterFamily(
-        "relview_batches_committed_total", "Committed batches",
-        static_cast<double>(metrics_.batches_committed())));
-    out.push_back(CounterFamily(
-        "relview_batches_rolled_back_total", "Rolled-back batches",
-        static_cast<double>(metrics_.batches_rolled_back())));
-    out.push_back(CounterFamily("relview_snapshots_total", "Snapshot reads",
-                                static_cast<double>(metrics_.snapshots())));
-    out.push_back(CounterFamily(
-        "relview_replayed_updates_total", "Journal records replayed",
-        static_cast<double>(metrics_.replayed())));
-    out.push_back(CounterFamily(
-        "relview_decisions_total", "Decision traces recorded",
-        static_cast<double>(decisions_.total())));
-    out.push_back(GaugeFamily("relview_published_version",
-                              "Version of the published snapshot",
-                              static_cast<double>(version())));
-    out.push_back(SummaryFamily("relview_check_latency_seconds",
-                                "Translatability-check latency",
-                                metrics_.check_latency()));
-    out.push_back(SummaryFamily("relview_apply_latency_seconds",
-                                "Translation-apply latency",
-                                metrics_.apply_latency()));
-    const EngineStats eng = metrics_.engine_gauges();
+  registry->Register(section,
+                     [this, section, store, journal_fsync, store_fsync] {
+    // The whole counter walk runs under the metrics seqlock so the
+    // families in one scrape are mutually consistent (kind/code rejection
+    // totals agree; engine gauges are one snapshot). The fsync histograms
+    // and store counters are independent relaxed atomics — approximate by
+    // design — but reading them inside costs nothing.
+    auto families = metrics_.ReadConsistent([&] {
+      return CollectFamilies(store, journal_fsync.get(), store_fsync.get());
+    });
+    // The default section keeps its historic un-labelled exposition.
+    return section == "service" ? families
+                                : TagFamilies(std::move(families), section);
+  });
+  registry->RegisterJson(section, [this] { return metrics_.ToJson(); });
+  registry->RegisterJson(
+      section == "service" ? "decisions" : section + "_decisions", [this] {
+        std::string out = "{\"total\":" + std::to_string(decisions_.total());
+        if (std::optional<DecisionTrace> last = decisions_.Last()) {
+          out += ",\"last\":" + last->ToJson(&universe_);
+        }
+        out += "}";
+        return out;
+      });
+}
+
+std::vector<MetricFamily> UpdateService::CollectFamilies(
+  const DurableStore* store, const LatencyHistogram* journal_fsync,
+  const LatencyHistogram* store_fsync) const {
+  std::vector<MetricFamily> out;
+  MetricFamily accepted = CounterFamily(
+      "relview_updates_accepted_total", "Accepted view updates by kind", 0);
+  accepted.samples.clear();
+  MetricFamily rejected = CounterFamily(
+      "relview_updates_rejected_total", "Rejected view updates by kind", 0);
+  rejected.samples.clear();
+  for (int k = 0; k < ServiceMetrics::kKinds; ++k) {
+    const UpdateKind kind = static_cast<UpdateKind>(k);
+    const std::string label = Label("kind", UpdateKindName(kind));
+    accepted.samples.push_back(
+        {label, static_cast<double>(metrics_.accepted(kind))});
+    rejected.samples.push_back(
+        {label, static_cast<double>(metrics_.rejected(kind))});
+  }
+  out.push_back(std::move(accepted));
+  out.push_back(std::move(rejected));
+  MetricFamily by_code = CounterFamily("relview_rejections_total",
+                                       "Rejections by status code", 0);
+  by_code.samples.clear();
+  for (int c = 1; c < ServiceMetrics::kStatusCodes; ++c) {
+    const StatusCode code = static_cast<StatusCode>(c);
+    by_code.samples.push_back(
+        {Label("code", StatusCodeName(code)),
+         static_cast<double>(metrics_.rejected_by_code(code))});
+  }
+  out.push_back(std::move(by_code));
+  out.push_back(CounterFamily(
+      "relview_batches_committed_total", "Committed batches",
+      static_cast<double>(metrics_.batches_committed())));
+  out.push_back(CounterFamily(
+      "relview_batches_rolled_back_total", "Rolled-back batches",
+      static_cast<double>(metrics_.batches_rolled_back())));
+  out.push_back(CounterFamily("relview_snapshots_total", "Snapshot reads",
+                              static_cast<double>(metrics_.snapshots())));
+  out.push_back(CounterFamily(
+      "relview_replayed_updates_total", "Journal records replayed",
+      static_cast<double>(metrics_.replayed())));
+  out.push_back(CounterFamily(
+      "relview_decisions_total", "Decision traces recorded",
+      static_cast<double>(decisions_.total())));
+  out.push_back(GaugeFamily("relview_published_version",
+                            "Version of the published snapshot",
+                            static_cast<double>(version())));
+  out.push_back(SummaryFamily("relview_check_latency_seconds",
+                              "Translatability-check latency",
+                              metrics_.check_latency()));
+  out.push_back(SummaryFamily("relview_apply_latency_seconds",
+                              "Translation-apply latency",
+                              metrics_.apply_latency()));
+  const EngineStats eng = metrics_.engine_gauges();
 #define RELVIEW_ENGINE_GAUGE_FAMILY(name)                            \
   out.push_back(GaugeFamily("relview_engine_" #name,                 \
-                            "Incremental-engine counter " #name,     \
-                            static_cast<double>(eng.name)));
-    RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_GAUGE_FAMILY)
+                          "Incremental-engine counter " #name,     \
+                          static_cast<double>(eng.name)));
+  RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_GAUGE_FAMILY)
 #undef RELVIEW_ENGINE_GAUGE_FAMILY
-    if (journal_fsync != nullptr) {
-      out.push_back(SummaryFamily("relview_journal_fsync_seconds",
-                                  "Journal fsync latency", *journal_fsync));
-    }
-    if (store != nullptr) {
-      out.push_back(SummaryFamily("relview_journal_fsync_seconds",
-                                  "Journal fsync latency (all segments)",
-                                  *store_fsync));
-      out.push_back(GaugeFamily("relview_journal_segments",
-                                "Live journal segment files",
-                                static_cast<double>(store->segment_count())));
-      out.push_back(GaugeFamily(
-          "relview_durable_seq",
-          "Accepted records made durable since the seed instance",
-          static_cast<double>(store->seq())));
-      out.push_back(GaugeFamily(
-          "relview_checkpoint_last_seq",
-          "Sequence number of the newest durable checkpoint",
-          static_cast<double>(store->last_checkpoint_seq())));
-      out.push_back(GaugeFamily(
-          "relview_compaction_lag_records",
-          "Records accepted since the last durable checkpoint (replay "
-          "debt on crash)",
-          static_cast<double>(store->compaction_lag())));
-      out.push_back(CounterFamily(
-          "relview_checkpoints_written_total",
-          "Checkpoints written by this incarnation",
-          static_cast<double>(store->checkpoints_written())));
-      out.push_back(CounterFamily(
-          "relview_segments_compacted_total",
-          "Journal segments deleted by compaction",
-          static_cast<double>(store->segments_compacted())));
-    }
-    return out;
-  });
-  registry->RegisterJson("service", [this] { return metrics_.ToJson(); });
-  registry->RegisterJson("decisions", [this] {
-    std::string out = "{\"total\":" + std::to_string(decisions_.total());
-    if (std::optional<DecisionTrace> last = decisions_.Last()) {
-      out += ",\"last\":" + last->ToJson(&universe_);
-    }
-    out += "}";
-    return out;
-  });
+  if (journal_fsync != nullptr) {
+    out.push_back(SummaryFamily("relview_journal_fsync_seconds",
+                                "Journal fsync latency", *journal_fsync));
+  }
+  if (store != nullptr) {
+    out.push_back(SummaryFamily("relview_journal_fsync_seconds",
+                                "Journal fsync latency (all segments)",
+                                *store_fsync));
+    out.push_back(GaugeFamily("relview_journal_segments",
+                              "Live journal segment files",
+                              static_cast<double>(store->segment_count())));
+    out.push_back(GaugeFamily(
+        "relview_durable_seq",
+        "Accepted records made durable since the seed instance",
+        static_cast<double>(store->seq())));
+    out.push_back(GaugeFamily(
+        "relview_checkpoint_last_seq",
+        "Sequence number of the newest durable checkpoint",
+        static_cast<double>(store->last_checkpoint_seq())));
+    out.push_back(GaugeFamily(
+        "relview_compaction_lag_records",
+        "Records accepted since the last durable checkpoint (replay "
+        "debt on crash)",
+        static_cast<double>(store->compaction_lag())));
+    out.push_back(CounterFamily(
+        "relview_checkpoints_written_total",
+        "Checkpoints written by this incarnation",
+        static_cast<double>(store->checkpoints_written())));
+    out.push_back(CounterFamily(
+        "relview_segments_compacted_total",
+        "Journal segments deleted by compaction",
+        static_cast<double>(store->segments_compacted())));
+  }
+  out.push_back(GaugeFamily(
+      "relview_pending_writers",
+      "Writers inside ApplyBatch (running or queued on the writer mutex)",
+      static_cast<double>(pending_writers())));
+  return out;
 }
 
 void UpdateService::Publish(uint64_t version) {

@@ -124,15 +124,30 @@ class UpdateService {
   /// Accept/reject counters and latency histograms for this service.
   const ServiceMetrics& metrics() const { return metrics_; }
 
+  /// Writers currently inside ApplyBatch — running or queued on the
+  /// writer mutex (journal fsync time included). The network front-end's
+  /// admission gate bounds this from the socket side; the gauge exposes
+  /// the same queue depth as the service itself sees it.
+  int pending_writers() const {
+    return pending_writers_.load(std::memory_order_relaxed);
+  }
+
   /// Per-update decision provenance: one DecisionTrace per staged update
   /// (accepted or rejected), most recent kept up to the log's capacity.
   const DecisionLog& decisions() const { return decisions_; }
 
   /// Registers this service's collectors with `registry` under the
-  /// sections "service" (counters, latency summaries, engine gauges,
-  /// journal fsync latency) and "decisions". The service must outlive the
-  /// registry or be unregistered first.
-  void RegisterTelemetry(TelemetryRegistry* registry) const
+  /// sections `section` (counters, latency summaries, engine gauges,
+  /// journal fsync latency) and `section + "_decisions"` — with the
+  /// default "service", the decisions section keeps its legacy name
+  /// "decisions". Distinct section names let several services (the
+  /// front-end's tenants) share one registry. The service must outlive
+  /// the registry or be unregistered first. Counter families are exported
+  /// seqlock-consistently (see ServiceMetrics::ReadConsistent): a scrape
+  /// racing a writer never sees a rejection's kind counter without its
+  /// code counter, or a half-published engine-gauge snapshot.
+  void RegisterTelemetry(TelemetryRegistry* registry,
+                         const std::string& section = "service") const
       RELVIEW_EXCLUDES(writer_mu_);
 
   /// Number of journal records replayed during Create (0 without journal).
@@ -151,6 +166,12 @@ class UpdateService {
 
   /// Checkpoint body; caller holds writer_mu_.
   Result<uint64_t> CheckpointLocked() RELVIEW_REQUIRES(writer_mu_);
+
+  /// Builds the Prometheus families for RegisterTelemetry's collector.
+  /// Runs inside the metrics seqlock read protocol; pure reads only.
+  std::vector<MetricFamily> CollectFamilies(
+      const DurableStore* store, const LatencyHistogram* journal_fsync,
+      const LatencyHistogram* store_fsync) const;
 
   /// Checks `u` and, when translatable, applies it to the translator in
   /// place (maintaining the engine's caches). Records metrics and pushes a
@@ -195,6 +216,9 @@ class UpdateService {
 
   mutable ServiceMetrics metrics_;
   DecisionLog decisions_;
+  /// Writers inside ApplyBatch (running or parked on writer_mu_); see
+  /// pending_writers().
+  std::atomic<int> pending_writers_{0};
 };
 
 }  // namespace relview

@@ -44,6 +44,7 @@
 #ifndef RELVIEW_UTIL_ANNOTATIONS_H_
 #define RELVIEW_UTIL_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -182,6 +183,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // mu stays locked; the guard must not unlock it
+  }
+
+  /// Timed wait: releases `mu`, sleeps at most `timeout`, reacquires `mu`.
+  /// Returns false when the timeout elapsed (spurious wakeups return true;
+  /// always re-check the predicate in a loop either way).
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      RELVIEW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool woke = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();  // mu stays locked; the guard must not unlock it
+    return woke;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,267 @@
+// HTTP and JSON parsing edge cases for the network front-end: torn
+// reads (arbitrary chunking must parse identically to one Feed),
+// pipelining, the typed over-limit errors (413/431/411/501), and the
+// JSON parser's rejection paths. The loopback server behaviors (429,
+// deadlines, drain) live in net_server_test.cc.
+
+#include <algorithm>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "net/http.h"
+#include "net/json.h"
+
+namespace relview {
+namespace net {
+namespace {
+
+constexpr char kSimplePost[] =
+    "POST /v1/batch HTTP/1.1\r\n"
+    "Host: x\r\n"
+    "Content-Length: 2\r\n"
+    "\r\n"
+    "{}";
+
+TEST(RequestParser, ParsesPostWithBody) {
+  RequestParser p;
+  p.Feed(kSimplePost, sizeof(kSimplePost) - 1);
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().path, "/v1/batch");
+  EXPECT_EQ(p.request().body, "{}");
+  EXPECT_EQ(p.request().Header("content-length"), "2");
+  EXPECT_TRUE(p.request().keep_alive());
+}
+
+TEST(RequestParser, ByteAtATimeMatchesOneShot) {
+  // A torn read at *every* byte boundary must land in the same state.
+  const std::string req(kSimplePost);
+  RequestParser torn;
+  for (char c : req) {
+    torn.Feed(&c, 1);
+  }
+  ASSERT_TRUE(torn.complete());
+  RequestParser oneshot;
+  oneshot.Feed(req.data(), req.size());
+  ASSERT_TRUE(oneshot.complete());
+  EXPECT_EQ(torn.request().body, oneshot.request().body);
+  EXPECT_EQ(torn.request().target, oneshot.request().target);
+  EXPECT_EQ(torn.request().headers.size(), oneshot.request().headers.size());
+}
+
+TEST(RequestParser, MidRequestReportsTorn) {
+  RequestParser p;
+  EXPECT_FALSE(p.mid_request());  // idle, nothing fed
+  p.Feed("POST /v1/batch HT", 17);
+  EXPECT_TRUE(p.mid_request());  // bytes consumed, request incomplete
+  EXPECT_FALSE(p.complete());
+  EXPECT_FALSE(p.error());
+}
+
+TEST(RequestParser, PipelinedRequestsComeOutInOrder) {
+  const std::string two =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  RequestParser p;
+  p.Feed(two.data(), two.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().path, "/healthz");
+  p.Next();
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().path, "/metrics");
+  p.Next();
+  EXPECT_FALSE(p.complete());
+  EXPECT_FALSE(p.mid_request());
+}
+
+TEST(RequestParser, PipelineSplitMidSecondRequest) {
+  RequestParser p;
+  const std::string chunk1 =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGET /metr";
+  p.Feed(chunk1.data(), chunk1.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().path, "/healthz");
+  p.Next();
+  EXPECT_FALSE(p.complete());
+  EXPECT_TRUE(p.mid_request());
+  const std::string chunk2 = "ics HTTP/1.1\r\nHost: x\r\n\r\n";
+  p.Feed(chunk2.data(), chunk2.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().path, "/metrics");
+}
+
+TEST(RequestParser, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  RequestParser p(limits);
+  const std::string req =
+      "POST /v1/batch HTTP/1.1\r\nContent-Length: 17\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.error());
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(RequestParser, OversizedHeadersAre431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser p(limits);
+  const std::string req = "GET / HTTP/1.1\r\nX-Pad: " +
+                          std::string(128, 'a') + "\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.error());
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(RequestParser, HeaderLimitFiresWithoutBlankLine) {
+  // A peer that never sends the terminating blank line must still trip
+  // the cap instead of buffering forever.
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser p(limits);
+  const std::string drip = "GET / HTTP/1.1\r\nX-Pad: aaaaaaaa\r\n";
+  p.Feed(drip.data(), drip.size());
+  p.Feed(drip.data() + 16, drip.size() - 16);  // more header lines
+  p.Feed(drip.data() + 16, drip.size() - 16);
+  ASSERT_TRUE(p.error());
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(RequestParser, PostWithoutContentLengthIs411) {
+  RequestParser p;
+  const std::string req = "POST /v1/batch HTTP/1.1\r\nHost: x\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.error());
+  EXPECT_EQ(p.error_status(), 411);
+}
+
+TEST(RequestParser, ChunkedEncodingIs501) {
+  RequestParser p;
+  const std::string req =
+      "POST /v1/batch HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.error());
+  EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(RequestParser, MalformedRequestLineIs400) {
+  RequestParser p;
+  const std::string req = "NONSENSE\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.error());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(RequestParser, NegativeContentLengthIs400) {
+  RequestParser p;
+  const std::string req =
+      "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.error());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(RequestParser, QueryStringSplitsAndLooksUp) {
+  RequestParser p;
+  const std::string req =
+      "GET /v1/snapshot?tenant=t0&include=database HTTP/1.1\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().path, "/v1/snapshot");
+  EXPECT_EQ(p.request().QueryParam("tenant"), "t0");
+  EXPECT_EQ(p.request().QueryParam("include"), "database");
+  EXPECT_EQ(p.request().QueryParam("absent"), "");
+}
+
+TEST(RequestParser, ConnectionCloseDisablesKeepAlive) {
+  RequestParser p;
+  const std::string req =
+      "GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+  p.Feed(req.data(), req.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_FALSE(p.request().keep_alive());
+}
+
+TEST(ResponseParser, RoundTripsBuildResponse) {
+  const std::string wire =
+      BuildResponse(429, "application/json", "{\"error\":\"shed\"}", true,
+                    {"Retry-After: 3"});
+  ResponseParser p;
+  // Torn feed again: two-byte chunks.
+  for (size_t i = 0; i < wire.size(); i += 2) {
+    p.Feed(wire.data() + i, std::min<size_t>(2, wire.size() - i));
+  }
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.status(), 429);
+  EXPECT_EQ(p.body(), "{\"error\":\"shed\"}");
+  EXPECT_EQ(p.Header("retry-after"), "3");
+}
+
+TEST(ResponseParser, PipelinedResponses) {
+  const std::string wire = BuildResponse(200, "text/plain", "ok\n", true) +
+                           BuildResponse(404, "text/plain", "no\n", true);
+  ResponseParser p;
+  p.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.status(), 200);
+  p.Next();
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.status(), 404);
+}
+
+TEST(BuildRequest, CarriesBodyAndHost) {
+  const std::string wire =
+      BuildRequest("POST", "/v1/batch", "127.0.0.1", "{\"x\":1}");
+  RequestParser p;
+  p.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().body, "{\"x\":1}");
+  EXPECT_EQ(p.request().Header("host"), "127.0.0.1");
+}
+
+// --- JSON parser rejection paths (the server answers these with 400) ---
+
+TEST(Json, ParsesBatchShape) {
+  auto v = ParseJson(
+      R"({"tenant":"t0","updates":[{"op":"insert","row":[1,1000000]}]})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* updates = v->Get("updates");
+  ASSERT_NE(updates, nullptr);
+  ASSERT_TRUE(updates->is_array());
+  EXPECT_EQ(updates->array()[0].Get("op")->string_value(), "insert");
+  EXPECT_EQ(updates->array()[0].Get("row")->array()[1].int_value(), 1000000);
+}
+
+TEST(Json, RejectsTruncatedDocument) {
+  EXPECT_FALSE(ParseJson(R"({"tenant":"t0")").ok());
+  EXPECT_FALSE(ParseJson("[1,2,").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseJson("{} {}").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+TEST(Json, RejectsNonIntegerNumbers) {
+  // Value ids are integers; a double would truncate silently.
+  EXPECT_FALSE(ParseJson("1.5").ok());
+  EXPECT_FALSE(ParseJson("1e3").ok());
+}
+
+TEST(Json, DepthLimitStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  auto v = ParseJson("\"" + JsonEscape(nasty) + "\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->string_value(), nasty);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace relview

@@ -1,0 +1,139 @@
+// The load harness is only as reproducible as its traffic stream:
+// bench/loadgen_traffic.h promises the stream is a pure function of
+// TrafficOptions. These tests pin that down (same seed = byte-identical
+// bodies, different seed = different bodies), plus the structural
+// properties the benchmark's offered/accepted split depends on: tenants
+// rotate, the conflict op is always untranslatable-by-construction, and
+// the Zipf sampler actually skews.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "loadgen_traffic.h"
+#include "net/workload.h"
+#include "util/rng.h"
+
+namespace relview {
+namespace bench {
+namespace {
+
+std::vector<std::string> Bodies(const TrafficOptions& options, int n) {
+  TrafficGen gen(options);
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(gen.Next().body);
+  return out;
+}
+
+TEST(TrafficGen, SameSeedIsByteIdentical) {
+  TrafficOptions options;
+  options.seed = 1234;
+  const auto a = Bodies(options, 256);
+  const auto b = Bodies(options, 256);
+  ASSERT_EQ(a, b);
+}
+
+TEST(TrafficGen, DifferentSeedDiffers) {
+  TrafficOptions a_opts;
+  a_opts.seed = 1;
+  TrafficOptions b_opts;
+  b_opts.seed = 2;
+  const auto a = Bodies(a_opts, 64);
+  const auto b = Bodies(b_opts, 64);
+  EXPECT_NE(a, b);
+}
+
+TEST(TrafficGen, TenantsRotateRoundRobin) {
+  TrafficOptions options;
+  options.tenants = 3;
+  TrafficGen gen(options);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(gen.Next().tenant, "t" + std::to_string(i % 3));
+  }
+  EXPECT_EQ(gen.generated(), 9u);
+}
+
+TEST(TrafficGen, FreshInsertsTargetTheSampledDepartment) {
+  // Insert-only stream: every row must pair a brand-new employee id with
+  // the department DeptOfEmp assigns it, so the server always accepts.
+  TrafficOptions options;
+  options.weight_insert = 1;
+  options.weight_delete = 0;
+  options.weight_replace = 0;
+  options.weight_conflict = 0;
+  options.tenants = 1;
+  TrafficGen gen(options);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const GeneratedBatch batch = gen.Next();
+    size_t pos = 0;
+    while ((pos = batch.body.find("\"row\":[", pos)) != std::string::npos) {
+      pos += 7;
+      const uint32_t emp =
+          static_cast<uint32_t>(std::stoul(batch.body.substr(pos)));
+      const size_t comma = batch.body.find(',', pos);
+      const uint32_t dept = static_cast<uint32_t>(
+          std::stoul(batch.body.substr(comma + 1)));
+      EXPECT_GT(emp, options.emps);               // fresh, never seeded
+      EXPECT_TRUE(seen.insert(emp).second) << emp;  // never reused
+      EXPECT_EQ(dept, net::DeptOfEmp(emp, options.depts));
+    }
+  }
+}
+
+TEST(TrafficGen, ConflictOpsContradictTheSeededFd) {
+  // Conflict-only stream: every row must claim a *seeded* employee for a
+  // department other than its own — untranslatable under Emp -> Dept no
+  // matter what the server state is.
+  TrafficOptions options;
+  options.weight_insert = 0;
+  options.weight_delete = 0;
+  options.weight_replace = 0;
+  options.weight_conflict = 1;
+  options.tenants = 1;
+  TrafficGen gen(options);
+  for (int i = 0; i < 50; ++i) {
+    const GeneratedBatch batch = gen.Next();
+    size_t pos = 0;
+    while ((pos = batch.body.find("\"row\":[", pos)) != std::string::npos) {
+      pos += 7;
+      const uint32_t emp =
+          static_cast<uint32_t>(std::stoul(batch.body.substr(pos)));
+      const size_t comma = batch.body.find(',', pos);
+      const uint32_t dept = static_cast<uint32_t>(
+          std::stoul(batch.body.substr(comma + 1)));
+      EXPECT_LE(emp, options.emps);  // seeded employee
+      EXPECT_NE(dept, net::DeptOfEmp(emp, options.depts));
+    }
+  }
+}
+
+TEST(ZipfSampler, ThetaZeroIsRoughlyUniform) {
+  ZipfSampler sampler(8, 0.0);
+  Rng rng(7);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80'000; ++i) ++counts[static_cast<size_t>(
+      sampler.Sample(rng))];
+  for (int c : counts) {
+    EXPECT_GT(c, 8'000);  // expectation 10'000 each
+    EXPECT_LT(c, 12'000);
+  }
+}
+
+TEST(ZipfSampler, HighThetaConcentratesOnTheHead) {
+  ZipfSampler sampler(8, 2.0);
+  Rng rng(7);
+  int head = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(rng) == 0) ++head;
+  }
+  // P(0) = 1 / sum(1/k^2) ~ 0.65 for n=8; uniform would be 0.125.
+  EXPECT_GT(head, n / 2);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relview

@@ -30,8 +30,11 @@ Complements the compiler-side analyses (clang -Wthread-safety, clang-tidy,
                          (asserts vanish under NDEBUG; the library's
                          invariants must hold in all build types)
   layering               a src/ subdirectory includes a header from a
-                         directory above it in the dependency order (the
-                         DAG below)
+                         directory its library does not directly link: the
+                         include DAG is derived from each
+                         src/<dir>/CMakeLists.txt target_link_libraries
+                         (direct deps only), so the build graph IS the
+                         layering spec — and it must be acyclic
 
 Findings print as `path:line: [rule] message`, one per line. Exit status:
 0 = clean, 1 = findings, 2 = usage/setup error.
@@ -45,29 +48,70 @@ import os
 import re
 import sys
 
-# Directory-level include DAG for src/. Key = directory, value = the set of
-# directories its files may #include from (itself always allowed). This is
-# the *intended* architecture: util at the bottom; the relational algebra
-# vocabulary above it; dependency theory (deps) above that; the chase,
-# solvers, succinct models and observability as independent middle layers;
-# the paper's view-update machinery above those; and the multirelation +
-# service layers on top. Growing an edge here is an intentional,
-# reviewable act — add it in the same PR as the first include that needs
-# it.
-ALLOWED_INCLUDES = {
-    "util": set(),
-    "framework": {"util"},
-    "relational": {"util"},
-    "solvers": {"util"},
-    "deps": {"util", "relational"},
-    "succinct": {"util", "relational"},
-    "obs": {"util", "relational", "deps"},
-    "chase": {"util", "relational", "deps"},
-    "reductions": {"util", "relational", "deps", "solvers", "succinct"},
-    "view": {"util", "relational", "deps", "chase", "obs"},
-    "multirel": {"util", "relational", "deps", "chase", "view"},
-    "service": {"util", "relational", "obs", "view"},
-}
+# The directory-level include DAG for src/ is *derived*, not hardcoded:
+# src/<dir>/CMakeLists.txt's target_link_libraries(relview_<dir> ...) line
+# names the directories whose headers <dir> may #include (direct deps
+# only — include what you link). Growing an edge is still an intentional,
+# reviewable act; it just happens in the CMakeLists that needs it instead
+# of a parallel map here that could drift from the build. See
+# load_layering_map().
+CMAKE_LINK = re.compile(
+    r"target_link_libraries\s*\(\s*relview_(\w+)([^)]*)\)", re.S)
+CMAKE_LIB_DEP = re.compile(r"\brelview_(\w+)\b")
+
+
+def strip_cmake_comments(text):
+    return "\n".join(line.split("#", 1)[0] for line in text.splitlines())
+
+
+def load_layering_map(root):
+    """Builds {directory: set(directly linked directories)} from every
+    src/<dir>/CMakeLists.txt. A directory without a CMakeLists.txt is
+    absent (its files get an 'unknown directory' layering finding)."""
+    allowed = {}
+    src = os.path.join(root, "src")
+    for entry in sorted(os.listdir(src)):
+        cml = os.path.join(src, entry, "CMakeLists.txt")
+        if not os.path.isfile(cml):
+            continue
+        with open(cml, encoding="utf-8") as f:
+            text = strip_cmake_comments(f.read())
+        deps = set()
+        for m in CMAKE_LINK.finditer(text):
+            if m.group(1) != entry:
+                continue  # only the directory's own library defines edges
+            deps.update(CMAKE_LIB_DEP.findall(m.group(2)))
+        deps.discard(entry)
+        allowed[entry] = deps
+    return allowed
+
+
+def check_layering_cycles(allowed, findings):
+    """The link graph must be a DAG; a cycle would make the layering
+    vacuous (and the static libraries unorderable)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {d: WHITE for d in allowed}
+
+    def visit(d, stack):
+        color[d] = GRAY
+        stack.append(d)
+        for dep in sorted(allowed.get(d, ())):
+            if dep not in color:
+                continue  # non-src library (Threads etc. never match)
+            if color[dep] == GRAY:
+                cycle = stack[stack.index(dep):] + [dep]
+                findings.append(Finding(
+                    f"src/{dep}/CMakeLists.txt", 1, "layering",
+                    "target_link_libraries cycle: "
+                    + " -> ".join(f"src/{c}/" for c in cycle)))
+            elif color[dep] == WHITE:
+                visit(dep, stack)
+        stack.pop()
+        color[d] = BLACK
+
+    for d in sorted(allowed):
+        if color[d] == WHITE:
+            visit(d, [])
 
 FAILPOINT_CALL = re.compile(r'RELVIEW_FAILPOINT\s*\(\s*"([^"]+)"\s*\)')
 FAILPOINT_ANY = re.compile(r"RELVIEW_FAILPOINT\s*\(\s*([^)]*)\)")
@@ -313,6 +357,8 @@ def check_asserts(root, files, findings):
 
 
 def check_layering(root, files, findings):
+    allowed_map = load_layering_map(root)
+    check_layering_cycles(allowed_map, findings)
     for path in files:
         rel = relpath(root, path)
         if not rel.startswith("src/"):
@@ -321,12 +367,13 @@ def check_layering(root, files, findings):
         if len(parts) < 3:
             continue  # src/CMakeLists.txt etc.
         here = parts[1]
-        allowed = ALLOWED_INCLUDES.get(here)
+        allowed = allowed_map.get(here)
         if allowed is None:
             findings.append(Finding(
                 rel, 1, "layering",
-                f"directory src/{here}/ is not in the layering map; add it "
-                "to ALLOWED_INCLUDES in tools/relview_lint.py"))
+                f"directory src/{here}/ has no CMakeLists.txt defining "
+                f"relview_{here}; the include-layering DAG is derived from "
+                "target_link_libraries (see tools/relview_lint.py)"))
             continue
         with open(path, encoding="utf-8") as f:
             raw = f.read().splitlines()
@@ -340,14 +387,14 @@ def check_layering(root, files, findings):
                 continue  # same-directory or generated include
             if target == here or target in allowed:
                 continue
-            if target not in ALLOWED_INCLUDES:
+            if target not in allowed_map:
                 continue  # not a src/ subdirectory include
             if not suppressed(raw[ln - 1], "layering"):
                 findings.append(Finding(
                     rel, ln, "layering",
                     f"src/{here}/ must not include \"{m.group(1)}\" — "
-                    f"{target}/ is not below {here}/ in the dependency "
-                    "order (see ALLOWED_INCLUDES)"))
+                    f"relview_{here} does not link relview_{target} in "
+                    f"src/{here}/CMakeLists.txt (include what you link)"))
 
 
 def main(argv=None):

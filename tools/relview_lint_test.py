@@ -22,6 +22,23 @@ class LintFixture(unittest.TestCase):
         self.addCleanup(shutil.rmtree, self.root)
         os.makedirs(os.path.join(self.root, "src"), exist_ok=True)
         self.write("docs/OPERATIONS.md", "Catalog: `known.site`\n")
+        # The layering DAG is derived from each src/<dir>/CMakeLists.txt,
+        # so every directory a fixture writes into needs one. Mirror a
+        # slice of the real tree's edges.
+        self.link("util")
+        self.link("relational", "util")
+        self.link("view", "relational", "util")
+        self.link("service", "view", "relational", "util")
+
+    def link(self, dirname, *deps):
+        """Writes the minimal CMakeLists.txt that gives src/<dirname>/ the
+        given direct link deps (= allowed include targets)."""
+        libs = " ".join(f"relview_{d}" for d in deps)
+        self.write(
+            f"src/{dirname}/CMakeLists.txt",
+            f"add_library(relview_{dirname} a.cc)\n"
+            + (f"target_link_libraries(relview_{dirname} PUBLIC {libs} "
+               "Threads::Threads)\n" if deps else ""))
 
     def write(self, rel, content):
         path = os.path.join(self.root, rel)
@@ -227,6 +244,29 @@ class LayeringRule(LintFixture):
         self.write("src/service/a.h", '#include "view/translator.h"\n')
         self.assert_clean()
 
+    def test_sibling_include_needs_a_link_edge(self):
+        # view does not link service in the fixture DAG...
+        self.write("src/view/a.h", '#include "service/update.h"\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "layering")
+
+    def test_cmake_edge_grants_the_include(self):
+        # ...but adding the target_link_libraries edge makes the same
+        # include clean: the build graph IS the layering spec.
+        self.link("net", "service", "view", "relational", "util")
+        self.write("src/net/a.h", '#include "service/update.h"\n')
+        self.assert_clean()
+
+    def test_multiline_link_command_parsed(self):
+        self.write("src/net/CMakeLists.txt",
+                   "add_library(relview_net a.cc)\n"
+                   "target_link_libraries(relview_net\n"
+                   "  PUBLIC relview_service  # front-door over the service\n"
+                   "         relview_util Threads::Threads)\n")
+        self.write("src/net/a.h", '#include "service/update.h"\n')
+        self.assert_clean()
+
     def test_same_directory_clean(self):
         self.write("src/view/a.h", '#include "view/b.h"\n')
         self.assert_clean()
@@ -238,9 +278,18 @@ class LayeringRule(LintFixture):
         self.assert_clean()
 
     def test_unknown_directory_flagged(self):
+        # No CMakeLists.txt -> the directory has no place in the DAG.
         self.write("src/newdir/a.h", "int x;\n")
         code, out = self.run_lint()
         self.assertEqual(code, 1)
+        self.assert_rules(out, "layering")
+
+    def test_link_cycle_flagged(self):
+        self.link("aaa", "bbb")
+        self.link("bbb", "aaa")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertIn("cycle", out)
         self.assert_rules(out, "layering")
 
 
