@@ -11,7 +11,8 @@ TrafficGen::TrafficGen(const TrafficOptions& options)
     : options_(options),
       rng_(options.seed),
       dept_sampler_(static_cast<int>(options.depts), options.zipf_theta),
-      next_fresh_(static_cast<size_t>(options.tenants)) {
+      next_fresh_(static_cast<size_t>(options.tenants)),
+      next_dept_(static_cast<size_t>(options.tenants), 0) {
   // Fresh employee ids start past the seeded range, per tenant. They keep
   // the round-robin department convention so DeptOfEmp stays the right
   // department for them too.
@@ -35,6 +36,29 @@ GeneratedBatch TrafficGen::Next() {
   const int total_weight = options_.weight_insert + options_.weight_delete +
                            options_.weight_replace + options_.weight_conflict;
   std::string updates;
+  if (options_.shard_local_inserts) {
+    // One department per batch, rotating: fresh FD-consistent inserts are
+    // translatable everywhere, and sharing the join key keeps the batch
+    // on one shard (see TrafficOptions::shard_local_inserts).
+    uint32_t& next = next_dept_[static_cast<size_t>(tenant)];
+    const uint32_t d = next % options_.depts;  // this batch's department
+    ++next;
+    const uint32_t dept = net::kDeptBase + d;
+    for (int i = 0; i < options_.batch_size; ++i) {
+      uint32_t e = next_fresh_[static_cast<size_t>(tenant)]++;
+      while (e % options_.depts != d) {
+        e = next_fresh_[static_cast<size_t>(tenant)]++;
+      }
+      if (!updates.empty()) updates += ",";
+      updates += "{\"op\":\"insert\",\"row\":[" + std::to_string(e) + "," +
+                 std::to_string(dept) + "]}";
+      ++out.updates;
+    }
+    out.body = "{\"tenant\":\"" + out.tenant + "\",\"updates\":[" + updates +
+               "]}";
+    ++generated_;
+    return out;
+  }
   for (int i = 0; i < options_.batch_size; ++i) {
     const int dept_index = dept_sampler_.Sample(rng_);
     const uint32_t dept =

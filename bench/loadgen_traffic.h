@@ -97,6 +97,15 @@ struct TrafficOptions {
   int weight_replace = 2;
   int weight_conflict = 1;
   uint64_t seed = 42;
+  /// Shard-local insert mode (ignores the weights): each batch inserts
+  /// `batch_size` brand-new employees into ONE department, departments
+  /// rotating round-robin across batches. Every insert is fresh and
+  /// FD-consistent, so every batch is translatable on sharded and
+  /// unsharded services alike (no acceptance-mix noise), and because a
+  /// batch shares one join key it lands on exactly one shard — the
+  /// layout the t[X∩Y] router exists to serve. This is the stream the
+  /// shard sweep drives to compare write throughput across shard counts.
+  bool shard_local_inserts = false;
 };
 
 /// One generated request.
@@ -131,6 +140,8 @@ class TrafficGen {
   int next_tenant_ = 0;
   /// Next fresh employee id per tenant (fresh inserts grow past emps).
   std::vector<uint32_t> next_fresh_;
+  /// Round-robin department cursor per tenant for shard_local_inserts.
+  std::vector<uint32_t> next_dept_;
   uint64_t generated_ = 0;
 };
 

@@ -14,6 +14,7 @@
 
 #include "net/json.h"
 #include "service/update.h"
+#include "shard/sharded_service.h"
 #include "relational/value.h"
 
 namespace relview {
@@ -130,25 +131,35 @@ Result<std::vector<ViewUpdate>> ParseWireUpdates(const JsonValue& doc,
   return updates;
 }
 
-/// Renders one relation as a JSON array of arrays. Constants render as
+/// Appends one relation's rows to an open JSON array. Constants render as
 /// their id; labeled nulls as the string "?<id>" (outbound only — the
 /// database projection can contain nulls introduced by insertions).
-std::string RowsJson(const Relation& rel) {
-  std::string out = "[";
-  bool first_row = true;
+void AppendRows(const Relation& rel, bool* first_row, std::string* out) {
   for (const Tuple& t : rel.rows()) {
-    if (!first_row) out += ",";
-    first_row = false;
-    out += "[";
+    if (!*first_row) *out += ",";
+    *first_row = false;
+    *out += "[";
     for (int i = 0; i < t.arity(); ++i) {
-      if (i > 0) out += ",";
+      if (i > 0) *out += ",";
       if (t[i].is_null()) {
-        out += "\"?" + std::to_string(t[i].index()) + "\"";
+        *out += "\"?" + std::to_string(t[i].index()) + "\"";
       } else {
-        out += std::to_string(t[i].index());
+        *out += std::to_string(t[i].index());
       }
     }
-    out += "]";
+    *out += "]";
+  }
+}
+
+/// Renders the composed rows of every shard's `view` (or `database` when
+/// `database` is true) as one JSON array — shards partition the relation,
+/// so concatenation IS the composed instance.
+std::string ShardRowsJson(const ShardedSnapshot& snap, bool database) {
+  std::string out = "[";
+  bool first_row = true;
+  for (const ViewSnapshot& s : snap.shards) {
+    const auto& rel = database ? s.database : s.view;
+    if (rel != nullptr) AppendRows(*rel, &first_row, &out);
   }
   out += "]";
   return out;
@@ -499,7 +510,7 @@ std::string HttpServer::HandleBatch(const HttpRequest& req,
         ErrorBody("bad_request", "body needs a \"tenant\" string"),
         *keep_open);
   }
-  UpdateService* svc = tenants_->Find(tenant->string_value());
+  ShardedService* svc = tenants_->Find(tenant->string_value());
   if (svc == nullptr) {
     metrics_.RecordResponse(404);
     return BuildResponse(
@@ -590,18 +601,19 @@ std::string HttpServer::HandleSnapshot(const HttpRequest& req) {
         400, "application/json",
         ErrorBody("bad_request", "need ?tenant=<name>"), !draining());
   }
-  UpdateService* svc = tenants_->Find(tenant);
+  ShardedService* svc = tenants_->Find(tenant);
   if (svc == nullptr) {
     metrics_.RecordResponse(404);
     return BuildResponse(404, "application/json",
                          ErrorBody("unknown_tenant", tenant), !draining());
   }
-  const ViewSnapshot snap = svc->Snapshot();
+  const ShardedSnapshot snap = svc->Snapshot();
   std::string body = "{\"tenant\":\"" + JsonEscape(tenant) +
                      "\",\"version\":" + std::to_string(snap.version) +
-                     ",\"rows\":" + RowsJson(*snap.view);
+                     ",\"shards\":" + std::to_string(snap.shards.size()) +
+                     ",\"rows\":" + ShardRowsJson(snap, /*database=*/false);
   if (req.QueryParam("include") == "database") {
-    body += ",\"database\":" + RowsJson(*snap.database);
+    body += ",\"database\":" + ShardRowsJson(snap, /*database=*/true);
   }
   body += "}";
   metrics_.RecordResponse(200);

@@ -1,5 +1,7 @@
 /// \file
-/// HttpServer: the network front-end over a TenantSet of UpdateServices.
+/// HttpServer: the network front-end over a TenantSet of ShardedServices
+/// (each tenant is N shard-local write paths behind a deterministic
+/// t[X∩Y]-hash router; see shard/sharded_service.h).
 ///
 /// Threading model — one acceptor, thread-per-connection on a fixed pool:
 /// the acceptor thread accept()s, enforces the connection cap (excess

@@ -7,12 +7,11 @@
 #include "relational/tuple.h"
 #include "relational/universe.h"
 #include "relational/value.h"
-#include "view/translator.h"
 
 namespace relview {
 namespace net {
 
-UpdateService* TenantSet::Find(const std::string& name) const {
+ShardedService* TenantSet::Find(const std::string& name) const {
   for (size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return services[i].get();
   }
@@ -28,35 +27,36 @@ Result<TenantSet> MakeTenants(const TenantSpec& spec) {
         "TenantSpec.depts must be in [1, emps] so every department is "
         "seeded");
   }
+  if (spec.shards < 1) {
+    return Status::InvalidArgument("TenantSpec.shards must be >= 1");
+  }
   TenantSet out;
   for (int i = 0; i < spec.tenants; ++i) {
     RELVIEW_ASSIGN_OR_RETURN(Universe u, Universe::Parse("Emp Dept Mgr"));
     DependencySet sigma;
     RELVIEW_ASSIGN_OR_RETURN(sigma.fds,
                              FDSet::Parse(u, "Emp -> Dept; Dept -> Mgr"));
-    RELVIEW_ASSIGN_OR_RETURN(
-        ViewTranslator vt,
-        ViewTranslator::Create(u, sigma, u.SetOf("Emp Dept"),
-                               u.SetOf("Dept Mgr")));
-    Relation db(vt.universe().All());
+    Relation db(u.All());
     for (uint32_t e = 1; e <= spec.emps; ++e) {
       const uint32_t dept = DeptOfEmp(e, spec.depts);
       db.AddRow(Tuple({Value::Const(e), Value::Const(dept),
                        Value::Const(MgrOfDept(dept))}));
     }
-    RELVIEW_RETURN_IF_ERROR(vt.Bind(std::move(db)));
 
     const std::string name = "t" + std::to_string(i);
-    ServiceOptions options;
+    ShardedServiceOptions options;
+    options.shards = spec.shards;
     if (!spec.store_root.empty()) {
-      options.store.dir = spec.store_root + "/" + name;
-      if (spec.checkpoint_every != 0) {
-        options.store.checkpoint_every = spec.checkpoint_every;
-      }
+      options.store_root = spec.store_root + "/" + name;
+      options.checkpoint_every = spec.checkpoint_every;
+      options.group_commit = spec.group_commit;
+      options.group_window_us = spec.group_window_us;
     }
     RELVIEW_ASSIGN_OR_RETURN(
-        std::unique_ptr<UpdateService> svc,
-        UpdateService::Create(std::move(vt), std::move(options)));
+        std::unique_ptr<ShardedService> svc,
+        ShardedService::Create(u, sigma, u.SetOf("Emp Dept"),
+                               u.SetOf("Dept Mgr"), db,
+                               std::move(options)));
     out.names.push_back(name);
     out.services.push_back(std::move(svc));
   }

@@ -1,5 +1,5 @@
 // Multi-tenant workload schema for the network front-end: each tenant is
-// an independent UpdateService over the canonical Emp/Dept/Mgr chain
+// an independent ShardedService over the canonical Emp/Dept/Mgr chain
 //
 //     U = {Emp, Dept, Mgr},  Sigma = {Emp -> Dept, Dept -> Mgr},
 //     X = {Emp, Dept},       Y = {Dept, Mgr}
@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "service/update_service.h"
+#include "shard/sharded_service.h"
 #include "util/status.h"
 
 namespace relview {
@@ -54,20 +54,28 @@ struct TenantSpec {
   uint32_t emps = 64;
   /// Departments per tenant (join-key cardinality).
   uint32_t depts = 8;
-  /// When non-empty, each tenant persists through a DurableStore under
-  /// `<store_root>/<tenant>`; empty runs in-memory.
+  /// When non-empty, each tenant persists through per-shard DurableStores
+  /// under `<store_root>/<tenant>/shard-<i>`; empty runs in-memory.
   std::string store_root;
   /// Checkpoint cadence forwarded to StoreOptions (0 = store default).
   uint64_t checkpoint_every = 0;
+  /// Write-path shards per tenant (>= 1). 1 preserves the unsharded
+  /// semantics exactly (one UpdateService behind a degenerate router).
+  int shards = 1;
+  /// Enable the per-shard cross-batch group-commit journal path (needs a
+  /// store_root; ignored in-memory).
+  bool group_commit = false;
+  /// Leader gathering window forwarded to ServiceOptions::group_window_us.
+  uint32_t group_window_us = 0;
 };
 
 /// The set of tenant services the server routes between. Movable only.
 struct TenantSet {
   std::vector<std::string> names;
-  std::vector<std::unique_ptr<UpdateService>> services;
+  std::vector<std::unique_ptr<ShardedService>> services;
 
   /// The service for `name`, or nullptr when unknown.
-  UpdateService* Find(const std::string& name) const;
+  ShardedService* Find(const std::string& name) const;
   int size() const { return static_cast<int>(services.size()); }
 };
 

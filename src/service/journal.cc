@@ -186,7 +186,7 @@ Result<Journal> Journal::Open(
 Journal::Journal(Journal&& o) noexcept
     : path_(std::move(o.path_)),
       fd_(o.fd_),
-      poisoned_(o.poisoned_),
+      poisoned_(o.poisoned_.load(std::memory_order_relaxed)),
       fsync_latency_(std::move(o.fsync_latency_)) {
   o.fd_ = -1;
 }
@@ -196,7 +196,8 @@ Journal& Journal::operator=(Journal&& o) noexcept {
     if (fd_ >= 0) ::close(fd_);
     path_ = std::move(o.path_);
     fd_ = o.fd_;
-    poisoned_ = o.poisoned_;
+    poisoned_.store(o.poisoned_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
     fsync_latency_ = std::move(o.fsync_latency_);
     o.fd_ = -1;
   }
@@ -223,7 +224,7 @@ Status Journal::RollBackTo(off_t batch_start, Status cause) {
   // The file still holds bytes the caller thinks were undone. Refuse all
   // further appends from this handle; reopening re-runs tail
   // verification and repair.
-  poisoned_ = true;
+  poisoned_.store(true, std::memory_order_release);
   return Status::Internal(cause.message() + "; rollback to offset " +
                           std::to_string(batch_start) + " failed (" +
                           std::strerror(errno) +
@@ -231,8 +232,43 @@ Status Journal::RollBackTo(off_t batch_start, Status cause) {
 }
 
 Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
+  return AppendRecords(updates, /*sync=*/true);
+}
+
+Status Journal::AppendAllUnsynced(const std::vector<ViewUpdate>& updates) {
+  return AppendRecords(updates, /*sync=*/false);
+}
+
+Status Journal::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition("journal not open");
-  if (poisoned_) {
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "journal " + path_ + ": poisoned by an earlier failure; reopen "
+        "(with repair) before syncing");
+  }
+  Timer fsync_timer;
+  if (RELVIEW_FAILPOINT("commit.fsync")) {
+    // No truncation here: appenders may be writing concurrently, and we
+    // cannot know which bytes the failed fsync lost. Poison and force a
+    // reopen instead (fsyncgate semantics).
+    poisoned_.store(true, std::memory_order_release);
+    return Status::Internal("journal group-commit fsync failed: injected "
+                            "EIO; journal poisoned until reopen");
+  }
+  if (::fsync(fd_) != 0) {
+    poisoned_.store(true, std::memory_order_release);
+    return Status::Internal("journal group-commit fsync failed: " +
+                            std::string(std::strerror(errno)) +
+                            "; journal poisoned until reopen");
+  }
+  fsync_latency_->Record(fsync_timer.ElapsedNanos());
+  return Status::OK();
+}
+
+Status Journal::AppendRecords(const std::vector<ViewUpdate>& updates,
+                              bool sync) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal not open");
+  if (poisoned_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition(
         "journal " + path_ + ": an earlier failed append could not be "
         "rolled back; reopen (with repair) before appending");
@@ -283,11 +319,12 @@ Status Journal::AppendAll(const std::vector<ViewUpdate>& updates) {
     left -= static_cast<size_t>(n);
   }
   if (injected_torn_tail) {
-    poisoned_ = true;
+    poisoned_.store(true, std::memory_order_release);
     return Status::Internal("journal write failed: injected short write "
                             "(torn tail kept, handle poisoned)");
   }
   RELVIEW_FAILPOINT("journal.crash_after_write");  // crash-armed only
+  if (!sync) return Status::OK();
   Timer fsync_timer;
   if (RELVIEW_FAILPOINT("journal.fsync")) {
     return RollBackTo(batch_start,

@@ -32,6 +32,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -114,6 +115,28 @@ class Journal {
   /// fsync), "journal.fsync" (error, rolled back like a real one).
   Status AppendAll(const std::vector<ViewUpdate>& updates);
 
+  /// Appends all records WITHOUT the trailing fsync: the bytes are written
+  /// (and a failed write is still rolled off the file, exactly as in
+  /// AppendAll) but durability is deferred to a later Sync(). This is the
+  /// group-commit half-step: several batches append, then one leader
+  /// fsyncs for the whole cohort. Records appended through this path must
+  /// not be acknowledged until a Sync() covering them returns OK.
+  Status AppendAllUnsynced(const std::vector<ViewUpdate>& updates);
+
+  /// Fsyncs everything appended so far (the group-commit leader's half).
+  /// Safe to call concurrently with AppendAllUnsynced from another thread:
+  /// it touches only the descriptor and atomic state, never the append
+  /// offset. On fsync failure the handle poisons itself and every later
+  /// append or sync fails with kFailedPrecondition — after a failed fsync
+  /// the kernel may have dropped the dirty pages, so retrying could
+  /// silently "succeed" without the data (the PostgreSQL fsyncgate
+  /// lesson); the only safe continuation is reopen + re-verify. Records
+  /// appended but never successfully synced may or may not survive a
+  /// crash: they are phantoms, legal under the acked ⊆ recovered
+  /// durability contract because no caller was ever acked.
+  /// Failpoint: "commit.fsync" (error poisons, crash kills the process).
+  Status Sync();
+
   /// Parses every complete record of the journal at `path`. A torn or
   /// corrupt tail is truncated from the file (when `repair` is true) and
   /// reported via the result's `truncated`/`warning` fields. A missing
@@ -138,12 +161,17 @@ class Journal {
   /// handle and reports that on top of `cause`.
   Status RollBackTo(off_t batch_start, Status cause);
 
+  /// Shared body of AppendAll / AppendAllUnsynced: encode, write, and
+  /// (when `sync` is set) fsync with rollback-on-failure.
+  Status AppendRecords(const std::vector<ViewUpdate>& updates, bool sync);
+
   std::string path_;
   int fd_ = -1;
-  /// Set when a failed append could not be rolled off the file: the tail
-  /// no longer ends at a committed record boundary, so appending through
-  /// this handle would orphan everything it writes.
-  bool poisoned_ = false;
+  /// Set when a failed append could not be rolled off the file (the tail
+  /// no longer ends at a committed record boundary) or when a Sync()
+  /// fsync failed (dirty pages may be gone; see Sync). Atomic because the
+  /// group-commit leader syncs from a different thread than the appender.
+  std::atomic<bool> poisoned_{false};
   std::shared_ptr<LatencyHistogram> fsync_latency_ =
       std::make_shared<LatencyHistogram>();
 };

@@ -65,6 +65,14 @@ class ServiceMetrics {
   void RecordBatchRolledBack() {
     batches_rolled_back_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Records the size (in batches) of one group-commit cohort: how many
+  /// ApplyBatch callers a single leader fsync made durable at once. Called
+  /// by the commit leader WITHOUT the writer mutex — the histogram is
+  /// lock-free atomics, and no WriteScope is taken (same single-counter
+  /// discipline as RecordBatchCommitted).
+  void RecordCommitCohort(uint64_t batches) {
+    commit_cohorts_.Record(static_cast<int64_t>(batches));
+  }
   /// Sharded: snapshot reads are the service's hottest path, and a single
   /// counter cache line pinged by every reader caps their scaling.
   void RecordSnapshot();
@@ -108,6 +116,9 @@ class ServiceMetrics {
   uint64_t replayed() const {
     return replayed_.load(std::memory_order_relaxed);
   }
+  /// Commit-cohort size distribution (batches per leader fsync). Raw
+  /// counts, not nanoseconds — export by hand, not via SummaryFamily.
+  const LatencyHistogram& commit_cohorts() const { return commit_cohorts_; }
   /// Translatability-check latency distribution.
   const LatencyHistogram& check_latency() const { return check_latency_; }
   /// Translation+publish latency distribution.
@@ -186,6 +197,8 @@ class ServiceMetrics {
   std::atomic<uint64_t> replayed_{0};
   LatencyHistogram check_latency_;
   LatencyHistogram apply_latency_;
+  /// Batches per group-commit leader fsync (counts, not latencies).
+  LatencyHistogram commit_cohorts_;
   /// Engine gauges, mapped 1:1 onto EngineStats' uint64_t fields via the
   /// RELVIEW_ENGINE_STAT_FIELDS X-macro (the hit rate is recomputed from
   /// hits/misses on read so the whole snapshot stays lock-free). The count

@@ -289,6 +289,52 @@ Status DurableStore::Append(const std::vector<ViewUpdate>& updates) {
   return Status::OK();
 }
 
+Status DurableStore::AppendUnsynced(const std::vector<ViewUpdate>& updates) {
+  if (!active_.has_value()) {
+    return Status::FailedPrecondition("durable store not open");
+  }
+  if (updates.empty()) return Status::OK();
+  if (segments_.back().records >= options_.rotate_records) {
+    RELVIEW_TRACE_SPAN("journal.rotate");
+    // Rotation swaps the handle the commit leader fsyncs through, so it
+    // excludes Sync(). The retiring segment may hold records no leader
+    // has synced yet — fsync it before closing, or they could be lost
+    // with no Sync() left that reaches them.
+    MutexLock lock(commit_sync_mu_);
+    RELVIEW_RETURN_IF_ERROR(active_->Sync());
+    active_.reset();
+    const uint64_t cur = seq();
+    segments_.push_back(Segment{SegmentPath(cur), cur, 0});
+    SyncSegmentCount();
+    RELVIEW_ASSIGN_OR_RETURN(
+        Journal j, Journal::Open(segments_.back().path, fsync_latency_));
+    active_ = std::move(j);
+    synced_through_ = cur;
+  }
+  RELVIEW_RETURN_IF_ERROR(active_->AppendAllUnsynced(updates));
+  segments_.back().records += updates.size();
+  seq_.fetch_add(updates.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DurableStore::Sync() {
+  MutexLock lock(commit_sync_mu_);
+  if (!active_.has_value()) {
+    return Status::FailedPrecondition("durable store not open");
+  }
+  // Read seq_ BEFORE the fsync: records appended while the fsync is in
+  // flight may or may not be covered by it, so claiming them would let a
+  // later Sync skip an fsync they still need. Under-claiming merely costs
+  // an extra (correct) fsync.
+  const uint64_t upto = seq();
+  if (synced_through_ >= upto) return Status::OK();
+  RELVIEW_FAILPOINT("commit.crash_before_sync");  // crash-armed only
+  RELVIEW_RETURN_IF_ERROR(active_->Sync());
+  RELVIEW_FAILPOINT("commit.crash_after_sync");  // crash-armed only
+  synced_through_ = upto;
+  return Status::OK();
+}
+
 Result<uint64_t> DurableStore::WriteCheckpoint(const Relation& database) {
   const uint64_t seq = this->seq();
   // Idempotent at a fixed seq: a durable checkpoint covering exactly this

@@ -42,6 +42,7 @@
 
 #include "relational/relation.h"
 #include "service/journal.h"
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace relview {
@@ -108,6 +109,28 @@ class DurableStore {
   /// advances by updates.size().
   Status Append(const std::vector<ViewUpdate>& updates);
 
+  /// Appends one batch WITHOUT fsyncing it — the group-commit staging
+  /// half. The batch is not durable until a later Sync() returns OK, so
+  /// callers must not acknowledge it yet. Like every other mutator this
+  /// is writer-serialized (one appender at a time), but it is safe to run
+  /// concurrently with Sync() from a commit-leader thread: rotation (the
+  /// only operation that swaps the active segment handle) excludes Sync
+  /// via an internal mutex, and a full segment is fsync'd before being
+  /// closed so rotation never abandons unsynced records.
+  Status AppendUnsynced(const std::vector<ViewUpdate>& updates)
+      RELVIEW_EXCLUDES(commit_sync_mu_);
+
+  /// Fsyncs the active segment, making every previously appended record
+  /// durable — the group-commit leader's half. May be called from any
+  /// thread; serialized internally against rotation and other Sync calls.
+  /// Skips the fsync entirely when nothing was appended since the last
+  /// Sync. A failed fsync poisons the underlying journal (see
+  /// Journal::Sync); the store must be reopened to continue.
+  /// Failpoints: "commit.crash_before_sync" / "commit.crash_after_sync"
+  /// (crash-armed, for the sharded torture test) plus Journal::Sync's
+  /// "commit.fsync".
+  Status Sync() RELVIEW_EXCLUDES(commit_sync_mu_);
+
   /// Writes a checkpoint of `database` covering the current sequence
   /// number, then compacts: thins checkpoints down to the newest
   /// options().keep_checkpoints files and deletes segments fully covered
@@ -155,6 +178,11 @@ class DurableStore {
     return fsync_latency_;
   }
 
+  /// Successful journal fsyncs since open (one histogram sample each):
+  /// the denominator-free half of the fsyncs-per-batch amortization
+  /// ratio exported as relview_journal_fsyncs_total.
+  uint64_t fsyncs() const { return fsync_latency_->count(); }
+
  private:
   /// One live segment file and the sequence range it is known to hold.
   struct Segment {
@@ -181,6 +209,16 @@ class DurableStore {
   std::vector<Segment> segments_;  // ascending first_seq; back() is active
   std::vector<uint64_t> checkpoint_seqs_;  // ascending, on-disk files
   std::optional<Journal> active_;
+  /// Serializes Sync() against segment rotation (the only mutation of
+  /// `active_` once the store is open) and against other Sync callers.
+  /// Plain appends do NOT take it — write(2) and fsync(2) on the same
+  /// descriptor are safe concurrently, which is what lets appends
+  /// accumulate while the commit leader's fsync is in flight (the whole
+  /// point of group commit).
+  mutable Mutex commit_sync_mu_;
+  /// Sequence number known fsync'd: Sync() skips the syscall when no
+  /// record was appended since the last one.
+  uint64_t synced_through_ RELVIEW_GUARDED_BY(commit_sync_mu_) = 0;
   // Writer-mutated, scrape-read counters; see the accessor comment above.
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> last_checkpoint_seq_{0};

@@ -1,6 +1,8 @@
 #include "service/update_service.h"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "obs/trace.h"
 #include "util/failpoint.h"
@@ -22,6 +24,12 @@ Result<std::unique_ptr<UpdateService>> UpdateService::Create(
         "ServiceOptions: journal_path and store.dir are mutually "
         "exclusive");
   }
+  if (options.group_commit && options.store.dir.empty()) {
+    return Status::InvalidArgument(
+        "ServiceOptions: group_commit requires the durable store "
+        "(store.dir) — the legacy single-file journal has no deferred-"
+        "fsync path");
+  }
   uint64_t replayed = 0;
   std::optional<Journal> journal;
   std::unique_ptr<DurableStore> store;
@@ -38,7 +46,8 @@ Result<std::unique_ptr<UpdateService>> UpdateService::Create(
     journal = std::move(j);
   }
   std::unique_ptr<UpdateService> service(new UpdateService(
-      std::move(translator), std::move(journal), std::move(store)));
+      std::move(translator), std::move(journal), std::move(store),
+      options.group_commit, options.group_window_us));
   for (uint64_t i = 0; i < replayed; ++i) {
     service->metrics_.RecordReplayedUpdate();
   }
@@ -54,10 +63,14 @@ uint64_t NextServiceId() {
 
 UpdateService::UpdateService(ViewTranslator translator,
                              std::optional<Journal> journal,
-                             std::unique_ptr<DurableStore> store)
+                             std::unique_ptr<DurableStore> store,
+                             bool group_commit, uint32_t group_window_us)
     : translator_(std::move(translator)),
       journal_(std::move(journal)),
       store_(std::move(store)),
+      group_commit_(group_commit),
+      group_window_us_(group_window_us),
+      group_store_(group_commit ? store_.get() : nullptr),
       universe_(translator_.universe()),
       view_attrs_(translator_.view()),
       complement_attrs_(translator_.complement()),
@@ -229,20 +242,27 @@ Status UpdateService::StageOne(const ViewUpdate& u, int batch_index,
   return Status::OK();
 }
 
+namespace {
+// Queue-depth gauge scope: counted before the mutex so parked writers
+// show up in relview_pending_writers.
+struct PendingGuard {
+  std::atomic<int>& n;
+  explicit PendingGuard(std::atomic<int>& counter) : n(counter) {
+    n.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~PendingGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+};
+}  // namespace
+
 BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   BatchResult result;
   if (updates.empty()) return result;
   RELVIEW_TRACE_SPAN_N(span, "svc.apply_batch");
   span.AddArg("updates", updates.size());
 
-  // Queue-depth gauge: counted before the mutex so parked writers show up.
-  struct PendingGuard {
-    std::atomic<int>& n;
-    explicit PendingGuard(std::atomic<int>& counter) : n(counter) {
-      n.fetch_add(1, std::memory_order_relaxed);
-    }
-    ~PendingGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
-  } pending(pending_writers_);
+  PendingGuard pending(pending_writers_);
+
+  if (group_commit_) return ApplyBatchGrouped(updates);
 
   MutexLock writer(writer_mu_);
 
@@ -298,6 +318,159 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   return result;
 }
 
+BatchResult UpdateService::ApplyBatchGrouped(
+    const std::vector<ViewUpdate>& updates) {
+  BatchResult result;
+  uint64_t my_target = 0;
+  std::shared_ptr<const ViewSnapshot> snap;
+  {
+    MutexLock writer(writer_mu_);
+    // Fail fast once the commit path is poisoned: staging more work would
+    // only apply in-memory state that can never be made durable.
+    {
+      MutexLock commit(commit_mu_);
+      if (!commit_poison_.ok()) {
+        result.status = commit_poison_;
+        result.detail = "group commit poisoned by an earlier fsync failure";
+        return result;
+      }
+    }
+    Relation saved = translator_.database();
+    bool mutated = false;
+    for (size_t i = 0; i < updates.size(); ++i) {
+      Status st = StageOne(updates[i], static_cast<int>(i), &result.detail,
+                           &mutated);
+      if (!st.ok()) {
+        if (mutated) translator_.InstallDatabase(std::move(saved));
+        metrics_.RecordBatchRolledBack();
+        result.status = std::move(st);
+        result.failed_index = static_cast<int>(i);
+        return result;
+      }
+    }
+    // Stage the records in the journal WITHOUT fsyncing: durability is
+    // the commit leader's job (AwaitDurable below). A failed append rolls
+    // this batch — and only this batch — off the file (Journal's
+    // RollBackTo truncates back to the batch's own start offset, so
+    // earlier unsynced batches are untouched).
+    RELVIEW_FAILPOINT("commit.crash_before_append");  // crash-armed only
+    Status st = group_store_->AppendUnsynced(updates);
+    if (!st.ok()) {
+      if (mutated) translator_.InstallDatabase(std::move(saved));
+      metrics_.RecordBatchRolledBack();
+      result.status = std::move(st);
+      result.detail = "journal append failed; batch rolled back";
+      return result;
+    }
+    my_target = group_store_->seq();
+    snap = BuildSnapshotLocked(++version_);
+    metrics_.SetEngineGauges(translator_.engine_stats());
+
+    // Checkpoint cadence, evaluated at stage time exactly like the
+    // fsync-per-batch path. The checkpoint may cover records whose fsync
+    // has not happened yet; that is safe — the checkpoint file is itself
+    // durable before it counts, closed segments are fsync'd before
+    // rotation, and recovering "too much" never violates the
+    // acked ⊆ recovered contract (see DESIGN.md §13).
+    if (group_store_->options().checkpoint_every > 0 &&
+        group_store_->compaction_lag() >=
+            group_store_->options().checkpoint_every) {
+      Result<uint64_t> ckpt = CheckpointLocked();
+      if (!ckpt.ok()) {
+        std::fprintf(stderr, "relview: auto-checkpoint failed: %s\n",
+                     ckpt.status().ToString().c_str());
+      }
+    }
+  }  // writer_mu_ released: the next batch stages while we await the fsync
+
+  Status durable = AwaitDurable(my_target);
+  if (!durable.ok()) {
+    // The batch is applied in memory and its bytes may or may not reach
+    // disk, but the caller is NOT acked — under acked ⊆ recovered that is
+    // a correct (if unhappy) outcome. The poisoned store refuses all
+    // further writes until reopened.
+    result.status = std::move(durable);
+    result.detail = "group commit fsync failed; batch not acknowledged";
+    return result;
+  }
+  metrics_.RecordBatchCommitted();
+  PublishIfNewer(std::move(snap));
+  return result;
+}
+
+Status UpdateService::AwaitDurable(uint64_t target) {
+  commit_mu_.lock();
+  if (target > commit_appended_) commit_appended_ = target;
+  ++commit_pending_batches_;
+  while (true) {
+    if (!commit_poison_.ok()) {
+      Status st = commit_poison_;
+      commit_mu_.unlock();
+      return st;
+    }
+    if (commit_synced_ >= target) {
+      commit_mu_.unlock();
+      return Status::OK();
+    }
+    if (commit_leader_active_) {
+      // A leader's fsync is in flight; it (or a successor) will cover us.
+      commit_cv_.Wait(commit_mu_);
+      continue;
+    }
+    // Lead one cohort: fsync everything appended so far, on behalf of
+    // every waiter whose target it covers.
+    commit_leader_active_ = true;
+    commit_mu_.unlock();
+    if (group_window_us_ > 0) {
+      // Optional gathering window — trade a bounded latency bump for
+      // larger cohorts at low concurrency.
+      std::this_thread::sleep_for(std::chrono::microseconds(group_window_us_));
+    }
+    commit_mu_.lock();
+    const uint64_t cohort_target = commit_appended_;
+    const uint64_t cohort_batches = commit_pending_batches_;
+    commit_pending_batches_ = 0;
+    commit_mu_.unlock();
+    Status st = group_store_->Sync();  // the one fsync for the whole cohort
+    commit_mu_.lock();
+    commit_leader_active_ = false;
+    if (st.ok()) {
+      if (cohort_target > commit_synced_) commit_synced_ = cohort_target;
+      if (cohort_batches > 0) metrics_.RecordCommitCohort(cohort_batches);
+    } else {
+      commit_poison_ = st;
+    }
+    commit_cv_.NotifyAll();
+    // Loop: on success our own target is now covered (it was <=
+    // commit_appended_ when we sampled); on failure the poison check
+    // fails us out.
+  }
+}
+
+std::shared_ptr<const ViewSnapshot> UpdateService::BuildSnapshotLocked(
+    uint64_t version) {
+  auto snap = std::make_shared<ViewSnapshot>();
+  snap->version = version;
+  snap->database = std::make_shared<const Relation>(translator_.database());
+  // Served from the engine's incrementally maintained view when live
+  // (identical row order to Project — both are canonical).
+  Result<Relation> view = translator_.ViewInstance();
+  RELVIEW_DCHECK(view.ok(), "snapshot on an unbound translator");
+  snap->view = std::make_shared<const Relation>(std::move(*view));
+  return snap;
+}
+
+void UpdateService::PublishIfNewer(std::shared_ptr<const ViewSnapshot> snap) {
+  RELVIEW_TRACE_SPAN("svc.publish");
+  const uint64_t version = snap->version;
+  WriterMutexLock lock(snapshot_mu_);
+  if (version <= published_version_.load(std::memory_order_relaxed)) {
+    return;  // an acked waiter with a newer (cumulative) snapshot won
+  }
+  snapshot_ = std::move(snap);
+  published_version_.store(version, std::memory_order_release);
+}
+
 Result<uint64_t> UpdateService::Checkpoint() {
   MutexLock writer(writer_mu_);
   return CheckpointLocked();
@@ -318,16 +491,20 @@ Status UpdateService::Apply(const ViewUpdate& update) {
 
 namespace {
 
-/// Merges a `service="<section>"` label into every sample so several
-/// tenants' otherwise-identical family names stay distinguishable in one
-/// Prometheus exposition. Summary _count/_sum suffix markers pass
-/// through untouched.
+/// Merges a preformatted label block (`{service="...",shard="N"}`) into
+/// every sample so several tenants' — and several shards' — otherwise-
+/// identical family names stay distinguishable in one Prometheus
+/// exposition. Summary _count/_sum suffix markers keep their suffix and
+/// gain the block after it (`_count{service="...",shard="N"}`), which the
+/// renderer emits verbatim after the family name.
 std::vector<MetricFamily> TagFamilies(std::vector<MetricFamily> families,
-                                      const std::string& section) {
-  const std::string tag = Label("service", section);  // {service="..."}
+                                      const std::string& tag) {
   for (MetricFamily& f : families) {
     for (MetricSample& s : f.samples) {
-      if (!s.labels.empty() && s.labels[0] == '_') continue;
+      if (!s.labels.empty() && s.labels[0] == '_') {
+        s.labels += tag;
+        continue;
+      }
       if (s.labels.empty()) {
         s.labels = tag;
       } else {
@@ -342,7 +519,8 @@ std::vector<MetricFamily> TagFamilies(std::vector<MetricFamily> families,
 }  // namespace
 
 void UpdateService::RegisterTelemetry(TelemetryRegistry* registry,
-                                      const std::string& section) const {
+                                      const std::string& section,
+                                      int shard) const {
   // Snapshot the construction-time plumbing once, under the writer mutex,
   // so the scrape lambdas below never touch writer-guarded members: the
   // store pointer and the fsync histograms are fixed at Create time, and
@@ -356,8 +534,20 @@ void UpdateService::RegisterTelemetry(TelemetryRegistry* registry,
     if (journal_.has_value()) journal_fsync = journal_->fsync_latency();
     if (store != nullptr) store_fsync = store->fsync_latency();
   }
-  registry->Register(section,
-                     [this, section, store, journal_fsync, store_fsync] {
+  // Registration key and sample labels: `section` alone for a standalone
+  // service, plus a `_shard_<n>` key suffix and a `shard="<n>"` sample
+  // label for one shard of a sharded service.
+  const std::string key =
+      shard < 0 ? section : section + "_shard_" + std::to_string(shard);
+  std::string tag;  // preformatted {label,...} block, empty = untagged
+  if (section != "service") tag = Label("service", section);
+  if (shard >= 0) {
+    const std::string shard_tag = Label("shard", std::to_string(shard));
+    tag = tag.empty() ? shard_tag
+                      : tag.substr(0, tag.size() - 1) + "," +
+                            shard_tag.substr(1);
+  }
+  registry->Register(key, [this, tag, store, journal_fsync, store_fsync] {
     // The whole counter walk runs under the metrics seqlock so the
     // families in one scrape are mutually consistent (kind/code rejection
     // totals agree; engine gauges are one snapshot). The fsync histograms
@@ -367,12 +557,11 @@ void UpdateService::RegisterTelemetry(TelemetryRegistry* registry,
       return CollectFamilies(store, journal_fsync.get(), store_fsync.get());
     });
     // The default section keeps its historic un-labelled exposition.
-    return section == "service" ? families
-                                : TagFamilies(std::move(families), section);
+    return tag.empty() ? families : TagFamilies(std::move(families), tag);
   });
-  registry->RegisterJson(section, [this] { return metrics_.ToJson(); });
+  registry->RegisterJson(key, [this] { return metrics_.ToJson(); });
   registry->RegisterJson(
-      section == "service" ? "decisions" : section + "_decisions", [this] {
+      key == "service" ? "decisions" : key + "_decisions", [this] {
         std::string out = "{\"total\":" + std::to_string(decisions_.total());
         if (std::optional<DecisionTrace> last = decisions_.Last()) {
           out += ",\"last\":" + last->ToJson(&universe_);
@@ -442,14 +631,39 @@ std::vector<MetricFamily> UpdateService::CollectFamilies(
                           static_cast<double>(eng.name)));
   RELVIEW_ENGINE_STAT_FIELDS(RELVIEW_ENGINE_GAUGE_FAMILY)
 #undef RELVIEW_ENGINE_GAUGE_FAMILY
+  // Group-commit observability: cohort sizes are raw batch counts, so the
+  // family is built by hand rather than via SummaryFamily (which scales
+  // its samples from nanoseconds to seconds).
+  const LatencyHistogram& cohorts = metrics_.commit_cohorts();
+  MetricFamily cohort_fam{
+      "relview_commit_cohort_size",
+      "Batches made durable per group-commit leader fsync", "summary", {}};
+  cohort_fam.samples.push_back(
+      {"{quantile=\"0.5\"}", static_cast<double>(cohorts.QuantileNanos(0.5))});
+  cohort_fam.samples.push_back(
+      {"{quantile=\"0.99\"}",
+       static_cast<double>(cohorts.QuantileNanos(0.99))});
+  cohort_fam.samples.push_back(
+      {"{quantile=\"1\"}", static_cast<double>(cohorts.max_nanos())});
+  cohort_fam.samples.push_back(
+      {"_count", static_cast<double>(cohorts.count())});
+  cohort_fam.samples.push_back(
+      {"_sum", static_cast<double>(cohorts.total_nanos())});
+  out.push_back(std::move(cohort_fam));
   if (journal_fsync != nullptr) {
     out.push_back(SummaryFamily("relview_journal_fsync_seconds",
                                 "Journal fsync latency", *journal_fsync));
+    out.push_back(CounterFamily(
+        "relview_journal_fsyncs_total", "Successful journal fsyncs",
+        static_cast<double>(journal_fsync->count())));
   }
   if (store != nullptr) {
     out.push_back(SummaryFamily("relview_journal_fsync_seconds",
                                 "Journal fsync latency (all segments)",
                                 *store_fsync));
+    out.push_back(CounterFamily(
+        "relview_journal_fsyncs_total", "Successful journal fsyncs",
+        static_cast<double>(store->fsyncs())));
     out.push_back(GaugeFamily("relview_journal_segments",
                               "Live journal segment files",
                               static_cast<double>(store->segment_count())));
@@ -484,14 +698,7 @@ std::vector<MetricFamily> UpdateService::CollectFamilies(
 
 void UpdateService::Publish(uint64_t version) {
   RELVIEW_TRACE_SPAN("svc.publish");
-  auto snap = std::make_shared<ViewSnapshot>();
-  snap->version = version;
-  snap->database = std::make_shared<const Relation>(translator_.database());
-  // Served from the engine's incrementally maintained view when live
-  // (identical row order to Project — both are canonical).
-  Result<Relation> view = translator_.ViewInstance();
-  RELVIEW_DCHECK(view.ok(), "publish on an unbound translator");
-  snap->view = std::make_shared<const Relation>(std::move(*view));
+  std::shared_ptr<const ViewSnapshot> snap = BuildSnapshotLocked(version);
   {
     WriterMutexLock lock(snapshot_mu_);
     snapshot_ = std::move(snap);

@@ -76,6 +76,21 @@ struct ServiceOptions {
   /// checkpoints, recovered on Create as newest-valid-checkpoint +
   /// journal-suffix replay. Mutually exclusive with journal_path.
   StoreOptions store;
+  /// Cross-batch group commit (requires store.dir): concurrent ApplyBatch
+  /// callers stage and append under the writer mutex but defer the fsync
+  /// to a commit *leader* — the first waiter to find no leader active
+  /// fsyncs once for every batch appended so far and wakes the whole
+  /// cohort. Each caller is still acknowledged only after its own records
+  /// are durable; what changes is that one fsync can cover many batches
+  /// (fsyncs/batch < 1 under concurrency). With a single writer thread the
+  /// path degenerates to fsync-per-batch, same as the default.
+  bool group_commit = false;
+  /// Optional leader gathering window in microseconds: before sampling
+  /// its cohort the leader sleeps this long so more concurrent batches
+  /// can append behind it. 0 (default) syncs immediately — concurrency
+  /// alone already forms cohorts because appends accumulate while the
+  /// previous leader's fsync is in flight.
+  uint32_t group_window_us = 0;
 };
 
 /// The serving layer: a single-writer/multi-reader facade over a bound
@@ -146,9 +161,14 @@ class UpdateService {
   /// seqlock-consistently (see ServiceMetrics::ReadConsistent): a scrape
   /// racing a writer never sees a rejection's kind counter without its
   /// code counter, or a half-published engine-gauge snapshot.
+  /// When `shard` is >= 0 the registration key becomes
+  /// `section + "_shard_<shard>"` and every sample additionally carries a
+  /// `shard="<shard>"` label, so N shards of one logical service export N
+  /// distinguishable per-shard families (mirroring the per-tenant
+  /// `service="..."` labels).
   void RegisterTelemetry(TelemetryRegistry* registry,
-                         const std::string& section = "service") const
-      RELVIEW_EXCLUDES(writer_mu_);
+                         const std::string& section = "service",
+                         int shard = -1) const RELVIEW_EXCLUDES(writer_mu_);
 
   /// Number of journal records replayed during Create (0 without journal).
   uint64_t replayed_updates() const { return metrics_.replayed(); }
@@ -162,10 +182,40 @@ class UpdateService {
 
  private:
   UpdateService(ViewTranslator translator, std::optional<Journal> journal,
-                std::unique_ptr<DurableStore> store);
+                std::unique_ptr<DurableStore> store, bool group_commit,
+                uint32_t group_window_us);
 
   /// Checkpoint body; caller holds writer_mu_.
   Result<uint64_t> CheckpointLocked() RELVIEW_REQUIRES(writer_mu_);
+
+  /// The group-commit write path (see ServiceOptions::group_commit):
+  /// stage + append-without-fsync under writer_mu_, then wait in
+  /// AwaitDurable until a leader fsync covers this batch's records, and
+  /// only then count the commit and publish the pre-built snapshot.
+  BatchResult ApplyBatchGrouped(const std::vector<ViewUpdate>& updates)
+      RELVIEW_EXCLUDES(writer_mu_, commit_mu_);
+
+  /// Blocks until every store record up to `target` is fsync'd (returns
+  /// OK), electing this thread as commit leader whenever none is active:
+  /// the leader samples the cohort appended so far, fsyncs once for all
+  /// of it outside any lock, and wakes the waiters. A failed fsync
+  /// poisons the commit path (commit_poison_) and fails every current and
+  /// future waiter — the store must be reopened (fsyncgate: the dirty
+  /// pages may be gone, so "retry" could ack data that was never written).
+  Status AwaitDurable(uint64_t target)
+      RELVIEW_EXCLUDES(commit_mu_, writer_mu_);
+
+  /// Builds (but does not install) a snapshot of the current translator
+  /// state at `version`.
+  std::shared_ptr<const ViewSnapshot> BuildSnapshotLocked(uint64_t version)
+      RELVIEW_REQUIRES(writer_mu_);
+
+  /// Installs `snap` unless a newer version is already published. Used by
+  /// the group-commit path, where acked waiters can reach the publish
+  /// step out of version order; snapshots are cumulative (each holds the
+  /// full database), so installing only the newest is correct.
+  void PublishIfNewer(std::shared_ptr<const ViewSnapshot> snap)
+      RELVIEW_EXCLUDES(snapshot_mu_);
 
   /// Builds the Prometheus families for RegisterTelemetry's collector.
   /// Runs inside the metrics seqlock read protocol; pure reads only.
@@ -195,6 +245,31 @@ class UpdateService {
   // lock in RegisterTelemetry.
   std::unique_ptr<DurableStore> store_ RELVIEW_PT_GUARDED_BY(writer_mu_);
   uint64_t version_ RELVIEW_GUARDED_BY(writer_mu_) = 0;
+
+  // Group-commit coordination (ApplyBatchGrouped / AwaitDurable). The
+  // commit mutex is taken only with writer_mu_ *released* — writers stage
+  // under writer_mu_, drop it, then coordinate durability here, which is
+  // what lets batch K+1 stage while batch K's fsync is in flight.
+  const bool group_commit_;
+  const uint32_t group_window_us_;
+  /// Raw pointer to *store_, fixed at construction: the commit leader
+  /// fsyncs through it without writer_mu_ (DurableStore::Sync is
+  /// internally synchronized). Null unless group_commit_ is set.
+  DurableStore* const group_store_;
+  mutable Mutex commit_mu_ RELVIEW_ACQUIRED_AFTER(writer_mu_);
+  mutable CondVar commit_cv_;
+  /// Highest store sequence number any waiter has appended (the next
+  /// leader's fsync target).
+  uint64_t commit_appended_ RELVIEW_GUARDED_BY(commit_mu_) = 0;
+  /// Highest sequence number a successful leader fsync has covered.
+  uint64_t commit_synced_ RELVIEW_GUARDED_BY(commit_mu_) = 0;
+  /// True while some thread is the commit leader (fsync in flight).
+  bool commit_leader_active_ RELVIEW_GUARDED_BY(commit_mu_) = false;
+  /// Batches appended since the last leader sampled its cohort; the
+  /// commit-cohort histogram's raw material.
+  uint64_t commit_pending_batches_ RELVIEW_GUARDED_BY(commit_mu_) = 0;
+  /// First fsync failure, sticky: every subsequent waiter fails with it.
+  Status commit_poison_ RELVIEW_GUARDED_BY(commit_mu_);
 
   // Immutable after construction: copies of the translator's schema
   // handles, so accessors and telemetry never touch the guarded

@@ -1,0 +1,47 @@
+#include "shard/router.h"
+
+#include "util/status.h"
+
+namespace relview {
+namespace {
+
+/// Positions of the attributes of `key` within a tuple laid out over
+/// `frame` in ascending attribute order.
+std::vector<int> PositionsIn(const AttrSet& key, const AttrSet& frame) {
+  std::vector<int> out;
+  int pos = 0;
+  for (AttrId a : frame.ToVector()) {
+    if (key.Contains(a)) out.push_back(pos);
+    ++pos;
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const Universe& u, const AttrSet& x,
+                         const AttrSet& y, int shards)
+    : join_key_(x & y),
+      view_positions_(PositionsIn(join_key_, x)),
+      base_positions_(PositionsIn(join_key_, u.All())),
+      shards_(shards < 1 ? 1 : shards) {}
+
+int ShardRouter::Route(const Tuple& t, const std::vector<int>& positions)
+    const {
+  // FNV-1a over the raw value ids of the join-key columns, in ascending
+  // attribute order. Raw ids (not names) keep the hash stable across
+  // incarnations; labeled nulls hash by their tagged id, so a null-
+  // bearing tuple routes consistently too.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int pos : positions) {
+    RELVIEW_DCHECK(pos < t.arity(), "router: tuple shorter than its frame");
+    uint32_t raw = t.values()[pos].raw();
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (raw >> (8 * byte)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(shards_));
+}
+
+}  // namespace relview

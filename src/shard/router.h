@@ -1,0 +1,73 @@
+/// \file
+/// ShardRouter: the deterministic t[X∩Y]-hash partitioner behind the
+/// sharded write path.
+///
+/// Theorem 3's insertion criterion — conditions (a)–(c) and the chase
+/// probes — only ever compares the candidate against view tuples sharing
+/// its join-key projection t[X∩Y] (or colliding with it through FDs whose
+/// left side lies inside X∩Y). Partitioning tuples by a hash of exactly
+/// those attributes therefore keeps each shard's translatability check
+/// self-contained: every tuple a shard-local chase could touch lives on
+/// the same shard. The same locality argument motivates
+/// Franconi–Guagliardo's restriction of view-update reasoning to the
+/// determinacy-relevant fragment (arXiv 1211.3016).
+///
+/// What sharding deliberately relaxes (documented, not hidden): FDs whose
+/// left side contains attributes OUTSIDE X∩Y (e.g. Emp → Dept routed by
+/// the join key Dept) are enforced only within each shard. Two inserts
+/// with the same Emp but different Dept land on different shards and are
+/// both accepted, where the unsharded service would reject the second.
+/// See ARCHITECTURE.md "Sharded write path" for the full contract;
+/// tests/sharded_service_test.cc pins this behavior so it can never
+/// change silently.
+#ifndef RELVIEW_SHARD_ROUTER_H_
+#define RELVIEW_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/attr_set.h"
+#include "relational/tuple.h"
+#include "relational/universe.h"
+
+namespace relview {
+
+/// Routes tuples to shards by hashing their X∩Y (join key) projection.
+/// Deterministic and process-stable: the same tuple maps to the same
+/// shard in every incarnation, so recovery re-partitions identically and
+/// a router can be rebuilt from (U, X, Y, shards) alone.
+class ShardRouter {
+ public:
+  /// `x` and `y` are the view and complement attribute sets over `u`;
+  /// `shards` must be >= 1. The join key is X∩Y.
+  ShardRouter(const Universe& u, const AttrSet& x, const AttrSet& y,
+              int shards);
+
+  /// Number of shards routed across.
+  int shards() const { return shards_; }
+  /// The routing key X∩Y.
+  const AttrSet& join_key() const { return join_key_; }
+
+  /// Shard of a view tuple (arity |X|, values in ascending attribute
+  /// order, the service wire layout).
+  int ShardOfView(const Tuple& t) const { return Route(t, view_positions_); }
+
+  /// Shard of a full base tuple over U (used to partition the seed
+  /// instance and by the recovery oracle).
+  int ShardOfBase(const Tuple& t) const { return Route(t, base_positions_); }
+
+ private:
+  int Route(const Tuple& t, const std::vector<int>& positions) const;
+
+  AttrSet join_key_;
+  /// Value positions of the join-key attributes within a view tuple
+  /// (indices into x.ToVector(), which is ascending) and within a base
+  /// tuple over U.
+  std::vector<int> view_positions_;
+  std::vector<int> base_positions_;
+  int shards_ = 1;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_SHARD_ROUTER_H_

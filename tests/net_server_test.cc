@@ -3,8 +3,10 @@
 // client-side ResponseParser. Covers the wire protocol (commit, atomic
 // rejection, snapshots), admission control (429 + Retry-After), request
 // deadlines, graceful drain, the connection cap, durability degradation
-// under an injected journal-fsync fault (503, never a hang), and — via
-// fork + SIGKILL — that journal replay recovers every acknowledged batch.
+// under an injected journal-fsync fault (503, never a hang), sharded
+// tenants (routing, composed snapshots, per-shard metric labels), and —
+// via fork + SIGKILL against the sharded group-commit configuration —
+// that journal replay recovers every acknowledged batch.
 
 #include <csignal>
 #include <cstdint>
@@ -379,6 +381,53 @@ TEST_F(NetServerTest, MetricsExposeNetAndTenantSections) {
   EXPECT_NE(json.body().find("\"write_gate\""), std::string::npos);
 }
 
+TEST_F(NetServerTest, ShardedTenantRoutesAndComposesSnapshots) {
+  TenantSpec spec;
+  spec.shards = 3;
+  StartServer({}, spec);
+  Client c(server_->port());
+  ASSERT_TRUE(c.connected());
+
+  // Six fresh employees across the four departments: the dept-hash
+  // router spreads them over the shards, and every ack must bump the
+  // composite version by exactly one (read-your-writes over HTTP).
+  for (uint32_t i = 0; i < 6; ++i) {
+    const uint32_t emp = 17 + i;
+    ResponseParser post;
+    ASSERT_TRUE(c.Do("POST", "/v1/batch",
+                     InsertBody("t0", emp, DeptOfEmp(emp, 4)), &post));
+    ASSERT_EQ(post.status(), 200) << post.body();
+    EXPECT_NE(post.body().find("\"version\":" + std::to_string(i + 1)),
+              std::string::npos)
+        << post.body();
+  }
+
+  // The snapshot is the composition of all three shards: it reports the
+  // shard count, the summed version, and every inserted row regardless
+  // of which shard holds it.
+  ResponseParser get;
+  ASSERT_TRUE(c.Do("GET", "/v1/snapshot?tenant=t0", "", &get));
+  EXPECT_EQ(get.status(), 200);
+  EXPECT_NE(get.body().find("\"shards\":3"), std::string::npos)
+      << get.body();
+  EXPECT_NE(get.body().find("\"version\":6"), std::string::npos)
+      << get.body();
+  for (uint32_t i = 0; i < 6; ++i) {
+    const uint32_t emp = 17 + i;
+    EXPECT_NE(get.body().find("[" + std::to_string(emp) + ","),
+              std::string::npos)
+        << "emp " << emp << " missing from composed snapshot: "
+        << get.body();
+  }
+
+  // Per-shard metric families are distinguishable in one scrape.
+  ResponseParser prom;
+  ASSERT_TRUE(c.Do("GET", "/metrics", "", &prom));
+  EXPECT_EQ(prom.status(), 200);
+  EXPECT_NE(prom.body().find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(prom.body().find("shard=\"2\""), std::string::npos);
+}
+
 // The durability claim, end to end: every batch the server ACKNOWLEDGED
 // before a SIGKILL must be present after journal replay. The server runs
 // in a forked child (so the kill is a real process death, not a polite
@@ -394,6 +443,11 @@ TEST_F(NetServerTest, AckedBatchesSurviveSigkill) {
   spec.emps = 8;
   spec.depts = 4;
   spec.store_root = store_root;
+  // The production sharded configuration: the kill must not outrun the
+  // group-commit ack protocol on any shard (acked ⊆ recovered, composed).
+  spec.shards = 2;
+  spec.group_commit = true;
+  spec.group_window_us = 500;
 
   int pipe_fds[2];
   ASSERT_EQ(::pipe(pipe_fds), 0);
@@ -448,16 +502,16 @@ TEST_F(NetServerTest, AckedBatchesSurviveSigkill) {
   // durability is about the replayed *state*, not the counter.)
   auto recovered = MakeTenants(spec);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
-  UpdateService* t0 = recovered->Find("t0");
+  ShardedService* t0 = recovered->Find("t0");
   ASSERT_NE(t0, nullptr);
   EXPECT_GE(t0->replayed_updates(), last_acked_version);
   // Every acked row — one insert per acked batch — is in the recovered
-  // view, and nothing seeded was lost.
-  const ViewSnapshot snap = t0->Snapshot();
-  EXPECT_GE(snap.view->size(), static_cast<int>(spec.emps) + 20);
+  // composed view, and nothing seeded was lost.
+  const ShardedSnapshot snap = t0->Snapshot();
+  EXPECT_GE(snap.view_size(), static_cast<uint64_t>(spec.emps) + 20);
   for (uint32_t i = 0; i < 20; ++i) {
     const uint32_t emp = spec.emps + 1 + i;
-    EXPECT_TRUE(snap.view->ContainsRow(
+    EXPECT_TRUE(snap.ViewContains(
         Tuple({Value::Const(emp),
                Value::Const(DeptOfEmp(emp, spec.depts))})))
         << "acked insert of emp " << emp << " lost across SIGKILL";

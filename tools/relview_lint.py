@@ -9,6 +9,12 @@ Complements the compiler-side analyses (clang -Wthread-safety, clang-tidy,
                          specs ambiguous)
   failpoint-undocumented every RELVIEW_FAILPOINT site name appears in the
                          operator catalog (docs/OPERATIONS.md)
+  failpoint-commit-catalog
+                         every commit-queue failpoint (`commit.*` — the
+                         group-commit path is the one operators reach for
+                         first when diagnosing fsync amortization) has a
+                         row in the "Failpoint catalog:" table itself, not
+                         merely a mention somewhere in the document
   failpoint-nonliteral   RELVIEW_FAILPOINT takes a string literal (specs
                          and the catalog are greppable only for literals)
   failpoint-direct-check code outside util/failpoint.* calls
@@ -216,6 +222,32 @@ def relpath(root, path):
     return os.path.relpath(path, root).replace(os.sep, "/")
 
 
+CATALOG_ROW_NAME = re.compile(r"^\|\s*`([\w.]+)`")
+
+
+def catalog_table_names(catalog):
+    """Names with a row in the "Failpoint catalog:" table of
+    docs/OPERATIONS.md — the region from that marker line through the
+    last consecutive table/blank line. Prose mentions elsewhere in the
+    document do not count for rules keyed on the table."""
+    names = set()
+    in_table = False
+    for line in catalog.splitlines():
+        if line.strip() == "Failpoint catalog:":
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        if line.strip() == "":
+            continue
+        if not line.lstrip().startswith("|"):
+            break
+        m = CATALOG_ROW_NAME.match(line.strip())
+        if m:
+            names.add(m.group(1))
+    return names
+
+
 def check_failpoints(root, files, findings):
     """Site uniqueness, literal-ness, documentation, macro discipline."""
     catalog = ""
@@ -223,6 +255,7 @@ def check_failpoints(root, files, findings):
     if os.path.exists(ops):
         with open(ops, encoding="utf-8") as f:
             catalog = f.read()
+    table_names = catalog_table_names(catalog)
     seen = {}
     for path in files:
         rel = relpath(root, path)
@@ -269,6 +302,18 @@ def check_failpoints(root, files, findings):
                                 rel, ln, "failpoint-undocumented",
                                 f"failpoint site `{name}` is not documented "
                                 "in docs/OPERATIONS.md (operator catalog)"))
+                    if (catalog and name.startswith("commit.")
+                            and name not in table_names):
+                        if not suppressed(raw[ln - 1],
+                                          "failpoint-commit-catalog"):
+                            findings.append(Finding(
+                                rel, ln, "failpoint-commit-catalog",
+                                f"commit-queue failpoint `{name}` needs a "
+                                "row in the \"Failpoint catalog:\" table of "
+                                "docs/OPERATIONS.md — group-commit sites "
+                                "are the first thing operators arm when "
+                                "diagnosing fsync amortization, so a prose "
+                                "mention is not enough"))
 
 
 def check_mutexes(root, files, findings):

@@ -107,6 +107,53 @@ class FailpointRules(LintFixture):
                    '// RELVIEW_FAILPOINT("commented.out")\n')
         self.assert_clean()
 
+    def test_commit_site_prose_mention_is_not_enough(self):
+        # `commit.*` (group-commit queue) sites must have a row in the
+        # catalog *table*; a prose mention elsewhere satisfies only the
+        # generic failpoint-undocumented rule.
+        self.write("docs/OPERATIONS.md",
+                   "The group-commit leader hits `commit.fsync` once per "
+                   "cohort.\n")
+        self.write("src/service/a.cc",
+                   'RELVIEW_FAILPOINT("commit.fsync");\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "failpoint-commit-catalog")
+        self.assertNotIn("[failpoint-undocumented]", out, out)
+
+    def test_commit_site_with_catalog_row_clean(self):
+        self.write("docs/OPERATIONS.md",
+                   "Failpoint catalog:\n"
+                   "\n"
+                   "| Name | Site | Sensible actions |\n"
+                   "|---|---|---|\n"
+                   "| `commit.fsync` | before the cohort fsync | `error` |\n")
+        self.write("src/service/a.cc",
+                   'RELVIEW_FAILPOINT("commit.fsync");\n')
+        self.assert_clean()
+
+    def test_commit_rule_ignores_rows_after_table_ends(self):
+        # The catalog region stops at the first non-table line; a stray
+        # table further down the document does not count.
+        self.write("docs/OPERATIONS.md",
+                   "Failpoint catalog:\n"
+                   "\n"
+                   "| `journal.fsync` | before fsync | `error` |\n"
+                   "\n"
+                   "Unrelated prose ends the catalog region.\n"
+                   "\n"
+                   "| `commit.fsync` | some other table | n/a |\n")
+        self.write("src/service/a.cc",
+                   'RELVIEW_FAILPOINT("commit.fsync");\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "failpoint-commit-catalog")
+
+    def test_non_commit_site_not_held_to_table_rule(self):
+        # known.site is documented (prose is fine for non-commit sites).
+        self.write("src/service/a.cc", 'RELVIEW_FAILPOINT("known.site");\n')
+        self.assert_clean()
+
 
 class MutexRules(LintFixture):
     def test_naked_std_mutex(self):
@@ -280,6 +327,19 @@ class LayeringRule(LintFixture):
     def test_unknown_directory_flagged(self):
         # No CMakeLists.txt -> the directory has no place in the DAG.
         self.write("src/newdir/a.h", "int x;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "layering")
+
+    def test_shard_layer_sits_above_service(self):
+        # Mirror of the real tree's src/shard/ edges: shard links service
+        # (and below), so shard -> service includes are clean while
+        # service -> shard includes are flagged — the router composition
+        # layer may see the per-shard services, never the reverse.
+        self.link("shard", "service", "view", "relational", "util")
+        self.write("src/shard/a.h", '#include "service/update_service.h"\n')
+        self.assert_clean()
+        self.write("src/service/b.h", '#include "shard/router.h"\n')
         code, out = self.run_lint()
         self.assertEqual(code, 1)
         self.assert_rules(out, "layering")
