@@ -86,6 +86,7 @@
 #include "net/workload.h"
 #include "obs/histogram.h"
 #include "obs/telemetry.h"
+#include "obs/trace_context.h"
 #include "util/annotations.h"
 #include "util/rng.h"
 
@@ -104,7 +105,44 @@ struct Job {
   int64_t not_before_nanos = 0;  ///< Earliest execution (Retry-After).
   int attempts = 0;              ///< 429 retries consumed so far.
   int tenant = 0;                ///< Tenant index, for per-tenant tallies.
+  uint64_t trace_id = 0;         ///< Injected x-relview-trace id.
   std::string body;
+};
+
+/// Mutex-guarded top-K slowest *accepted* requests with the trace ids the
+/// harness injected: the client-side handle into the server's spans and
+/// wide events. Paste a listed id into a grep over the wide-event log, or
+/// match it against GET /v1/trace output, to see exactly where that tail
+/// request spent its time (docs/OPERATIONS.md "Debugging a slow batch").
+class SlowestTracker {
+ public:
+  struct Entry {
+    int64_t latency_nanos = 0;
+    uint64_t trace_id = 0;
+  };
+  static constexpr size_t kKeep = 5;
+
+  void Record(int64_t latency_nanos, uint64_t trace_id)
+      RELVIEW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (entries_.size() >= kKeep &&
+        latency_nanos <= entries_.back().latency_nanos) {
+      return;
+    }
+    auto it = entries_.begin();
+    while (it != entries_.end() && it->latency_nanos >= latency_nanos) ++it;
+    entries_.insert(it, Entry{latency_nanos, trace_id});
+    if (entries_.size() > kKeep) entries_.pop_back();
+  }
+
+  std::vector<Entry> Snapshot() const RELVIEW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return entries_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ RELVIEW_GUARDED_BY(mu_);
 };
 
 /// Dispatcher-to-worker queue. Unbounded by design: the backlog IS the
@@ -179,6 +217,7 @@ struct Tally {
   std::vector<std::atomic<uint64_t>> tenant_shed;
   LatencyHistogram accepted_latency;
   LatencyHistogram all_latency;
+  SlowestTracker slowest;
 };
 
 /// One worker's persistent connection.
@@ -312,6 +351,7 @@ void WorkerLoop(const std::string& host, int port, JobQueue* queue,
         case 200: {
           tally->accepted.fetch_add(1, std::memory_order_relaxed);
           tally->accepted_latency.Record(latency);
+          tally->slowest.Record(latency, job.trace_id);
           const size_t pos = body.find("\"applied\":");
           if (pos != std::string::npos) {
             tally->updates_applied.fetch_add(
@@ -384,7 +424,13 @@ double Drive(const DriveOptions& opt, Tally* tally) {
     job.scheduled_nanos = next_arrival;
     job.not_before_nanos = next_arrival;
     job.tenant = std::atoi(batch.tenant.c_str() + 1);  // "tN" -> N
-    job.body = net::BuildRequest("POST", "/v1/batch", opt.host, batch.body);
+    // Mint and inject a trace id per batch so any server-side span tree or
+    // wide event is joinable back to this client-side latency sample. A
+    // retried 429 reuses the id: the attempts share one logical request.
+    job.trace_id = NewTraceId();
+    job.body = net::BuildRequest(
+        "POST", "/v1/batch", opt.host, batch.body,
+        {"x-relview-trace: " + TraceIdHex(job.trace_id)});
     tally->pending.fetch_add(1, std::memory_order_relaxed);
     tally->tenant_offered[static_cast<size_t>(job.tenant)].fetch_add(
         1, std::memory_order_relaxed);
@@ -428,6 +474,25 @@ std::vector<int> ParseIntList(const std::string& s) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  return out;
+}
+
+/// JSON array of the top-K slowest accepted requests with their injected
+/// trace ids ([{"latency_ms":..,"trace_id":"<16 hex>"}, ...]).
+std::string SlowestJson(const Tally& tally) {
+  std::string out = "[";
+  bool first = true;
+  for (const SlowestTracker::Entry& e : tally.slowest.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"latency_ms\":%.3f,\"trace_id\":\"%s\"}",
+                  static_cast<double>(e.latency_nanos) / 1e6,
+                  TraceIdHex(e.trace_id).c_str());
+    out += buf;
+  }
+  out += "]";
   return out;
 }
 
@@ -514,6 +579,16 @@ int Run(int argc, char** argv) {
   std::printf("  accepted latency p50 %.2fms  p99 %.2fms  p99.9 %.2fms "
               "(open-loop: includes queue wait)\n",
               p50_ms, p99_ms, p999_ms);
+  const std::vector<SlowestTracker::Entry> slowest = tally.slowest.Snapshot();
+  if (!slowest.empty()) {
+    std::printf("  slowest accepted (x-relview-trace ids; join against "
+                "GET /v1/trace or the wide-event log):\n");
+    for (const SlowestTracker::Entry& e : slowest) {
+      std::printf("    %10.2fms  trace %s\n",
+                  static_cast<double>(e.latency_nanos) / 1e6,
+                  TraceIdHex(e.trace_id).c_str());
+    }
+  }
 
   JsonWriter json;
   json.Add("host", host)
@@ -540,6 +615,7 @@ int Run(int argc, char** argv) {
       .Add("accepted_p99_ms", p99_ms)
       .Add("accepted_p999_ms", p999_ms);
   json.Raw("tenant_shed_ratio", TenantShedRatiosJson(tally));
+  json.Raw("slowest", SlowestJson(tally));
   json.Raw("accepted_latency", tally.accepted_latency.ToJson());
   json.Raw("all_latency", tally.all_latency.ToJson());
 

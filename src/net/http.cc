@@ -300,9 +300,14 @@ std::string BuildResponse(int status, const std::string& content_type,
 }
 
 std::string BuildRequest(const std::string& method, const std::string& target,
-                         const std::string& host, const std::string& body) {
+                         const std::string& host, const std::string& body,
+                         const std::vector<std::string>& extra_headers) {
   std::string out = method + " " + target + " HTTP/1.1\r\n";
   out += "Host: " + host + "\r\n";
+  for (const std::string& h : extra_headers) {
+    out += h;
+    out += "\r\n";
+  }
   if (!body.empty() || method == "POST" || method == "PUT") {
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }

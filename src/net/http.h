@@ -156,9 +156,11 @@ std::string BuildResponse(int status, const std::string& content_type,
                           const std::vector<std::string>& extra_headers = {});
 
 /// Formats a request (client side). `body` empty means no body and no
-/// Content-Length for GET-style methods.
+/// Content-Length for GET-style methods. `extra_headers` are emitted
+/// verbatim (each "Name: value", no CRLF) after the Host header.
 std::string BuildRequest(const std::string& method, const std::string& target,
-                         const std::string& host, const std::string& body);
+                         const std::string& host, const std::string& body,
+                         const std::vector<std::string>& extra_headers = {});
 
 }  // namespace net
 }  // namespace relview

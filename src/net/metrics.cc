@@ -9,6 +9,7 @@ const char* RouteName(Route route) {
     case Route::kSnapshot: return "snapshot";
     case Route::kHealth: return "health";
     case Route::kMetrics: return "metrics";
+    case Route::kTrace: return "trace";
     case Route::kOther: return "other";
     case Route::kNumRoutes: break;
   }
@@ -45,8 +46,9 @@ uint64_t NetMetrics::responses(int status) const {
       std::memory_order_relaxed);
 }
 
-void NetMetrics::RecordLatency(Route route, int64_t nanos) {
-  latency_[static_cast<int>(route)].Record(nanos);
+void NetMetrics::RecordLatency(Route route, int64_t nanos,
+                               uint64_t trace_id) {
+  latency_[static_cast<int>(route)].RecordTraced(nanos, trace_id);
 }
 
 std::vector<MetricFamily> NetMetrics::Collect() const {

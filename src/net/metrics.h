@@ -24,6 +24,7 @@ enum class Route {
   kSnapshot,     ///< GET /v1/snapshot
   kHealth,       ///< GET /healthz
   kMetrics,      ///< GET /metrics
+  kTrace,        ///< GET /v1/trace (Chrome-trace export)
   kOther,        ///< anything else (404/405 paths)
   kNumRoutes,    ///< sentinel; keep last
 };
@@ -65,8 +66,10 @@ class NetMetrics {
                                                 std::memory_order_relaxed);
   }
   /// Records end-to-end handling latency (parse-complete to response
-  /// bytes written) for `route`.
-  void RecordLatency(Route route, int64_t nanos);
+  /// bytes written) for `route`. A nonzero `trace_id` becomes the
+  /// containing bucket's exemplar, so the exported p99 can name a
+  /// concrete recorded trace.
+  void RecordLatency(Route route, int64_t nanos, uint64_t trace_id = 0);
   /// Tracks the connection gauge.
   void ConnectionOpened() {
     connections_.fetch_add(1, std::memory_order_relaxed);

@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "net/json.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "service/update.h"
 #include "shard/sharded_service.h"
 #include "relational/value.h"
@@ -42,6 +44,21 @@ bool WriteAll(int fd, const std::string& data) {
     return false;
   }
   return true;
+}
+
+/// BuildResponse plus the `x-relview-trace` echo: every response produced
+/// while a request context is installed — 200s, 409s, and the 429/503
+/// refusal paths alike — carries the resolved trace id back to the
+/// client, so a caller can correlate any outcome with the server's spans
+/// and wide events.
+std::string TracedResponse(int status, const std::string& content_type,
+                           const std::string& body, bool keep_alive,
+                           std::vector<std::string> extra_headers = {}) {
+  const TraceContext& ctx = CurrentTraceContext();
+  if (ctx.valid()) {
+    extra_headers.push_back("x-relview-trace: " + TraceIdHex(ctx.trace_id));
+  }
+  return BuildResponse(status, content_type, body, keep_alive, extra_headers);
 }
 
 std::string ErrorBody(const std::string& error, const std::string& detail) {
@@ -422,12 +439,32 @@ void HttpServer::ServeConnection(int fd) {
       route = Route::kHealth;
     } else if (req.path == "/metrics") {
       route = Route::kMetrics;
+    } else if (req.path == "/v1/trace") {
+      route = Route::kTrace;
     }
     metrics_.RecordRequest(route);
-    const std::string resp = Handle(req, received, &keep_open);
+    // Resolve the request's trace identity before any handler span opens:
+    // adopt the caller's id from `x-relview-trace` (a propagated trace is
+    // always kept while the tracer is on — the caller already decided it
+    // is interesting), else mint one and draw the head-sampling decision
+    // here, so the whole span tree under this request follows one verdict.
+    TraceContext ctx;
+    if (ParseTraceIdHex(req.Header("x-relview-trace"), &ctx.trace_id)) {
+      ctx.sampled = GlobalTracer().enabled();
+    } else {
+      ctx.trace_id = NewTraceId();
+      ctx.sampled = GlobalTracer().HeadSample();
+    }
+    std::string resp;
+    uint64_t latency_trace = 0;
+    {
+      ScopedTraceContext scoped(ctx);
+      resp = Handle(req, received, &keep_open);
+      latency_trace = CurrentSampledTraceId();
+    }
     if (!WriteAll(fd, resp)) break;
     metrics_.AddBytesWritten(resp.size());
-    metrics_.RecordLatency(route, NowNanos() - received);
+    metrics_.RecordLatency(route, NowNanos() - received, latency_trace);
     if (!keep_open) break;
     parser.Next();
   }
@@ -473,47 +510,83 @@ std::string HttpServer::Handle(const HttpRequest& req, int64_t received_nanos,
     }
   } else if (req.path == "/metrics") {
     return HandleMetrics(req);
+  } else if (req.path == "/v1/trace") {
+    if (req.method != "GET") {
+      status = 405;
+      body = ErrorBody("method_not_allowed", "use GET /v1/trace");
+      extra.push_back("Allow: GET");
+    } else {
+      return HandleTrace(req);
+    }
   } else {
     status = 404;
     body = ErrorBody("not_found", req.path);
   }
   const bool ka = *keep_open;
-  std::string out = BuildResponse(status, content_type, body, ka, extra);
+  std::string out = TracedResponse(status, content_type, body, ka, extra);
   metrics_.RecordResponse(status);
   return out;
 }
 
 std::string HttpServer::HandleBatch(const HttpRequest& req,
                                     int64_t received_nanos, bool* keep_open) {
+  // Root span of the request's tree: router/shard/commit spans all parent
+  // back (transitively) to this one, so one request renders as one tree.
+  RELVIEW_TRACE_SPAN_N(root, "net.batch");
+  WideEvent ev;
+  ev.trace_id = CurrentTraceContext().trace_id;
+  std::string resp = HandleBatchInner(req, received_nanos, keep_open, &ev);
+  root.Finish();
+  ev.total_nanos = NowNanos() - received_nanos;
+  // Failures are forced through the sampler: the interesting lines are
+  // never the ones sampled away.
+  GlobalWideEvents().Emit(ev, /*forced=*/ev.http_status >= 500);
+  return resp;
+}
+
+std::string HttpServer::HandleBatchInner(const HttpRequest& req,
+                                         int64_t received_nanos,
+                                         bool* keep_open, WideEvent* ev) {
   if (draining()) {
     metrics_.RecordRefusal(RefusalKind::kDraining);
     metrics_.RecordResponse(503);
     *keep_open = false;
-    return BuildResponse(503, "application/json", ErrorBody("draining", ""),
-                         false);
+    ev->http_status = 503;
+    ev->admission = "draining";
+    return TracedResponse(503, "application/json", ErrorBody("draining", ""),
+                          false);
   }
 
   auto doc = ParseJson(req.body);
   if (!doc.ok()) {
     metrics_.RecordRefusal(RefusalKind::kParse);
     metrics_.RecordResponse(400);
-    return BuildResponse(400, "application/json",
-                         ErrorBody("bad_json", doc.status().message()),
-                         *keep_open);
+    ev->http_status = 400;
+    ev->admission = "parse_error";
+    ev->detail = doc.status().message();
+    return TracedResponse(400, "application/json",
+                          ErrorBody("bad_json", doc.status().message()),
+                          *keep_open);
   }
   const JsonValue* tenant = doc->Get("tenant");
   if (tenant == nullptr || !tenant->is_string()) {
     metrics_.RecordRefusal(RefusalKind::kParse);
     metrics_.RecordResponse(400);
-    return BuildResponse(
+    ev->http_status = 400;
+    ev->admission = "parse_error";
+    ev->detail = "body needs a \"tenant\" string";
+    return TracedResponse(
         400, "application/json",
         ErrorBody("bad_request", "body needs a \"tenant\" string"),
         *keep_open);
   }
+  ev->tenant = tenant->string_value();
   ShardedService* svc = tenants_->Find(tenant->string_value());
   if (svc == nullptr) {
     metrics_.RecordResponse(404);
-    return BuildResponse(
+    ev->http_status = 404;
+    ev->admission = "unknown_tenant";
+    return TracedResponse(
         404, "application/json",
         ErrorBody("unknown_tenant", tenant->string_value()), *keep_open);
   }
@@ -521,10 +594,14 @@ std::string HttpServer::HandleBatch(const HttpRequest& req,
   if (!updates.ok()) {
     metrics_.RecordRefusal(RefusalKind::kParse);
     metrics_.RecordResponse(400);
-    return BuildResponse(400, "application/json",
-                         ErrorBody("bad_request", updates.status().message()),
-                         *keep_open);
+    ev->http_status = 400;
+    ev->admission = "parse_error";
+    ev->detail = updates.status().message();
+    return TracedResponse(
+        400, "application/json",
+        ErrorBody("bad_request", updates.status().message()), *keep_open);
   }
+  ev->batch_size = static_cast<int>(updates->size());
 
   // Deadline: checked after body parse, right before the write path — the
   // request dies here rather than adding load the client stopped waiting
@@ -544,7 +621,9 @@ std::string HttpServer::HandleBatch(const HttpRequest& req,
       NowNanos() - received_nanos >= deadline_ms * 1'000'000) {
     metrics_.RecordRefusal(RefusalKind::kDeadline);
     metrics_.RecordResponse(503);
-    return BuildResponse(
+    ev->http_status = 503;
+    ev->admission = "deadline";
+    return TracedResponse(
         503, "application/json",
         ErrorBody("deadline", "request deadline expired before apply"),
         *keep_open);
@@ -555,25 +634,40 @@ std::string HttpServer::HandleBatch(const HttpRequest& req,
     const int retry_after = gate_->RetryAfterSeconds();
     metrics_.RecordRefusal(RefusalKind::kShed429);
     metrics_.RecordResponse(429);
-    return BuildResponse(
+    ev->http_status = 429;
+    ev->admission = "shed";
+    return TracedResponse(
         429, "application/json",
         "{\"error\":\"shed\",\"retry_after\":" + std::to_string(retry_after) +
             "}",
         *keep_open, {"Retry-After: " + std::to_string(retry_after)});
   }
+  ev->admission = "admitted";
 
   const int64_t t0 = NowNanos();
   const BatchResult result = svc->ApplyBatch(*updates);
   gate_->RecordWriteLatency(NowNanos() - t0);
+  // Per-stage attribution for the wide event, aggregated across shards.
+  ev->stage_nanos = result.timings.stage_nanos;
+  ev->append_nanos = result.timings.append_nanos;
+  ev->commit_wait_nanos = result.timings.commit_wait_nanos;
+  ev->cohort_batches = result.timings.cohort_batches;
+  ev->led_cohort = result.timings.led_cohort;
+  ev->shard_mask = result.timings.shard_mask;
+  ev->shards_touched = result.timings.shards_touched;
+  ev->straggler_shard = result.timings.straggler_shard;
+  ev->straggler_nanos = result.timings.straggler_nanos;
 
   if (result.ok()) {
     metrics_.RecordResponse(200);
-    return BuildResponse(
+    ev->http_status = 200;
+    return TracedResponse(
         200, "application/json",
         "{\"status\":\"ok\",\"version\":" + std::to_string(svc->version()) +
             ",\"applied\":" + std::to_string(updates->size()) + "}",
         *keep_open);
   }
+  ev->detail = result.status.message();
   const StatusCode code = result.status.code();
   if (code == StatusCode::kInternal || code == StatusCode::kCorruption) {
     // Durability failure (journal append/fsync, store rotation): the batch
@@ -581,31 +675,33 @@ std::string HttpServer::HandleBatch(const HttpRequest& req,
     // a recovered process rather than treating it as a semantic verdict.
     metrics_.RecordRefusal(RefusalKind::kDurability);
     metrics_.RecordResponse(503);
-    return BuildResponse(
+    ev->http_status = 503;
+    return TracedResponse(
         503, "application/json",
         ErrorBody("durability", result.status.message()), *keep_open);
   }
   metrics_.RecordResponse(409);
+  ev->http_status = 409;
   std::string body = "{\"status\":\"rejected\",\"failed_index\":" +
                      std::to_string(result.failed_index) + ",\"code\":\"" +
                      StatusCodeName(code) + "\",\"detail\":\"" +
                      JsonEscape(result.status.message()) + "\"}";
-  return BuildResponse(409, "application/json", body, *keep_open);
+  return TracedResponse(409, "application/json", body, *keep_open);
 }
 
 std::string HttpServer::HandleSnapshot(const HttpRequest& req) {
   const std::string tenant = req.QueryParam("tenant");
   if (tenant.empty()) {
     metrics_.RecordResponse(400);
-    return BuildResponse(
+    return TracedResponse(
         400, "application/json",
         ErrorBody("bad_request", "need ?tenant=<name>"), !draining());
   }
   ShardedService* svc = tenants_->Find(tenant);
   if (svc == nullptr) {
     metrics_.RecordResponse(404);
-    return BuildResponse(404, "application/json",
-                         ErrorBody("unknown_tenant", tenant), !draining());
+    return TracedResponse(404, "application/json",
+                          ErrorBody("unknown_tenant", tenant), !draining());
   }
   const ShardedSnapshot snap = svc->Snapshot();
   std::string body = "{\"tenant\":\"" + JsonEscape(tenant) +
@@ -617,7 +713,7 @@ std::string HttpServer::HandleSnapshot(const HttpRequest& req) {
   }
   body += "}";
   metrics_.RecordResponse(200);
-  return BuildResponse(200, "application/json", body, !draining());
+  return TracedResponse(200, "application/json", body, !draining());
 }
 
 std::string HttpServer::HandleMetrics(const HttpRequest& req) {
@@ -638,7 +734,17 @@ std::string HttpServer::HandleMetrics(const HttpRequest& req) {
     }
   }
   metrics_.RecordResponse(200);
-  return BuildResponse(200, content_type, body, !draining());
+  return TracedResponse(200, content_type, body, !draining());
+}
+
+std::string HttpServer::HandleTrace(const HttpRequest& req) {
+  // Export first, then optionally clear: ?clear=1 lets a smoke test or an
+  // operator take one consistent dump per incident without a racing
+  // scrape re-reading the same spans.
+  std::string body = GlobalTracer().ExportChromeTrace();
+  if (req.QueryParam("clear") == "1") GlobalTracer().Clear();
+  metrics_.RecordResponse(200);
+  return TracedResponse(200, "application/json", body, !draining());
 }
 
 }  // namespace net

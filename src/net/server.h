@@ -36,6 +36,16 @@
 ///   GET /healthz          200 "ok" (503 while draining)
 ///   GET /metrics          Prometheus text; ?format=json for the JSON
 ///                         document of every registered section
+///   GET /v1/trace         Chrome trace_event JSON of the span ring
+///                         (?clear=1 empties the ring after export)
+///
+/// Request tracing: every request resolves a trace id — adopted from an
+/// `x-relview-trace` request header (16 hex digits) or freshly minted —
+/// which is installed as the thread's TraceContext for the handler's
+/// duration, echoed back in an `x-relview-trace` response header on every
+/// path (including 429/503 refusals), stamped as an exemplar on the route
+/// latency histograms, and carried into one wide event per request
+/// (obs/wide_event.h) when the global sink is configured.
 
 #ifndef RELVIEW_NET_SERVER_H_
 #define RELVIEW_NET_SERVER_H_
@@ -53,6 +63,7 @@
 #include "net/metrics.h"
 #include "net/workload.h"
 #include "obs/telemetry.h"
+#include "obs/wide_event.h"
 #include "util/annotations.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -142,10 +153,16 @@ class HttpServer {
   /// sets *keep_open.
   std::string Handle(const HttpRequest& req, int64_t received_nanos,
                      bool* keep_open);
+  /// Wide-event shell around HandleBatchInner: opens the request's root
+  /// span ("net.batch") and emits one WideEvent when the sink is live
+  /// (forced for 5xx outcomes).
   std::string HandleBatch(const HttpRequest& req, int64_t received_nanos,
                           bool* keep_open);
+  std::string HandleBatchInner(const HttpRequest& req, int64_t received_nanos,
+                               bool* keep_open, WideEvent* ev);
   std::string HandleSnapshot(const HttpRequest& req);
   std::string HandleMetrics(const HttpRequest& req);
+  std::string HandleTrace(const HttpRequest& req);
 
   /// Registers/unregisters a connection fd for the drain bookkeeping.
   bool TrackConnection(int fd) RELVIEW_EXCLUDES(conn_mu_);

@@ -51,6 +51,7 @@ Result<TenantSet> MakeTenants(const TenantSpec& spec) {
       options.checkpoint_every = spec.checkpoint_every;
       options.group_commit = spec.group_commit;
       options.group_window_us = spec.group_window_us;
+      options.commit_stall_ms = spec.commit_stall_ms;
     }
     RELVIEW_ASSIGN_OR_RETURN(
         std::unique_ptr<ShardedService> svc,

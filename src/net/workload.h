@@ -67,6 +67,9 @@ struct TenantSpec {
   bool group_commit = false;
   /// Leader gathering window forwarded to ServiceOptions::group_window_us.
   uint32_t group_window_us = 0;
+  /// Group-commit stall watchdog forwarded to
+  /// ServiceOptions::commit_stall_ms (0 disables).
+  uint32_t commit_stall_ms = 0;
 };
 
 /// The set of tenant services the server routes between. Movable only.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/trace_context.h"
+
 namespace relview {
 namespace {
 
@@ -30,9 +32,13 @@ void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
 
 }  // namespace
 
-void LatencyHistogram::Record(int64_t nanos) {
+void LatencyHistogram::RecordTraced(int64_t nanos, uint64_t trace_id) {
   if (nanos < 0) nanos = 0;
-  buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+  const int b = BucketOf(nanos);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    exemplar_trace_[b].store(trace_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   total_nanos_.fetch_add(static_cast<uint64_t>(nanos),
                          std::memory_order_relaxed);
@@ -45,21 +51,48 @@ uint64_t LatencyHistogram::min_nanos() const {
   return m == ~0ULL ? 0 : m;
 }
 
+int LatencyHistogram::QuantileBucket(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return -1;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return b;
+  }
+  return kBuckets - 1;
+}
+
 uint64_t LatencyHistogram::QuantileNanos(double q) const {
   const uint64_t n = count();
   if (n == 0) return 0;
   if (q <= 0) return min_nanos();
   if (q >= 1) return max_nanos();
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
-  uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen >= rank) {
-      const uint64_t edge = b >= 63 ? ~0ULL : (2ULL << b);  // upper edge
-      return std::clamp(edge, min_nanos(), max_nanos());
+  const int b = QuantileBucket(q);
+  const uint64_t edge = b >= 63 ? ~0ULL : (2ULL << b);  // upper edge
+  return std::clamp(edge, min_nanos(), max_nanos());
+}
+
+uint64_t LatencyHistogram::ExemplarTrace(double q) const {
+  const int b = QuantileBucket(q);
+  if (b < 0) return 0;
+  // The quantile's own bucket may predate tracing (or hold only unsampled
+  // samples); fall back outward to the nearest bucket with an exemplar so
+  // an operator always gets *some* nearby trace when one exists.
+  for (int d = 0; d < kBuckets; ++d) {
+    const int lo = b - d;
+    const int hi = b + d;
+    if (lo >= 0) {
+      const uint64_t t = exemplar_trace_[lo].load(std::memory_order_relaxed);
+      if (t != 0) return t;
+    }
+    if (hi < kBuckets && hi != lo) {
+      const uint64_t t = exemplar_trace_[hi].load(std::memory_order_relaxed);
+      if (t != 0) return t;
     }
   }
-  return max_nanos();
+  return 0;
 }
 
 std::string LatencyHistogram::ToJson() const {
@@ -67,13 +100,19 @@ std::string LatencyHistogram::ToJson() const {
   std::snprintf(
       buf, sizeof(buf),
       "{\"count\":%llu,\"mean_ns\":%.1f,\"min_ns\":%llu,\"p50_ns\":%llu,"
-      "\"p99_ns\":%llu,\"max_ns\":%llu}",
+      "\"p99_ns\":%llu,\"max_ns\":%llu",
       static_cast<unsigned long long>(count()), mean_nanos(),
       static_cast<unsigned long long>(min_nanos()),
       static_cast<unsigned long long>(QuantileNanos(0.50)),
       static_cast<unsigned long long>(QuantileNanos(0.99)),
       static_cast<unsigned long long>(max_nanos()));
-  return buf;
+  std::string out = buf;
+  const uint64_t exemplar = ExemplarTrace(0.99);
+  if (exemplar != 0) {
+    out += ",\"p99_trace\":\"" + TraceIdHex(exemplar) + "\"";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace relview

@@ -5,6 +5,12 @@
 // of the containing bucket, clamped into [min, max] so boundary quantiles
 // (q = 0, q = 1, single-sample histograms) are exact observed values
 // rather than bucket edges.
+//
+// Exemplars: each bucket additionally remembers the trace id of the most
+// recent sampled request that landed in it (one relaxed atomic store —
+// tear-free because the id is a single word). A quantile estimate can
+// then be resolved to a concrete recorded trace: "what did a p99 request
+// actually do?" becomes one id lookup instead of archaeology.
 
 #ifndef RELVIEW_OBS_HISTOGRAM_H_
 #define RELVIEW_OBS_HISTOGRAM_H_
@@ -20,7 +26,17 @@ class LatencyHistogram {
  public:
   static constexpr int kBuckets = 40;  // up to ~2^40 ns ≈ 18 minutes
 
-  void Record(int64_t nanos);
+  void Record(int64_t nanos) { RecordTraced(nanos, 0); }
+
+  /// Record plus an exemplar: when trace_id != 0 the containing bucket
+  /// remembers it (latest wins). Pass CurrentSampledTraceId() so the
+  /// exemplar always names a trace present in the ring.
+  void RecordTraced(int64_t nanos, uint64_t trace_id);
+
+  /// Trace id remembered by the bucket containing the q-quantile (the
+  /// same bucket QuantileNanos reports from); 0 when the histogram is
+  /// empty or no traced sample ever landed there.
+  uint64_t ExemplarTrace(double q) const;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t total_nanos() const {
@@ -42,11 +58,15 @@ class LatencyHistogram {
   uint64_t QuantileNanos(double q) const;
 
   /// {"count":3,"mean_ns":120.0,"min_ns":88,"p50_ns":128,"p99_ns":256,
-  ///  "max_ns":201}
+  ///  "max_ns":201} — plus "p99_trace":"<16hex>" when an exemplar exists.
   std::string ToJson() const;
 
  private:
+  /// Index of the bucket containing the q-quantile; -1 on empty.
+  int QuantileBucket(double q) const;
+
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<uint64_t>, kBuckets> exemplar_trace_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> total_nanos_{0};
   std::atomic<uint64_t> max_nanos_{0};

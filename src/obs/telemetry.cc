@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/trace_context.h"
+
 namespace relview {
 namespace {
 
@@ -23,8 +25,13 @@ void AppendSample(const std::string& name, const MetricSample& s,
   *out += name;
   *out += s.labels;
   // %.17g round-trips doubles; integers render without an exponent.
-  std::snprintf(buf, sizeof(buf), " %.17g\n", s.value);
+  std::snprintf(buf, sizeof(buf), " %.17g", s.value);
   *out += buf;
+  if (!s.exemplar.empty()) {
+    *out += " # ";
+    *out += s.exemplar;
+  }
+  *out += "\n";
 }
 
 }  // namespace
@@ -49,8 +56,15 @@ MetricFamily SummaryFamily(std::string name, std::string help,
                        static_cast<double>(h.min_nanos()) * kNsToSec});
   f.samples.push_back({"{quantile=\"0.5\"}",
                        static_cast<double>(h.QuantileNanos(0.5)) * kNsToSec});
-  f.samples.push_back({"{quantile=\"0.99\"}",
-                       static_cast<double>(h.QuantileNanos(0.99)) * kNsToSec});
+  MetricSample p99{"{quantile=\"0.99\"}",
+                   static_cast<double>(h.QuantileNanos(0.99)) * kNsToSec, ""};
+  if (const uint64_t t = h.ExemplarTrace(0.99); t != 0) {
+    char ex[64];
+    std::snprintf(ex, sizeof(ex), "{trace_id=\"%s\"} %.17g",
+                  TraceIdHex(t).c_str(), p99.value);
+    p99.exemplar = ex;
+  }
+  f.samples.push_back(std::move(p99));
   f.samples.push_back({"{quantile=\"1\"}",
                        static_cast<double>(h.max_nanos()) * kNsToSec});
   // _count and _sum are rendered specially (suffixed series).

@@ -26,10 +26,23 @@
 namespace relview {
 
 /// One sample of a metric: optional label set ("{kind=\"insert\"}",
-/// already formatted, possibly empty) plus a value.
+/// already formatted, possibly empty) plus a value, plus an optional
+/// exemplar suffix (OpenMetrics syntax, e.g. "{trace_id=\"<16hex>\"} 0.8")
+/// rendered after the value so a latency series can point at a concrete
+/// recorded trace.
 struct MetricSample {
+  MetricSample() = default;
+  // Two- and three-field forms, so the many existing `{labels, value}`
+  // brace inits stay valid without tripping -Wmissing-field-initializers.
+  MetricSample(std::string labels_in, double value_in,
+               std::string exemplar_in = std::string())
+      : labels(std::move(labels_in)),
+        value(value_in),
+        exemplar(std::move(exemplar_in)) {}
+
   std::string labels;
   double value = 0;
+  std::string exemplar;
 };
 
 /// A named group of samples sharing HELP/TYPE metadata.

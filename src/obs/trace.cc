@@ -54,6 +54,9 @@ void TraceRing::Push(const TraceEvent& ev) {
   s.dur_ns.store(ev.dur_ns, std::memory_order_relaxed);
   s.tid.store(ev.tid, std::memory_order_relaxed);
   s.depth.store(ev.depth, std::memory_order_relaxed);
+  s.trace_id.store(ev.trace_id, std::memory_order_relaxed);
+  s.span_id.store(ev.span_id, std::memory_order_relaxed);
+  s.parent_span_id.store(ev.parent_span_id, std::memory_order_relaxed);
   for (int a = 0; a < TraceEvent::kMaxArgs; ++a) {
     const bool present = a < ev.num_args;
     s.arg_name[a].store(
@@ -83,6 +86,9 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     ev.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
     ev.tid = s.tid.load(std::memory_order_relaxed);
     ev.depth = s.depth.load(std::memory_order_relaxed);
+    ev.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    ev.span_id = s.span_id.load(std::memory_order_relaxed);
+    ev.parent_span_id = s.parent_span_id.load(std::memory_order_relaxed);
     ev.num_args = 0;
     for (int a = 0; a < TraceEvent::kMaxArgs; ++a) {
       const uintptr_t n = s.arg_name[a].load(std::memory_order_relaxed);
@@ -138,9 +144,21 @@ Tracer::ThreadState& Tracer::Tls() {
   return st;
 }
 
-bool Tracer::BeginSpan() {
+bool Tracer::HeadSample() {
+  if (!enabled()) return false;
   ThreadState& ts = Tls();
-  if (ts.depth == 0) {
+  const uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  return (ts.sample_counter++ % every) == 0;
+}
+
+bool Tracer::BeginSpan(SampleOverride override_mode) {
+  ThreadState& ts = Tls();
+  if (override_mode != SampleOverride::kAuto) {
+    // Edge decision (TraceContext) dominates at every depth, so adopted
+    // traces record even when this thread's counter would have skipped,
+    // and unsampled requests stay free mid-tree.
+    ts.sampled = override_mode == SampleOverride::kForce;
+  } else if (ts.depth == 0) {
     const uint32_t every = sample_every_.load(std::memory_order_relaxed);
     ts.sampled = (ts.sample_counter++ % every) == 0;
   }
@@ -217,6 +235,13 @@ std::string Tracer::ExportChromeTrace() const {
                   static_cast<double>(ev.start_ns) / 1000.0,
                   static_cast<double>(ev.dur_ns) / 1000.0, ev.tid, ev.depth);
     out += buf;
+    if (ev.trace_id != 0) {
+      out += ",\"trace\":\"" + TraceIdHex(ev.trace_id) + "\"";
+      out += ",\"span\":\"" + TraceIdHex(ev.span_id) + "\"";
+      if (ev.parent_span_id != 0) {
+        out += ",\"parent\":\"" + TraceIdHex(ev.parent_span_id) + "\"";
+      }
+    }
     for (int a = 0; a < ev.num_args; ++a) {
       out += ",\"";
       AppendJsonEscaped(ev.arg_name[a], &out);
@@ -246,6 +271,7 @@ std::string Tracer::ExportText() const {
                     static_cast<unsigned long long>(ev.arg_value[a]));
       out += buf;
     }
+    if (ev.trace_id != 0) out += " trace=" + TraceIdHex(ev.trace_id);
     out += "\n";
   }
   return out;

@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_context.h"
+
 namespace relview {
 
 /// One completed span as read back out of the ring.
@@ -47,6 +49,11 @@ struct TraceEvent {
   int64_t dur_ns = 0;
   uint32_t tid = 0;   // small dense thread id assigned on first span
   uint32_t depth = 0;  // nesting depth at emission (root = 0)
+  // Request identity (obs/trace_context.h); all-zero when the span ran
+  // with no installed context (library-internal spans, shell commands).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   static constexpr int kMaxArgs = 2;
   const char* arg_name[kMaxArgs] = {nullptr, nullptr};
   uint64_t arg_value[kMaxArgs] = {0, 0};
@@ -100,6 +107,9 @@ class TraceRing {
     std::atomic<int64_t> dur_ns{0};
     std::atomic<uint32_t> tid{0};
     std::atomic<uint32_t> depth{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> parent_span_id{0};
     std::atomic<uintptr_t> arg_name[TraceEvent::kMaxArgs] = {};
     std::atomic<uint64_t> arg_value[TraceEvent::kMaxArgs] = {};
   };
@@ -148,10 +158,23 @@ class Tracer {
   /// One line per span: "start_us dur_us tid depth name k=v ...".
   std::string ExportText() const;
 
+  /// One head-sampling decision drawn from the calling thread's counter,
+  /// without opening a span. The network edge uses this to decide a
+  /// request's fate once, then pins it into the TraceContext so every
+  /// span under the request — on any depth — follows it.
+  bool HeadSample();
+
   // -- Span internals (used by the Span RAII class) ------------------------
+  /// How BeginSpan resolves the sampling decision. kAuto is the legacy
+  /// per-thread-counter behavior for spans with no installed TraceContext;
+  /// kForce / kSuppress carry an edge decision (adopted header, HeadSample)
+  /// into the tree regardless of depth.
+  enum class SampleOverride { kAuto, kForce, kSuppress };
+
   /// Registers a span start on this thread; returns whether the span is
-  /// being recorded (sampling decision at depth 0, inherited below).
-  bool BeginSpan();
+  /// being recorded (sampling decision at depth 0, inherited below,
+  /// unless overridden by an edge decision).
+  bool BeginSpan(SampleOverride override_mode = SampleOverride::kAuto);
   /// Closes the innermost span; records `ev` when the trace is kept.
   void EndSpan(TraceEvent* ev);
   int64_t NowNanos() const;
@@ -181,15 +204,40 @@ Tracer& GlobalTracer();
 
 /// RAII span handle. Constructing against a disabled tracer costs one
 /// relaxed load + branch and leaves the handle inert.
+///
+/// When the calling thread carries a TraceContext (a request is in
+/// flight), the span adopts its trace id, parents itself under the
+/// innermost active span, and installs itself as the new parent for the
+/// scope's duration — so the request's edge decision, not the thread's
+/// sampling counter, decides recording, and the exported events link into
+/// one tree per request.
 class Span {
  public:
   Span(Tracer& tracer, const char* name) {
     if (!tracer.enabled()) return;
     tracer_ = &tracer;
     live_ = true;
-    recording_ = tracer.BeginSpan();
+    const TraceContext& ctx = CurrentTraceContext();
+    Tracer::SampleOverride mode = Tracer::SampleOverride::kAuto;
+    if (ctx.valid()) {
+      mode = ctx.sampled ? Tracer::SampleOverride::kForce
+                         : Tracer::SampleOverride::kSuppress;
+    }
+    recording_ = tracer.BeginSpan(mode);
     ev_.name = name;
-    if (recording_) ev_.start_ns = tracer.NowNanos();
+    if (recording_) {
+      ev_.start_ns = tracer.NowNanos();
+      if (ctx.valid()) {
+        ev_.trace_id = ctx.trace_id;
+        ev_.parent_span_id = ctx.span_id;
+        ev_.span_id = NewSpanId();
+        saved_ctx_ = ctx;
+        restore_ctx_ = true;
+        TraceContext inner = ctx;
+        inner.span_id = ev_.span_id;
+        SetCurrentTraceContext(inner);
+      }
+    }
   }
   ~Span() { Finish(); }
   Span(const Span&) = delete;
@@ -210,15 +258,23 @@ class Span {
     live_ = false;
     if (recording_) ev_.dur_ns = tracer_->NowNanos() - ev_.start_ns;
     tracer_->EndSpan(recording_ ? &ev_ : nullptr);
+    if (restore_ctx_) {
+      restore_ctx_ = false;
+      SetCurrentTraceContext(saved_ctx_);
+    }
   }
 
   bool recording() const { return recording_; }
+  /// This span's id while recording under a context (0 otherwise).
+  uint64_t span_id() const { return ev_.span_id; }
 
  private:
   Tracer* tracer_ = nullptr;
   bool live_ = false;
   bool recording_ = false;
+  bool restore_ctx_ = false;
   TraceEvent ev_;
+  TraceContext saved_ctx_;
 };
 
 #define RELVIEW_OBS_CONCAT_IMPL(a, b) a##b

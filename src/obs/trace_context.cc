@@ -1,0 +1,80 @@
+#include "obs/trace_context.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace relview {
+
+namespace {
+
+thread_local TraceContext g_current;
+
+// splitmix64 — tiny, well-mixed, and stateful per thread so concurrent
+// threads never contend or collide (each seeds from its own TLS address
+// plus the monotonic clock once).
+thread_local uint64_t g_id_state = 0;
+
+uint64_t NextId() {
+  if (g_id_state == 0) {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    g_id_state =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now).count()) ^
+        (reinterpret_cast<uintptr_t>(&g_id_state) << 17) ^ 0x9e3779b97f4a7c15ULL;
+  }
+  uint64_t z = (g_id_state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 means "no context"; never mint it
+}
+
+}  // namespace
+
+const TraceContext& CurrentTraceContext() { return g_current; }
+
+void SetCurrentTraceContext(const TraceContext& ctx) { g_current = ctx; }
+
+uint64_t CurrentSampledTraceId() {
+  return g_current.sampled ? g_current.trace_id : 0;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : saved_(g_current) {
+  g_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current = saved_; }
+
+uint64_t NewTraceId() { return NextId(); }
+uint64_t NewSpanId() { return NextId(); }
+
+std::string TraceIdHex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+bool ParseTraceIdHex(std::string_view hex, uint64_t* id) {
+  if (hex.size() != 16) return false;
+  uint64_t v = 0;
+  for (const char c : hex) {
+    uint64_t nib;
+    if (c >= '0' && c <= '9') {
+      nib = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nib = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nib = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | nib;
+  }
+  if (v == 0) return false;
+  *id = v;
+  return true;
+}
+
+}  // namespace relview

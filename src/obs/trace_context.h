@@ -1,0 +1,77 @@
+// Ambient trace-context propagation for the span tracer (obs/trace.h).
+//
+// A TraceContext names the request a thread is currently working for:
+// a 64-bit trace id (minted at the network edge or adopted from an
+// `x-relview-trace` request header), the innermost active span id (the
+// parent for any span opened next), and the head sampling decision. The
+// context is thread-local and installed/removed RAII-style, so the write
+// path — which executes a request on one thread from admission through
+// the cohort fsync — propagates it for free, and the sampling decision
+// made once at the edge governs every span underneath (kept traces stay
+// complete, dropped traces cost nothing).
+//
+// The context is deliberately tiny and trivially copyable: handing it
+// across an explicit thread boundary (none exist on the write path today)
+// is a struct copy plus ScopedTraceContext on the far side.
+
+#ifndef RELVIEW_OBS_TRACE_CONTEXT_H_
+#define RELVIEW_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace relview {
+
+/// The per-request identity a thread carries while executing a request.
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< 0 = no context installed.
+  uint64_t span_id = 0;   ///< Innermost active span (parent for new spans).
+  bool sampled = false;   ///< Head decision: record spans for this trace?
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The context installed on the calling thread (a zero context when none).
+const TraceContext& CurrentTraceContext();
+
+/// Low-level setter behind ScopedTraceContext and Span; callers that are
+/// not RAII guards should prefer ScopedTraceContext so restoration cannot
+/// be forgotten on an early return.
+void SetCurrentTraceContext(const TraceContext& ctx);
+
+/// The calling thread's trace id if its trace is being recorded, else 0.
+/// Use this when attaching exemplars: an unsampled trace id would point at
+/// a trace that was never written to the ring.
+uint64_t CurrentSampledTraceId();
+
+/// Installs `ctx` on the calling thread for the scope's lifetime and
+/// restores the previous context on destruction. Nests LIFO like any RAII
+/// guard; Span does this internally for its own span id.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Fresh nonzero 64-bit ids (thread-local splitmix64; no locks, no time
+/// syscalls on the fast path after the per-thread seed).
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+/// 16 lowercase hex digits, zero-padded — the wire form used by the
+/// `x-relview-trace` header, wide events, and exemplar labels.
+std::string TraceIdHex(uint64_t id);
+
+/// Parses the wire form (exactly 16 hex digits, either case). Returns
+/// false (and leaves *id alone) on malformed input or the zero id.
+bool ParseTraceIdHex(std::string_view hex, uint64_t* id);
+
+}  // namespace relview
+
+#endif  // RELVIEW_OBS_TRACE_CONTEXT_H_

@@ -1,0 +1,135 @@
+#include "obs/wide_event.h"
+
+#include "obs/trace_context.h"
+
+namespace relview {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendMicros(const char* key, int64_t nanos, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%.3f", key,
+                static_cast<double>(nanos) / 1000.0);
+  *out += buf;
+}
+
+}  // namespace
+
+WideEventSink::~WideEventSink() { Reset(); }
+
+void WideEventSink::Configure(std::FILE* out, uint32_t sample_every) {
+  MutexLock lock(mu_);
+  if (owns_out_ && out_ != nullptr) std::fclose(out_);
+  out_ = out;
+  owns_out_ = false;
+  sample_every_.store(out == nullptr ? 0 : sample_every,
+                      std::memory_order_relaxed);
+}
+
+Status WideEventSink::OpenFile(const std::string& path,
+                               uint32_t sample_every) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::InvalidArgument("wide-event log unwritable: " + path);
+  }
+  MutexLock lock(mu_);
+  if (owns_out_ && out_ != nullptr) std::fclose(out_);
+  out_ = f;
+  owns_out_ = true;
+  sample_every_.store(sample_every, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void WideEventSink::Reset() {
+  MutexLock lock(mu_);
+  if (owns_out_ && out_ != nullptr) std::fclose(out_);
+  out_ = nullptr;
+  owns_out_ = false;
+  sample_every_.store(0, std::memory_order_relaxed);
+}
+
+void WideEventSink::Emit(const WideEvent& ev, bool forced) {
+  const uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return;
+  const uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  if (!forced && (n % every) != 0) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::string line = Format(ev, forced);
+  {
+    MutexLock lock(mu_);
+    if (out_ == nullptr) return;
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string WideEventSink::Format(const WideEvent& ev, bool forced) {
+  std::string out = "{\"event\":\"";
+  out += ev.kind;
+  out += "\",\"tenant\":\"";
+  AppendEscaped(ev.tenant, &out);
+  out += "\",\"trace\":\"";
+  out += ev.trace_id != 0 ? TraceIdHex(ev.trace_id) : "";
+  out += "\"";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"status\":%d,\"admission\":\"%s\"",
+                ev.http_status, ev.admission);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"batch_size\":%d", ev.batch_size);
+  out += buf;
+  out += ",\"shards\":[";
+  bool first = true;
+  for (int s = 0; s < 64; ++s) {
+    if ((ev.shard_mask & (1ULL << s)) == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%d", s);
+    out += buf;
+  }
+  out += "]";
+  std::snprintf(buf, sizeof(buf),
+                ",\"shard_count\":%d,\"cohort_batches\":%llu,"
+                "\"led_cohort\":%s",
+                ev.shards_touched,
+                static_cast<unsigned long long>(ev.cohort_batches),
+                ev.led_cohort ? "true" : "false");
+  out += buf;
+  AppendMicros("stage_us", ev.stage_nanos, &out);
+  AppendMicros("append_us", ev.append_nanos, &out);
+  AppendMicros("commit_wait_us", ev.commit_wait_nanos, &out);
+  AppendMicros("total_us", ev.total_nanos, &out);
+  std::snprintf(buf, sizeof(buf), ",\"straggler_shard\":%d",
+                ev.straggler_shard);
+  out += buf;
+  AppendMicros("straggler_us", ev.straggler_nanos, &out);
+  out += ",\"detail\":\"";
+  AppendEscaped(ev.detail, &out);
+  out += forced ? "\",\"forced\":true}" : "\",\"forced\":false}";
+  return out;
+}
+
+WideEventSink& GlobalWideEvents() {
+  static WideEventSink* sink = new WideEventSink();  // leaked: process-wide
+  return *sink;
+}
+
+}  // namespace relview

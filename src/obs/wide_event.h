@@ -1,0 +1,112 @@
+// Wide events: one structured, self-contained log line per request.
+//
+// Instead of scattering a request's story across interleaved debug logs,
+// the net layer assembles everything it learned — tenant, admission
+// verdict, shard fan-out, per-stage durations, commit-cohort size, final
+// status, trace id — into a single WideEvent and emits it once, at the
+// end of the request (the "canonical log line" pattern). Each line is one
+// JSON object, so the log is greppable by trace id and machine-parseable
+// without a schema registry.
+//
+// Emission is sampled (1 in N requests) to bound volume, but callers can
+// force an individual event through the sampler — the server forces
+// failures (HTTP 5xx) and the group-commit stall watchdog forces its
+// stall report, so the interesting lines are never the ones sampled away.
+//
+// The sink is process-global (GlobalWideEvents()) for the same reason the
+// tracer is: the service layer must be able to emit (the stall watchdog
+// lives in UpdateService::AwaitDurable) without the net layer threading a
+// sink handle through every constructor.
+
+#ifndef RELVIEW_OBS_WIDE_EVENT_H_
+#define RELVIEW_OBS_WIDE_EVENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/annotations.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// Everything known about one request (or one watchdog firing), flattened.
+/// Fields that do not apply to a given event kind keep their zero values
+/// and still render, so every line has the same shape.
+struct WideEvent {
+  const char* kind = "request";  ///< "request" | "commit_stall".
+  std::string tenant;
+  uint64_t trace_id = 0;
+  int http_status = 0;
+  /// Admission verdict: "admitted", "shed", "deadline", "draining",
+  /// "parse_error", "unknown_tenant".
+  const char* admission = "";
+  int batch_size = 0;
+  uint64_t shard_mask = 0;  ///< Bit i set = shard i touched (first 64).
+  int shards_touched = 0;
+  uint64_t cohort_batches = 0;  ///< Commit-cohort size observed (0 = none).
+  bool led_cohort = false;      ///< This request's thread ran the fsync.
+  int64_t stage_nanos = 0;      ///< Translatability checks + staging.
+  int64_t append_nanos = 0;     ///< Journal append (unsynced).
+  int64_t commit_wait_nanos = 0;  ///< Waiting for / running the cohort fsync.
+  int64_t total_nanos = 0;        ///< Whole request, socket to socket.
+  int straggler_shard = -1;       ///< Slowest shard in the fan-out.
+  int64_t straggler_nanos = 0;
+  std::string detail;  ///< Status message / stall description.
+};
+
+/// Sampling sink writing one JSON line per emitted event. Thread-safe;
+/// disabled (and free) until Configure/OpenFile installs an output.
+class WideEventSink {
+ public:
+  WideEventSink() = default;
+  ~WideEventSink();
+  WideEventSink(const WideEventSink&) = delete;
+  WideEventSink& operator=(const WideEventSink&) = delete;
+
+  /// Emits 1 in `sample_every` events to `out` (borrowed; caller keeps it
+  /// open past the sink's last Emit). sample_every < 1 disables the sink.
+  void Configure(std::FILE* out, uint32_t sample_every);
+
+  /// Like Configure but opens (and owns) `path` in append mode.
+  Status OpenFile(const std::string& path, uint32_t sample_every);
+
+  /// Closes/forgets the output; the sink reverts to disabled.
+  void Reset();
+
+  bool enabled() const {
+    return sample_every_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Writes `ev` as one JSON line if the sampler keeps it (or `forced`).
+  /// A disabled sink drops everything, forced or not.
+  void Emit(const WideEvent& ev, bool forced = false);
+
+  uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t sampled_out() const {
+    return sampled_out_.load(std::memory_order_relaxed);
+  }
+
+  /// The rendered JSON line (no trailing newline). Exposed so the schema
+  /// test pins the exact key set without filesystem plumbing.
+  static std::string Format(const WideEvent& ev, bool forced);
+
+ private:
+  mutable Mutex mu_;
+  std::FILE* out_ RELVIEW_GUARDED_BY(mu_) = nullptr;
+  bool owns_out_ RELVIEW_GUARDED_BY(mu_) = false;
+  std::atomic<uint32_t> sample_every_{0};
+  std::atomic<uint64_t> counter_{0};
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> sampled_out_{0};
+};
+
+/// The process-wide sink used by the server and the stall watchdog.
+WideEventSink& GlobalWideEvents();
+
+}  // namespace relview
+
+#endif  // RELVIEW_OBS_WIDE_EVENT_H_

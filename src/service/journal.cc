@@ -187,6 +187,7 @@ Journal::Journal(Journal&& o) noexcept
     : path_(std::move(o.path_)),
       fd_(o.fd_),
       poisoned_(o.poisoned_.load(std::memory_order_relaxed)),
+      unsynced_bytes_(o.unsynced_bytes_.load(std::memory_order_relaxed)),
       fsync_latency_(std::move(o.fsync_latency_)) {
   o.fd_ = -1;
 }
@@ -198,6 +199,8 @@ Journal& Journal::operator=(Journal&& o) noexcept {
     fd_ = o.fd_;
     poisoned_.store(o.poisoned_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    unsynced_bytes_.store(o.unsynced_bytes_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     fsync_latency_ = std::move(o.fsync_latency_);
     o.fd_ = -1;
   }
@@ -247,16 +250,25 @@ Status Journal::Sync() {
         "(with repair) before syncing");
   }
   Timer fsync_timer;
+  // Claim the unsynced-byte gauge BEFORE the fsync: bytes appended while
+  // the fsync is in flight then stay counted as unsynced even though the
+  // syscall may in fact cover them — over-reporting exposure is the safe
+  // direction for a durability gauge (mirrors the seq_-before-fsync rule
+  // in DurableStore::Sync).
+  const uint64_t claimed = unsynced_bytes_.exchange(0,
+                                                    std::memory_order_relaxed);
   if (RELVIEW_FAILPOINT("commit.fsync")) {
     // No truncation here: appenders may be writing concurrently, and we
     // cannot know which bytes the failed fsync lost. Poison and force a
     // reopen instead (fsyncgate semantics).
     poisoned_.store(true, std::memory_order_release);
+    unsynced_bytes_.fetch_add(claimed, std::memory_order_relaxed);
     return Status::Internal("journal group-commit fsync failed: injected "
                             "EIO; journal poisoned until reopen");
   }
   if (::fsync(fd_) != 0) {
     poisoned_.store(true, std::memory_order_release);
+    unsynced_bytes_.fetch_add(claimed, std::memory_order_relaxed);
     return Status::Internal("journal group-commit fsync failed: " +
                             std::string(std::strerror(errno)) +
                             "; journal poisoned until reopen");
@@ -324,7 +336,10 @@ Status Journal::AppendRecords(const std::vector<ViewUpdate>& updates,
                             "(torn tail kept, handle poisoned)");
   }
   RELVIEW_FAILPOINT("journal.crash_after_write");  // crash-armed only
-  if (!sync) return Status::OK();
+  if (!sync) {
+    unsynced_bytes_.fetch_add(block.size(), std::memory_order_relaxed);
+    return Status::OK();
+  }
   Timer fsync_timer;
   if (RELVIEW_FAILPOINT("journal.fsync")) {
     return RollBackTo(batch_start,

@@ -99,6 +99,14 @@ class Journal {
     return fsync_latency_;
   }
 
+  /// Bytes appended through AppendAllUnsynced that no successful Sync()
+  /// (or synced append) has covered yet — the data a crash right now
+  /// would lose without violating acked ⊆ recovered (the riders were
+  /// never acked). Relaxed atomic: scrape-safe from any thread.
+  uint64_t unsynced_bytes() const {
+    return unsynced_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Appends one record and fsyncs.
   Status Append(const ViewUpdate& u);
 
@@ -172,6 +180,9 @@ class Journal {
   /// fsync failed (dirty pages may be gone; see Sync). Atomic because the
   /// group-commit leader syncs from a different thread than the appender.
   std::atomic<bool> poisoned_{false};
+  /// See unsynced_bytes(). Mutated by the appender (adds) and the commit
+  /// leader (zeroes on successful Sync), hence atomic like poisoned_.
+  std::atomic<uint64_t> unsynced_bytes_{0};
   std::shared_ptr<LatencyHistogram> fsync_latency_ =
       std::make_shared<LatencyHistogram>();
 };

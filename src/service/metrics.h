@@ -53,10 +53,16 @@ class ServiceMetrics {
   void RecordAccepted(UpdateKind kind);
   /// Counts one rejected update of `kind`, attributed to `code`.
   void RecordRejected(UpdateKind kind, StatusCode code);
-  /// Records one translatability-check latency sample.
-  void RecordCheckLatency(int64_t nanos) { check_latency_.Record(nanos); }
-  /// Records one translation+publish latency sample.
-  void RecordApplyLatency(int64_t nanos) { apply_latency_.Record(nanos); }
+  /// Records one translatability-check latency sample. `trace_id` (when
+  /// nonzero) becomes the containing bucket's exemplar, linking the
+  /// latency distribution to a concrete recorded trace.
+  void RecordCheckLatency(int64_t nanos, uint64_t trace_id = 0) {
+    check_latency_.RecordTraced(nanos, trace_id);
+  }
+  /// Records one translation+publish latency sample (exemplar as above).
+  void RecordApplyLatency(int64_t nanos, uint64_t trace_id = 0) {
+    apply_latency_.RecordTraced(nanos, trace_id);
+  }
   /// Counts one committed batch.
   void RecordBatchCommitted() {
     batches_committed_.fetch_add(1, std::memory_order_relaxed);
@@ -72,6 +78,12 @@ class ServiceMetrics {
   /// discipline as RecordBatchCommitted).
   void RecordCommitCohort(uint64_t batches) {
     commit_cohorts_.Record(static_cast<int64_t>(batches));
+  }
+  /// Counts one group-commit stall-watchdog firing (a leader held its
+  /// cohort past ServiceOptions::commit_stall_ms). Called by a stuck
+  /// waiter without the writer mutex; single relaxed counter.
+  void RecordCommitStall() {
+    commit_stalls_.fetch_add(1, std::memory_order_relaxed);
   }
   /// Sharded: snapshot reads are the service's hottest path, and a single
   /// counter cache line pinged by every reader caps their scaling.
@@ -119,6 +131,10 @@ class ServiceMetrics {
   /// Commit-cohort size distribution (batches per leader fsync). Raw
   /// counts, not nanoseconds — export by hand, not via SummaryFamily.
   const LatencyHistogram& commit_cohorts() const { return commit_cohorts_; }
+  /// Stall-watchdog firings so far.
+  uint64_t commit_stalls() const {
+    return commit_stalls_.load(std::memory_order_relaxed);
+  }
   /// Translatability-check latency distribution.
   const LatencyHistogram& check_latency() const { return check_latency_; }
   /// Translation+publish latency distribution.
@@ -199,6 +215,7 @@ class ServiceMetrics {
   LatencyHistogram apply_latency_;
   /// Batches per group-commit leader fsync (counts, not latencies).
   LatencyHistogram commit_cohorts_;
+  std::atomic<uint64_t> commit_stalls_{0};
   /// Engine gauges, mapped 1:1 onto EngineStats' uint64_t fields via the
   /// RELVIEW_ENGINE_STAT_FIELDS X-macro (the hit rate is recomputed from
   /// hits/misses on read so the whole snapshot stays lock-free). The count

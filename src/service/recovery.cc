@@ -314,6 +314,9 @@ Status DurableStore::AppendUnsynced(const std::vector<ViewUpdate>& updates) {
   RELVIEW_RETURN_IF_ERROR(active_->AppendAllUnsynced(updates));
   segments_.back().records += updates.size();
   seq_.fetch_add(updates.size(), std::memory_order_relaxed);
+  // Mirror the active journal's unsynced-byte count for scrapes (which
+  // must not read through active_ — rotation swaps it).
+  unsynced_bytes_.store(active_->unsynced_bytes(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -332,6 +335,9 @@ Status DurableStore::Sync() {
   RELVIEW_RETURN_IF_ERROR(active_->Sync());
   RELVIEW_FAILPOINT("commit.crash_after_sync");  // crash-armed only
   synced_through_ = upto;
+  // Journal::Sync claimed its own unsynced-byte counter; re-read it (an
+  // appender may have raced more bytes in) rather than storing zero.
+  unsynced_bytes_.store(active_->unsynced_bytes(), std::memory_order_relaxed);
   return Status::OK();
 }
 

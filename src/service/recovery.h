@@ -172,6 +172,15 @@ class DurableStore {
   int segment_count() const {
     return segment_count_.load(std::memory_order_relaxed);
   }
+  /// Journal bytes staged by AppendUnsynced that no leader fsync has
+  /// covered yet — the crash-loss exposure of the group-commit window,
+  /// exported per shard as relview_journal_unsynced_bytes. A relaxed
+  /// mirror of the active segment's own counter, maintained here because
+  /// the active Journal handle is swapped during rotation and scrapes
+  /// must never chase it.
+  uint64_t unsynced_bytes() const {
+    return unsynced_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Shared fsync-latency histogram spanning all segment rotations.
   std::shared_ptr<const LatencyHistogram> fsync_latency() const {
@@ -221,6 +230,7 @@ class DurableStore {
   uint64_t synced_through_ RELVIEW_GUARDED_BY(commit_sync_mu_) = 0;
   // Writer-mutated, scrape-read counters; see the accessor comment above.
   std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> unsynced_bytes_{0};  // see unsynced_bytes()
   std::atomic<uint64_t> last_checkpoint_seq_{0};
   std::atomic<uint64_t> checkpoints_written_{0};
   std::atomic<uint64_t> segments_compacted_{0};

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "obs/wide_event.h"
 #include "util/failpoint.h"
 #include "util/small_util.h"
 #include "view/deletion.h"
@@ -47,7 +49,7 @@ Result<std::unique_ptr<UpdateService>> UpdateService::Create(
   }
   std::unique_ptr<UpdateService> service(new UpdateService(
       std::move(translator), std::move(journal), std::move(store),
-      options.group_commit, options.group_window_us));
+      options.group_commit, options.group_window_us, options.commit_stall_ms));
   for (uint64_t i = 0; i < replayed; ++i) {
     service->metrics_.RecordReplayedUpdate();
   }
@@ -64,13 +66,15 @@ uint64_t NextServiceId() {
 UpdateService::UpdateService(ViewTranslator translator,
                              std::optional<Journal> journal,
                              std::unique_ptr<DurableStore> store,
-                             bool group_commit, uint32_t group_window_us)
+                             bool group_commit, uint32_t group_window_us,
+                             uint32_t commit_stall_ms)
     : translator_(std::move(translator)),
       journal_(std::move(journal)),
       store_(std::move(store)),
       group_commit_(group_commit),
       group_window_us_(group_window_us),
       group_store_(group_commit ? store_.get() : nullptr),
+      commit_stall_ms_(commit_stall_ms),
       universe_(translator_.universe()),
       view_attrs_(translator_.view()),
       complement_attrs_(translator_.complement()),
@@ -205,7 +209,7 @@ Status UpdateService::StageOne(const ViewUpdate& u, int batch_index,
   }
   // The report times the apply phase itself; everything else was the check.
   const int64_t check_nanos = timer.ElapsedNanos() - apply_nanos;
-  metrics_.RecordCheckLatency(check_nanos);
+  metrics_.RecordCheckLatency(check_nanos, CurrentSampledTraceId());
 
   // Attribute the engine's counter movement to this one decision.
   const EngineStats after = translator_.engine_stats();
@@ -237,7 +241,7 @@ Status UpdateService::StageOne(const ViewUpdate& u, int batch_index,
   }
   metrics_.RecordAccepted(u.kind);
   if (verdict == TranslationVerdict::kIdentity) return Status::OK();
-  metrics_.RecordApplyLatency(apply_nanos);
+  metrics_.RecordApplyLatency(apply_nanos, CurrentSampledTraceId());
   *mutated = true;
   return Status::OK();
 }
@@ -272,6 +276,7 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   // shared_ptrs and are untouched either way.
   Relation saved = translator_.database();
   bool mutated = false;
+  Timer stage_timer;
   for (size_t i = 0; i < updates.size(); ++i) {
     Status st = StageOne(updates[i], static_cast<int>(i), &result.detail,
                          &mutated);
@@ -280,15 +285,19 @@ BatchResult UpdateService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
       metrics_.RecordBatchRolledBack();
       result.status = std::move(st);
       result.failed_index = static_cast<int>(i);
+      result.timings.stage_nanos = stage_timer.ElapsedNanos();
       return result;
     }
   }
+  result.timings.stage_nanos = stage_timer.ElapsedNanos();
 
   // Write-ahead: the batch is durable before it becomes visible.
   RELVIEW_FAILPOINT("service.crash_before_journal");  // crash-armed only
   if (store_ != nullptr || journal_.has_value()) {
+    Timer append_timer;
     Status st = store_ != nullptr ? store_->Append(updates)
                                   : journal_->AppendAll(updates);
+    result.timings.append_nanos = append_timer.ElapsedNanos();
     if (!st.ok()) {
       if (mutated) translator_.InstallDatabase(std::move(saved));
       metrics_.RecordBatchRolledBack();
@@ -337,6 +346,7 @@ BatchResult UpdateService::ApplyBatchGrouped(
     }
     Relation saved = translator_.database();
     bool mutated = false;
+    Timer stage_timer;
     for (size_t i = 0; i < updates.size(); ++i) {
       Status st = StageOne(updates[i], static_cast<int>(i), &result.detail,
                            &mutated);
@@ -345,16 +355,20 @@ BatchResult UpdateService::ApplyBatchGrouped(
         metrics_.RecordBatchRolledBack();
         result.status = std::move(st);
         result.failed_index = static_cast<int>(i);
+        result.timings.stage_nanos = stage_timer.ElapsedNanos();
         return result;
       }
     }
+    result.timings.stage_nanos = stage_timer.ElapsedNanos();
     // Stage the records in the journal WITHOUT fsyncing: durability is
     // the commit leader's job (AwaitDurable below). A failed append rolls
     // this batch — and only this batch — off the file (Journal's
     // RollBackTo truncates back to the batch's own start offset, so
     // earlier unsynced batches are untouched).
     RELVIEW_FAILPOINT("commit.crash_before_append");  // crash-armed only
+    Timer append_timer;
     Status st = group_store_->AppendUnsynced(updates);
+    result.timings.append_nanos = append_timer.ElapsedNanos();
     if (!st.ok()) {
       if (mutated) translator_.InstallDatabase(std::move(saved));
       metrics_.RecordBatchRolledBack();
@@ -383,7 +397,7 @@ BatchResult UpdateService::ApplyBatchGrouped(
     }
   }  // writer_mu_ released: the next batch stages while we await the fsync
 
-  Status durable = AwaitDurable(my_target);
+  Status durable = AwaitDurable(my_target, &result.timings);
   if (!durable.ok()) {
     // The batch is applied in memory and its bytes may or may not reach
     // disk, but the caller is NOT acked — under acked ⊆ recovered that is
@@ -398,29 +412,89 @@ BatchResult UpdateService::ApplyBatchGrouped(
   return result;
 }
 
-Status UpdateService::AwaitDurable(uint64_t target) {
+namespace {
+/// Emits the watchdog's forced "commit_stall" wide event. Out of line so
+/// both reporting sites (stuck waiter, slow leader) stay readable.
+void EmitCommitStallEvent(uint64_t leader_trace, uint64_t pending_batches,
+                          int64_t stalled_nanos, const char* who) {
+  WideEvent ev;
+  ev.kind = "commit_stall";
+  ev.trace_id = leader_trace;
+  ev.admission = who;  // "waiter" or "leader": which side saw the stall
+  ev.cohort_batches = pending_batches;
+  ev.commit_wait_nanos = stalled_nanos;
+  ev.total_nanos = stalled_nanos;
+  ev.detail = "group-commit leader exceeded the stall deadline";
+  GlobalWideEvents().Emit(ev, /*forced=*/true);
+}
+}  // namespace
+
+Status UpdateService::AwaitDurable(uint64_t target, BatchTimings* timings) {
+  // The whole call is commit-wait from the batch's point of view: time it
+  // once, spans notwithstanding (leading the fsync *is* waiting for it).
+  Timer wait_timer;
+  const int64_t stall_nanos =
+      static_cast<int64_t>(commit_stall_ms_) * 1'000'000;
   commit_mu_.lock();
   if (target > commit_appended_) commit_appended_ = target;
   ++commit_pending_batches_;
+  commit_pending_gauge_.store(commit_pending_batches_,
+                              std::memory_order_relaxed);
   while (true) {
     if (!commit_poison_.ok()) {
       Status st = commit_poison_;
       commit_mu_.unlock();
+      timings->commit_wait_nanos = wait_timer.ElapsedNanos();
       return st;
     }
     if (commit_synced_ >= target) {
       commit_mu_.unlock();
+      timings->commit_wait_nanos = wait_timer.ElapsedNanos();
       return Status::OK();
     }
     if (commit_leader_active_) {
       // A leader's fsync is in flight; it (or a successor) will cover us.
-      commit_cv_.Wait(commit_mu_);
+      // The rider span stamps the leader's trace id so this request's
+      // trace points at the fsync it shared.
+      const uint64_t leader_trace = commit_leader_trace_;
+      if (stall_nanos <= 0) {
+        RELVIEW_TRACE_SPAN_N(ride, "commit.await_durable");
+        if (leader_trace != 0) {
+          ride.AddArg("leader_trace", leader_trace);
+        }
+        commit_cv_.Wait(commit_mu_);
+        continue;
+      }
+      // Watchdog armed: bounded wait, then report a stalled leader once
+      // per leader episode (commit_stall_reported_ dedups N waiters).
+      RELVIEW_TRACE_SPAN_N(ride, "commit.await_durable");
+      if (leader_trace != 0) {
+        ride.AddArg("leader_trace", leader_trace);
+      }
+      const bool woke = commit_cv_.WaitFor(
+          commit_mu_, std::chrono::nanoseconds(stall_nanos));
+      if (!woke && commit_leader_active_ && !commit_stall_reported_) {
+        commit_stall_reported_ = true;
+        const uint64_t pending = commit_pending_batches_;
+        const uint64_t lt = commit_leader_trace_;
+        commit_mu_.unlock();
+        metrics_.RecordCommitStall();
+        EmitCommitStallEvent(lt, pending, wait_timer.ElapsedNanos(),
+                             "waiter");
+        commit_mu_.lock();
+      }
       continue;
     }
     // Lead one cohort: fsync everything appended so far, on behalf of
     // every waiter whose target it covers.
     commit_leader_active_ = true;
+    commit_stall_reported_ = false;
+    commit_leader_trace_ = CurrentTraceContext().trace_id;
     commit_mu_.unlock();
+    Timer lead_timer;
+    // The leader span owns the shared fsync: every rider's wait resolves
+    // to this one span in the leader's trace.
+    RELVIEW_TRACE_SPAN_N(fsync_span, "commit.cohort_fsync");
     if (group_window_us_ > 0) {
       // Optional gathering window — trade a bounded latency bump for
       // larger cohorts at low concurrency.
@@ -430,17 +504,40 @@ Status UpdateService::AwaitDurable(uint64_t target) {
     const uint64_t cohort_target = commit_appended_;
     const uint64_t cohort_batches = commit_pending_batches_;
     commit_pending_batches_ = 0;
+    commit_pending_gauge_.store(0, std::memory_order_relaxed);
     commit_mu_.unlock();
+    fsync_span.AddArg("cohort_batches", cohort_batches);
     Status st = group_store_->Sync();  // the one fsync for the whole cohort
+    fsync_span.Finish();
+    const int64_t led_nanos = lead_timer.ElapsedNanos();
     commit_mu_.lock();
     commit_leader_active_ = false;
+    commit_leader_trace_ = 0;
     if (st.ok()) {
       if (cohort_target > commit_synced_) commit_synced_ = cohort_target;
       if (cohort_batches > 0) metrics_.RecordCommitCohort(cohort_batches);
+      timings->cohort_batches = cohort_batches;
+      timings->led_cohort = true;
     } else {
       commit_poison_ = st;
     }
+    // Leader self-report: with no concurrent waiter parked (single-writer
+    // traffic) the watchdog above never runs, so a leader that blew the
+    // deadline reports its own episode.
+    bool report_self = false;
+    if (stall_nanos > 0 && led_nanos > stall_nanos &&
+        !commit_stall_reported_) {
+      commit_stall_reported_ = true;
+      report_self = true;
+    }
     commit_cv_.NotifyAll();
+    if (report_self) {
+      const uint64_t lt = CurrentTraceContext().trace_id;
+      commit_mu_.unlock();
+      metrics_.RecordCommitStall();
+      EmitCommitStallEvent(lt, cohort_batches, led_nanos, "leader");
+      commit_mu_.lock();
+    }
     // Loop: on success our own target is now covered (it was <=
     // commit_appended_ when we sampled); on failure the poison check
     // fails us out.
@@ -650,6 +747,17 @@ std::vector<MetricFamily> UpdateService::CollectFamilies(
   cohort_fam.samples.push_back(
       {"_sum", static_cast<double>(cohorts.total_nanos())});
   out.push_back(std::move(cohort_fam));
+  out.push_back(CounterFamily(
+      "relview_commit_stalls_total",
+      "Group-commit stall-watchdog firings (leader held its cohort past "
+      "the commit_stall_ms deadline)",
+      static_cast<double>(metrics_.commit_stalls())));
+  out.push_back(GaugeFamily(
+      "relview_commit_pending_batches",
+      "Batches appended since the last group-commit leader sampled its "
+      "cohort (pending-cohort depth)",
+      static_cast<double>(
+          commit_pending_gauge_.load(std::memory_order_relaxed))));
   if (journal_fsync != nullptr) {
     out.push_back(SummaryFamily("relview_journal_fsync_seconds",
                                 "Journal fsync latency", *journal_fsync));
@@ -688,6 +796,11 @@ std::vector<MetricFamily> UpdateService::CollectFamilies(
         "relview_segments_compacted_total",
         "Journal segments deleted by compaction",
         static_cast<double>(store->segments_compacted())));
+    out.push_back(GaugeFamily(
+        "relview_journal_unsynced_bytes",
+        "Journal bytes staged by group commit that no leader fsync has "
+        "covered yet (crash-loss exposure of the commit window)",
+        static_cast<double>(store->unsynced_bytes())));
   }
   out.push_back(GaugeFamily(
       "relview_pending_writers",

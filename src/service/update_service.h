@@ -51,6 +51,27 @@ struct ViewSnapshot {
   std::shared_ptr<const Relation> database;  ///< full instance over U
 };
 
+/// Per-stage wall-clock attribution for one ApplyBatch call, filled in as
+/// the batch moves through the pipeline. The sharded layer sums the
+/// per-shard values and adds the fan-out fields, so the net layer's wide
+/// event (obs/wide_event.h) reads one struct regardless of topology.
+struct BatchTimings {
+  int64_t stage_nanos = 0;     ///< Translatability checks + staging.
+  int64_t append_nanos = 0;    ///< Journal append (fsync excluded when
+                               ///< group commit defers it).
+  int64_t commit_wait_nanos = 0;  ///< Waiting for / running the cohort
+                                  ///< fsync (or the inline fsync's share
+                                  ///< of append on the non-grouped path).
+  uint64_t cohort_batches = 0;  ///< Cohort size this batch rode in
+                                ///< (0 = no group commit involved).
+  bool led_cohort = false;      ///< This thread ran the cohort fsync.
+  // Fan-out attribution, filled by ShardedService::ApplyBatch:
+  uint64_t shard_mask = 0;   ///< Bit i set = shard i received updates.
+  int shards_touched = 0;
+  int straggler_shard = -1;  ///< Slowest shard in the fan-out.
+  int64_t straggler_nanos = 0;
+};
+
 /// Outcome of ApplyBatch.
 struct BatchResult {
   /// OK on commit; the first failing update's status otherwise.
@@ -59,6 +80,8 @@ struct BatchResult {
   int failed_index = -1;
   /// The rejected update's translatability verdict / diagnostic.
   std::string detail;
+  /// Where the batch's wall-clock went (valid on success and failure).
+  BatchTimings timings;
 
   /// True when the whole batch committed.
   bool ok() const { return status.ok(); }
@@ -91,6 +114,12 @@ struct ServiceOptions {
   /// alone already forms cohorts because appends accumulate while the
   /// previous leader's fsync is in flight.
   uint32_t group_window_us = 0;
+  /// Group-commit stall watchdog: when > 0, a waiter stuck behind an
+  /// active leader for longer than this deadline (a hung fsync, a leader
+  /// descheduled mid-cohort) bumps relview_commit_stalls_total and forces
+  /// a "commit_stall" wide event through the sampler — once per leader
+  /// episode, not once per waiter. 0 disables the watchdog.
+  uint32_t commit_stall_ms = 0;
 };
 
 /// The serving layer: a single-writer/multi-reader facade over a bound
@@ -183,7 +212,7 @@ class UpdateService {
  private:
   UpdateService(ViewTranslator translator, std::optional<Journal> journal,
                 std::unique_ptr<DurableStore> store, bool group_commit,
-                uint32_t group_window_us);
+                uint32_t group_window_us, uint32_t commit_stall_ms);
 
   /// Checkpoint body; caller holds writer_mu_.
   Result<uint64_t> CheckpointLocked() RELVIEW_REQUIRES(writer_mu_);
@@ -202,7 +231,12 @@ class UpdateService {
   /// poisons the commit path (commit_poison_) and fails every current and
   /// future waiter — the store must be reopened (fsyncgate: the dirty
   /// pages may be gone, so "retry" could ack data that was never written).
-  Status AwaitDurable(uint64_t target)
+  /// Fills `timings` (cohort size / led_cohort / wait duration) for the
+  /// caller's BatchResult; when this thread leads, the fsync runs under a
+  /// "commit.cohort_fsync" span in the *leader's* trace, and riders'
+  /// "commit.await_durable" spans carry the leader's trace id — the two
+  /// halves of the shared-fsync attribution.
+  Status AwaitDurable(uint64_t target, BatchTimings* timings)
       RELVIEW_EXCLUDES(commit_mu_, writer_mu_);
 
   /// Builds (but does not install) a snapshot of the current translator
@@ -268,6 +302,19 @@ class UpdateService {
   /// Batches appended since the last leader sampled its cohort; the
   /// commit-cohort histogram's raw material.
   uint64_t commit_pending_batches_ RELVIEW_GUARDED_BY(commit_mu_) = 0;
+  /// Relaxed mirror of commit_pending_batches_ for the telemetry scrape
+  /// (the collector must not take commit_mu_ — a hung leader would then
+  /// hang /metrics too, exactly when an operator needs it).
+  std::atomic<uint64_t> commit_pending_gauge_{0};
+  /// Trace id of the thread currently leading the cohort fsync (0 when no
+  /// leader or the leader's request is untraced): riders stamp it on
+  /// their await spans so a rider's trace points at the fsync it rode.
+  uint64_t commit_leader_trace_ RELVIEW_GUARDED_BY(commit_mu_) = 0;
+  /// Stall watchdog (ServiceOptions::commit_stall_ms): set once a stall
+  /// has been reported for the current leader episode, cleared when the
+  /// leader finishes, so N stuck waiters produce one report.
+  bool commit_stall_reported_ RELVIEW_GUARDED_BY(commit_mu_) = false;
+  const uint32_t commit_stall_ms_;
   /// First fsync failure, sticky: every subsequent waiter fails with it.
   Status commit_poison_ RELVIEW_GUARDED_BY(commit_mu_);
 

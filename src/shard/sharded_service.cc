@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+#include "util/small_util.h"
 #include "view/translator.h"
 
 namespace relview {
@@ -68,6 +70,7 @@ Result<std::unique_ptr<ShardedService>> ShardedService::Create(
       }
       svc.group_commit = options.group_commit;
       svc.group_window_us = options.group_window_us;
+      svc.commit_stall_ms = options.commit_stall_ms;
     }
     RELVIEW_ASSIGN_OR_RETURN(std::unique_ptr<UpdateService> shard,
                              UpdateService::Create(std::move(vt),
@@ -90,6 +93,8 @@ ShardedService::ShardedService(
 BatchResult ShardedService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   BatchResult result;
   if (updates.empty()) return result;
+  RELVIEW_TRACE_SPAN_N(fanout, "router.fanout");
+  fanout.AddArg("updates", updates.size());
 
   // Route every update, remembering its position in the original batch so
   // a rejection can be reported against the caller's indices. A replace
@@ -139,9 +144,34 @@ BatchResult ShardedService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
   // callers that need all-or-nothing must keep a batch on one shard —
   // which the router guarantees for batches sharing one join key.
   int committed_shards = 0;
+  int fanned_out = 0;
   for (size_t s = 0; s < subs.size(); ++s) {
     if (subs[s].updates.empty()) continue;
+    ++fanned_out;
+    // One child span per touched shard: the slowest one is the batch's
+    // straggler, also recorded in the timings for the wide event.
+    RELVIEW_TRACE_SPAN_N(shard_span, "shard.apply");
+    shard_span.AddArg("shard", s);
+    shard_span.AddArg("updates", subs[s].updates.size());
+    Timer shard_timer;
     BatchResult r = shards_[s]->ApplyBatch(subs[s].updates);
+    const int64_t shard_nanos = shard_timer.ElapsedNanos();
+    shard_span.Finish();
+    // Aggregate the per-shard attribution whether or not the sub-batch
+    // committed — a failing shard's time is still the batch's time.
+    result.timings.stage_nanos += r.timings.stage_nanos;
+    result.timings.append_nanos += r.timings.append_nanos;
+    result.timings.commit_wait_nanos += r.timings.commit_wait_nanos;
+    if (r.timings.cohort_batches > result.timings.cohort_batches) {
+      result.timings.cohort_batches = r.timings.cohort_batches;
+    }
+    result.timings.led_cohort |= r.timings.led_cohort;
+    if (s < 64) result.timings.shard_mask |= uint64_t{1} << s;
+    ++result.timings.shards_touched;
+    if (shard_nanos > result.timings.straggler_nanos) {
+      result.timings.straggler_nanos = shard_nanos;
+      result.timings.straggler_shard = static_cast<int>(s);
+    }
     if (!r.ok()) {
       const int original =
           r.failed_index >= 0 &&
@@ -160,6 +190,7 @@ BatchResult ShardedService::ApplyBatch(const std::vector<ViewUpdate>& updates) {
     }
     ++committed_shards;
   }
+  fanout.AddArg("shards", fanned_out);
   return result;
 }
 

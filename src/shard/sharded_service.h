@@ -64,6 +64,9 @@ struct ShardedServiceOptions {
   bool group_commit = false;
   /// Leader gathering window forwarded to ServiceOptions::group_window_us.
   uint32_t group_window_us = 0;
+  /// Per-shard group-commit stall watchdog, forwarded to
+  /// ServiceOptions::commit_stall_ms (0 disables).
+  uint32_t commit_stall_ms = 0;
 };
 
 /// One composed observation of all shards: per-shard immutable snapshots
@@ -104,6 +107,9 @@ class ShardedService {
   /// shard order; on a rejection the result carries the failing update's
   /// index within the ORIGINAL batch, and the detail notes how many
   /// earlier shards had already committed their sub-batches.
+  /// The returned timings aggregate across shards (stage/append/commit
+  /// sums, shard_mask, straggler attribution); the fan-out renders as a
+  /// "router.fanout" span over one "shard.apply" span per touched shard.
   BatchResult ApplyBatch(const std::vector<ViewUpdate>& updates);
 
   /// Pins one snapshot per shard; lock-free per the UpdateService

@@ -3,9 +3,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "util/annotations.h"
 
@@ -50,9 +52,13 @@ Result<Arm> ParseSpec(const std::string& spec) {
   } else if (action == "flip") {
     arm.action = FailpointAction::kFlipBit;
     arm.arg = 1;
+  } else if (action == "sleep") {
+    arm.action = FailpointAction::kSleep;
+    arm.arg = 10;
   } else {
-    return Status::InvalidArgument("failpoint action '" + action +
-                                   "' (want error|short|crash|flip|off)");
+    return Status::InvalidArgument(
+        "failpoint action '" + action +
+        "' (want error|short|crash|flip|sleep|off)");
   }
   size_t pos = end;
   while (pos != std::string::npos && pos < spec.size()) {
@@ -163,6 +169,12 @@ FailpointHit Failpoints::Check(const char* name) {
     // Simulated power loss: no destructors, no stream flushes, nothing.
     std::fprintf(stderr, "relview: failpoint '%s' crashing process\n", name);
     ::_exit(kCrashExitCode);
+  }
+  if (hit.action == FailpointAction::kSleep) {
+    // Delay, not fault: block here (outside the registry lock), then tell
+    // the site nothing happened so it proceeds down its normal path.
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+    return {};
   }
   return hit;
 }

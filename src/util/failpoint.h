@@ -19,6 +19,11 @@
 //                       simulates kill -9 / power loss)
 //           flip        site flips one bit in the data it is about to
 //                       write (arg = byte offset from the end; default 1)
+//           sleep       Check blocks for arg milliseconds (default 10),
+//                       then reports NO fault — the site proceeds
+//                       normally, just late. Simulates a stalled disk /
+//                       fsync outlier for the latency watchdogs without
+//                       tripping any error path.
 //           off         disarm
 //   @nth    first hit that fires, 1-based (default 1: fire immediately)
 //   *times  number of consecutive hits that fire (default 1;
@@ -58,6 +63,10 @@ enum class FailpointAction {
   /// Flip one bit of the outgoing data, FailpointHit::arg bytes from its
   /// end, then proceed "successfully" (simulates silent corruption).
   kFlipBit,
+  /// Delay injection: Check sleeps `arg` milliseconds and then reports
+  /// kOff (performed inside Check; never seen by sites). Simulates a
+  /// stalled device without taking any error path.
+  kSleep,
 };
 
 /// Verdict of one Failpoints::Check call.

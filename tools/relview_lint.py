@@ -35,6 +35,15 @@ Complements the compiler-side analyses (clang -Wthread-safety, clang-tidy,
   raw-assert             assert() outside the RELVIEW_DCHECK definition
                          (asserts vanish under NDEBUG; the library's
                          invariants must hold in all build types)
+  metric-table           every metric family name in src/ (a "relview_*"
+                         string literal) has a row in the
+                         "Metric families:" table of docs/OPERATIONS.md,
+                         so /metrics and the operator docs cannot drift.
+                         A name ending in `_` — in the source or in the
+                         table — is a composed-name prefix: the literal
+                         `"relview_net_"` is satisfied by any table row
+                         it prefixes, and a table row `relview_engine_`
+                         covers every family composed from it
   layering               a src/ subdirectory includes a header from a
                          directory its library does not directly link: the
                          include DAG is derived from each
@@ -223,6 +232,8 @@ def relpath(root, path):
 
 
 CATALOG_ROW_NAME = re.compile(r"^\|\s*`([\w.]+)`")
+METRIC_LITERAL = re.compile(r'"(relview_[a-z0-9_]+)"')
+TELEMETRY_ROW_NAME = re.compile(r"^\|\s*`(relview_[a-z0-9_]+)`")
 
 
 def catalog_table_names(catalog):
@@ -246,6 +257,74 @@ def catalog_table_names(catalog):
         if m:
             names.add(m.group(1))
     return names
+
+
+def telemetry_table_names(doc):
+    """Metric family names with a row in the "Metric families:" table of
+    docs/OPERATIONS.md — the region from that marker line through the
+    last consecutive table/blank line (same region rule as the failpoint
+    catalog). A name ending in `_` is a documented composed-name prefix."""
+    names = set()
+    in_table = False
+    for line in doc.splitlines():
+        if line.strip() == "Metric families:":
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        if line.strip() == "":
+            continue
+        if not line.lstrip().startswith("|"):
+            break
+        m = TELEMETRY_ROW_NAME.match(line.strip())
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def check_metric_table(root, files, findings):
+    """Every "relview_*" string literal in src/ (the convention for metric
+    family names handed to the TelemetryRegistry) must be documented in
+    the operator-facing telemetry table. Families composed at runtime
+    (`std::string("relview_net_") + route + ...`, `"relview_engine_" #name`)
+    leave a trailing-underscore literal behind; such a prefix is satisfied
+    by any table row it prefixes, and a trailing-underscore *table* row
+    blanket-documents everything composed from it."""
+    doc = ""
+    ops = os.path.join(root, "docs", "OPERATIONS.md")
+    if os.path.exists(ops):
+        with open(ops, encoding="utf-8") as f:
+            doc = f.read()
+    if not doc:
+        return
+    table = telemetry_table_names(doc)
+    prefixes = sorted(n for n in table if n.endswith("_"))
+    reported = set()
+    for path in files:
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        code = strip_comments(raw)
+        for ln, line in enumerate(code, 1):
+            for m in METRIC_LITERAL.finditer(line):
+                name = m.group(1)
+                if name in table or name in reported:
+                    continue
+                if any(name.startswith(p) for p in prefixes):
+                    continue
+                if name.endswith("_") and any(
+                        t.startswith(name) for t in table):
+                    continue  # composition prefix; completions documented
+                if suppressed(raw[ln - 1], "metric-table"):
+                    continue
+                reported.add(name)  # one finding per family, not per use
+                findings.append(Finding(
+                    rel, ln, "metric-table",
+                    f"metric family `{name}` has no row in the "
+                    "\"Metric families:\" table of docs/OPERATIONS.md; "
+                    "every family exported on /metrics needs an "
+                    "operator-facing row (a trailing-underscore name "
+                    "documents a composed-name prefix)"))
 
 
 def check_failpoints(root, files, findings):
@@ -461,6 +540,7 @@ def main(argv=None):
         root, ["src", "tests", "bench", "examples"]))
 
     check_failpoints(root, everything, findings)
+    check_metric_table(root, src_only, findings)
     check_mutexes(root, everything, findings)
     check_value_discipline(root, src_only, findings)
     check_asserts(root, src_only, findings)

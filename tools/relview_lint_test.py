@@ -155,6 +155,93 @@ class FailpointRules(LintFixture):
         self.assert_clean()
 
 
+class MetricTableRule(LintFixture):
+    def ops_with_table(self, *rows):
+        table = "".join(f"| `{name}` | {kind} | doc |\n"
+                        for name, kind in rows)
+        self.write("docs/OPERATIONS.md",
+                   "Catalog: `known.site`\n"
+                   "\n"
+                   "Metric families:\n"
+                   "\n"
+                   "| Series | Kind | Meaning |\n"
+                   "|---|---|---|\n"
+                   + table)
+
+    def test_undocumented_family(self):
+        # Default fixture OPERATIONS.md has no "Metric families:" table at
+        # all, so any family literal fires.
+        self.write("src/service/a.cc",
+                   'GaugeFamily("relview_foo_total", "doc", 1);\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "metric-table")
+
+    def test_documented_family_clean(self):
+        self.ops_with_table(("relview_foo_total", "counter"))
+        self.write("src/service/a.cc",
+                   'GaugeFamily("relview_foo_total", "doc", 1);\n')
+        self.assert_clean()
+
+    def test_one_finding_per_family_not_per_use(self):
+        self.write("src/service/a.cc",
+                   'Add("relview_foo_total");\nAdd("relview_foo_total");\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[metric-table]"), 1, out)
+
+    def test_source_prefix_satisfied_by_prefixed_rows(self):
+        # std::string("relview_net_") + RouteName(route) + "_latency..."
+        # leaves the literal "relview_net_"; any table row starting with
+        # that prefix documents the composition.
+        self.ops_with_table(("relview_net_batch_latency_seconds", "summary"))
+        self.write("src/service/a.cc",
+                   'auto n = std::string("relview_net_") + route;\n')
+        self.assert_clean()
+
+    def test_table_prefix_row_covers_composed_families(self):
+        # A trailing-underscore table row ("relview_engine_") blanket-
+        # documents the X-macro families composed from it.
+        self.ops_with_table(("relview_engine_", "gauges"))
+        self.write("src/service/a.cc",
+                   'Add("relview_engine_closure_hits");\n')
+        self.assert_clean()
+
+    def test_table_region_ends_at_prose(self):
+        self.write("docs/OPERATIONS.md",
+                   "Catalog: `known.site`\n"
+                   "\n"
+                   "Metric families:\n"
+                   "\n"
+                   "| `relview_a_total` | counter | doc |\n"
+                   "\n"
+                   "Prose ends the table region.\n"
+                   "\n"
+                   "| `relview_b_total` | some other table | n/a |\n")
+        self.write("src/service/a.cc", 'Add("relview_b_total");\n')
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "metric-table")
+
+    def test_literal_in_comment_ignored(self):
+        self.write("src/service/a.cc",
+                   '// exported as "relview_ghost_total"\n')
+        self.assert_clean()
+
+    def test_tests_and_bench_not_in_scope(self):
+        # The rule covers src/ (where families are registered); tests and
+        # benches may scrape family names freely.
+        self.write("tests/a_test.cc", 'Expect("relview_foo_total");\n')
+        self.write("bench/b.cc", 'Scrape("relview_bar_total");\n')
+        self.assert_clean()
+
+    def test_suppression(self):
+        self.write("src/service/a.cc",
+                   'Add("relview_foo_total");'
+                   '  // relview-lint: allow(metric-table)\n')
+        self.assert_clean()
+
+
 class MutexRules(LintFixture):
     def test_naked_std_mutex(self):
         self.write("src/view/a.h", "#include <mutex>\nstd::mutex mu_;\n")

@@ -10,9 +10,11 @@
 //   relview_serve [--host=127.0.0.1] [--port=0] [--tenants=4] [--emps=64]
 //                 [--depts=8] [--store=DIR] [--checkpoint-every=N]
 //                 [--shards=1] [--group-commit=0|1] [--group-window-us=N]
-//                 [--max-connections=64] [--max-write-queue=8]
-//                 [--deadline-ms=5000] [--idle-timeout-ms=5000]
-//                 [--drain-timeout-ms=5000] [--workers=0]
+//                 [--commit-stall-ms=N] [--max-connections=64]
+//                 [--max-write-queue=8] [--deadline-ms=5000]
+//                 [--idle-timeout-ms=5000] [--drain-timeout-ms=5000]
+//                 [--workers=0] [--trace-sample=N] [--wide-events=N]
+//                 [--wide-event-log=PATH]
 //
 // --shards=N partitions each tenant's write path into N shard-local
 // services behind the deterministic t[X∩Y]-hash router (src/shard/).
@@ -29,6 +31,15 @@
 // nothing that was acknowledged — restart with the same --store and the
 // tenants recover.
 //
+// Observability (DESIGN.md §14): --trace-sample=N enables the span tracer
+// at 1-in-N head sampling (0, the default, leaves it off) — traces export
+// via GET /v1/trace as Chrome trace_event JSON, and every request echoes
+// its resolved trace id in an `x-relview-trace` response header.
+// --wide-events=N emits one structured JSON log line per sampled request
+// (1 in N; failures and commit stalls are forced through the sampler) to
+// stderr, or to PATH with --wide-event-log. --commit-stall-ms=N arms the
+// group-commit stall watchdog on every shard.
+//
 // Fault injection: RELVIEW_FAILPOINTS is honoured (util/failpoint.h),
 // e.g. RELVIEW_FAILPOINTS="journal.fsync=error" turns every write into a
 // 503 durability refusal without taking the process down.
@@ -42,6 +53,8 @@
 #include "net/server.h"
 #include "net/workload.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "obs/wide_event.h"
 #include "util/failpoint.h"
 #include "util/status.h"
 
@@ -98,6 +111,29 @@ int main(int argc, char** argv) {
               spec.shards > 1 && !spec.store_root.empty() ? 1 : 0) != 0;
   spec.group_window_us =
       static_cast<uint32_t>(IntFlag(argc, argv, "group-window-us", 0));
+  spec.commit_stall_ms =
+      static_cast<uint32_t>(IntFlag(argc, argv, "commit-stall-ms", 0));
+
+  const int trace_sample = IntFlag(argc, argv, "trace-sample", 0);
+  if (trace_sample > 0) {
+    relview::GlobalTracer().Enable(static_cast<uint32_t>(trace_sample));
+  }
+  const int wide_every = IntFlag(argc, argv, "wide-events", 0);
+  if (wide_every > 0) {
+    const std::string wide_path = Flag(argc, argv, "wide-event-log");
+    if (wide_path.empty()) {
+      relview::GlobalWideEvents().Configure(
+          stderr, static_cast<uint32_t>(wide_every));
+    } else {
+      Status ws = relview::GlobalWideEvents().OpenFile(
+          wide_path, static_cast<uint32_t>(wide_every));
+      if (!ws.ok()) {
+        std::fprintf(stderr, "relview_serve: wide-event-log: %s\n",
+                     ws.ToString().c_str());
+        return 2;
+      }
+    }
+  }
 
   auto tenants = relview::net::MakeTenants(spec);
   if (!tenants.ok()) {
