@@ -38,7 +38,7 @@ void BM_Theorem4_ExpandAndDecide(benchmark::State& state) {
       static_cast<double>(red.view.ExpandedSizeBound());
 }
 BENCHMARK(BM_Theorem4_ExpandAndDecide)
-    ->DenseRange(4, 6, 1)
+    ->DenseRange(4, 7, 1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Theorem5_Test1Succinct(benchmark::State& state) {
@@ -55,7 +55,7 @@ void BM_Theorem5_Test1Succinct(benchmark::State& state) {
       static_cast<double>(red.view.ExpandedSizeBound());
 }
 BENCHMARK(BM_Theorem5_Test1Succinct)
-    ->DenseRange(4, 12, 1)
+    ->DenseRange(4, 13, 1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Theorem7_FindComplementSuccinct(benchmark::State& state) {
@@ -71,7 +71,7 @@ void BM_Theorem7_FindComplementSuccinct(benchmark::State& state) {
       static_cast<double>(red.view.ExpandedSizeBound());
 }
 BENCHMARK(BM_Theorem7_FindComplementSuccinct)
-    ->DenseRange(4, 10, 1)
+    ->DenseRange(4, 11, 1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_QbfOracle(benchmark::State& state) {

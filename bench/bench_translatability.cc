@@ -25,7 +25,13 @@
 // Gate: <= 5% slowdown, with a small absolute-time floor so a sub-noise
 // delta on a fast machine cannot flake the gate.
 //
-// Usage: bench_translatability [--smoke] [--json=PATH]
+// Usage: bench_translatability [--smoke] [--json=PATH] [--store=row|columnar]
+//
+// --store selects the engine's storage layout (default row): `columnar`
+// runs every engine-side stream on the dictionary-encoded column store
+// with the vectorized probe path, so the same JSON schema doubles as the
+// row-vs-columnar comparison axis (bench_columnar gates the ratio; this
+// flag lets either layout be profiled under the full mixed stream).
 
 #include <algorithm>
 #include <cstdio>
@@ -160,6 +166,14 @@ int main(int argc, char** argv) {
   using namespace relview;
   const bool smoke = bench::HasFlag(argc, argv, "smoke");
   const std::string json_path = bench::FlagValue(argc, argv, "json");
+  const std::string store_flag = bench::FlagValue(argc, argv, "store");
+  if (!store_flag.empty() && store_flag != "row" && store_flag != "columnar") {
+    std::fprintf(stderr, "unknown --store=%s (want row|columnar)\n",
+                 store_flag.c_str());
+    return 1;
+  }
+  const StoreKind store =
+      store_flag == "columnar" ? StoreKind::kColumnar : StoreKind::kRowHash;
   const unsigned cores = std::thread::hardware_concurrency();
 
   // Full mode is the acceptance configuration: a 1k-update stream over a
@@ -173,7 +187,11 @@ int main(int argc, char** argv) {
   std::printf("bench_translatability%s: %u cores\n\n", smoke ? " (smoke)" : "",
               cores);
   bench::JsonWriter json;
-  json.Add("smoke", smoke).Add("cores", static_cast<int>(cores));
+  json.Add("smoke", smoke)
+      .Add("cores", static_cast<int>(cores))
+      .Add("store", store == StoreKind::kColumnar
+                        ? std::string("columnar")
+                        : std::string("row"));
 
   // --- 1. Incremental engine vs from-scratch ---------------------------
   bench::ChainWorkload chain =
@@ -194,6 +212,7 @@ int main(int argc, char** argv) {
               base.updates_per_sec, 1.0);
 
   TranslatorOptions engine_opts;  // incremental, 1 thread, screen on
+  engine_opts.store = store;
   ViewTranslator engine = MakeTranslator(chain.universe, chain.fds, chain.x,
                                          chain.y, chain.database,
                                          engine_opts);
@@ -255,6 +274,7 @@ int main(int argc, char** argv) {
   double scale4 = 0;
   for (int threads : {1, 2, 4, 8}) {
     TranslatorOptions opts;
+    opts.store = store;
     opts.probe_threads = threads;
     opts.pair_screen = false;  // leave real chase work for the pool
     ViewTranslator vt = MakeTranslator(probe.universe, probe.fds, probe.x,
@@ -272,6 +292,7 @@ int main(int argc, char** argv) {
   // criterion settles these probes without chasing at all.
   {
     TranslatorOptions opts;  // screen on, 1 thread
+    opts.store = store;
     ViewTranslator vt = MakeTranslator(probe.universe, probe.fds, probe.x,
                                        probe.y, probe.database, opts);
     const StreamResult r = RunProbeStream(&vt, probe, probe_rounds);
@@ -293,9 +314,10 @@ int main(int argc, char** argv) {
   auto best_chain_seconds = [&] {
     double best = 0;
     for (int rep = 0; rep < trace_reps; ++rep) {
+      TranslatorOptions topts;
+      topts.store = store;
       ViewTranslator vt = MakeTranslator(chain.universe, chain.fds, chain.x,
-                                         chain.y, chain.database,
-                                         TranslatorOptions{});
+                                         chain.y, chain.database, topts);
       const StreamResult r = RunChainStream(&vt, chain, trace_rounds);
       if (rep == 0 || r.seconds < best) best = r.seconds;
     }

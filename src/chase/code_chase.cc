@@ -1,0 +1,454 @@
+#include "chase/code_chase.h"
+
+#include <algorithm>
+
+#include "relational/arena.h"
+#include "util/small_util.h"
+
+// Correctness notes for the delta probe kernel (ProbeDeltaChaser).
+//
+// The chase computes the congruence closure of "value a = value b" facts
+// under the FDs, with each merge class resolving to its unique minimum raw
+// element (constants order below nulls, so the rule "null -> const,
+// high-null -> low-null" is exactly "rename to the class minimum"). The
+// closure — and hence conflict-or-not and every resolved value — is
+// independent of the order merges are discovered in, which is what lets
+// this kernel discover them lazily.
+//
+// Round structure: the *ever-dirty* set. Every merged-away value dirties
+// the rows containing it (via the value->row postings); each round rescans
+// the entire ever-dirty set, and the chase stops after the first round
+// that performs no merge. Rescanning everything (rather than only the
+// newly dirtied rows) is what makes the kernel sound: within a round,
+// dirty rows compare against each other through a hash table keyed by
+// their resolved-signature hash *at processing time*, and a mid-round
+// merge can change a later row's hash after an earlier row was bucketed —
+// the pair silently misses each other in that round. (A two-queue
+// "newly dirty only" variant has exactly this hole; the differential test
+// against the full re-chase oracle catches it.) The final, merge-free
+// round closes it:
+//   * no merges => no mid-round hash drift, so every violating
+//     dirty x dirty pair lands in the same bucket and is compared;
+//   * a dirty x clean violating pair is found through the base group
+//     tables: a clean row's cells were never merged away (losing classes
+//     dirty their rows in full), so its raw signature *is* its resolved
+//     signature and the dirty row's resolved-signature lookup matches the
+//     clean row's group representative (whose rhs equals the clean row's
+//     rhs, because the base matrix is a fixpoint);
+//   * a clean x clean pair cannot violate at all (fixpoint, resolutions
+//     unchanged).
+// Termination: each non-final round merges at least one class, and there
+// are finitely many values.
+//
+// Base-group lookups compare a dirty row's *resolved* signature against a
+// representative's *unresolved* matrix cells. A match implies every cell
+// of that base signature is a live union-find root (the resolved signature
+// contains only roots), hence every member of the base group still
+// resolves to exactly that signature and the merge is genuine. A stale
+// group (some lhs cell merged away) can never match — its base signature
+// contains a non-root — and its members are in the ever-dirty set
+// instead, so skipping it is sound.
+
+namespace relview {
+
+namespace {
+
+constexpr uint64_t kSigSeed = 0x5DEECE66DULL;
+
+}  // namespace
+
+CodeMatrix CodeMatrix::FromRelation(const Relation& r) {
+  CodeMatrix m;
+  m.rows = r.size();
+  m.cols = r.arity();
+  m.data.resize(static_cast<size_t>(m.rows) * static_cast<size_t>(m.cols));
+  for (int i = 0; i < m.rows; ++i) {
+    const Tuple& t = r.row(i);
+    for (int c = 0; c < m.cols; ++c) {
+      m.data[static_cast<size_t>(c) * static_cast<size_t>(m.rows) +
+             static_cast<size_t>(i)] = t[c].raw();
+    }
+  }
+  return m;
+}
+
+std::vector<FDPlan> BuildFDPlans(const Schema& schema, const FDSet& fds) {
+  std::vector<FDPlan> plans(static_cast<size_t>(fds.size()));
+  for (int fi = 0; fi < fds.size(); ++fi) {
+    const FD& fd = fds.fds()[fi];
+    if (!fd.lhs.SubsetOf(schema.attrs()) || !schema.Contains(fd.rhs)) {
+      continue;  // rhs_pos stays -1: FD outside the schema, skipped
+    }
+    FDPlan& plan = plans[static_cast<size_t>(fi)];
+    fd.lhs.ForEach(
+        [&](AttrId a) { plan.lhs_pos.push_back(schema.PosOf(a)); });
+    plan.rhs_pos = schema.PosOf(fd.rhs);
+  }
+  return plans;
+}
+
+// ---------------------------------------------------------------------------
+// CodeProbeIndex
+
+CodeProbeIndex CodeProbeIndex::Build(const Relation& fixpoint,
+                                     const FDSet& fds) {
+  CodeProbeIndex idx;
+  idx.matrix_ = CodeMatrix::FromRelation(fixpoint);
+  idx.plans_ = BuildFDPlans(fixpoint.schema(), fds);
+  const CodeMatrix& m = idx.matrix_;
+
+  // Postings: rows ascending per value, deduplicated within a row.
+  idx.postings_.reserve(static_cast<size_t>(m.rows) *
+                            static_cast<size_t>(m.cols) / 2 +
+                        1);
+  for (int i = 0; i < m.rows; ++i) {
+    for (int c = 0; c < m.cols; ++c) {
+      std::vector<int32_t>& rows = idx.postings_[m.at(i, c)];
+      if (rows.empty() || rows.back() != i) rows.push_back(i);
+    }
+  }
+
+  // Per-FD base group representatives: one row per distinct lhs signature.
+  idx.groups_.resize(idx.plans_.size());
+  std::vector<uint32_t> sig;
+  for (size_t fi = 0; fi < idx.plans_.size(); ++fi) {
+    const FDPlan& plan = idx.plans_[fi];
+    if (plan.rhs_pos < 0) continue;
+    auto& table = idx.groups_[fi];
+    table.reserve(static_cast<size_t>(m.rows) * 2 + 1);
+    for (int i = 0; i < m.rows; ++i) {
+      sig.clear();
+      uint64_t h = kSigSeed;
+      for (const int p : plan.lhs_pos) {
+        const uint32_t v = m.at(i, p);
+        sig.push_back(v);
+        h = HashCombine(h, v);
+      }
+      std::vector<int32_t>& reps = table[h];
+      bool dup = false;
+      for (const int32_t rep : reps) {
+        bool same = true;
+        for (size_t c = 0; c < plan.lhs_pos.size(); ++c) {
+          if (m.at(rep, plan.lhs_pos[c]) != sig[c]) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          dup = true;  // fixpoint => same rhs; one representative suffices
+          break;
+        }
+      }
+      if (!dup) reps.push_back(i);
+    }
+  }
+  return idx;
+}
+
+size_t CodeProbeIndex::MemoryBytes() const {
+  size_t total = matrix_.data.capacity() * sizeof(uint32_t);
+  total += postings_.size() * (sizeof(uint32_t) + sizeof(void*) * 3);
+  for (const auto& [v, rows] : postings_) {
+    (void)v;
+    total += rows.capacity() * sizeof(int32_t);
+  }
+  for (const auto& table : groups_) {
+    total += table.size() * (sizeof(uint64_t) + sizeof(void*) * 3);
+    for (const auto& [h, reps] : table) {
+      (void)h;
+      total += reps.capacity() * sizeof(int32_t);
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ProbeDeltaChaser
+
+uint32_t ProbeDeltaChaser::Resolve(uint32_t v) {
+  auto it = parent_.find(v);
+  if (it == parent_.end()) return v;
+  uint32_t root = it->second;
+  for (auto step = parent_.find(root); step != parent_.end();
+       step = parent_.find(root)) {
+    root = step->second;
+  }
+  while (v != root) {  // path compression
+    auto step = parent_.find(v);
+    const uint32_t next = step->second;
+    step->second = root;
+    v = next;
+  }
+  return root;
+}
+
+bool ProbeDeltaChaser::Union(uint32_t a, uint32_t b) {
+  // Preconditions: a and b are distinct roots. The class representative is
+  // the minimum raw id (constants sort below nulls), matching ResolvePair.
+  const uint32_t winner = a < b ? a : b;
+  const uint32_t loser = a < b ? b : a;
+  if ((loser & Value::kNullTag) == 0) return false;  // both constants
+  parent_[loser] = winner;
+  std::vector<uint32_t>& wm = members_[winner];
+  wm.push_back(loser);
+  pending_.push_back(loser);
+  auto it = members_.find(loser);
+  if (it != members_.end()) {
+    for (const uint32_t v : it->second) {
+      wm.push_back(v);
+      pending_.push_back(v);
+    }
+    members_.erase(loser);
+  }
+  return true;
+}
+
+void ProbeDeltaChaser::MarkDirtyRowsOf(uint32_t value) {
+  const std::vector<int32_t>* rows = index_->RowsWith(value);
+  if (rows == nullptr) return;
+  for (const int32_t row : *rows) {
+    if (dirty_stamp_[static_cast<size_t>(row)] == tick_) continue;
+    dirty_stamp_[static_cast<size_t>(row)] = tick_;
+    dirty_rows_.push_back(row);
+  }
+}
+
+bool ProbeDeltaChaser::Chase(
+    const std::vector<std::pair<uint32_t, uint32_t>>& seeds,
+    ChaseStats* stats, bool* chased) {
+  *chased = false;
+  parent_.clear();
+  members_.clear();
+  pending_.clear();
+
+  for (const auto& [a, b] : seeds) {
+    const uint32_t ra = Resolve(a);
+    const uint32_t rb = Resolve(b);
+    if (ra == rb) continue;
+    if (!Union(ra, rb)) return true;  // constant-constant: conflict
+  }
+  if (pending_.empty()) return false;  // hypothesis already holds
+  *chased = true;
+
+  const CodeMatrix& m = index_->matrix();
+  const size_t nrows = static_cast<size_t>(m.rows);
+  dirty_rows_.clear();
+  if (dirty_stamp_.size() < nrows) dirty_stamp_.resize(nrows, 0);
+
+  ++tick_;
+  for (const uint32_t v : pending_) MarkDirtyRowsOf(v);
+  pending_.clear();
+
+  bool merged_this_round = true;
+  while (merged_this_round) {
+    merged_this_round = false;
+    ++stats->rounds;
+    for (size_t fi = 0; fi < index_->plans().size(); ++fi) {
+      const FDPlan& plan = index_->plans()[fi];
+      if (plan.rhs_pos < 0) continue;
+      round_table_.clear();
+      for (const int32_t row : dirty_rows_) {
+        ++stats->work;
+        sig_.clear();
+        uint64_t h = kSigSeed;
+        for (const int p : plan.lhs_pos) {
+          const uint32_t v = Resolve(m.at(row, p));
+          sig_.push_back(v);
+          h = HashCombine(h, v);
+        }
+        // Base groups: at most one can match (signatures are distinct and
+        // a match implies the signature is fully live; see file comment).
+        if (const std::vector<int32_t>* reps =
+                index_->GroupReps(static_cast<int>(fi), h)) {
+          for (const int32_t rep : *reps) {
+            ++stats->work;
+            bool same = true;
+            for (size_t c = 0; c < plan.lhs_pos.size(); ++c) {
+              if (m.at(rep, plan.lhs_pos[c]) != sig_[c]) {
+                same = false;
+                break;
+              }
+            }
+            if (!same) continue;
+            const uint32_t ra = Resolve(m.at(row, plan.rhs_pos));
+            const uint32_t rb = Resolve(m.at(rep, plan.rhs_pos));
+            if (ra != rb) {
+              if (!Union(ra, rb)) return true;
+              ++stats->merges;
+              merged_this_round = true;
+            }
+            break;
+          }
+        }
+        // Dirty rows already processed this round for this FD.
+        std::vector<int32_t>& bucket = round_table_[h];
+        for (const int32_t j : bucket) {
+          ++stats->work;
+          bool same = true;
+          for (size_t c = 0; c < plan.lhs_pos.size(); ++c) {
+            if (Resolve(m.at(j, plan.lhs_pos[c])) != sig_[c]) {
+              same = false;
+              break;
+            }
+          }
+          if (!same) continue;
+          const uint32_t ra = Resolve(m.at(row, plan.rhs_pos));
+          const uint32_t rb = Resolve(m.at(j, plan.rhs_pos));
+          if (ra != rb) {
+            if (!Union(ra, rb)) return true;
+            ++stats->merges;
+            merged_this_round = true;
+          }
+        }
+        bucket.push_back(row);
+      }
+    }
+    // Extend the ever-dirty set with rows touched by this round's losers;
+    // the next round rescans everything (see the file comment for why).
+    for (const uint32_t v : pending_) MarkDirtyRowsOf(v);
+    pending_.clear();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ChaseCodes: the full columnar chase (ChaseBackend::kColumnar).
+
+ChaseOutcome ChaseCodes(const Relation& input, const FDSet& fds) {
+  ChaseOutcome out;
+  out.result = input;
+  const int n = input.size();
+  const int arity = input.arity();
+  const std::vector<FDPlan> plans = BuildFDPlans(input.schema(), fds);
+
+  // Scratch arena, retained per thread across calls: the cell matrix and
+  // the per-round signature/hash arrays are the same shapes every time a
+  // component is re-chased, so steady-state calls allocate nothing.
+  thread_local Arena arena;
+  arena.Reset();
+
+  // Column-major cell matrix of raw ids.
+  uint32_t* cells = arena.Alloc<uint32_t>(
+      static_cast<size_t>(n) * static_cast<size_t>(arity));
+  for (int i = 0; i < n; ++i) {
+    const Tuple& t = input.row(i);
+    for (int c = 0; c < arity; ++c) {
+      cells[static_cast<size_t>(c) * static_cast<size_t>(n) +
+            static_cast<size_t>(i)] = t[c].raw();
+    }
+  }
+  std::unordered_map<uint32_t, uint32_t> parent;
+  const auto resolve = [&parent](uint32_t v) {
+    auto it = parent.find(v);
+    if (it == parent.end()) return v;
+    uint32_t root = it->second;
+    for (auto step = parent.find(root); step != parent.end();
+         step = parent.find(root)) {
+      root = step->second;
+    }
+    while (v != root) {
+      auto step = parent.find(v);
+      const uint32_t next = step->second;
+      step->second = root;
+      v = next;
+    }
+    return root;
+  };
+
+  // Per-round scratch: resolved signatures (lhs-major contiguous) and
+  // their hashes, sized for the widest FD.
+  size_t max_lhs = 1;
+  for (const FDPlan& p : plans) max_lhs = std::max(max_lhs, p.lhs_pos.size());
+  uint32_t* sigs =
+      arena.Alloc<uint32_t>(static_cast<size_t>(n) * max_lhs);
+  uint64_t* hashes = arena.Alloc<uint64_t>(static_cast<size_t>(n));
+  uint32_t* rhs_roots = arena.Alloc<uint32_t>(static_cast<size_t>(n));
+
+  std::unordered_map<uint64_t, std::vector<int32_t>> groups;
+  groups.reserve(static_cast<size_t>(n) * 2 + 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.stats.rounds;
+    for (const FDPlan& plan : plans) {
+      if (plan.rhs_pos < 0) continue;
+      const size_t width = plan.lhs_pos.size();
+      // Pass 1 — vectorized: resolve each lhs column into the contiguous
+      // signature array and fold the hashes, one column at a time.
+      for (int i = 0; i < n; ++i) hashes[i] = kSigSeed;
+      for (size_t c = 0; c < width; ++c) {
+        const uint32_t* col =
+            cells + static_cast<size_t>(plan.lhs_pos[c]) *
+                        static_cast<size_t>(n);
+        uint32_t* sig_col = sigs + c * static_cast<size_t>(n);
+        for (int i = 0; i < n; ++i) {
+          const uint32_t v = resolve(col[i]);
+          sig_col[i] = v;
+          hashes[i] = HashCombine(hashes[i], v);
+        }
+      }
+      {
+        const uint32_t* col = cells + static_cast<size_t>(plan.rhs_pos) *
+                                          static_cast<size_t>(n);
+        for (int i = 0; i < n; ++i) rhs_roots[i] = resolve(col[i]);
+      }
+      out.stats.work += n;
+      // Pass 2 — group by signature; union each row's rhs with the first
+      // signature-equal predecessor's (transitively groups the class).
+      groups.clear();
+      for (int i = 0; i < n; ++i) {
+        std::vector<int32_t>& bucket = groups[hashes[i]];
+        bool grouped = false;
+        for (const int32_t j : bucket) {
+          ++out.stats.work;
+          bool same = true;
+          for (size_t c = 0; c < width; ++c) {
+            if (sigs[c * static_cast<size_t>(n) + static_cast<size_t>(j)] !=
+                sigs[c * static_cast<size_t>(n) + static_cast<size_t>(i)]) {
+              same = false;
+              break;
+            }
+          }
+          if (!same) continue;
+          grouped = true;
+          const uint32_t a = resolve(rhs_roots[i]);
+          const uint32_t b = resolve(rhs_roots[j]);
+          if (a != b) {
+            const uint32_t winner = a < b ? a : b;
+            const uint32_t loser = a < b ? b : a;
+            if ((loser & Value::kNullTag) == 0) {
+              out.conflict = true;
+              return out;
+            }
+            parent[loser] = winner;
+            ++out.stats.merges;
+            changed = true;
+          }
+          break;
+        }
+        if (!grouped) bucket.push_back(i);
+      }
+    }
+  }
+
+  // Materialize the resolved relation and export direct-to-root renames.
+  for (Tuple& row : out.result.mutable_rows()) {
+    for (int c = 0; c < row.arity(); ++c) {
+      const uint32_t v = resolve(row[c].raw());
+      row[c] = (v & Value::kNullTag) != 0 ? Value::Null(v & ~Value::kNullTag)
+                                          : Value::Const(v);
+    }
+  }
+  out.result.Normalize();
+  for (const auto& [from, to] : parent) {
+    const uint32_t root = resolve(from);
+    (void)to;
+    out.renames[from] = (root & Value::kNullTag) != 0
+                            ? Value::Null(root & ~Value::kNullTag)
+                            : Value::Const(root);
+  }
+  return out;
+}
+
+}  // namespace relview

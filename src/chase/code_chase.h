@@ -1,0 +1,151 @@
+// The columnar chase kernel: the chase of instance_chase.h re-expressed
+// over flat, contiguous arrays of raw value ids ("codes" in the loose
+// sense — cell values of a CodeMatrix, not dictionary codes).
+//
+// Two entry points:
+//
+//  * ChaseCodes — a full chase of an arbitrary instance, the engine behind
+//    ChaseBackend::kColumnar. Same rule semantics as ChaseHash (const/const
+//    conflict, null->const, high-null->low-null), and therefore the same
+//    fixpoint: every merge class resolves to its unique minimum raw element
+//    (constants sort below nulls), so the fixpoint is independent of merge
+//    order and backends agree value-for-value after Normalize().
+//
+//  * CodeProbeIndex + ProbeDeltaChaser — the semi-naive probe kernel for
+//    condition (c). A translatability check runs up to |Sigma|·|V| probes
+//    against one base-chase fixpoint; the row path copies the fixpoint
+//    relation and re-chases it per probe. Here the fixpoint is frozen once
+//    per check into a column-major CodeMatrix plus value->row postings and
+//    per-FD group tables, and each probe runs a delta chase: only rows
+//    containing a value whose resolution changed are rescanned. The
+//    fixpoint property (every base lhs-group already agrees on its rhs)
+//    makes the dirty-row frontier sound — see the correctness notes in
+//    code_chase.cc.
+//
+// Scratch (signature buffers, dirty stamps, worklists) lives in a
+// per-thread Arena and per-chaser reusable tables; probes allocate nothing
+// on the steady state.
+
+#ifndef RELVIEW_CHASE_CODE_CHASE_H_
+#define RELVIEW_CHASE_CODE_CHASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/instance_chase.h"
+#include "deps/fd_set.h"
+#include "relational/relation.h"
+
+namespace relview {
+
+/// Column-major matrix of a relation's raw cell values: column c of row r
+/// is data[c * rows + r]. The layout makes per-FD scans walk |lhs|+1
+/// contiguous arrays instead of striding across heap-allocated Tuples.
+struct CodeMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<uint32_t> data;
+
+  uint32_t at(int row, int col) const {
+    return data[static_cast<size_t>(col) * static_cast<size_t>(rows) +
+                static_cast<size_t>(row)];
+  }
+
+  static CodeMatrix FromRelation(const Relation& r);
+};
+
+/// One FD lowered to storage positions of a schema. rhs_pos < 0 marks an
+/// FD whose attributes fall outside the schema (skipped, matching the
+/// attribute checks in ChaseHash/ChaseSort).
+struct FDPlan {
+  std::vector<int> lhs_pos;
+  int rhs_pos = -1;
+};
+
+std::vector<FDPlan> BuildFDPlans(const Schema& schema, const FDSet& fds);
+
+/// Frozen per-check probe state over one base-chase fixpoint: the cell
+/// matrix, FD plans, value->rows postings, and per-FD base group tables
+/// (one representative row per distinct lhs signature; the fixpoint
+/// property guarantees every group member shares the representative's rhs
+/// value). Immutable after Build — safe to share across probe threads.
+class CodeProbeIndex {
+ public:
+  static CodeProbeIndex Build(const Relation& fixpoint, const FDSet& fds);
+
+  const CodeMatrix& matrix() const { return matrix_; }
+  const std::vector<FDPlan>& plans() const { return plans_; }
+
+  /// Rows whose cells contain raw value `v` (ascending, deduplicated);
+  /// empty when the value does not occur.
+  const std::vector<int32_t>* RowsWith(uint32_t v) const {
+    auto it = postings_.find(v);
+    return it == postings_.end() ? nullptr : &it->second;
+  }
+
+  /// Base group representatives for FD `fi` whose lhs signature hashes to
+  /// `h`; null when none.
+  const std::vector<int32_t>* GroupReps(int fi, uint64_t h) const {
+    const auto& table = groups_[static_cast<size_t>(fi)];
+    auto it = table.find(h);
+    return it == table.end() ? nullptr : &it->second;
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  CodeMatrix matrix_;
+  std::vector<FDPlan> plans_;
+  std::unordered_map<uint32_t, std::vector<int32_t>> postings_;
+  std::vector<std::unordered_map<uint64_t, std::vector<int32_t>>> groups_;
+};
+
+/// Reusable per-worker scratch for delta probes against one CodeProbeIndex.
+/// Not thread-safe; give each probe thread its own chaser.
+class ProbeDeltaChaser {
+ public:
+  explicit ProbeDeltaChaser(const CodeProbeIndex* index) : index_(index) {}
+
+  /// Equates each (a, b) pair of fixpoint values and chases to fixpoint.
+  /// Returns true on a constant-constant conflict (the probe hypothesis is
+  /// unsatisfiable). Afterwards Resolve() maps fixpoint values to their
+  /// final values. Accounting accumulates into `stats`; `*chased` is set
+  /// iff at least one rename round ran (mirrors the row path's
+  /// chases_run counting).
+  bool Chase(const std::vector<std::pair<uint32_t, uint32_t>>& seeds,
+             ChaseStats* stats, bool* chased);
+
+  /// Final value of a fixpoint value after Chase's merges (path-compressed
+  /// union-find lookup).
+  uint32_t Resolve(uint32_t raw);
+
+ private:
+  /// Union of the *roots* a and b. Returns false on const-const conflict.
+  bool Union(uint32_t a, uint32_t b);
+  void MarkDirtyRowsOf(uint32_t value);
+
+  const CodeProbeIndex* index_;
+  std::unordered_map<uint32_t, uint32_t> parent_;
+  /// Merged-in members per live root (the root itself is implicit).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> members_;
+  /// Values whose root changed since the last drain (loser classes).
+  std::vector<uint32_t> pending_;
+  /// The ever-dirty row set of the current probe (see the round structure
+  /// in code_chase.cc): rows plus a stamp array for O(1) dedup, stamped
+  /// with tick_ (one tick per Chase call).
+  std::vector<int32_t> dirty_rows_;
+  std::vector<uint64_t> dirty_stamp_;
+  std::unordered_map<uint64_t, std::vector<int32_t>> round_table_;
+  std::vector<uint32_t> sig_;
+  uint64_t tick_ = 0;
+};
+
+/// Full columnar chase: ChaseInstance's ChaseBackend::kColumnar engine.
+/// Produces the identical fixpoint (and Resolve-equivalent renames) to
+/// ChaseHash/ChaseSort.
+ChaseOutcome ChaseCodes(const Relation& input, const FDSet& fds);
+
+}  // namespace relview
+
+#endif  // RELVIEW_CHASE_CODE_CHASE_H_

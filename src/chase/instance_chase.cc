@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chase/code_chase.h"
+
 namespace relview {
 
 namespace {
@@ -182,8 +184,15 @@ ChaseOutcome ChaseSort(const Relation& input, const FDSet& fds) {
 
 ChaseOutcome ChaseInstance(const Relation& r, const FDSet& fds,
                            ChaseBackend backend) {
-  return backend == ChaseBackend::kHash ? ChaseHash(r, fds)
-                                        : ChaseSort(r, fds);
+  switch (backend) {
+    case ChaseBackend::kHash:
+      return ChaseHash(r, fds);
+    case ChaseBackend::kSort:
+      return ChaseSort(r, fds);
+    case ChaseBackend::kColumnar:
+      return ChaseCodes(r, fds);
+  }
+  return ChaseHash(r, fds);  // unreachable; silences -Wreturn-type
 }
 
 }  // namespace relview

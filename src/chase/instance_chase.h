@@ -12,12 +12,17 @@
 //   null   vs const  -> the null is renamed to the constant;
 //   null   vs null   -> the higher-id null is renamed to the lower.
 //
-// Two interchangeable backends are provided:
+// Three interchangeable backends are provided:
 //   * kHash — hash-partition per FD with a work-list; near-linear rounds.
 //   * kSort — the paper's literal algorithm (Corollary to Theorem 3):
 //     repeatedly sort by the Z columns and merge the first adjacent
 //     violating pair; O(|V|^2 log |V| |Sigma| |Y-X|) per chase.
-// Both produce the same fixpoint up to null renaming; tests assert this.
+//   * kColumnar — the code chase of code_chase.h: rows flattened into a
+//     column-major matrix of raw ids, per-round vectorized resolve+hash
+//     passes, arena-backed scratch. Same rule semantics, same fixpoint.
+// All produce the same fixpoint (each merge class resolves to its unique
+// minimum raw element, so the fixpoint is merge-order-independent); tests
+// assert this.
 
 #ifndef RELVIEW_CHASE_INSTANCE_CHASE_H_
 #define RELVIEW_CHASE_INSTANCE_CHASE_H_
@@ -30,7 +35,7 @@
 
 namespace relview {
 
-enum class ChaseBackend { kHash, kSort };
+enum class ChaseBackend { kHash, kSort, kColumnar };
 
 struct ChaseStats {
   int merges = 0;

@@ -1,0 +1,90 @@
+// Arena: a bump allocator for chase scratch state. The columnar chase and
+// the condition-(c) probe kernels allocate the same shapes over and over
+// (code matrices, group tables, worklists); an arena turns those into
+// pointer bumps over a few retained blocks, and Reset() recycles all of it
+// without returning memory to the OS between probes.
+//
+// The arena owns raw bytes only: allocate trivially-destructible types
+// (the kernels use uint32_t/int32_t exclusively). Alignment is the
+// allocation type's own alignof.
+
+#ifndef RELVIEW_RELATIONAL_ARENA_H_
+#define RELVIEW_RELATIONAL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace relview {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{256} * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `n` default-initialized objects of trivially-destructible
+  /// type T. The storage lives until Reset() or destruction.
+  template <typename T>
+  T* Alloc(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is never destructed");
+    const size_t bytes = n * sizeof(T);
+    uint8_t* p = AllocBytes(bytes, alignof(T));
+    return new (p) T[n]();
+  }
+
+  /// Recycles every block for reuse; previously returned pointers are
+  /// invalidated but the memory stays owned (no free/realloc churn).
+  void Reset() {
+    current_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes reserved across all blocks (telemetry / memory reports).
+  size_t reserved_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  uint8_t* AllocBytes(size_t bytes, size_t align) {
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        Block& b = blocks_[current_];
+        const size_t aligned = (used_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+          used_ = aligned + bytes;
+          return b.data.get() + aligned;
+        }
+        ++current_;
+        used_ = 0;
+        continue;
+      }
+      const size_t size = bytes > block_bytes_ ? bytes : block_bytes_;
+      blocks_.push_back(Block{std::make_unique<uint8_t[]>(size), size});
+      // Loop re-enters with the fresh block as current.
+    }
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // index of the block being bumped
+  size_t used_ = 0;     // bytes consumed in blocks_[current_]
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_ARENA_H_

@@ -1,0 +1,264 @@
+#include "relational/column_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/small_util.h"
+
+namespace relview {
+
+namespace {
+
+// Bump-parses one unsigned decimal token (skipping leading spaces/newlines
+// is the caller's concern — the encoder emits single spaces and newlines,
+// and strtoull skips leading whitespace including '\n').
+bool ParseU64(const char** p, const char* end, uint64_t* out) {
+  if (*p >= end) return false;
+  char* next = nullptr;
+  const uint64_t v = std::strtoull(*p, &next, 10);
+  if (next == *p || next > end) return false;
+  *p = next;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Dictionary> Dictionary::FromPage(const std::vector<uint32_t>& page) {
+  Dictionary d;
+  d.values_ = page;
+  d.code_of_.reserve(page.size());
+  for (size_t i = 0; i < page.size(); ++i) {
+    auto [it, inserted] =
+        d.code_of_.emplace(page[i], static_cast<uint32_t>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::Corruption("dictionary page has duplicate value");
+    }
+  }
+  d.next_code_ = page.size();
+  return d;
+}
+
+Result<ColumnStore> ColumnStore::FromRelation(const Relation& r) {
+  ColumnStore cs(r.schema());
+  for (Column& c : cs.columns_) c.codes.reserve(r.rows().size());
+  for (const Tuple& t : r.rows()) {
+    RELVIEW_RETURN_IF_ERROR(cs.AppendRow(t));
+  }
+  return cs;
+}
+
+Tuple ColumnStore::RowAt(int row) const {
+  Tuple t(arity());
+  for (int pos = 0; pos < arity(); ++pos) t[pos] = At(row, pos);
+  return t;
+}
+
+Status ColumnStore::AppendRow(const Tuple& t) {
+  if (t.arity() != arity()) {
+    return Status::InvalidArgument("ColumnStore::AppendRow: arity mismatch");
+  }
+  for (int pos = 0; pos < arity(); ++pos) {
+    Column& c = columns_[static_cast<size_t>(pos)];
+    RELVIEW_ASSIGN_OR_RETURN(const uint32_t code, c.dict.Intern(t[pos]));
+    c.codes.push_back(code);
+  }
+  ++rows_;
+  return Status::OK();
+}
+
+int ColumnStore::CompareRow(int row, const Tuple& t) const {
+  for (int pos = 0; pos < arity(); ++pos) {
+    const uint32_t a = RawAt(row, pos);
+    const uint32_t b = t[pos].raw();
+    if (a < b) return -1;
+    if (a > b) return 1;
+  }
+  return 0;
+}
+
+Result<int> ColumnStore::InsertRow(const Tuple& t) {
+  if (t.arity() != arity()) {
+    return Status::InvalidArgument("ColumnStore::InsertRow: arity mismatch");
+  }
+  // Binary search for the canonical position (first row >= t).
+  int lo = 0, hi = rows_;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (CompareRow(mid, t) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (int pos = 0; pos < arity(); ++pos) {
+    Column& c = columns_[static_cast<size_t>(pos)];
+    RELVIEW_ASSIGN_OR_RETURN(const uint32_t code, c.dict.Intern(t[pos]));
+    c.codes.insert(c.codes.begin() + lo, code);
+  }
+  ++rows_;
+  return lo;
+}
+
+void ColumnStore::EraseRow(int row) {
+  for (Column& c : columns_) {
+    c.codes.erase(c.codes.begin() + row);
+  }
+  --rows_;
+}
+
+int ColumnStore::PositionOf(const Tuple& t) const {
+  if (t.arity() != arity()) return -1;
+  int lo = 0, hi = rows_;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (CompareRow(mid, t) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo < rows_ && CompareRow(lo, t) == 0) ? lo : -1;
+}
+
+bool ColumnStore::RowAgrees(int row, const Tuple& t,
+                            const std::vector<int>& pos) const {
+  for (const int p : pos) {
+    if (RawAt(row, p) != t[p].raw()) return false;
+  }
+  return true;
+}
+
+bool ColumnStore::FindFDViolation(const std::vector<int>& lhs_pos,
+                                  int rhs_pos, int* row_a, int* row_b) const {
+  // Group rows by their lhs code signature; the first group member is the
+  // representative. A later member with a different rhs code is a
+  // violation. Codes (not decoded values) suffice: within a column,
+  // code equality ⇔ value equality.
+  std::unordered_map<uint64_t, std::vector<int32_t>> groups;
+  groups.reserve(static_cast<size_t>(rows_));
+  const std::vector<uint32_t>& rhs = codes(rhs_pos);
+  for (int i = 0; i < rows_; ++i) {
+    uint64_t h = 0x5DEECE66DULL;
+    for (const int p : lhs_pos) {
+      h = HashCombine(h, codes(p)[static_cast<size_t>(i)]);
+    }
+    std::vector<int32_t>& bucket = groups[h];
+    for (const int32_t j : bucket) {
+      if (!RowsAgreeOn(j, i, lhs_pos)) continue;
+      if (rhs[static_cast<size_t>(j)] != rhs[static_cast<size_t>(i)]) {
+        *row_a = j;
+        *row_b = i;
+        return true;
+      }
+      // Same group, same rhs: keep only one member per true group by not
+      // adding i (j already represents it for future comparisons against
+      // this group's rhs).
+    }
+    bucket.push_back(i);
+  }
+  return false;
+}
+
+bool ColumnStore::RowsAgreeOn(int row_a, int row_b,
+                              const std::vector<int>& pos) const {
+  for (const int p : pos) {
+    const std::vector<uint32_t>& col = codes(p);
+    if (col[static_cast<size_t>(row_a)] != col[static_cast<size_t>(row_b)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Relation ColumnStore::ToRelation() const {
+  Relation r(schema_);
+  for (int i = 0; i < rows_; ++i) r.AddRow(RowAt(i));
+  return r;
+}
+
+size_t ColumnStore::MemoryBytes() const {
+  size_t total = sizeof(*this);
+  for (const Column& c : columns_) {
+    total += c.codes.capacity() * sizeof(uint32_t) + c.dict.MemoryBytes();
+  }
+  return total;
+}
+
+void ColumnStore::EncodeTo(std::string* out) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rvcols1 %d %d\n", arity(), rows_);
+  out->append(buf);
+  for (const Column& c : columns_) {
+    std::snprintf(buf, sizeof(buf), "%zu", c.dict.page().size());
+    out->append(buf);
+    for (const uint32_t raw : c.dict.page()) {
+      std::snprintf(buf, sizeof(buf), " %" PRIu32, raw);
+      out->append(buf);
+    }
+    out->push_back('\n');
+    bool first = true;
+    for (const uint32_t code : c.codes) {
+      std::snprintf(buf, sizeof(buf), first ? "%" PRIu32 : " %" PRIu32, code);
+      out->append(buf);
+      first = false;
+    }
+    out->push_back('\n');
+  }
+}
+
+Result<ColumnStore> ColumnStore::Decode(const Schema& schema,
+                                        const std::string& body) {
+  const char* p = body.data();
+  const char* end = body.data() + body.size();
+  if (body.rfind("rvcols1 ", 0) != 0) {
+    return Status::Corruption("columnar block: bad magic");
+  }
+  p += 7;  // past "rvcols1"; strtoull skips the following space
+  uint64_t arity = 0, nrows = 0;
+  if (!ParseU64(&p, end, &arity) || !ParseU64(&p, end, &nrows)) {
+    return Status::Corruption("columnar block: bad header");
+  }
+  if (static_cast<int>(arity) != schema.arity()) {
+    return Status::Corruption("columnar block: arity mismatch with schema");
+  }
+  ColumnStore cs(schema);
+  for (int pos = 0; pos < cs.arity(); ++pos) {
+    Column& c = cs.columns_[static_cast<size_t>(pos)];
+    uint64_t dict_size = 0;
+    if (!ParseU64(&p, end, &dict_size)) {
+      return Status::Corruption("columnar block: bad dictionary header");
+    }
+    std::vector<uint32_t> page;
+    page.reserve(dict_size);
+    for (uint64_t i = 0; i < dict_size; ++i) {
+      uint64_t raw = 0;
+      if (!ParseU64(&p, end, &raw) || raw > UINT32_MAX) {
+        return Status::Corruption("columnar block: bad dictionary entry");
+      }
+      page.push_back(static_cast<uint32_t>(raw));
+    }
+    RELVIEW_ASSIGN_OR_RETURN(c.dict, Dictionary::FromPage(page));
+    c.codes.reserve(nrows);
+    for (uint64_t i = 0; i < nrows; ++i) {
+      uint64_t code = 0;
+      if (!ParseU64(&p, end, &code) || code >= dict_size) {
+        return Status::Corruption("columnar block: code out of range");
+      }
+      c.codes.push_back(static_cast<uint32_t>(code));
+    }
+  }
+  cs.rows_ = static_cast<int>(nrows);
+  return cs;
+}
+
+void ColumnStore::ExhaustDictionariesForTest() {
+  for (Column& c : columns_) {
+    c.dict.set_next_code_for_test(Dictionary::kMaxCodes);
+  }
+}
+
+}  // namespace relview

@@ -1,0 +1,210 @@
+// ColumnStore: a dictionary-encoded, column-major relation instance.
+//
+// Each attribute is stored as a contiguous vector of uint32_t *codes* over
+// a per-attribute Dictionary that interns the attribute's distinct Values
+// in first-seen order. Scans touch one cache-resident code vector instead
+// of one heap-allocated Tuple per row; equality probes compare codes
+// (interning makes code equality ⇔ value equality within a column); and
+// dictionary pages serialize compactly (each distinct value written once,
+// rows as code vectors).
+//
+// Row order is the canonical set-semantics order Relation::Normalize
+// produces (ascending raw-value lexicographic), maintained on every
+// insert/erase, so position-based witnesses agree exactly with the
+// row-store reference implementation (see store.h).
+
+#ifndef RELVIEW_RELATIONAL_COLUMN_STORE_H_
+#define RELVIEW_RELATIONAL_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace relview {
+
+/// Interns one column's distinct Values as dense uint32_t codes in
+/// first-seen order. Decode is an array lookup; Intern is one hash probe.
+class Dictionary {
+ public:
+  /// Codes are dense from 0; the full uint32_t range is addressable. The
+  /// guard exists for the (unreachable with 32-bit Values, but contractual)
+  /// case of interning past 2^32 distinct values — see
+  /// set_next_code_for_test.
+  static constexpr uint64_t kMaxCodes = uint64_t{1} << 32;
+
+  /// Returns the code for `v`, interning it on first use, or
+  /// kResourceExhausted once the code space is full.
+  Result<uint32_t> Intern(Value v) {
+    auto it = code_of_.find(v.raw());
+    if (it != code_of_.end()) return it->second;
+    if (next_code_ >= kMaxCodes) {
+      return Status::Internal(
+          "dictionary code space exhausted (2^32 distinct values)");
+    }
+    const uint32_t code = static_cast<uint32_t>(next_code_);
+    ++next_code_;
+    values_.push_back(v.raw());
+    code_of_.emplace(v.raw(), code);
+    return code;
+  }
+
+  /// Code of `v` without interning; -1 (as int64_t) when absent.
+  int64_t CodeOf(Value v) const {
+    auto it = code_of_.find(v.raw());
+    return it == code_of_.end() ? -1 : static_cast<int64_t>(it->second);
+  }
+
+  /// The Value a code decodes to. Precondition: code < size().
+  Value Decode(uint32_t code) const {
+    const uint32_t raw = values_[code];
+    return (raw & Value::kNullTag) != 0 ? Value::Null(raw & ~Value::kNullTag)
+                                        : Value::Const(raw);
+  }
+
+  /// Raw id a code decodes to (the hot-loop form of Decode).
+  uint32_t RawOf(uint32_t code) const { return values_[code]; }
+
+  size_t size() const { return values_.size(); }
+
+  /// The dictionary page: distinct raw values in code order. Serialized
+  /// verbatim by the columnar checkpoint encoding.
+  const std::vector<uint32_t>& page() const { return values_; }
+
+  /// Rebuilds a dictionary from a serialized page. Fails on duplicate
+  /// entries (a corrupt page would alias two codes).
+  static Result<Dictionary> FromPage(const std::vector<uint32_t>& page);
+
+  size_t MemoryBytes() const {
+    // Vector payload plus an estimate of the hash map (bucket array +
+    // nodes), the honest cost of O(1) interning.
+    return values_.size() * sizeof(uint32_t) +
+           code_of_.bucket_count() * sizeof(void*) +
+           code_of_.size() * (sizeof(uint32_t) * 2 + 2 * sizeof(void*));
+  }
+
+  /// Testing hook: fast-forwards the next code so the 2^32 overflow guard
+  /// is reachable without interning four billion values.
+  void set_next_code_for_test(uint64_t next) { next_code_ = next; }
+
+ private:
+  std::vector<uint32_t> values_;  // code -> raw value (the page)
+  std::unordered_map<uint32_t, uint32_t> code_of_;
+  uint64_t next_code_ = 0;
+};
+
+/// A dictionary-encoded columnar relation instance in canonical row order.
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+  explicit ColumnStore(const Schema& schema)
+      : schema_(schema), columns_(static_cast<size_t>(schema.arity())) {}
+
+  /// Builds from a relation, preserving its row order (callers pass
+  /// canonical/normalized relations; the store does not re-sort).
+  static Result<ColumnStore> FromRelation(const Relation& r);
+
+  const Schema& schema() const { return schema_; }
+  int arity() const { return schema_.arity(); }
+  int size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// The contiguous code vector of storage column `pos`.
+  const std::vector<uint32_t>& codes(int pos) const {
+    return columns_[static_cast<size_t>(pos)].codes;
+  }
+  const Dictionary& dictionary(int pos) const {
+    return columns_[static_cast<size_t>(pos)].dict;
+  }
+
+  /// Value at (row, storage column): one code load + one page lookup.
+  Value At(int row, int pos) const {
+    const Column& c = columns_[static_cast<size_t>(pos)];
+    return c.dict.Decode(c.codes[static_cast<size_t>(row)]);
+  }
+  /// Raw value id at (row, storage column).
+  uint32_t RawAt(int row, int pos) const {
+    const Column& c = columns_[static_cast<size_t>(pos)];
+    return c.dict.RawOf(c.codes[static_cast<size_t>(row)]);
+  }
+
+  /// Materializes row `row` as a Tuple.
+  Tuple RowAt(int row) const;
+
+  /// Appends a row (no order maintenance; used by deserialization and
+  /// bulk builds that preserve an already-canonical order).
+  Status AppendRow(const Tuple& t);
+
+  /// Inserts `t` at its canonical sorted position; returns the position.
+  Result<int> InsertRow(const Tuple& t);
+
+  /// Removes the row at `row` (memmove within each code vector).
+  void EraseRow(int row);
+
+  /// Position of `t` in the canonical order, -1 if absent. O(arity log n)
+  /// via binary search over the decoded order.
+  int PositionOf(const Tuple& t) const;
+
+  /// Three-way comparison of stored row `row` against `t` in raw-value
+  /// lexicographic (canonical) order.
+  int CompareRow(int row, const Tuple& t) const;
+
+  /// True iff stored row `row` agrees with `t` on every storage position
+  /// in `pos` (positions, not AttrIds; see Schema::PosOf).
+  bool RowAgrees(int row, const Tuple& t,
+                 const std::vector<int>& pos) const;
+
+  /// True iff stored rows `row_a` and `row_b` agree (code-equal) on every
+  /// storage position in `pos`.
+  bool RowsAgreeOn(int row_a, int row_b, const std::vector<int>& pos) const;
+
+  /// Finds a violating pair for the FD (lhs storage positions -> rhs
+  /// storage position): two rows agreeing on every lhs column with
+  /// different rhs codes. Returns false when none. This is the vectorized
+  /// violation scan: one pass over the lhs code vectors with a hash group
+  /// table, O(n) expected.
+  bool FindFDViolation(const std::vector<int>& lhs_pos, int rhs_pos,
+                       int* row_a, int* row_b) const;
+
+  /// Materializes the whole store as a Relation (row order preserved).
+  Relation ToRelation() const;
+
+  /// Resident bytes: code vectors + dictionary pages + intern maps.
+  size_t MemoryBytes() const;
+
+  /// Serializes as dictionary pages + code vectors (the "rvcols1" block
+  /// format embedded in columnar checkpoints):
+  ///   rvcols1 <arity> <nrows>\n
+  ///   <dict-size> <raw> <raw> ...\n      (one line per column)
+  ///   <code> <code> ...\n                (one line per column, nrows codes)
+  void EncodeTo(std::string* out) const;
+
+  /// Parses an EncodeTo block produced over `schema`. Returns kCorruption
+  /// on any structural mismatch.
+  static Result<ColumnStore> Decode(const Schema& schema,
+                                    const std::string& body);
+
+  /// Testing hook: fast-forwards every column's dictionary so the next
+  /// intern trips the 2^32 code-space guard.
+  void ExhaustDictionariesForTest();
+
+ private:
+  struct Column {
+    Dictionary dict;
+    std::vector<uint32_t> codes;
+  };
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  int rows_ = 0;
+};
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_COLUMN_STORE_H_

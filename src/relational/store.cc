@@ -1,0 +1,149 @@
+#include "relational/store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace relview {
+
+const char* StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kRowHash:
+      return "row";
+    case StoreKind::kColumnar:
+      return "columnar";
+  }
+  return "row";  // unreachable
+}
+
+Result<StoreKind> ParseStoreKind(const std::string& name) {
+  if (name == "row") return StoreKind::kRowHash;
+  if (name == "columnar") return StoreKind::kColumnar;
+  return Status::InvalidArgument("unknown store kind \"" + name +
+                                 "\" (want row|columnar)");
+}
+
+namespace {
+
+/// Reference implementation: a Relation with rows kept sorted.
+class RowInstanceStore final : public InstanceStore {
+ public:
+  explicit RowInstanceStore(Relation initial) : rel_(std::move(initial)) {}
+
+  StoreKind kind() const override { return StoreKind::kRowHash; }
+  const Schema& schema() const override { return rel_.schema(); }
+  int size() const override { return rel_.size(); }
+
+  Value At(int row, int pos) const override { return rel_.row(row)[pos]; }
+  Tuple RowAt(int row) const override { return rel_.row(row); }
+
+  int PositionOf(const Tuple& t) const override {
+    const auto& rows = rel_.rows();
+    auto it = std::lower_bound(rows.begin(), rows.end(), t);
+    if (it == rows.end() || !(*it == t)) return -1;
+    return static_cast<int>(it - rows.begin());
+  }
+
+  bool Agrees(int row, const Tuple& t, const AttrSet& on) const override {
+    return rel_.row(row).AgreesWith(t, rel_.schema(), on);
+  }
+
+  uint64_t HashOn(int row, const AttrSet& on) const override {
+    return rel_.row(row).HashOn(rel_.schema(), on);
+  }
+
+  int InsertRow(const Tuple& t) override {
+    std::vector<Tuple>& rows = rel_.mutable_rows();
+    auto it = std::lower_bound(rows.begin(), rows.end(), t);
+    const int pos = static_cast<int>(it - rows.begin());
+    rows.insert(it, t);
+    return pos;
+  }
+
+  void EraseAt(int pos) override {
+    std::vector<Tuple>& rows = rel_.mutable_rows();
+    rows.erase(rows.begin() + pos);
+  }
+
+  Relation Materialize() const override { return rel_; }
+
+  size_t MemoryBytes() const override {
+    size_t total = sizeof(*this) + rel_.rows().capacity() * sizeof(Tuple);
+    for (const Tuple& t : rel_.rows()) {
+      total += t.values().capacity() * sizeof(Value);
+    }
+    return total;
+  }
+
+ private:
+  Relation rel_;
+};
+
+/// Dictionary-encoded columnar implementation.
+class ColumnarInstanceStore final : public InstanceStore {
+ public:
+  explicit ColumnarInstanceStore(ColumnStore store)
+      : store_(std::move(store)) {}
+
+  StoreKind kind() const override { return StoreKind::kColumnar; }
+  const Schema& schema() const override { return store_.schema(); }
+  int size() const override { return store_.size(); }
+
+  Value At(int row, int pos) const override { return store_.At(row, pos); }
+  Tuple RowAt(int row) const override { return store_.RowAt(row); }
+  int PositionOf(const Tuple& t) const override {
+    return store_.PositionOf(t);
+  }
+
+  bool Agrees(int row, const Tuple& t, const AttrSet& on) const override {
+    const Schema& s = store_.schema();
+    bool agree = true;
+    on.ForEach([&](AttrId a) {
+      if (agree &&
+          store_.RawAt(row, s.PosOf(a)) != t[s.PosOf(a)].raw()) {
+        agree = false;
+      }
+    });
+    return agree;
+  }
+
+  uint64_t HashOn(int row, const AttrSet& on) const override {
+    // Must mirror Tuple::HashOn bit-for-bit (shared bucket keys).
+    const Schema& s = store_.schema();
+    uint64_t h = 0x5DEECE66DULL;
+    on.ForEach([&](AttrId a) {
+      h = HashCombine(h, store_.RawAt(row, s.PosOf(a)));
+    });
+    return h;
+  }
+
+  int InsertRow(const Tuple& t) override {
+    Result<int> pos = store_.InsertRow(t);
+    // Intern overflow is the only failure mode; it is unreachable with
+    // 32-bit Values (a column cannot hold 2^32 distinct ones) and is
+    // exercised directly in tests via ExhaustDictionariesForTest.
+    RELVIEW_DCHECK(pos.ok(), "columnar insert failed");
+    return *pos;
+  }
+
+  void EraseAt(int pos) override { store_.EraseRow(pos); }
+
+  Relation Materialize() const override { return store_.ToRelation(); }
+  size_t MemoryBytes() const override { return store_.MemoryBytes(); }
+
+ private:
+  ColumnStore store_;
+};
+
+}  // namespace
+
+std::unique_ptr<InstanceStore> MakeInstanceStore(StoreKind kind,
+                                                 Relation initial) {
+  if (kind == StoreKind::kColumnar) {
+    Result<ColumnStore> cs = ColumnStore::FromRelation(initial);
+    RELVIEW_DCHECK(cs.ok(), "columnar store build failed");
+    return std::make_unique<ColumnarInstanceStore>(std::move(*cs));
+  }
+  return std::make_unique<RowInstanceStore>(std::move(initial));
+}
+
+}  // namespace relview

@@ -1,0 +1,86 @@
+// InstanceStore: the narrow storage interface behind the view machinery.
+//
+// The engine's hot paths (ViewIndex bucket confirms, condition-(a) mu
+// lookups, condition-(c) candidate filters) only ever need per-cell reads,
+// subset agreement checks, projection hashes, and canonical-order
+// insert/erase — never a materialized Tuple per row. This interface
+// exposes exactly that, so the backing representation can be either
+//
+//  * kRowHash — the reference implementation: a Relation whose rows are
+//    kept in canonical (ascending raw-value lexicographic) order, the
+//    layout every witness row number in the paper tests is pinned to; or
+//  * kColumnar — a dictionary-encoded ColumnStore (column_store.h) with
+//    one contiguous code vector per attribute.
+//
+// Both maintain the identical canonical row order, so positions — and
+// therefore verdicts and witnesses — agree store-for-store. The lockstep
+// differential test (tests/columnar_diff_test.cc) holds this.
+
+#ifndef RELVIEW_RELATIONAL_STORE_H_
+#define RELVIEW_RELATIONAL_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/attr_set.h"
+#include "relational/column_store.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace relview {
+
+enum class StoreKind {
+  kRowHash,
+  kColumnar,
+};
+
+/// "row" or "columnar".
+const char* StoreKindName(StoreKind kind);
+/// Parses "row" / "columnar" (the --store= axis everywhere).
+Result<StoreKind> ParseStoreKind(const std::string& name);
+
+/// A relation instance in canonical row order behind a representation-
+/// agnostic surface. Positions are indexes into the canonical order and
+/// are shared vocabulary with ViewIndex slots and witness rows.
+class InstanceStore {
+ public:
+  virtual ~InstanceStore() = default;
+
+  virtual StoreKind kind() const = 0;
+  virtual const Schema& schema() const = 0;
+  virtual int size() const = 0;
+
+  /// Cell (row, storage position).
+  virtual Value At(int row, int pos) const = 0;
+  /// Materializes one row (cold paths: witnesses, seeds, serialization).
+  virtual Tuple RowAt(int row) const = 0;
+  /// Position of t in canonical order; -1 when absent. O(arity log n).
+  virtual int PositionOf(const Tuple& t) const = 0;
+  /// Row agrees with t on every attribute in `on`.
+  virtual bool Agrees(int row, const Tuple& t, const AttrSet& on) const = 0;
+  /// Hash of the row's projection onto `on`; MUST match Tuple::HashOn for
+  /// the same cells — index buckets are keyed by query-tuple hashes.
+  virtual uint64_t HashOn(int row, const AttrSet& on) const = 0;
+
+  /// Inserts t at its canonical position (which is returned). Duplicate
+  /// insertion is a caller error (checked by callers, as ViewIndex does).
+  virtual int InsertRow(const Tuple& t) = 0;
+  /// Erases the row at `pos`.
+  virtual void EraseAt(int pos) = 0;
+
+  /// The full instance as a Relation (cold paths only).
+  virtual Relation Materialize() const = 0;
+  /// Resident bytes of the representation.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// Builds a store of `kind` holding `initial` (whose rows must already be
+/// in canonical order, e.g. a Relation::Project / Normalize output).
+std::unique_ptr<InstanceStore> MakeInstanceStore(StoreKind kind,
+                                                 Relation initial);
+
+}  // namespace relview
+
+#endif  // RELVIEW_RELATIONAL_STORE_H_

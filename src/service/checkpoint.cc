@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "obs/trace.h"
+#include "relational/column_store.h"
 #include "service/journal.h"
 #include "util/failpoint.h"
 
@@ -18,6 +19,7 @@ namespace relview {
 namespace {
 
 constexpr char kMagic[] = "rvckpt1";
+constexpr char kMagicColumnar[] = "rvckpt2";
 
 std::string DirOf(const std::string& path) {
   const size_t slash = path.find_last_of('/');
@@ -75,18 +77,30 @@ Status WriteAll(int fd, const std::string& data) {
 
 }  // namespace
 
-std::string EncodeCheckpoint(const Relation& database, uint64_t seq) {
+std::string EncodeCheckpoint(const Relation& database, uint64_t seq,
+                             CheckpointFormat format) {
   std::string body;
-  body.reserve(static_cast<size_t>(database.size()) * 16);
-  for (const Tuple& row : database.rows()) {
-    for (int i = 0; i < row.arity(); ++i) {
-      if (i) body += ' ';
-      body += std::to_string(row[i].raw());
+  if (format == CheckpointFormat::kColumnar) {
+    // The checkpointed instance is a legal relation, so FromRelation can
+    // only fail on dictionary exhaustion — impossible below 2^32 distinct
+    // values per column, which raw 32-bit ids cannot exceed.
+    Result<ColumnStore> cols = ColumnStore::FromRelation(database);
+    RELVIEW_DCHECK(cols.ok(), "columnar checkpoint encode failed");
+    cols->EncodeTo(&body);
+  } else {
+    body.reserve(static_cast<size_t>(database.size()) * 16);
+    for (const Tuple& row : database.rows()) {
+      for (int i = 0; i < row.arity(); ++i) {
+        if (i) body += ' ';
+        body += std::to_string(row[i].raw());
+      }
+      body += '\n';
     }
-    body += '\n';
   }
   char header[96];
-  std::snprintf(header, sizeof(header), "%s %llu %d %d %016llx\n", kMagic,
+  std::snprintf(header, sizeof(header), "%s %llu %d %d %016llx\n",
+                format == CheckpointFormat::kColumnar ? kMagicColumnar
+                                                      : kMagic,
                 static_cast<unsigned long long>(seq), database.arity(),
                 database.size(),
                 static_cast<unsigned long long>(JournalChecksum(body)));
@@ -94,11 +108,11 @@ std::string EncodeCheckpoint(const Relation& database, uint64_t seq) {
 }
 
 Status WriteCheckpoint(const std::string& path, const Relation& database,
-                       uint64_t seq) {
+                       uint64_t seq, CheckpointFormat format) {
   RELVIEW_TRACE_SPAN_N(span, "ckpt.write");
   span.AddArg("rows", static_cast<uint64_t>(database.size()));
   span.AddArg("seq", seq);
-  std::string data = EncodeCheckpoint(database, seq);
+  std::string data = EncodeCheckpoint(database, seq, format);
   if (FailpointHit fp = RELVIEW_FAILPOINT("checkpoint.flip")) {
     if (fp.action == FailpointAction::kFlipBit && fp.arg <= data.size() &&
         fp.arg > 0) {
@@ -157,10 +171,11 @@ Result<CheckpointData> ReadCheckpoint(const std::string& path,
   unsigned long long seq = 0;
   int arity = -1, nrows = -1;
   if (!(hdr >> magic >> seq >> arity >> nrows >> checksum_hex) ||
-      magic != kMagic || arity < 0 || nrows < 0 ||
-      checksum_hex.size() != 16) {
+      (magic != kMagic && magic != kMagicColumnar) || arity < 0 ||
+      nrows < 0 || checksum_hex.size() != 16) {
     return Status::Corruption("checkpoint " + path + ": malformed header");
   }
+  const bool columnar = magic == kMagicColumnar;
   if (arity != attrs.Count()) {
     return Status::Corruption("checkpoint " + path + ": arity " +
                               std::to_string(arity) +
@@ -179,6 +194,21 @@ Result<CheckpointData> ReadCheckpoint(const std::string& path,
   CheckpointData out;
   out.seq = seq;
   out.database = Relation(attrs);
+  if (columnar) {
+    Result<ColumnStore> cols = ColumnStore::Decode(out.database.schema(),
+                                                   body);
+    if (!cols.ok()) {
+      return Status::Corruption("checkpoint " + path + ": " +
+                                cols.status().message());
+    }
+    if (cols->size() != nrows) {
+      return Status::Corruption("checkpoint " + path + ": expected " +
+                                std::to_string(nrows) + " rows, found " +
+                                std::to_string(cols->size()));
+    }
+    out.database = cols->ToRelation();
+    return out;
+  }
   std::istringstream rows(body);
   std::string line;
   int row_no = 0;

@@ -7,11 +7,26 @@
 /// sequence number, and segments fully covered by a durable checkpoint can
 /// be compacted away (see recovery.h).
 ///
-/// File format (text, one file per checkpoint):
+/// File formats (text, one file per checkpoint). Row format:
 ///
 ///   rvckpt1 <seq> <arity> <nrows> <fnv64-hex>\n
 ///   <v> <v> ... <v>\n        (one line of raw Value ids per row, nrows
 ///   ...                       lines; this block is the checksummed body)
+///
+/// Columnar format — the same header fields under a new magic, with the
+/// body swapped for a ColumnStore dictionary-page block (column_store.h):
+///
+///   rvckpt2 <seq> <arity> <nrows> <fnv64-hex>\n
+///   rvcols1 <arity> <nrows>\n
+///   <dict-size> <raw> <raw> ...\n      (one line per column)
+///   <code> <code> ...\n                (one line per column)
+///
+/// Each repeated value costs one small code integer instead of a full raw
+/// id, so columnar checkpoints shrink with duplication the way the
+/// in-memory columnar store does. Readers auto-detect the magic, so a
+/// store can switch formats (StoreOptions::columnar_checkpoints) without
+/// migration: old checkpoints keep recovering, new ones are written in
+/// the new format.
 ///
 /// <seq> is the number of journal records the snapshot covers (i.e. the
 /// state equals seed + the first <seq> journaled updates), and <fnv64-hex>
@@ -33,6 +48,12 @@
 
 namespace relview {
 
+/// On-disk body layout of a checkpoint file.
+enum class CheckpointFormat {
+  kRows,      ///< rvckpt1: one line of raw Value ids per row.
+  kColumnar,  ///< rvckpt2: dictionary pages + per-column code vectors.
+};
+
 /// A decoded checkpoint: the snapshot relation plus the journal sequence
 /// number it covers.
 struct CheckpointData {
@@ -45,7 +66,8 @@ struct CheckpointData {
 
 /// Serializes `database` (covering `seq` journal records) into the
 /// checkpoint wire format, header + checksummed body.
-std::string EncodeCheckpoint(const Relation& database, uint64_t seq);
+std::string EncodeCheckpoint(const Relation& database, uint64_t seq,
+                             CheckpointFormat format = CheckpointFormat::kRows);
 
 /// Writes a checkpoint crash-atomically: tmp file + fsync + rename +
 /// directory fsync. Failpoints: "checkpoint.write" (error|short),
@@ -53,13 +75,15 @@ std::string EncodeCheckpoint(const Relation& database, uint64_t seq);
 /// writing), "checkpoint.crash_before_rename" / "
 /// checkpoint.crash_after_rename" (crash).
 Status WriteCheckpoint(const std::string& path, const Relation& database,
-                       uint64_t seq);
+                       uint64_t seq,
+                       CheckpointFormat format = CheckpointFormat::kRows);
 
 /// Reads and fully verifies the checkpoint at `path`, rebuilding the
-/// relation over `attrs` (which must match the stored arity). Returns
-/// kNotFound when the file does not exist and kCorruption when any
-/// integrity check fails (bad magic, count mismatch, checksum mismatch,
-/// truncated body).
+/// relation over `attrs` (which must match the stored arity). The format
+/// is auto-detected from the magic, so callers need not know how a file
+/// was written. Returns kNotFound when the file does not exist and
+/// kCorruption when any integrity check fails (bad magic, count mismatch,
+/// checksum mismatch, truncated body).
 Result<CheckpointData> ReadCheckpoint(const std::string& path,
                                       const AttrSet& attrs);
 

@@ -350,8 +350,10 @@ Result<uint64_t> DurableStore::WriteCheckpoint(const Relation& database) {
   if (!checkpoint_seqs_.empty() && checkpoint_seqs_.back() == seq) {
     return seq;
   }
-  RELVIEW_RETURN_IF_ERROR(
-      ::relview::WriteCheckpoint(CheckpointPath(seq), database, seq));
+  RELVIEW_RETURN_IF_ERROR(::relview::WriteCheckpoint(
+      CheckpointPath(seq), database, seq,
+      options_.columnar_checkpoints ? CheckpointFormat::kColumnar
+                                    : CheckpointFormat::kRows));
   last_checkpoint_seq_.store(seq, std::memory_order_relaxed);
   checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
   checkpoint_seqs_.push_back(seq);

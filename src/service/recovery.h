@@ -63,6 +63,11 @@ struct StoreOptions {
   uint64_t checkpoint_every = 0;
   /// Newest valid checkpoints kept after compaction (>= 1).
   int keep_checkpoints = 2;
+  /// Write new checkpoints in the columnar dictionary-page format
+  /// (rvckpt2, see checkpoint.h) instead of one row of raw ids per line.
+  /// Recovery auto-detects the format per file, so this can be toggled on
+  /// a live store without migrating old checkpoints.
+  bool columnar_checkpoints = false;
 };
 
 /// What recovery found and did; exposed for operators (shell `recover`,

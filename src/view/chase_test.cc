@@ -1,6 +1,7 @@
 #include "view/chase_test.h"
 
 #include <atomic>
+#include <optional>
 
 #include "obs/trace.h"
 #include "util/annotations.h"
@@ -84,6 +85,33 @@ bool ProbeReuse(const BaseChaseView& base, const FDSet& fds, const FD& fd,
          resolve_all(Value::Null(mu_base + rhs_off));
 }
 
+/// One (f, r, mu) probe in columnar reuse mode: the delta kernel. No copy
+/// of the fixpoint is made — the hypothesis pairs are fed to a
+/// ProbeDeltaChaser over the shared CodeProbeIndex, which rescans only
+/// rows whose value resolutions the hypothesis actually changes.
+bool ProbeReuseColumnar(const BaseChaseView& base, const FD& fd,
+                        bool rhs_in_x, const AttrSet& zy, uint32_t r_base,
+                        uint32_t mu_base, const std::vector<int>& offsets,
+                        ProbeDeltaChaser* chaser, ChaseTestResult* acc) {
+  std::vector<std::pair<uint32_t, uint32_t>> seeds;
+  zy.ForEach([&](AttrId w) {
+    const uint32_t off = static_cast<uint32_t>(offsets[w]);
+    const Value a = ResolveChain(*base.renames, Value::Null(r_base + off));
+    const Value b = ResolveChain(*base.renames, Value::Null(mu_base + off));
+    if (a != b) seeds.emplace_back(a.raw(), b.raw());
+  });
+  bool chased = false;
+  const bool conflict = chaser->Chase(seeds, &acc->stats, &chased);
+  if (chased) ++acc->chases_run;
+  if (conflict) return true;  // hypothesis impossible: chase "succeeds"
+  if (rhs_in_x) return false;
+  const uint32_t rhs_off = static_cast<uint32_t>(offsets[fd.rhs]);
+  const Value ra = ResolveChain(*base.renames, Value::Null(r_base + rhs_off));
+  const Value rb =
+      ResolveChain(*base.renames, Value::Null(mu_base + rhs_off));
+  return chaser->Resolve(ra.raw()) == chaser->Resolve(rb.raw());
+}
+
 /// One (f, r, mu) probe in from-scratch mode (the Corollary's algorithm).
 bool ProbeScratch(const Relation& generic, const FDSet& fds, const FD& fd,
                   bool rhs_in_x, const AttrSet& zy, uint32_t r_base,
@@ -116,10 +144,13 @@ struct ProbeContext {
   const Relation* generic;
   const std::vector<int>& offsets;
   const ChaseTestOptions& opts;
+  /// Non-null in columnar reuse mode; each worker pairs it with its own
+  /// ProbeDeltaChaser.
+  const CodeProbeIndex* probe_index = nullptr;
 };
 
 bool RunOneProbe(const ProbeContext& ctx, const ProbeSpec& spec,
-                 ChaseTestResult* acc) {
+                 ProbeDeltaChaser* chaser, ChaseTestResult* acc) {
   const FD& fd = ctx.fds.fds()[spec.fd_index];
   const bool rhs_in_x = ctx.x.Contains(fd.rhs);
   ++acc->probes_run;
@@ -130,6 +161,10 @@ bool RunOneProbe(const ProbeContext& ctx, const ProbeSpec& spec,
     return true;
   }
   const AttrSet zy = fd.lhs & ctx.y_only;
+  if (ctx.base.fixpoint != nullptr && chaser != nullptr) {
+    return ProbeReuseColumnar(ctx.base, fd, rhs_in_x, zy, spec.r_null_base,
+                              spec.mu_null_base, ctx.offsets, chaser, acc);
+  }
   return ctx.base.fixpoint != nullptr
              ? ProbeReuse(ctx.base, ctx.fds, fd, rhs_in_x, zy,
                           spec.r_null_base, spec.mu_null_base, ctx.offsets,
@@ -164,11 +199,16 @@ int RunProbeSpecsParallel(const std::vector<ProbeSpec>& specs,
   for (int w = 0; w < workers; ++w) {
     pool->Submit([&] {
       ChaseTestResult local;
+      // Per-worker delta chaser: scratch state is reused across this
+      // worker's probes, while the index itself is shared read-only.
+      std::optional<ProbeDeltaChaser> chaser;
+      if (ctx.probe_index != nullptr) chaser.emplace(ctx.probe_index);
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n || i >= first_fail.load(std::memory_order_acquire)) break;
         ++local.probes_parallel;
-        if (!RunOneProbe(ctx, specs[i], &local)) {
+        if (!RunOneProbe(ctx, specs[i], chaser ? &*chaser : nullptr,
+                         &local)) {
           size_t cur = first_fail.load(std::memory_order_relaxed);
           while (i < cur && !first_fail.compare_exchange_weak(
                                 cur, i, std::memory_order_release)) {
@@ -207,12 +247,30 @@ int RunProbeSpecs(const std::vector<ProbeSpec>& specs, const FDSet& fds,
                   const ChaseTestOptions& opts, ChaseTestResult* acc) {
   RELVIEW_TRACE_SPAN_N(span, "chase.run_probe_specs");
   span.AddArg("specs", specs.size());
-  const ProbeContext ctx{fds, x, y_only, base, generic, null_offsets, opts};
+  // Columnar reuse mode: freeze the fixpoint into a probe index once for
+  // the whole spec list (engine callers pass a cached one via opts).
+  const CodeProbeIndex* pidx = nullptr;
+  std::optional<CodeProbeIndex> local_index;
+  if (base.fixpoint != nullptr && !specs.empty() &&
+      opts.backend == ChaseBackend::kColumnar) {
+    if (opts.probe_index != nullptr) {
+      pidx = opts.probe_index;
+    } else {
+      local_index.emplace(CodeProbeIndex::Build(*base.fixpoint, fds));
+      pidx = &*local_index;
+    }
+  }
+  const ProbeContext ctx{fds,     x,            y_only, base,
+                         generic, null_offsets, opts,   pidx};
   if (opts.pool != nullptr && specs.size() > 1) {
     return RunProbeSpecsParallel(specs, ctx, acc);
   }
+  std::optional<ProbeDeltaChaser> chaser;
+  if (pidx != nullptr) chaser.emplace(pidx);
   for (size_t i = 0; i < specs.size(); ++i) {
-    if (!RunOneProbe(ctx, specs[i], acc)) return static_cast<int>(i);
+    if (!RunOneProbe(ctx, specs[i], chaser ? &*chaser : nullptr, acc)) {
+      return static_cast<int>(i);
+    }
   }
   return -1;
 }

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "chase/code_chase.h"
 #include "chase/instance_chase.h"
 #include "deps/closure_cache.h"
 #include "deps/fd_set.h"
@@ -56,6 +57,11 @@ struct ChaseTestOptions {
   /// When non-null, probes are fanned out over this pool with the
   /// atomic first-counterexample early exit. Null = sequential.
   ThreadPool* pool = nullptr;
+  /// Prebuilt delta-probe index (backend kColumnar, reuse mode only). Must
+  /// have been built over exactly the fixpoint passed as BaseChaseView —
+  /// the incremental engine caches one per base version. When null and the
+  /// backend is kColumnar, RunProbeSpecs builds a per-call index.
+  const CodeProbeIndex* probe_index = nullptr;
 };
 
 struct ChaseTestResult {

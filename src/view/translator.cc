@@ -80,6 +80,11 @@ TranslatabilityEngine* ViewTranslator::EngineOrNull() const {
   if (engine_ == nullptr) {
     EngineConfig config;
     config.backend = options_.backend;
+    config.store = options_.store;
+    if (options_.store == StoreKind::kColumnar) {
+      // The columnar store's whole point is the vectorized probe path.
+      config.backend = ChaseBackend::kColumnar;
+    }
     config.probe_threads = options_.probe_threads;
     config.pair_screen = options_.pair_screen;
     config.closure_cache_capacity = options_.closure_cache_capacity;

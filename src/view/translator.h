@@ -50,6 +50,11 @@ struct TranslatorOptions {
   bool paranoid_checks = false;
   /// Instance-chase implementation used by the checks.
   ChaseBackend backend = ChaseBackend::kHash;
+  /// Storage layout for the engine's view instance. kColumnar keeps each
+  /// attribute as a contiguous dictionary-code vector and forces the
+  /// chase backend to kColumnar (the vectorized probe path reads codes
+  /// directly); kRowHash is the row-at-a-time reference layout.
+  StoreKind store = StoreKind::kRowHash;
 };
 
 /// The paper's full scenario behind one object: declare a view X with a

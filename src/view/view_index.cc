@@ -11,9 +11,9 @@ namespace relview {
 
 ViewIndex ViewIndex::Build(const AttrSet& universe, const AttrSet& x,
                            const AttrSet& common, const FDSet& fds,
-                           Relation view) {
+                           Relation view, StoreKind store) {
   ViewIndex idx;
-  idx.view_ = std::move(view);
+  idx.store_ = MakeInstanceStore(store, std::move(view));
   idx.x_ = x;
 
   const AttrSet null_cols = universe - x;
@@ -44,40 +44,37 @@ ViewIndex ViewIndex::Build(const AttrSet& universe, const AttrSet& x,
   }
 
   // Seed slots 1:1 with initial positions.
-  const int n = idx.view_.size();
+  const int n = idx.size();
   idx.slot_of_pos_.resize(n);
   idx.pos_of_slot_.resize(n);
   for (int p = 0; p < n; ++p) {
     idx.slot_of_pos_[p] = p;
     idx.pos_of_slot_[p] = p;
-    idx.AddSlot(p, idx.view_.row(p));
+    idx.AddSlot(p, p);
   }
   return idx;
 }
 
 int ViewIndex::PositionOf(const Tuple& t) const {
-  const auto& rows = view_.rows();
-  auto it = std::lower_bound(rows.begin(), rows.end(), t);
-  if (it == rows.end() || !(*it == t)) return -1;
-  return static_cast<int>(it - rows.begin());
+  return store_ ? store_->PositionOf(t) : -1;
 }
 
-void ViewIndex::AddSlot(int slot, const Tuple& row) {
-  const Schema& s = view_.schema();
+void ViewIndex::AddSlot(int slot, int pos) {
+  // InstanceStore::HashOn mirrors Tuple::HashOn bit-for-bit, so bucket
+  // keys computed from stored rows and from query tuples interoperate.
   for (SubIndex& sub : subs_) {
-    sub.buckets[row.HashOn(s, sub.cols)].push_back(slot);
+    sub.buckets[store_->HashOn(pos, sub.cols)].push_back(slot);
   }
 }
 
-void ViewIndex::RemoveSlot(int slot, const Tuple& row) {
-  const Schema& s = view_.schema();
+void ViewIndex::RemoveSlot(int slot, int pos) {
   for (SubIndex& sub : subs_) {
-    auto it = sub.buckets.find(row.HashOn(s, sub.cols));
+    auto it = sub.buckets.find(store_->HashOn(pos, sub.cols));
     RELVIEW_DCHECK(it != sub.buckets.end(), "view index bucket missing");
     std::vector<int>& slots = it->second;
-    auto pos = std::find(slots.begin(), slots.end(), slot);
-    RELVIEW_DCHECK(pos != slots.end(), "view index slot missing");
-    *pos = slots.back();
+    auto hit = std::find(slots.begin(), slots.end(), slot);
+    RELVIEW_DCHECK(hit != slots.end(), "view index slot missing");
+    *hit = slots.back();
     slots.pop_back();
     if (slots.empty()) sub.buckets.erase(it);
   }
@@ -86,13 +83,12 @@ void ViewIndex::RemoveSlot(int slot, const Tuple& row) {
 void ViewIndex::CollectAgreeing(const SubIndex& sub, const Tuple& t,
                                 std::vector<int>* out) const {
   out->clear();
-  const Schema& s = view_.schema();
-  auto it = sub.buckets.find(t.HashOn(s, sub.cols));
+  auto it = sub.buckets.find(t.HashOn(schema(), sub.cols));
   if (it == sub.buckets.end()) return;
   for (int slot : it->second) {
     const int pos = pos_of_slot_[slot];
     // Hash buckets can alias: confirm real agreement.
-    if (view_.row(pos).AgreesWith(t, s, sub.cols)) out->push_back(pos);
+    if (store_->Agrees(pos, t, sub.cols)) out->push_back(pos);
   }
   std::sort(out->begin(), out->end());
 }
@@ -105,20 +101,16 @@ void ViewIndex::CandidatePositions(int fd_index, const Tuple& t,
                                    std::vector<int>* out) const {
   const int sub = fd_subindex_[fd_index];
   if (sub < 0) {  // lhs∩X empty: every row agrees vacuously
-    out->resize(view_.size());
-    for (int p = 0; p < view_.size(); ++p) (*out)[p] = p;
+    out->resize(size());
+    for (int p = 0; p < size(); ++p) (*out)[p] = p;
     return;
   }
   CollectAgreeing(subs_[sub], t, out);
 }
 
 std::pair<int, int> ViewIndex::ApplyInsert(const Tuple& t) {
-  std::vector<Tuple>& rows = view_.mutable_rows();
-  auto it = std::lower_bound(rows.begin(), rows.end(), t);
-  RELVIEW_DCHECK(it == rows.end() || !(*it == t),
-                 "inserting a duplicate view row");
-  const int pos = static_cast<int>(it - rows.begin());
-  rows.insert(it, t);
+  const int pos = store_->InsertRow(t);
+  RELVIEW_DCHECK(pos >= 0, "inserting a duplicate view row");
 
   int slot;
   if (!free_slots_.empty()) {
@@ -133,7 +125,7 @@ std::pair<int, int> ViewIndex::ApplyInsert(const Tuple& t) {
   for (int p = pos + 1; p < static_cast<int>(slot_of_pos_.size()); ++p) {
     pos_of_slot_[slot_of_pos_[p]] = p;
   }
-  AddSlot(slot, t);
+  AddSlot(slot, pos);
   return {pos, slot};
 }
 
@@ -141,9 +133,8 @@ void ViewIndex::ApplyDelete(const Tuple& t) {
   const int pos = PositionOf(t);
   RELVIEW_DCHECK(pos >= 0, "deleting a row absent from the view");
   const int slot = slot_of_pos_[pos];
-  RemoveSlot(slot, t);
-  std::vector<Tuple>& rows = view_.mutable_rows();
-  rows.erase(rows.begin() + pos);
+  RemoveSlot(slot, pos);
+  store_->EraseAt(pos);
   slot_of_pos_.erase(slot_of_pos_.begin() + pos);
   for (int p = pos; p < static_cast<int>(slot_of_pos_.size()); ++p) {
     pos_of_slot_[slot_of_pos_[p]] = p;
@@ -160,10 +151,8 @@ namespace {
 /// The slot-keyed generic-instance row for view position `pos`.
 Tuple SlotRow(const ViewIndex& index, const AttrSet& universe,
               const AttrSet& x, int pos, int slot, const Schema& us) {
-  const Schema& vs = index.schema();
-  const Tuple& vr = index.view().row(pos);
   Tuple out(us.arity());
-  x.ForEach([&](AttrId a) { out.Set(us, a, vr.At(vs, a)); });
+  x.ForEach([&](AttrId a) { out.Set(us, a, index.CellAt(pos, a)); });
   const uint32_t base = index.SlotNullBase(slot);
   (universe - x).ForEach([&](AttrId a) {
     out.Set(us, a,
@@ -183,7 +172,7 @@ void MergeChaseStats(const ChaseOutcome& out, ChaseTestResult* acc) {
 
 /// U recovered from the index's offset table and view schema.
 AttrSet UniverseOf(const ViewIndex& index) {
-  AttrSet universe = index.view().attrs();
+  AttrSet universe = index.attrs();
   for (int a = 0; a < AttrSet::kMaxAttrs; ++a) {
     if (index.null_offsets()[a] >= 0) universe.Add(static_cast<AttrId>(a));
   }
@@ -193,6 +182,7 @@ AttrSet UniverseOf(const ViewIndex& index) {
 }  // namespace
 
 void BaseChaseCache::Invalidate() {
+  ++version_;
   valid_ = false;
   conflict_ = false;
   fixpoint_ = Relation();
@@ -274,7 +264,7 @@ bool BaseChaseCache::SpliceRechase(const ViewIndex& index, const FDSet& fds,
   span.AddArg("component_rows", comp.size());
   rechased_rows_ += comp.size() - (erase_row >= 0 ? 1 : 0);
   if (comp.size() > max_component_) max_component_ = comp.size();
-  const AttrSet x = index.view().attrs();
+  const AttrSet x = index.attrs();
   const AttrSet universe = UniverseOf(index);
   const Schema& us = fixpoint_.schema();
   // Re-chase the surviving component rows from their pristine slot-keyed
@@ -331,7 +321,8 @@ void BaseChaseCache::Rebuild(const ViewIndex& index, const FDSet& fds,
                              ChaseBackend backend, ChaseTestResult* acc) {
   RELVIEW_TRACE_SPAN_N(span, "base.rebuild");
   span.AddArg("view_rows", static_cast<uint64_t>(index.size()));
-  const AttrSet x = index.view().attrs();
+  ++version_;
+  const AttrSet x = index.attrs();
   const AttrSet universe = UniverseOf(index);
   Relation generic(universe);
   const Schema& us = generic.schema();
@@ -362,7 +353,8 @@ void BaseChaseCache::ExtendWith(const ViewIndex& index, int pos, int slot,
                                 const FDSet& fds, ChaseBackend backend,
                                 ChaseTestResult* acc) {
   RELVIEW_DCHECK(valid_ && !conflict_, "extending an unusable base chase");
-  const AttrSet x = index.view().attrs();
+  ++version_;
+  const AttrSet x = index.attrs();
   const AttrSet universe = UniverseOf(index);
   const int row = fixpoint_.size();
   fixpoint_.AddRow(SlotRow(index, universe, x, pos, slot, fixpoint_.schema()));
@@ -382,6 +374,7 @@ bool BaseChaseCache::TryRemove(const ViewIndex& index, int pos,
                                const FDSet& fds, ChaseBackend backend,
                                ChaseTestResult* acc) {
   if (!valid_ || conflict_) return false;
+  ++version_;
   const int slot = index.slot_at(pos);
   const int row = row_of_slot_[slot];
   RELVIEW_DCHECK(row >= 0, "slot missing from the base chase");
@@ -420,7 +413,7 @@ TranslatabilityEngine::TranslatabilityEngine(const AttrSet& universe,
 
 void TranslatabilityEngine::Rebuild(const Relation& database) {
   index_ = ViewIndex::Build(universe_, x_, common_, fds_,
-                            database.Project(x_));
+                            database.Project(x_), config_.store);
   base_.Invalidate();
   ++stats_.index_rebuilds;
 }
@@ -473,7 +466,7 @@ void TranslatabilityEngine::RunC(const Tuple& t,
     index_.CandidatePositions(fi, t, &cand);
     for (int r : cand) {
       if (r == skip_row) continue;
-      const Tuple& vr = index_.view().row(r);
+      const Tuple vr = index_.RowAt(r);
       if (rhs_in_x && vr.At(vs, fd.rhs) == t.At(vs, fd.rhs)) continue;
       for (int mu : mus) {
         ProbeSpec spec;
@@ -483,7 +476,7 @@ void TranslatabilityEngine::RunC(const Tuple& t,
         spec.r_null_base = index_.SlotNullBase(index_.slot_at(r));
         spec.mu_null_base = index_.SlotNullBase(index_.slot_at(mu));
         if (config_.pair_screen) {
-          const Tuple& vmu = index_.view().row(mu);
+          const Tuple vmu = index_.RowAt(mu);
           x_.ForEach([&](AttrId a) {
             if (vr.At(vs, a) == vmu.At(vs, a)) spec.x_agree.Add(a);
           });
@@ -498,6 +491,20 @@ void TranslatabilityEngine::RunC(const Tuple& t,
   opts.pair_screen = config_.pair_screen;
   opts.closure_cache = &closures_;
   opts.pool = pool_.get();
+  // The columnar probe path chases deltas on a frozen CodeProbeIndex; one
+  // index serves every probe of every check until the base chase next
+  // mutates (version-keyed), so steady-state checks skip the build cost.
+  if (config_.backend == ChaseBackend::kColumnar && !specs.empty()) {
+    if (!probe_index_valid_ || probe_index_version_ != base_.version()) {
+      probe_index_ = CodeProbeIndex::Build(*base_.AsView().fixpoint, fds_);
+      probe_index_version_ = base_.version();
+      probe_index_valid_ = true;
+      ++stats_.probe_index_builds;
+    } else {
+      ++stats_.probe_index_reuses;
+    }
+    opts.probe_index = &probe_index_;
+  }
   const int fail =
       RunProbeSpecs(specs, fds_, x_, y_only_, base_.AsView(),
                     /*generic=*/nullptr, index_.null_offsets(), opts, out);
@@ -549,9 +556,9 @@ Result<InsertionReport> TranslatabilityEngine::CheckInsert(const Tuple& t) {
     report.verdict = TranslationVerdict::kFailsChase;
     report.violated_fd = c.violated_fd;
     report.witness_row = c.witness_row;
-    report.witness_tuple = index_.view().row(c.witness_row);
+    report.witness_tuple = index_.RowAt(c.witness_row);
     if (c.witness_mu >= 0) {
-      report.witness_mu_tuple = index_.view().row(c.witness_mu);
+      report.witness_mu_tuple = index_.RowAt(c.witness_mu);
     }
     return report;
   }
@@ -660,9 +667,9 @@ Result<ReplacementReport> TranslatabilityEngine::CheckReplace(
     report.verdict = TranslationVerdict::kFailsChase;
     report.violated_fd = c.violated_fd;
     report.witness_row = c.witness_row;
-    report.witness_tuple = index_.view().row(c.witness_row);
+    report.witness_tuple = index_.RowAt(c.witness_row);
     if (c.witness_mu >= 0) {
-      report.witness_mu_tuple = index_.view().row(c.witness_mu);
+      report.witness_mu_tuple = index_.RowAt(c.witness_mu);
     }
     return report;
   }

@@ -54,6 +54,7 @@
 #include "deps/closure_cache.h"
 #include "deps/fd_set.h"
 #include "relational/relation.h"
+#include "relational/store.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "view/chase_test.h"
@@ -64,8 +65,12 @@
 namespace relview {
 
 /// Persistent indexes over one view instance. Positions are indexes into
-/// view() (canonical order, identical to Relation::Project output);
-/// slots are stable row identities used to key labeled nulls.
+/// the canonical row order (identical to Relation::Project output); slots
+/// are stable row identities used to key labeled nulls. The instance
+/// itself lives behind the InstanceStore interface (store.h): the row
+/// store is the reference implementation, the columnar store keeps each
+/// attribute as a contiguous dictionary-coded vector. Both maintain the
+/// same canonical order, so positions and witnesses agree store-for-store.
 class ViewIndex {
  public:
   ViewIndex() = default;
@@ -73,11 +78,33 @@ class ViewIndex {
   /// Builds from a canonical (normalized) view instance over x.
   static ViewIndex Build(const AttrSet& universe, const AttrSet& x,
                          const AttrSet& common, const FDSet& fds,
-                         Relation view);
+                         Relation view,
+                         StoreKind store = StoreKind::kRowHash);
 
-  const Relation& view() const { return view_; }
-  const Schema& schema() const { return view_.schema(); }
-  int size() const { return view_.size(); }
+  const Schema& schema() const {
+    static const Schema kEmpty;
+    return store_ ? store_->schema() : kEmpty;
+  }
+  const AttrSet& attrs() const { return schema().attrs(); }
+  int size() const { return store_ ? store_->size() : 0; }
+  StoreKind store_kind() const {
+    return store_ ? store_->kind() : StoreKind::kRowHash;
+  }
+
+  /// Row at a canonical position, materialized as a Tuple.
+  Tuple RowAt(int pos) const { return store_->RowAt(pos); }
+  /// Cell of a canonical position (cheaper than RowAt for single cells).
+  Value CellAt(int pos, AttrId a) const {
+    return store_->At(pos, schema().PosOf(a));
+  }
+  /// The whole instance as a Relation (canonical order preserved).
+  Relation MaterializeView() const {
+    return store_ ? store_->Materialize() : Relation();
+  }
+  /// Resident bytes of the backing store.
+  size_t StoreMemoryBytes() const {
+    return store_ ? store_->MemoryBytes() : 0;
+  }
 
   /// Position of t in the canonical order, -1 if absent. O(log |V|).
   int PositionOf(const Tuple& t) const;
@@ -111,12 +138,12 @@ class ViewIndex {
     std::unordered_map<uint64_t, std::vector<int>> buckets;  // hash -> slots
   };
 
-  void AddSlot(int slot, const Tuple& row);
-  void RemoveSlot(int slot, const Tuple& row);
+  void AddSlot(int slot, int pos);
+  void RemoveSlot(int slot, int pos);
   void CollectAgreeing(const SubIndex& sub, const Tuple& t,
                        std::vector<int>* out) const;
 
-  Relation view_;
+  std::unique_ptr<InstanceStore> store_;
   AttrSet x_;
   std::vector<SubIndex> subs_;     // subs_[0] keys X∩Y (the mu index)
   std::vector<int> fd_subindex_;   // fd index -> subs_ index, -1 = lhs∩X = ∅
@@ -156,6 +183,12 @@ class BaseChaseCache {
 
   BaseChaseView AsView() const { return BaseChaseView{&fixpoint_, &renames_}; }
 
+  /// Monotonic version of the cached fixpoint: bumped by every mutation
+  /// (Rebuild, ExtendWith, TryRemove, Invalidate). The engine keys its
+  /// columnar probe index off this, so the frozen CodeProbeIndex is
+  /// rebuilt exactly when the fixpoint it froze has changed.
+  uint64_t version() const { return version_; }
+
   /// Cumulative fixpoint rows re-chased by component splices (provenance /
   /// telemetry; monotonic, survives Invalidate()).
   uint64_t rechased_rows() const { return rechased_rows_; }
@@ -188,12 +221,15 @@ class BaseChaseCache {
   /// now: bucket connectivity is a conservative superset of the real
   /// interaction graph (hash aliasing only enlarges components).
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> fd_buckets_;
+  uint64_t version_ = 0;
   uint64_t rechased_rows_ = 0;
   uint64_t max_component_ = 0;
 };
 
 struct EngineConfig {
   ChaseBackend backend = ChaseBackend::kHash;
+  /// View-instance storage layout (row reference store or columnar).
+  StoreKind store = StoreKind::kRowHash;
   /// Probe-loop fan-out; 1 = sequential, n > 1 spins up a pool of n.
   int probe_threads = 1;
   /// Screen probes with Test 1's closure criterion (sound; chase_test.h).
@@ -226,7 +262,11 @@ struct EngineConfig {
   /* Component-scoped maintenance: total fixpoint rows re-chased by       \
      splice maintenance, and the largest single component touched. */     \
   X(component_rows_rechased)                                              \
-  X(max_component_size)
+  X(max_component_size)                                                   \
+  /* Columnar probe-index lifecycle: builds when the base fixpoint        \
+     version moved, reuses when a check ran against a cached index. */    \
+  X(probe_index_builds)                                                   \
+  X(probe_index_reuses)
 
 struct EngineStats {
 #define RELVIEW_ENGINE_DEFINE_FIELD(name) uint64_t name = 0;
@@ -259,7 +299,8 @@ class TranslatabilityEngine {
   /// Bind/InstallDatabase; accepted updates use the Notify* paths instead.
   void Rebuild(const Relation& database);
 
-  const Relation& view() const { return index_.view(); }
+  /// The cached view instance, materialized from the backing store.
+  Relation view() const { return index_.MaterializeView(); }
 
   Result<InsertionReport> CheckInsert(const Tuple& t);
   Result<DeletionReport> CheckDelete(const Tuple& t);
@@ -289,6 +330,11 @@ class TranslatabilityEngine {
   EngineConfig config_;
   ViewIndex index_;
   BaseChaseCache base_;
+  /// Frozen delta-probe index over the cached base fixpoint (columnar
+  /// backend only), keyed by the fixpoint version it was built from.
+  CodeProbeIndex probe_index_;
+  uint64_t probe_index_version_ = 0;
+  bool probe_index_valid_ = false;
   ClosureCache closures_;
   std::unique_ptr<ThreadPool> pool_;
   EngineStats stats_;

@@ -1,0 +1,287 @@
+// Tests for the columnar chase kernel (code_chase.h): ChaseBackend::
+// kColumnar must reach the *identical* fixpoint as kHash/kSort (each merge
+// class resolves to its unique minimum raw element, so the fixpoint is
+// merge-order-independent — not just equivalent up to renaming), and the
+// semi-naive ProbeDeltaChaser must agree decision-for-decision with the
+// copy-and-rechase oracle it replaces.
+
+#include "chase/code_chase.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "chase/instance_chase.h"
+#include "deps/satisfies.h"
+
+namespace relview {
+namespace {
+
+Tuple Row(std::initializer_list<Value> vals) {
+  return Tuple(std::vector<Value>(vals));
+}
+
+// ---------------------------------------------------------------------------
+// ChaseCodes (full kernel) vs the reference backends.
+
+TEST(CodeChaseTest, NullAdoptsConstant) {
+  Relation r(AttrSet{0, 1});
+  r.AddRow(Row({Value::Const(1), Value::Null(0)}));
+  r.AddRow(Row({Value::Const(1), Value::Const(9)}));
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  ChaseOutcome out = ChaseInstance(r, fds, ChaseBackend::kColumnar);
+  EXPECT_FALSE(out.conflict);
+  EXPECT_EQ(out.result.size(), 1);
+  EXPECT_EQ(out.Resolve(Value::Null(0)), Value::Const(9));
+  EXPECT_TRUE(SatisfiesAll(out.result, fds));
+}
+
+TEST(CodeChaseTest, ConstantConflictDetected) {
+  Relation r(AttrSet{0, 1});
+  r.AddRow(Row({Value::Const(1), Value::Const(8)}));
+  r.AddRow(Row({Value::Const(1), Value::Const(9)}));
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  EXPECT_TRUE(ChaseInstance(r, fds, ChaseBackend::kColumnar).conflict);
+}
+
+TEST(CodeChaseTest, NullNullMergeIsDeterministic) {
+  Relation r(AttrSet{0, 1});
+  r.AddRow(Row({Value::Const(1), Value::Null(5)}));
+  r.AddRow(Row({Value::Const(1), Value::Null(3)}));
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  ChaseOutcome out = ChaseInstance(r, fds, ChaseBackend::kColumnar);
+  EXPECT_FALSE(out.conflict);
+  EXPECT_EQ(out.Resolve(Value::Null(5)), Value::Null(3));
+  EXPECT_EQ(out.Resolve(Value::Null(3)), Value::Null(3));
+}
+
+TEST(CodeChaseTest, TransitivePropagation) {
+  Relation r(AttrSet{0, 1, 2});
+  r.AddRow(Row({Value::Const(1), Value::Null(0), Value::Null(1)}));
+  r.AddRow(Row({Value::Const(1), Value::Null(2), Value::Const(7)}));
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  fds.Add(AttrSet{1}, 2);
+  ChaseOutcome out = ChaseInstance(r, fds, ChaseBackend::kColumnar);
+  EXPECT_FALSE(out.conflict);
+  EXPECT_EQ(out.Resolve(Value::Null(1)), Value::Const(7));
+  EXPECT_TRUE(SatisfiesAll(out.result, fds));
+}
+
+TEST(CodeChaseTest, EmptyAndTrivialInstances) {
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  Relation empty(AttrSet{0, 1});
+  ChaseOutcome out = ChaseInstance(empty, fds, ChaseBackend::kColumnar);
+  EXPECT_FALSE(out.conflict);
+  EXPECT_EQ(out.result.size(), 0);
+
+  Relation one(AttrSet{0, 1});
+  one.AddRow(Row({Value::Const(1), Value::Null(0)}));
+  out = ChaseInstance(one, fds, ChaseBackend::kColumnar);
+  EXPECT_FALSE(out.conflict);
+  EXPECT_EQ(out.result.size(), 1);
+  EXPECT_TRUE(out.renames.empty());
+}
+
+/// Random instance generator shared by the property tests.
+Relation RandomInstance(std::mt19937* rng, int rows, int arity,
+                        int const_range, int null_range) {
+  AttrSet attrs;
+  for (int a = 0; a < arity; ++a) attrs.Add(static_cast<AttrId>(a));
+  Relation r(attrs);
+  std::uniform_int_distribution<int> coin(0, 2);
+  std::uniform_int_distribution<int> cdist(0, const_range - 1);
+  std::uniform_int_distribution<int> ndist(0, null_range - 1);
+  for (int i = 0; i < rows; ++i) {
+    Tuple t(arity);
+    for (int c = 0; c < arity; ++c) {
+      t[c] = coin(*rng) == 0
+                 ? Value::Null(static_cast<uint32_t>(ndist(*rng)))
+                 : Value::Const(static_cast<uint32_t>(cdist(*rng)));
+    }
+    r.AddRow(t);
+  }
+  r.Normalize();
+  return r;
+}
+
+FDSet RandomFDs(std::mt19937* rng, int arity, int count) {
+  FDSet fds;
+  std::uniform_int_distribution<int> attr(0, arity - 1);
+  for (int i = 0; i < count; ++i) {
+    AttrSet lhs;
+    lhs.Add(static_cast<AttrId>(attr(*rng)));
+    if (arity > 2 && attr(*rng) % 2 == 0) {
+      lhs.Add(static_cast<AttrId>(attr(*rng)));
+    }
+    int rhs = attr(*rng);
+    while (lhs.Contains(static_cast<AttrId>(rhs))) rhs = attr(*rng);
+    fds.Add(lhs, static_cast<AttrId>(rhs));
+  }
+  return fds;
+}
+
+TEST(CodeChaseTest, IdenticalFixpointToHashAndSortOnRandomInstances) {
+  std::mt19937 rng(20260809);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int arity = 2 + iter % 3;
+    Relation r = RandomInstance(&rng, 3 + iter % 12, arity, 4, 10);
+    FDSet fds = RandomFDs(&rng, arity, 1 + iter % 4);
+    const ChaseOutcome hash_out = ChaseInstance(r, fds, ChaseBackend::kHash);
+    const ChaseOutcome sort_out = ChaseInstance(r, fds, ChaseBackend::kSort);
+    const ChaseOutcome col_out =
+        ChaseInstance(r, fds, ChaseBackend::kColumnar);
+    ASSERT_EQ(hash_out.conflict, col_out.conflict) << "iter " << iter;
+    ASSERT_EQ(sort_out.conflict, col_out.conflict) << "iter " << iter;
+    if (col_out.conflict) continue;
+    // Merge classes resolve to their minimum element in every backend, so
+    // the materialized fixpoints are identical — not merely isomorphic.
+    EXPECT_TRUE(col_out.result.SameAs(hash_out.result)) << "iter " << iter;
+    EXPECT_TRUE(col_out.result.SameAs(sort_out.result)) << "iter " << iter;
+    EXPECT_TRUE(SatisfiesAll(col_out.result, fds)) << "iter " << iter;
+    // Resolve() agrees on every input value.
+    for (const Tuple& t : r.rows()) {
+      for (const Value& v : t.values()) {
+        EXPECT_EQ(col_out.Resolve(v), hash_out.Resolve(v)) << "iter " << iter;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProbeDeltaChaser vs the copy-and-rechase oracle.
+
+TEST(ProbeDeltaChaserTest, AgreesWithFullRechaseOnRandomHypotheses) {
+  std::mt19937 rng(987654);
+  int live_hypotheses = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    const int arity = 2 + iter % 3;
+    Relation raw = RandomInstance(&rng, 4 + iter % 10, arity, 3, 12);
+    FDSet fds = RandomFDs(&rng, arity, 1 + iter % 3);
+    ChaseOutcome base = ChaseInstance(raw, fds, ChaseBackend::kHash);
+    if (base.conflict || base.result.empty()) continue;
+    const Relation& fix = base.result;
+
+    const CodeProbeIndex index = CodeProbeIndex::Build(fix, fds);
+    ProbeDeltaChaser chaser(&index);
+
+    // Random hypotheses: equate pairs of fixpoint cell values.
+    std::uniform_int_distribution<int> rdist(0, fix.size() - 1);
+    std::uniform_int_distribution<int> cdist(0, arity - 1);
+    for (int probe = 0; probe < 8; ++probe) {
+      std::vector<std::pair<uint32_t, uint32_t>> seeds;
+      const int nseeds = 1 + probe % 2;
+      for (int k = 0; k < nseeds; ++k) {
+        seeds.emplace_back(fix.row(rdist(rng))[cdist(rng)].raw(),
+                           fix.row(rdist(rng))[cdist(rng)].raw());
+      }
+
+      // Oracle: apply the same merges to a copy (respecting the
+      // min-element merge rule) and run the full chase.
+      Relation working = fix;
+      bool oracle_conflict = false;
+      std::unordered_map<uint32_t, Value> manual;
+      auto resolve_manual = [&](Value v) {
+        auto it = manual.find(v.raw());
+        while (it != manual.end()) {
+          v = it->second;
+          it = manual.find(v.raw());
+        }
+        return v;
+      };
+      for (const auto& [a, b] : seeds) {
+        const Value ra = resolve_manual(Value(
+            (a & Value::kNullTag) ? Value::Null(a & ~Value::kNullTag)
+                                  : Value::Const(a)));
+        const Value rb = resolve_manual(Value(
+            (b & Value::kNullTag) ? Value::Null(b & ~Value::kNullTag)
+                                  : Value::Const(b)));
+        if (ra == rb) continue;
+        if (ra.is_const() && rb.is_const()) {
+          oracle_conflict = true;
+          break;
+        }
+        const Value from = ra.raw() > rb.raw() ? ra : rb;
+        const Value to = ra.raw() > rb.raw() ? rb : ra;
+        working.RenameValue(from, to);
+        manual[from.raw()] = to;
+      }
+      ChaseOutcome oracle;
+      if (!oracle_conflict) {
+        oracle = ChaseInstance(working, fds, ChaseBackend::kHash);
+        oracle_conflict = oracle.conflict;
+      }
+
+      ChaseStats stats;
+      bool chased = false;
+      const bool delta_conflict = chaser.Chase(seeds, &stats, &chased);
+      ASSERT_EQ(delta_conflict, oracle_conflict)
+          << "iter " << iter << " probe " << probe;
+      if (delta_conflict) continue;
+      ++live_hypotheses;
+
+      // Every pair of fixpoint values must compare equal/unequal the same
+      // way under both resolutions.
+      auto oracle_resolve = [&](Value v) {
+        return oracle.Resolve(resolve_manual(v));
+      };
+      for (int i = 0; i < fix.size(); ++i) {
+        for (int c = 0; c < arity; ++c) {
+          for (int c2 = 0; c2 < arity; ++c2) {
+            const Value u = fix.row(i)[c];
+            const Value w = fix.row((i + 1) % fix.size())[c2];
+            const bool delta_eq =
+                chaser.Resolve(u.raw()) == chaser.Resolve(w.raw());
+            const bool oracle_eq = oracle_resolve(u) == oracle_resolve(w);
+            ASSERT_EQ(delta_eq, oracle_eq)
+                << "iter " << iter << " probe " << probe << " values "
+                << u.ToString() << " " << w.ToString();
+          }
+        }
+      }
+    }
+  }
+  // The generator must actually exercise non-trivial hypotheses.
+  EXPECT_GT(live_hypotheses, 50);
+}
+
+TEST(ProbeDeltaChaserTest, ScratchStateResetsBetweenProbes) {
+  // A merge-heavy probe followed by a no-op probe: the second must see
+  // pristine state (no leakage of the first probe's unions).
+  Relation r(AttrSet{0, 1, 2});
+  r.AddRow(Row({Value::Const(1), Value::Null(10), Value::Null(20)}));
+  r.AddRow(Row({Value::Const(2), Value::Null(11), Value::Null(21)}));
+  FDSet fds;
+  fds.Add(AttrSet{0}, 1);
+  fds.Add(AttrSet{1}, 2);
+  ChaseOutcome base = ChaseInstance(r, fds, ChaseBackend::kHash);
+  ASSERT_FALSE(base.conflict);
+  const CodeProbeIndex index = CodeProbeIndex::Build(base.result, fds);
+  ProbeDeltaChaser chaser(&index);
+
+  ChaseStats stats;
+  bool chased = false;
+  // Probe 1: equate the two rows' A-nulls; B-nulls must follow via A->B,
+  // wait — attrs are (0:const, 1:null, 2:null); equate the column-1 nulls,
+  // column-2 nulls follow through FD 1 -> 2.
+  ASSERT_FALSE(chaser.Chase({{Value::Null(10).raw(), Value::Null(11).raw()}},
+                            &stats, &chased));
+  EXPECT_TRUE(chased);
+  EXPECT_EQ(chaser.Resolve(Value::Null(20).raw()),
+            chaser.Resolve(Value::Null(21).raw()));
+
+  // Probe 2 (empty hypothesis): nothing is merged any more.
+  ASSERT_FALSE(chaser.Chase({}, &stats, &chased));
+  EXPECT_FALSE(chased);
+  EXPECT_NE(chaser.Resolve(Value::Null(20).raw()),
+            chaser.Resolve(Value::Null(21).raw()));
+  EXPECT_NE(chaser.Resolve(Value::Null(10).raw()),
+            chaser.Resolve(Value::Null(11).raw()));
+}
+
+}  // namespace
+}  // namespace relview

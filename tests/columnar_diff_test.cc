@@ -1,0 +1,373 @@
+// Lockstep differential test for the columnar store: a from-scratch
+// reference translator, a row-store engine, and columnar engines (1 and 4
+// probe threads) receive identical random update streams and must agree
+// decision-for-decision — status, verdict, violated FD, witness row,
+// theorem case — and state-for-state (database and served view) after
+// every update. This is the CI gate that lets the columnar store replace
+// the row store without a semantic audit of every call site: any
+// divergence in ordering, hashing, or probe resolution shows up as a
+// verdict or post-state mismatch here.
+//
+// The 4-thread columnar fleet member also runs under TSan in CI (see
+// .github/workflows/ci.yml): probe workers share one frozen
+// CodeProbeIndex, so the sanitizer checks that per-worker ProbeDeltaChaser
+// scratch is genuinely unshared.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "deps/instance_generator.h"
+#include "service/update.h"
+#include "util/rng.h"
+#include "view/complement.h"
+#include "view/translator.h"
+
+namespace relview {
+namespace {
+
+struct DiffSchema {
+  Universe universe;
+  FDSet fds;
+  AttrSet x, y;
+  Relation database{AttrSet()};
+};
+
+/// Per-column value spaces (matching the instance generator's convention)
+/// keep repairs and mutations column-local.
+Value ColValue(int col, uint32_t v) {
+  return Value::Const(static_cast<uint32_t>(col) * 0x01000000u + v);
+}
+
+/// The paper's chain shape A0 -> A1 -> ... with a deterministic legal
+/// instance; X drops the last attribute, Y keeps the last two.
+DiffSchema MakeChainSchema(int width, int rows, uint64_t seed) {
+  DiffSchema s;
+  s.universe = Universe::Anonymous(width);
+  for (int i = 0; i + 1 < width; ++i) {
+    s.fds.Add(AttrSet::Single(static_cast<AttrId>(i)),
+              static_cast<AttrId>(i + 1));
+  }
+  s.x = s.universe.All();
+  s.x.Remove(static_cast<AttrId>(width - 1));
+  s.y = AttrSet{static_cast<AttrId>(width - 2),
+                static_cast<AttrId>(width - 1)};
+  Rng rng(seed);
+  Relation db(s.universe.All());
+  const relview::Schema& sch = db.schema();
+  for (int i = 0; i < rows; ++i) {
+    Tuple t(width);
+    uint32_t v = static_cast<uint32_t>(i);
+    for (int c = 0; c < width; ++c) {
+      t[sch.PosOf(static_cast<AttrId>(c))] = ColValue(c, v);
+      v = static_cast<uint32_t>(
+          (v * 2654435761u + static_cast<uint32_t>(c)) %
+          static_cast<uint32_t>(std::max<int>(2, rows >> (2 * (c + 1)))));
+    }
+    db.AddRow(std::move(t));
+  }
+  RepairToLegal(&db, s.fds);
+  db.Normalize();
+  s.database = std::move(db);
+  return s;
+}
+
+/// A random canonical FD set with the first complementary (X, Y) found by
+/// subset enumeration and a random legal instance; nullopt when the drawn
+/// FDs admit no nontrivial complement.
+std::optional<DiffSchema> MakeRandomSchema(int width, int nfds, int rows,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  DiffSchema s;
+  s.universe = Universe::Anonymous(width);
+  for (int i = 0; i < nfds; ++i) {
+    AttrSet lhs;
+    const int lhs_size = 1 + static_cast<int>(rng.Below(2));
+    for (int k = 0; k < lhs_size; ++k) {
+      lhs.Add(static_cast<AttrId>(rng.Below(width)));
+    }
+    const AttrId rhs = static_cast<AttrId>(rng.Below(width));
+    if (lhs.Contains(rhs)) continue;
+    s.fds.Add(lhs, rhs);
+  }
+  DependencySet sigma;
+  sigma.fds = s.fds;
+  const AttrSet all = s.universe.All();
+  const uint32_t subsets = 1u << width;
+  for (uint32_t xb = 1; xb + 1 < subsets && s.x.Empty(); ++xb) {
+    for (uint32_t yb = 1; yb + 1 < subsets; ++yb) {
+      AttrSet x, y;
+      for (int a = 0; a < width; ++a) {
+        if (xb & (1u << a)) x.Add(static_cast<AttrId>(a));
+        if (yb & (1u << a)) y.Add(static_cast<AttrId>(a));
+      }
+      if ((x | y) != all || x == all || y == all) continue;
+      if (!AreComplementary(all, sigma, x, y)) continue;
+      s.x = x;
+      s.y = y;
+      break;
+    }
+  }
+  if (s.x.Empty()) return std::nullopt;
+  GeneratorOptions gopts;
+  gopts.rows = rows;
+  gopts.domain = 6;
+  gopts.seed = seed * 7919 + 13;
+  s.database = GenerateLegalInstance(all, s.fds, gopts);
+  return s;
+}
+
+ViewTranslator MakeVt(const DiffSchema& s, TranslatorOptions options) {
+  DependencySet sigma;
+  sigma.fds = s.fds;
+  auto vt = ViewTranslator::Create(s.universe, sigma, s.x, s.y, options);
+  EXPECT_TRUE(vt.ok()) << vt.status().ToString();
+  Status st = vt->Bind(s.database);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return std::move(*vt);
+}
+
+struct RandomOp {
+  UpdateKind kind = UpdateKind::kInsert;
+  Tuple t1, t2;
+};
+
+RandomOp DrawOp(Rng* rng, const Relation& view) {
+  const relview::Schema& vs = view.schema();
+  const int arity = vs.arity();
+  auto random_tuple = [&] {
+    Tuple t(arity);
+    for (int p = 0; p < arity; ++p) {
+      t[p] = ColValue(static_cast<int>(vs.cols()[p]),
+                      static_cast<uint32_t>(rng->Below(6)));
+    }
+    return t;
+  };
+  auto mutated_row = [&] {
+    if (view.empty()) return random_tuple();
+    Tuple t = view.row(static_cast<int>(rng->Below(view.size())));
+    const int p = static_cast<int>(rng->Below(arity));
+    t[p] = ColValue(static_cast<int>(vs.cols()[p]),
+                    static_cast<uint32_t>(rng->Below(6)));
+    return t;
+  };
+  RandomOp op;
+  const uint64_t k = rng->Below(4);
+  if (k == 0) {
+    op.kind = UpdateKind::kInsert;
+    op.t1 = rng->Chance(0.7) ? mutated_row() : random_tuple();
+  } else if (k == 1) {
+    op.kind = UpdateKind::kDelete;
+    op.t1 = view.empty() || rng->Chance(0.3)
+                ? random_tuple()
+                : view.row(static_cast<int>(rng->Below(view.size())));
+  } else {
+    op.kind = UpdateKind::kReplace;
+    op.t1 = view.empty() || rng->Chance(0.2)
+                ? random_tuple()
+                : view.row(static_cast<int>(rng->Below(view.size())));
+    op.t2 = mutated_row();
+  }
+  return op;
+}
+
+/// Applies `op` to every translator and asserts identical outcomes and
+/// post-states. Effort counters are exempt (order-dependent under the
+/// parallel early exit); decisions and witnesses are not.
+void ApplyEverywhere(const RandomOp& op, std::vector<ViewTranslator>* vts,
+                     const std::string& ctx) {
+  switch (op.kind) {
+    case UpdateKind::kInsert: {
+      Result<InsertionReport> ref = (*vts)[0].InsertWithReport(op.t1);
+      for (size_t i = 1; i < vts->size(); ++i) {
+        Result<InsertionReport> r = (*vts)[i].InsertWithReport(op.t1);
+        ASSERT_EQ(ref.ok(), r.ok()) << ctx << " vt" << i;
+        if (!ref.ok()) {
+          ASSERT_EQ(ref.status().ToString(), r.status().ToString())
+              << ctx << " vt" << i;
+          continue;
+        }
+        ASSERT_EQ(ref->verdict, r->verdict) << ctx << " vt" << i;
+        ASSERT_EQ(ref->violated_fd, r->violated_fd) << ctx << " vt" << i;
+        ASSERT_EQ(ref->witness_row, r->witness_row) << ctx << " vt" << i;
+      }
+      break;
+    }
+    case UpdateKind::kDelete: {
+      Result<DeletionReport> ref = (*vts)[0].DeleteWithReport(op.t1);
+      for (size_t i = 1; i < vts->size(); ++i) {
+        Result<DeletionReport> r = (*vts)[i].DeleteWithReport(op.t1);
+        ASSERT_EQ(ref.ok(), r.ok()) << ctx << " vt" << i;
+        if (!ref.ok()) {
+          ASSERT_EQ(ref.status().ToString(), r.status().ToString())
+              << ctx << " vt" << i;
+          continue;
+        }
+        ASSERT_EQ(ref->verdict, r->verdict) << ctx << " vt" << i;
+      }
+      break;
+    }
+    case UpdateKind::kReplace: {
+      Result<ReplacementReport> ref =
+          (*vts)[0].ReplaceWithReport(op.t1, op.t2);
+      for (size_t i = 1; i < vts->size(); ++i) {
+        Result<ReplacementReport> r =
+            (*vts)[i].ReplaceWithReport(op.t1, op.t2);
+        ASSERT_EQ(ref.ok(), r.ok()) << ctx << " vt" << i;
+        if (!ref.ok()) {
+          ASSERT_EQ(ref.status().ToString(), r.status().ToString())
+              << ctx << " vt" << i;
+          continue;
+        }
+        ASSERT_EQ(ref->verdict, r->verdict) << ctx << " vt" << i;
+        ASSERT_EQ(ref->theorem_case, r->theorem_case) << ctx << " vt" << i;
+        ASSERT_EQ(ref->violated_fd, r->violated_fd) << ctx << " vt" << i;
+        ASSERT_EQ(ref->witness_row, r->witness_row) << ctx << " vt" << i;
+      }
+      break;
+    }
+    case UpdateKind::kNumUpdateKinds:
+      FAIL() << ctx << " sentinel update kind generated";
+  }
+  Result<Relation> ref_view = (*vts)[0].ViewInstance();
+  ASSERT_TRUE(ref_view.ok());
+  for (size_t i = 1; i < vts->size(); ++i) {
+    ASSERT_TRUE((*vts)[i].database().SameAs((*vts)[0].database()))
+        << ctx << " vt" << i << " database diverged";
+    Result<Relation> v = (*vts)[i].ViewInstance();
+    ASSERT_TRUE(v.ok());
+    ASSERT_EQ(v->rows(), ref_view->rows())
+        << ctx << " vt" << i << " view diverged";
+  }
+}
+
+/// vts[0] is the from-scratch reference; then the row-store engine, the
+/// columnar engine single-threaded, and the columnar engine with 4 probe
+/// workers sharing the cached CodeProbeIndex.
+std::vector<ViewTranslator> MakeFleet(const DiffSchema& s) {
+  std::vector<ViewTranslator> vts;
+  TranslatorOptions scratch;
+  scratch.incremental = false;
+  vts.push_back(MakeVt(s, scratch));
+  TranslatorOptions row_engine;  // defaults: kRowHash store, kHash chase
+  vts.push_back(MakeVt(s, row_engine));
+  TranslatorOptions col1;
+  col1.store = StoreKind::kColumnar;
+  vts.push_back(MakeVt(s, col1));
+  TranslatorOptions col4;
+  col4.store = StoreKind::kColumnar;
+  col4.probe_threads = 4;
+  col4.pair_screen = false;  // screens resolve probes before they chase
+  vts.push_back(MakeVt(s, col4));
+  return vts;
+}
+
+void RunDifferential(const DiffSchema& s, int ops, uint64_t seed,
+                     const std::string& ctx) {
+  std::vector<ViewTranslator> vts = MakeFleet(s);
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    Result<Relation> view = vts[0].ViewInstance();
+    ASSERT_TRUE(view.ok());
+    const RandomOp op = DrawOp(&rng, *view);
+    ApplyEverywhere(op, &vts, ctx + " op " + std::to_string(i));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ColumnarDifferentialTest, ChainSchemas) {
+  for (int width : {3, 4, 5}) {
+    for (uint64_t seed : {17ull, 29ull}) {
+      DiffSchema s = MakeChainSchema(width, 40, seed);
+      RunDifferential(s, 60, seed * 31 + width,
+                      "chain w" + std::to_string(width) + " s" +
+                          std::to_string(seed));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ColumnarDifferentialTest, ProbeHeavySchema) {
+  // U = ABC, X = AB, Y = BC, Sigma = {B -> C, C -> B}: C -> B has an empty
+  // lhs∩X, so every row is a probe candidate and the columnar delta-probe
+  // path carries the whole verdict, concurrently on the 4-thread member.
+  DiffSchema s;
+  s.universe = Universe::Anonymous(3);
+  s.fds.Add(AttrSet{1}, 2);
+  s.fds.Add(AttrSet{2}, 1);
+  s.x = AttrSet{0, 1};
+  s.y = AttrSet{1, 2};
+  Relation db(s.universe.All());
+  const relview::Schema& sch = db.schema();
+  for (int i = 0; i < 30; ++i) {
+    Tuple t(3);
+    t[sch.PosOf(0)] = ColValue(0, static_cast<uint32_t>(i));
+    t[sch.PosOf(1)] = ColValue(1, static_cast<uint32_t>(i % 5));
+    t[sch.PosOf(2)] = ColValue(2, static_cast<uint32_t>(i % 5));
+    db.AddRow(std::move(t));
+  }
+  db.Normalize();
+  s.database = std::move(db);
+  for (uint64_t seed : {41ull, 43ull, 47ull}) {
+    RunDifferential(s, 60, seed, "probe-heavy s" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ColumnarDifferentialTest, RandomFdSchemas) {
+  int schemas_run = 0;
+  for (uint64_t seed = 50; seed <= 90 && schemas_run < 8; ++seed) {
+    std::optional<DiffSchema> s = MakeRandomSchema(/*width=*/4, /*nfds=*/3,
+                                                   /*rows=*/25, seed);
+    if (!s.has_value()) continue;
+    DependencySet sigma;
+    sigma.fds = s->fds;
+    auto probe = ViewTranslator::Create(s->universe, sigma, s->x, s->y);
+    if (!probe.ok()) continue;
+    ++schemas_run;
+    RunDifferential(*s, 50, seed * 97, "random s" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(schemas_run, 4) << "subset enumeration found too few schemas";
+}
+
+TEST(ColumnarEngineTest, ProbeIndexIsCachedAcrossChecksAtFixedBase) {
+  // CanInsert never mutates, so the base version is stable: the first
+  // chasing check builds the probe index and later ones reuse it.
+  DiffSchema s = MakeChainSchema(4, 50, 3);
+  TranslatorOptions opts;
+  opts.store = StoreKind::kColumnar;
+  opts.pair_screen = false;  // screened probes never reach the chaser
+  ViewTranslator vt = MakeVt(s, opts);
+  const relview::Schema vs(s.x);
+  Result<Relation> view = vt.ViewInstance();
+  ASSERT_TRUE(view.ok());
+  for (int i = 0; i < 6; ++i) {
+    Tuple fresh = view->row(0);
+    fresh.Set(vs, 0, ColValue(0, 0x00F000u + static_cast<uint32_t>(i)));
+    auto ins = vt.CanInsert(fresh);
+    ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  }
+  const EngineStats es = vt.engine_stats();
+  EXPECT_GE(es.probe_index_builds, 1u);
+  EXPECT_GT(es.probe_index_reuses, es.probe_index_builds);
+}
+
+TEST(ColumnarEngineTest, ColumnarStoreForcesColumnarBackend) {
+  DiffSchema s = MakeChainSchema(3, 10, 1);
+  TranslatorOptions opts;
+  opts.store = StoreKind::kColumnar;
+  opts.backend = ChaseBackend::kHash;  // overridden by the store choice
+  ViewTranslator vt = MakeVt(s, opts);
+  Result<Relation> view = vt.ViewInstance();
+  ASSERT_TRUE(view.ok());
+  ASSERT_GT(view->size(), 0);
+  auto r = vt.CanInsert(view->row(0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verdict, TranslationVerdict::kIdentity);
+}
+
+}  // namespace
+}  // namespace relview

@@ -1,4 +1,4 @@
-// Tests for the constant/null instance chase — both backends.
+// Tests for the constant/null instance chase — all backends.
 
 #include "chase/instance_chase.h"
 
@@ -86,11 +86,18 @@ TEST_P(InstanceChaseTest, FixpointSatisfiesAllFDs) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, InstanceChaseTest,
                          ::testing::Values(ChaseBackend::kHash,
-                                           ChaseBackend::kSort),
+                                           ChaseBackend::kSort,
+                                           ChaseBackend::kColumnar),
                          [](const auto& param_info) {
-                           return param_info.param == ChaseBackend::kHash
-                                      ? "Hash"
-                                      : "Sort";
+                           switch (param_info.param) {
+                             case ChaseBackend::kHash:
+                               return "Hash";
+                             case ChaseBackend::kSort:
+                               return "Sort";
+                             case ChaseBackend::kColumnar:
+                               return "Columnar";
+                           }
+                           return "Unknown";
                          });
 
 TEST(InstanceChaseAgreementTest, BackendsReachEquivalentFixpoints) {

@@ -44,6 +44,13 @@ Complements the compiler-side analyses (clang -Wthread-safety, clang-tidy,
                          `"relview_net_"` is satisfied by any table row
                          it prefixes, and a table row `relview_engine_`
                          covers every family composed from it
+  bench-doc              every BENCH_*.json artifact a CI job produces or
+                         uploads (any mention in .github/workflows/ci.yml)
+                         has a section heading naming it in
+                         docs/PERFORMANCE.md, so the performance handbook
+                         cannot silently lag the benchmark fleet; headings
+                         in the handbook that name artifacts no CI job
+                         produces are flagged too (stale section)
   layering               a src/ subdirectory includes a header from a
                          directory its library does not directly link: the
                          include DAG is derived from each
@@ -327,6 +334,64 @@ def check_metric_table(root, files, findings):
                     "documents a composed-name prefix)"))
 
 
+BENCH_ARTIFACT = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
+
+
+def performance_section_names(doc):
+    """Artifact names with a section in docs/PERFORMANCE.md: a markdown
+    heading line (any level) that names the BENCH_*.json file. Prose
+    mentions elsewhere do not count — the handbook's contract is one
+    findable section per artifact."""
+    names = set()
+    for line in doc.splitlines():
+        if line.lstrip().startswith("#"):
+            names.update(BENCH_ARTIFACT.findall(line))
+    return names
+
+
+def check_bench_docs(root, findings):
+    """Every benchmark artifact CI produces must have a section in the
+    performance handbook, and the handbook must not document artifacts CI
+    no longer produces. Keyed on .github/workflows/ci.yml because the
+    upload steps there are the complete list of what a reader can actually
+    download and compare against the handbook."""
+    ci = os.path.join(root, ".github", "workflows", "ci.yml")
+    if not os.path.exists(ci):
+        return
+    with open(ci, encoding="utf-8") as f:
+        ci_lines = f.read().splitlines()
+    doc = ""
+    perf = os.path.join(root, "docs", "PERFORMANCE.md")
+    if os.path.exists(perf):
+        with open(perf, encoding="utf-8") as f:
+            doc = f.read()
+    sections = performance_section_names(doc)
+    produced = {}  # name -> first ci.yml line
+    for ln, line in enumerate(ci_lines, 1):
+        for name in BENCH_ARTIFACT.findall(line):
+            if suppressed(line, "bench-doc"):
+                continue
+            produced.setdefault(name, ln)
+    for name in sorted(produced):
+        if name not in sections:
+            findings.append(Finding(
+                ".github/workflows/ci.yml", produced[name], "bench-doc",
+                f"CI produces `{name}` but docs/PERFORMANCE.md has no "
+                "section heading naming it; every uploaded benchmark "
+                "artifact needs a handbook section (what it measures, "
+                "workload, gate, repro, trajectory)"))
+    for ln, line in enumerate(doc.splitlines(), 1):
+        if not line.lstrip().startswith("#"):
+            continue
+        for name in BENCH_ARTIFACT.findall(line):
+            if name not in produced and not suppressed(line, "bench-doc"):
+                findings.append(Finding(
+                    "docs/PERFORMANCE.md", ln, "bench-doc",
+                    f"section documents `{name}` but no CI job in "
+                    ".github/workflows/ci.yml produces it; delete the "
+                    "stale section or restore the artifact"))
+
+
 def check_failpoints(root, files, findings):
     """Site uniqueness, literal-ness, documentation, macro discipline."""
     catalog = ""
@@ -541,6 +606,7 @@ def main(argv=None):
 
     check_failpoints(root, everything, findings)
     check_metric_table(root, src_only, findings)
+    check_bench_docs(root, findings)
     check_mutexes(root, everything, findings)
     check_value_discipline(root, src_only, findings)
     check_asserts(root, src_only, findings)

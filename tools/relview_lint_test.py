@@ -242,6 +242,77 @@ class MetricTableRule(LintFixture):
         self.assert_clean()
 
 
+class BenchDocRule(LintFixture):
+    CI = (".github/workflows/ci.yml")
+
+    def test_no_ci_file_no_findings(self):
+        # Fixture roots have no workflow; the rule must stay silent.
+        self.assert_clean()
+
+    def test_produced_artifact_without_section(self):
+        self.write(self.CI,
+                   "      - run: ./bench --json=BENCH_foo.json\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "bench-doc")
+
+    def test_section_heading_satisfies_rule(self):
+        self.write(self.CI,
+                   "      - run: ./bench --json=BENCH_foo.json\n")
+        self.write("docs/PERFORMANCE.md",
+                   "## `BENCH_foo.json` — the foo benchmark\n\n"
+                   "What it measures.\n")
+        self.assert_clean()
+
+    def test_prose_mention_is_not_a_section(self):
+        self.write(self.CI,
+                   "      - run: ./bench --json=BENCH_foo.json\n")
+        self.write("docs/PERFORMANCE.md",
+                   "## Overview\n\nCI uploads BENCH_foo.json nightly.\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "bench-doc")
+
+    def test_upload_path_lines_count_as_produced(self):
+        self.write(self.CI,
+                   "          path: |\n"
+                   "            BENCH_bar.json\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "bench-doc")
+
+    def test_stale_section_flagged(self):
+        self.write(self.CI,
+                   "      - run: ./bench --json=BENCH_foo.json\n")
+        self.write("docs/PERFORMANCE.md",
+                   "## `BENCH_foo.json`\n\ndoc\n\n"
+                   "## `BENCH_gone.json`\n\nCI stopped making this.\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assert_rules(out, "bench-doc")
+        self.assertIn("BENCH_gone.json", out)
+
+    def test_one_finding_per_artifact(self):
+        self.write(self.CI,
+                   "      - run: ./bench --json=BENCH_foo.json\n"
+                   "      - run: test -s BENCH_foo.json\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[bench-doc]"), 1, out)
+
+    def test_glob_upload_pattern_ignored(self):
+        # `path: BENCH_*.json` is a glob, not an artifact name.
+        self.write(self.CI,
+                   "          path: BENCH_*.json\n")
+        self.assert_clean()
+
+    def test_suppression_on_ci_line(self):
+        self.write(self.CI,
+                   "      - run: ./bench --json=BENCH_tmp.json"
+                   "  # relview-lint: allow(bench-doc)\n")
+        self.assert_clean()
+
+
 class MutexRules(LintFixture):
     def test_naked_std_mutex(self):
         self.write("src/view/a.h", "#include <mutex>\nstd::mutex mu_;\n")
